@@ -1,0 +1,88 @@
+// Appendix Figures 11–12: Quality and MAE of the selected attribute
+// combination on the Diabetes-like dataset for 3 and 7 clusters, over the ε
+// sweep and all clustering methods (the main-body Figure 5/6 plots use 5
+// clusters; the appendix shows the trends persist).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "eval/harness.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace dpclustx;
+  using namespace dpclustx::bench;
+
+  const std::vector<double> epsilons = {0.001, 0.01, 0.1, 1.0};
+  const size_t k = 3;
+  const GlobalWeights lambda;
+  const size_t runs = NumRuns();
+  const Dataset dataset = MakeDataset("diabetes");
+
+  std::printf(
+      "Appendix Figs. 11-12: Diabetes Quality and MAE at 3 and 7 clusters "
+      "(%zu runs)\n\n",
+      runs);
+
+  for (const size_t clusters : {3u, 7u}) {
+    std::vector<std::string> headers = {"method", "explainer", "metric"};
+    for (double eps : epsilons) {
+      headers.push_back("eps=" + eval::TablePrinter::Num(eps, 3));
+    }
+    eval::TablePrinter table(std::move(headers));
+
+    for (const std::string& method : MethodsFor("diabetes")) {
+      const std::vector<ClusterId> labels =
+          FitLabels(dataset, method, clusters, 1);
+      const auto stats = StatsCache::Build(dataset, labels, clusters);
+      DPX_CHECK_OK(stats.status());
+      const AttributeCombination reference =
+          RunTabeeSelection(*stats, k, lambda);
+      const double reference_quality =
+          eval::SensitiveQuality(*stats, reference, lambda);
+      {
+        std::vector<std::string> row = {method, "TabEE", "Quality"};
+        for (size_t i = 0; i < epsilons.size(); ++i) {
+          row.push_back(eval::TablePrinter::Num(reference_quality));
+        }
+        table.AddRow(std::move(row));
+      }
+
+      struct Explainer {
+        const char* name;
+        AttributeCombination (*run)(const StatsCache&, double, size_t,
+                                    const GlobalWeights&, uint64_t);
+      };
+      const Explainer explainers[] = {
+          {"DPClustX", &RunDpClustXSelection},
+          {"DP-Naive", &RunDpNaiveSelection},
+          {"DP-TabEE", &RunDpTabeeSelection},
+      };
+      for (const Explainer& explainer : explainers) {
+        std::vector<std::string> quality_row = {method, explainer.name,
+                                                "Quality"};
+        std::vector<std::string> mae_row = {method, explainer.name, "MAE"};
+        for (double eps : epsilons) {
+          double quality = 0.0, mae = 0.0;
+          for (size_t run = 0; run < runs; ++run) {
+            const AttributeCombination ac =
+                explainer.run(*stats, eps, k, lambda, 8000 + run);
+            quality += eval::SensitiveQuality(*stats, ac, lambda);
+            mae += eval::MeanAbsoluteError(ac, reference);
+          }
+          quality_row.push_back(
+              eval::TablePrinter::Num(quality / static_cast<double>(runs)));
+          mae_row.push_back(
+              eval::TablePrinter::Num(mae / static_cast<double>(runs), 3));
+        }
+        table.AddRow(std::move(quality_row));
+        table.AddRow(std::move(mae_row));
+      }
+    }
+    std::printf("--- Diabetes, %zu clusters ---\n", clusters);
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

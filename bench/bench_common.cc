@@ -1,0 +1,181 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+
+#include "baselines/dp_naive.h"
+#include "baselines/dp_tabee.h"
+#include "baselines/tabee.h"
+#include "cluster/agglomerative.h"
+#include "cluster/dp_kmeans.h"
+#include "cluster/gmm.h"
+#include "cluster/kmeans.h"
+#include "cluster/kmodes.h"
+#include "common/logging.h"
+#include "core/candidate_selection.h"
+#include "data/synthetic.h"
+
+namespace dpclustx::bench {
+
+size_t NumRuns() {
+  if (const char* env = std::getenv("DPX_BENCH_RUNS")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value > 0) return static_cast<size_t>(value);
+  }
+  return 5;
+}
+
+double Scale() {
+  if (const char* env = std::getenv("DPX_BENCH_SCALE")) {
+    const double value = std::strtod(env, nullptr);
+    if (value > 0.0) return value;
+  }
+  return 1.0;
+}
+
+Dataset MakeDataset(const std::string& name) {
+  const double scale = Scale();
+  if (name == "census") {
+    return std::move(*synth::Generate(
+        synth::CensusLike(static_cast<size_t>(50000 * scale))));
+  }
+  if (name == "diabetes") {
+    return std::move(*synth::Generate(
+        synth::DiabetesLike(static_cast<size_t>(30000 * scale))));
+  }
+  if (name == "stackoverflow") {
+    return std::move(*synth::Generate(
+        synth::StackOverflowLike(static_cast<size_t>(30000 * scale))));
+  }
+  DPX_CHECK(false) << "unknown dataset '" << name << "'";
+  std::abort();
+}
+
+std::vector<std::string> MethodsFor(const std::string& dataset_name) {
+  if (dataset_name == "census") {
+    // The paper skips agglomerative clustering on Census (scalability).
+    return {"k-means", "dp-k-means", "k-modes", "gmm"};
+  }
+  return {"k-means", "dp-k-means", "k-modes", "agglomerative", "gmm"};
+}
+
+std::vector<ClusterId> FitLabels(const Dataset& dataset,
+                                 const std::string& method, size_t k,
+                                 uint64_t seed) {
+  if (method == "k-means") {
+    KMeansOptions options;
+    options.num_clusters = k;
+    options.seed = seed;
+    const auto clustering = FitKMeans(dataset, options);
+    DPX_CHECK_OK(clustering.status());
+    return (*clustering)->AssignAll(dataset);
+  }
+  if (method == "dp-k-means") {
+    DpKMeansOptions options;
+    options.num_clusters = k;
+    options.epsilon = 1.0;  // the paper's clustering budget
+    options.seed = seed;
+    const auto clustering = FitDpKMeans(dataset, options);
+    DPX_CHECK_OK(clustering.status());
+    return (*clustering)->AssignAll(dataset);
+  }
+  if (method == "k-modes") {
+    KModesOptions options;
+    options.num_clusters = k;
+    options.seed = seed;
+    const auto clustering = FitKModes(dataset, options);
+    DPX_CHECK_OK(clustering.status());
+    return (*clustering)->AssignAll(dataset);
+  }
+  if (method == "agglomerative") {
+    AgglomerativeOptions options;
+    options.num_clusters = k;
+    options.seed = seed;
+    const auto clustering = FitAgglomerative(dataset, options);
+    DPX_CHECK_OK(clustering.status());
+    return (*clustering)->AssignAll(dataset);
+  }
+  if (method == "gmm") {
+    GmmOptions options;
+    options.num_components = k;
+    options.seed = seed;
+    const auto clustering = FitGmm(dataset, options);
+    DPX_CHECK_OK(clustering.status());
+    return (*clustering)->AssignAll(dataset);
+  }
+  DPX_CHECK(false) << "unknown method '" << method << "'";
+  std::abort();
+}
+
+AttributeCombination RunDpClustXSelection(const StatsCache& stats,
+                                          double epsilon, size_t k,
+                                          const GlobalWeights& lambda,
+                                          uint64_t seed) {
+  DpClustXOptions options;
+  options.epsilon_cand_set = epsilon / 2.0;
+  options.epsilon_top_comb = epsilon / 2.0;
+  options.generate_histograms = false;
+  options.num_candidates = k;
+  options.lambda = lambda;
+  options.seed = seed;
+  // Rebuild from the cached histograms to avoid re-scanning the dataset:
+  // ExplainDpClustXWithLabels needs the dataset, so we drive the internal
+  // stages directly (identical algorithm; see explainer.cc).
+  Rng rng(seed);
+  CandidateSelectionOptions stage1;
+  stage1.epsilon = options.epsilon_cand_set;
+  stage1.k = k;
+  stage1.gamma = lambda.ConditionalSingleClusterWeights();
+  const auto sets = SelectCandidates(stats, stage1, rng);
+  DPX_CHECK_OK(sets.status());
+  const auto tables =
+      core_internal::BuildLowSensitivityTables(stats, *sets, lambda);
+  const auto combo = core_internal::SearchCombination(
+      *sets, tables, options.epsilon_top_comb, kGlScoreSensitivity,
+      options.max_combinations, rng);
+  DPX_CHECK_OK(combo.status());
+  return *combo;
+}
+
+AttributeCombination RunDpTabeeSelection(const StatsCache& stats,
+                                         double epsilon, size_t k,
+                                         const GlobalWeights& lambda,
+                                         uint64_t seed) {
+  // Decorrelate from the other explainers' noise streams at equal seeds.
+  seed ^= 0x9E3779B9ULL;
+  baselines::DpTabeeOptions options;
+  options.epsilon_cand_set = epsilon / 2.0;
+  options.epsilon_top_comb = epsilon / 2.0;
+  options.num_candidates = k;
+  options.lambda = lambda;
+  options.seed = seed;
+  const auto explanation = baselines::ExplainDpTabee(stats, options);
+  DPX_CHECK_OK(explanation.status());
+  return explanation->combination;
+}
+
+AttributeCombination RunDpNaiveSelection(const StatsCache& stats,
+                                         double epsilon, size_t k,
+                                         const GlobalWeights& lambda,
+                                         uint64_t seed) {
+  seed ^= 0x51ED2700ULL;
+  baselines::DpNaiveOptions options;
+  options.epsilon = epsilon;
+  options.num_candidates = k;
+  options.lambda = lambda;
+  options.seed = seed;
+  const auto explanation = baselines::ExplainDpNaive(stats, options);
+  DPX_CHECK_OK(explanation.status());
+  return explanation->combination;
+}
+
+AttributeCombination RunTabeeSelection(const StatsCache& stats, size_t k,
+                                       const GlobalWeights& lambda) {
+  baselines::TabeeOptions options;
+  options.num_candidates = k;
+  options.lambda = lambda;
+  const auto explanation = baselines::ExplainTabee(stats, options);
+  DPX_CHECK_OK(explanation.status());
+  return explanation->combination;
+}
+
+}  // namespace dpclustx::bench

@@ -1,0 +1,68 @@
+// Shared infrastructure for the experiment binaries that regenerate the
+// paper's tables and figures. Each binary prints the same rows/series the
+// paper reports; absolute values come from the synthetic substitutes
+// (DESIGN.md §1), so the *shapes* — method ordering, crossovers, growth
+// rates — are the reproduction target (see EXPERIMENTS.md).
+//
+// Environment knobs:
+//   DPX_BENCH_RUNS   repetitions per configuration (default 5; paper: 10)
+//   DPX_BENCH_SCALE  row-count multiplier for the synthetic datasets
+//                    (default 1.0)
+
+#ifndef DPCLUSTX_BENCH_BENCH_COMMON_H_
+#define DPCLUSTX_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/explainer.h"
+#include "core/quality.h"
+#include "core/stats_cache.h"
+#include "data/dataset.h"
+
+namespace dpclustx::bench {
+
+/// Repetitions per configuration (DPX_BENCH_RUNS, default 5).
+size_t NumRuns();
+
+/// Dataset scale multiplier (DPX_BENCH_SCALE, default 1.0).
+double Scale();
+
+/// Builds one of the three paper datasets' synthetic substitutes:
+/// "census" (68 attrs), "diabetes" (47 attrs), "stackoverflow" (60 attrs).
+/// Row counts are scaled-down versions of the originals (50k/30k/30k at
+/// scale 1) so every bench binary finishes in minutes.
+Dataset MakeDataset(const std::string& name);
+
+/// The clustering methods of §6.1. Census excludes agglomerative (as in the
+/// paper, for scalability).
+std::vector<std::string> MethodsFor(const std::string& dataset_name);
+
+/// Fits the named method ("k-means", "dp-k-means", "k-modes",
+/// "agglomerative", "gmm") and returns per-row labels.
+std::vector<ClusterId> FitLabels(const Dataset& dataset,
+                                 const std::string& method, size_t k,
+                                 uint64_t seed);
+
+/// Attribute-selection runs (generate_histograms = false), matching the
+/// paper's quality experiments where "histogram generation is not needed".
+/// `epsilon` is the combined selection budget, split evenly between
+/// ε_CandSet and ε_TopComb.
+AttributeCombination RunDpClustXSelection(const StatsCache& stats,
+                                          double epsilon, size_t k,
+                                          const GlobalWeights& lambda,
+                                          uint64_t seed);
+AttributeCombination RunDpTabeeSelection(const StatsCache& stats,
+                                         double epsilon, size_t k,
+                                         const GlobalWeights& lambda,
+                                         uint64_t seed);
+AttributeCombination RunDpNaiveSelection(const StatsCache& stats,
+                                         double epsilon, size_t k,
+                                         const GlobalWeights& lambda,
+                                         uint64_t seed);
+AttributeCombination RunTabeeSelection(const StatsCache& stats, size_t k,
+                                       const GlobalWeights& lambda);
+
+}  // namespace dpclustx::bench
+
+#endif  // DPCLUSTX_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,81 @@
+// §6.2 "Impact of attribute correlations on quality": for each dataset, add
+// one correlated twin per attribute at Cramér's V ≈ 0.85, run DPClustX on
+// the original and on the extended attribute set, and compare the Quality
+// of the selections. The paper reports differences below 2% on average —
+// mostly attributable to the diversity term (a twin counts as a distinct
+// attribute) — and below 0.1% when only interestingness + sufficiency are
+// scored.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "data/synthetic.h"
+#include "eval/harness.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace dpclustx;
+  using namespace dpclustx::bench;
+
+  const size_t clusters = 5;
+  const double epsilon = 0.2;
+  const size_t k = 3;
+  const size_t runs = NumRuns();
+  const GlobalWeights equal;                 // full Quality
+  const GlobalWeights int_suf{0.5, 0.5, 0.0};  // diversity excluded
+
+  std::printf(
+      "Attribute-correlation robustness (twins at Cramer's V ~= 0.85, "
+      "eps=%.2f, %zu runs)\n\n",
+      epsilon, runs);
+  eval::TablePrinter table({"dataset", "Q(original)", "Q(extended)",
+                            "diff%", "Q-IntSuf(orig)", "Q-IntSuf(ext)",
+                            "diff%"});
+
+  for (const std::string& dataset_name :
+       {std::string("census"), std::string("diabetes"),
+        std::string("stackoverflow")}) {
+    Dataset original = MakeDataset(dataset_name);
+    const auto extended = synth::AddCorrelatedTwins(original, 0.85, 31);
+    DPX_CHECK_OK(extended.status());
+
+    // Cluster on the ORIGINAL attributes; both runs explain the same
+    // clustering (the paper clusters the augmented data; clustering on the
+    // shared originals isolates the explanation effect and keeps the two
+    // Quality values comparable).
+    const std::vector<ClusterId> labels =
+        FitLabels(original, "k-means", clusters, 1);
+    const auto stats_orig = StatsCache::Build(original, labels, clusters);
+    const auto stats_ext = StatsCache::Build(*extended, labels, clusters);
+    DPX_CHECK_OK(stats_orig.status());
+    DPX_CHECK_OK(stats_ext.status());
+
+    auto mean_quality = [&](const StatsCache& stats,
+                            const GlobalWeights& lambda) {
+      double total = 0.0;
+      for (size_t run = 0; run < runs; ++run) {
+        const AttributeCombination ac =
+            RunDpClustXSelection(stats, epsilon, k, lambda, 7000 + run);
+        total += eval::SensitiveQuality(stats, ac, lambda);
+      }
+      return total / static_cast<double>(runs);
+    };
+
+    const double q_orig = mean_quality(*stats_orig, equal);
+    const double q_ext = mean_quality(*stats_ext, equal);
+    const double qis_orig = mean_quality(*stats_orig, int_suf);
+    const double qis_ext = mean_quality(*stats_ext, int_suf);
+    auto pct = [](double a, double b) {
+      return a > 0.0 ? 100.0 * (b - a) / a : 0.0;
+    };
+    table.AddRow({dataset_name, eval::TablePrinter::Num(q_orig),
+                  eval::TablePrinter::Num(q_ext),
+                  eval::TablePrinter::Num(pct(q_orig, q_ext), 2),
+                  eval::TablePrinter::Num(qis_orig),
+                  eval::TablePrinter::Num(qis_ext),
+                  eval::TablePrinter::Num(pct(qis_orig, qis_ext), 2)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 9(a): DPClustX execution time vs number of clusters (log scale in
+// the paper), for k-means and GMM clusterings on all three datasets. The
+// paper's shape: runtime grows exponentially with |C| (Stage-2 enumerates
+// k^|C| combinations) but stays low through ~11 clusters. Clustering fits
+// happen outside the timed region — the figure times explanation
+// generation only.
+
+#include <map>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+
+namespace {
+
+using namespace dpclustx;
+using namespace dpclustx::bench;
+
+const Dataset& CachedDataset(const std::string& name) {
+  static auto* cache = new std::map<std::string, Dataset>();
+  auto it = cache->find(name);
+  if (it == cache->end()) {
+    it = cache->emplace(name, MakeDataset(name)).first;
+  }
+  return it->second;
+}
+
+const std::vector<ClusterId>& CachedLabels(const std::string& dataset,
+                                           const std::string& method,
+                                           size_t clusters) {
+  static auto* cache =
+      new std::map<std::string, std::vector<ClusterId>>();
+  const std::string key =
+      dataset + "/" + method + "/" + std::to_string(clusters);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache
+             ->emplace(key, FitLabels(CachedDataset(dataset), method,
+                                      clusters, /*seed=*/1))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_ExplainByClusters(benchmark::State& state,
+                          const std::string& dataset_name,
+                          const std::string& method) {
+  const auto clusters = static_cast<size_t>(state.range(0));
+  const Dataset& dataset = CachedDataset(dataset_name);
+  const std::vector<ClusterId>& labels =
+      CachedLabels(dataset_name, method, clusters);
+
+  DpClustXOptions options;  // paper defaults incl. histogram release
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    const auto explanation =
+        ExplainDpClustXWithLabels(dataset, labels, clusters, options);
+    DPX_CHECK_OK(explanation.status());
+    benchmark::DoNotOptimize(explanation->combination);
+  }
+}
+
+void RegisterAll() {
+  for (const std::string& dataset :
+       {std::string("census"), std::string("diabetes"),
+        std::string("stackoverflow")}) {
+    for (const std::string& method : {std::string("k-means"),
+                                     std::string("gmm")}) {
+      auto* bench = benchmark::RegisterBenchmark(
+          ("fig9a/" + dataset + "/" + method).c_str(),
+          [dataset, method](benchmark::State& state) {
+            BM_ExplainByClusters(state, dataset, method);
+          });
+      for (const int clusters : {3, 5, 7, 9, 11, 13}) {
+        bench->Arg(clusters);
+      }
+      bench->Unit(benchmark::kMillisecond)->Iterations(2);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 9(b): DPClustX execution time vs Stage-1 candidate-set size k
+// (log scale in the paper), at the paper's timing default of 9 clusters.
+// Shape: sharp growth in k — the Stage-2 search space is k^|C| — which is
+// why the framework defaults to k = 3.
+
+#include <map>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+
+namespace {
+
+using namespace dpclustx;
+using namespace dpclustx::bench;
+
+constexpr size_t kClusters = 9;
+
+struct Prepared {
+  Dataset dataset;
+  std::vector<ClusterId> labels;
+};
+
+const Prepared& CachedPrepared(const std::string& name,
+                               const std::string& method) {
+  static auto* cache = new std::map<std::string, Prepared>();
+  const std::string key = name + "/" + method;
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    Dataset dataset = MakeDataset(name);
+    std::vector<ClusterId> labels =
+        FitLabels(dataset, method, kClusters, 1);
+    it = cache->emplace(key,
+                        Prepared{std::move(dataset), std::move(labels)})
+             .first;
+  }
+  return it->second;
+}
+
+void BM_ExplainByCandidates(benchmark::State& state,
+                            const std::string& dataset_name,
+                            const std::string& method) {
+  const auto k = static_cast<size_t>(state.range(0));
+  const Prepared& prepared = CachedPrepared(dataset_name, method);
+
+  DpClustXOptions options;
+  options.num_candidates = k;
+  options.max_combinations = 1u << 30;  // 5^9 ≈ 1.95M fits comfortably
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    const auto explanation = ExplainDpClustXWithLabels(
+        prepared.dataset, prepared.labels, kClusters, options);
+    DPX_CHECK_OK(explanation.status());
+    benchmark::DoNotOptimize(explanation->combination);
+  }
+}
+
+void RegisterAll() {
+  for (const std::string& dataset :
+       {std::string("census"), std::string("diabetes"),
+        std::string("stackoverflow")}) {
+    for (const std::string& method : {std::string("k-means"),
+                                     std::string("gmm")}) {
+      auto* bench = benchmark::RegisterBenchmark(
+          ("fig9b/" + dataset + "/" + method).c_str(),
+          [dataset, method](benchmark::State& state) {
+            BM_ExplainByCandidates(state, dataset, method);
+          });
+      for (const int k : {1, 2, 3, 4, 5}) bench->Arg(k);
+      bench->Unit(benchmark::kMillisecond)->Iterations(2);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

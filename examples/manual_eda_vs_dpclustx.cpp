@@ -1,0 +1,132 @@
+// The paper's motivating comparison (§1): "Instead of exhausting the
+// privacy budget through a manual EDA session, the analyst employs
+// DPClustX."
+//
+// This example runs both workflows against the same budget:
+//   A. Manual EDA: the analyst scans attributes one by one through an
+//      interactive DP session (noisy per-cluster histograms, parallel
+//      composition within a round), ranks them by apparent TVD, and stops
+//      when the budget runs dry.
+//   B. DPClustX: one ε = 0.3 call.
+// It then scores both selections with the exact Quality measure. The manual
+// session either burns far more budget to see every attribute, or — at the
+// same budget — sees only a fraction of the attributes at heavy noise.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "cluster/kmeans.h"
+#include "common/logging.h"
+#include "core/explainer.h"
+#include "data/synthetic.h"
+#include "dp/eda_session.h"
+#include "dp/privacy_budget.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace dpclustx;
+
+  const auto dataset = synth::Generate(synth::DiabetesLike(40000, 3));
+  DPX_CHECK_OK(dataset.status());
+  const size_t clusters = 5;
+  KMeansOptions kmeans;
+  kmeans.num_clusters = clusters;
+  kmeans.seed = 2;
+  const auto clustering = FitKMeans(*dataset, kmeans);
+  DPX_CHECK_OK(clustering.status());
+  const std::vector<ClusterId> labels = (*clustering)->AssignAll(*dataset);
+  const auto stats = StatsCache::Build(*dataset, labels, clusters);
+  DPX_CHECK_OK(stats.status());
+
+  const double total_budget = 0.3;
+  const GlobalWeights lambda;
+
+  // --- Workflow A: manual EDA at the same total budget. -------------------
+  PrivacyBudget eda_budget(total_budget);
+  std::vector<uint32_t> raw_labels(labels.begin(), labels.end());
+  auto session =
+      EdaSession::Open(&*dataset, raw_labels, clusters, &eda_budget, 17);
+  DPX_CHECK_OK(session.status());
+
+  // The analyst scans attributes round by round; every round costs one
+  // parallel-composition charge. Budget per round is chosen so that *some*
+  // attributes can be seen; the rest never get examined.
+  const double eps_per_round = 0.02;
+  std::vector<double> apparent_tvd(dataset->num_attributes(), -1.0);
+  size_t attrs_examined = 0;
+  for (size_t a = 0; a < dataset->num_attributes(); ++a) {
+    const auto attr = static_cast<AttrIndex>(a);
+    const auto round = session->QueryAllClusterHistograms(attr,
+                                                          eps_per_round);
+    if (!round.ok()) break;  // budget exhausted mid-session
+    ++attrs_examined;
+    // Apparent interestingness from noisy data: max cluster-vs-rest TVD.
+    Histogram full(dataset->schema().attribute(attr).domain_size());
+    for (const Histogram& h : *round) full = full.Plus(h);
+    double best = 0.0;
+    for (const Histogram& h : *round) {
+      best = std::max(best, Histogram::Tvd(full, h));
+    }
+    apparent_tvd[a] = best;
+  }
+  // The analyst explains every cluster with the apparently-best attribute.
+  const auto best_attr = static_cast<AttrIndex>(
+      std::max_element(apparent_tvd.begin(), apparent_tvd.end()) -
+      apparent_tvd.begin());
+  const AttributeCombination eda_choice(clusters, best_attr);
+  const double eda_quality =
+      eval::SensitiveQuality(*stats, eda_choice, lambda);
+
+  // --- Workflow B: DPClustX at the same total budget. ----------------------
+  PrivacyBudget dpx_budget(total_budget);
+  DpClustXOptions options;  // 0.1 + 0.1 + 0.1
+  options.seed = 23;
+  const auto explanation = ExplainDpClustXWithLabels(
+      *dataset, labels, clusters, options, &dpx_budget);
+  DPX_CHECK_OK(explanation.status());
+  const double dpx_quality =
+      eval::SensitiveQuality(*stats, explanation->combination, lambda);
+
+  // --- Reference: the non-private optimum. ---------------------------------
+  const auto tabee_stats = *stats;
+  AttributeCombination tabee(clusters, 0);
+  {
+    std::vector<double> true_tvd(dataset->num_attributes());
+    for (size_t c = 0; c < clusters; ++c) {
+      for (size_t a = 0; a < dataset->num_attributes(); ++a) {
+        true_tvd[a] = eval::TvdInterestingness(
+            *stats, static_cast<ClusterId>(c), static_cast<AttrIndex>(a));
+      }
+      tabee[c] = static_cast<AttrIndex>(
+          std::max_element(true_tvd.begin(), true_tvd.end()) -
+          true_tvd.begin());
+    }
+  }
+
+  std::printf("Budget available to each workflow: eps = %.2f\n\n",
+              total_budget);
+  std::printf(
+      "Manual EDA session:\n"
+      "  attributes examined before budget ran out: %zu of %zu\n"
+      "  queries issued: %zu\n"
+      "  selected attribute: `%s` for every cluster\n"
+      "  Quality of selection: %.4f\n\n",
+      attrs_examined, dataset->num_attributes(), session->queries_issued(),
+      dataset->schema().attribute(best_attr).name().c_str(), eda_quality);
+  std::printf(
+      "DPClustX (one call):\n"
+      "  Quality of selection: %.4f\n"
+      "  budget ledger:\n%s\n",
+      dpx_quality, dpx_budget.Report().c_str());
+  std::printf(
+      "Quality of the per-cluster TVD optimum (non-private): %.4f\n",
+      eval::SensitiveQuality(tabee_stats, tabee, lambda));
+  std::printf(
+      "\nDPClustX %s the manual session at the same budget (%.4f vs "
+      "%.4f),\nwhile also returning per-cluster attributes and release-ready "
+      "noisy histograms.\n",
+      dpx_quality >= eda_quality ? "beats" : "trails", dpx_quality,
+      eda_quality);
+  return 0;
+}

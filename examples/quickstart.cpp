@@ -1,0 +1,53 @@
+// Quickstart: the smallest end-to-end DPClustX pipeline.
+//
+//   1. Synthesize a categorical dataset with planted group structure.
+//   2. Cluster it privately with DP-k-means (ε_clust = 1).
+//   3. Explain the clusters with DPClustX (ε_exp = 0.3 total).
+//   4. Print the noisy histograms and textual summaries.
+//
+// The composed release is (ε_clust + ε_exp)-DP, tracked by one
+// PrivacyBudget accountant.
+
+#include <cstdio>
+#include <iostream>
+
+#include "cluster/dp_kmeans.h"
+#include "common/logging.h"
+#include "core/explainer.h"
+#include "core/explanation.h"
+#include "data/synthetic.h"
+#include "dp/privacy_budget.h"
+
+int main() {
+  using namespace dpclustx;
+
+  // 1. A Diabetes-like synthetic table: 47 attributes, ~20k rows.
+  const auto dataset = synth::Generate(synth::DiabetesLike(20000));
+  DPX_CHECK_OK(dataset.status());
+  std::printf("dataset: %zu rows x %zu attributes\n", dataset->num_rows(),
+              dataset->num_attributes());
+
+  // 2. DP-k-means with the paper's clustering budget ε = 1.
+  PrivacyBudget budget(1.3);
+  DpKMeansOptions clustering_options;
+  clustering_options.num_clusters = 5;
+  clustering_options.epsilon = 1.0;
+  clustering_options.seed = 42;
+  const auto clustering = FitDpKMeans(*dataset, clustering_options, &budget);
+  DPX_CHECK_OK(clustering.status());
+  std::printf("clustering: %s\n", (*clustering)->name().c_str());
+
+  // 3. DPClustX with the paper's default explanation budgets
+  //    (ε_CandSet = ε_TopComb = ε_Hist = 0.1, k = 3, equal λ weights).
+  DpClustXOptions options;
+  options.seed = 7;
+  const auto explanation =
+      ExplainDpClustX(*dataset, **clustering, options, &budget);
+  DPX_CHECK_OK(explanation.status());
+
+  // 4. Report.
+  std::cout << "\n"
+            << RenderGlobalExplanation(*explanation, dataset->schema());
+  std::cout << budget.Report();
+  return 0;
+}

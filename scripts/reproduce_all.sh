@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Reproduces the full evaluation: builds, runs the test suite, then every
+# bench binary, collecting outputs under results/.
+#
+# Environment knobs (forwarded to the benches):
+#   DPX_BENCH_RUNS   repetitions per configuration (default 5; paper: 10)
+#   DPX_BENCH_SCALE  dataset row-count multiplier (default 1.0)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p results
+ctest --test-dir build --output-on-failure 2>&1 | tee results/tests.txt
+
+for bench in build/bench/bench_*; do
+  name="$(basename "$bench")"
+  echo "=== ${name} ==="
+  "$bench" 2>&1 | tee "results/${name}.txt"
+done
+
+echo "done — outputs in results/"

@@ -1,0 +1,39 @@
+// DP-Naive — the naive "all histograms up front" baseline (paper §6.1).
+//
+// Given a total budget ε, releases a noisy full-dataset histogram for every
+// attribute at ε/(2|A|) each (sequential composition) and a noisy per-cluster
+// histogram for every attribute at ε/(2|A|) each (sequential over attributes,
+// parallel over disjoint clusters), then runs the TabEE search over the noisy
+// counts as pure post-processing. The whole procedure is ε-DP. Its weakness
+// is exactly what the paper exploits: the budget is diluted over |A|
+// attributes before the search begins, and independent per-bin noise
+// accumulates in the quality evaluation.
+
+#ifndef DPCLUSTX_BASELINES_DP_NAIVE_H_
+#define DPCLUSTX_BASELINES_DP_NAIVE_H_
+
+#include "common/status.h"
+#include "core/explanation.h"
+#include "core/stats_cache.h"
+#include "dp/dp_histogram.h"
+
+namespace dpclustx::baselines {
+
+struct DpNaiveOptions {
+  /// Total budget ε of the whole baseline.
+  double epsilon = 0.2;
+  size_t num_candidates = 3;
+  GlobalWeights lambda;
+  DpHistogramOptions histogram;
+  size_t max_combinations = 20000000;
+  uint64_t seed = 1;
+};
+
+/// Runs DP-Naive over precomputed (exact) statistics; the exact counts are
+/// used only to draw the noisy histograms. Satisfies ε-DP.
+StatusOr<GlobalExplanation> ExplainDpNaive(const StatsCache& stats,
+                                           const DpNaiveOptions& options);
+
+}  // namespace dpclustx::baselines
+
+#endif  // DPCLUSTX_BASELINES_DP_NAIVE_H_

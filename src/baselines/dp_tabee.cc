@@ -1,0 +1,91 @@
+#include "baselines/dp_tabee.h"
+
+#include <set>
+
+#include "dp/dp_histogram.h"
+#include "dp/topk.h"
+#include "eval/metrics.h"
+
+namespace dpclustx::baselines {
+
+StatusOr<GlobalExplanation> ExplainDpTabee(const StatsCache& stats,
+                                           const DpTabeeOptions& options) {
+  DPX_RETURN_IF_ERROR(options.lambda.Validate());
+  if (options.epsilon_cand_set <= 0.0 || options.epsilon_top_comb <= 0.0) {
+    return Status::InvalidArgument("stage budgets must be positive");
+  }
+  if (options.num_candidates == 0 ||
+      options.num_candidates > stats.num_attributes()) {
+    return Status::InvalidArgument("invalid num_candidates");
+  }
+  Rng rng(options.seed);
+  const SingleClusterWeights gamma =
+      options.lambda.ConditionalSingleClusterWeights();
+
+  // Stage-1: one-shot top-k over the sensitive single-cluster scores, at
+  // ε_CandSet/|C| per cluster and Δ = 1.
+  const double eps_topk =
+      options.epsilon_cand_set / static_cast<double>(stats.num_clusters());
+  std::vector<std::vector<AttrIndex>> candidate_sets;
+  candidate_sets.reserve(stats.num_clusters());
+  for (size_t c = 0; c < stats.num_clusters(); ++c) {
+    std::vector<double> scores(stats.num_attributes());
+    for (size_t a = 0; a < scores.size(); ++a) {
+      scores[a] = eval::SensitiveSingleClusterScore(
+          stats, static_cast<ClusterId>(c), static_cast<AttrIndex>(a), gamma);
+    }
+    DPX_ASSIGN_OR_RETURN(
+        const std::vector<size_t> top,
+        OneShotTopK(scores, eval::kSensitiveScoreSensitivity, eps_topk,
+                    options.num_candidates, rng));
+    std::vector<AttrIndex> set;
+    set.reserve(top.size());
+    for (size_t index : top) set.push_back(static_cast<AttrIndex>(index));
+    candidate_sets.push_back(std::move(set));
+  }
+
+  // Stage-2: exponential mechanism over the sensitive global score, Δ = 1.
+  const core_internal::CombinationScoreTables tables =
+      eval::BuildSensitiveTables(stats, candidate_sets, options.lambda);
+  DPX_ASSIGN_OR_RETURN(
+      AttributeCombination combination,
+      core_internal::SearchCombination(
+          candidate_sets, tables, options.epsilon_top_comb,
+          eval::kSensitiveScoreSensitivity, options.max_combinations, rng));
+
+  GlobalExplanation explanation;
+  explanation.combination = combination;
+  explanation.candidate_sets = std::move(candidate_sets);
+  if (!options.generate_histograms) return explanation;
+  if (options.epsilon_hist <= 0.0) {
+    return Status::InvalidArgument("epsilon_hist must be positive");
+  }
+
+  // Histogram release mirrors DPClustX's Stage-2 (Algorithm 2, lines 6–15).
+  std::set<AttrIndex> distinct(combination.begin(), combination.end());
+  const double eps_hist_all =
+      options.epsilon_hist / (2.0 * static_cast<double>(distinct.size()));
+  const double eps_hist_cluster = options.epsilon_hist / 2.0;
+  std::vector<Histogram> noisy_full(stats.num_attributes());
+  for (AttrIndex attr : distinct) {
+    DPX_ASSIGN_OR_RETURN(
+        noisy_full[attr],
+        ReleaseDpHistogram(stats.full_histogram(attr), eps_hist_all, rng,
+                           options.histogram));
+  }
+  explanation.per_cluster.resize(stats.num_clusters());
+  for (size_t c = 0; c < stats.num_clusters(); ++c) {
+    const auto cluster = static_cast<ClusterId>(c);
+    SingleClusterExplanation& e = explanation.per_cluster[c];
+    e.cluster = cluster;
+    e.attribute = combination[c];
+    DPX_ASSIGN_OR_RETURN(
+        e.inside,
+        ReleaseDpHistogram(stats.cluster_histogram(cluster, combination[c]),
+                           eps_hist_cluster, rng, options.histogram));
+    e.outside = noisy_full[combination[c]].SubtractClamped(e.inside);
+  }
+  return explanation;
+}
+
+}  // namespace dpclustx::baselines

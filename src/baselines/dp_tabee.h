@@ -1,0 +1,42 @@
+// DP-TabEE — the direct DP adaptation of TabEE (paper §6.1).
+//
+// Uses the *original, sensitive* quality functions but injects the noise
+// their sensitivity requires: Stage-1 one-shot top-k and the Stage-2
+// exponential mechanism are both calibrated at Δ = 1, the conservative upper
+// bound for the [0,1]-ranged sensitive scores (the paper proves lower bounds
+// of ½, Props. 4.1/4.3). Because the signal range is also [0,1], the noise
+// dominates the scores — this baseline demonstrates *why* the
+// low-sensitivity variants are needed.
+
+#ifndef DPCLUSTX_BASELINES_DP_TABEE_H_
+#define DPCLUSTX_BASELINES_DP_TABEE_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/explainer.h"
+#include "core/explanation.h"
+#include "core/stats_cache.h"
+
+namespace dpclustx::baselines {
+
+struct DpTabeeOptions {
+  double epsilon_cand_set = 0.1;
+  double epsilon_top_comb = 0.1;
+  /// Budget for histogram release; only used when generate_histograms.
+  double epsilon_hist = 0.1;
+  size_t num_candidates = 3;
+  GlobalWeights lambda;
+  DpHistogramOptions histogram;
+  bool generate_histograms = false;
+  size_t max_combinations = 20000000;
+  uint64_t seed = 1;
+};
+
+/// Runs DP-TabEE over precomputed statistics. Satisfies
+/// (ε_CandSet + ε_TopComb [+ ε_Hist])-DP.
+StatusOr<GlobalExplanation> ExplainDpTabee(const StatsCache& stats,
+                                           const DpTabeeOptions& options);
+
+}  // namespace dpclustx::baselines
+
+#endif  // DPCLUSTX_BASELINES_DP_TABEE_H_

@@ -1,0 +1,78 @@
+#include "baselines/tabee.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/explainer.h"
+#include "eval/metrics.h"
+
+namespace dpclustx::baselines {
+
+namespace internal {
+
+StatusOr<std::vector<std::vector<AttrIndex>>> SensitiveCandidateSets(
+    const StatsCache& stats, size_t k, const SingleClusterWeights& gamma) {
+  if (k == 0 || k > stats.num_attributes()) {
+    return Status::InvalidArgument("k must lie in [1, num_attributes]");
+  }
+  std::vector<std::vector<AttrIndex>> sets;
+  sets.reserve(stats.num_clusters());
+  for (size_t c = 0; c < stats.num_clusters(); ++c) {
+    std::vector<double> scores(stats.num_attributes());
+    for (size_t a = 0; a < scores.size(); ++a) {
+      scores[a] = eval::SensitiveSingleClusterScore(
+          stats, static_cast<ClusterId>(c), static_cast<AttrIndex>(a), gamma);
+    }
+    std::vector<size_t> order(scores.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                      order.end(),
+                      [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+    std::vector<AttrIndex> set;
+    set.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      set.push_back(static_cast<AttrIndex>(order[i]));
+    }
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+}  // namespace internal
+
+StatusOr<GlobalExplanation> ExplainTabee(const StatsCache& stats,
+                                         const TabeeOptions& options) {
+  DPX_RETURN_IF_ERROR(options.lambda.Validate());
+  const SingleClusterWeights gamma =
+      options.lambda.ConditionalSingleClusterWeights();
+  DPX_ASSIGN_OR_RETURN(
+      auto candidate_sets,
+      internal::SensitiveCandidateSets(stats, options.num_candidates, gamma));
+
+  const core_internal::CombinationScoreTables tables =
+      eval::BuildSensitiveTables(stats, candidate_sets, options.lambda);
+  // epsilon <= 0: exact argmax (non-private). The rng is not drawn from.
+  Rng unused_rng(0);
+  DPX_ASSIGN_OR_RETURN(
+      AttributeCombination combination,
+      core_internal::SearchCombination(candidate_sets, tables,
+                                       /*epsilon=*/0.0, /*sensitivity=*/1.0,
+                                       options.max_combinations, unused_rng));
+
+  GlobalExplanation explanation;
+  explanation.combination = combination;
+  explanation.candidate_sets = std::move(candidate_sets);
+  explanation.per_cluster.resize(stats.num_clusters());
+  for (size_t c = 0; c < stats.num_clusters(); ++c) {
+    const auto cluster = static_cast<ClusterId>(c);
+    SingleClusterExplanation& e = explanation.per_cluster[c];
+    e.cluster = cluster;
+    e.attribute = combination[c];
+    e.inside = stats.cluster_histogram(cluster, combination[c]);
+    e.outside =
+        stats.full_histogram(combination[c]).SubtractClamped(e.inside);
+  }
+  return explanation;
+}
+
+}  // namespace dpclustx::baselines

@@ -1,0 +1,38 @@
+// TabEE — the non-private baseline (paper §6.1).
+//
+// The same two-stage search shape as DPClustX, but noise-free and driven by
+// the original sensitive quality functions: Stage-1 takes each cluster's
+// exact top-k attributes by the sensitive single-cluster score (TVD
+// interestingness + normalized sufficiency); Stage-2 picks the exact argmax
+// combination of the sensitive global score (with the pairwise diversity
+// surrogate; see eval/metrics.h). Histograms in the output are exact.
+
+#ifndef DPCLUSTX_BASELINES_TABEE_H_
+#define DPCLUSTX_BASELINES_TABEE_H_
+
+#include "common/status.h"
+#include "core/explanation.h"
+#include "core/stats_cache.h"
+
+namespace dpclustx::baselines {
+
+struct TabeeOptions {
+  size_t num_candidates = 3;
+  GlobalWeights lambda;
+  size_t max_combinations = 20000000;
+};
+
+/// Runs the non-private TabEE explainer over precomputed statistics.
+StatusOr<GlobalExplanation> ExplainTabee(const StatsCache& stats,
+                                         const TabeeOptions& options);
+
+namespace internal {
+/// Exact per-cluster top-k by the sensitive single-cluster score (shared
+/// with DP-TabEE, which noises the same scores).
+StatusOr<std::vector<std::vector<AttrIndex>>> SensitiveCandidateSets(
+    const StatsCache& stats, size_t k, const SingleClusterWeights& gamma);
+}  // namespace internal
+
+}  // namespace dpclustx::baselines
+
+#endif  // DPCLUSTX_BASELINES_TABEE_H_

@@ -1,0 +1,116 @@
+#include "cluster/agglomerative.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <string>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace dpclustx {
+
+StatusOr<std::unique_ptr<ClusteringFunction>> FitAgglomerative(
+    const Dataset& dataset, const AgglomerativeOptions& options) {
+  const size_t k = options.num_clusters;
+  if (k == 0) return Status::InvalidArgument("num_clusters must be >= 1");
+  if (dataset.num_rows() < k) {
+    return Status::InvalidArgument("dataset has fewer rows than clusters");
+  }
+  Rng rng(options.seed);
+
+  // Uniform sample without replacement (partial Fisher–Yates over indices).
+  const size_t sample_size =
+      std::max(k, std::min(options.max_sample, dataset.num_rows()));
+  std::vector<uint32_t> all_rows(dataset.num_rows());
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+  for (size_t i = 0; i < sample_size; ++i) {
+    const size_t j = i + rng.UniformInt(all_rows.size() - i);
+    std::swap(all_rows[i], all_rows[j]);
+  }
+  all_rows.resize(sample_size);
+  const Dataset sample = dataset.SelectRows(all_rows);
+
+  const size_t s = sample.num_rows();
+  const size_t dims = sample.num_attributes();
+  const std::vector<double> points = EmbedDataset(sample);
+
+  // Active cluster state: member counts and pairwise average-linkage
+  // distances, updated with the Lance–Williams recurrence.
+  std::vector<bool> active(s, true);
+  std::vector<double> weight(s, 1.0);
+  std::vector<std::vector<uint32_t>> members(s);
+  for (size_t i = 0; i < s; ++i) members[i] = {static_cast<uint32_t>(i)};
+
+  std::vector<double> dist(s * s, 0.0);
+  for (size_t i = 0; i < s; ++i) {
+    for (size_t j = i + 1; j < s; ++j) {
+      double d2 = 0.0;
+      for (size_t a = 0; a < dims; ++a) {
+        const double diff = points[i * dims + a] - points[j * dims + a];
+        d2 += diff * diff;
+      }
+      dist[i * s + j] = dist[j * s + i] = std::sqrt(d2);
+    }
+  }
+
+  // Greedy merging until k clusters remain.
+  size_t num_active = s;
+  while (num_active > k) {
+    // Find the closest active pair.
+    size_t best_i = 0, best_j = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < s; ++i) {
+      if (!active[i]) continue;
+      for (size_t j = i + 1; j < s; ++j) {
+        if (!active[j]) continue;
+        if (dist[i * s + j] < best) {
+          best = dist[i * s + j];
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    // Merge j into i; average linkage:
+    //   d(i∪j, l) = (w_i·d(i,l) + w_j·d(j,l)) / (w_i + w_j).
+    const double wi = weight[best_i], wj = weight[best_j];
+    for (size_t l = 0; l < s; ++l) {
+      if (!active[l] || l == best_i || l == best_j) continue;
+      const double merged =
+          (wi * dist[best_i * s + l] + wj * dist[best_j * s + l]) / (wi + wj);
+      dist[best_i * s + l] = dist[l * s + best_i] = merged;
+    }
+    weight[best_i] = wi + wj;
+    members[best_i].insert(members[best_i].end(), members[best_j].begin(),
+                           members[best_j].end());
+    members[best_j].clear();
+    active[best_j] = false;
+    --num_active;
+  }
+
+  // Centroids of the k remaining clusters (in the embedding), then extend to
+  // the full domain by nearest-centroid assignment.
+  std::vector<std::vector<double>> centers;
+  centers.reserve(k);
+  for (size_t i = 0; i < s; ++i) {
+    if (!active[i]) continue;
+    std::vector<double> center(dims, 0.0);
+    for (uint32_t member : members[i]) {
+      for (size_t a = 0; a < dims; ++a) {
+        center[a] += points[member * dims + a];
+      }
+    }
+    for (double& coord : center) {
+      coord /= static_cast<double>(members[i].size());
+    }
+    centers.push_back(std::move(center));
+  }
+  DPX_CHECK_EQ(centers.size(), k);
+
+  return std::unique_ptr<ClusteringFunction>(new CentroidClustering(
+      dataset.schema(), std::move(centers),
+      "agglomerative(k=" + std::to_string(k) + ")"));
+}
+
+}  // namespace dpclustx

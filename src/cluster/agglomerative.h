@@ -1,0 +1,34 @@
+// Agglomerative (hierarchical) clustering with average linkage.
+//
+// Evaluation method (iv) of the paper. Exact hierarchical clustering is
+// O(n²) in memory, which is why the paper excludes it from the Census runs;
+// we fit on a uniform row sample, cut the dendrogram at k clusters, and
+// extend to the full domain by nearest-centroid assignment in the [0,1]^d
+// embedding (which also makes the result a total clustering function, as
+// DPClustX requires).
+
+#ifndef DPCLUSTX_CLUSTER_AGGLOMERATIVE_H_
+#define DPCLUSTX_CLUSTER_AGGLOMERATIVE_H_
+
+#include <memory>
+
+#include "cluster/clustering.h"
+#include "common/status.h"
+
+namespace dpclustx {
+
+struct AgglomerativeOptions {
+  size_t num_clusters = 5;
+  /// Rows sampled for the O(s²) linkage computation.
+  size_t max_sample = 400;
+  uint64_t seed = 1;
+};
+
+/// Fits sampled average-linkage agglomerative clustering. Requires
+/// num_clusters >= 1 and at least num_clusters rows.
+StatusOr<std::unique_ptr<ClusteringFunction>> FitAgglomerative(
+    const Dataset& dataset, const AgglomerativeOptions& options);
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_CLUSTER_AGGLOMERATIVE_H_

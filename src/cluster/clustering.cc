@@ -1,0 +1,148 @@
+#include "cluster/clustering.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace dpclustx {
+
+std::vector<ClusterId> ClusteringFunction::AssignAll(
+    const Dataset& dataset) const {
+  std::vector<ClusterId> labels(dataset.num_rows());
+  for (size_t row = 0; row < dataset.num_rows(); ++row) {
+    labels[row] = Assign(dataset.Row(row));
+  }
+  return labels;
+}
+
+std::vector<double> EmbedTuple(const Schema& schema,
+                               const std::vector<ValueCode>& tuple) {
+  DPX_CHECK_EQ(tuple.size(), schema.num_attributes());
+  std::vector<double> point(tuple.size());
+  for (size_t a = 0; a < tuple.size(); ++a) {
+    const size_t domain = schema.attribute(static_cast<AttrIndex>(a))
+                              .domain_size();
+    point[a] = domain > 1 ? static_cast<double>(tuple[a]) /
+                                static_cast<double>(domain - 1)
+                          : 0.5;
+  }
+  return point;
+}
+
+std::vector<double> EmbedDataset(const Dataset& dataset) {
+  const size_t rows = dataset.num_rows();
+  const size_t dims = dataset.num_attributes();
+  std::vector<double> points(rows * dims);
+  for (size_t a = 0; a < dims; ++a) {
+    const auto attr = static_cast<AttrIndex>(a);
+    const size_t domain = dataset.schema().attribute(attr).domain_size();
+    const double scale =
+        domain > 1 ? 1.0 / static_cast<double>(domain - 1) : 0.0;
+    const double offset = domain > 1 ? 0.0 : 0.5;
+    const std::vector<ValueCode>& col = dataset.column(attr);
+    for (size_t row = 0; row < rows; ++row) {
+      points[row * dims + a] =
+          offset + scale * static_cast<double>(col[row]);
+    }
+  }
+  return points;
+}
+
+CentroidClustering::CentroidClustering(
+    Schema schema, std::vector<std::vector<double>> centers, std::string name)
+    : schema_(std::move(schema)),
+      centers_(std::move(centers)),
+      name_(std::move(name)) {
+  DPX_CHECK(!centers_.empty());
+  for (const auto& center : centers_) {
+    DPX_CHECK_EQ(center.size(), schema_.num_attributes());
+  }
+}
+
+ClusterId CentroidClustering::AssignEmbedded(const double* point) const {
+  const size_t dims = schema_.num_attributes();
+  ClusterId best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centers_.size(); ++c) {
+    double dist = 0.0;
+    const std::vector<double>& center = centers_[c];
+    for (size_t a = 0; a < dims; ++a) {
+      const double diff = point[a] - center[a];
+      dist += diff * diff;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = static_cast<ClusterId>(c);
+    }
+  }
+  return best;
+}
+
+ClusterId CentroidClustering::Assign(
+    const std::vector<ValueCode>& tuple) const {
+  const std::vector<double> point = EmbedTuple(schema_, tuple);
+  return AssignEmbedded(point.data());
+}
+
+std::vector<ClusterId> CentroidClustering::AssignAll(
+    const Dataset& dataset) const {
+  DPX_CHECK_EQ(dataset.num_attributes(), schema_.num_attributes());
+  const std::vector<double> points = EmbedDataset(dataset);
+  const size_t dims = schema_.num_attributes();
+  std::vector<ClusterId> labels(dataset.num_rows());
+  for (size_t row = 0; row < dataset.num_rows(); ++row) {
+    labels[row] = AssignEmbedded(&points[row * dims]);
+  }
+  return labels;
+}
+
+ModeClustering::ModeClustering(Schema schema,
+                               std::vector<std::vector<ValueCode>> modes,
+                               std::string name)
+    : schema_(std::move(schema)),
+      modes_(std::move(modes)),
+      name_(std::move(name)) {
+  DPX_CHECK(!modes_.empty());
+  for (const auto& mode : modes_) {
+    DPX_CHECK_EQ(mode.size(), schema_.num_attributes());
+  }
+}
+
+ClusterId ModeClustering::Assign(const std::vector<ValueCode>& tuple) const {
+  DPX_CHECK_EQ(tuple.size(), schema_.num_attributes());
+  ClusterId best = 0;
+  size_t best_dist = std::numeric_limits<size_t>::max();
+  for (size_t c = 0; c < modes_.size(); ++c) {
+    size_t dist = 0;
+    for (size_t a = 0; a < tuple.size(); ++a) {
+      dist += (tuple[a] != modes_[c][a]) ? 1 : 0;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = static_cast<ClusterId>(c);
+    }
+  }
+  return best;
+}
+
+std::vector<size_t> ClusterSizes(const std::vector<ClusterId>& labels,
+                                 size_t num_clusters) {
+  std::vector<size_t> sizes(num_clusters, 0);
+  for (ClusterId label : labels) {
+    DPX_CHECK_LT(label, num_clusters);
+    ++sizes[label];
+  }
+  return sizes;
+}
+
+std::vector<std::vector<uint32_t>> ClusterRowIndices(
+    const std::vector<ClusterId>& labels, size_t num_clusters) {
+  std::vector<std::vector<uint32_t>> indices(num_clusters);
+  for (size_t row = 0; row < labels.size(); ++row) {
+    DPX_CHECK_LT(labels[row], num_clusters);
+    indices[labels[row]].push_back(static_cast<uint32_t>(row));
+  }
+  return indices;
+}
+
+}  // namespace dpclustx

@@ -1,0 +1,114 @@
+// Clustering functions f : dom(R) → C.
+//
+// The paper (§2.2) models the output of a (possibly DP) clustering algorithm
+// as a *total* function on the tuple domain, not just on the observed
+// dataset: fixed centers (or any data-independent rule) define an assignment
+// for every possible tuple, which is what makes the sequential-composition
+// argument for "cluster privately, then explain privately" go through.
+// DPClustX only ever uses a clustering through this black-box interface.
+
+#ifndef DPCLUSTX_CLUSTER_CLUSTERING_H_
+#define DPCLUSTX_CLUSTER_CLUSTERING_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace dpclustx {
+
+/// Cluster label.
+using ClusterId = uint32_t;
+
+/// Abstract clustering function. Implementations must be deterministic given
+/// their internal state (all randomness happens at fitting time).
+class ClusteringFunction {
+ public:
+  virtual ~ClusteringFunction() = default;
+
+  /// Number of cluster labels |C|. Labels are 0 .. num_clusters()-1; a label
+  /// may be empty on a particular dataset.
+  virtual size_t num_clusters() const = 0;
+
+  /// Assigns a cluster label to an arbitrary tuple of the schema's domain.
+  virtual ClusterId Assign(const std::vector<ValueCode>& tuple) const = 0;
+
+  /// Short description for reports ("k-means(k=5)").
+  virtual std::string name() const = 0;
+
+  /// Labels every row of `dataset`. The default implementation loops over
+  /// Assign; subclasses may override with a columnar fast path.
+  virtual std::vector<ClusterId> AssignAll(const Dataset& dataset) const;
+};
+
+/// Maps codes to numeric coordinates in [0, 1] per attribute
+/// (code / (domain_size − 1), or 0.5 for single-value domains). This is the
+/// paper's "map each domain value to a unique integer" embedding, rescaled so
+/// DP sensitivity per coordinate is 1.
+std::vector<double> EmbedTuple(const Schema& schema,
+                               const std::vector<ValueCode>& tuple);
+
+/// Columnar embedding of a whole dataset; result is row-major
+/// [num_rows × num_attributes].
+std::vector<double> EmbedDataset(const Dataset& dataset);
+
+/// Clustering function defined by centroids in the [0,1]^d embedding; tuples
+/// go to the nearest centroid in squared Euclidean distance (ties to the
+/// lower label).
+class CentroidClustering final : public ClusteringFunction {
+ public:
+  /// `centers` is row-major [k × num_attributes], in embedded coordinates.
+  CentroidClustering(Schema schema, std::vector<std::vector<double>> centers,
+                     std::string name);
+
+  size_t num_clusters() const override { return centers_.size(); }
+  ClusterId Assign(const std::vector<ValueCode>& tuple) const override;
+  std::string name() const override { return name_; }
+  std::vector<ClusterId> AssignAll(const Dataset& dataset) const override;
+
+  const std::vector<std::vector<double>>& centers() const { return centers_; }
+
+  /// Nearest center to an already-embedded point.
+  ClusterId AssignEmbedded(const double* point) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<double>> centers_;
+  std::string name_;
+};
+
+/// Clustering function defined by categorical mode vectors; tuples go to the
+/// center with minimum Hamming distance (ties to the lower label).
+class ModeClustering final : public ClusteringFunction {
+ public:
+  /// `modes[c]` is a full tuple of codes.
+  ModeClustering(Schema schema, std::vector<std::vector<ValueCode>> modes,
+                 std::string name);
+
+  size_t num_clusters() const override { return modes_.size(); }
+  ClusterId Assign(const std::vector<ValueCode>& tuple) const override;
+  std::string name() const override { return name_; }
+
+  const std::vector<std::vector<ValueCode>>& modes() const { return modes_; }
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<ValueCode>> modes_;
+  std::string name_;
+};
+
+/// Per-cluster row counts for a label vector. Requires every label <
+/// num_clusters.
+std::vector<size_t> ClusterSizes(const std::vector<ClusterId>& labels,
+                                 size_t num_clusters);
+
+/// Row indices of each cluster.
+std::vector<std::vector<uint32_t>> ClusterRowIndices(
+    const std::vector<ClusterId>& labels, size_t num_clusters);
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_CLUSTER_CLUSTERING_H_

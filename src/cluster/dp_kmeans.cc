@@ -1,0 +1,95 @@
+#include "cluster/dp_kmeans.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "dp/mechanisms.h"
+
+namespace dpclustx {
+
+StatusOr<std::unique_ptr<ClusteringFunction>> FitDpKMeans(
+    const Dataset& dataset, const DpKMeansOptions& options,
+    PrivacyBudget* budget) {
+  const size_t k = options.num_clusters;
+  if (k == 0) return Status::InvalidArgument("num_clusters must be >= 1");
+  if (options.iterations == 0) {
+    return Status::InvalidArgument("iterations must be >= 1");
+  }
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (dataset.num_rows() == 0) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (budget != nullptr) {
+    DPX_RETURN_IF_ERROR(budget->Spend(options.epsilon, "dp-k-means"));
+  }
+
+  const size_t rows = dataset.num_rows();
+  const size_t dims = dataset.num_attributes();
+  const std::vector<double> points = EmbedDataset(dataset);
+  Rng rng(options.seed);
+
+  // Data-independent initialization: uniform centers in the embedding cube.
+  std::vector<std::vector<double>> centers(k, std::vector<double>(dims));
+  for (auto& center : centers) {
+    for (double& coord : center) coord = rng.UniformDouble();
+  }
+
+  const double eps_iter =
+      options.epsilon / static_cast<double>(options.iterations);
+  // Joint L1 sensitivity of (count, sum_1..sum_d) per iteration.
+  const double sensitivity = static_cast<double>(dims) + 1.0;
+
+  for (size_t iter = 0; iter < options.iterations; ++iter) {
+    // Assignment (against the current noisy centers).
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
+    std::vector<double> counts(k, 0.0);
+    for (size_t row = 0; row < rows; ++row) {
+      const double* point = &points[row * dims];
+      ClusterId best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k; ++c) {
+        double dist = 0.0;
+        for (size_t a = 0; a < dims; ++a) {
+          const double diff = point[a] - centers[c][a];
+          dist += diff * diff;
+        }
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = static_cast<ClusterId>(c);
+        }
+      }
+      counts[best] += 1.0;
+      for (size_t a = 0; a < dims; ++a) sums[best][a] += point[a];
+    }
+
+    // Noisy statistics release for this iteration.
+    for (size_t c = 0; c < k; ++c) {
+      counts[c] = LaplaceMechanism(counts[c], sensitivity, eps_iter, rng);
+      for (size_t a = 0; a < dims; ++a) {
+        sums[c][a] = LaplaceMechanism(sums[c][a], sensitivity, eps_iter, rng);
+      }
+    }
+
+    // Center update from noisy statistics (post-processing). A cluster whose
+    // noisy count is below 1 keeps its previous center.
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] < 1.0) continue;
+      for (size_t a = 0; a < dims; ++a) {
+        // Clamp into the embedding cube; noise can push coordinates outside.
+        centers[c][a] =
+            std::min(1.0, std::max(0.0, sums[c][a] / counts[c]));
+      }
+    }
+  }
+
+  return std::unique_ptr<ClusteringFunction>(new CentroidClustering(
+      dataset.schema(), std::move(centers),
+      "dp-k-means(k=" + std::to_string(k) + ")"));
+}
+
+}  // namespace dpclustx

@@ -1,0 +1,44 @@
+// Differentially private k-means (DPLloyd, Su et al. 2016).
+//
+// The paper clusters with DP-k-means at ε = 1 before explaining (§6.1). Each
+// of a fixed number of Lloyd iterations releases noisy cluster counts and
+// noisy per-dimension coordinate sums under the Laplace mechanism, then
+// recomputes centers from the noisy statistics. In the [0,1]^d embedding,
+// adding or removing one tuple changes one cluster's count by 1 and its sums
+// by at most 1 per dimension, so the L1 sensitivity of the per-iteration
+// release is d + 1; the per-iteration budget is ε / max_iterations.
+// Initialization draws centers uniformly from [0,1]^d (data-independent, so
+// it costs no budget).
+
+#ifndef DPCLUSTX_CLUSTER_DP_KMEANS_H_
+#define DPCLUSTX_CLUSTER_DP_KMEANS_H_
+
+#include <memory>
+
+#include "cluster/clustering.h"
+#include "common/status.h"
+#include "dp/privacy_budget.h"
+
+namespace dpclustx {
+
+struct DpKMeansOptions {
+  size_t num_clusters = 5;
+  /// DPLloyd runs a small fixed number of iterations; more iterations split
+  /// the budget thinner per iteration.
+  size_t iterations = 5;
+  /// Total privacy budget ε_clust of the clustering step.
+  double epsilon = 1.0;
+  uint64_t seed = 1;
+};
+
+/// Fits DP-k-means. The returned clustering function (its centers) is an
+/// ε-DP release; composing with a DPClustX explanation at ε_exp gives
+/// (ε + ε_exp)-DP overall (paper §3). If `budget` is non-null, ε is charged
+/// to it (and the fit fails with OutOfBudget if it does not fit).
+StatusOr<std::unique_ptr<ClusteringFunction>> FitDpKMeans(
+    const Dataset& dataset, const DpKMeansOptions& options,
+    PrivacyBudget* budget = nullptr);
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_CLUSTER_DP_KMEANS_H_

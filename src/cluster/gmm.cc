@@ -1,0 +1,193 @@
+#include "cluster/gmm.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace dpclustx {
+
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;  // log(2π)
+
+}  // namespace
+
+GmmClustering::GmmClustering(Schema schema, std::vector<double> log_weights,
+                             std::vector<std::vector<double>> means,
+                             std::vector<std::vector<double>> variances)
+    : schema_(std::move(schema)),
+      log_weights_(std::move(log_weights)),
+      means_(std::move(means)),
+      variances_(std::move(variances)) {
+  DPX_CHECK(!means_.empty());
+  DPX_CHECK_EQ(log_weights_.size(), means_.size());
+  DPX_CHECK_EQ(variances_.size(), means_.size());
+  log_norm_.resize(means_.size());
+  for (size_t c = 0; c < means_.size(); ++c) {
+    DPX_CHECK_EQ(means_[c].size(), schema_.num_attributes());
+    DPX_CHECK_EQ(variances_[c].size(), schema_.num_attributes());
+    double log_det = 0.0;
+    for (double var : variances_[c]) {
+      DPX_CHECK_GT(var, 0.0);
+      log_det += std::log(var) + kLog2Pi;
+    }
+    log_norm_[c] = -0.5 * log_det;
+  }
+}
+
+ClusterId GmmClustering::AssignEmbedded(const double* point) const {
+  const size_t dims = schema_.num_attributes();
+  ClusterId best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < means_.size(); ++c) {
+    double quad = 0.0;
+    for (size_t a = 0; a < dims; ++a) {
+      const double diff = point[a] - means_[c][a];
+      quad += diff * diff / variances_[c][a];
+    }
+    const double score = log_weights_[c] + log_norm_[c] - 0.5 * quad;
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<ClusterId>(c);
+    }
+  }
+  return best;
+}
+
+ClusterId GmmClustering::Assign(const std::vector<ValueCode>& tuple) const {
+  const std::vector<double> point = EmbedTuple(schema_, tuple);
+  return AssignEmbedded(point.data());
+}
+
+std::string GmmClustering::name() const {
+  return "gmm(k=" + std::to_string(means_.size()) + ")";
+}
+
+std::vector<ClusterId> GmmClustering::AssignAll(
+    const Dataset& dataset) const {
+  DPX_CHECK_EQ(dataset.num_attributes(), schema_.num_attributes());
+  const std::vector<double> points = EmbedDataset(dataset);
+  const size_t dims = schema_.num_attributes();
+  std::vector<ClusterId> labels(dataset.num_rows());
+  for (size_t row = 0; row < dataset.num_rows(); ++row) {
+    labels[row] = AssignEmbedded(&points[row * dims]);
+  }
+  return labels;
+}
+
+StatusOr<std::unique_ptr<ClusteringFunction>> FitGmm(
+    const Dataset& dataset, const GmmOptions& options) {
+  const size_t k = options.num_components;
+  if (k == 0) return Status::InvalidArgument("num_components must be >= 1");
+  if (dataset.num_rows() < k) {
+    return Status::InvalidArgument("dataset has fewer rows than components");
+  }
+  const size_t rows = dataset.num_rows();
+  const size_t dims = dataset.num_attributes();
+  const std::vector<double> points = EmbedDataset(dataset);
+  Rng rng(options.seed);
+
+  // Initialization: means at random distinct-ish rows, shared global
+  // variance, uniform weights.
+  std::vector<std::vector<double>> means(k, std::vector<double>(dims));
+  for (size_t c = 0; c < k; ++c) {
+    const size_t row = rng.UniformInt(rows);
+    for (size_t a = 0; a < dims; ++a) means[c][a] = points[row * dims + a];
+  }
+  std::vector<double> global_mean(dims, 0.0);
+  for (size_t row = 0; row < rows; ++row) {
+    for (size_t a = 0; a < dims; ++a) global_mean[a] += points[row * dims + a];
+  }
+  for (double& m : global_mean) m /= static_cast<double>(rows);
+  std::vector<double> global_var(dims, 0.0);
+  for (size_t row = 0; row < rows; ++row) {
+    for (size_t a = 0; a < dims; ++a) {
+      const double diff = points[row * dims + a] - global_mean[a];
+      global_var[a] += diff * diff;
+    }
+  }
+  for (double& v : global_var) {
+    v = std::max(options.variance_floor, v / static_cast<double>(rows));
+  }
+  std::vector<std::vector<double>> vars(k, global_var);
+  std::vector<double> log_weights(k, -std::log(static_cast<double>(k)));
+
+  std::vector<double> resp(rows * k);
+  double prev_ll = -std::numeric_limits<double>::infinity();
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Cached normalization constants.
+    std::vector<double> log_norm(k, 0.0);
+    for (size_t c = 0; c < k; ++c) {
+      for (size_t a = 0; a < dims; ++a) {
+        log_norm[c] -= 0.5 * (std::log(vars[c][a]) + kLog2Pi);
+      }
+    }
+
+    // E-step.
+    double total_ll = 0.0;
+    std::vector<double> log_probs(k);
+    for (size_t row = 0; row < rows; ++row) {
+      const double* point = &points[row * dims];
+      for (size_t c = 0; c < k; ++c) {
+        double quad = 0.0;
+        for (size_t a = 0; a < dims; ++a) {
+          const double diff = point[a] - means[c][a];
+          quad += diff * diff / vars[c][a];
+        }
+        log_probs[c] = log_weights[c] + log_norm[c] - 0.5 * quad;
+      }
+      const double lse = LogSumExp(log_probs);
+      total_ll += lse;
+      for (size_t c = 0; c < k; ++c) {
+        resp[row * k + c] = std::exp(log_probs[c] - lse);
+      }
+    }
+
+    // M-step.
+    for (size_t c = 0; c < k; ++c) {
+      double nk = 0.0;
+      for (size_t row = 0; row < rows; ++row) nk += resp[row * k + c];
+      if (nk < 1e-9) {
+        // Dead component: reseed at a random point with the global variance.
+        const size_t row = rng.UniformInt(rows);
+        for (size_t a = 0; a < dims; ++a) {
+          means[c][a] = points[row * dims + a];
+        }
+        vars[c] = global_var;
+        log_weights[c] = std::log(1.0 / static_cast<double>(rows));
+        continue;
+      }
+      for (size_t a = 0; a < dims; ++a) {
+        double sum = 0.0;
+        for (size_t row = 0; row < rows; ++row) {
+          sum += resp[row * k + c] * points[row * dims + a];
+        }
+        means[c][a] = sum / nk;
+      }
+      for (size_t a = 0; a < dims; ++a) {
+        double sq = 0.0;
+        for (size_t row = 0; row < rows; ++row) {
+          const double diff = points[row * dims + a] - means[c][a];
+          sq += resp[row * k + c] * diff * diff;
+        }
+        vars[c][a] = std::max(options.variance_floor, sq / nk);
+      }
+      log_weights[c] = std::log(nk / static_cast<double>(rows));
+    }
+
+    const double mean_ll = total_ll / static_cast<double>(rows);
+    if (iter > 0 && mean_ll - prev_ll < options.tolerance) break;
+    prev_ll = mean_ll;
+  }
+
+  return std::unique_ptr<ClusteringFunction>(new GmmClustering(
+      dataset.schema(), std::move(log_weights), std::move(means),
+      std::move(vars)));
+}
+
+}  // namespace dpclustx

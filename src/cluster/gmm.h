@@ -1,0 +1,58 @@
+// Gaussian mixture model clustering (EM, diagonal covariances) in the
+// [0,1]^d categorical embedding. Evaluation method (v) of the paper. The
+// fitted model is a total clustering function: a tuple is assigned to the
+// component with the highest posterior responsibility.
+
+#ifndef DPCLUSTX_CLUSTER_GMM_H_
+#define DPCLUSTX_CLUSTER_GMM_H_
+
+#include <memory>
+
+#include "cluster/clustering.h"
+#include "common/status.h"
+
+namespace dpclustx {
+
+struct GmmOptions {
+  size_t num_components = 5;
+  size_t max_iterations = 40;
+  /// EM stops early when the mean log-likelihood improves by less than this.
+  double tolerance = 1e-5;
+  /// Lower bound on per-dimension variances, for numerical stability.
+  double variance_floor = 1e-4;
+  uint64_t seed = 1;
+};
+
+/// Clustering function backed by a fitted diagonal-covariance GMM.
+class GmmClustering final : public ClusteringFunction {
+ public:
+  GmmClustering(Schema schema, std::vector<double> log_weights,
+                std::vector<std::vector<double>> means,
+                std::vector<std::vector<double>> variances);
+
+  size_t num_clusters() const override { return means_.size(); }
+  ClusterId Assign(const std::vector<ValueCode>& tuple) const override;
+  std::string name() const override;
+  std::vector<ClusterId> AssignAll(const Dataset& dataset) const override;
+
+  const std::vector<std::vector<double>>& means() const { return means_; }
+
+  /// Max-posterior component for an already-embedded point.
+  ClusterId AssignEmbedded(const double* point) const;
+
+ private:
+  Schema schema_;
+  std::vector<double> log_weights_;
+  std::vector<std::vector<double>> means_;
+  std::vector<std::vector<double>> variances_;
+  std::vector<double> log_norm_;  // cached −½·Σ log(2π·var) per component
+};
+
+/// Fits a GMM by EM. Requires num_components >= 1 and at least
+/// num_components rows.
+StatusOr<std::unique_ptr<ClusteringFunction>> FitGmm(
+    const Dataset& dataset, const GmmOptions& options);
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_CLUSTER_GMM_H_

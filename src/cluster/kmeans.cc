@@ -1,0 +1,124 @@
+#include "cluster/kmeans.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace dpclustx {
+
+namespace {
+
+double SquaredDistance(const double* a, const double* b, size_t dims) {
+  double dist = 0.0;
+  for (size_t i = 0; i < dims; ++i) {
+    const double diff = a[i] - b[i];
+    dist += diff * diff;
+  }
+  return dist;
+}
+
+// k-means++ seeding: first center uniform, subsequent centers proportional
+// to squared distance from the nearest chosen center.
+std::vector<std::vector<double>> KMeansPlusPlusInit(
+    const std::vector<double>& points, size_t rows, size_t dims, size_t k,
+    Rng& rng) {
+  std::vector<std::vector<double>> centers;
+  centers.reserve(k);
+  const size_t first = rng.UniformInt(rows);
+  centers.emplace_back(points.begin() + static_cast<long>(first * dims),
+                       points.begin() + static_cast<long>((first + 1) * dims));
+  std::vector<double> nearest_sq(rows, std::numeric_limits<double>::infinity());
+  while (centers.size() < k) {
+    const std::vector<double>& latest = centers.back();
+    for (size_t row = 0; row < rows; ++row) {
+      nearest_sq[row] = std::min(
+          nearest_sq[row],
+          SquaredDistance(&points[row * dims], latest.data(), dims));
+    }
+    double total = 0.0;
+    for (double d : nearest_sq) total += d;
+    size_t chosen;
+    if (total <= 0.0) {
+      chosen = rng.UniformInt(rows);  // all points coincide with centers
+    } else {
+      chosen = rng.Categorical(nearest_sq.data(), rows);
+    }
+    centers.emplace_back(
+        points.begin() + static_cast<long>(chosen * dims),
+        points.begin() + static_cast<long>((chosen + 1) * dims));
+  }
+  return centers;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ClusteringFunction>> FitKMeans(
+    const Dataset& dataset, const KMeansOptions& options) {
+  const size_t k = options.num_clusters;
+  if (k == 0) return Status::InvalidArgument("num_clusters must be >= 1");
+  if (dataset.num_rows() < k) {
+    return Status::InvalidArgument("dataset has fewer rows than clusters");
+  }
+  const size_t rows = dataset.num_rows();
+  const size_t dims = dataset.num_attributes();
+  const std::vector<double> points = EmbedDataset(dataset);
+  Rng rng(options.seed);
+
+  std::vector<std::vector<double>> centers =
+      KMeansPlusPlusInit(points, rows, dims, k, rng);
+  std::vector<ClusterId> labels(rows, 0);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Assignment step.
+    bool changed = false;
+    for (size_t row = 0; row < rows; ++row) {
+      ClusterId best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k; ++c) {
+        const double dist =
+            SquaredDistance(&points[row * dims], centers[c].data(), dims);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = static_cast<ClusterId>(c);
+        }
+      }
+      if (labels[row] != best) {
+        labels[row] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Update step.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t row = 0; row < rows; ++row) {
+      const ClusterId c = labels[row];
+      ++counts[c];
+      for (size_t a = 0; a < dims; ++a) {
+        sums[c][a] += points[row * dims + a];
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Reseed an empty cluster at a random point.
+        const size_t row = rng.UniformInt(rows);
+        centers[c].assign(points.begin() + static_cast<long>(row * dims),
+                          points.begin() + static_cast<long>((row + 1) * dims));
+        continue;
+      }
+      for (size_t a = 0; a < dims; ++a) {
+        centers[c][a] = sums[c][a] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  return std::unique_ptr<ClusteringFunction>(
+      new CentroidClustering(dataset.schema(), std::move(centers),
+                             "k-means(k=" + std::to_string(k) + ")"));
+}
+
+}  // namespace dpclustx

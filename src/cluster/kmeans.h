@@ -1,0 +1,30 @@
+// Lloyd's k-means in the [0,1]^d categorical embedding, with k-means++
+// initialization. The non-private clustering baseline of the paper's
+// evaluation (§6.1, method (i)).
+
+#ifndef DPCLUSTX_CLUSTER_KMEANS_H_
+#define DPCLUSTX_CLUSTER_KMEANS_H_
+
+#include <memory>
+
+#include "cluster/clustering.h"
+#include "common/status.h"
+
+namespace dpclustx {
+
+struct KMeansOptions {
+  size_t num_clusters = 5;
+  size_t max_iterations = 50;
+  /// Stop when no assignment changes (always also bounded by
+  /// max_iterations).
+  uint64_t seed = 1;
+};
+
+/// Fits k-means on `dataset`. Requires num_clusters >= 1 and a non-empty
+/// dataset with at least num_clusters rows.
+StatusOr<std::unique_ptr<ClusteringFunction>> FitKMeans(
+    const Dataset& dataset, const KMeansOptions& options);
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_CLUSTER_KMEANS_H_

@@ -1,0 +1,76 @@
+#include "cluster/kmodes.h"
+
+#include <limits>
+#include <string>
+
+#include "common/rng.h"
+
+namespace dpclustx {
+
+StatusOr<std::unique_ptr<ClusteringFunction>> FitKModes(
+    const Dataset& dataset, const KModesOptions& options) {
+  const size_t k = options.num_clusters;
+  if (k == 0) return Status::InvalidArgument("num_clusters must be >= 1");
+  if (dataset.num_rows() < k) {
+    return Status::InvalidArgument("dataset has fewer rows than clusters");
+  }
+  const size_t rows = dataset.num_rows();
+  const size_t dims = dataset.num_attributes();
+  Rng rng(options.seed);
+
+  // Initialize modes with k distinct random rows.
+  std::vector<std::vector<ValueCode>> modes;
+  modes.reserve(k);
+  for (size_t c = 0; c < k; ++c) {
+    modes.push_back(dataset.Row(rng.UniformInt(rows)));
+  }
+
+  std::vector<ClusterId> labels(rows, 0);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Assignment by Hamming distance.
+    bool changed = false;
+    for (size_t row = 0; row < rows; ++row) {
+      ClusterId best = 0;
+      size_t best_dist = std::numeric_limits<size_t>::max();
+      for (size_t c = 0; c < k; ++c) {
+        size_t dist = 0;
+        for (size_t a = 0; a < dims; ++a) {
+          dist += (dataset.at(row, static_cast<AttrIndex>(a)) !=
+                   modes[c][a])
+                      ? 1
+                      : 0;
+        }
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = static_cast<ClusterId>(c);
+        }
+      }
+      if (labels[row] != best) {
+        labels[row] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Update: per-cluster per-attribute value counts, mode update.
+    for (size_t a = 0; a < dims; ++a) {
+      const auto attr = static_cast<AttrIndex>(a);
+      const std::vector<Histogram> hists =
+          dataset.ComputeGroupHistograms(attr, labels, k);
+      for (size_t c = 0; c < k; ++c) {
+        if (hists[c].Total() > 0.0) modes[c][a] = hists[c].ArgMax();
+      }
+    }
+    // Reseed empty clusters.
+    std::vector<size_t> sizes = ClusterSizes(labels, k);
+    for (size_t c = 0; c < k; ++c) {
+      if (sizes[c] == 0) modes[c] = dataset.Row(rng.UniformInt(rows));
+    }
+  }
+
+  return std::unique_ptr<ClusteringFunction>(
+      new ModeClustering(dataset.schema(), std::move(modes),
+                         "k-modes(k=" + std::to_string(k) + ")"));
+}
+
+}  // namespace dpclustx

@@ -1,0 +1,29 @@
+// k-modes clustering (Huang 1998): the categorical analogue of k-means.
+// Centers are mode vectors; distance is Hamming distance; the update step
+// sets each center coordinate to the in-cluster mode. Evaluation method
+// (iii) of the paper.
+
+#ifndef DPCLUSTX_CLUSTER_KMODES_H_
+#define DPCLUSTX_CLUSTER_KMODES_H_
+
+#include <memory>
+
+#include "cluster/clustering.h"
+#include "common/status.h"
+
+namespace dpclustx {
+
+struct KModesOptions {
+  size_t num_clusters = 5;
+  size_t max_iterations = 30;
+  uint64_t seed = 1;
+};
+
+/// Fits k-modes on `dataset`. Requires num_clusters >= 1 and at least
+/// num_clusters rows.
+StatusOr<std::unique_ptr<ClusteringFunction>> FitKModes(
+    const Dataset& dataset, const KModesOptions& options);
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_CLUSTER_KMODES_H_

@@ -1,0 +1,377 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace dpclustx {
+
+JsonValue JsonValue::Bool(bool value) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Number(double value) {
+  DPX_CHECK(std::isfinite(value)) << "JSON numbers must be finite";
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string value) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+bool JsonValue::AsBool() const {
+  DPX_CHECK(type_ == Type::kBool);
+  return bool_;
+}
+
+double JsonValue::AsNumber() const {
+  DPX_CHECK(type_ == Type::kNumber);
+  return number_;
+}
+
+const std::string& JsonValue::AsString() const {
+  DPX_CHECK(type_ == Type::kString);
+  return string_;
+}
+
+size_t JsonValue::size() const {
+  DPX_CHECK(type_ == Type::kArray);
+  return array_.size();
+}
+
+const JsonValue& JsonValue::at(size_t index) const {
+  DPX_CHECK(type_ == Type::kArray);
+  DPX_CHECK_LT(index, array_.size());
+  return array_[index];
+}
+
+void JsonValue::Append(JsonValue value) {
+  DPX_CHECK(type_ == Type::kArray);
+  array_.push_back(std::move(value));
+}
+
+bool JsonValue::Has(const std::string& key) const {
+  DPX_CHECK(type_ == Type::kObject);
+  return object_.count(key) > 0;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  DPX_CHECK(type_ == Type::kObject);
+  const auto it = object_.find(key);
+  DPX_CHECK(it != object_.end()) << "missing key '" << key << "'";
+  return it->second;
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  DPX_CHECK(type_ == Type::kObject);
+  object_[key] = std::move(value);
+}
+
+StatusOr<double> JsonValue::GetNumber(const std::string& key) const {
+  if (type_ != Type::kObject) {
+    return Status::InvalidArgument("not an object");
+  }
+  const auto it = object_.find(key);
+  if (it == object_.end() || it->second.type_ != Type::kNumber) {
+    return Status::InvalidArgument("missing numeric field '" + key + "'");
+  }
+  return it->second.number_;
+}
+
+StatusOr<std::string> JsonValue::GetString(const std::string& key) const {
+  if (type_ != Type::kObject) {
+    return Status::InvalidArgument("not an object");
+  }
+  const auto it = object_.find(key);
+  if (it == object_.end() || it->second.type_ != Type::kString) {
+    return Status::InvalidArgument("missing string field '" + key + "'");
+  }
+  return it->second.string_;
+}
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void NumberInto(double x, std::string& out) {
+  // Integers print without exponent/decimals; others with enough digits to
+  // round-trip.
+  if (x == std::floor(x) && std::fabs(x) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(x));
+    out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", x);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  switch (type_) {
+    case Type::kNull:
+      out = "null";
+      break;
+    case Type::kBool:
+      out = bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      NumberInto(number_, out);
+      break;
+    case Type::kString:
+      EscapeInto(string_, out);
+      break;
+    case Type::kArray: {
+      out = "[";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += array_[i].Dump();
+      }
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out = "{";
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out += ',';
+        first = false;
+        EscapeInto(key, out);
+        out += ':';
+        out += value.Dump();
+      }
+      out += '}';
+      break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Recursive-descent parser over a string view with position tracking.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<JsonValue> ParseDocument() {
+    DPX_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const size_t len = std::string(literal).size();
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      DPX_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue::String(std::move(s));
+    }
+    if (ConsumeLiteral("true")) return JsonValue::Bool(true);
+    if (ConsumeLiteral("false")) return JsonValue::Bool(false);
+    if (ConsumeLiteral("null")) return JsonValue::Null();
+    return ParseNumber();
+  }
+
+  StatusOr<JsonValue> ParseObject() {
+    Consume('{');
+    JsonValue object = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return object;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      DPX_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      DPX_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      object.Set(key, std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return object;
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray() {
+    Consume('[');
+    JsonValue array = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return array;
+    while (true) {
+      DPX_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      array.Append(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return array;
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    Consume('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Error("dangling escape");
+        const char escape = text_[pos_++];
+        switch (escape) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+            unsigned int code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else return Error("bad \\u escape digit");
+            }
+            // BMP code points only; encode as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Error("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("malformed number");
+    if (!std::isfinite(value)) return Error("non-finite number");
+    return JsonValue::Number(value);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> JsonValue::Parse(const std::string& text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace dpclustx

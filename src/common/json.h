@@ -1,0 +1,76 @@
+// Minimal JSON document model, writer, and parser.
+//
+// Supports the JSON subset the library emits (objects, arrays, strings with
+// escapes, finite doubles, booleans, null). Used to serialize explanations
+// and schemas for downstream consumers (the DPClustX demo UI renders
+// exactly this kind of payload); kept dependency-free on purpose.
+
+#ifndef DPCLUSTX_COMMON_JSON_H_
+#define DPCLUSTX_COMMON_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpclustx {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Constructs null.
+  JsonValue() : type_(Type::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool value);
+  static JsonValue Number(double value);
+  static JsonValue String(std::string value);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  /// Typed accessors; DPX_CHECK on type mismatch (programming error — use
+  /// the Typed* lookups below for data-dependent access).
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+
+  /// Array operations.
+  size_t size() const;
+  const JsonValue& at(size_t index) const;
+  void Append(JsonValue value);
+
+  /// Object operations. Keys are ordered lexicographically on output.
+  bool Has(const std::string& key) const;
+  const JsonValue& at(const std::string& key) const;
+  void Set(const std::string& key, JsonValue value);
+
+  /// Checked lookups returning Status on shape mismatches; for parsing
+  /// untrusted documents.
+  StatusOr<double> GetNumber(const std::string& key) const;
+  StatusOr<std::string> GetString(const std::string& key) const;
+
+  /// Serializes to compact JSON text.
+  std::string Dump() const;
+
+  /// Parses a JSON document. Returns InvalidArgument with a position on
+  /// malformed input. Rejects trailing garbage.
+  static StatusOr<JsonValue> Parse(const std::string& text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_COMMON_JSON_H_

@@ -1,0 +1,59 @@
+// Minimal logging and assertion macros. DPX_CHECK* document and enforce
+// internal invariants; they are active in all build types because the cost is
+// negligible relative to the statistical work this library does.
+
+#ifndef DPCLUSTX_COMMON_LOGGING_H_
+#define DPCLUSTX_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace dpclustx::internal_logging {
+
+// Accumulates a message and aborts on destruction. Used only by the CHECK
+// macros below; never instantiate directly.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "[DPX FATAL] " << file << ":" << line << " Check failed: "
+            << condition << " ";
+  }
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace dpclustx::internal_logging
+
+/// Aborts with a diagnostic if `condition` is false. Extra context can be
+/// streamed: DPX_CHECK(x > 0) << "x=" << x;
+#define DPX_CHECK(condition)                                               \
+  if (!(condition))                                                        \
+  ::dpclustx::internal_logging::FatalMessage(__FILE__, __LINE__,           \
+                                             #condition)                   \
+      .stream()
+
+#define DPX_CHECK_EQ(a, b) DPX_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DPX_CHECK_NE(a, b) DPX_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DPX_CHECK_LT(a, b) DPX_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DPX_CHECK_LE(a, b) DPX_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DPX_CHECK_GT(a, b) DPX_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DPX_CHECK_GE(a, b) DPX_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+/// Aborts if a Status-returning expression fails. For use in tests, examples,
+/// and benches where errors are programming mistakes rather than user input.
+#define DPX_CHECK_OK(expr)                                                 \
+  do {                                                                     \
+    const ::dpclustx::Status _dpx_st = (expr);                             \
+    DPX_CHECK(_dpx_st.ok()) << _dpx_st.ToString();                         \
+  } while (false)
+
+#endif  // DPCLUSTX_COMMON_LOGGING_H_

@@ -1,0 +1,46 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dpclustx {
+
+double LogSumExp(const std::vector<double>& xs) {
+  DPX_CHECK(!xs.empty());
+  const double max = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(max)) return max;  // all -inf (or an inf dominates)
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - max);
+  return max + std::log(sum);
+}
+
+double SafeDivide(double a, double b, double fallback) {
+  return b == 0.0 ? fallback : a / b;
+}
+
+double Mean(const std::vector<double>& xs) {
+  DPX_CHECK(!xs.empty());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mean = Mean(xs);
+  double sq = 0.0;
+  for (double x : xs) sq += (x - mean) * (x - mean);
+  return std::sqrt(sq / static_cast<double>(xs.size() - 1));
+}
+
+double PairCount(size_t n) {
+  return 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+}
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+}  // namespace dpclustx

@@ -1,0 +1,31 @@
+// Small numeric helpers shared across modules.
+
+#ifndef DPCLUSTX_COMMON_MATH_UTIL_H_
+#define DPCLUSTX_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dpclustx {
+
+/// log(sum_i exp(x_i)) computed without overflow. Requires non-empty input.
+double LogSumExp(const std::vector<double>& xs);
+
+/// a / b, or `fallback` when b == 0.
+double SafeDivide(double a, double b, double fallback = 0.0);
+
+/// Arithmetic mean. Requires non-empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+double StdDev(const std::vector<double>& xs);
+
+/// n choose 2 as a double (convenient for averaging over pairs).
+double PairCount(size_t n);
+
+/// Clamps x into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_COMMON_MATH_UTIL_H_

@@ -1,0 +1,154 @@
+// Status and StatusOr: exception-free error handling for the DPClustX
+// library, following the RocksDB/Arrow idiom. Library entry points that can
+// fail return Status (or StatusOr<T> when they produce a value); internal
+// invariant violations use DPX_CHECK (logging.h) and abort.
+
+#ifndef DPCLUSTX_COMMON_STATUS_H_
+#define DPCLUSTX_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dpclustx {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed a malformed or out-of-range argument
+  kOutOfBudget,       // a privacy-budget request exceeds the remaining budget
+  kNotFound,          // a named entity (attribute, file, ...) does not exist
+  kFailedPrecondition,  // object not in the required state for the call
+  kIoError,           // filesystem / parsing failure
+  kInternal,          // invariant violation that was recoverable
+};
+
+/// Returns a stable human-readable name for a StatusCode ("InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// The result of an operation that can fail. Cheap to copy when OK (no
+/// allocation); carries a code and message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfBudget(std::string msg) {
+    return Status(StatusCode::kOutOfBudget, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or a non-OK Status. Accessing the value of a
+/// failed StatusOr aborts the process (programming error).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or from a non-OK Status keeps call
+  /// sites readable: `return value;` / `return Status::InvalidArgument(...)`.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(rep_).ok()) {
+      // A StatusOr must be either a value or an error, never "OK, no value".
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// Returns OK when a value is held, otherwise the held error.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    if (!ok()) std::abort();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    if (!ok()) std::abort();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    if (!ok()) std::abort();
+    return std::move(std::get<T>(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Propagates a non-OK Status to the caller. Usage:
+///   DPX_RETURN_IF_ERROR(DoThing());
+#define DPX_RETURN_IF_ERROR(expr)                          \
+  do {                                                     \
+    ::dpclustx::Status _dpx_status = (expr);               \
+    if (!_dpx_status.ok()) return _dpx_status;             \
+  } while (false)
+
+/// Unwraps a StatusOr into a new variable, propagating errors. Usage:
+///   DPX_ASSIGN_OR_RETURN(auto ds, LoadCsv(path));
+#define DPX_ASSIGN_OR_RETURN(lhs, expr)                    \
+  DPX_ASSIGN_OR_RETURN_IMPL_(                              \
+      DPX_STATUS_CONCAT_(_dpx_statusor_, __LINE__), lhs, expr)
+
+#define DPX_STATUS_CONCAT_INNER_(x, y) x##y
+#define DPX_STATUS_CONCAT_(x, y) DPX_STATUS_CONCAT_INNER_(x, y)
+#define DPX_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)         \
+  auto tmp = (expr);                                       \
+  if (!tmp.ok()) return tmp.status();                      \
+  lhs = std::move(tmp).value()
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_COMMON_STATUS_H_

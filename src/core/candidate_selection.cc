@@ -1,0 +1,147 @@
+#include "core/candidate_selection.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dp/mechanisms.h"
+#include "dp/sparse_vector.h"
+#include "dp/topk.h"
+
+namespace dpclustx {
+
+namespace {
+
+// Exact single-cluster scores of every attribute for cluster c.
+std::vector<double> ScoreAllAttributes(const StatsCache& stats, ClusterId c,
+                                       const SingleClusterWeights& gamma) {
+  std::vector<double> scores(stats.num_attributes());
+  for (size_t a = 0; a < scores.size(); ++a) {
+    scores[a] =
+        SingleClusterScore(stats, c, static_cast<AttrIndex>(a), gamma);
+  }
+  return scores;
+}
+
+Status ValidateK(const StatsCache& stats, size_t k) {
+  if (k == 0 || k > stats.num_attributes()) {
+    return Status::InvalidArgument(
+        "candidate-set size k=" + std::to_string(k) +
+        " must lie in [1, num_attributes=" +
+        std::to_string(stats.num_attributes()) + "]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::vector<std::vector<AttrIndex>>> SelectCandidates(
+    const StatsCache& stats, const CandidateSelectionOptions& options,
+    Rng& rng) {
+  DPX_RETURN_IF_ERROR(ValidateK(stats, options.k));
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon_cand_set must be positive");
+  }
+  // Algorithm 1, line 1: each cluster's top-k selection runs at
+  // ε_Topk = ε_CandSet / |C| (sequential composition across clusters).
+  const double eps_topk =
+      options.epsilon / static_cast<double>(stats.num_clusters());
+
+  std::vector<std::vector<AttrIndex>> candidate_sets;
+  candidate_sets.reserve(stats.num_clusters());
+  for (size_t c = 0; c < stats.num_clusters(); ++c) {
+    const std::vector<double> scores =
+        ScoreAllAttributes(stats, static_cast<ClusterId>(c), options.gamma);
+    // One-shot top-k with σ = 2·Δ·k/ε_Topk, Δ_SScore = 1 (Prop. 4.10).
+    DPX_ASSIGN_OR_RETURN(
+        const std::vector<size_t> top,
+        OneShotTopK(scores, kSScoreSensitivity, eps_topk, options.k, rng));
+    std::vector<AttrIndex> set;
+    set.reserve(top.size());
+    for (size_t index : top) set.push_back(static_cast<AttrIndex>(index));
+    candidate_sets.push_back(std::move(set));
+  }
+  return candidate_sets;
+}
+
+StatusOr<std::vector<std::vector<AttrIndex>>> SelectCandidatesExact(
+    const StatsCache& stats, size_t k, const SingleClusterWeights& gamma) {
+  DPX_RETURN_IF_ERROR(ValidateK(stats, k));
+  std::vector<std::vector<AttrIndex>> candidate_sets;
+  candidate_sets.reserve(stats.num_clusters());
+  for (size_t c = 0; c < stats.num_clusters(); ++c) {
+    const std::vector<double> scores =
+        ScoreAllAttributes(stats, static_cast<ClusterId>(c), gamma);
+    std::vector<size_t> order(scores.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                      order.end(), [&](size_t a, size_t b) {
+                        return scores[a] > scores[b];
+                      });
+    std::vector<AttrIndex> set;
+    set.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      set.push_back(static_cast<AttrIndex>(order[i]));
+    }
+    candidate_sets.push_back(std::move(set));
+  }
+  return candidate_sets;
+}
+
+StatusOr<std::vector<std::vector<AttrIndex>>> SvtSelectCandidates(
+    const StatsCache& stats, const SvtCandidateOptions& options, Rng& rng) {
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("SVT stage-1: epsilon must be positive");
+  }
+  if (options.max_candidates == 0 ||
+      options.max_candidates > stats.num_attributes()) {
+    return Status::InvalidArgument("SVT stage-1: bad max_candidates");
+  }
+  if (options.threshold_fraction <= 0.0 ||
+      options.threshold_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "SVT stage-1: threshold_fraction must lie in (0, 1)");
+  }
+  if (options.size_budget_share <= 0.0 ||
+      options.size_budget_share >= 1.0) {
+    return Status::InvalidArgument(
+        "SVT stage-1: size_budget_share must lie in (0, 1)");
+  }
+
+  const double eps_cluster =
+      options.epsilon / static_cast<double>(stats.num_clusters());
+  const double eps_size = options.size_budget_share * eps_cluster;
+  const double eps_svt = eps_cluster - eps_size;
+
+  std::vector<std::vector<AttrIndex>> candidate_sets;
+  candidate_sets.reserve(stats.num_clusters());
+  for (size_t c = 0; c < stats.num_clusters(); ++c) {
+    const auto cluster = static_cast<ClusterId>(c);
+    // Noisy cluster size (sensitivity-1 count) sets a data-calibrated bar.
+    const double noisy_size = std::max(
+        0.0, static_cast<double>(GeometricMechanism(
+                 static_cast<int64_t>(stats.cluster_size(cluster)),
+                 /*sensitivity=*/1.0, eps_size, rng)));
+    const double threshold = options.threshold_fraction * noisy_size;
+
+    std::vector<double> scores(stats.num_attributes());
+    for (size_t a = 0; a < scores.size(); ++a) {
+      scores[a] = SingleClusterScore(stats, cluster,
+                                     static_cast<AttrIndex>(a),
+                                     options.gamma);
+    }
+    DPX_ASSIGN_OR_RETURN(
+        const std::vector<size_t> positives,
+        SvtAboveThreshold(scores, threshold, kSScoreSensitivity, eps_svt,
+                          options.max_candidates, rng));
+    std::vector<AttrIndex> set;
+    set.reserve(positives.size());
+    for (size_t index : positives) {
+      set.push_back(static_cast<AttrIndex>(index));
+    }
+    if (set.empty()) set.push_back(0);  // data-independent fallback
+    candidate_sets.push_back(std::move(set));
+  }
+  return candidate_sets;
+}
+
+}  // namespace dpclustx

@@ -1,0 +1,73 @@
+// Stage-1 of DPClustX: Select-Candidates (Algorithm 1).
+//
+// For each cluster, privately selects the top-k explanation attributes by
+// the single-cluster score SScore_γ using the one-shot top-k mechanism at
+// per-cluster budget ε_CandSet / |C|. Parallel composition does NOT apply —
+// an attribute's score for one cluster depends on the *whole* dataset (the
+// full-dataset histogram appears in Int_p and Suf_p), so the per-cluster
+// selections compose sequentially (paper §5.1).
+
+#ifndef DPCLUSTX_CORE_CANDIDATE_SELECTION_H_
+#define DPCLUSTX_CORE_CANDIDATE_SELECTION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/quality.h"
+#include "core/stats_cache.h"
+
+namespace dpclustx {
+
+struct CandidateSelectionOptions {
+  /// Total budget ε_CandSet of Stage-1.
+  double epsilon = 0.1;
+  /// Candidate-set size k per cluster.
+  size_t k = 3;
+  /// γ weights of the single-cluster score.
+  SingleClusterWeights gamma;
+};
+
+/// Runs Algorithm 1. Returns one candidate set per cluster (attribute
+/// indices, ordered by decreasing noisy score). Requires k <=
+/// num_attributes and epsilon > 0.
+StatusOr<std::vector<std::vector<AttrIndex>>> SelectCandidates(
+    const StatsCache& stats, const CandidateSelectionOptions& options,
+    Rng& rng);
+
+/// Noise-free variant (exact top-k by SScore_γ); used by the non-private
+/// TabEE baseline and by tests as the ε → ∞ limit.
+StatusOr<std::vector<std::vector<AttrIndex>>> SelectCandidatesExact(
+    const StatsCache& stats, size_t k, const SingleClusterWeights& gamma);
+
+/// Alternative Stage-1 built on the Sparse Vector Technique: instead of a
+/// fixed candidate count, report (up to max_candidates) attributes whose
+/// single-cluster score clears a per-cluster bar of threshold_fraction ·
+/// |D_c|. Because |D_c| is sensitive, a small slice of each cluster's
+/// budget buys a noisy size first; the rest drives AboveThreshold. Natural
+/// when the analyst can name a meaningful score level ("at least 30% of the
+/// cluster's mass must shift") rather than a count; the trade-off is that
+/// SVT keeps the *first* qualifying attributes in scan order, not the best
+/// ones (see the stage1-selector ablation bench).
+struct SvtCandidateOptions {
+  /// Total budget ε_CandSet across all clusters.
+  double epsilon = 0.1;
+  /// Cap on candidates per cluster (SVT's c parameter).
+  size_t max_candidates = 3;
+  /// The bar, as a fraction of the (noisy) cluster size; SScore_γ ranges
+  /// over [0, |D_c|].
+  double threshold_fraction = 0.3;
+  /// Slice of each cluster's budget spent on the noisy cluster size.
+  double size_budget_share = 0.1;
+  SingleClusterWeights gamma;
+};
+
+/// Runs the SVT Stage-1. A cluster with no qualifying attribute falls back
+/// to the data-independent candidate {attribute 0} so Stage-2 always has a
+/// non-empty set. Satisfies ε-DP overall.
+StatusOr<std::vector<std::vector<AttrIndex>>> SvtSelectCandidates(
+    const StatsCache& stats, const SvtCandidateOptions& options, Rng& rng);
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_CORE_CANDIDATE_SELECTION_H_

@@ -1,0 +1,106 @@
+#include "core/explanation.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace dpclustx {
+
+std::string DescribeExplanation(const SingleClusterExplanation& explanation,
+                                const Schema& schema) {
+  const Attribute& attr = schema.attribute(explanation.attribute);
+  const std::vector<double> inside = explanation.inside.Normalized();
+  const std::vector<double> outside = explanation.outside.Normalized();
+  const size_t domain = inside.size();
+
+  // Kolmogorov–Smirnov-style split: the code boundary where the cumulative
+  // inside/outside distributions diverge most.
+  size_t best_split = 0;  // split after code best_split
+  double best_gap = 0.0;
+  double cum_in = 0.0, cum_out = 0.0;
+  bool inside_below = false;
+  for (size_t a = 0; a + 1 < domain; ++a) {
+    cum_in += inside[a];
+    cum_out += outside[a];
+    const double gap = std::fabs(cum_in - cum_out);
+    if (gap > best_gap) {
+      best_gap = gap;
+      best_split = a;
+      inside_below = cum_in > cum_out;
+    }
+  }
+
+  const double tvd =
+      Histogram::Tvd(explanation.inside, explanation.outside);
+  char buf[512];
+  if (domain < 2 || best_gap < 0.05) {
+    std::snprintf(buf, sizeof(buf),
+                  "The `%s` column distribution of Cluster %u is close to "
+                  "the rest of the data (TVD %.2f).",
+                  attr.name().c_str(), explanation.cluster, tvd);
+    return buf;
+  }
+
+  double in_low = 0.0, out_low = 0.0;
+  for (size_t a = 0; a <= best_split; ++a) {
+    in_low += inside[a];
+    out_low += outside[a];
+  }
+  const std::string& boundary = attr.label(
+      static_cast<ValueCode>(best_split));
+  // Peak bins, in the style of the paper's Fig. 2 caption ("peaking at
+  // [60, 70)").
+  const std::string& inside_peak =
+      attr.label(explanation.inside.ArgMax());
+  const std::string& outside_peak =
+      attr.label(explanation.outside.ArgMax());
+  if (inside_below) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "The `%s` column values differ significantly (TVD %.2f). Cluster %u "
+        "is concentrated in the lower range (%.0f%% at or below %s, peaking "
+        "at %s), while outside the cluster only %.0f%% of values lie there "
+        "(peak at %s).",
+        attr.name().c_str(), tvd, explanation.cluster, 100.0 * in_low,
+        boundary.c_str(), inside_peak.c_str(), 100.0 * out_low,
+        outside_peak.c_str());
+  } else {
+    std::snprintf(
+        buf, sizeof(buf),
+        "The `%s` column values differ significantly (TVD %.2f). Values "
+        "outside Cluster %u are concentrated in the lower range (%.0f%% at "
+        "or below %s, peaking at %s), while the cluster contains mainly "
+        "higher values (%.0f%% above %s, peaking at %s).",
+        attr.name().c_str(), tvd, explanation.cluster, 100.0 * out_low,
+        boundary.c_str(), outside_peak.c_str(), 100.0 * (1.0 - in_low),
+        boundary.c_str(), inside_peak.c_str());
+  }
+  return buf;
+}
+
+std::string RenderGlobalExplanation(const GlobalExplanation& explanation,
+                                    const Schema& schema) {
+  std::string out;
+  for (const SingleClusterExplanation& e : explanation.per_cluster) {
+    const Attribute& attr = schema.attribute(e.attribute);
+    out += "Cluster " + std::to_string(e.cluster) + " — attribute `" +
+           attr.name() + "`";
+    if (e.epsilon_inside > 0.0) {
+      // Per-bin 95% noise quantile of the inside release, for calibration.
+      const double q = DpHistogramBinNoiseQuantile(
+          e.noise, e.inside.domain_size(), e.epsilon_inside, 0.95);
+      char note[96];
+      std::snprintf(note, sizeof(note),
+                    "  (DP release; per-bin noise <= %.0f w.p. 95%%)", q);
+      out += note;
+    }
+    out += "\n";
+    out += " inside cluster:\n" + e.inside.ToAsciiArt(attr);
+    out += " outside cluster:\n" + e.outside.ToAsciiArt(attr);
+    out += " " + DescribeExplanation(e, schema) + "\n\n";
+  }
+  return out;
+}
+
+}  // namespace dpclustx

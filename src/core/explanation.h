@@ -1,0 +1,59 @@
+// Explanation output types (paper Defs. 3.1–3.2) and presentation helpers.
+
+#ifndef DPCLUSTX_CORE_EXPLANATION_H_
+#define DPCLUSTX_CORE_EXPLANATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/quality.h"
+#include "dp/dp_histogram.h"
+#include "data/histogram.h"
+#include "data/schema.h"
+
+namespace dpclustx {
+
+/// Single-cluster HBE e_c = (c, A, h_A(D \ D_c), h_A(D_c)) (Def. 3.1). In DP
+/// output the histograms are noisy releases.
+struct SingleClusterExplanation {
+  ClusterId cluster = 0;
+  AttrIndex attribute = 0;
+  Histogram outside;  // values outside the cluster (h^{−c})
+  Histogram inside;   // values inside the cluster  (h^{c})
+
+  /// Release metadata for accuracy annotation (0 = exact histograms, as in
+  /// the non-private TabEE output): the budgets the inside and full-dataset
+  /// histograms were released at, and the noise family used. The outside
+  /// histogram is the clamped difference of the two releases, so its noise
+  /// quantile is bounded by the sum of theirs.
+  double epsilon_inside = 0.0;
+  double epsilon_full = 0.0;
+  HistogramNoise noise = HistogramNoise::kGeometric;
+};
+
+/// Global HBE: one single-cluster explanation per cluster label (Def. 3.2),
+/// plus the attribute combination that produced it.
+struct GlobalExplanation {
+  std::vector<SingleClusterExplanation> per_cluster;  // indexed by ClusterId
+  AttributeCombination combination;
+
+  /// Each cluster's candidate set from Stage-1 (attribute indices), recorded
+  /// for auditability; combination[c] ∈ candidate_sets[c].
+  std::vector<std::vector<AttrIndex>> candidate_sets;
+};
+
+/// Deterministic, rule-based textual summary of a single-cluster HBE in the
+/// style of the paper's Fig. 2(b): names the attribute, locates the split
+/// point where the inside/outside cumulative distributions diverge most
+/// (over the domain's code order), and reports the mass on each side.
+std::string DescribeExplanation(const SingleClusterExplanation& explanation,
+                                const Schema& schema);
+
+/// Multi-line report of a whole global explanation: per cluster, the chosen
+/// attribute, side-by-side ASCII histograms, and the textual summary.
+std::string RenderGlobalExplanation(const GlobalExplanation& explanation,
+                                    const Schema& schema);
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_CORE_EXPLANATION_H_

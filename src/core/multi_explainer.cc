@@ -1,0 +1,213 @@
+#include "core/multi_explainer.h"
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "core/candidate_selection.h"
+#include "dp/dp_histogram.h"
+
+namespace dpclustx {
+
+namespace {
+
+// All ℓ-subsets of {0, ..., k-1}, each sorted ascending.
+std::vector<std::vector<size_t>> Subsets(size_t k, size_t l) {
+  std::vector<std::vector<size_t>> out;
+  // Lexicographic combination enumeration.
+  std::vector<size_t> idx(l);
+  for (size_t i = 0; i < l; ++i) idx[i] = i;
+  while (true) {
+    out.push_back(idx);
+    // Rightmost position that can still be incremented.
+    size_t i = l;
+    while (i > 0 && idx[i - 1] == i - 1 + k - l) --i;
+    if (i == 0) break;
+    ++idx[i - 1];
+    for (size_t j = i; j < l; ++j) idx[j] = idx[j - 1] + 1;
+  }
+  return out;
+}
+
+// Flattened candidate list {(cluster, attribute)} of a multi-combination.
+std::vector<std::pair<ClusterId, AttrIndex>> Candidates(
+    const std::vector<std::vector<AttrIndex>>& ac) {
+  std::vector<std::pair<ClusterId, AttrIndex>> cands;
+  for (size_t c = 0; c < ac.size(); ++c) {
+    for (AttrIndex attr : ac[c]) {
+      cands.emplace_back(static_cast<ClusterId>(c), attr);
+    }
+  }
+  return cands;
+}
+
+}  // namespace
+
+double MultiGlobalScore(const StatsCache& stats,
+                        const std::vector<std::vector<AttrIndex>>& ac,
+                        const GlobalWeights& lambda) {
+  DPX_CHECK_EQ(ac.size(), stats.num_clusters());
+  const auto cands = Candidates(ac);
+  DPX_CHECK(!cands.empty());
+  double mean_int = 0.0, mean_suf = 0.0;
+  for (const auto& [cluster, attr] : cands) {
+    if (lambda.interestingness > 0.0) {
+      mean_int += InterestingnessP(stats, cluster, attr);
+    }
+    if (lambda.sufficiency > 0.0) {
+      mean_suf += SufficiencyP(stats, cluster, attr);
+    }
+  }
+  mean_int /= static_cast<double>(cands.size());
+  mean_suf /= static_cast<double>(cands.size());
+  double div = 0.0;
+  if (lambda.diversity > 0.0 && cands.size() >= 2) {
+    for (size_t i = 0; i < cands.size(); ++i) {
+      for (size_t j = i + 1; j < cands.size(); ++j) {
+        div += PairDiversity(stats, cands[i].first, cands[j].first,
+                             cands[i].second, cands[j].second);
+      }
+    }
+    div /= PairCount(cands.size());
+  }
+  return lambda.interestingness * mean_int + lambda.sufficiency * mean_suf +
+         lambda.diversity * div;
+}
+
+StatusOr<MultiGlobalExplanation> ExplainDpClustXMultiWithLabels(
+    const Dataset& dataset, const std::vector<ClusterId>& labels,
+    size_t num_clusters, const MultiExplainOptions& options,
+    PrivacyBudget* budget) {
+  const DpClustXOptions& base = options.base;
+  DPX_RETURN_IF_ERROR(base.lambda.Validate());
+  const size_t l = options.attrs_per_cluster;
+  if (l == 0 || l > base.num_candidates) {
+    return Status::InvalidArgument(
+        "attrs_per_cluster must lie in [1, num_candidates]");
+  }
+  if (base.epsilon_cand_set <= 0.0 || base.epsilon_top_comb <= 0.0) {
+    return Status::InvalidArgument("stage budgets must be positive");
+  }
+  if (base.generate_histograms && base.epsilon_hist <= 0.0) {
+    return Status::InvalidArgument("epsilon_hist must be positive");
+  }
+  DPX_ASSIGN_OR_RETURN(const StatsCache stats,
+                       StatsCache::Build(dataset, labels, num_clusters));
+
+  if (budget != nullptr) {
+    DPX_RETURN_IF_ERROR(
+        budget->Spend(base.epsilon_cand_set, "dpclustx-multi/stage1"));
+    DPX_RETURN_IF_ERROR(
+        budget->Spend(base.epsilon_top_comb, "dpclustx-multi/stage2"));
+    if (base.generate_histograms) {
+      DPX_RETURN_IF_ERROR(
+          budget->Spend(base.epsilon_hist, "dpclustx-multi/histograms"));
+    }
+  }
+
+  Rng rng(base.seed);
+
+  // Stage-1 (unchanged from the single-explanation algorithm).
+  CandidateSelectionOptions stage1;
+  stage1.epsilon = base.epsilon_cand_set;
+  stage1.k = base.num_candidates;
+  stage1.gamma = base.lambda.ConditionalSingleClusterWeights();
+  DPX_ASSIGN_OR_RETURN(auto candidate_sets,
+                       SelectCandidates(stats, stage1, rng));
+
+  // Stage-2: EM over C(k, ℓ)^|C| subset combinations.
+  const std::vector<std::vector<size_t>> subsets =
+      Subsets(base.num_candidates, l);
+  size_t num_combinations = 1;
+  for (size_t c = 0; c < num_clusters; ++c) {
+    if (num_combinations > base.max_combinations / subsets.size()) {
+      return Status::InvalidArgument(
+          "multi-explanation combination space exceeds max_combinations");
+    }
+    num_combinations *= subsets.size();
+  }
+
+  auto materialize = [&](const std::vector<size_t>& choice) {
+    std::vector<std::vector<AttrIndex>> ac(num_clusters);
+    for (size_t c = 0; c < num_clusters; ++c) {
+      for (size_t position : subsets[choice[c]]) {
+        ac[c].push_back(candidate_sets[c][position]);
+      }
+    }
+    return ac;
+  };
+
+  const double scale =
+      base.epsilon_top_comb / (2.0 * kGlScoreSensitivity);
+  std::vector<size_t> choice(num_clusters, 0);
+  std::vector<size_t> best_choice(num_clusters, 0);
+  double best_value = -std::numeric_limits<double>::infinity();
+  for (size_t combo = 0; combo < num_combinations; ++combo) {
+    const double score =
+        MultiGlobalScore(stats, materialize(choice), base.lambda);
+    const double value = scale * score + rng.Gumbel(1.0);
+    if (value > best_value) {
+      best_value = value;
+      best_choice = choice;
+    }
+    for (size_t c = 0; c < num_clusters; ++c) {
+      if (++choice[c] < subsets.size()) break;
+      choice[c] = 0;
+    }
+  }
+
+  MultiGlobalExplanation result;
+  result.combination = materialize(best_choice);
+  result.candidate_sets = std::move(candidate_sets);
+  if (!base.generate_histograms) return result;
+
+  // Histogram release: ε_Hist/2 over the distinct selected attributes
+  // (full-dataset side), ε_Hist/2 per cluster split across its ℓ histograms
+  // (cluster side; parallel across clusters).
+  std::set<AttrIndex> distinct;
+  for (const auto& attrs : result.combination) {
+    distinct.insert(attrs.begin(), attrs.end());
+  }
+  const double eps_hist_all =
+      base.epsilon_hist / (2.0 * static_cast<double>(distinct.size()));
+  const double eps_hist_cluster =
+      base.epsilon_hist / (2.0 * static_cast<double>(l));
+
+  std::vector<Histogram> noisy_full(stats.num_attributes());
+  for (AttrIndex attr : distinct) {
+    DPX_ASSIGN_OR_RETURN(
+        noisy_full[attr],
+        ReleaseDpHistogram(stats.full_histogram(attr), eps_hist_all, rng,
+                           base.histogram));
+  }
+
+  result.explanations.resize(num_clusters);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    const auto cluster = static_cast<ClusterId>(c);
+    for (AttrIndex attr : result.combination[c]) {
+      SingleClusterExplanation e;
+      e.cluster = cluster;
+      e.attribute = attr;
+      DPX_ASSIGN_OR_RETURN(
+          e.inside,
+          ReleaseDpHistogram(stats.cluster_histogram(cluster, attr),
+                             eps_hist_cluster, rng, base.histogram));
+      e.outside = noisy_full[attr].SubtractClamped(e.inside);
+      result.explanations[c].push_back(std::move(e));
+    }
+  }
+  return result;
+}
+
+StatusOr<MultiGlobalExplanation> ExplainDpClustXMulti(
+    const Dataset& dataset, const ClusteringFunction& clustering,
+    const MultiExplainOptions& options, PrivacyBudget* budget) {
+  const std::vector<ClusterId> labels = clustering.AssignAll(dataset);
+  return ExplainDpClustXMultiWithLabels(dataset, labels,
+                                        clustering.num_clusters(), options,
+                                        budget);
+}
+
+}  // namespace dpclustx

@@ -1,0 +1,78 @@
+#include "core/pipeline.h"
+
+#include "cluster/agglomerative.h"
+#include "cluster/dp_kmeans.h"
+#include "cluster/gmm.h"
+#include "cluster/kmeans.h"
+#include "cluster/kmodes.h"
+
+namespace dpclustx {
+
+StatusOr<ClusteringMethod> ParseClusteringMethod(const std::string& name) {
+  if (name == "k-means") return ClusteringMethod::kKMeans;
+  if (name == "dp-k-means") return ClusteringMethod::kDpKMeans;
+  if (name == "k-modes") return ClusteringMethod::kKModes;
+  if (name == "agglomerative") return ClusteringMethod::kAgglomerative;
+  if (name == "gmm") return ClusteringMethod::kGmm;
+  return Status::InvalidArgument("unknown clustering method '" + name + "'");
+}
+
+StatusOr<PipelineResult> RunPipeline(const Dataset& dataset,
+                                     const PipelineOptions& options,
+                                     PrivacyBudget* budget) {
+  StatusOr<std::unique_ptr<ClusteringFunction>> clustering =
+      Status::Internal("unset");
+  switch (options.method) {
+    case ClusteringMethod::kKMeans: {
+      KMeansOptions fit;
+      fit.num_clusters = options.num_clusters;
+      fit.seed = options.clustering_seed;
+      clustering = FitKMeans(dataset, fit);
+      break;
+    }
+    case ClusteringMethod::kDpKMeans: {
+      DpKMeansOptions fit;
+      fit.num_clusters = options.num_clusters;
+      fit.epsilon = options.epsilon_clustering;
+      fit.seed = options.clustering_seed;
+      clustering = FitDpKMeans(dataset, fit, budget);
+      break;
+    }
+    case ClusteringMethod::kKModes: {
+      KModesOptions fit;
+      fit.num_clusters = options.num_clusters;
+      fit.seed = options.clustering_seed;
+      clustering = FitKModes(dataset, fit);
+      break;
+    }
+    case ClusteringMethod::kAgglomerative: {
+      AgglomerativeOptions fit;
+      fit.num_clusters = options.num_clusters;
+      fit.seed = options.clustering_seed;
+      clustering = FitAgglomerative(dataset, fit);
+      break;
+    }
+    case ClusteringMethod::kGmm: {
+      GmmOptions fit;
+      fit.num_components = options.num_clusters;
+      fit.seed = options.clustering_seed;
+      clustering = FitGmm(dataset, fit);
+      break;
+    }
+  }
+  DPX_RETURN_IF_ERROR(clustering.status());
+
+  std::vector<ClusterId> labels = (*clustering)->AssignAll(dataset);
+  DPX_ASSIGN_OR_RETURN(
+      StatsCache stats,
+      StatsCache::Build(dataset, labels, options.num_clusters));
+  DPX_ASSIGN_OR_RETURN(
+      GlobalExplanation explanation,
+      ExplainDpClustXWithLabels(dataset, labels, options.num_clusters,
+                                options.explain, budget));
+  PipelineResult result{std::move(explanation), std::move(labels),
+                        std::move(stats), (*clustering)->name()};
+  return result;
+}
+
+}  // namespace dpclustx

@@ -1,0 +1,63 @@
+// One-call pipeline facade: cluster a dataset and explain it under a single
+// privacy budget. This is the API surface the command-line tools and most
+// downstream adopters want — pick a clustering method and the budgets, get
+// back the explanation, the labels, and the evaluation-ready statistics.
+
+#ifndef DPCLUSTX_CORE_PIPELINE_H_
+#define DPCLUSTX_CORE_PIPELINE_H_
+
+#include <string>
+
+#include "cluster/clustering.h"
+#include "common/status.h"
+#include "core/explainer.h"
+#include "core/stats_cache.h"
+#include "dp/privacy_budget.h"
+
+namespace dpclustx {
+
+enum class ClusteringMethod {
+  kKMeans,
+  kDpKMeans,
+  kKModes,
+  kAgglomerative,
+  kGmm,
+};
+
+/// Parses "k-means" / "dp-k-means" / "k-modes" / "agglomerative" / "gmm".
+StatusOr<ClusteringMethod> ParseClusteringMethod(const std::string& name);
+
+struct PipelineOptions {
+  ClusteringMethod method = ClusteringMethod::kKMeans;
+  size_t num_clusters = 5;
+  /// Budget of the clustering step; only consumed by kDpKMeans (the other
+  /// methods are non-private and MUST only be used on non-sensitive data or
+  /// for evaluation).
+  double epsilon_clustering = 1.0;
+  /// DPClustX explanation parameters (budgets, k, λ, noise, seed, threads).
+  DpClustXOptions explain;
+  /// Seed for the clustering fit (the explanation uses explain.seed).
+  uint64_t clustering_seed = 1;
+};
+
+struct PipelineResult {
+  GlobalExplanation explanation;
+  /// Per-row labels of the fitted clustering.
+  std::vector<ClusterId> labels;
+  /// Exact statistics of the clustering — SENSITIVE; for evaluation only,
+  /// never for release.
+  StatsCache stats;
+  /// Description of the fitted clustering ("dp-k-means(k=5)").
+  std::string clustering_name;
+};
+
+/// Runs cluster-then-explain. If `budget` is non-null, both stages charge
+/// it (DP clustering first, so an insufficient budget fails before any
+/// explanation noise is drawn).
+StatusOr<PipelineResult> RunPipeline(const Dataset& dataset,
+                                     const PipelineOptions& options,
+                                     PrivacyBudget* budget = nullptr);
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_CORE_PIPELINE_H_

@@ -1,0 +1,94 @@
+#include "core/stats_cache.h"
+
+#include <cmath>
+
+namespace dpclustx {
+
+StatusOr<StatsCache> StatsCache::Build(const Dataset& dataset,
+                                       const std::vector<ClusterId>& labels,
+                                       size_t num_clusters) {
+  if (labels.size() != dataset.num_rows()) {
+    return Status::InvalidArgument(
+        "labels has " + std::to_string(labels.size()) + " entries, dataset " +
+        std::to_string(dataset.num_rows()) + " rows");
+  }
+  if (num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be >= 1");
+  }
+  for (ClusterId label : labels) {
+    if (label >= num_clusters) {
+      return Status::InvalidArgument("label " + std::to_string(label) +
+                                     " >= num_clusters " +
+                                     std::to_string(num_clusters));
+    }
+  }
+
+  StatsCache cache;
+  cache.schema_ = dataset.schema();
+  cache.num_rows_ = dataset.num_rows();
+  cache.cluster_sizes_.assign(num_clusters, 0);
+  for (ClusterId label : labels) ++cache.cluster_sizes_[label];
+
+  const size_t attrs = dataset.num_attributes();
+  cache.full_histograms_.reserve(attrs);
+  cache.cluster_histograms_.reserve(attrs);
+  for (size_t a = 0; a < attrs; ++a) {
+    const auto attr = static_cast<AttrIndex>(a);
+    // One columnar pass per attribute fills the per-cluster histograms; the
+    // full histogram is their bin-wise sum (clusters partition the dataset).
+    std::vector<Histogram> per_cluster =
+        dataset.ComputeGroupHistograms(attr, labels, num_clusters);
+    Histogram full(dataset.schema().attribute(attr).domain_size());
+    for (const Histogram& h : per_cluster) full = full.Plus(h);
+    cache.full_histograms_.push_back(std::move(full));
+    cache.cluster_histograms_.push_back(std::move(per_cluster));
+  }
+  return cache;
+}
+
+StatusOr<StatsCache> StatsCache::FromHistograms(
+    Schema schema, std::vector<Histogram> full_histograms,
+    std::vector<std::vector<Histogram>> cluster_histograms) {
+  DPX_RETURN_IF_ERROR(schema.Validate());
+  if (full_histograms.size() != schema.num_attributes() ||
+      cluster_histograms.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        "need one full and one per-cluster histogram list per attribute");
+  }
+  const size_t num_clusters = cluster_histograms.empty()
+                                  ? 0
+                                  : cluster_histograms[0].size();
+  if (num_clusters == 0) {
+    return Status::InvalidArgument("need at least one cluster");
+  }
+  for (size_t a = 0; a < full_histograms.size(); ++a) {
+    const size_t domain =
+        schema.attribute(static_cast<AttrIndex>(a)).domain_size();
+    if (full_histograms[a].domain_size() != domain) {
+      return Status::InvalidArgument("full histogram domain mismatch");
+    }
+    if (cluster_histograms[a].size() != num_clusters) {
+      return Status::InvalidArgument("inconsistent cluster counts");
+    }
+    for (const Histogram& h : cluster_histograms[a]) {
+      if (h.domain_size() != domain) {
+        return Status::InvalidArgument("cluster histogram domain mismatch");
+      }
+    }
+  }
+
+  StatsCache cache;
+  cache.schema_ = std::move(schema);
+  cache.num_rows_ = static_cast<size_t>(
+      std::max(0.0, std::round(full_histograms[0].Total())));
+  cache.cluster_sizes_.resize(num_clusters);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    cache.cluster_sizes_[c] = static_cast<size_t>(
+        std::max(0.0, std::round(cluster_histograms[0][c].Total())));
+  }
+  cache.full_histograms_ = std::move(full_histograms);
+  cache.cluster_histograms_ = std::move(cluster_histograms);
+  return cache;
+}
+
+}  // namespace dpclustx

@@ -1,0 +1,74 @@
+// Per-(cluster, attribute) count statistics, computed once per explanation
+// run.
+//
+// Every quality function in DPClustX — low-sensitivity or original — is a
+// function of the exact histograms h_A(D) and h_A(D_c). One O(n·d) pass over
+// the columnar dataset materializes all of them, after which every score
+// evaluation is O(domain size). This realizes the paper's complexity budget
+// of O(|A|·|C|) count group-by queries for Stage-1 and makes the k^|C|
+// enumeration of Stage-2 cheap.
+//
+// The cache holds *exact* counts of the sensitive dataset. It must never be
+// released; only DP mechanism outputs derived from it leave the framework.
+
+#ifndef DPCLUSTX_CORE_STATS_CACHE_H_
+#define DPCLUSTX_CORE_STATS_CACHE_H_
+
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace dpclustx {
+
+class StatsCache {
+ public:
+  /// Builds the cache from a dataset and per-row cluster labels. Requires
+  /// labels.size() == dataset.num_rows() and every label < num_clusters.
+  /// num_clusters may exceed the number of labels present (empty clusters
+  /// are legal throughout the framework).
+  static StatusOr<StatsCache> Build(const Dataset& dataset,
+                                    const std::vector<ClusterId>& labels,
+                                    size_t num_clusters);
+
+  /// Builds a cache directly from histograms — used by the DP-Naive baseline
+  /// to evaluate quality functions over *noisy* counts as post-processing.
+  /// `cluster_histograms[attr][cluster]`; all histograms of attribute `attr`
+  /// must share dom(attr). Cluster sizes are inferred from the histogram
+  /// totals of attribute 0 and the row count from its full histogram.
+  static StatusOr<StatsCache> FromHistograms(
+      Schema schema, std::vector<Histogram> full_histograms,
+      std::vector<std::vector<Histogram>> cluster_histograms);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_clusters() const { return cluster_sizes_.size(); }
+  size_t num_attributes() const { return full_histograms_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  size_t cluster_size(ClusterId c) const { return cluster_sizes_[c]; }
+  const std::vector<size_t>& cluster_sizes() const { return cluster_sizes_; }
+
+  /// Exact h_A(D).
+  const Histogram& full_histogram(AttrIndex attr) const {
+    return full_histograms_[attr];
+  }
+
+  /// Exact h_A(D_c).
+  const Histogram& cluster_histogram(ClusterId c, AttrIndex attr) const {
+    return cluster_histograms_[attr][c];
+  }
+
+ private:
+  StatsCache() = default;
+
+  Schema schema_;
+  size_t num_rows_ = 0;
+  std::vector<size_t> cluster_sizes_;
+  std::vector<Histogram> full_histograms_;                 // [attr]
+  std::vector<std::vector<Histogram>> cluster_histograms_; // [attr][cluster]
+};
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_CORE_STATS_CACHE_H_

@@ -1,0 +1,120 @@
+#include "data/binning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace dpclustx {
+
+namespace {
+
+std::string FormatEdge(double x) {
+  // Integral edges print without a decimal point to match the paper's
+  // "[40, 50)" style labels.
+  if (x == std::floor(x) && std::fabs(x) < 1e15) {
+    return std::to_string(static_cast<long long>(x));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", x);
+  return buf;
+}
+
+}  // namespace
+
+StatusOr<Binner> Binner::EqualWidth(const std::string& attr_name,
+                                    const std::vector<double>& values,
+                                    size_t num_bins) {
+  if (values.empty()) {
+    return Status::InvalidArgument("EqualWidth: empty value list");
+  }
+  if (num_bins == 0) {
+    return Status::InvalidArgument("EqualWidth: num_bins must be >= 1");
+  }
+  const auto [min_it, max_it] = std::minmax_element(values.begin(),
+                                                    values.end());
+  const double lo = *min_it;
+  const double hi = *max_it;
+  if (lo == hi) {
+    // Degenerate column: one bin [lo, lo + 1).
+    return Binner(attr_name, {lo, lo + 1.0});
+  }
+  std::vector<double> edges;
+  edges.reserve(num_bins + 1);
+  for (size_t i = 0; i <= num_bins; ++i) {
+    edges.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                             static_cast<double>(num_bins));
+  }
+  edges.back() = hi;  // guard against floating-point drift
+  return Binner(attr_name, std::move(edges));
+}
+
+StatusOr<Binner> Binner::EqualFrequency(const std::string& attr_name,
+                                        const std::vector<double>& values,
+                                        size_t num_bins) {
+  if (values.empty()) {
+    return Status::InvalidArgument("EqualFrequency: empty value list");
+  }
+  if (num_bins == 0) {
+    return Status::InvalidArgument("EqualFrequency: num_bins must be >= 1");
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> edges;
+  edges.push_back(sorted.front());
+  for (size_t i = 1; i < num_bins; ++i) {
+    const size_t rank = i * sorted.size() / num_bins;
+    const double edge = sorted[rank];
+    if (edge > edges.back()) edges.push_back(edge);  // collapse duplicates
+  }
+  if (sorted.back() > edges.back()) {
+    edges.push_back(sorted.back());
+  } else {
+    edges.push_back(edges.back() + 1.0);  // all values equal past last edge
+  }
+  return Binner(attr_name, std::move(edges));
+}
+
+StatusOr<Binner> Binner::FromEdges(const std::string& attr_name,
+                                   std::vector<double> edges) {
+  if (edges.size() < 2) {
+    return Status::InvalidArgument("FromEdges: need at least 2 edges");
+  }
+  for (size_t i = 1; i < edges.size(); ++i) {
+    if (edges[i] <= edges[i - 1]) {
+      return Status::InvalidArgument(
+          "FromEdges: edges must be strictly increasing");
+    }
+  }
+  return Binner(attr_name, std::move(edges));
+}
+
+Attribute Binner::ToAttribute() const {
+  std::vector<std::string> labels;
+  labels.reserve(num_bins());
+  for (size_t i = 0; i + 1 < edges_.size(); ++i) {
+    const bool last = (i + 2 == edges_.size());
+    labels.push_back("[" + FormatEdge(edges_[i]) + ", " +
+                     FormatEdge(edges_[i + 1]) + (last ? "]" : ")"));
+  }
+  return Attribute(attr_name_, std::move(labels));
+}
+
+ValueCode Binner::CodeFor(double value) const {
+  if (value <= edges_.front()) return 0;
+  if (value >= edges_.back()) return static_cast<ValueCode>(num_bins() - 1);
+  // First edge strictly greater than value; the bin is the one before it.
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  return static_cast<ValueCode>(it - edges_.begin() - 1);
+}
+
+std::vector<ValueCode> Binner::Encode(
+    const std::vector<double>& values) const {
+  std::vector<ValueCode> codes;
+  codes.reserve(values.size());
+  for (double v : values) codes.push_back(CodeFor(v));
+  return codes;
+}
+
+}  // namespace dpclustx

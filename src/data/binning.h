@@ -1,0 +1,68 @@
+// Discretization of numeric columns into categorical attributes.
+//
+// The paper's datasets bin numeric and large-domain attributes before
+// explanation ("Numerical and large-domain categorical attributes are
+// binned", §6.1) so that histograms stay interpretable and DP noise per bin
+// stays small relative to bin counts. A Binner owns the bin edges; encoding
+// maps a double to the code of its half-open bin [edge_i, edge_{i+1}), with
+// the last bin closed on the right.
+
+#ifndef DPCLUSTX_DATA_BINNING_H_
+#define DPCLUSTX_DATA_BINNING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/schema.h"
+
+namespace dpclustx {
+
+class Binner {
+ public:
+  /// `num_bins` equal-width bins spanning [min(values), max(values)].
+  /// Requires non-empty values and num_bins >= 1; degenerate all-equal input
+  /// yields a single bin.
+  static StatusOr<Binner> EqualWidth(const std::string& attr_name,
+                                     const std::vector<double>& values,
+                                     size_t num_bins);
+
+  /// `num_bins` bins holding approximately equal row counts (quantile bins).
+  /// Duplicate quantiles collapse, so the result may have fewer bins.
+  static StatusOr<Binner> EqualFrequency(const std::string& attr_name,
+                                         const std::vector<double>& values,
+                                         size_t num_bins);
+
+  /// Explicit, strictly increasing edges: edges[i], edges[i+1] bound bin i;
+  /// requires >= 2 edges. Values outside [front, back] clamp to the first or
+  /// last bin (the paper's preprocessing assigns out-of-range values to the
+  /// boundary categories).
+  static StatusOr<Binner> FromEdges(const std::string& attr_name,
+                                    std::vector<double> edges);
+
+  /// Number of bins (= domain size of the produced attribute).
+  size_t num_bins() const { return edges_.size() - 1; }
+
+  /// The categorical attribute this binner produces, with labels like
+  /// "[40, 50)".
+  Attribute ToAttribute() const;
+
+  /// Code of the bin containing `value`.
+  ValueCode CodeFor(double value) const;
+
+  /// Encodes a whole column.
+  std::vector<ValueCode> Encode(const std::vector<double>& values) const;
+
+  const std::vector<double>& edges() const { return edges_; }
+
+ private:
+  Binner(std::string attr_name, std::vector<double> edges)
+      : attr_name_(std::move(attr_name)), edges_(std::move(edges)) {}
+
+  std::string attr_name_;
+  std::vector<double> edges_;  // size num_bins + 1, strictly increasing
+};
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_DATA_BINNING_H_

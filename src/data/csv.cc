@@ -1,0 +1,222 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace dpclustx {
+
+namespace csv_internal {
+
+StatusOr<std::vector<std::vector<std::string>>> ParseDocument(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&]() {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';  // doubled quote = literal quote
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (field.empty() && !field_started) {
+          in_quotes = true;
+          field_started = true;
+        } else {
+          field += c;  // stray quote mid-field: treat literally
+        }
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_row();
+        break;
+      default:
+        field += c;
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::IoError("unterminated quoted field at end of input");
+  }
+  if (field_started || !field.empty() || !row.empty()) {
+    end_row();  // final line without trailing newline
+  }
+  return rows;
+}
+
+}  // namespace csv_internal
+
+namespace {
+
+std::string EscapeField(const std::string& s) {
+  const bool needs_quotes = s.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+StatusOr<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+Status WriteCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  const Schema& schema = dataset.schema();
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    if (a > 0) out << ',';
+    out << EscapeField(schema.attribute(static_cast<AttrIndex>(a)).name());
+  }
+  out << '\n';
+  for (size_t row = 0; row < dataset.num_rows(); ++row) {
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      const auto attr_index = static_cast<AttrIndex>(a);
+      if (a > 0) out << ',';
+      out << EscapeField(schema.attribute(attr_index)
+                             .label(dataset.at(row, attr_index)));
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+StatusOr<Dataset> ReadCsv(const std::string& path) {
+  DPX_ASSIGN_OR_RETURN(const std::string text, ReadWholeFile(path));
+  DPX_ASSIGN_OR_RETURN(const auto rows, csv_internal::ParseDocument(text));
+  if (rows.empty()) return Status::IoError("'" + path + "' is empty");
+  const std::vector<std::string>& header = rows[0];
+
+  // First pass: collect each column's distinct values in first-appearance
+  // order to form the inferred domain.
+  std::vector<std::vector<std::string>> domains(header.size());
+  std::vector<std::unordered_map<std::string, ValueCode>> code_of(
+      header.size());
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != header.size()) {
+      return Status::IoError("row " + std::to_string(r) + " has " +
+                             std::to_string(rows[r].size()) +
+                             " fields, header has " +
+                             std::to_string(header.size()));
+    }
+    for (size_t a = 0; a < header.size(); ++a) {
+      auto [it, inserted] = code_of[a].try_emplace(
+          rows[r][a], static_cast<ValueCode>(domains[a].size()));
+      if (inserted) domains[a].push_back(rows[r][a]);
+    }
+  }
+
+  std::vector<Attribute> attrs;
+  attrs.reserve(header.size());
+  for (size_t a = 0; a < header.size(); ++a) {
+    if (domains[a].empty()) domains[a].push_back("<empty>");
+    attrs.emplace_back(header[a], domains[a]);
+  }
+  Schema schema(std::move(attrs));
+  DPX_RETURN_IF_ERROR(schema.Validate());
+
+  Dataset dataset(std::move(schema));
+  std::vector<ValueCode> row_codes(header.size());
+  for (size_t r = 1; r < rows.size(); ++r) {
+    for (size_t a = 0; a < header.size(); ++a) {
+      row_codes[a] = code_of[a].at(rows[r][a]);
+    }
+    dataset.AppendRowUnchecked(row_codes);
+  }
+  return dataset;
+}
+
+StatusOr<Dataset> ReadCsvWithSchema(const std::string& path,
+                                    const Schema& schema) {
+  DPX_RETURN_IF_ERROR(schema.Validate());
+  DPX_ASSIGN_OR_RETURN(const std::string text, ReadWholeFile(path));
+  DPX_ASSIGN_OR_RETURN(const auto rows, csv_internal::ParseDocument(text));
+  if (rows.empty()) return Status::IoError("'" + path + "' is empty");
+
+  const std::vector<std::string>& header = rows[0];
+  if (header.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        "header has " + std::to_string(header.size()) +
+        " columns, schema expects " +
+        std::to_string(schema.num_attributes()));
+  }
+  // Pre-index each domain for O(1) lookups.
+  std::vector<std::unordered_map<std::string, ValueCode>> code_of(
+      header.size());
+  for (size_t a = 0; a < header.size(); ++a) {
+    const Attribute& attr = schema.attribute(static_cast<AttrIndex>(a));
+    if (header[a] != attr.name()) {
+      return Status::InvalidArgument("column " + std::to_string(a) +
+                                     " is '" + header[a] +
+                                     "', schema expects '" + attr.name() +
+                                     "'");
+    }
+    for (size_t v = 0; v < attr.domain_size(); ++v) {
+      code_of[a][attr.label(static_cast<ValueCode>(v))] =
+          static_cast<ValueCode>(v);
+    }
+  }
+
+  Dataset dataset(schema);
+  std::vector<ValueCode> row_codes(header.size());
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != header.size()) {
+      return Status::IoError("row " + std::to_string(r) +
+                             " has wrong field count");
+    }
+    for (size_t a = 0; a < header.size(); ++a) {
+      const auto it = code_of[a].find(rows[r][a]);
+      if (it == code_of[a].end()) {
+        return Status::InvalidArgument(
+            "row " + std::to_string(r) + ": value '" + rows[r][a] +
+            "' not in domain of '" + header[a] + "'");
+      }
+      row_codes[a] = it->second;
+    }
+    dataset.AppendRowUnchecked(row_codes);
+  }
+  return dataset;
+}
+
+}  // namespace dpclustx

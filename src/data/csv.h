@@ -1,0 +1,42 @@
+// CSV ingestion and export.
+//
+// Lets users run DPClustX on their own tabular data. Reading without a
+// schema infers one (each column's domain = distinct cell values in order of
+// first appearance); reading with a schema enforces the data-independent
+// domains that DP requires. The parser handles RFC 4180 quoting (quoted
+// fields, embedded commas/newlines, doubled quotes).
+
+#ifndef DPCLUSTX_DATA_CSV_H_
+#define DPCLUSTX_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace dpclustx {
+
+/// Writes `dataset` to `path` with a header of attribute names and cells
+/// rendered as value labels.
+Status WriteCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a CSV file, inferring a categorical schema from its contents.
+/// NOTE: an inferred domain is data-*dependent*; releasing histograms over it
+/// is only DP with respect to that fixed domain. Prefer ReadCsvWithSchema for
+/// production use.
+StatusOr<Dataset> ReadCsv(const std::string& path);
+
+/// Reads a CSV file whose header must match `schema`'s attribute names and
+/// whose cells must all be labels from the corresponding domains.
+StatusOr<Dataset> ReadCsvWithSchema(const std::string& path,
+                                    const Schema& schema);
+
+namespace csv_internal {
+/// Splits one CSV document into rows of fields (exposed for tests).
+StatusOr<std::vector<std::vector<std::string>>> ParseDocument(
+    const std::string& text);
+}  // namespace csv_internal
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_DATA_CSV_H_

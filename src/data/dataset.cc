@@ -1,0 +1,108 @@
+#include "data/dataset.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace dpclustx {
+
+Dataset::Dataset(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_attributes());
+}
+
+Status Dataset::AppendRow(const std::vector<ValueCode>& row) {
+  if (row.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " cells, schema has " +
+        std::to_string(schema_.num_attributes()) + " attributes");
+  }
+  for (size_t a = 0; a < row.size(); ++a) {
+    if (row[a] >= schema_.attribute(static_cast<AttrIndex>(a)).domain_size()) {
+      return Status::InvalidArgument(
+          "code " + std::to_string(row[a]) + " out of domain for attribute '" +
+          schema_.attribute(static_cast<AttrIndex>(a)).name() + "'");
+    }
+  }
+  AppendRowUnchecked(row);
+  return Status::OK();
+}
+
+void Dataset::AppendRowUnchecked(const std::vector<ValueCode>& row) {
+  for (size_t a = 0; a < row.size(); ++a) columns_[a].push_back(row[a]);
+  ++num_rows_;
+}
+
+std::vector<ValueCode> Dataset::Row(size_t row) const {
+  DPX_CHECK_LT(row, num_rows_);
+  std::vector<ValueCode> out(columns_.size());
+  for (size_t a = 0; a < columns_.size(); ++a) out[a] = columns_[a][row];
+  return out;
+}
+
+Histogram Dataset::ComputeHistogram(AttrIndex attr) const {
+  DPX_CHECK_LT(attr, columns_.size());
+  Histogram hist(schema_.attribute(attr).domain_size());
+  for (ValueCode code : columns_[attr]) hist.Increment(code);
+  return hist;
+}
+
+Histogram Dataset::ComputeHistogram(
+    AttrIndex attr, const std::vector<uint32_t>& row_indices) const {
+  DPX_CHECK_LT(attr, columns_.size());
+  Histogram hist(schema_.attribute(attr).domain_size());
+  const std::vector<ValueCode>& col = columns_[attr];
+  for (uint32_t row : row_indices) {
+    DPX_CHECK_LT(row, num_rows_);
+    hist.Increment(col[row]);
+  }
+  return hist;
+}
+
+std::vector<Histogram> Dataset::ComputeGroupHistograms(
+    AttrIndex attr, const std::vector<uint32_t>& labels,
+    size_t num_groups) const {
+  DPX_CHECK_LT(attr, columns_.size());
+  DPX_CHECK_EQ(labels.size(), num_rows_);
+  std::vector<Histogram> hists(
+      num_groups, Histogram(schema_.attribute(attr).domain_size()));
+  const std::vector<ValueCode>& col = columns_[attr];
+  for (size_t row = 0; row < num_rows_; ++row) {
+    DPX_CHECK_LT(labels[row], num_groups);
+    hists[labels[row]].Increment(col[row]);
+  }
+  return hists;
+}
+
+Dataset Dataset::SelectRows(const std::vector<uint32_t>& row_indices) const {
+  Dataset out(schema_);
+  for (size_t a = 0; a < columns_.size(); ++a) {
+    out.columns_[a].reserve(row_indices.size());
+    for (uint32_t row : row_indices) {
+      DPX_CHECK_LT(row, num_rows_);
+      out.columns_[a].push_back(columns_[a][row]);
+    }
+  }
+  out.num_rows_ = row_indices.size();
+  return out;
+}
+
+Dataset Dataset::SelectAttributes(const std::vector<AttrIndex>& attrs) const {
+  Dataset out(schema_.Project(attrs));
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    DPX_CHECK_LT(attrs[i], columns_.size());
+    out.columns_[i] = columns_[attrs[i]];
+  }
+  out.num_rows_ = num_rows_;
+  return out;
+}
+
+Dataset Dataset::SampleRows(double fraction, Rng& rng) const {
+  const double p = Clamp(fraction, 0.0, 1.0);
+  std::vector<uint32_t> kept;
+  kept.reserve(static_cast<size_t>(p * static_cast<double>(num_rows_)) + 16);
+  for (size_t row = 0; row < num_rows_; ++row) {
+    if (rng.Bernoulli(p)) kept.push_back(static_cast<uint32_t>(row));
+  }
+  return SelectRows(kept);
+}
+
+}  // namespace dpclustx

@@ -1,0 +1,84 @@
+// Columnar dataset of categorical codes.
+//
+// A dataset is a bag of tuples over a Schema (paper §2). Storage is columnar
+// (one contiguous code vector per attribute) because every quality function
+// in DPClustX reduces to single-attribute count scans.
+
+#ifndef DPCLUSTX_DATA_DATASET_H_
+#define DPCLUSTX_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/histogram.h"
+#include "data/schema.h"
+
+namespace dpclustx {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  /// Empty dataset over `schema`.
+  explicit Dataset(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_attributes() const { return schema_.num_attributes(); }
+
+  /// Appends one tuple. Requires row.size() == num_attributes() and each code
+  /// within its attribute's domain; returns InvalidArgument otherwise.
+  Status AppendRow(const std::vector<ValueCode>& row);
+
+  /// Appends a tuple without validation. For bulk generators that guarantee
+  /// well-formed codes; invalid codes trip DPX_CHECKs downstream.
+  void AppendRowUnchecked(const std::vector<ValueCode>& row);
+
+  /// Cell accessor.
+  ValueCode at(size_t row, AttrIndex attr) const {
+    return columns_[attr][row];
+  }
+
+  /// Materializes one tuple (for clustering-function evaluation).
+  std::vector<ValueCode> Row(size_t row) const;
+
+  /// Contiguous codes of one attribute (π_A(D)).
+  const std::vector<ValueCode>& column(AttrIndex attr) const {
+    return columns_[attr];
+  }
+
+  /// Exact histogram h_A(D) over dom(A).
+  Histogram ComputeHistogram(AttrIndex attr) const;
+
+  /// Exact histogram of the sub-bag given by `row_indices`.
+  Histogram ComputeHistogram(AttrIndex attr,
+                             const std::vector<uint32_t>& row_indices) const;
+
+  /// Per-group histograms in one pass: result[g] is the histogram of rows with
+  /// labels[row] == g. Requires labels.size() == num_rows() and every label
+  /// < num_groups.
+  std::vector<Histogram> ComputeGroupHistograms(
+      AttrIndex attr, const std::vector<uint32_t>& labels,
+      size_t num_groups) const;
+
+  /// New dataset with only the listed rows (bag semantics: duplicates and
+  /// reordering allowed).
+  Dataset SelectRows(const std::vector<uint32_t>& row_indices) const;
+
+  /// New dataset with only the listed attributes, schema projected to match.
+  Dataset SelectAttributes(const std::vector<AttrIndex>& attrs) const;
+
+  /// Bernoulli row sample: keeps each row independently with probability
+  /// `fraction` (clamped to [0,1]).
+  Dataset SampleRows(double fraction, Rng& rng) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<ValueCode>> columns_;  // [attr][row]
+  size_t num_rows_ = 0;
+};
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_DATA_DATASET_H_

@@ -1,0 +1,67 @@
+#include "data/derived.h"
+
+namespace dpclustx {
+
+StatusOr<Dataset> WithProductAttribute(
+    const Dataset& dataset, AttrIndex a, AttrIndex b,
+    const ProductAttributeOptions& options) {
+  return WithProductAttributes(dataset, {{a, b}}, options);
+}
+
+StatusOr<Dataset> WithProductAttributes(
+    const Dataset& dataset,
+    const std::vector<std::pair<AttrIndex, AttrIndex>>& pairs,
+    const ProductAttributeOptions& options) {
+  const Schema& schema = dataset.schema();
+  std::vector<Attribute> attrs = schema.attributes();
+  for (const auto& [a, b] : pairs) {
+    if (a >= schema.num_attributes() || b >= schema.num_attributes()) {
+      return Status::InvalidArgument("attribute index out of range");
+    }
+    if (a == b) {
+      return Status::InvalidArgument(
+          "product of an attribute with itself is the attribute");
+    }
+    const Attribute& attr_a = schema.attribute(a);
+    const Attribute& attr_b = schema.attribute(b);
+    const size_t product = attr_a.domain_size() * attr_b.domain_size();
+    if (product > options.max_domain) {
+      return Status::InvalidArgument(
+          "product domain " + std::to_string(product) + " exceeds limit " +
+          std::to_string(options.max_domain) +
+          " (large product domains make per-cell DP counts unusable)");
+    }
+    // Labels in row-major order over (code_a, code_b): derived code =
+    // code_a · |dom(B)| + code_b.
+    std::vector<std::string> labels;
+    labels.reserve(product);
+    for (size_t va = 0; va < attr_a.domain_size(); ++va) {
+      for (size_t vb = 0; vb < attr_b.domain_size(); ++vb) {
+        labels.push_back(attr_a.label(static_cast<ValueCode>(va)) +
+                         options.label_separator +
+                         attr_b.label(static_cast<ValueCode>(vb)));
+      }
+    }
+    attrs.emplace_back(attr_a.name() + "x" + attr_b.name(),
+                       std::move(labels));
+  }
+
+  Dataset out{Schema(std::move(attrs))};
+  DPX_RETURN_IF_ERROR(out.schema().Validate());
+  std::vector<ValueCode> row(out.num_attributes());
+  for (size_t r = 0; r < dataset.num_rows(); ++r) {
+    for (size_t i = 0; i < dataset.num_attributes(); ++i) {
+      row[i] = dataset.at(r, static_cast<AttrIndex>(i));
+    }
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      const auto [a, b] = pairs[p];
+      const size_t domain_b = schema.attribute(b).domain_size();
+      row[dataset.num_attributes() + p] = static_cast<ValueCode>(
+          dataset.at(r, a) * domain_b + dataset.at(r, b));
+    }
+    out.AppendRowUnchecked(row);
+  }
+  return out;
+}
+
+}  // namespace dpclustx

@@ -1,0 +1,46 @@
+// Derived attributes: Cartesian-product columns for two-dimensional
+// histogram explanations.
+//
+// The paper's future-work discussion (§8) proposes extending DPClustX to
+// higher-dimensional histograms "by considering the Cartesian product of
+// the domains". This module implements exactly that: a derived attribute
+// whose domain is dom(A) × dom(B) and whose codes combine the source codes.
+// The derived column is an ordinary categorical attribute, so the whole
+// framework — quality functions, DP selection, noisy release — applies
+// unchanged. The caveat the paper raises is real and observable here:
+// product domains are large, per-cell counts small, and DP noise per cell
+// therefore relatively heavier.
+
+#ifndef DPCLUSTX_DATA_DERIVED_H_
+#define DPCLUSTX_DATA_DERIVED_H_
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace dpclustx {
+
+struct ProductAttributeOptions {
+  /// Refuse products whose domain would exceed this (noise per cell grows
+  /// with domain size; huge products are never useful under DP).
+  size_t max_domain = 4096;
+  /// Separator in the derived labels ("<a_label>|<b_label>") and name
+  /// ("<a>x<b>").
+  std::string label_separator = "|";
+};
+
+/// Returns `dataset` extended with one derived attribute combining columns
+/// `a` and `b` (appended last). Requires a != b, both valid.
+StatusOr<Dataset> WithProductAttribute(
+    const Dataset& dataset, AttrIndex a, AttrIndex b,
+    const ProductAttributeOptions& options = {});
+
+/// Returns `dataset` extended with the products of all listed attribute
+/// pairs.
+StatusOr<Dataset> WithProductAttributes(
+    const Dataset& dataset,
+    const std::vector<std::pair<AttrIndex, AttrIndex>>& pairs,
+    const ProductAttributeOptions& options = {});
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_DATA_DERIVED_H_

@@ -1,0 +1,121 @@
+#include "data/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace dpclustx {
+
+double Histogram::Total() const {
+  double total = 0.0;
+  for (double b : bins_) total += b;
+  return total;
+}
+
+std::vector<double> Histogram::Normalized() const {
+  DPX_CHECK(!bins_.empty());
+  const double total = Total();
+  std::vector<double> out(bins_.size());
+  if (total <= 0.0) {
+    const double uniform = 1.0 / static_cast<double>(bins_.size());
+    std::fill(out.begin(), out.end(), uniform);
+    return out;
+  }
+  for (size_t i = 0; i < bins_.size(); ++i) out[i] = bins_[i] / total;
+  return out;
+}
+
+ValueCode Histogram::ArgMax() const {
+  DPX_CHECK(!bins_.empty());
+  return static_cast<ValueCode>(
+      std::max_element(bins_.begin(), bins_.end()) - bins_.begin());
+}
+
+double Histogram::L1Distance(const Histogram& a, const Histogram& b) {
+  DPX_CHECK_EQ(a.domain_size(), b.domain_size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.bins_.size(); ++i) {
+    sum += std::fabs(a.bins_[i] - b.bins_[i]);
+  }
+  return sum;
+}
+
+double Histogram::Tvd(const Histogram& a, const Histogram& b) {
+  DPX_CHECK_EQ(a.domain_size(), b.domain_size());
+  const std::vector<double> p = a.Normalized();
+  const std::vector<double> q = b.Normalized();
+  double sum = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) sum += std::fabs(p[i] - q[i]);
+  return 0.5 * sum;
+}
+
+double Histogram::JensenShannonDistance(const Histogram& a,
+                                        const Histogram& b) {
+  DPX_CHECK_EQ(a.domain_size(), b.domain_size());
+  const std::vector<double> p = a.Normalized();
+  const std::vector<double> q = b.Normalized();
+  // JSD(p, q) = H((p+q)/2) − (H(p) + H(q))/2, entropy in bits.
+  auto entropy_term = [](double x) {
+    return x > 0.0 ? -x * std::log2(x) : 0.0;
+  };
+  double divergence = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    divergence += entropy_term(0.5 * (p[i] + q[i])) -
+                  0.5 * (entropy_term(p[i]) + entropy_term(q[i]));
+  }
+  // Numerical slack can push the divergence a hair below zero.
+  return std::sqrt(std::max(0.0, divergence));
+}
+
+Histogram Histogram::SubtractClamped(const Histogram& other) const {
+  DPX_CHECK_EQ(domain_size(), other.domain_size());
+  Histogram out(domain_size());
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    out.bins_[i] = std::max(0.0, bins_[i] - other.bins_[i]);
+  }
+  return out;
+}
+
+Histogram Histogram::Plus(const Histogram& other) const {
+  DPX_CHECK_EQ(domain_size(), other.domain_size());
+  Histogram out(domain_size());
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    out.bins_[i] = bins_[i] + other.bins_[i];
+  }
+  return out;
+}
+
+Histogram Histogram::RoundedNonNegative() const {
+  Histogram out(domain_size());
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    out.bins_[i] = std::max(0.0, std::round(bins_[i]));
+  }
+  return out;
+}
+
+std::string Histogram::ToAsciiArt(const Attribute& attr,
+                                  size_t bar_width) const {
+  DPX_CHECK_EQ(attr.domain_size(), domain_size());
+  const std::vector<double> probs = Normalized();
+  size_t label_width = 0;
+  for (const std::string& label : attr.value_labels()) {
+    label_width = std::max(label_width, label.size());
+  }
+  std::string out;
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    const std::string& label = attr.label(static_cast<ValueCode>(i));
+    out += "  " + label + std::string(label_width - label.size(), ' ') + " |";
+    const auto bar = static_cast<size_t>(
+        std::llround(probs[i] * static_cast<double>(bar_width)));
+    out += std::string(bar, '#');
+    char pct[16];
+    std::snprintf(pct, sizeof(pct), " %5.1f%%", 100.0 * probs[i]);
+    out += pct;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dpclustx

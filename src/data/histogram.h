@@ -1,0 +1,78 @@
+// Histogram over an attribute's domain.
+//
+// A histogram h_A(D) maps every value of dom(A) to a count (paper §2). Bins
+// are doubles because DP-noised histograms carry non-integer (and, before
+// clamping, possibly negative) counts; exact histograms hold integers
+// exactly (counts well below 2^53).
+
+#ifndef DPCLUSTX_DATA_HISTOGRAM_H_
+#define DPCLUSTX_DATA_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace dpclustx {
+
+class Histogram {
+ public:
+  Histogram() = default;
+  /// Zero histogram over a domain of `domain_size` bins.
+  explicit Histogram(size_t domain_size) : bins_(domain_size, 0.0) {}
+  /// Histogram with the given bin contents.
+  explicit Histogram(std::vector<double> bins) : bins_(std::move(bins)) {}
+
+  size_t domain_size() const { return bins_.size(); }
+  double bin(ValueCode code) const { return bins_[code]; }
+  const std::vector<double>& bins() const { return bins_; }
+
+  void set_bin(ValueCode code, double value) { bins_[code] = value; }
+  void Increment(ValueCode code, double by = 1.0) { bins_[code] += by; }
+
+  /// Sum of all bins.
+  double Total() const;
+
+  /// Bin values as a probability vector. An all-zero histogram normalizes to
+  /// the uniform distribution (the convention avoids 0/0 for empty noisy
+  /// clusters and only arises in degenerate inputs).
+  std::vector<double> Normalized() const;
+
+  /// Index of the largest bin (ties broken toward the smaller code).
+  ValueCode ArgMax() const;
+
+  /// L1 distance between raw bin vectors. Requires equal domain sizes.
+  static double L1Distance(const Histogram& a, const Histogram& b);
+
+  /// Total variation distance between the *normalized* histograms:
+  ///   TVD = (1/2)·Σ_a |p(a) − q(a)|   (paper Eq. 1).
+  /// Requires equal domain sizes.
+  static double Tvd(const Histogram& a, const Histogram& b);
+
+  /// Jensen–Shannon *distance* (square root of the divergence, log base 2 so
+  /// the range is [0, 1]) between the normalized histograms.
+  static double JensenShannonDistance(const Histogram& a, const Histogram& b);
+
+  /// max(this − other, 0) bin-wise — the paper's out-of-cluster histogram
+  /// derivation (Algorithm 2, line 13). Requires equal domain sizes.
+  Histogram SubtractClamped(const Histogram& other) const;
+
+  /// Bin-wise sum. Requires equal domain sizes.
+  Histogram Plus(const Histogram& other) const;
+
+  /// Rounds every bin to the nearest non-negative integer (presentation
+  /// post-processing of noisy histograms).
+  Histogram RoundedNonNegative() const;
+
+  /// Multi-line ASCII rendering with proportional bars, labeled by `attr`'s
+  /// value labels. For examples and debugging.
+  std::string ToAsciiArt(const Attribute& attr, size_t bar_width = 40) const;
+
+ private:
+  std::vector<double> bins_;
+};
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_DATA_HISTOGRAM_H_

@@ -1,0 +1,65 @@
+#include "data/schema.h"
+
+#include <unordered_set>
+
+namespace dpclustx {
+
+Attribute Attribute::WithAnonymousDomain(std::string name,
+                                         size_t domain_size) {
+  std::vector<std::string> labels;
+  labels.reserve(domain_size);
+  for (size_t i = 0; i < domain_size; ++i) {
+    labels.push_back("v" + std::to_string(i));
+  }
+  return Attribute(std::move(name), std::move(labels));
+}
+
+StatusOr<ValueCode> Attribute::CodeOf(const std::string& label) const {
+  for (size_t i = 0; i < value_labels_.size(); ++i) {
+    if (value_labels_[i] == label) return static_cast<ValueCode>(i);
+  }
+  return Status::NotFound("no value '" + label + "' in domain of attribute '" +
+                          name_ + "'");
+}
+
+StatusOr<AttrIndex> Schema::FindAttribute(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name() == name) return static_cast<AttrIndex>(i);
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+Status Schema::Validate() const {
+  if (attributes_.empty()) {
+    return Status::InvalidArgument("schema has no attributes");
+  }
+  std::unordered_set<std::string> names;
+  for (const Attribute& attr : attributes_) {
+    if (!names.insert(attr.name()).second) {
+      return Status::InvalidArgument("duplicate attribute name '" +
+                                     attr.name() + "'");
+    }
+    if (attr.domain_size() == 0) {
+      return Status::InvalidArgument("attribute '" + attr.name() +
+                                     "' has an empty domain");
+    }
+    std::unordered_set<std::string> labels;
+    for (const std::string& label : attr.value_labels()) {
+      if (!labels.insert(label).second) {
+        return Status::InvalidArgument("attribute '" + attr.name() +
+                                       "' has duplicate value label '" +
+                                       label + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Schema Schema::Project(const std::vector<AttrIndex>& indices) const {
+  std::vector<Attribute> projected;
+  projected.reserve(indices.size());
+  for (AttrIndex index : indices) projected.push_back(attributes_[index]);
+  return Schema(std::move(projected));
+}
+
+}  // namespace dpclustx

@@ -1,0 +1,87 @@
+// Relational schema for DPClustX datasets.
+//
+// Following the paper (§2, "Data"), every attribute has a discrete, finite,
+// and data-independent domain. Domains are data-independent because DP noise
+// must be added to *every* domain value's count, including values that do not
+// occur in the sensitive dataset — otherwise the histogram's support would
+// leak information. Cell values are stored as dense codes in
+// [0, domain_size); the schema maps codes to human-readable labels.
+
+#ifndef DPCLUSTX_DATA_SCHEMA_H_
+#define DPCLUSTX_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpclustx {
+
+/// Dense code of a categorical value within its attribute's domain.
+using ValueCode = uint32_t;
+/// Index of an attribute within a schema.
+using AttrIndex = uint32_t;
+
+/// One attribute: a name plus an ordered list of value labels defining the
+/// domain. The label at position i names code i.
+class Attribute {
+ public:
+  /// Creates an attribute whose domain is the given ordered label list.
+  /// Requires a non-empty, duplicate-free label list (checked lazily by
+  /// Schema validation).
+  Attribute(std::string name, std::vector<std::string> value_labels)
+      : name_(std::move(name)), value_labels_(std::move(value_labels)) {}
+
+  /// Creates an attribute with an anonymous domain of `domain_size` values
+  /// labeled "v0", "v1", ....
+  static Attribute WithAnonymousDomain(std::string name, size_t domain_size);
+
+  const std::string& name() const { return name_; }
+  size_t domain_size() const { return value_labels_.size(); }
+  const std::vector<std::string>& value_labels() const {
+    return value_labels_;
+  }
+  const std::string& label(ValueCode code) const {
+    return value_labels_[code];
+  }
+
+  /// Returns the code of `label`, or NotFound. Linear scan — use only on
+  /// ingestion paths, not inner loops.
+  StatusOr<ValueCode> CodeOf(const std::string& label) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> value_labels_;
+};
+
+/// An ordered collection of attributes. Immutable once built.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(AttrIndex index) const {
+    return attributes_[index];
+  }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named `name`, or NotFound.
+  StatusOr<AttrIndex> FindAttribute(const std::string& name) const;
+
+  /// Verifies the schema is well-formed: at least one attribute, unique
+  /// attribute names, non-empty duplicate-free domains.
+  Status Validate() const;
+
+  /// Schema restricted to the given attribute indices, in the given order.
+  Schema Project(const std::vector<AttrIndex>& indices) const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_DATA_SCHEMA_H_

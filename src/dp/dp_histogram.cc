@@ -1,0 +1,111 @@
+#include "dp/dp_histogram.h"
+
+#include <cmath>
+
+#include "dp/hierarchical_histogram.h"
+#include "dp/mechanisms.h"
+
+namespace dpclustx {
+
+StatusOr<Histogram> ReleaseDpHistogram(const Histogram& exact, double epsilon,
+                                       Rng& rng,
+                                       const DpHistogramOptions& options) {
+  if (exact.domain_size() == 0) {
+    return Status::InvalidArgument("ReleaseDpHistogram: empty domain");
+  }
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        "ReleaseDpHistogram: epsilon must be positive");
+  }
+  if (options.noise == HistogramNoise::kHierarchical) {
+    HierarchicalHistogramOptions tree_options;
+    tree_options.clamp_non_negative = options.clamp_non_negative;
+    return ReleaseHierarchicalDpHistogram(exact, epsilon, rng, tree_options);
+  }
+  Histogram noisy(exact.domain_size());
+  for (size_t i = 0; i < exact.domain_size(); ++i) {
+    const auto code = static_cast<ValueCode>(i);
+    double value = 0.0;
+    switch (options.noise) {
+      case HistogramNoise::kGeometric: {
+        // Exact bins are integral by construction; llround guards against
+        // caller-provided non-integer bins.
+        const auto count = static_cast<int64_t>(std::llround(exact.bin(code)));
+        value = static_cast<double>(GeometricMechanism(count, /*sensitivity=*/
+                                                       1.0, epsilon, rng));
+        break;
+      }
+      case HistogramNoise::kLaplace:
+        value = LaplaceMechanism(exact.bin(code), /*sensitivity=*/1.0,
+                                 epsilon, rng);
+        break;
+      case HistogramNoise::kHierarchical:
+        break;  // dispatched above; unreachable
+    }
+    if (options.clamp_non_negative) value = std::max(0.0, value);
+    noisy.set_bin(code, value);
+  }
+  return noisy;
+}
+
+double DpHistogramBinNoiseQuantile(HistogramNoise noise, size_t domain_size,
+                                   double epsilon, double confidence) {
+  switch (noise) {
+    case HistogramNoise::kGeometric: {
+      // P(|Z| > t) = 2·α^{t+1}/(1+α), α = e^{−ε}; smallest integer t with
+      // tail <= 1 − confidence.
+      const double alpha = std::exp(-epsilon);
+      const double delta = 1.0 - confidence;
+      const double rhs = delta * (1.0 + alpha) / 2.0;
+      if (rhs >= 1.0) return 0.0;
+      return std::max(0.0,
+                      std::ceil(std::log(rhs) / std::log(alpha)) - 1.0);
+    }
+    case HistogramNoise::kLaplace:
+      return -std::log(1.0 - confidence) / epsilon;
+    case HistogramNoise::kHierarchical: {
+      // Upper bound: a leaf estimate aggregates noise at per-level scale
+      // h/ε; the consistent estimator only shrinks it.
+      size_t m = 1;
+      size_t levels = 1;
+      while (m < domain_size) {
+        m <<= 1;
+        ++levels;
+      }
+      const double scale = static_cast<double>(levels) / epsilon;
+      return -scale * std::log(1.0 - confidence);
+    }
+  }
+  return 0.0;
+}
+
+double DpHistogramMaxErrorBound(size_t domain_size, double epsilon,
+                                double confidence) {
+  // Two-sided geometric tail: P(|Z| > t) = 2·α^{t+1}/(1+α), α = e^{−ε}.
+  // Union bound over domain_size bins:
+  //   domain_size · 2·α^{t+1}/(1+α) <= 1 − confidence.
+  const double alpha = std::exp(-epsilon);
+  const double delta = 1.0 - confidence;
+  const double rhs =
+      delta * (1.0 + alpha) / (2.0 * static_cast<double>(domain_size));
+  if (rhs >= 1.0) return 0.0;  // even zero error holds with this confidence
+  const double t_plus_1 = std::log(rhs) / std::log(alpha);
+  return std::max(0.0, std::ceil(t_plus_1) - 1.0);
+}
+
+double EpsilonForDpHistogramError(size_t domain_size, double max_error,
+                                  double confidence) {
+  // The bound is monotone decreasing in ε; bisect.
+  double lo = 1e-8, hi = 64.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (DpHistogramMaxErrorBound(domain_size, mid, confidence) <= max_error) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace dpclustx

@@ -1,0 +1,63 @@
+// Differentially private histogram release — the paper's M_hist(π_A(D), ε).
+//
+// Takes an exact histogram over a data-independent domain and perturbs every
+// bin with independent sensitivity-1 noise. Adding or removing one tuple
+// changes exactly one bin by 1 (unbounded-DP neighbors), so per-bin noise at
+// ε yields an ε-DP release of the whole histogram. The default noise is the
+// two-sided geometric mechanism (Ghosh et al.), matching the paper's
+// DiffPrivLib configuration; Laplace is available as an alternative.
+// DPClustX treats this mechanism as a black box (paper §2.1).
+
+#ifndef DPCLUSTX_DP_DP_HISTOGRAM_H_
+#define DPCLUSTX_DP_DP_HISTOGRAM_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/histogram.h"
+
+namespace dpclustx {
+
+/// Pluggable noise family for histogram release.
+enum class HistogramNoise {
+  kGeometric,     // integer noise, P(Z=z) ∝ exp(−ε|z|)  (default)
+  kLaplace,       // real noise, Lap(1/ε)
+  kHierarchical,  // noisy aggregation tree + consistency (Hay et al. 2010);
+                  // see dp/hierarchical_histogram.h
+};
+
+/// Per-mechanism options.
+struct DpHistogramOptions {
+  HistogramNoise noise = HistogramNoise::kGeometric;
+  /// Clamp noisy bins at zero (standard post-processing; free under DP).
+  bool clamp_non_negative = true;
+};
+
+/// Releases an ε-DP noisy copy of `exact`. Requires epsilon > 0 and a
+/// non-empty domain.
+StatusOr<Histogram> ReleaseDpHistogram(const Histogram& exact, double epsilon,
+                                       Rng& rng,
+                                       const DpHistogramOptions& options = {});
+
+/// Symmetric per-bin noise quantile of one release: the smallest t with
+/// P(|noise| <= t) >= confidence for the given mechanism at `epsilon`
+/// (per-bin, no union bound). Lets presentation layers annotate released
+/// bins with "±t @confidence". Hierarchical releases are approximated by
+/// their per-level Laplace scale times the tree height (an upper bound).
+double DpHistogramBinNoiseQuantile(HistogramNoise noise, size_t domain_size,
+                                   double epsilon, double confidence);
+
+/// Utility bound: the smallest t such that *every* bin's absolute error is
+/// at most t with probability >= confidence, under the geometric mechanism
+/// (union bound over `domain_size` bins). Lets callers translate an accuracy
+/// target into a required ε, as the paper notes such mechanisms allow.
+double DpHistogramMaxErrorBound(size_t domain_size, double epsilon,
+                                double confidence);
+
+/// Smallest ε so that DpHistogramMaxErrorBound(domain_size, ε, confidence)
+/// <= max_error. Requires max_error > 0.
+double EpsilonForDpHistogramError(size_t domain_size, double max_error,
+                                  double confidence);
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_DP_DP_HISTOGRAM_H_

@@ -1,0 +1,103 @@
+#include "dp/eda_session.h"
+
+#include "dp/mechanisms.h"
+
+namespace dpclustx {
+
+StatusOr<EdaSession> EdaSession::Open(const Dataset* dataset,
+                                      std::vector<uint32_t> labels,
+                                      size_t num_clusters,
+                                      PrivacyBudget* budget, uint64_t seed) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("dataset must not be null");
+  }
+  if (budget == nullptr) {
+    return Status::InvalidArgument("budget must not be null");
+  }
+  if (labels.size() != dataset->num_rows()) {
+    return Status::InvalidArgument("labels must cover every row");
+  }
+  if (num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be >= 1");
+  }
+  for (uint32_t label : labels) {
+    if (label >= num_clusters) {
+      return Status::InvalidArgument("label out of range");
+    }
+  }
+  return EdaSession(dataset, std::move(labels), num_clusters, budget, seed);
+}
+
+Status EdaSession::ValidateQuery(uint32_t cluster, AttrIndex attr) const {
+  if (cluster >= num_clusters_) {
+    return Status::InvalidArgument("cluster " + std::to_string(cluster) +
+                                   " out of range");
+  }
+  if (attr >= dataset_->num_attributes()) {
+    return Status::InvalidArgument("attribute index out of range");
+  }
+  return Status::OK();
+}
+
+StatusOr<Histogram> EdaSession::QueryClusterHistogram(uint32_t cluster,
+                                                      AttrIndex attr,
+                                                      double epsilon) {
+  ++queries_issued_;
+  DPX_RETURN_IF_ERROR(ValidateQuery(cluster, attr));
+  DPX_RETURN_IF_ERROR(budget_->Spend(
+      epsilon, "eda/cluster-histogram c=" + std::to_string(cluster) +
+                   " attr=" + dataset_->schema().attribute(attr).name()));
+  const std::vector<Histogram> groups =
+      dataset_->ComputeGroupHistograms(attr, labels_, num_clusters_);
+  return ReleaseDpHistogram(groups[cluster], epsilon, rng_,
+                            histogram_options_);
+}
+
+StatusOr<std::vector<Histogram>> EdaSession::QueryAllClusterHistograms(
+    AttrIndex attr, double epsilon) {
+  ++queries_issued_;
+  DPX_RETURN_IF_ERROR(ValidateQuery(0, attr));
+  // Disjoint clusters: one parallel-composition charge covers the round.
+  DPX_RETURN_IF_ERROR(budget_->SpendParallel(
+      std::vector<double>(num_clusters_, epsilon),
+      "eda/all-cluster-histograms attr=" +
+          dataset_->schema().attribute(attr).name()));
+  const std::vector<Histogram> groups =
+      dataset_->ComputeGroupHistograms(attr, labels_, num_clusters_);
+  std::vector<Histogram> noisy;
+  noisy.reserve(groups.size());
+  for (const Histogram& group : groups) {
+    DPX_ASSIGN_OR_RETURN(
+        Histogram h,
+        ReleaseDpHistogram(group, epsilon, rng_, histogram_options_));
+    noisy.push_back(std::move(h));
+  }
+  return noisy;
+}
+
+StatusOr<Histogram> EdaSession::QueryFullHistogram(AttrIndex attr,
+                                                   double epsilon) {
+  ++queries_issued_;
+  DPX_RETURN_IF_ERROR(ValidateQuery(0, attr));
+  DPX_RETURN_IF_ERROR(budget_->Spend(
+      epsilon, "eda/full-histogram attr=" +
+                   dataset_->schema().attribute(attr).name()));
+  return ReleaseDpHistogram(dataset_->ComputeHistogram(attr), epsilon, rng_,
+                            histogram_options_);
+}
+
+StatusOr<double> EdaSession::QueryClusterSize(uint32_t cluster,
+                                              double epsilon) {
+  ++queries_issued_;
+  DPX_RETURN_IF_ERROR(ValidateQuery(cluster, 0));
+  DPX_RETURN_IF_ERROR(budget_->Spend(
+      epsilon, "eda/cluster-size c=" + std::to_string(cluster)));
+  int64_t count = 0;
+  for (uint32_t label : labels_) {
+    if (label == cluster) ++count;
+  }
+  return static_cast<double>(
+      GeometricMechanism(count, /*sensitivity=*/1.0, epsilon, rng_));
+}
+
+}  // namespace dpclustx

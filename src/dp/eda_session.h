@@ -1,0 +1,86 @@
+// Interactive DP exploratory-data-analysis session.
+//
+// The paper's motivation (§1): without DPClustX, an analyst who wants to
+// understand clusters runs a *manual* EDA session — a sequence of noisy
+// histogram and count queries — and every query burns privacy budget under
+// sequential composition. This module implements that workflow faithfully
+// (in the spirit of PINQ-style interactive systems): each query draws fresh
+// noise, charges the shared accountant, and is refused once the budget runs
+// out. The `manual_eda_vs_dpclustx` example uses it to reproduce the
+// motivating comparison.
+
+#ifndef DPCLUSTX_DP_EDA_SESSION_H_
+#define DPCLUSTX_DP_EDA_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "dp/dp_histogram.h"
+#include "dp/privacy_budget.h"
+
+namespace dpclustx {
+
+class EdaSession {
+ public:
+  /// Creates a session over `dataset` partitioned by `labels` (one label per
+  /// row, each < num_clusters). The session does not own the budget; all
+  /// queries charge `budget`. Returns InvalidArgument on shape mismatches.
+  static StatusOr<EdaSession> Open(const Dataset* dataset,
+                                   std::vector<uint32_t> labels,
+                                   size_t num_clusters, PrivacyBudget* budget,
+                                   uint64_t seed);
+
+  /// Noisy histogram of `attr` restricted to one cluster; charges `epsilon`.
+  StatusOr<Histogram> QueryClusterHistogram(uint32_t cluster, AttrIndex attr,
+                                            double epsilon);
+
+  /// Noisy histograms of `attr` for *all* clusters in one round. Because the
+  /// clusters partition the data, parallel composition applies and the whole
+  /// round charges `epsilon` once — the budget-efficient way to scan an
+  /// attribute.
+  StatusOr<std::vector<Histogram>> QueryAllClusterHistograms(AttrIndex attr,
+                                                             double epsilon);
+
+  /// Noisy histogram of `attr` over the full dataset; charges `epsilon`.
+  StatusOr<Histogram> QueryFullHistogram(AttrIndex attr, double epsilon);
+
+  /// Noisy size of one cluster (sensitivity-1 count); charges `epsilon`.
+  StatusOr<double> QueryClusterSize(uint32_t cluster, double epsilon);
+
+  /// Number of queries issued so far (including refused ones).
+  size_t queries_issued() const { return queries_issued_; }
+
+  const DpHistogramOptions& histogram_options() const {
+    return histogram_options_;
+  }
+  void set_histogram_options(const DpHistogramOptions& options) {
+    histogram_options_ = options;
+  }
+
+ private:
+  EdaSession(const Dataset* dataset, std::vector<uint32_t> labels,
+             size_t num_clusters, PrivacyBudget* budget, uint64_t seed)
+      : dataset_(dataset),
+        labels_(std::move(labels)),
+        num_clusters_(num_clusters),
+        budget_(budget),
+        rng_(seed) {}
+
+  Status ValidateQuery(uint32_t cluster, AttrIndex attr) const;
+
+  const Dataset* dataset_;  // not owned; must outlive the session
+  std::vector<uint32_t> labels_;
+  size_t num_clusters_;
+  PrivacyBudget* budget_;  // not owned
+  Rng rng_;
+  DpHistogramOptions histogram_options_;
+  size_t queries_issued_ = 0;
+};
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_DP_EDA_SESSION_H_

@@ -1,0 +1,44 @@
+#include "dp/exponential.h"
+
+#include <cmath>
+
+namespace dpclustx {
+
+StatusOr<size_t> ExponentialMechanism(const std::vector<double>& scores,
+                                      double sensitivity, double epsilon,
+                                      Rng& rng) {
+  if (scores.empty()) {
+    return Status::InvalidArgument("ExponentialMechanism: no candidates");
+  }
+  if (sensitivity <= 0.0) {
+    return Status::InvalidArgument(
+        "ExponentialMechanism: sensitivity must be positive");
+  }
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        "ExponentialMechanism: epsilon must be positive");
+  }
+  // Gumbel-max trick: P(argmax_i(a_i + G_i) = j) = exp(a_j)/Σexp(a_i) for
+  // iid standard Gumbel G_i, which is exactly the EM distribution with
+  // a_i = ε·score_i/(2Δ).
+  const double scale = epsilon / (2.0 * sensitivity);
+  size_t best = 0;
+  double best_value = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const double value = scale * scores[i] + rng.Gumbel(1.0);
+    if (value > best_value) {
+      best_value = value;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double ExponentialMechanismErrorBound(size_t num_candidates,
+                                      double sensitivity, double epsilon,
+                                      double t) {
+  return (2.0 * sensitivity / epsilon) *
+         (std::log(static_cast<double>(num_candidates)) + t);
+}
+
+}  // namespace dpclustx

@@ -1,0 +1,35 @@
+// The exponential mechanism (McSherry & Talwar 2007).
+//
+// Selects a candidate with probability proportional to
+// exp(ε·q(D, r) / (2·Δq)) (paper Def. 2.7). Implemented with the Gumbel-max
+// trick — argmax_i(score_i·ε/(2Δ) + Gumbel(1)) has exactly the EM output
+// distribution — which is numerically stable for scores whose scaled
+// magnitudes would overflow exp().
+
+#ifndef DPCLUSTX_DP_EXPONENTIAL_H_
+#define DPCLUSTX_DP_EXPONENTIAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dpclustx {
+
+/// Returns the index of the selected candidate. Requires non-empty scores;
+/// sensitivity > 0 and epsilon > 0.
+StatusOr<size_t> ExponentialMechanism(const std::vector<double>& scores,
+                                      double sensitivity, double epsilon,
+                                      Rng& rng);
+
+/// The additive-error bound of EM utility (Theorem 3.11, Dwork & Roth):
+/// with probability >= 1 − e^{−t}, the selected score is at least
+/// max(score) − (2Δ/ε)·(ln|R| + t).
+double ExponentialMechanismErrorBound(size_t num_candidates,
+                                      double sensitivity, double epsilon,
+                                      double t);
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_DP_EXPONENTIAL_H_

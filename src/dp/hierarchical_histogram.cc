@@ -1,0 +1,108 @@
+#include "dp/hierarchical_histogram.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace dpclustx {
+
+namespace {
+
+// Smallest power of two >= n.
+size_t PowerOfTwoCeiling(size_t n) {
+  size_t m = 1;
+  while (m < n) m <<= 1;
+  return m;
+}
+
+}  // namespace
+
+StatusOr<Histogram> ReleaseHierarchicalDpHistogram(
+    const Histogram& exact, double epsilon, Rng& rng,
+    const HierarchicalHistogramOptions& options) {
+  DPX_ASSIGN_OR_RETURN(HierarchicalHistogram released,
+                       HierarchicalHistogram::Release(exact, epsilon, rng,
+                                                      options));
+  return released.leaves();
+}
+
+StatusOr<HierarchicalHistogram> HierarchicalHistogram::Release(
+    const Histogram& exact, double epsilon, Rng& rng,
+    const HierarchicalHistogramOptions& options) {
+  const size_t domain = exact.domain_size();
+  if (domain == 0) {
+    return Status::InvalidArgument("hierarchical release: empty domain");
+  }
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        "hierarchical release: epsilon must be positive");
+  }
+
+  // Heap-layout complete binary tree over the padded domain: internal nodes
+  // 1..m-1, leaves m..2m-1 (padding bins are structurally zero but noised
+  // like real bins, which costs accuracy, never privacy).
+  const size_t m = PowerOfTwoCeiling(domain);
+  const size_t levels =
+      static_cast<size_t>(std::llround(std::log2(m))) + 1;
+  std::vector<double> noisy(2 * m, 0.0);
+
+  // Exact node counts.
+  for (size_t i = 0; i < domain; ++i) noisy[m + i] = exact.bin(i);
+  for (size_t v = m - 1; v >= 1; --v) {
+    noisy[v] = noisy[2 * v] + noisy[2 * v + 1];
+  }
+  // One tuple changes exactly one node per level, so releasing every level
+  // at ε/levels composes to ε overall.
+  const double scale = static_cast<double>(levels) / epsilon;
+  for (size_t v = 1; v < 2 * m; ++v) noisy[v] += rng.Laplace(scale);
+
+  // Constrained inference, up pass: z[v] blends the node's own noisy count
+  // with its children's aggregated estimate, weighted by subtree size
+  // (Hay et al., §4.1, fanout 2). subtree_height is 1 at the leaves.
+  std::vector<double> z(2 * m, 0.0);
+  for (size_t i = 0; i < m; ++i) z[m + i] = noisy[m + i];
+  std::vector<double> pow2(levels + 1, 1.0);
+  for (size_t k = 1; k <= levels; ++k) pow2[k] = 2.0 * pow2[k - 1];
+  size_t level_start = m / 2;
+  size_t subtree_height = 2;
+  while (level_start >= 1) {
+    for (size_t v = level_start; v < 2 * level_start; ++v) {
+      const double lk = pow2[subtree_height];
+      const double lk1 = pow2[subtree_height - 1];
+      z[v] = ((lk - lk1) / (lk - 1.0)) * noisy[v] +
+             ((lk1 - 1.0) / (lk - 1.0)) * (z[2 * v] + z[2 * v + 1]);
+    }
+    level_start /= 2;
+    ++subtree_height;
+  }
+
+  // Down pass: distribute each parent's residual equally to its children,
+  // yielding the least-squares consistent tree.
+  std::vector<double> consistent(2 * m, 0.0);
+  consistent[1] = z[1];
+  for (size_t v = 1; v < m; ++v) {
+    const double residual =
+        0.5 * (consistent[v] - (z[2 * v] + z[2 * v + 1]));
+    consistent[2 * v] = z[2 * v] + residual;
+    consistent[2 * v + 1] = z[2 * v + 1] + residual;
+  }
+
+  Histogram leaves(domain);
+  for (size_t i = 0; i < domain; ++i) {
+    double value = consistent[m + i];
+    if (options.clamp_non_negative) value = std::max(0.0, value);
+    leaves.set_bin(static_cast<ValueCode>(i), value);
+  }
+  return HierarchicalHistogram(std::move(leaves));
+}
+
+double HierarchicalHistogram::RangeQuery(ValueCode lo, ValueCode hi) const {
+  DPX_CHECK_LE(lo, hi);
+  DPX_CHECK_LE(hi, leaves_.domain_size());
+  double total = 0.0;
+  for (ValueCode code = lo; code < hi; ++code) total += leaves_.bin(code);
+  return total;
+}
+
+}  // namespace dpclustx

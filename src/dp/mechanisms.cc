@@ -1,0 +1,42 @@
+#include "dp/mechanisms.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dpclustx {
+
+double LaplaceMechanism(double true_value, double sensitivity, double epsilon,
+                        Rng& rng) {
+  DPX_CHECK_GT(sensitivity, 0.0);
+  DPX_CHECK_GT(epsilon, 0.0);
+  return true_value + rng.Laplace(sensitivity / epsilon);
+}
+
+int64_t GeometricMechanism(int64_t true_count, double sensitivity,
+                           double epsilon, Rng& rng) {
+  DPX_CHECK_GT(sensitivity, 0.0);
+  DPX_CHECK_GT(epsilon, 0.0);
+  return true_count + rng.TwoSidedGeometric(epsilon / sensitivity);
+}
+
+double LaplaceNoiseQuantile(double sensitivity, double epsilon,
+                            double confidence) {
+  DPX_CHECK_GT(sensitivity, 0.0);
+  DPX_CHECK_GT(epsilon, 0.0);
+  DPX_CHECK(confidence > 0.0 && confidence < 1.0);
+  // P(|Lap(b)| <= t) = 1 − exp(−t/b)  =>  t = −b·ln(1 − confidence).
+  const double scale = sensitivity / epsilon;
+  return -scale * std::log(1.0 - confidence);
+}
+
+double EpsilonForLaplaceError(double sensitivity, double max_error,
+                              double confidence) {
+  DPX_CHECK_GT(sensitivity, 0.0);
+  DPX_CHECK_GT(max_error, 0.0);
+  DPX_CHECK(confidence > 0.0 && confidence < 1.0);
+  // Invert LaplaceNoiseQuantile for epsilon.
+  return -sensitivity * std::log(1.0 - confidence) / max_error;
+}
+
+}  // namespace dpclustx

@@ -1,0 +1,44 @@
+// Additive-noise DP primitives for scalar queries.
+//
+// Both mechanisms release q(D) + Z for a query with known L1 sensitivity Δ:
+//   - Laplace (Dwork et al. 2006): Z ~ Lap(Δ/ε), for real-valued queries.
+//   - Two-sided geometric (Ghosh et al. 2009): Z integer with
+//     P(Z = z) ∝ exp(-ε·|z|/Δ), universally optimal for integer counts —
+//     this is the mechanism DiffPrivLib uses and the paper's default for
+//     histograms.
+
+#ifndef DPCLUSTX_DP_MECHANISMS_H_
+#define DPCLUSTX_DP_MECHANISMS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dpclustx {
+
+/// true_value + Lap(sensitivity/epsilon). Requires sensitivity > 0 and
+/// epsilon > 0 (DPX_CHECKed — miscalibrated noise is a privacy bug, not a
+/// recoverable error).
+double LaplaceMechanism(double true_value, double sensitivity, double epsilon,
+                        Rng& rng);
+
+/// true_count + Z with Z two-sided geometric at parameter exp(-epsilon /
+/// sensitivity). Requires sensitivity > 0 and epsilon > 0.
+int64_t GeometricMechanism(int64_t true_count, double sensitivity,
+                           double epsilon, Rng& rng);
+
+/// Symmetric-interval quantile of the Laplace mechanism's noise:
+/// the smallest t with P(|Z| <= t) >= confidence. Used to translate accuracy
+/// requirements into budgets. Requires confidence in (0, 1).
+double LaplaceNoiseQuantile(double sensitivity, double epsilon,
+                            double confidence);
+
+/// Smallest epsilon such that the Laplace mechanism's error is at most
+/// `max_error` with probability >= confidence.
+double EpsilonForLaplaceError(double sensitivity, double max_error,
+                              double confidence);
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_DP_MECHANISMS_H_

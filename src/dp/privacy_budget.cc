@@ -1,0 +1,70 @@
+#include "dp/privacy_budget.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace dpclustx {
+
+namespace {
+// Absolute slack for floating-point budget comparisons so that, e.g., three
+// charges of 0.1 against a total of 0.3 never spuriously fail.
+constexpr double kBudgetSlack = 1e-9;
+}  // namespace
+
+PrivacyBudget::PrivacyBudget(double total_epsilon) : total_(total_epsilon) {
+  DPX_CHECK_GT(total_epsilon, 0.0) << "privacy budget must be positive";
+}
+
+Status PrivacyBudget::Spend(double epsilon, const std::string& label) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive (label '" +
+                                   label + "')");
+  }
+  if (spent_ + epsilon > total_ + kBudgetSlack) {
+    char msg[160];
+    std::snprintf(msg, sizeof(msg),
+                  "spending %.6g for '%s' exceeds budget (spent %.6g of %.6g)",
+                  epsilon, label.c_str(), spent_, total_);
+    return Status::OutOfBudget(msg);
+  }
+  spent_ += epsilon;
+  ledger_.push_back({label, epsilon});
+  return Status::OK();
+}
+
+Status PrivacyBudget::SpendParallel(
+    const std::vector<double>& per_partition_epsilons,
+    const std::string& label) {
+  if (per_partition_epsilons.empty()) {
+    return Status::InvalidArgument("SpendParallel: empty epsilon list");
+  }
+  for (double eps : per_partition_epsilons) {
+    if (eps <= 0.0) {
+      return Status::InvalidArgument(
+          "SpendParallel: all epsilons must be positive");
+    }
+  }
+  const double max_eps = *std::max_element(per_partition_epsilons.begin(),
+                                           per_partition_epsilons.end());
+  return Spend(max_eps, label + " [parallel x" +
+                            std::to_string(per_partition_epsilons.size()) +
+                            "]");
+}
+
+std::string PrivacyBudget::Report() const {
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "privacy budget: spent %.6g / %.6g epsilon\n", spent_, total_);
+  out += line;
+  for (const LedgerEntry& entry : ledger_) {
+    std::snprintf(line, sizeof(line), "  %-40s %.6g\n", entry.label.c_str(),
+                  entry.epsilon);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dpclustx

@@ -1,0 +1,58 @@
+// Privacy-budget accounting.
+//
+// A PrivacyBudget tracks ε spent by a sequence of mechanism invocations under
+// sequential composition (Prop. 2.5 of the paper): total ε is the sum of the
+// ε's of the sequential steps. Parallel composition (disjoint inputs cost
+// max ε, not the sum) is exposed via SpendParallel, which charges the maximum
+// of a group of per-partition costs. Post-processing is free and never
+// touches the accountant.
+
+#ifndef DPCLUSTX_DP_PRIVACY_BUDGET_H_
+#define DPCLUSTX_DP_PRIVACY_BUDGET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpclustx {
+
+class PrivacyBudget {
+ public:
+  /// One charged step, for audit output.
+  struct LedgerEntry {
+    std::string label;
+    double epsilon;
+  };
+
+  /// Accountant with `total_epsilon` to spend. Requires total_epsilon > 0.
+  explicit PrivacyBudget(double total_epsilon);
+
+  double total_epsilon() const { return total_; }
+  double spent_epsilon() const { return spent_; }
+  double remaining_epsilon() const { return total_ - spent_; }
+
+  /// Charges `epsilon` under sequential composition. Returns OutOfBudget
+  /// (charging nothing) if it would exceed the total; InvalidArgument for
+  /// non-positive epsilon.
+  Status Spend(double epsilon, const std::string& label);
+
+  /// Charges max(per_partition_epsilons) — parallel composition over disjoint
+  /// data partitions. Requires a non-empty list of positive epsilons.
+  Status SpendParallel(const std::vector<double>& per_partition_epsilons,
+                       const std::string& label);
+
+  const std::vector<LedgerEntry>& ledger() const { return ledger_; }
+
+  /// Multi-line, human-readable spend report.
+  std::string Report() const;
+
+ private:
+  double total_;
+  double spent_ = 0.0;
+  std::vector<LedgerEntry> ledger_;
+};
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_DP_PRIVACY_BUDGET_H_

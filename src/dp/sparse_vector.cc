@@ -1,0 +1,62 @@
+#include "dp/sparse_vector.h"
+
+namespace dpclustx {
+
+StatusOr<SparseVector> SparseVector::Create(double threshold,
+                                            double sensitivity,
+                                            double epsilon,
+                                            size_t max_positives, Rng* rng) {
+  if (sensitivity <= 0.0) {
+    return Status::InvalidArgument("SVT: sensitivity must be positive");
+  }
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("SVT: epsilon must be positive");
+  }
+  if (max_positives == 0) {
+    return Status::InvalidArgument("SVT: max_positives must be >= 1");
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("SVT: rng must not be null");
+  }
+  // Standard AboveThreshold calibration (Dwork & Roth, Algorithm 2,
+  // generalized to c positives): threshold noise Lap(2Δ/ε₁) with ε₁ = ε/2,
+  // per-query noise Lap(4cΔ/ε₂) with ε₂ = ε/2.
+  const double eps_threshold = epsilon / 2.0;
+  const double eps_answers = epsilon / 2.0;
+  const double noisy_threshold =
+      threshold + rng->Laplace(2.0 * sensitivity / eps_threshold);
+  const double answer_scale =
+      4.0 * static_cast<double>(max_positives) * sensitivity / eps_answers;
+  return SparseVector(noisy_threshold, answer_scale, max_positives, rng);
+}
+
+StatusOr<bool> SparseVector::Query(double value) {
+  if (positives_reported_ >= max_positives_) {
+    return Status::FailedPrecondition(
+        "SVT: all above-threshold reports are spent");
+  }
+  const double noisy_value = value + rng_->Laplace(answer_scale_);
+  if (noisy_value >= noisy_threshold_) {
+    ++positives_reported_;
+    return true;
+  }
+  return false;
+}
+
+StatusOr<std::vector<size_t>> SvtAboveThreshold(
+    const std::vector<double>& values, double threshold, double sensitivity,
+    double epsilon, size_t max_positives, Rng& rng) {
+  DPX_ASSIGN_OR_RETURN(
+      SparseVector svt,
+      SparseVector::Create(threshold, sensitivity, epsilon, max_positives,
+                           &rng));
+  std::vector<size_t> positives;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (svt.positives_remaining() == 0) break;
+    DPX_ASSIGN_OR_RETURN(const bool above, svt.Query(values[i]));
+    if (above) positives.push_back(i);
+  }
+  return positives;
+}
+
+}  // namespace dpclustx

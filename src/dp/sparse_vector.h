@@ -1,0 +1,70 @@
+// The Sparse Vector Technique (AboveThreshold, Dwork & Roth §3.6).
+//
+// Answers a stream of sensitivity-Δ queries with "above/below threshold"
+// bits, paying ε only for the (at most c) above-threshold reports rather
+// than for every query. Included as an alternative Stage-1 selector for
+// DPClustX: instead of fixing the candidate count k, SVT can privately
+// return "all attributes whose single-cluster score clears a bar", which is
+// natural when the analyst knows a meaningful score threshold instead of a
+// count (see SvtSelectCandidates in core/candidate_selection.h and the
+// ablation bench).
+
+#ifndef DPCLUSTX_DP_SPARSE_VECTOR_H_
+#define DPCLUSTX_DP_SPARSE_VECTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dpclustx {
+
+/// Streaming AboveThreshold mechanism. The whole object satisfies ε-DP for
+/// up to `max_positives` above-threshold answers; it refuses further
+/// queries once they are spent.
+class SparseVector {
+ public:
+  /// Creates an SVT instance for sensitivity-`sensitivity` queries against
+  /// `threshold`, reporting at most `max_positives` positives under total
+  /// budget `epsilon`. The standard budget split is used: ε/2 for the
+  /// threshold perturbation, ε/2 shared by the positive reports.
+  static StatusOr<SparseVector> Create(double threshold, double sensitivity,
+                                       double epsilon, size_t max_positives,
+                                       Rng* rng);
+
+  /// Tests one query value. Returns true for "above threshold" (consuming
+  /// one positive), false for "below". Returns FailedPrecondition once all
+  /// positives are spent.
+  StatusOr<bool> Query(double value);
+
+  size_t positives_reported() const { return positives_reported_; }
+  size_t positives_remaining() const {
+    return max_positives_ - positives_reported_;
+  }
+
+ private:
+  SparseVector(double noisy_threshold, double answer_scale,
+               size_t max_positives, Rng* rng)
+      : noisy_threshold_(noisy_threshold),
+        answer_scale_(answer_scale),
+        max_positives_(max_positives),
+        rng_(rng) {}
+
+  double noisy_threshold_;
+  double answer_scale_;  // Laplace scale of per-query noise
+  size_t max_positives_;
+  size_t positives_reported_ = 0;
+  Rng* rng_;  // not owned
+};
+
+/// One-shot convenience: returns the indices reported above threshold when
+/// scanning `values` in order with a fresh SVT instance (stops scanning
+/// when the positives are exhausted).
+StatusOr<std::vector<size_t>> SvtAboveThreshold(
+    const std::vector<double>& values, double threshold, double sensitivity,
+    double epsilon, size_t max_positives, Rng& rng);
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_DP_SPARSE_VECTOR_H_

@@ -1,0 +1,95 @@
+#include "dp/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace dpclustx {
+
+StatusOr<std::vector<size_t>> OneShotTopK(const std::vector<double>& scores,
+                                          double sensitivity, double epsilon,
+                                          size_t k, Rng& rng) {
+  if (scores.empty()) {
+    return Status::InvalidArgument("OneShotTopK: no candidates");
+  }
+  if (k == 0 || k > scores.size()) {
+    return Status::InvalidArgument(
+        "OneShotTopK: k must lie in [1, num_candidates]; got k=" +
+        std::to_string(k) + " with " + std::to_string(scores.size()) +
+        " candidates");
+  }
+  if (sensitivity <= 0.0) {
+    return Status::InvalidArgument(
+        "OneShotTopK: sensitivity must be positive");
+  }
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("OneShotTopK: epsilon must be positive");
+  }
+
+  // Noise scale σ = 2·Δ·k/ε (Algorithm 1, line 2 of the paper, generalized
+  // to sensitivity Δ).
+  const double sigma =
+      2.0 * sensitivity * static_cast<double>(k) / epsilon;
+  std::vector<double> noisy(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    noisy[i] = scores[i] + rng.Gumbel(sigma);
+  }
+
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Only the top k need to be ordered.
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                    order.end(), [&](size_t a, size_t b) {
+                      return noisy[a] > noisy[b];
+                    });
+  order.resize(k);
+  return order;
+}
+
+StatusOr<std::vector<size_t>> IteratedExponentialTopK(
+    const std::vector<double>& scores, double sensitivity, double epsilon,
+    size_t k, Rng& rng) {
+  if (scores.empty()) {
+    return Status::InvalidArgument("IteratedExponentialTopK: no candidates");
+  }
+  if (k == 0 || k > scores.size()) {
+    return Status::InvalidArgument(
+        "IteratedExponentialTopK: k out of range");
+  }
+  if (sensitivity <= 0.0 || epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        "IteratedExponentialTopK: sensitivity and epsilon must be positive");
+  }
+  const double eps_round = epsilon / static_cast<double>(k);
+  const double scale = eps_round / (2.0 * sensitivity);
+  std::vector<size_t> remaining(scores.size());
+  std::iota(remaining.begin(), remaining.end(), 0);
+  std::vector<size_t> selected;
+  selected.reserve(k);
+  for (size_t round = 0; round < k; ++round) {
+    // Fresh Gumbel noise for every remaining candidate, every round — the
+    // cost profile OneShotTopK avoids.
+    size_t best_position = 0;
+    double best_value = -std::numeric_limits<double>::infinity();
+    for (size_t position = 0; position < remaining.size(); ++position) {
+      const double value =
+          scale * scores[remaining[position]] + rng.Gumbel(1.0);
+      if (value > best_value) {
+        best_value = value;
+        best_position = position;
+      }
+    }
+    selected.push_back(remaining[best_position]);
+    remaining.erase(remaining.begin() + static_cast<long>(best_position));
+  }
+  return selected;
+}
+
+double OneShotTopKErrorBound(size_t num_candidates, double sensitivity,
+                             double epsilon, size_t k, double t) {
+  return (2.0 * sensitivity * static_cast<double>(k) / epsilon) *
+         (std::log(static_cast<double>(num_candidates)) + t);
+}
+
+}  // namespace dpclustx

@@ -1,0 +1,46 @@
+// One-shot top-k mechanism (Durfee & Rogers 2019).
+//
+// Adds independent Gumbel noise of scale σ = 2·Δ·k/ε to every candidate's
+// score *once*, sorts by noisy score, and returns the top k. The output
+// sequence is distributed identically to k iterated exponential-mechanism
+// draws at ε/k each (without replacement), so the whole release satisfies
+// ε-DP by sequential composition — at the cost of one noisy pass instead of
+// k (paper §2.1). This is the engine of DPClustX Stage-1.
+
+#ifndef DPCLUSTX_DP_TOPK_H_
+#define DPCLUSTX_DP_TOPK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dpclustx {
+
+/// Returns the indices of the k selected candidates, ordered by decreasing
+/// noisy score. Requires 1 <= k <= scores.size(), sensitivity > 0,
+/// epsilon > 0.
+StatusOr<std::vector<size_t>> OneShotTopK(const std::vector<double>& scores,
+                                          double sensitivity, double epsilon,
+                                          size_t k, Rng& rng);
+
+/// Reference implementation of top-k as k iterated exponential mechanisms at
+/// ε/k each, removing the winner between rounds. Distributionally identical
+/// to OneShotTopK (Durfee & Rogers) but re-noises the remaining candidates
+/// every round — the O(k·m) baseline the one-shot mechanism replaces. Kept
+/// for tests and the ablation bench.
+StatusOr<std::vector<size_t>> IteratedExponentialTopK(
+    const std::vector<double>& scores, double sensitivity, double epsilon,
+    size_t k, Rng& rng);
+
+/// Additive-error bound for the l-th selected item (paper Prop. 5.1(2),
+/// specialized to one cluster): with probability >= 1 − e^{−t}, the l-th
+/// selected score is at least OPT_l − (2·Δ·k/ε)·(ln m + t), where m is the
+/// number of candidates.
+double OneShotTopKErrorBound(size_t num_candidates, double sensitivity,
+                             double epsilon, size_t k, double t);
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_DP_TOPK_H_

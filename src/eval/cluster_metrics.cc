@@ -1,0 +1,97 @@
+#include "eval/cluster_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace dpclustx::eval {
+
+namespace {
+
+struct Contingency {
+  // joint[(c, r)] and the marginals, all as counts.
+  std::map<std::pair<uint32_t, uint32_t>, double> joint;
+  std::map<uint32_t, double> row;  // per cluster label
+  std::map<uint32_t, double> col;  // per reference label
+  double n = 0.0;
+};
+
+StatusOr<Contingency> BuildContingency(
+    const std::vector<uint32_t>& clusters,
+    const std::vector<uint32_t>& reference) {
+  if (clusters.empty() || clusters.size() != reference.size()) {
+    return Status::InvalidArgument(
+        "label vectors must be non-empty and equal-length");
+  }
+  Contingency table;
+  table.n = static_cast<double>(clusters.size());
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    table.joint[{clusters[i], reference[i]}] += 1.0;
+    table.row[clusters[i]] += 1.0;
+    table.col[reference[i]] += 1.0;
+  }
+  return table;
+}
+
+double Entropy(const std::map<uint32_t, double>& marginal, double n) {
+  double h = 0.0;
+  for (const auto& [label, count] : marginal) {
+    const double p = count / n;
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+StatusOr<double> Purity(const std::vector<uint32_t>& clusters,
+                        const std::vector<uint32_t>& reference) {
+  DPX_ASSIGN_OR_RETURN(const Contingency table,
+                       BuildContingency(clusters, reference));
+  // Sum over clusters of the largest joint cell in that cluster's row.
+  std::map<uint32_t, double> best_in_row;
+  for (const auto& [key, count] : table.joint) {
+    best_in_row[key.first] = std::max(best_in_row[key.first], count);
+  }
+  double correct = 0.0;
+  for (const auto& [label, count] : best_in_row) correct += count;
+  return correct / table.n;
+}
+
+StatusOr<double> NormalizedMutualInformation(
+    const std::vector<uint32_t>& clusters,
+    const std::vector<uint32_t>& reference) {
+  DPX_ASSIGN_OR_RETURN(const Contingency table,
+                       BuildContingency(clusters, reference));
+  const double h_c = Entropy(table.row, table.n);
+  const double h_r = Entropy(table.col, table.n);
+  if (h_c == 0.0 && h_r == 0.0) return 1.0;  // both single-cluster
+  if (h_c == 0.0 || h_r == 0.0) return 0.0;
+  double mi = 0.0;
+  for (const auto& [key, count] : table.joint) {
+    const double p_joint = count / table.n;
+    const double p_c = table.row.at(key.first) / table.n;
+    const double p_r = table.col.at(key.second) / table.n;
+    mi += p_joint * std::log(p_joint / (p_c * p_r));
+  }
+  return std::max(0.0, mi) / std::sqrt(h_c * h_r);
+}
+
+StatusOr<double> AdjustedRandIndex(const std::vector<uint32_t>& clusters,
+                                   const std::vector<uint32_t>& reference) {
+  DPX_ASSIGN_OR_RETURN(const Contingency table,
+                       BuildContingency(clusters, reference));
+  auto choose2 = [](double x) { return 0.5 * x * (x - 1.0); };
+  double sum_joint = 0.0, sum_row = 0.0, sum_col = 0.0;
+  for (const auto& [key, count] : table.joint) sum_joint += choose2(count);
+  for (const auto& [label, count] : table.row) sum_row += choose2(count);
+  for (const auto& [label, count] : table.col) sum_col += choose2(count);
+  const double total_pairs = choose2(table.n);
+  if (total_pairs == 0.0) return 1.0;  // a single point: trivially equal
+  const double expected = sum_row * sum_col / total_pairs;
+  const double maximum = 0.5 * (sum_row + sum_col);
+  if (maximum == expected) return 1.0;  // both partitions all-singletons etc.
+  return (sum_joint - expected) / (maximum - expected);
+}
+
+}  // namespace dpclustx::eval

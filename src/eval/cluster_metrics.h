@@ -1,0 +1,38 @@
+// External clustering-quality measures: purity, normalized mutual
+// information, and the adjusted Rand index. Used to validate the clustering
+// substrate against planted structure (the synthetic generators expose
+// their latent groups) and to quantify how much a DP clustering degrades
+// relative to its non-private counterpart before explanations even start.
+
+#ifndef DPCLUSTX_EVAL_CLUSTER_METRICS_H_
+#define DPCLUSTX_EVAL_CLUSTER_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpclustx::eval {
+
+/// Fraction of points whose cluster's majority reference class matches
+/// their own reference class; in (0, 1], 1 = perfect. Requires equal-length
+/// non-empty label vectors.
+StatusOr<double> Purity(const std::vector<uint32_t>& clusters,
+                        const std::vector<uint32_t>& reference);
+
+/// Normalized mutual information I(C;R)/sqrt(H(C)·H(R)) ∈ [0, 1];
+/// 1 = identical partitions (up to relabeling), 0 = independent. By
+/// convention returns 1 if both partitions are single-cluster and 0 if
+/// exactly one is.
+StatusOr<double> NormalizedMutualInformation(
+    const std::vector<uint32_t>& clusters,
+    const std::vector<uint32_t>& reference);
+
+/// Adjusted Rand index ∈ [−1, 1]; 1 = identical partitions, ≈0 = random
+/// agreement.
+StatusOr<double> AdjustedRandIndex(const std::vector<uint32_t>& clusters,
+                                   const std::vector<uint32_t>& reference);
+
+}  // namespace dpclustx::eval
+
+#endif  // DPCLUSTX_EVAL_CLUSTER_METRICS_H_

@@ -1,0 +1,67 @@
+#include "eval/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace dpclustx::eval {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  DPX_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  DPX_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      line += cells[i];
+      line += std::string(widths[i] - cells[i].size(), ' ');
+      if (i + 1 < cells.size()) line += "  ";
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(headers_);
+  size_t rule_width = 0;
+  for (size_t i = 0; i < widths.size(); ++i) {
+    rule_width += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+  }
+  out += std::string(rule_width, '-') + '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::cout << ToString() << std::flush; }
+
+RunSummary Summarize(const std::vector<double>& values) {
+  RunSummary summary;
+  summary.count = values.size();
+  if (values.empty()) return summary;
+  summary.mean = Mean(values);
+  summary.stddev = StdDev(values);
+  return summary;
+}
+
+}  // namespace dpclustx::eval

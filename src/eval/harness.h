@@ -1,0 +1,61 @@
+// Experiment-harness utilities shared by the bench binaries: aligned table
+// printing in the shape of the paper's figures/tables, run-statistics
+// summaries, and a wall-clock timer.
+
+#ifndef DPCLUSTX_EVAL_HARNESS_H_
+#define DPCLUSTX_EVAL_HARNESS_H_
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace dpclustx::eval {
+
+/// Accumulates rows and prints an aligned text table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; must have one cell per header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 4);
+
+  /// Renders the table (headers, rule, rows).
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Mean and sample standard deviation of repeated runs.
+struct RunSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  size_t count = 0;
+};
+
+RunSummary Summarize(const std::vector<double>& values);
+
+/// Monotonic wall-clock timer.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dpclustx::eval
+
+#endif  // DPCLUSTX_EVAL_HARNESS_H_

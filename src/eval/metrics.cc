@@ -1,0 +1,262 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "eval/harness.h"
+
+namespace dpclustx::eval {
+
+namespace {
+
+// Expected value over orderings of the "novelty chain"
+// Σ_i min_{j<i} dist(i, j), with the first element counting 1. `dist` is a
+// symmetric m×m matrix (flattened). Exact enumeration up to 7! orderings;
+// Monte Carlo with a fixed seed beyond that.
+double ExpectedPermutationDiversity(const std::vector<double>& dist,
+                                    size_t m) {
+  if (m == 1) return 1.0;
+  std::vector<size_t> perm(m);
+  std::iota(perm.begin(), perm.end(), 0);
+
+  auto chain_value = [&](const std::vector<size_t>& p) {
+    double value = 1.0;  // first element: min over empty prefix counts 1
+    for (size_t i = 1; i < m; ++i) {
+      double min_dist = std::numeric_limits<double>::infinity();
+      for (size_t j = 0; j < i; ++j) {
+        min_dist = std::min(min_dist, dist[p[i] * m + p[j]]);
+      }
+      value += min_dist;
+    }
+    return value;
+  };
+
+  if (m <= 7) {
+    double total = 0.0;
+    size_t count = 0;
+    std::sort(perm.begin(), perm.end());
+    do {
+      total += chain_value(perm);
+      ++count;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return total / static_cast<double>(count);
+  }
+
+  // Monte Carlo estimate; fixed seed keeps the evaluation deterministic.
+  Rng rng(0xD1CE5EED);
+  constexpr size_t kSamples = 2000;
+  double total = 0.0;
+  for (size_t s = 0; s < kSamples; ++s) {
+    for (size_t i = m; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.UniformInt(i)]);
+    }
+    total += chain_value(perm);
+  }
+  return total / static_cast<double>(kSamples);
+}
+
+}  // namespace
+
+double TvdInterestingness(const StatsCache& stats, ClusterId c,
+                          AttrIndex attr) {
+  if (stats.cluster_size(c) == 0) return 0.0;
+  return Histogram::Tvd(stats.full_histogram(attr),
+                        stats.cluster_histogram(c, attr));
+}
+
+double Interestingness(const StatsCache& stats,
+                       const AttributeCombination& ac) {
+  DPX_CHECK_EQ(ac.size(), stats.num_clusters());
+  double sum = 0.0;
+  for (size_t c = 0; c < ac.size(); ++c) {
+    sum += TvdInterestingness(stats, static_cast<ClusterId>(c), ac[c]);
+  }
+  return sum / static_cast<double>(ac.size());
+}
+
+double Sufficiency(const StatsCache& stats, const AttributeCombination& ac) {
+  DPX_CHECK_EQ(ac.size(), stats.num_clusters());
+  if (stats.num_rows() == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t c = 0; c < ac.size(); ++c) {
+    sum += SufficiencyP(stats, static_cast<ClusterId>(c), ac[c]);
+  }
+  return sum / static_cast<double>(stats.num_rows());
+}
+
+double TabeeDiversity(const StatsCache& stats,
+                      const AttributeCombination& ac) {
+  DPX_CHECK_EQ(ac.size(), stats.num_clusters());
+  // Group clusters by their explaining attribute (ExpBy sets).
+  std::map<AttrIndex, std::vector<ClusterId>> explained_by;
+  for (size_t c = 0; c < ac.size(); ++c) {
+    explained_by[ac[c]].push_back(static_cast<ClusterId>(c));
+  }
+  double total = 0.0;
+  for (const auto& [attr, clusters] : explained_by) {
+    const size_t m = clusters.size();
+    if (m == 1) {
+      total += 1.0;
+      continue;
+    }
+    // Pairwise TVD matrix between the clusters sharing this attribute.
+    std::vector<double> dist(m * m, 0.0);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = i + 1; j < m; ++j) {
+        const double tvd =
+            Histogram::Tvd(stats.cluster_histogram(clusters[i], attr),
+                           stats.cluster_histogram(clusters[j], attr));
+        dist[i * m + j] = dist[j * m + i] = tvd;
+      }
+    }
+    total += ExpectedPermutationDiversity(dist, m);
+  }
+  // Normalize into [0, 1]: the maximum of the un-normalized diversity is
+  // |C| (all chains at distance 1).
+  return total / static_cast<double>(stats.num_clusters());
+}
+
+double SensitiveQuality(const StatsCache& stats,
+                        const AttributeCombination& ac,
+                        const GlobalWeights& lambda) {
+  double quality = 0.0;
+  if (lambda.interestingness > 0.0) {
+    quality += lambda.interestingness * Interestingness(stats, ac);
+  }
+  if (lambda.sufficiency > 0.0) {
+    quality += lambda.sufficiency * Sufficiency(stats, ac);
+  }
+  if (lambda.diversity > 0.0) {
+    quality += lambda.diversity * TabeeDiversity(stats, ac);
+  }
+  return quality;
+}
+
+double SensitiveSingleClusterScore(const StatsCache& stats, ClusterId c,
+                                   AttrIndex attr,
+                                   const SingleClusterWeights& gamma) {
+  const double size = static_cast<double>(stats.cluster_size(c));
+  const double suf_fraction =
+      size > 0.0 ? SufficiencyP(stats, c, attr) / size : 0.0;
+  return gamma.interestingness * TvdInterestingness(stats, c, attr) +
+         gamma.sufficiency * suf_fraction;
+}
+
+double SensitivePairwiseDiversity(const StatsCache& stats,
+                                  const AttributeCombination& ac) {
+  const size_t clusters = stats.num_clusters();
+  DPX_CHECK_EQ(ac.size(), clusters);
+  if (clusters < 2) return 0.0;
+  double sum = 0.0;
+  for (size_t c = 0; c < clusters; ++c) {
+    for (size_t cp = c + 1; cp < clusters; ++cp) {
+      if (ac[c] != ac[cp]) {
+        sum += 1.0;
+      } else {
+        sum += Histogram::Tvd(
+            stats.cluster_histogram(static_cast<ClusterId>(c), ac[c]),
+            stats.cluster_histogram(static_cast<ClusterId>(cp), ac[c]));
+      }
+    }
+  }
+  return sum / PairCount(clusters);
+}
+
+core_internal::CombinationScoreTables BuildSensitiveTables(
+    const StatsCache& stats,
+    const std::vector<std::vector<AttrIndex>>& candidate_sets,
+    const GlobalWeights& lambda) {
+  const size_t clusters = candidate_sets.size();
+  DPX_CHECK_EQ(clusters, stats.num_clusters());
+  core_internal::CombinationScoreTables tables;
+  const double rows = static_cast<double>(stats.num_rows());
+  tables.unary.resize(clusters);
+  for (size_t c = 0; c < clusters; ++c) {
+    tables.unary[c].resize(candidate_sets[c].size());
+    for (size_t j = 0; j < candidate_sets[c].size(); ++j) {
+      const auto cluster = static_cast<ClusterId>(c);
+      const AttrIndex attr = candidate_sets[c][j];
+      double unary = lambda.interestingness *
+                     TvdInterestingness(stats, cluster, attr) /
+                     static_cast<double>(clusters);
+      if (rows > 0.0) {
+        unary +=
+            lambda.sufficiency * SufficiencyP(stats, cluster, attr) / rows;
+      }
+      tables.unary[c][j] = unary;
+    }
+  }
+  const double pair_norm =
+      clusters >= 2 ? lambda.diversity / PairCount(clusters) : 0.0;
+  if (pair_norm > 0.0) {
+    tables.pair.resize(clusters);
+    for (size_t c = 0; c < clusters; ++c) {
+      tables.pair[c].resize(clusters);
+      for (size_t cp = c + 1; cp < clusters; ++cp) {
+        auto& matrix = tables.pair[c][cp];
+        matrix.resize(candidate_sets[c].size() * candidate_sets[cp].size());
+        for (size_t j = 0; j < candidate_sets[c].size(); ++j) {
+          for (size_t jp = 0; jp < candidate_sets[cp].size(); ++jp) {
+            const AttrIndex a = candidate_sets[c][j];
+            const AttrIndex ap = candidate_sets[cp][jp];
+            const double value =
+                a != ap
+                    ? 1.0
+                    : Histogram::Tvd(
+                          stats.cluster_histogram(static_cast<ClusterId>(c),
+                                                  a),
+                          stats.cluster_histogram(
+                              static_cast<ClusterId>(cp), a));
+            matrix[j * candidate_sets[cp].size() + jp] = pair_norm * value;
+          }
+        }
+      }
+    }
+  }
+  return tables;
+}
+
+double MeanAbsoluteError(const AttributeCombination& selected,
+                         const AttributeCombination& reference) {
+  DPX_CHECK_EQ(selected.size(), reference.size());
+  DPX_CHECK(!selected.empty());
+  size_t mismatches = 0;
+  for (size_t c = 0; c < selected.size(); ++c) {
+    if (selected[c] != reference[c]) ++mismatches;
+  }
+  return static_cast<double>(mismatches) /
+         static_cast<double>(selected.size());
+}
+
+std::string QualityBreakdownReport(const StatsCache& stats,
+                                   const AttributeCombination& ac,
+                                   const GlobalWeights& lambda,
+                                   const Schema& schema) {
+  DPX_CHECK_EQ(ac.size(), stats.num_clusters());
+  TablePrinter table({"cluster", "attribute", "size", "TVD", "Suf"});
+  for (size_t c = 0; c < ac.size(); ++c) {
+    const auto cluster = static_cast<ClusterId>(c);
+    const double size = static_cast<double>(stats.cluster_size(cluster));
+    const double suf_fraction =
+        size > 0.0 ? SufficiencyP(stats, cluster, ac[c]) / size : 0.0;
+    table.AddRow({std::to_string(c), schema.attribute(ac[c]).name(),
+                  TablePrinter::Num(size, 0),
+                  TablePrinter::Num(
+                      TvdInterestingness(stats, cluster, ac[c]), 3),
+                  TablePrinter::Num(suf_fraction, 3)});
+  }
+  std::string out = table.ToString();
+  char line[128];
+  std::snprintf(line, sizeof(line),
+                "Quality (Int %.2f / Suf %.2f / Div %.2f weights): %.4f\n",
+                lambda.interestingness, lambda.sufficiency, lambda.diversity,
+                SensitiveQuality(stats, ac, lambda));
+  out += line;
+  return out;
+}
+
+}  // namespace dpclustx::eval

@@ -1,0 +1,97 @@
+// The *original* (sensitive) quality measures of TabEE, used for evaluation
+// and by the TabEE-family baselines (paper §6.1, "Evaluation measures").
+//
+// DPClustX never selects with these functions — their sensitivity is too
+// high for useful DP noise (Props. 4.1, 4.3, Lemma A.6) — but they remain
+// the ground-truth yardstick: the paper's Quality metric is the λ-weighted
+// sum of sensitive interestingness, sufficiency, and diversity of the
+// *selected* attribute combination, evaluated on the exact data.
+
+#ifndef DPCLUSTX_EVAL_METRICS_H_
+#define DPCLUSTX_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/explainer.h"
+#include "core/quality.h"
+#include "core/stats_cache.h"
+
+namespace dpclustx::eval {
+
+/// Sensitive interestingness of one cluster/attribute:
+/// TVD(π_A(D), π_A(D_c)) (paper Eq. 1), in [0, 1]. Empty clusters score 0.
+double TvdInterestingness(const StatsCache& stats, ClusterId c,
+                          AttrIndex attr);
+
+/// Global sensitive interestingness: mean single-cluster TVD.
+double Interestingness(const StatsCache& stats,
+                       const AttributeCombination& ac);
+
+/// Sensitive sufficiency Suf(D, f, AC) ∈ [0, 1], computed through the
+/// identity |D|·Suf = Σ_c Suf_p (Prop. 4.6(1)).
+double Sufficiency(const StatsCache& stats, const AttributeCombination& ac);
+
+/// TabEE's permutation diversity, normalized by |C| into [0, 1]. For each
+/// attribute A, the clusters explained by A contribute the expectation over
+/// orderings of Σ_i min_{j<i} TVD(cluster_i, cluster_j) (first item counts
+/// 1); singletons contribute 1. Exact for explained-by sets up to 7
+/// clusters, Monte Carlo (fixed internal seed) beyond.
+double TabeeDiversity(const StatsCache& stats,
+                      const AttributeCombination& ac);
+
+/// The paper's Quality evaluation measure: λ_Int·Int + λ_Suf·Suf +
+/// λ_Div·Div with the sensitive measures above. In [0, 1].
+double SensitiveQuality(const StatsCache& stats,
+                        const AttributeCombination& ac,
+                        const GlobalWeights& lambda);
+
+/// Sensitive single-cluster score γ_Int·TVD + γ_Suf·Suf_c with
+/// Suf_c = Suf_p/|D_c| ∈ [0, 1]; the TabEE Stage-1 ranking function. Note
+/// this induces the same per-cluster ranking as the low-sensitivity SScore
+/// (both are the |D_c|-scaled versions of the same base scores).
+double SensitiveSingleClusterScore(const StatsCache& stats, ClusterId c,
+                                   AttrIndex attr,
+                                   const SingleClusterWeights& gamma);
+
+/// Sensitive *pairwise* diversity: the mean over unordered cluster pairs of
+/// 1 (different attributes) or TVD between the two cluster distributions
+/// (shared attribute); in [0, 1]. This is the tractable search surrogate for
+/// TabeeDiversity used inside the TabEE-family baselines' combination
+/// enumeration (the permutation measure does not decompose over pairs);
+/// final Quality is always evaluated with TabeeDiversity.
+double SensitivePairwiseDiversity(const StatsCache& stats,
+                                  const AttributeCombination& ac);
+
+/// Combination-search tables for the sensitive global score
+/// λ_Int·Int + λ_Suf·Suf + λ_Div·SensitivePairwiseDiversity (used by TabEE,
+/// DP-TabEE, and DP-Naive).
+core_internal::CombinationScoreTables BuildSensitiveTables(
+    const StatsCache& stats,
+    const std::vector<std::vector<AttrIndex>>& candidate_sets,
+    const GlobalWeights& lambda);
+
+/// Conservative sensitivity upper bound used by DP-TabEE for the sensitive
+/// score functions: their ranges are [0, 1] and the paper lower-bounds the
+/// sensitivities by ½ (Props. 4.1, 4.3), so Δ = 1 is the safe calibration.
+inline constexpr double kSensitiveScoreSensitivity = 1.0;
+
+/// Discrete mean absolute error between a selected combination and the
+/// non-private reference: the fraction of clusters whose attribute differs
+/// (paper §6.1). Requires equal sizes.
+double MeanAbsoluteError(const AttributeCombination& selected,
+                         const AttributeCombination& reference);
+
+/// Human-readable per-cluster breakdown of a selected combination: for each
+/// cluster, the attribute, cluster size, TVD interestingness, normalized
+/// sufficiency — followed by the global Quality line. For analyst reports
+/// and the CLI; evaluates *exact* statistics, so treat the output as
+/// sensitive unless the inputs were already released.
+std::string QualityBreakdownReport(const StatsCache& stats,
+                                   const AttributeCombination& ac,
+                                   const GlobalWeights& lambda,
+                                   const Schema& schema);
+
+}  // namespace dpclustx::eval
+
+#endif  // DPCLUSTX_EVAL_METRICS_H_

@@ -1,0 +1,61 @@
+#include "cluster/agglomerative.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dpclustx {
+namespace {
+
+TEST(AgglomerativeTest, ValidatesOptions) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(10, 3, 9, 1);
+  AgglomerativeOptions options;
+  options.num_clusters = 0;
+  EXPECT_FALSE(FitAgglomerative(dataset, options).ok());
+  options.num_clusters = 1000;
+  EXPECT_FALSE(FitAgglomerative(dataset, options).ok());
+}
+
+TEST(AgglomerativeTest, RecoversTwoSeparatedBlocks) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(400, 5, 9, 2);
+  AgglomerativeOptions options;
+  options.num_clusters = 2;
+  options.seed = 3;
+  const auto clustering = FitAgglomerative(dataset, options);
+  ASSERT_TRUE(clustering.ok());
+  const std::vector<ClusterId> labels = (*clustering)->AssignAll(dataset);
+  EXPECT_GT(testutil::TwoBlockPurity(labels), 0.97);
+}
+
+TEST(AgglomerativeTest, ProducesRequestedClusterCount) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(200, 4, 9, 4);
+  AgglomerativeOptions options;
+  options.num_clusters = 5;
+  const auto clustering = FitAgglomerative(dataset, options);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_EQ((*clustering)->num_clusters(), 5u);
+}
+
+TEST(AgglomerativeTest, DeterministicGivenSeed) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(200, 3, 9, 5);
+  AgglomerativeOptions options;
+  options.num_clusters = 3;
+  options.seed = 9;
+  const auto a = FitAgglomerative(dataset, options);
+  const auto b = FitAgglomerative(dataset, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)->AssignAll(dataset), (*b)->AssignAll(dataset));
+}
+
+TEST(AgglomerativeTest, SampleSmallerThanClusterCountStillWorks) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(50, 3, 9, 6);
+  AgglomerativeOptions options;
+  options.num_clusters = 4;
+  options.max_sample = 2;  // clamped up to num_clusters internally
+  const auto clustering = FitAgglomerative(dataset, options);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_EQ((*clustering)->num_clusters(), 4u);
+}
+
+}  // namespace
+}  // namespace dpclustx

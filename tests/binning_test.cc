@@ -1,0 +1,85 @@
+#include "data/binning.h"
+
+#include <gtest/gtest.h>
+
+namespace dpclustx {
+namespace {
+
+TEST(BinnerTest, EqualWidthBasic) {
+  const std::vector<double> values = {0.0, 10.0, 20.0, 30.0, 40.0};
+  const auto binner = Binner::EqualWidth("x", values, 4);
+  ASSERT_TRUE(binner.ok());
+  EXPECT_EQ(binner->num_bins(), 4u);
+  EXPECT_EQ(binner->CodeFor(0.0), 0u);
+  EXPECT_EQ(binner->CodeFor(9.9), 0u);
+  EXPECT_EQ(binner->CodeFor(10.0), 1u);
+  EXPECT_EQ(binner->CodeFor(39.9), 3u);
+  EXPECT_EQ(binner->CodeFor(40.0), 3u);  // right edge closed in last bin
+}
+
+TEST(BinnerTest, EqualWidthClampsOutOfRange) {
+  const auto binner = Binner::EqualWidth("x", {0.0, 10.0}, 2);
+  ASSERT_TRUE(binner.ok());
+  EXPECT_EQ(binner->CodeFor(-100.0), 0u);
+  EXPECT_EQ(binner->CodeFor(100.0), 1u);
+}
+
+TEST(BinnerTest, EqualWidthDegenerateColumn) {
+  const auto binner = Binner::EqualWidth("x", {7.0, 7.0, 7.0}, 5);
+  ASSERT_TRUE(binner.ok());
+  EXPECT_EQ(binner->num_bins(), 1u);
+  EXPECT_EQ(binner->CodeFor(7.0), 0u);
+}
+
+TEST(BinnerTest, EqualWidthRejectsBadInput) {
+  EXPECT_FALSE(Binner::EqualWidth("x", {}, 3).ok());
+  EXPECT_FALSE(Binner::EqualWidth("x", {1.0}, 0).ok());
+}
+
+TEST(BinnerTest, EqualFrequencyBalancesCounts) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(static_cast<double>(i));
+  const auto binner = Binner::EqualFrequency("x", values, 4);
+  ASSERT_TRUE(binner.ok());
+  EXPECT_EQ(binner->num_bins(), 4u);
+  std::vector<size_t> counts(4, 0);
+  for (double v : values) ++counts[binner->CodeFor(v)];
+  for (size_t count : counts) EXPECT_EQ(count, 25u);
+}
+
+TEST(BinnerTest, EqualFrequencyCollapsesDuplicateQuantiles) {
+  // 90% of mass at one value: fewer bins than requested.
+  std::vector<double> values(90, 5.0);
+  for (int i = 0; i < 10; ++i) values.push_back(10.0 + i);
+  const auto binner = Binner::EqualFrequency("x", values, 5);
+  ASSERT_TRUE(binner.ok());
+  EXPECT_LT(binner->num_bins(), 5u);
+  EXPECT_GE(binner->num_bins(), 1u);
+}
+
+TEST(BinnerTest, FromEdgesValidation) {
+  EXPECT_TRUE(Binner::FromEdges("x", {0.0, 1.0, 2.0}).ok());
+  EXPECT_FALSE(Binner::FromEdges("x", {0.0}).ok());
+  EXPECT_FALSE(Binner::FromEdges("x", {0.0, 0.0, 1.0}).ok());
+  EXPECT_FALSE(Binner::FromEdges("x", {2.0, 1.0}).ok());
+}
+
+TEST(BinnerTest, ToAttributeLabelsMatchPaperStyle) {
+  const auto binner = Binner::FromEdges("lab_proc", {40.0, 50.0, 60.0});
+  ASSERT_TRUE(binner.ok());
+  const Attribute attr = binner->ToAttribute();
+  EXPECT_EQ(attr.name(), "lab_proc");
+  ASSERT_EQ(attr.domain_size(), 2u);
+  EXPECT_EQ(attr.label(0), "[40, 50)");
+  EXPECT_EQ(attr.label(1), "[50, 60]");
+}
+
+TEST(BinnerTest, EncodeWholeColumn) {
+  const auto binner = Binner::FromEdges("x", {0.0, 1.0, 2.0});
+  ASSERT_TRUE(binner.ok());
+  const std::vector<ValueCode> codes = binner->Encode({0.5, 1.5, -3.0, 9.0});
+  EXPECT_EQ(codes, (std::vector<ValueCode>{0, 1, 0, 1}));
+}
+
+}  // namespace
+}  // namespace dpclustx

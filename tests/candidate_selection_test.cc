@@ -1,0 +1,192 @@
+#include "core/candidate_selection.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/explainer.h"
+
+namespace dpclustx {
+namespace {
+
+// Dataset where attribute 0 strongly separates the clusters, attribute 1 is
+// weaker, attribute 2 is pure noise shared across clusters.
+StatsCache MakeStats(uint64_t seed = 1) {
+  Schema schema({Attribute::WithAnonymousDomain("strong", 4),
+                 Attribute::WithAnonymousDomain("weak", 4),
+                 Attribute::WithAnonymousDomain("noise", 4)});
+  Dataset dataset(schema);
+  Rng rng(seed);
+  std::vector<ClusterId> labels;
+  for (size_t r = 0; r < 2000; ++r) {
+    const auto cluster = static_cast<ClusterId>(rng.UniformInt(2));
+    const auto strong = static_cast<ValueCode>(2 * cluster +
+                                               rng.UniformInt(2));
+    const ValueCode weak =
+        rng.Bernoulli(0.6) ? static_cast<ValueCode>(cluster)
+                           : static_cast<ValueCode>(rng.UniformInt(4));
+    const auto noise = static_cast<ValueCode>(rng.UniformInt(4));
+    dataset.AppendRowUnchecked({strong, weak, noise});
+    labels.push_back(cluster);
+  }
+  return std::move(*StatsCache::Build(dataset, labels, 2));
+}
+
+TEST(SelectCandidatesExactTest, RanksStrongAttributeFirst) {
+  const StatsCache stats = MakeStats();
+  const auto sets = SelectCandidatesExact(stats, 2, {0.5, 0.5});
+  ASSERT_TRUE(sets.ok());
+  ASSERT_EQ(sets->size(), 2u);
+  for (const auto& set : *sets) {
+    ASSERT_EQ(set.size(), 2u);
+    EXPECT_EQ(set[0], 0u) << "strong attribute should rank first";
+  }
+}
+
+TEST(SelectCandidatesExactTest, ValidatesK) {
+  const StatsCache stats = MakeStats();
+  EXPECT_FALSE(SelectCandidatesExact(stats, 0, {0.5, 0.5}).ok());
+  EXPECT_FALSE(SelectCandidatesExact(stats, 4, {0.5, 0.5}).ok());
+}
+
+TEST(SelectCandidatesTest, ValidatesOptions) {
+  const StatsCache stats = MakeStats();
+  Rng rng(1);
+  CandidateSelectionOptions options;
+  options.k = 0;
+  EXPECT_FALSE(SelectCandidates(stats, options, rng).ok());
+  options = CandidateSelectionOptions{};
+  options.epsilon = 0.0;
+  EXPECT_FALSE(SelectCandidates(stats, options, rng).ok());
+}
+
+TEST(SelectCandidatesTest, ReturnsDistinctAttributesPerCluster) {
+  const StatsCache stats = MakeStats();
+  Rng rng(2);
+  CandidateSelectionOptions options;
+  options.epsilon = 0.5;
+  options.k = 2;
+  const auto sets = SelectCandidates(stats, options, rng);
+  ASSERT_TRUE(sets.ok());
+  for (const auto& set : *sets) {
+    const std::set<AttrIndex> distinct(set.begin(), set.end());
+    EXPECT_EQ(distinct.size(), set.size());
+  }
+}
+
+TEST(SelectCandidatesTest, HighBudgetMatchesExactSelection) {
+  const StatsCache stats = MakeStats();
+  Rng rng(3);
+  CandidateSelectionOptions options;
+  options.epsilon = 1e7;
+  options.k = 2;
+  options.gamma = {0.5, 0.5};
+  const auto noisy = SelectCandidates(stats, options, rng);
+  const auto exact = SelectCandidatesExact(stats, 2, options.gamma);
+  ASSERT_TRUE(noisy.ok() && exact.ok());
+  EXPECT_EQ(*noisy, *exact);
+}
+
+TEST(SelectCandidatesTest, TinyBudgetStillReturnsValidSets) {
+  const StatsCache stats = MakeStats();
+  Rng rng(4);
+  CandidateSelectionOptions options;
+  options.epsilon = 1e-4;
+  options.k = 3;
+  const auto sets = SelectCandidates(stats, options, rng);
+  ASSERT_TRUE(sets.ok());
+  for (const auto& set : *sets) {
+    EXPECT_EQ(set.size(), 3u);
+    for (AttrIndex attr : set) EXPECT_LT(attr, 3u);
+  }
+}
+
+TEST(SvtSelectCandidatesTest, ValidatesOptions) {
+  const StatsCache stats = MakeStats();
+  Rng rng(10);
+  SvtCandidateOptions options;
+  options.epsilon = 0.0;
+  EXPECT_FALSE(SvtSelectCandidates(stats, options, rng).ok());
+  options = SvtCandidateOptions{};
+  options.max_candidates = 0;
+  EXPECT_FALSE(SvtSelectCandidates(stats, options, rng).ok());
+  options = SvtCandidateOptions{};
+  options.threshold_fraction = 1.5;
+  EXPECT_FALSE(SvtSelectCandidates(stats, options, rng).ok());
+  options = SvtCandidateOptions{};
+  options.size_budget_share = 0.0;
+  EXPECT_FALSE(SvtSelectCandidates(stats, options, rng).ok());
+}
+
+TEST(SvtSelectCandidatesTest, HighBudgetKeepsQualifyingAttributes) {
+  const StatsCache stats = MakeStats();
+  Rng rng(11);
+  SvtCandidateOptions options;
+  options.epsilon = 1e6;
+  options.max_candidates = 3;
+  // The strong attribute separates clusters almost perfectly, so its
+  // single-cluster score is near |D_c|; a 30% bar keeps it.
+  options.threshold_fraction = 0.3;
+  const auto sets = SvtSelectCandidates(stats, options, rng);
+  ASSERT_TRUE(sets.ok()) << sets.status();
+  ASSERT_EQ(sets->size(), 2u);
+  for (const auto& set : *sets) {
+    EXPECT_FALSE(set.empty());
+    EXPECT_NE(std::find(set.begin(), set.end(), 0u), set.end())
+        << "the strong attribute must clear the bar";
+  }
+}
+
+TEST(SvtSelectCandidatesTest, NeverReturnsEmptySets) {
+  const StatsCache stats = MakeStats();
+  SvtCandidateOptions options;
+  options.epsilon = 1e6;
+  options.threshold_fraction = 0.99;  // an impossible bar for weak attrs
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const auto sets = SvtSelectCandidates(stats, options, rng);
+    ASSERT_TRUE(sets.ok());
+    for (const auto& set : *sets) {
+      EXPECT_FALSE(set.empty());
+      EXPECT_LE(set.size(), options.max_candidates);
+    }
+  }
+}
+
+TEST(SvtSelectCandidatesTest, CandidateSetsFeedStageTwo) {
+  // Variable-size SVT candidate sets must be consumable by the Stage-2
+  // search (per-cluster set sizes may differ).
+  const StatsCache stats = MakeStats();
+  Rng rng(13);
+  SvtCandidateOptions options;
+  options.epsilon = 2.0;
+  const auto sets = SvtSelectCandidates(stats, options, rng);
+  ASSERT_TRUE(sets.ok());
+  GlobalWeights lambda;
+  const auto tables =
+      core_internal::BuildLowSensitivityTables(stats, *sets, lambda);
+  const auto combo = core_internal::SearchCombination(
+      *sets, tables, 0.1, kGlScoreSensitivity, 1 << 20, rng);
+  ASSERT_TRUE(combo.ok());
+  EXPECT_EQ(combo->size(), 2u);
+}
+
+TEST(SelectCandidatesTest, StrongAttributeSelectedMoreOftenThanNoise) {
+  const StatsCache stats = MakeStats();
+  CandidateSelectionOptions options;
+  options.epsilon = 5.0;
+  options.k = 1;
+  size_t strong_hits = 0, noise_hits = 0;
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed);
+    const auto sets = SelectCandidates(stats, options, rng);
+    ASSERT_TRUE(sets.ok());
+    if ((*sets)[0][0] == 0) ++strong_hits;
+    if ((*sets)[0][0] == 2) ++noise_hits;
+  }
+  EXPECT_GT(strong_hits, noise_hits);
+}
+
+}  // namespace
+}  // namespace dpclustx

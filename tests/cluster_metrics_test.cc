@@ -1,0 +1,103 @@
+#include "eval/cluster_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/dp_kmeans.h"
+#include "cluster/kmeans.h"
+#include "test_util.h"
+
+namespace dpclustx::eval {
+namespace {
+
+TEST(ClusterMetricsTest, ValidateInput) {
+  EXPECT_FALSE(Purity({}, {}).ok());
+  EXPECT_FALSE(Purity({0, 1}, {0}).ok());
+  EXPECT_FALSE(NormalizedMutualInformation({0}, {}).ok());
+  EXPECT_FALSE(AdjustedRandIndex({}, {0}).ok());
+}
+
+TEST(ClusterMetricsTest, IdenticalPartitionsScorePerfect) {
+  const std::vector<uint32_t> labels = {0, 0, 1, 1, 2, 2, 2};
+  EXPECT_DOUBLE_EQ(Purity(labels, labels).value(), 1.0);
+  EXPECT_NEAR(NormalizedMutualInformation(labels, labels).value(), 1.0,
+              1e-9);
+  EXPECT_NEAR(AdjustedRandIndex(labels, labels).value(), 1.0, 1e-9);
+}
+
+TEST(ClusterMetricsTest, RelabeledPartitionsStillPerfect) {
+  const std::vector<uint32_t> a = {0, 0, 1, 1, 2, 2};
+  const std::vector<uint32_t> b = {5, 5, 3, 3, 9, 9};
+  EXPECT_DOUBLE_EQ(Purity(a, b).value(), 1.0);
+  EXPECT_NEAR(NormalizedMutualInformation(a, b).value(), 1.0, 1e-9);
+  EXPECT_NEAR(AdjustedRandIndex(a, b).value(), 1.0, 1e-9);
+}
+
+TEST(ClusterMetricsTest, IndependentPartitionsScoreLow) {
+  // Interleaved labels: knowing one tells nothing about the other.
+  std::vector<uint32_t> a, b;
+  for (int i = 0; i < 1000; ++i) {
+    a.push_back(static_cast<uint32_t>(i % 2));
+    b.push_back(static_cast<uint32_t>((i / 2) % 2));
+  }
+  EXPECT_NEAR(NormalizedMutualInformation(a, b).value(), 0.0, 0.01);
+  EXPECT_NEAR(AdjustedRandIndex(a, b).value(), 0.0, 0.01);
+}
+
+TEST(ClusterMetricsTest, SingleClusterAgainstStructureScoresZeroNmi) {
+  const std::vector<uint32_t> flat(100, 0);
+  std::vector<uint32_t> structured;
+  for (int i = 0; i < 100; ++i) {
+    structured.push_back(static_cast<uint32_t>(i % 4));
+  }
+  EXPECT_DOUBLE_EQ(
+      NormalizedMutualInformation(flat, structured).value(), 0.0);
+  // Purity is trivially the largest class share.
+  EXPECT_DOUBLE_EQ(Purity(flat, structured).value(), 0.25);
+}
+
+TEST(ClusterMetricsTest, KnownHandComputedCase) {
+  // clusters: {a,a,b,b}; reference: {x,x,x,y}.
+  const std::vector<uint32_t> clusters = {0, 0, 1, 1};
+  const std::vector<uint32_t> reference = {0, 0, 0, 1};
+  // Purity: cluster 0 → 2 correct; cluster 1 → max(1,1)=1 → 3/4.
+  EXPECT_DOUBLE_EQ(Purity(clusters, reference).value(), 0.75);
+  // ARI by hand: sum_joint = C(2,2)+C(1,2)+C(1,2) = 1; rows: 2·C(2,2)=2;
+  // cols: C(3,2)+C(1,2)=3; total pairs C(4,2)=6; expected = 2·3/6 = 1;
+  // max = 2.5 → ARI = (1−1)/(2.5−1) = 0.
+  EXPECT_NEAR(AdjustedRandIndex(clusters, reference).value(), 0.0, 1e-9);
+}
+
+TEST(ClusterMetricsTest, KMeansRecoversPlantedBlocksByNmi) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(500, 5, 9, 3);
+  std::vector<uint32_t> truth(1000);
+  for (size_t i = 500; i < 1000; ++i) truth[i] = 1;
+  KMeansOptions options;
+  options.num_clusters = 2;
+  options.seed = 4;
+  const auto clustering = FitKMeans(dataset, options);
+  ASSERT_TRUE(clustering.ok());
+  const std::vector<ClusterId> typed = (*clustering)->AssignAll(dataset);
+  const std::vector<uint32_t> labels(typed.begin(), typed.end());
+  EXPECT_GT(NormalizedMutualInformation(labels, truth).value(), 0.9);
+  EXPECT_GT(AdjustedRandIndex(labels, truth).value(), 0.9);
+}
+
+TEST(ClusterMetricsTest, DpKMeansDegradesButRetainsSignalAtModerateEps) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(2000, 5, 9, 5);
+  std::vector<uint32_t> truth(4000);
+  for (size_t i = 2000; i < 4000; ++i) truth[i] = 1;
+  DpKMeansOptions options;
+  options.num_clusters = 2;
+  options.epsilon = 1.0;  // the paper's clustering budget
+  options.seed = 6;
+  const auto clustering = FitDpKMeans(dataset, options);
+  ASSERT_TRUE(clustering.ok());
+  const std::vector<ClusterId> typed = (*clustering)->AssignAll(dataset);
+  const std::vector<uint32_t> labels(typed.begin(), typed.end());
+  const double nmi = NormalizedMutualInformation(labels, truth).value();
+  EXPECT_GE(nmi, 0.0);
+  EXPECT_LE(nmi, 1.0);
+}
+
+}  // namespace
+}  // namespace dpclustx::eval

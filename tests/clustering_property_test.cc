@@ -1,0 +1,147 @@
+// Parameterized properties that every clustering method must satisfy, over
+// a sweep of data shapes: labels in range, determinism under a fixed seed,
+// totality (arbitrary domain tuples get valid labels), consistency between
+// Assign and AssignAll, and recovery of well-separated planted blocks.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cluster/agglomerative.h"
+#include "cluster/dp_kmeans.h"
+#include "cluster/gmm.h"
+#include "cluster/kmeans.h"
+#include "cluster/kmodes.h"
+#include "test_util.h"
+
+namespace dpclustx {
+namespace {
+
+struct ClusteringCase {
+  std::string method;
+  size_t rows_per_block;
+  size_t dims;
+  size_t domain;
+  // Separated-block recovery is only asserted for non-private methods.
+  bool assert_recovery;
+};
+
+class ClusteringPropertyTest
+    : public ::testing::TestWithParam<ClusteringCase> {};
+
+StatusOr<std::unique_ptr<ClusteringFunction>> Fit(
+    const std::string& method, const Dataset& dataset, size_t k,
+    uint64_t seed) {
+  if (method == "k-means") {
+    KMeansOptions options;
+    options.num_clusters = k;
+    options.seed = seed;
+    return FitKMeans(dataset, options);
+  }
+  if (method == "dp-k-means") {
+    DpKMeansOptions options;
+    options.num_clusters = k;
+    options.epsilon = 50.0;  // generous: properties, not utility, under test
+    options.seed = seed;
+    return FitDpKMeans(dataset, options);
+  }
+  if (method == "k-modes") {
+    KModesOptions options;
+    options.num_clusters = k;
+    options.seed = seed;
+    return FitKModes(dataset, options);
+  }
+  if (method == "agglomerative") {
+    AgglomerativeOptions options;
+    options.num_clusters = k;
+    options.seed = seed;
+    return FitAgglomerative(dataset, options);
+  }
+  GmmOptions options;
+  options.num_components = k;
+  options.seed = seed;
+  return FitGmm(dataset, options);
+}
+
+TEST_P(ClusteringPropertyTest, LabelsValidAndConsistent) {
+  const ClusteringCase& param = GetParam();
+  const Dataset dataset = testutil::MakeTwoBlockDataset(
+      param.rows_per_block, param.dims, param.domain, 11);
+  const auto clustering = Fit(param.method, dataset, 2, 3);
+  ASSERT_TRUE(clustering.ok()) << clustering.status();
+  EXPECT_EQ((*clustering)->num_clusters(), 2u);
+  const std::vector<ClusterId> labels = (*clustering)->AssignAll(dataset);
+  ASSERT_EQ(labels.size(), dataset.num_rows());
+  for (size_t r = 0; r < labels.size(); ++r) {
+    ASSERT_LT(labels[r], 2u);
+  }
+  // AssignAll must agree with per-tuple Assign.
+  for (size_t r = 0; r < dataset.num_rows(); r += 37) {
+    EXPECT_EQ(labels[r], (*clustering)->Assign(dataset.Row(r)))
+        << param.method << " row " << r;
+  }
+}
+
+TEST_P(ClusteringPropertyTest, TotalOnDomain) {
+  const ClusteringCase& param = GetParam();
+  const Dataset dataset = testutil::MakeTwoBlockDataset(
+      param.rows_per_block, param.dims, param.domain, 13);
+  const auto clustering = Fit(param.method, dataset, 2, 5);
+  ASSERT_TRUE(clustering.ok());
+  // Tuples never seen in the data — including extreme corners — must be
+  // assignable (clustering functions are total on dom(R), paper §2.2).
+  std::vector<ValueCode> corner_low(param.dims, 0);
+  std::vector<ValueCode> corner_high(
+      param.dims, static_cast<ValueCode>(param.domain - 1));
+  EXPECT_LT((*clustering)->Assign(corner_low), 2u);
+  EXPECT_LT((*clustering)->Assign(corner_high), 2u);
+}
+
+TEST_P(ClusteringPropertyTest, DeterministicGivenSeed) {
+  const ClusteringCase& param = GetParam();
+  const Dataset dataset = testutil::MakeTwoBlockDataset(
+      param.rows_per_block, param.dims, param.domain, 17);
+  const auto a = Fit(param.method, dataset, 2, 7);
+  const auto b = Fit(param.method, dataset, 2, 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)->AssignAll(dataset), (*b)->AssignAll(dataset));
+}
+
+TEST_P(ClusteringPropertyTest, RecoversSeparatedBlocks) {
+  const ClusteringCase& param = GetParam();
+  if (!param.assert_recovery) {
+    GTEST_SKIP() << "recovery not asserted for " << param.method;
+  }
+  const Dataset dataset = testutil::MakeTwoBlockDataset(
+      param.rows_per_block, param.dims, param.domain, 19);
+  const auto clustering = Fit(param.method, dataset, 2, 9);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_GT(testutil::TwoBlockPurity((*clustering)->AssignAll(dataset)),
+            0.9)
+      << param.method;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, ClusteringPropertyTest,
+    ::testing::Values(
+        ClusteringCase{"k-means", 400, 5, 9, true},
+        ClusteringCase{"k-means", 150, 2, 3, true},
+        ClusteringCase{"dp-k-means", 800, 4, 9, false},
+        ClusteringCase{"k-modes", 400, 5, 9, true},
+        ClusteringCase{"k-modes", 150, 8, 4, true},
+        ClusteringCase{"agglomerative", 300, 5, 9, true},
+        ClusteringCase{"gmm", 400, 5, 9, true},
+        ClusteringCase{"gmm", 150, 2, 12, true}),
+    [](const ::testing::TestParamInfo<ClusteringCase>& info) {
+      std::string name = info.param.method + "_" +
+                         std::to_string(info.param.dims) + "d" +
+                         std::to_string(info.param.domain);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace dpclustx

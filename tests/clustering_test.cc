@@ -1,0 +1,93 @@
+#include "cluster/clustering.h"
+
+#include <gtest/gtest.h>
+
+namespace dpclustx {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({Attribute::WithAnonymousDomain("a", 5),
+                 Attribute::WithAnonymousDomain("b", 2),
+                 Attribute::WithAnonymousDomain("c", 1)});
+}
+
+TEST(EmbedTest, ScalesCodesIntoUnitInterval) {
+  const std::vector<double> point = EmbedTuple(MakeSchema(), {4, 1, 0});
+  ASSERT_EQ(point.size(), 3u);
+  EXPECT_DOUBLE_EQ(point[0], 1.0);
+  EXPECT_DOUBLE_EQ(point[1], 1.0);
+  EXPECT_DOUBLE_EQ(point[2], 0.5);  // singleton domain maps to 0.5
+  const std::vector<double> origin = EmbedTuple(MakeSchema(), {0, 0, 0});
+  EXPECT_DOUBLE_EQ(origin[0], 0.0);
+  EXPECT_DOUBLE_EQ(origin[1], 0.0);
+}
+
+TEST(EmbedTest, DatasetEmbeddingMatchesTupleEmbedding) {
+  Dataset dataset(MakeSchema());
+  dataset.AppendRowUnchecked({2, 1, 0});
+  dataset.AppendRowUnchecked({4, 0, 0});
+  const std::vector<double> points = EmbedDataset(dataset);
+  for (size_t row = 0; row < 2; ++row) {
+    const std::vector<double> expected =
+        EmbedTuple(dataset.schema(), dataset.Row(row));
+    for (size_t a = 0; a < 3; ++a) {
+      EXPECT_DOUBLE_EQ(points[row * 3 + a], expected[a]);
+    }
+  }
+}
+
+TEST(CentroidClusteringTest, AssignsToNearestCenter) {
+  const Schema schema = MakeSchema();
+  CentroidClustering clustering(
+      schema, {{0.0, 0.0, 0.5}, {1.0, 1.0, 0.5}}, "test");
+  EXPECT_EQ(clustering.num_clusters(), 2u);
+  EXPECT_EQ(clustering.Assign({0, 0, 0}), 0u);
+  EXPECT_EQ(clustering.Assign({4, 1, 0}), 1u);
+}
+
+TEST(CentroidClusteringTest, TieBreaksTowardLowerLabel) {
+  const Schema schema = MakeSchema();
+  CentroidClustering clustering(
+      schema, {{0.5, 0.5, 0.5}, {0.5, 0.5, 0.5}}, "test");
+  EXPECT_EQ(clustering.Assign({2, 1, 0}), 0u);
+}
+
+TEST(CentroidClusteringTest, AssignAllMatchesAssign) {
+  const Schema schema = MakeSchema();
+  CentroidClustering clustering(
+      schema, {{0.1, 0.2, 0.5}, {0.8, 0.9, 0.5}}, "test");
+  Dataset dataset(schema);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    dataset.AppendRowUnchecked({static_cast<ValueCode>(rng.UniformInt(5)),
+                                static_cast<ValueCode>(rng.UniformInt(2)),
+                                0});
+  }
+  const std::vector<ClusterId> bulk = clustering.AssignAll(dataset);
+  for (size_t row = 0; row < dataset.num_rows(); ++row) {
+    EXPECT_EQ(bulk[row], clustering.Assign(dataset.Row(row)));
+  }
+}
+
+TEST(ModeClusteringTest, AssignsByHammingDistance) {
+  const Schema schema = MakeSchema();
+  ModeClustering clustering(schema, {{0, 0, 0}, {4, 1, 0}}, "modes");
+  EXPECT_EQ(clustering.Assign({0, 1, 0}), 0u);  // distance 1 vs 2
+  EXPECT_EQ(clustering.Assign({4, 1, 0}), 1u);  // distance 3 vs 0
+}
+
+TEST(ClusterSizesTest, CountsLabels) {
+  const std::vector<ClusterId> labels = {0, 2, 0, 2, 2};
+  const std::vector<size_t> sizes = ClusterSizes(labels, 3);
+  EXPECT_EQ(sizes, (std::vector<size_t>{2, 0, 3}));
+}
+
+TEST(ClusterRowIndicesTest, GroupsRows) {
+  const std::vector<ClusterId> labels = {1, 0, 1};
+  const auto indices = ClusterRowIndices(labels, 2);
+  EXPECT_EQ(indices[0], (std::vector<uint32_t>{1}));
+  EXPECT_EQ(indices[1], (std::vector<uint32_t>{0, 2}));
+}
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,116 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace dpclustx {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/dpclustx_csv_" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+  }
+};
+
+TEST_F(CsvTest, ParseDocumentBasics) {
+  const auto rows = csv_internal::ParseDocument("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[2], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST_F(CsvTest, ParseDocumentQuotedFields) {
+  const auto rows = csv_internal::ParseDocument(
+      "name,notes\n\"Doe, Jane\",\"said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[1][0], "Doe, Jane");
+  EXPECT_EQ((*rows)[1][1], "said \"hi\"");
+}
+
+TEST_F(CsvTest, ParseDocumentEmbeddedNewline) {
+  const auto rows = csv_internal::ParseDocument("a\n\"line1\nline2\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][0], "line1\nline2");
+}
+
+TEST_F(CsvTest, ParseDocumentCrlfAndMissingFinalNewline) {
+  const auto rows = csv_internal::ParseDocument("a,b\r\n1,2");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST_F(CsvTest, ParseDocumentUnterminatedQuoteFails) {
+  EXPECT_FALSE(csv_internal::ParseDocument("a\n\"oops\n").ok());
+}
+
+TEST_F(CsvTest, ReadCsvInfersSchema) {
+  const std::string path = TempPath("infer.csv");
+  WriteFile(path, "color,size\nred,small\nblue,large\nred,large\n");
+  const auto dataset = ReadCsv(path);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->num_rows(), 3u);
+  EXPECT_EQ(dataset->schema().attribute(0).name(), "color");
+  EXPECT_EQ(dataset->schema().attribute(0).domain_size(), 2u);
+  // First-appearance order: red=0, blue=1.
+  EXPECT_EQ(dataset->at(0, 0), 0u);
+  EXPECT_EQ(dataset->at(1, 0), 1u);
+}
+
+TEST_F(CsvTest, ReadCsvRejectsRaggedRows) {
+  const std::string path = TempPath("ragged.csv");
+  WriteFile(path, "a,b\n1\n");
+  EXPECT_FALSE(ReadCsv(path).ok());
+}
+
+TEST_F(CsvTest, ReadCsvMissingFile) {
+  EXPECT_EQ(ReadCsv("/nonexistent/zzz.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, RoundTripPreservesData) {
+  Schema schema({Attribute("x", {"a,1", "b\"2", "plain"}),
+                 Attribute("y", {"low", "high"})});
+  Dataset original(schema);
+  original.AppendRowUnchecked({0, 1});
+  original.AppendRowUnchecked({1, 0});
+  original.AppendRowUnchecked({2, 1});
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(original, path).ok());
+
+  const auto loaded = ReadCsvWithSchema(path, schema);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->num_rows(), 3u);
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(loaded->Row(r), original.Row(r)) << "row " << r;
+  }
+}
+
+TEST_F(CsvTest, ReadCsvWithSchemaEnforcesHeader) {
+  const std::string path = TempPath("header.csv");
+  WriteFile(path, "wrong,y\nlow,low\n");
+  const Schema schema(
+      {Attribute("x", {"low"}), Attribute("y", {"low"})});
+  EXPECT_FALSE(ReadCsvWithSchema(path, schema).ok());
+}
+
+TEST_F(CsvTest, ReadCsvWithSchemaEnforcesDomain) {
+  const std::string path = TempPath("domain.csv");
+  WriteFile(path, "x\nunknown_value\n");
+  const Schema schema({Attribute("x", {"known"})});
+  EXPECT_EQ(ReadCsvWithSchema(path, schema).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,110 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace dpclustx {
+namespace {
+
+Dataset MakeDataset() {
+  Schema schema({Attribute::WithAnonymousDomain("a", 3),
+                 Attribute::WithAnonymousDomain("b", 2)});
+  Dataset dataset(schema);
+  // rows: (0,0) (1,1) (2,0) (1,0)
+  dataset.AppendRowUnchecked({0, 0});
+  dataset.AppendRowUnchecked({1, 1});
+  dataset.AppendRowUnchecked({2, 0});
+  dataset.AppendRowUnchecked({1, 0});
+  return dataset;
+}
+
+TEST(DatasetTest, AppendRowValidates) {
+  Schema schema({Attribute::WithAnonymousDomain("a", 2)});
+  Dataset dataset(schema);
+  EXPECT_TRUE(dataset.AppendRow({1}).ok());
+  EXPECT_FALSE(dataset.AppendRow({2}).ok());      // out of domain
+  EXPECT_FALSE(dataset.AppendRow({0, 0}).ok());   // wrong arity
+  EXPECT_EQ(dataset.num_rows(), 1u);
+}
+
+TEST(DatasetTest, CellAndRowAccess) {
+  const Dataset dataset = MakeDataset();
+  EXPECT_EQ(dataset.num_rows(), 4u);
+  EXPECT_EQ(dataset.at(2, 0), 2u);
+  EXPECT_EQ(dataset.Row(1), (std::vector<ValueCode>{1, 1}));
+}
+
+TEST(DatasetTest, ComputeHistogram) {
+  const Dataset dataset = MakeDataset();
+  const Histogram h = dataset.ComputeHistogram(0);
+  EXPECT_DOUBLE_EQ(h.bin(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin(2), 1.0);
+}
+
+TEST(DatasetTest, ComputeHistogramOnRowSubset) {
+  const Dataset dataset = MakeDataset();
+  const Histogram h = dataset.ComputeHistogram(1, {0, 1});
+  EXPECT_DOUBLE_EQ(h.bin(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin(1), 1.0);
+}
+
+TEST(DatasetTest, GroupHistogramsPartitionTheColumn) {
+  const Dataset dataset = MakeDataset();
+  const std::vector<uint32_t> labels = {0, 1, 0, 1};
+  const std::vector<Histogram> groups =
+      dataset.ComputeGroupHistograms(0, labels, 2);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_DOUBLE_EQ(groups[0].bin(0), 1.0);
+  EXPECT_DOUBLE_EQ(groups[0].bin(2), 1.0);
+  EXPECT_DOUBLE_EQ(groups[1].bin(1), 2.0);
+  // Partition property: group histograms sum to the full histogram.
+  const Histogram sum = groups[0].Plus(groups[1]);
+  EXPECT_DOUBLE_EQ(Histogram::L1Distance(sum, dataset.ComputeHistogram(0)),
+                   0.0);
+}
+
+TEST(DatasetTest, GroupHistogramsAllowEmptyGroups) {
+  const Dataset dataset = MakeDataset();
+  const std::vector<uint32_t> labels = {0, 0, 0, 0};
+  const std::vector<Histogram> groups =
+      dataset.ComputeGroupHistograms(0, labels, 3);
+  EXPECT_DOUBLE_EQ(groups[1].Total(), 0.0);
+  EXPECT_DOUBLE_EQ(groups[2].Total(), 0.0);
+}
+
+TEST(DatasetTest, SelectRowsKeepsOrderAndDuplicates) {
+  const Dataset dataset = MakeDataset();
+  const Dataset subset = dataset.SelectRows({3, 3, 0});
+  ASSERT_EQ(subset.num_rows(), 3u);
+  EXPECT_EQ(subset.at(0, 0), 1u);
+  EXPECT_EQ(subset.at(1, 0), 1u);
+  EXPECT_EQ(subset.at(2, 0), 0u);
+}
+
+TEST(DatasetTest, SelectAttributesProjectsSchema) {
+  const Dataset dataset = MakeDataset();
+  const Dataset projected = dataset.SelectAttributes({1});
+  EXPECT_EQ(projected.num_attributes(), 1u);
+  EXPECT_EQ(projected.schema().attribute(0).name(), "b");
+  EXPECT_EQ(projected.num_rows(), 4u);
+  EXPECT_EQ(projected.at(1, 0), 1u);
+}
+
+TEST(DatasetTest, SampleRowsFractionBounds) {
+  const Dataset dataset = MakeDataset();
+  Rng rng(1);
+  EXPECT_EQ(dataset.SampleRows(0.0, rng).num_rows(), 0u);
+  EXPECT_EQ(dataset.SampleRows(1.0, rng).num_rows(), 4u);
+}
+
+TEST(DatasetTest, SampleRowsApproximatesFraction) {
+  Schema schema({Attribute::WithAnonymousDomain("a", 2)});
+  Dataset dataset(schema);
+  for (int i = 0; i < 10000; ++i) dataset.AppendRowUnchecked({0});
+  Rng rng(5);
+  const size_t kept = dataset.SampleRows(0.3, rng).num_rows();
+  EXPECT_NEAR(static_cast<double>(kept), 3000.0, 200.0);
+}
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,134 @@
+#include "dp/dp_histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dpclustx {
+namespace {
+
+Histogram MakeExact() { return Histogram({100.0, 50.0, 0.0, 25.0}); }
+
+TEST(DpHistogramTest, ValidatesArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(ReleaseDpHistogram(Histogram(), 1.0, rng).ok());
+  EXPECT_FALSE(ReleaseDpHistogram(MakeExact(), 0.0, rng).ok());
+  EXPECT_FALSE(ReleaseDpHistogram(MakeExact(), -1.0, rng).ok());
+}
+
+TEST(DpHistogramTest, PreservesDomainSize) {
+  Rng rng(2);
+  const auto noisy = ReleaseDpHistogram(MakeExact(), 1.0, rng);
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_EQ(noisy->domain_size(), 4u);
+}
+
+TEST(DpHistogramTest, GeometricNoiseIsIntegerValued) {
+  Rng rng(3);
+  DpHistogramOptions options;
+  options.clamp_non_negative = false;
+  const auto noisy = ReleaseDpHistogram(MakeExact(), 0.5, rng, options);
+  ASSERT_TRUE(noisy.ok());
+  for (size_t i = 0; i < noisy->domain_size(); ++i) {
+    const double v = noisy->bin(static_cast<ValueCode>(i));
+    EXPECT_DOUBLE_EQ(v, std::round(v));
+  }
+}
+
+TEST(DpHistogramTest, ClampingKeepsBinsNonNegative) {
+  Rng rng(4);
+  const Histogram zeros(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto noisy = ReleaseDpHistogram(zeros, 0.1, rng);
+    ASSERT_TRUE(noisy.ok());
+    for (size_t i = 0; i < noisy->domain_size(); ++i) {
+      EXPECT_GE(noisy->bin(static_cast<ValueCode>(i)), 0.0);
+    }
+  }
+}
+
+TEST(DpHistogramTest, UnclampedNoiseIsUnbiased) {
+  Rng rng(5);
+  DpHistogramOptions options;
+  options.clamp_non_negative = false;
+  double sum = 0.0;
+  constexpr int kTrials = 30000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto noisy =
+        ReleaseDpHistogram(Histogram(std::vector<double>{40.0}), 1.0, rng, options);
+    sum += noisy->bin(0);
+  }
+  EXPECT_NEAR(sum / kTrials, 40.0, 0.1);
+}
+
+TEST(DpHistogramTest, LaplaceVariantWorks) {
+  Rng rng(6);
+  DpHistogramOptions options;
+  options.noise = HistogramNoise::kLaplace;
+  options.clamp_non_negative = false;
+  double sum = 0.0;
+  constexpr int kTrials = 30000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    sum += ReleaseDpHistogram(Histogram(std::vector<double>{40.0}), 1.0, rng, options)->bin(0);
+  }
+  EXPECT_NEAR(sum / kTrials, 40.0, 0.1);
+}
+
+TEST(DpHistogramTest, LargerEpsilonMeansSmallerError) {
+  Rng rng(7);
+  const Histogram exact = MakeExact();
+  double err_small_eps = 0.0, err_large_eps = 0.0;
+  for (int trial = 0; trial < 500; ++trial) {
+    err_small_eps += Histogram::L1Distance(
+        exact, *ReleaseDpHistogram(exact, 0.05, rng));
+    err_large_eps += Histogram::L1Distance(
+        exact, *ReleaseDpHistogram(exact, 5.0, rng));
+  }
+  EXPECT_LT(err_large_eps, err_small_eps);
+}
+
+TEST(DpHistogramErrorBoundTest, MonotoneInEpsilonAndDomain) {
+  EXPECT_GE(DpHistogramMaxErrorBound(10, 0.1, 0.95),
+            DpHistogramMaxErrorBound(10, 1.0, 0.95));
+  EXPECT_GE(DpHistogramMaxErrorBound(100, 0.5, 0.95),
+            DpHistogramMaxErrorBound(10, 0.5, 0.95));
+}
+
+TEST(DpHistogramErrorBoundTest, EmpiricalCoverageHolds) {
+  const size_t domain = 8;
+  const double epsilon = 0.5, confidence = 0.9;
+  const double bound = DpHistogramMaxErrorBound(domain, epsilon, confidence);
+  Rng rng(8);
+  DpHistogramOptions options;
+  options.clamp_non_negative = false;
+  const Histogram exact(std::vector<double>(domain, 1000.0));
+  size_t within = 0;
+  constexpr int kTrials = 5000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto noisy = ReleaseDpHistogram(exact, epsilon, rng, options);
+    double max_err = 0.0;
+    for (size_t i = 0; i < domain; ++i) {
+      max_err = std::max(max_err,
+                         std::fabs(noisy->bin(static_cast<ValueCode>(i)) -
+                                   1000.0));
+    }
+    if (max_err <= bound) ++within;
+  }
+  // The union bound is conservative, so coverage must be at least the
+  // target confidence.
+  EXPECT_GE(static_cast<double>(within) / kTrials, confidence);
+}
+
+TEST(EpsilonForDpHistogramErrorTest, InvertsTheBound) {
+  const size_t domain = 20;
+  const double max_error = 15.0, confidence = 0.95;
+  const double epsilon =
+      EpsilonForDpHistogramError(domain, max_error, confidence);
+  EXPECT_LE(DpHistogramMaxErrorBound(domain, epsilon, confidence), max_error);
+  // A slightly smaller epsilon should violate the target.
+  EXPECT_GT(DpHistogramMaxErrorBound(domain, epsilon * 0.8, confidence),
+            max_error);
+}
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,92 @@
+#include "cluster/dp_kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dpclustx {
+namespace {
+
+TEST(DpKMeansTest, ValidatesOptions) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(50, 3, 9, 1);
+  DpKMeansOptions options;
+  options.num_clusters = 0;
+  EXPECT_FALSE(FitDpKMeans(dataset, options).ok());
+  options = DpKMeansOptions{};
+  options.epsilon = 0.0;
+  EXPECT_FALSE(FitDpKMeans(dataset, options).ok());
+  options = DpKMeansOptions{};
+  options.iterations = 0;
+  EXPECT_FALSE(FitDpKMeans(dataset, options).ok());
+}
+
+TEST(DpKMeansTest, ChargesBudget) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(200, 3, 9, 2);
+  PrivacyBudget budget(2.0);
+  DpKMeansOptions options;
+  options.epsilon = 1.0;
+  ASSERT_TRUE(FitDpKMeans(dataset, options, &budget).ok());
+  EXPECT_DOUBLE_EQ(budget.spent_epsilon(), 1.0);
+}
+
+TEST(DpKMeansTest, FailsWhenBudgetInsufficient) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(200, 3, 9, 3);
+  PrivacyBudget budget(0.5);
+  DpKMeansOptions options;
+  options.epsilon = 1.0;
+  EXPECT_EQ(FitDpKMeans(dataset, options, &budget).status().code(),
+            StatusCode::kOutOfBudget);
+  EXPECT_DOUBLE_EQ(budget.spent_epsilon(), 0.0);
+}
+
+TEST(DpKMeansTest, HighBudgetRecoversSeparatedBlocks) {
+  // With a very generous budget DPLloyd behaves like Lloyd and should find
+  // the planted two-block structure on a large dataset.
+  const Dataset dataset = testutil::MakeTwoBlockDataset(3000, 4, 9, 4);
+  DpKMeansOptions options;
+  options.num_clusters = 2;
+  options.epsilon = 100.0;
+  options.seed = 5;
+  const auto clustering = FitDpKMeans(dataset, options);
+  ASSERT_TRUE(clustering.ok());
+  const std::vector<ClusterId> labels = (*clustering)->AssignAll(dataset);
+  EXPECT_GT(testutil::TwoBlockPurity(labels), 0.95);
+}
+
+TEST(DpKMeansTest, PaperBudgetStillRuns) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(2000, 4, 9, 6);
+  DpKMeansOptions options;
+  options.num_clusters = 5;
+  options.epsilon = 1.0;  // the paper's ε_clust
+  const auto clustering = FitDpKMeans(dataset, options);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_EQ((*clustering)->num_clusters(), 5u);
+  // Labels must be valid even if the noisy clustering is poor.
+  for (ClusterId label : (*clustering)->AssignAll(dataset)) {
+    EXPECT_LT(label, 5u);
+  }
+}
+
+TEST(DpKMeansTest, DeterministicGivenSeed) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(500, 3, 9, 7);
+  DpKMeansOptions options;
+  options.seed = 11;
+  const auto a = FitDpKMeans(dataset, options);
+  const auto b = FitDpKMeans(dataset, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)->AssignAll(dataset), (*b)->AssignAll(dataset));
+}
+
+TEST(DpKMeansTest, DifferentSeedsGiveDifferentNoise) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(500, 3, 9, 8);
+  DpKMeansOptions options;
+  options.epsilon = 0.5;
+  options.seed = 1;
+  const auto a = FitDpKMeans(dataset, options);
+  options.seed = 2;
+  const auto b = FitDpKMeans(dataset, options);
+  EXPECT_NE((*a)->AssignAll(dataset), (*b)->AssignAll(dataset));
+}
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,140 @@
+// Parameterized DP-compliance sweeps: for each mechanism configuration, the
+// empirical output distributions on neighboring inputs must respect the
+// e^ε likelihood-ratio bound, and calibrated noise must match its nominal
+// moments. These are statistical tests with fixed seeds and generous (but
+// meaningful) tolerances.
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "dp/dp_histogram.h"
+#include "dp/exponential.h"
+#include "dp/mechanisms.h"
+
+namespace dpclustx {
+namespace {
+
+struct DpCase {
+  const char* name;
+  HistogramNoise noise;
+  double epsilon;
+};
+
+class DpHistogramComplianceTest : public ::testing::TestWithParam<DpCase> {};
+
+// Discretized likelihood-ratio check on one bin: release the histograms of
+// neighboring counts many times; every (binned) output's empirical
+// probability ratio must be within e^ε up to sampling slack.
+TEST_P(DpHistogramComplianceTest, NeighboringRatioBounded) {
+  const DpCase param = GetParam();
+  Rng rng(42);
+  DpHistogramOptions options;
+  options.noise = param.noise;
+  options.clamp_non_negative = false;
+
+  constexpr size_t kSamples = 120000;
+  const double bucket = 1.0;  // discretization for Laplace outputs
+  std::map<long long, double> p_n, p_n1;
+  const Histogram h_n(std::vector<double>{50.0});
+  const Histogram h_n1(std::vector<double>{51.0});
+  for (size_t s = 0; s < kSamples; ++s) {
+    p_n[static_cast<long long>(std::floor(
+        ReleaseDpHistogram(h_n, param.epsilon, rng, options)->bin(0) /
+        bucket))] += 1.0;
+    p_n1[static_cast<long long>(std::floor(
+        ReleaseDpHistogram(h_n1, param.epsilon, rng, options)->bin(0) /
+        bucket))] += 1.0;
+  }
+  // Laplace noise shifted by 1 across a 1-wide bucket can straddle bucket
+  // boundaries, inflating the discretized ratio by up to one extra e^ε
+  // bucket-width factor; allow multiplicative slack accordingly.
+  const double bound = std::exp(param.epsilon * (1.0 + bucket)) * 1.15;
+  for (const auto& [value, count] : p_n) {
+    if (count < 2000.0) continue;  // skip high-variance tails
+    const auto it = p_n1.find(value);
+    ASSERT_NE(it, p_n1.end()) << "output bucket " << value;
+    const double ratio = count / it->second;
+    EXPECT_LT(ratio, bound) << param.name << " bucket " << value;
+    EXPECT_GT(ratio, 1.0 / bound) << param.name << " bucket " << value;
+  }
+}
+
+TEST_P(DpHistogramComplianceTest, UnclampedNoiseIsCentered) {
+  const DpCase param = GetParam();
+  Rng rng(43);
+  DpHistogramOptions options;
+  options.noise = param.noise;
+  options.clamp_non_negative = false;
+  const Histogram exact(std::vector<double>{1000.0, 500.0, 0.0, 250.0});
+  Histogram sum(4);
+  constexpr int kTrials = 20000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    sum = sum.Plus(*ReleaseDpHistogram(exact, param.epsilon, rng, options));
+  }
+  const double tolerance = 4.0 / param.epsilon / std::sqrt(kTrials) * 5.0;
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(sum.bin(static_cast<ValueCode>(i)) / kTrials,
+                exact.bin(static_cast<ValueCode>(i)), tolerance + 0.5)
+        << param.name << " bin " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mechanisms, DpHistogramComplianceTest,
+    ::testing::Values(DpCase{"geometric_tight", HistogramNoise::kGeometric,
+                             0.3},
+                      DpCase{"geometric_loose", HistogramNoise::kGeometric,
+                             1.0},
+                      DpCase{"laplace_tight", HistogramNoise::kLaplace, 0.3},
+                      DpCase{"laplace_loose", HistogramNoise::kLaplace,
+                             1.0}),
+    [](const ::testing::TestParamInfo<DpCase>& info) {
+      return info.param.name;
+    });
+
+struct EmCase {
+  double epsilon;
+  double sensitivity;
+};
+
+class ExponentialMechanismSweepTest
+    : public ::testing::TestWithParam<EmCase> {};
+
+TEST_P(ExponentialMechanismSweepTest, MatchesClosedFormDistribution) {
+  const EmCase param = GetParam();
+  const std::vector<double> scores = {0.0, 1.0, 3.0, 3.5};
+  std::vector<double> expected(scores.size());
+  double total = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    expected[i] =
+        std::exp(param.epsilon * scores[i] / (2.0 * param.sensitivity));
+    total += expected[i];
+  }
+  for (double& e : expected) e /= total;
+
+  Rng rng(44);
+  constexpr size_t kSamples = 150000;
+  std::vector<size_t> counts(scores.size(), 0);
+  for (size_t s = 0; s < kSamples; ++s) {
+    ++counts[ExponentialMechanism(scores, param.sensitivity, param.epsilon,
+                                  rng)
+                 .value()];
+  }
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kSamples, expected[i],
+                0.01)
+        << "eps=" << param.epsilon << " candidate " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExponentialMechanismSweepTest,
+                         ::testing::Values(EmCase{0.5, 1.0}, EmCase{2.0, 1.0},
+                                           EmCase{2.0, 4.0}),
+                         [](const ::testing::TestParamInfo<EmCase>& info) {
+                           return "case" + std::to_string(info.index);
+                         });
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,97 @@
+#include "dp/eda_session.h"
+
+#include <gtest/gtest.h>
+
+namespace dpclustx {
+namespace {
+
+struct Fixture {
+  Dataset dataset;
+  std::vector<uint32_t> labels;
+};
+
+Fixture MakeFixture() {
+  Schema schema({Attribute::WithAnonymousDomain("a", 4),
+                 Attribute::WithAnonymousDomain("b", 3)});
+  Dataset dataset(schema);
+  Rng rng(1);
+  std::vector<uint32_t> labels;
+  for (int i = 0; i < 5000; ++i) {
+    dataset.AppendRowUnchecked({static_cast<ValueCode>(rng.UniformInt(4)),
+                                static_cast<ValueCode>(rng.UniformInt(3))});
+    labels.push_back(static_cast<uint32_t>(rng.UniformInt(3)));
+  }
+  return {std::move(dataset), std::move(labels)};
+}
+
+TEST(EdaSessionTest, OpenValidatesInput) {
+  const Fixture f = MakeFixture();
+  PrivacyBudget budget(1.0);
+  EXPECT_FALSE(EdaSession::Open(nullptr, f.labels, 3, &budget, 1).ok());
+  EXPECT_FALSE(EdaSession::Open(&f.dataset, f.labels, 3, nullptr, 1).ok());
+  EXPECT_FALSE(EdaSession::Open(&f.dataset, {0, 1}, 3, &budget, 1).ok());
+  EXPECT_FALSE(EdaSession::Open(&f.dataset, f.labels, 2, &budget, 1).ok());
+}
+
+TEST(EdaSessionTest, QueriesChargeBudgetSequentially) {
+  const Fixture f = MakeFixture();
+  PrivacyBudget budget(1.0);
+  auto session = EdaSession::Open(&f.dataset, f.labels, 3, &budget, 7);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->QueryFullHistogram(0, 0.2).ok());
+  ASSERT_TRUE(session->QueryClusterHistogram(1, 0, 0.3).ok());
+  ASSERT_TRUE(session->QueryClusterSize(0, 0.1).ok());
+  EXPECT_NEAR(budget.spent_epsilon(), 0.6, 1e-12);
+  EXPECT_EQ(session->queries_issued(), 3u);
+}
+
+TEST(EdaSessionTest, AllClusterRoundChargesOnce) {
+  const Fixture f = MakeFixture();
+  PrivacyBudget budget(1.0);
+  auto session = EdaSession::Open(&f.dataset, f.labels, 3, &budget, 7);
+  ASSERT_TRUE(session.ok());
+  const auto round = session->QueryAllClusterHistograms(1, 0.25);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->size(), 3u);
+  // Parallel composition: one ε charge for all three disjoint clusters.
+  EXPECT_NEAR(budget.spent_epsilon(), 0.25, 1e-12);
+}
+
+TEST(EdaSessionTest, RefusesQueriesBeyondBudget) {
+  const Fixture f = MakeFixture();
+  PrivacyBudget budget(0.3);
+  auto session = EdaSession::Open(&f.dataset, f.labels, 3, &budget, 7);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->QueryFullHistogram(0, 0.25).ok());
+  const auto refused = session->QueryFullHistogram(1, 0.25);
+  EXPECT_EQ(refused.status().code(), StatusCode::kOutOfBudget);
+  // The refused query drew no noise and charged nothing.
+  EXPECT_NEAR(budget.spent_epsilon(), 0.25, 1e-12);
+}
+
+TEST(EdaSessionTest, ValidatesQueryArguments) {
+  const Fixture f = MakeFixture();
+  PrivacyBudget budget(1.0);
+  auto session = EdaSession::Open(&f.dataset, f.labels, 3, &budget, 7);
+  ASSERT_TRUE(session.ok());
+  EXPECT_FALSE(session->QueryClusterHistogram(9, 0, 0.1).ok());
+  EXPECT_FALSE(session->QueryClusterHistogram(0, 9, 0.1).ok());
+  EXPECT_DOUBLE_EQ(budget.spent_epsilon(), 0.0);
+}
+
+TEST(EdaSessionTest, NoisyAnswersApproximateTruthAtHighBudget) {
+  const Fixture f = MakeFixture();
+  PrivacyBudget budget(1e8);
+  auto session = EdaSession::Open(&f.dataset, f.labels, 3, &budget, 7);
+  ASSERT_TRUE(session.ok());
+  const auto size = session->QueryClusterSize(2, 1e6);
+  ASSERT_TRUE(size.ok());
+  size_t truth = 0;
+  for (uint32_t label : f.labels) {
+    if (label == 2) ++truth;
+  }
+  EXPECT_NEAR(*size, static_cast<double>(truth), 2.0);
+}
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,181 @@
+// Boundary-condition coverage across modules: empty datasets, degenerate
+// cluster structures, single-candidate searches, exact bin edges, and
+// filesystem failures — the inputs that never appear in the happy-path
+// tests but do appear in production.
+
+#include <gtest/gtest.h>
+
+#include "baselines/tabee.h"
+#include <fstream>
+
+#include "core/candidate_selection.h"
+#include "core/explainer.h"
+#include "core/quality.h"
+#include "core/stats_cache.h"
+#include "data/binning.h"
+#include "data/csv.h"
+#include "eval/metrics.h"
+
+namespace dpclustx {
+namespace {
+
+TEST(EdgeCaseTest, EmptyDatasetStatsAreAllZero) {
+  Schema schema({Attribute::WithAnonymousDomain("a", 3)});
+  const Dataset empty(schema);
+  const auto stats = StatsCache::Build(empty, {}, 2);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_rows(), 0u);
+  EXPECT_EQ(stats->cluster_size(0), 0u);
+  EXPECT_DOUBLE_EQ(InterestingnessP(*stats, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(SufficiencyP(*stats, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(DiversityP(*stats, {0, 0}), 0.0);
+  GlobalWeights lambda;
+  EXPECT_DOUBLE_EQ(GlobalScore(*stats, {0, 0}, lambda), 0.0);
+}
+
+TEST(EdgeCaseTest, EveryRowInOneClusterOfMany) {
+  Schema schema({Attribute::WithAnonymousDomain("a", 2)});
+  Dataset dataset(schema);
+  std::vector<ClusterId> labels;
+  for (int i = 0; i < 100; ++i) {
+    dataset.AppendRowUnchecked({static_cast<ValueCode>(i % 2)});
+    labels.push_back(3);  // only cluster 3 of 5 is populated
+  }
+  const auto stats = StatsCache::Build(dataset, labels, 5);
+  ASSERT_TRUE(stats.ok());
+  // The populated cluster is the whole dataset: zero interestingness.
+  EXPECT_NEAR(InterestingnessP(*stats, 3, 0), 0.0, 1e-9);
+  // The framework still runs end to end over the degenerate clustering.
+  DpClustXOptions options;
+  options.num_candidates = 1;
+  const auto explanation =
+      ExplainDpClustXWithLabels(dataset, labels, 5, options);
+  ASSERT_TRUE(explanation.ok()) << explanation.status();
+  EXPECT_EQ(explanation->combination.size(), 5u);
+}
+
+TEST(EdgeCaseTest, SingleClusterSingleAttribute) {
+  Schema schema({Attribute::WithAnonymousDomain("only", 4)});
+  Dataset dataset(schema);
+  std::vector<ClusterId> labels;
+  for (int i = 0; i < 50; ++i) {
+    dataset.AppendRowUnchecked({static_cast<ValueCode>(i % 4)});
+    labels.push_back(0);
+  }
+  DpClustXOptions options;
+  options.num_candidates = 1;
+  const auto explanation =
+      ExplainDpClustXWithLabels(dataset, labels, 1, options);
+  ASSERT_TRUE(explanation.ok()) << explanation.status();
+  EXPECT_EQ(explanation->combination, AttributeCombination{0});
+}
+
+TEST(EdgeCaseTest, SearchCombinationSingleCandidateIsForced) {
+  core_internal::CombinationScoreTables tables;
+  tables.unary = {{1.0}, {2.0}};
+  Rng rng(1);
+  const auto combo = core_internal::SearchCombination(
+      {{7}, {9}}, tables, 5.0, 1.0, 100, rng);
+  ASSERT_TRUE(combo.ok());
+  EXPECT_EQ(*combo, (AttributeCombination{7, 9}));
+}
+
+TEST(EdgeCaseTest, TabeeOnTinyDataset) {
+  Schema schema({Attribute::WithAnonymousDomain("a", 2),
+                 Attribute::WithAnonymousDomain("b", 2)});
+  Dataset dataset(schema);
+  dataset.AppendRowUnchecked({0, 1});
+  dataset.AppendRowUnchecked({1, 0});
+  const auto stats =
+      StatsCache::Build(dataset, std::vector<ClusterId>{0, 1}, 2);
+  ASSERT_TRUE(stats.ok());
+  baselines::TabeeOptions options;
+  options.num_candidates = 2;
+  const auto explanation = baselines::ExplainTabee(*stats, options);
+  ASSERT_TRUE(explanation.ok()) << explanation.status();
+  GlobalWeights lambda;
+  // Two singleton clusters with disjoint values: perfect sufficiency.
+  EXPECT_NEAR(eval::Sufficiency(*stats, explanation->combination), 1.0,
+              1e-9);
+  (void)lambda;
+}
+
+TEST(EdgeCaseTest, BinnerExactEdgeValues) {
+  const auto binner = Binner::FromEdges("x", {0.0, 10.0, 20.0, 30.0});
+  ASSERT_TRUE(binner.ok());
+  EXPECT_EQ(binner->CodeFor(0.0), 0u);
+  EXPECT_EQ(binner->CodeFor(10.0), 1u);   // left-closed
+  EXPECT_EQ(binner->CodeFor(20.0), 2u);
+  EXPECT_EQ(binner->CodeFor(30.0), 2u);   // last bin right-closed
+  EXPECT_EQ(binner->CodeFor(29.999999), 2u);
+}
+
+TEST(EdgeCaseTest, WriteCsvToUnwritablePathFails) {
+  Schema schema({Attribute::WithAnonymousDomain("a", 2)});
+  Dataset dataset(schema);
+  dataset.AppendRowUnchecked({0});
+  const Status status = WriteCsv(dataset, "/nonexistent_dir/zz/a.csv");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(EdgeCaseTest, CsvWithOnlyHeaderGivesEmptyDataset) {
+  const std::string path = testing::TempDir() + "/dpx_header_only.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n";
+  }
+  const auto dataset = ReadCsv(path);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->num_rows(), 0u);
+  EXPECT_EQ(dataset->num_attributes(), 2u);
+}
+
+TEST(EdgeCaseTest, MaeOverOneClusterIsBinary) {
+  EXPECT_DOUBLE_EQ(eval::MeanAbsoluteError({3}, {3}), 0.0);
+  EXPECT_DOUBLE_EQ(eval::MeanAbsoluteError({3}, {4}), 1.0);
+}
+
+TEST(EdgeCaseTest, CandidateSelectionWithKEqualToAttributeCount) {
+  Schema schema({Attribute::WithAnonymousDomain("a", 2),
+                 Attribute::WithAnonymousDomain("b", 2)});
+  Dataset dataset(schema);
+  std::vector<ClusterId> labels;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    dataset.AppendRowUnchecked({static_cast<ValueCode>(rng.UniformInt(2)),
+                                static_cast<ValueCode>(rng.UniformInt(2))});
+    labels.push_back(static_cast<ClusterId>(i % 2));
+  }
+  const auto stats = StatsCache::Build(dataset, labels, 2);
+  CandidateSelectionOptions options;
+  options.k = 2;  // == |A|: the candidate set is a noisy permutation
+  const auto sets = SelectCandidates(*stats, options, rng);
+  ASSERT_TRUE(sets.ok());
+  for (const auto& set : *sets) {
+    EXPECT_EQ(set.size(), 2u);
+  }
+}
+
+TEST(EdgeCaseTest, GlobalWeightsSingleFacetConfigurations) {
+  // Degenerate but legal weightings must flow through the whole scorer.
+  Schema schema({Attribute::WithAnonymousDomain("a", 3)});
+  Dataset dataset(schema);
+  std::vector<ClusterId> labels;
+  Rng rng(6);
+  for (int i = 0; i < 300; ++i) {
+    dataset.AppendRowUnchecked({static_cast<ValueCode>(rng.UniformInt(3))});
+    labels.push_back(static_cast<ClusterId>(i % 3));
+  }
+  const auto stats = StatsCache::Build(dataset, labels, 3);
+  for (const GlobalWeights lambda :
+       {GlobalWeights{1.0, 0.0, 0.0}, GlobalWeights{0.0, 1.0, 0.0},
+        GlobalWeights{0.0, 0.0, 1.0}}) {
+    ASSERT_TRUE(lambda.Validate().ok());
+    const double score = GlobalScore(*stats, {0, 0, 0}, lambda);
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, GlobalScoreRangeBound(*stats, lambda) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,325 @@
+#include "core/explainer.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cluster/kmeans.h"
+#include "data/synthetic.h"
+
+namespace dpclustx {
+namespace {
+
+struct Fixture {
+  Dataset dataset;
+  std::vector<ClusterId> labels;
+  size_t num_clusters;
+};
+
+Fixture MakeFixture(size_t rows = 4000, size_t clusters = 3,
+                    uint64_t seed = 1) {
+  synth::SyntheticConfig config;
+  config.num_rows = rows;
+  config.num_attributes = 10;
+  config.num_latent_groups = clusters;
+  config.min_domain = 2;
+  config.max_domain = 8;
+  config.signal_strength = 0.9;
+  config.informative_fraction = 0.5;
+  config.seed = seed;
+  Dataset dataset = std::move(*synth::Generate(config));
+  KMeansOptions kmeans;
+  kmeans.num_clusters = clusters;
+  kmeans.seed = seed;
+  const auto clustering = FitKMeans(dataset, kmeans);
+  std::vector<ClusterId> labels = (*clustering)->AssignAll(dataset);
+  return {std::move(dataset), std::move(labels), clusters};
+}
+
+TEST(ExplainerTest, ValidatesOptions) {
+  const Fixture f = MakeFixture(500);
+  DpClustXOptions options;
+  options.epsilon_cand_set = 0.0;
+  EXPECT_FALSE(ExplainDpClustXWithLabels(f.dataset, f.labels, f.num_clusters,
+                                         options)
+                   .ok());
+  options = DpClustXOptions{};
+  options.num_candidates = 0;
+  EXPECT_FALSE(ExplainDpClustXWithLabels(f.dataset, f.labels, f.num_clusters,
+                                         options)
+                   .ok());
+  options = DpClustXOptions{};
+  options.lambda = GlobalWeights{0.9, 0.9, 0.9};
+  EXPECT_FALSE(ExplainDpClustXWithLabels(f.dataset, f.labels, f.num_clusters,
+                                         options)
+                   .ok());
+  options = DpClustXOptions{};
+  options.epsilon_hist = 0.0;  // required when histograms are generated
+  EXPECT_FALSE(ExplainDpClustXWithLabels(f.dataset, f.labels, f.num_clusters,
+                                         options)
+                   .ok());
+}
+
+TEST(ExplainerTest, ProducesCompleteExplanation) {
+  const Fixture f = MakeFixture();
+  DpClustXOptions options;
+  options.seed = 2;
+  const auto explanation = ExplainDpClustXWithLabels(
+      f.dataset, f.labels, f.num_clusters, options);
+  ASSERT_TRUE(explanation.ok()) << explanation.status();
+  EXPECT_EQ(explanation->combination.size(), f.num_clusters);
+  EXPECT_EQ(explanation->per_cluster.size(), f.num_clusters);
+  EXPECT_EQ(explanation->candidate_sets.size(), f.num_clusters);
+  for (size_t c = 0; c < f.num_clusters; ++c) {
+    const SingleClusterExplanation& e = explanation->per_cluster[c];
+    EXPECT_EQ(e.cluster, c);
+    EXPECT_EQ(e.attribute, explanation->combination[c]);
+    const size_t domain =
+        f.dataset.schema().attribute(e.attribute).domain_size();
+    EXPECT_EQ(e.inside.domain_size(), domain);
+    EXPECT_EQ(e.outside.domain_size(), domain);
+  }
+}
+
+TEST(ExplainerTest, CombinationDrawnFromCandidateSets) {
+  const Fixture f = MakeFixture();
+  DpClustXOptions options;
+  options.seed = 3;
+  const auto explanation = ExplainDpClustXWithLabels(
+      f.dataset, f.labels, f.num_clusters, options);
+  ASSERT_TRUE(explanation.ok());
+  for (size_t c = 0; c < f.num_clusters; ++c) {
+    const auto& set = explanation->candidate_sets[c];
+    EXPECT_EQ(set.size(), options.num_candidates);
+    EXPECT_NE(std::find(set.begin(), set.end(),
+                        explanation->combination[c]),
+              set.end());
+  }
+}
+
+TEST(ExplainerTest, NoisyHistogramsAreNonNegative) {
+  const Fixture f = MakeFixture();
+  DpClustXOptions options;
+  options.seed = 4;
+  options.epsilon_hist = 0.05;  // heavy noise
+  const auto explanation = ExplainDpClustXWithLabels(
+      f.dataset, f.labels, f.num_clusters, options);
+  ASSERT_TRUE(explanation.ok());
+  for (const auto& e : explanation->per_cluster) {
+    for (size_t i = 0; i < e.inside.domain_size(); ++i) {
+      EXPECT_GE(e.inside.bin(static_cast<ValueCode>(i)), 0.0);
+      EXPECT_GE(e.outside.bin(static_cast<ValueCode>(i)), 0.0);
+    }
+  }
+}
+
+TEST(ExplainerTest, SkipHistogramsLeavesThemEmpty) {
+  const Fixture f = MakeFixture();
+  DpClustXOptions options;
+  options.generate_histograms = false;
+  options.epsilon_hist = 0.0;  // legal in this mode
+  const auto explanation = ExplainDpClustXWithLabels(
+      f.dataset, f.labels, f.num_clusters, options);
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_TRUE(explanation->per_cluster.empty());
+  EXPECT_EQ(explanation->combination.size(), f.num_clusters);
+}
+
+TEST(ExplainerTest, ChargesBudgetLedger) {
+  const Fixture f = MakeFixture();
+  PrivacyBudget budget(1.0);
+  DpClustXOptions options;
+  options.epsilon_cand_set = 0.1;
+  options.epsilon_top_comb = 0.2;
+  options.epsilon_hist = 0.3;
+  ASSERT_TRUE(ExplainDpClustXWithLabels(f.dataset, f.labels, f.num_clusters,
+                                        options, &budget)
+                  .ok());
+  EXPECT_NEAR(budget.spent_epsilon(), 0.6, 1e-12);
+  EXPECT_EQ(budget.ledger().size(), 3u);
+}
+
+TEST(ExplainerTest, BudgetShortfallFailsBeforeRelease) {
+  const Fixture f = MakeFixture();
+  PrivacyBudget budget(0.25);
+  DpClustXOptions options;  // needs 0.3 total
+  EXPECT_EQ(ExplainDpClustXWithLabels(f.dataset, f.labels, f.num_clusters,
+                                      options, &budget)
+                .status()
+                .code(),
+            StatusCode::kOutOfBudget);
+}
+
+TEST(ExplainerTest, DeterministicGivenSeed) {
+  const Fixture f = MakeFixture();
+  DpClustXOptions options;
+  options.seed = 99;
+  const auto a = ExplainDpClustXWithLabels(f.dataset, f.labels,
+                                           f.num_clusters, options);
+  const auto b = ExplainDpClustXWithLabels(f.dataset, f.labels,
+                                           f.num_clusters, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->combination, b->combination);
+  for (size_t c = 0; c < f.num_clusters; ++c) {
+    EXPECT_DOUBLE_EQ(Histogram::L1Distance(a->per_cluster[c].inside,
+                                           b->per_cluster[c].inside),
+                     0.0);
+  }
+}
+
+TEST(ExplainerTest, MaxCombinationsGuardTriggers) {
+  const Fixture f = MakeFixture(2000, 3);
+  DpClustXOptions options;
+  options.max_combinations = 10;  // 3^3 = 27 > 10
+  const auto result = ExplainDpClustXWithLabels(f.dataset, f.labels,
+                                                f.num_clusters, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExplainerTest, SvtStageOneProducesValidExplanation) {
+  const Fixture f = MakeFixture();
+  DpClustXOptions options;
+  options.stage1 = Stage1Selector::kSvt;
+  options.svt_threshold_fraction = 0.2;
+  options.epsilon_cand_set = 1.0;  // SVT needs more signal to be useful
+  options.seed = 6;
+  const auto explanation = ExplainDpClustXWithLabels(
+      f.dataset, f.labels, f.num_clusters, options);
+  ASSERT_TRUE(explanation.ok()) << explanation.status();
+  EXPECT_EQ(explanation->combination.size(), f.num_clusters);
+  for (size_t c = 0; c < f.num_clusters; ++c) {
+    const auto& set = explanation->candidate_sets[c];
+    ASSERT_FALSE(set.empty());
+    EXPECT_LE(set.size(), options.num_candidates);
+    EXPECT_NE(std::find(set.begin(), set.end(),
+                        explanation->combination[c]),
+              set.end());
+  }
+}
+
+TEST(ExplainerTest, SvtStageOneValidatesThreshold) {
+  const Fixture f = MakeFixture(500);
+  DpClustXOptions options;
+  options.stage1 = Stage1Selector::kSvt;
+  options.svt_threshold_fraction = 0.0;
+  EXPECT_FALSE(ExplainDpClustXWithLabels(f.dataset, f.labels, f.num_clusters,
+                                         options)
+                   .ok());
+}
+
+TEST(ExplainerTest, EndToEndAgainstClusteringFunction) {
+  const Fixture f = MakeFixture();
+  KMeansOptions kmeans;
+  kmeans.num_clusters = 3;
+  const auto clustering = FitKMeans(f.dataset, kmeans);
+  ASSERT_TRUE(clustering.ok());
+  DpClustXOptions options;
+  const auto explanation =
+      ExplainDpClustX(f.dataset, **clustering, options);
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_EQ(explanation->combination.size(), 3u);
+}
+
+TEST(SearchCombinationTest, ExactModePicksArgmax) {
+  // Hand-built tables: 2 clusters × 2 candidates; unary makes (1, 0) best.
+  core_internal::CombinationScoreTables tables;
+  tables.unary = {{0.0, 5.0}, {3.0, 1.0}};
+  const std::vector<std::vector<AttrIndex>> sets = {{7, 8}, {9, 10}};
+  Rng rng(1);
+  const auto combo = core_internal::SearchCombination(
+      sets, tables, /*epsilon=*/0.0, 1.0, 1000, rng);
+  ASSERT_TRUE(combo.ok());
+  EXPECT_EQ(*combo, (AttributeCombination{8, 9}));
+}
+
+TEST(SearchCombinationTest, PairTermsInfluenceSelection) {
+  // Unary alone would pick (0, 0); a strong pair bonus flips to (1, 1).
+  core_internal::CombinationScoreTables tables;
+  tables.unary = {{1.0, 0.5}, {1.0, 0.5}};
+  tables.pair.resize(2);
+  tables.pair[0].resize(2);
+  tables.pair[0][1] = {0.0, 0.0, 0.0, 10.0};  // bonus only for (1, 1)
+  const std::vector<std::vector<AttrIndex>> sets = {{7, 8}, {9, 10}};
+  Rng rng(2);
+  const auto combo = core_internal::SearchCombination(
+      sets, tables, 0.0, 1.0, 1000, rng);
+  ASSERT_TRUE(combo.ok());
+  EXPECT_EQ(*combo, (AttributeCombination{8, 10}));
+}
+
+TEST(SearchCombinationParallelTest, ExactModeMatchesSerial) {
+  // Random tables over 4 clusters × 4 candidates; the exact argmax must be
+  // identical in serial and parallel mode, for any thread count.
+  Rng table_rng(77);
+  const std::vector<std::vector<AttrIndex>> sets(4, {0, 1, 2, 3});
+  core_internal::CombinationScoreTables tables;
+  tables.unary.assign(4, std::vector<double>(4));
+  for (auto& row : tables.unary) {
+    for (double& value : row) value = table_rng.UniformDouble();
+  }
+  tables.pair.resize(4);
+  for (size_t c = 0; c < 4; ++c) {
+    tables.pair[c].resize(4);
+    for (size_t cp = c + 1; cp < 4; ++cp) {
+      tables.pair[c][cp].resize(16);
+      for (double& value : tables.pair[c][cp]) {
+        value = table_rng.UniformDouble();
+      }
+    }
+  }
+  Rng rng_serial(1);
+  const auto serial = core_internal::SearchCombination(
+      sets, tables, 0.0, 1.0, 1 << 20, rng_serial);
+  ASSERT_TRUE(serial.ok());
+  for (const size_t threads : {1u, 2u, 3u, 8u, 64u}) {
+    Rng rng_parallel(1);
+    const auto parallel = core_internal::SearchCombinationParallel(
+        sets, tables, 0.0, 1.0, 1 << 20, rng_parallel, threads);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(*parallel, *serial) << threads << " threads";
+  }
+}
+
+TEST(SearchCombinationParallelTest, PrivateModeReturnsValidCombination) {
+  const std::vector<std::vector<AttrIndex>> sets = {{5, 6}, {7, 8}, {9, 1}};
+  core_internal::CombinationScoreTables tables;
+  tables.unary = {{0.1, 0.9}, {0.5, 0.4}, {0.2, 0.8}};
+  Rng rng(3);
+  const auto combo = core_internal::SearchCombinationParallel(
+      sets, tables, 2.0, 1.0, 1000, rng, 4);
+  ASSERT_TRUE(combo.ok());
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_TRUE((*combo)[c] == sets[c][0] || (*combo)[c] == sets[c][1]);
+  }
+}
+
+TEST(ExplainerTest, MultithreadedOptionProducesValidExplanation) {
+  const Fixture f = MakeFixture();
+  DpClustXOptions options;
+  options.num_threads = 4;
+  options.seed = 5;
+  const auto explanation = ExplainDpClustXWithLabels(
+      f.dataset, f.labels, f.num_clusters, options);
+  ASSERT_TRUE(explanation.ok()) << explanation.status();
+  for (size_t c = 0; c < f.num_clusters; ++c) {
+    const auto& set = explanation->candidate_sets[c];
+    EXPECT_NE(std::find(set.begin(), set.end(),
+                        explanation->combination[c]),
+              set.end());
+  }
+}
+
+TEST(SearchCombinationTest, ValidatesShapes) {
+  core_internal::CombinationScoreTables tables;
+  tables.unary = {{1.0}};
+  Rng rng(3);
+  EXPECT_FALSE(core_internal::SearchCombination({{0}, {1}}, tables, 0.0, 1.0,
+                                                1000, rng)
+                   .ok());
+  EXPECT_FALSE(
+      core_internal::SearchCombination({}, {}, 0.0, 1.0, 1000, rng).ok());
+}
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,145 @@
+#include "core/explanation.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+
+#include "common/rng.h"
+#include "core/serialization.h"
+
+namespace dpclustx {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({Attribute("lab_proc",
+                           {"[0,20)", "[20,40)", "[40,60)", "[60,80)"}),
+                 Attribute("flag", {"no", "yes"}),
+                 Attribute("single", {"only"})});
+}
+
+SingleClusterExplanation MakeShifted() {
+  SingleClusterExplanation e;
+  e.cluster = 1;
+  e.attribute = 0;
+  e.inside = Histogram({0.0, 5.0, 45.0, 50.0});    // high values
+  e.outside = Histogram({60.0, 30.0, 8.0, 2.0});   // low values
+  return e;
+}
+
+TEST(DescribeExplanationTest, NamesAttributeAndDirection) {
+  const std::string text = DescribeExplanation(MakeShifted(), MakeSchema());
+  EXPECT_NE(text.find("lab_proc"), std::string::npos);
+  EXPECT_NE(text.find("higher values"), std::string::npos);
+  EXPECT_NE(text.find("Cluster 1"), std::string::npos);
+}
+
+TEST(DescribeExplanationTest, OppositeShiftDescribedAsLower) {
+  SingleClusterExplanation e = MakeShifted();
+  std::swap(e.inside, e.outside);
+  const std::string text = DescribeExplanation(e, MakeSchema());
+  EXPECT_NE(text.find("lower range"), std::string::npos);
+}
+
+TEST(DescribeExplanationTest, SingleValueDomainDescribedAsClose) {
+  SingleClusterExplanation e;
+  e.cluster = 0;
+  e.attribute = 2;
+  e.inside = Histogram(std::vector<double>{10.0});
+  e.outside = Histogram(std::vector<double>{90.0});
+  const std::string text = DescribeExplanation(e, MakeSchema());
+  EXPECT_NE(text.find("close to"), std::string::npos);
+}
+
+TEST(DescribeExplanationTest, EmptyHistogramsDoNotCrash) {
+  SingleClusterExplanation e;
+  e.cluster = 0;
+  e.attribute = 1;
+  e.inside = Histogram(2);
+  e.outside = Histogram(2);
+  const std::string text = DescribeExplanation(e, MakeSchema());
+  EXPECT_FALSE(text.empty());
+}
+
+TEST(DescribeExplanationTest, RandomHistogramsAlwaysProduceText) {
+  const Schema schema = MakeSchema();
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    SingleClusterExplanation e;
+    e.cluster = static_cast<ClusterId>(trial % 5);
+    e.attribute = static_cast<AttrIndex>(trial % 2);  // multi-bin attrs
+    const size_t domain = schema.attribute(e.attribute).domain_size();
+    e.inside = Histogram(domain);
+    e.outside = Histogram(domain);
+    for (size_t v = 0; v < domain; ++v) {
+      e.inside.set_bin(static_cast<ValueCode>(v),
+                       std::floor(rng.UniformRange(0.0, 100.0)));
+      e.outside.set_bin(static_cast<ValueCode>(v),
+                        std::floor(rng.UniformRange(0.0, 100.0)));
+    }
+    const std::string text = DescribeExplanation(e, schema);
+    ASSERT_NE(text.find(schema.attribute(e.attribute).name()),
+              std::string::npos);
+  }
+}
+
+TEST(RenderGlobalExplanationTest, AnnotatesDpReleases) {
+  GlobalExplanation explanation;
+  SingleClusterExplanation e = MakeShifted();
+  e.epsilon_inside = 0.05;
+  e.epsilon_full = 0.05;
+  e.noise = HistogramNoise::kGeometric;
+  explanation.per_cluster = {e};
+  explanation.combination = {0};
+  const std::string report =
+      RenderGlobalExplanation(explanation, MakeSchema());
+  EXPECT_NE(report.find("DP release"), std::string::npos);
+  EXPECT_NE(report.find("95%"), std::string::npos);
+}
+
+TEST(RenderGlobalExplanationTest, ExactHistogramsCarryNoAnnotation) {
+  GlobalExplanation explanation;
+  explanation.per_cluster = {MakeShifted()};  // epsilon fields zero
+  explanation.combination = {0};
+  const std::string report =
+      RenderGlobalExplanation(explanation, MakeSchema());
+  EXPECT_EQ(report.find("DP release"), std::string::npos);
+}
+
+TEST(ReleaseMetadataTest, SurvivesJsonRoundTrip) {
+  GlobalExplanation explanation;
+  SingleClusterExplanation e = MakeShifted();
+  e.epsilon_inside = 0.05;
+  e.epsilon_full = 0.0125;
+  e.noise = HistogramNoise::kLaplace;
+  explanation.per_cluster = {e};
+  explanation.combination = {0};
+  const Schema schema = MakeSchema();
+  const auto parsed =
+      ExplanationFromJson(ExplanationToJson(explanation, schema), schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_DOUBLE_EQ(parsed->per_cluster[0].epsilon_inside, 0.05);
+  EXPECT_DOUBLE_EQ(parsed->per_cluster[0].epsilon_full, 0.0125);
+  EXPECT_EQ(parsed->per_cluster[0].noise, HistogramNoise::kLaplace);
+}
+
+TEST(NoiseQuantileTest, MatchesMechanismShapes) {
+  // Geometric quantile is integral and shrinks with epsilon.
+  const double g_tight = DpHistogramBinNoiseQuantile(
+      HistogramNoise::kGeometric, 10, 0.05, 0.95);
+  const double g_loose = DpHistogramBinNoiseQuantile(
+      HistogramNoise::kGeometric, 10, 1.0, 0.95);
+  EXPECT_GT(g_tight, g_loose);
+  EXPECT_DOUBLE_EQ(g_tight, std::floor(g_tight));
+  // Laplace closed form: −ln(0.05)/ε.
+  EXPECT_NEAR(DpHistogramBinNoiseQuantile(HistogramNoise::kLaplace, 10, 0.5,
+                                          0.95),
+              -std::log(0.05) / 0.5, 1e-9);
+  // Hierarchical bound exceeds flat Laplace (per-level budget split).
+  EXPECT_GT(DpHistogramBinNoiseQuantile(HistogramNoise::kHierarchical, 32,
+                                        0.5, 0.95),
+            DpHistogramBinNoiseQuantile(HistogramNoise::kLaplace, 32, 0.5,
+                                        0.95));
+}
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,105 @@
+#include "dp/exponential.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dpclustx {
+namespace {
+
+TEST(ExponentialMechanismTest, ValidatesArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(ExponentialMechanism({}, 1.0, 1.0, rng).ok());
+  EXPECT_FALSE(ExponentialMechanism({1.0}, 0.0, 1.0, rng).ok());
+  EXPECT_FALSE(ExponentialMechanism({1.0}, 1.0, 0.0, rng).ok());
+}
+
+TEST(ExponentialMechanismTest, SingleCandidateAlwaysSelected) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const auto result = ExponentialMechanism({3.14}, 1.0, 1.0, rng);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, 0u);
+  }
+}
+
+TEST(ExponentialMechanismTest, MatchesTheoreticalDistribution) {
+  // P(select i) = exp(ε·s_i/2) / Σ exp(ε·s_j/2).
+  const std::vector<double> scores = {0.0, 2.0, 4.0};
+  const double epsilon = 1.0;
+  std::vector<double> expected(3);
+  double total = 0.0;
+  for (size_t i = 0; i < 3; ++i) {
+    expected[i] = std::exp(epsilon * scores[i] / 2.0);
+    total += expected[i];
+  }
+  for (double& e : expected) e /= total;
+
+  Rng rng(3);
+  constexpr size_t kSamples = 200000;
+  std::vector<size_t> counts(3, 0);
+  for (size_t s = 0; s < kSamples; ++s) {
+    ++counts[ExponentialMechanism(scores, 1.0, epsilon, rng).value()];
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kSamples, expected[i], 0.01)
+        << "candidate " << i;
+  }
+}
+
+TEST(ExponentialMechanismTest, HighEpsilonSelectsArgmax) {
+  Rng rng(4);
+  const std::vector<double> scores = {1.0, 5.0, 2.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ExponentialMechanism(scores, 1.0, 1000.0, rng).value(), 1u);
+  }
+}
+
+TEST(ExponentialMechanismTest, StableForHugeScaledScores) {
+  // Scores whose exp() would overflow; the Gumbel-max form must not.
+  Rng rng(5);
+  const std::vector<double> scores = {1e6, 2e6};
+  const auto result = ExponentialMechanism(scores, 1.0, 10.0, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 1u);
+}
+
+TEST(ExponentialMechanismTest, LowEpsilonNearUniform) {
+  Rng rng(6);
+  const std::vector<double> scores = {0.0, 1.0};
+  constexpr size_t kSamples = 100000;
+  size_t first = 0;
+  for (size_t s = 0; s < kSamples; ++s) {
+    if (ExponentialMechanism(scores, 1.0, 1e-6, rng).value() == 0) ++first;
+  }
+  EXPECT_NEAR(static_cast<double>(first) / kSamples, 0.5, 0.01);
+}
+
+TEST(ExponentialMechanismErrorBoundTest, ShrinksWithEpsilon) {
+  const double loose = ExponentialMechanismErrorBound(10, 1.0, 0.1, 1.0);
+  const double tight = ExponentialMechanismErrorBound(10, 1.0, 1.0, 1.0);
+  EXPECT_GT(loose, tight);
+  EXPECT_NEAR(loose / tight, 10.0, 1e-9);
+}
+
+TEST(ExponentialMechanismErrorBoundTest, EmpiricalUtilityHolds) {
+  // With probability >= 1 − e^{−t}, selected score >= max − bound.
+  const std::vector<double> scores = {0.0, 1.0, 2.0, 3.0, 10.0};
+  const double epsilon = 2.0, t = 3.0;
+  const double bound = ExponentialMechanismErrorBound(scores.size(), 1.0,
+                                                      epsilon, t);
+  Rng rng(7);
+  constexpr size_t kSamples = 20000;
+  size_t violations = 0;
+  for (size_t s = 0; s < kSamples; ++s) {
+    const double selected =
+        scores[ExponentialMechanism(scores, 1.0, epsilon, rng).value()];
+    if (selected < 10.0 - bound) ++violations;
+  }
+  EXPECT_LE(static_cast<double>(violations) / kSamples,
+            std::exp(-t) * 1.5 + 0.001);
+}
+
+}  // namespace
+}  // namespace dpclustx

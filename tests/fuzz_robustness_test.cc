@@ -1,0 +1,101 @@
+// Randomized robustness ("fuzz-lite") tests: the parsers must never crash
+// or hang on arbitrary input — they either parse or return a clean error.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "core/serialization.h"
+#include "data/csv.h"
+
+namespace dpclustx {
+namespace {
+
+std::string RandomBytes(Rng& rng, size_t max_len) {
+  const size_t len = rng.UniformInt(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out += static_cast<char>(rng.UniformInt(256));
+  }
+  return out;
+}
+
+// Random strings drawn from JSON-ish characters hit deeper parser states
+// than uniform bytes.
+std::string RandomJsonish(Rng& rng, size_t max_len) {
+  static constexpr char kAlphabet[] =
+      "{}[]\",:0123456789.eE+-truefalsn \n\t\\u";
+  const size_t len = rng.UniformInt(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out += kAlphabet[rng.UniformInt(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+TEST(FuzzRobustnessTest, JsonParserSurvivesRandomBytes) {
+  Rng rng(1);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const auto result = JsonValue::Parse(RandomBytes(rng, 200));
+    // ok or clean error — reaching this line is the assertion.
+    if (result.ok()) {
+      (void)result->Dump();
+    }
+  }
+}
+
+TEST(FuzzRobustnessTest, JsonParserSurvivesJsonishStrings) {
+  Rng rng(2);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const auto result = JsonValue::Parse(RandomJsonish(rng, 120));
+    if (result.ok()) {
+      // Whatever parses must re-parse from its own dump.
+      const auto round = JsonValue::Parse(result->Dump());
+      ASSERT_TRUE(round.ok()) << result->Dump();
+    }
+  }
+}
+
+TEST(FuzzRobustnessTest, JsonParserSurvivesMutatedValidDocuments) {
+  Rng rng(3);
+  const std::string valid =
+      R"({"combination":["a","b"],"clusters":[{"cluster":0,)"
+      R"("attribute":"a","inside":[1,2],"outside":[3,4]}]})";
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string mutated = valid;
+    const size_t flips = 1 + rng.UniformInt(4);
+    for (size_t f = 0; f < flips; ++f) {
+      mutated[rng.UniformInt(mutated.size())] =
+          static_cast<char>(rng.UniformInt(256));
+    }
+    (void)JsonValue::Parse(mutated);
+  }
+}
+
+TEST(FuzzRobustnessTest, CsvParserSurvivesRandomBytes) {
+  Rng rng(4);
+  for (int trial = 0; trial < 3000; ++trial) {
+    (void)csv_internal::ParseDocument(RandomBytes(rng, 300));
+  }
+}
+
+TEST(FuzzRobustnessTest, ExplanationParserSurvivesArbitraryValidJson) {
+  // Structurally valid JSON that is not a valid explanation must produce a
+  // clean error, never a crash.
+  const Schema schema({Attribute("a", {"x", "y"})});
+  Rng rng(5);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::string text = RandomJsonish(rng, 100);
+    const auto json = JsonValue::Parse(text);
+    if (!json.ok()) continue;
+    (void)ExplanationFromJson(text, schema);
+    (void)SchemaFromJson(text);
+  }
+}
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,68 @@
+#include "cluster/gmm.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dpclustx {
+namespace {
+
+TEST(GmmTest, ValidatesOptions) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(10, 3, 9, 1);
+  GmmOptions options;
+  options.num_components = 0;
+  EXPECT_FALSE(FitGmm(dataset, options).ok());
+  options.num_components = 1000;
+  EXPECT_FALSE(FitGmm(dataset, options).ok());
+}
+
+TEST(GmmTest, RecoversTwoSeparatedBlocks) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(600, 5, 9, 2);
+  GmmOptions options;
+  options.num_components = 2;
+  options.seed = 3;
+  const auto clustering = FitGmm(dataset, options);
+  ASSERT_TRUE(clustering.ok());
+  const std::vector<ClusterId> labels = (*clustering)->AssignAll(dataset);
+  EXPECT_GT(testutil::TwoBlockPurity(labels), 0.95);
+}
+
+TEST(GmmTest, DeterministicGivenSeed) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(300, 4, 9, 4);
+  GmmOptions options;
+  options.num_components = 3;
+  options.seed = 5;
+  const auto a = FitGmm(dataset, options);
+  const auto b = FitGmm(dataset, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)->AssignAll(dataset), (*b)->AssignAll(dataset));
+}
+
+TEST(GmmTest, AssignAllMatchesAssign) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(100, 3, 9, 6);
+  GmmOptions options;
+  options.num_components = 2;
+  const auto clustering = FitGmm(dataset, options);
+  ASSERT_TRUE(clustering.ok());
+  const std::vector<ClusterId> bulk = (*clustering)->AssignAll(dataset);
+  for (size_t row = 0; row < dataset.num_rows(); row += 7) {
+    EXPECT_EQ(bulk[row], (*clustering)->Assign(dataset.Row(row)));
+  }
+}
+
+TEST(GmmClusteringTest, RejectsNonPositiveVariance) {
+  const Schema schema({Attribute::WithAnonymousDomain("a", 3)});
+  EXPECT_DEATH(GmmClustering(schema, {0.0}, {{0.5}}, {{0.0}}), "var");
+}
+
+TEST(GmmTest, NameDescribesConfiguration) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(50, 2, 5, 7);
+  GmmOptions options;
+  options.num_components = 2;
+  const auto clustering = FitGmm(dataset, options);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_EQ((*clustering)->name(), "gmm(k=2)");
+}
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,50 @@
+#include "eval/harness.h"
+
+#include <gtest/gtest.h>
+
+namespace dpclustx::eval {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22.5"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name   value"), std::string::npos);
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+  EXPECT_NE(out.find("b      22.5"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+}
+
+TEST(SummarizeTest, MeanAndStdDev) {
+  const RunSummary summary = Summarize({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(summary.mean, 2.0);
+  EXPECT_DOUBLE_EQ(summary.stddev, 1.0);
+  EXPECT_EQ(summary.count, 3u);
+}
+
+TEST(SummarizeTest, EmptyInput) {
+  const RunSummary summary = Summarize({});
+  EXPECT_DOUBLE_EQ(summary.mean, 0.0);
+  EXPECT_EQ(summary.count, 0u);
+}
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  const double t0 = timer.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  // Busy-wait a tiny amount; elapsed must be monotone.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+  EXPECT_GE(timer.ElapsedSeconds(), t0);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace dpclustx::eval

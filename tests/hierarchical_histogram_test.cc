@@ -1,0 +1,129 @@
+#include "dp/hierarchical_histogram.h"
+#include "dp/dp_histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dpclustx {
+namespace {
+
+Histogram MakeExact(size_t domain, double fill = 100.0) {
+  Histogram h(domain);
+  for (size_t i = 0; i < domain; ++i) {
+    h.set_bin(static_cast<ValueCode>(i),
+              fill + 10.0 * static_cast<double>(i % 7));
+  }
+  return h;
+}
+
+TEST(HierarchicalHistogramTest, ValidatesArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(HierarchicalHistogram::Release(Histogram(), 1.0, rng).ok());
+  EXPECT_FALSE(
+      HierarchicalHistogram::Release(MakeExact(8), 0.0, rng).ok());
+}
+
+TEST(HierarchicalHistogramTest, PreservesDomainIncludingNonPowerOfTwo) {
+  Rng rng(2);
+  for (const size_t domain : {1u, 2u, 3u, 7u, 8u, 13u, 39u}) {
+    const auto released =
+        HierarchicalHistogram::Release(MakeExact(domain), 1.0, rng);
+    ASSERT_TRUE(released.ok()) << "domain " << domain;
+    EXPECT_EQ(released->leaves().domain_size(), domain);
+  }
+}
+
+TEST(HierarchicalHistogramTest, UnclampedEstimatesAreUnbiased) {
+  Rng rng(3);
+  HierarchicalHistogramOptions options;
+  options.clamp_non_negative = false;
+  const Histogram exact = MakeExact(16, 1000.0);
+  Histogram mean(16);
+  constexpr int kTrials = 4000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto released =
+        HierarchicalHistogram::Release(exact, 1.0, rng, options);
+    ASSERT_TRUE(released.ok());
+    mean = mean.Plus(released->leaves());
+  }
+  for (size_t i = 0; i < 16; ++i) {
+    const auto code = static_cast<ValueCode>(i);
+    EXPECT_NEAR(mean.bin(code) / kTrials, exact.bin(code),
+                exact.bin(code) * 0.01 + 2.0);
+  }
+}
+
+TEST(HierarchicalHistogramTest, RangeQuerySumsLeaves) {
+  Rng rng(4);
+  const auto released =
+      HierarchicalHistogram::Release(MakeExact(10), 2.0, rng);
+  ASSERT_TRUE(released.ok());
+  double manual = 0.0;
+  for (ValueCode c = 2; c < 7; ++c) manual += released->leaves().bin(c);
+  EXPECT_DOUBLE_EQ(released->RangeQuery(2, 7), manual);
+  EXPECT_DOUBLE_EQ(released->RangeQuery(3, 3), 0.0);
+  EXPECT_DOUBLE_EQ(released->RangeQuery(0, 10), released->Total());
+}
+
+// The boosting paper's headline: wide-range queries from the consistent
+// tree beat summing independently-noised flat bins, for large domains.
+TEST(HierarchicalHistogramTest, WideRangeQueriesBeatFlatRelease) {
+  const size_t domain = 256;
+  const double epsilon = 0.5;
+  const Histogram exact = MakeExact(domain, 50.0);
+  double exact_range = 0.0;
+  for (size_t i = 0; i < domain; ++i) {
+    exact_range += exact.bin(static_cast<ValueCode>(i));
+  }
+
+  Rng rng(5);
+  HierarchicalHistogramOptions tree_options;
+  tree_options.clamp_non_negative = false;
+  double tree_sq_error = 0.0, flat_sq_error = 0.0;
+  constexpr int kTrials = 300;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto tree =
+        HierarchicalHistogram::Release(exact, epsilon, rng, tree_options);
+    ASSERT_TRUE(tree.ok());
+    const double tree_err =
+        tree->RangeQuery(0, static_cast<ValueCode>(domain)) - exact_range;
+    tree_sq_error += tree_err * tree_err;
+
+    // Flat Laplace release at the same ε, range = sum of noisy bins.
+    double flat_range = 0.0;
+    for (size_t i = 0; i < domain; ++i) {
+      flat_range +=
+          exact.bin(static_cast<ValueCode>(i)) + rng.Laplace(1.0 / epsilon);
+    }
+    const double flat_err = flat_range - exact_range;
+    flat_sq_error += flat_err * flat_err;
+  }
+  EXPECT_LT(tree_sq_error, flat_sq_error / 2.0)
+      << "consistent tree should dominate on full-range queries";
+}
+
+TEST(HierarchicalHistogramTest, ClampingKeepsLeavesNonNegative) {
+  Rng rng(6);
+  const Histogram zeros(32);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto released =
+        HierarchicalHistogram::Release(zeros, 0.2, rng);
+    ASSERT_TRUE(released.ok());
+    for (size_t i = 0; i < 32; ++i) {
+      EXPECT_GE(released->leaves().bin(static_cast<ValueCode>(i)), 0.0);
+    }
+  }
+}
+
+TEST(HierarchicalHistogramTest, AvailableThroughDpHistogramFacade) {
+  Rng rng(7);
+  DpHistogramOptions options;
+  options.noise = HistogramNoise::kHierarchical;
+  const auto released = ReleaseDpHistogram(MakeExact(12), 1.0, rng, options);
+  ASSERT_TRUE(released.ok());
+  EXPECT_EQ(released->domain_size(), 12u);
+}
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,120 @@
+#include "data/histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dpclustx {
+namespace {
+
+TEST(HistogramTest, ZeroInitialized) {
+  Histogram h(4);
+  EXPECT_EQ(h.domain_size(), 4u);
+  EXPECT_DOUBLE_EQ(h.Total(), 0.0);
+}
+
+TEST(HistogramTest, IncrementAndTotal) {
+  Histogram h(3);
+  h.Increment(0);
+  h.Increment(0);
+  h.Increment(2, 3.0);
+  EXPECT_DOUBLE_EQ(h.bin(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin(1), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin(2), 3.0);
+  EXPECT_DOUBLE_EQ(h.Total(), 5.0);
+}
+
+TEST(HistogramTest, NormalizedSumsToOne) {
+  Histogram h({1.0, 3.0, 0.0, 4.0});
+  const std::vector<double> p = h.Normalized();
+  EXPECT_DOUBLE_EQ(p[0], 0.125);
+  EXPECT_DOUBLE_EQ(p[1], 0.375);
+  EXPECT_DOUBLE_EQ(p[2], 0.0);
+  EXPECT_DOUBLE_EQ(p[3], 0.5);
+}
+
+TEST(HistogramTest, EmptyHistogramNormalizesToUniform) {
+  Histogram h(4);
+  const std::vector<double> p = h.Normalized();
+  for (double v : p) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(HistogramTest, ArgMaxBreaksTiesLow) {
+  EXPECT_EQ(Histogram({1.0, 5.0, 5.0}).ArgMax(), 1u);
+  EXPECT_EQ(Histogram({9.0, 1.0}).ArgMax(), 0u);
+}
+
+TEST(HistogramTest, L1Distance) {
+  const Histogram a({1.0, 2.0, 3.0});
+  const Histogram b({2.0, 2.0, 1.0});
+  EXPECT_DOUBLE_EQ(Histogram::L1Distance(a, b), 3.0);
+}
+
+TEST(HistogramTest, TvdOfIdenticalDistributionsIsZero) {
+  const Histogram a({2.0, 4.0});
+  const Histogram b({1.0, 2.0});  // same distribution, different scale
+  EXPECT_NEAR(Histogram::Tvd(a, b), 0.0, 1e-12);
+}
+
+TEST(HistogramTest, TvdOfDisjointSupportIsOne) {
+  const Histogram a({5.0, 0.0});
+  const Histogram b({0.0, 7.0});
+  EXPECT_DOUBLE_EQ(Histogram::Tvd(a, b), 1.0);
+}
+
+TEST(HistogramTest, TvdKnownValue) {
+  const Histogram a({3.0, 1.0});  // (0.75, 0.25)
+  const Histogram b({1.0, 3.0});  // (0.25, 0.75)
+  EXPECT_DOUBLE_EQ(Histogram::Tvd(a, b), 0.5);
+}
+
+TEST(HistogramTest, JensenShannonBounds) {
+  const Histogram same_a({2.0, 2.0});
+  const Histogram same_b({5.0, 5.0});
+  EXPECT_NEAR(Histogram::JensenShannonDistance(same_a, same_b), 0.0, 1e-9);
+  const Histogram dis_a({1.0, 0.0});
+  const Histogram dis_b({0.0, 1.0});
+  // Disjoint support: JS distance (base 2) is exactly 1.
+  EXPECT_NEAR(Histogram::JensenShannonDistance(dis_a, dis_b), 1.0, 1e-9);
+}
+
+TEST(HistogramTest, JensenShannonSymmetric) {
+  const Histogram a({3.0, 1.0, 2.0});
+  const Histogram b({1.0, 1.0, 4.0});
+  EXPECT_DOUBLE_EQ(Histogram::JensenShannonDistance(a, b),
+                   Histogram::JensenShannonDistance(b, a));
+}
+
+TEST(HistogramTest, SubtractClampedFloorsAtZero) {
+  const Histogram full({5.0, 2.0, 1.0});
+  const Histogram part({2.0, 3.0, 0.0});
+  const Histogram out = full.SubtractClamped(part);
+  EXPECT_DOUBLE_EQ(out.bin(0), 3.0);
+  EXPECT_DOUBLE_EQ(out.bin(1), 0.0);  // clamped, not −1
+  EXPECT_DOUBLE_EQ(out.bin(2), 1.0);
+}
+
+TEST(HistogramTest, PlusAddsBinwise) {
+  const Histogram sum = Histogram({1.0, 2.0}).Plus(Histogram({3.0, 4.0}));
+  EXPECT_DOUBLE_EQ(sum.bin(0), 4.0);
+  EXPECT_DOUBLE_EQ(sum.bin(1), 6.0);
+}
+
+TEST(HistogramTest, RoundedNonNegative) {
+  const Histogram rounded =
+      Histogram({-2.3, 0.4, 1.6}).RoundedNonNegative();
+  EXPECT_DOUBLE_EQ(rounded.bin(0), 0.0);
+  EXPECT_DOUBLE_EQ(rounded.bin(1), 0.0);
+  EXPECT_DOUBLE_EQ(rounded.bin(2), 2.0);
+}
+
+TEST(HistogramTest, AsciiArtMentionsLabelsAndPercents) {
+  const Attribute attr("size", {"small", "large"});
+  const std::string art = Histogram({1.0, 3.0}).ToAsciiArt(attr);
+  EXPECT_NE(art.find("small"), std::string::npos);
+  EXPECT_NE(art.find("large"), std::string::npos);
+  EXPECT_NE(art.find("75.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,109 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace dpclustx {
+namespace {
+
+TEST(JsonValueTest, ScalarConstruction) {
+  EXPECT_TRUE(JsonValue::Null().is_null());
+  EXPECT_TRUE(JsonValue::Bool(true).AsBool());
+  EXPECT_DOUBLE_EQ(JsonValue::Number(2.5).AsNumber(), 2.5);
+  EXPECT_EQ(JsonValue::String("hi").AsString(), "hi");
+}
+
+TEST(JsonValueTest, ArrayOperations) {
+  JsonValue array = JsonValue::Array();
+  array.Append(JsonValue::Number(1));
+  array.Append(JsonValue::String("two"));
+  ASSERT_EQ(array.size(), 2u);
+  EXPECT_DOUBLE_EQ(array.at(size_t{0}).AsNumber(), 1.0);
+  EXPECT_EQ(array.at(size_t{1}).AsString(), "two");
+}
+
+TEST(JsonValueTest, ObjectOperations) {
+  JsonValue object = JsonValue::Object();
+  object.Set("k", JsonValue::Number(7));
+  EXPECT_TRUE(object.Has("k"));
+  EXPECT_FALSE(object.Has("missing"));
+  EXPECT_DOUBLE_EQ(object.at("k").AsNumber(), 7.0);
+  EXPECT_DOUBLE_EQ(object.GetNumber("k").value(), 7.0);
+  EXPECT_FALSE(object.GetNumber("missing").ok());
+  EXPECT_FALSE(object.GetString("k").ok());  // wrong type
+}
+
+TEST(JsonDumpTest, CompactOutput) {
+  JsonValue object = JsonValue::Object();
+  object.Set("b", JsonValue::Number(2));
+  object.Set("a", JsonValue::Bool(false));
+  JsonValue array = JsonValue::Array();
+  array.Append(JsonValue::Null());
+  array.Append(JsonValue::Number(1.5));
+  object.Set("c", std::move(array));
+  // Keys are emitted in lexicographic order.
+  EXPECT_EQ(object.Dump(), R"({"a":false,"b":2,"c":[null,1.5]})");
+}
+
+TEST(JsonDumpTest, StringEscapes) {
+  EXPECT_EQ(JsonValue::String("a\"b\\c\nd").Dump(), R"("a\"b\\c\nd")");
+}
+
+TEST(JsonDumpTest, IntegersWithoutDecimals) {
+  EXPECT_EQ(JsonValue::Number(42).Dump(), "42");
+  EXPECT_EQ(JsonValue::Number(-3).Dump(), "-3");
+}
+
+TEST(JsonParseTest, RoundTripsComplexDocument) {
+  JsonValue object = JsonValue::Object();
+  object.Set("name", JsonValue::String("lab_proc"));
+  object.Set("count", JsonValue::Number(12345));
+  object.Set("ratio", JsonValue::Number(0.12345678901234567));
+  object.Set("flag", JsonValue::Bool(true));
+  JsonValue nested = JsonValue::Array();
+  nested.Append(JsonValue::String("x,y"));
+  nested.Append(JsonValue::Null());
+  object.Set("values", std::move(nested));
+  const std::string dumped = object.Dump();
+
+  const auto parsed = JsonValue::Parse(dumped);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->Dump(), dumped);
+}
+
+TEST(JsonParseTest, WhitespaceTolerant) {
+  const auto parsed = JsonValue::Parse("  { \"a\" : [ 1 , 2 ] }\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->at("a").size(), 2u);
+}
+
+TEST(JsonParseTest, UnicodeEscape) {
+  const auto parsed = JsonValue::Parse(R"("café")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "caf\xC3\xA9");
+}
+
+TEST(JsonParseTest, NegativeAndExponentNumbers) {
+  const auto parsed = JsonValue::Parse("[-1.5e3, 0.25]");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->at(size_t{0}).AsNumber(), -1500.0);
+  EXPECT_DOUBLE_EQ(parsed->at(size_t{1}).AsNumber(), 0.25);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("{'single':1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+}
+
+TEST(JsonParseTest, ErrorsIncludeOffset) {
+  const auto parsed = JsonValue::Parse("[1, oops]");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("offset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpclustx

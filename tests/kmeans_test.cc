@@ -1,0 +1,71 @@
+#include "cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dpclustx {
+namespace {
+
+TEST(KMeansTest, ValidatesOptions) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(10, 3, 9, 1);
+  KMeansOptions options;
+  options.num_clusters = 0;
+  EXPECT_FALSE(FitKMeans(dataset, options).ok());
+  options.num_clusters = 100;  // more clusters than rows
+  EXPECT_FALSE(FitKMeans(dataset, options).ok());
+}
+
+TEST(KMeansTest, RecoversTwoSeparatedBlocks) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(500, 6, 9, 2);
+  KMeansOptions options;
+  options.num_clusters = 2;
+  options.seed = 3;
+  const auto clustering = FitKMeans(dataset, options);
+  ASSERT_TRUE(clustering.ok());
+  const std::vector<ClusterId> labels = (*clustering)->AssignAll(dataset);
+  EXPECT_GT(testutil::TwoBlockPurity(labels), 0.98);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(200, 4, 9, 4);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  options.seed = 7;
+  const auto a = FitKMeans(dataset, options);
+  const auto b = FitKMeans(dataset, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)->AssignAll(dataset), (*b)->AssignAll(dataset));
+}
+
+TEST(KMeansTest, ProducesRequestedClusterCount) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(200, 4, 9, 5);
+  KMeansOptions options;
+  options.num_clusters = 4;
+  const auto clustering = FitKMeans(dataset, options);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_EQ((*clustering)->num_clusters(), 4u);
+}
+
+TEST(KMeansTest, NameDescribesConfiguration) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(50, 2, 9, 6);
+  KMeansOptions options;
+  options.num_clusters = 2;
+  const auto clustering = FitKMeans(dataset, options);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_EQ((*clustering)->name(), "k-means(k=2)");
+}
+
+TEST(KMeansTest, AssignsArbitraryDomainTuples) {
+  // The fitted model is a total function on dom(R), not just on D.
+  const Dataset dataset = testutil::MakeTwoBlockDataset(200, 3, 9, 8);
+  KMeansOptions options;
+  options.num_clusters = 2;
+  const auto clustering = FitKMeans(dataset, options);
+  ASSERT_TRUE(clustering.ok());
+  const ClusterId label = (*clustering)->Assign({4, 4, 4});
+  EXPECT_LT(label, 2u);
+}
+
+}  // namespace
+}  // namespace dpclustx

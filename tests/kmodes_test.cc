@@ -1,0 +1,66 @@
+#include "cluster/kmodes.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dpclustx {
+namespace {
+
+TEST(KModesTest, ValidatesOptions) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(10, 3, 9, 1);
+  KModesOptions options;
+  options.num_clusters = 0;
+  EXPECT_FALSE(FitKModes(dataset, options).ok());
+  options.num_clusters = 1000;
+  EXPECT_FALSE(FitKModes(dataset, options).ok());
+}
+
+TEST(KModesTest, RecoversTwoSeparatedBlocks) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(500, 6, 9, 2);
+  KModesOptions options;
+  options.num_clusters = 2;
+  options.seed = 3;
+  const auto clustering = FitKModes(dataset, options);
+  ASSERT_TRUE(clustering.ok());
+  const std::vector<ClusterId> labels = (*clustering)->AssignAll(dataset);
+  EXPECT_GT(testutil::TwoBlockPurity(labels), 0.95);
+}
+
+TEST(KModesTest, DeterministicGivenSeed) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(300, 4, 9, 4);
+  KModesOptions options;
+  options.num_clusters = 3;
+  options.seed = 5;
+  const auto a = FitKModes(dataset, options);
+  const auto b = FitKModes(dataset, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)->AssignAll(dataset), (*b)->AssignAll(dataset));
+}
+
+TEST(KModesTest, ModesAreValidTuples) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(100, 3, 5, 6);
+  KModesOptions options;
+  options.num_clusters = 2;
+  const auto clustering = FitKModes(dataset, options);
+  ASSERT_TRUE(clustering.ok());
+  const auto* modes =
+      dynamic_cast<const ModeClustering*>(clustering->get());
+  ASSERT_NE(modes, nullptr);
+  for (const auto& mode : modes->modes()) {
+    ASSERT_EQ(mode.size(), 3u);
+    for (ValueCode code : mode) EXPECT_LT(code, 5u);
+  }
+}
+
+TEST(KModesTest, NameDescribesConfiguration) {
+  const Dataset dataset = testutil::MakeTwoBlockDataset(50, 2, 5, 7);
+  KModesOptions options;
+  options.num_clusters = 2;
+  const auto clustering = FitKModes(dataset, options);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_EQ((*clustering)->name(), "k-modes(k=2)");
+}
+
+}  // namespace
+}  // namespace dpclustx

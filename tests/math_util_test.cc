@@ -1,0 +1,58 @@
+#include "common/math_util.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dpclustx {
+namespace {
+
+TEST(LogSumExpTest, MatchesDirectComputationForSmallValues) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const double direct =
+      std::log(std::exp(0.0) + std::exp(1.0) + std::exp(2.0));
+  EXPECT_NEAR(LogSumExp(xs), direct, 1e-12);
+}
+
+TEST(LogSumExpTest, StableForHugeValues) {
+  const std::vector<double> xs = {1e4, 1e4 + 1.0};
+  // Direct exp() would overflow; the stable form gives 1e4 + log(1 + e).
+  EXPECT_NEAR(LogSumExp(xs), 1e4 + std::log(1.0 + std::exp(1.0)), 1e-8);
+}
+
+TEST(LogSumExpTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(LogSumExp({-3.5}), -3.5);
+}
+
+TEST(SafeDivideTest, NormalAndFallback) {
+  EXPECT_DOUBLE_EQ(SafeDivide(6.0, 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(SafeDivide(6.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(SafeDivide(6.0, 0.0, -1.0), -1.0);
+}
+
+TEST(MeanStdDevTest, KnownValues) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  // Sample stddev with n−1 denominator.
+  EXPECT_NEAR(StdDev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(MeanStdDevTest, SingleValueHasZeroStdDev) {
+  EXPECT_DOUBLE_EQ(StdDev({42.0}), 0.0);
+}
+
+TEST(PairCountTest, SmallValues) {
+  EXPECT_DOUBLE_EQ(PairCount(0), 0.0);
+  EXPECT_DOUBLE_EQ(PairCount(1), 0.0);
+  EXPECT_DOUBLE_EQ(PairCount(2), 1.0);
+  EXPECT_DOUBLE_EQ(PairCount(5), 10.0);
+}
+
+TEST(ClampTest, Bounds) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,93 @@
+#include "dp/mechanisms.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace dpclustx {
+namespace {
+
+constexpr size_t kSamples = 200000;
+
+TEST(LaplaceMechanismTest, UnbiasedWithCorrectScale) {
+  Rng rng(1);
+  double sum = 0.0, sq = 0.0;
+  const double sensitivity = 2.0, epsilon = 0.5;
+  for (size_t i = 0; i < kSamples; ++i) {
+    const double x = LaplaceMechanism(10.0, sensitivity, epsilon, rng);
+    sum += x;
+    sq += (x - 10.0) * (x - 10.0);
+  }
+  EXPECT_NEAR(sum / kSamples, 10.0, 0.15);
+  // Var = 2(Δ/ε)² = 2·16 = 32.
+  EXPECT_NEAR(sq / kSamples, 32.0, 2.0);
+}
+
+TEST(GeometricMechanismTest, UnbiasedIntegerNoise) {
+  Rng rng(2);
+  double sum = 0.0;
+  for (size_t i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(GeometricMechanism(100, 1.0, 1.0, rng));
+  }
+  EXPECT_NEAR(sum / kSamples, 100.0, 0.05);
+}
+
+// Empirical ε-DP check: for the geometric mechanism on neighboring counts
+// n and n+1, every output's probability ratio must be bounded by e^ε. We
+// verify the empirical ratios stay below e^ε·(1 + statistical slack).
+TEST(GeometricMechanismTest, EmpiricalPrivacyRatioBounded) {
+  const double epsilon = 0.8;
+  Rng rng(3);
+  std::map<int64_t, double> p_n, p_n1;
+  for (size_t i = 0; i < kSamples; ++i) {
+    p_n[GeometricMechanism(5, 1.0, epsilon, rng)] += 1.0;
+    p_n1[GeometricMechanism(6, 1.0, epsilon, rng)] += 1.0;
+  }
+  const double bound = std::exp(epsilon);
+  for (const auto& [value, count] : p_n) {
+    if (count < 1000.0) continue;  // skip tails with high relative error
+    const auto it = p_n1.find(value);
+    ASSERT_NE(it, p_n1.end());
+    const double ratio = count / it->second;
+    EXPECT_LT(ratio, bound * 1.1) << "output " << value;
+    EXPECT_GT(ratio, 1.0 / (bound * 1.1)) << "output " << value;
+  }
+}
+
+TEST(LaplaceNoiseQuantileTest, MatchesClosedForm) {
+  // P(|Lap(b)| <= t) = 1 − e^{−t/b}; at b = 1 and confidence 1 − e^{−3},
+  // t must be 3.
+  const double confidence = 1.0 - std::exp(-3.0);
+  EXPECT_NEAR(LaplaceNoiseQuantile(1.0, 1.0, confidence), 3.0, 1e-9);
+}
+
+TEST(LaplaceNoiseQuantileTest, EmpiricalCoverage) {
+  Rng rng(4);
+  const double sensitivity = 1.0, epsilon = 0.5, confidence = 0.9;
+  const double t = LaplaceNoiseQuantile(sensitivity, epsilon, confidence);
+  size_t within = 0;
+  for (size_t i = 0; i < kSamples; ++i) {
+    if (std::fabs(LaplaceMechanism(0.0, sensitivity, epsilon, rng)) <= t) {
+      ++within;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(within) / kSamples, confidence, 0.005);
+}
+
+TEST(EpsilonForLaplaceErrorTest, InvertsTheQuantile) {
+  const double sensitivity = 1.0, max_error = 5.0, confidence = 0.95;
+  const double epsilon =
+      EpsilonForLaplaceError(sensitivity, max_error, confidence);
+  EXPECT_NEAR(LaplaceNoiseQuantile(sensitivity, epsilon, confidence),
+              max_error, 1e-9);
+}
+
+TEST(EpsilonForLaplaceErrorTest, TighterErrorNeedsMoreBudget) {
+  const double loose = EpsilonForLaplaceError(1.0, 10.0, 0.95);
+  const double tight = EpsilonForLaplaceError(1.0, 1.0, 0.95);
+  EXPECT_GT(tight, loose);
+}
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,208 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dpclustx::eval {
+namespace {
+
+StatsCache MakeStats(size_t rows, size_t clusters, uint64_t seed) {
+  Schema schema({Attribute::WithAnonymousDomain("a", 4),
+                 Attribute::WithAnonymousDomain("b", 3)});
+  Dataset dataset(schema);
+  Rng rng(seed);
+  std::vector<ClusterId> labels;
+  for (size_t r = 0; r < rows; ++r) {
+    dataset.AppendRowUnchecked({static_cast<ValueCode>(rng.UniformInt(4)),
+                                static_cast<ValueCode>(rng.UniformInt(3))});
+    labels.push_back(static_cast<ClusterId>(rng.UniformInt(clusters)));
+  }
+  return std::move(*StatsCache::Build(dataset, labels, clusters));
+}
+
+// Dataset where cluster values are disjoint from the rest: TVD = 1 regime.
+StatsCache MakeDisjointStats() {
+  Schema schema({Attribute::WithAnonymousDomain("a", 2)});
+  Dataset dataset(schema);
+  std::vector<ClusterId> labels;
+  for (int i = 0; i < 50; ++i) {
+    dataset.AppendRowUnchecked({0});
+    labels.push_back(0);
+  }
+  for (int i = 0; i < 50; ++i) {
+    dataset.AppendRowUnchecked({1});
+    labels.push_back(1);
+  }
+  return std::move(*StatsCache::Build(dataset, labels, 2));
+}
+
+TEST(TvdInterestingnessTest, RangeAndEmptyCluster) {
+  const StatsCache stats = MakeStats(200, 2, 1);
+  for (size_t c = 0; c < 2; ++c) {
+    for (AttrIndex a = 0; a < 2; ++a) {
+      const double tvd =
+          TvdInterestingness(stats, static_cast<ClusterId>(c), a);
+      EXPECT_GE(tvd, 0.0);
+      EXPECT_LE(tvd, 1.0);
+    }
+  }
+  // An empty cluster scores 0 by convention.
+  Schema schema({Attribute::WithAnonymousDomain("a", 2)});
+  Dataset dataset(schema);
+  dataset.AppendRowUnchecked({0});
+  const auto with_empty =
+      StatsCache::Build(dataset, std::vector<ClusterId>{0}, 2);
+  EXPECT_DOUBLE_EQ(TvdInterestingness(*with_empty, 1, 0), 0.0);
+}
+
+TEST(TvdInterestingnessTest, DisjointSupportsGiveHalfTvd) {
+  // Cluster 0 is all-zeros, full data is 50/50: TVD = 1/2.
+  const StatsCache stats = MakeDisjointStats();
+  EXPECT_NEAR(TvdInterestingness(stats, 0, 0), 0.5, 1e-9);
+}
+
+TEST(SufficiencyTest, PerfectSeparationScoresOne) {
+  const StatsCache stats = MakeDisjointStats();
+  // Each cluster's values appear only inside it.
+  EXPECT_NEAR(Sufficiency(stats, {0, 0}), 1.0, 1e-9);
+}
+
+TEST(SufficiencyTest, WithinUnitInterval) {
+  const StatsCache stats = MakeStats(300, 3, 3);
+  const AttributeCombination ac = {0, 1, 0};
+  const double suf = Sufficiency(stats, ac);
+  EXPECT_GE(suf, 0.0);
+  EXPECT_LE(suf, 1.0);
+}
+
+TEST(TabeeDiversityTest, AllDistinctAttributesScoreOne) {
+  const StatsCache stats = MakeStats(200, 2, 4);
+  EXPECT_NEAR(TabeeDiversity(stats, {0, 1}), 1.0, 1e-9);
+}
+
+TEST(TabeeDiversityTest, SharedAttributeIdenticalClustersScoreHalf) {
+  // Two clusters with identical distributions sharing one attribute:
+  // the chain is 1 + TVD(=0) = 1, normalized by |C| = 2 → 0.5.
+  Schema schema({Attribute::WithAnonymousDomain("a", 2)});
+  Dataset dataset(schema);
+  std::vector<ClusterId> labels;
+  for (int i = 0; i < 40; ++i) {
+    dataset.AppendRowUnchecked({static_cast<ValueCode>(i % 2)});
+    labels.push_back(static_cast<ClusterId>(i % 2 == 0 ? 0 : 1));
+  }
+  // Both clusters are constant-but-different... make them identical instead:
+  Dataset identical(schema);
+  std::vector<ClusterId> labels2;
+  for (int i = 0; i < 40; ++i) {
+    identical.AppendRowUnchecked({static_cast<ValueCode>(i % 2)});
+    labels2.push_back(static_cast<ClusterId>((i / 2) % 2));
+  }
+  const auto stats = StatsCache::Build(identical, labels2, 2);
+  EXPECT_NEAR(TabeeDiversity(*stats, {0, 0}), 0.5, 1e-9);
+}
+
+TEST(TabeeDiversityTest, SharedAttributeDisjointClustersScoreOne) {
+  const StatsCache stats = MakeDisjointStats();
+  // Chain: 1 + TVD(=1) = 2, normalized by |C| = 2 → 1.
+  EXPECT_NEAR(TabeeDiversity(stats, {0, 0}), 1.0, 1e-9);
+}
+
+TEST(TabeeDiversityTest, LargeExplainedBySetUsesMonteCarlo) {
+  // 9 clusters sharing one attribute exercises the sampling path; the value
+  // must stay in [0, 1] and be deterministic.
+  const StatsCache stats = MakeStats(900, 9, 5);
+  const AttributeCombination ac(9, 0);
+  const double d1 = TabeeDiversity(stats, ac);
+  const double d2 = TabeeDiversity(stats, ac);
+  EXPECT_GE(d1, 0.0);
+  EXPECT_LE(d1, 1.0);
+  EXPECT_DOUBLE_EQ(d1, d2);
+}
+
+TEST(SensitiveQualityTest, CombinesWeightedTerms) {
+  const StatsCache stats = MakeStats(300, 3, 6);
+  const AttributeCombination ac = {0, 1, 1};
+  GlobalWeights lambda;
+  const double expected = (Interestingness(stats, ac) +
+                           Sufficiency(stats, ac) +
+                           TabeeDiversity(stats, ac)) /
+                          3.0;
+  EXPECT_NEAR(SensitiveQuality(stats, ac, lambda), expected, 1e-9);
+}
+
+TEST(SensitiveQualityTest, InUnitInterval) {
+  const StatsCache stats = MakeStats(400, 4, 7);
+  Rng rng(8);
+  GlobalWeights lambda;
+  for (int trial = 0; trial < 30; ++trial) {
+    AttributeCombination ac(4);
+    for (auto& attr : ac) attr = static_cast<AttrIndex>(rng.UniformInt(2));
+    const double quality = SensitiveQuality(stats, ac, lambda);
+    EXPECT_GE(quality, 0.0);
+    EXPECT_LE(quality, 1.0);
+  }
+}
+
+TEST(SensitiveSingleClusterScoreTest, MatchesScaledLowSensitivityScore) {
+  // SScore_p = |D_c| · sensitive SScore (same per-cluster ranking).
+  const StatsCache stats = MakeStats(300, 2, 9);
+  const SingleClusterWeights gamma{0.5, 0.5};
+  for (AttrIndex a = 0; a < 2; ++a) {
+    const double sensitive =
+        SensitiveSingleClusterScore(stats, 0, a, gamma);
+    const double low_sens = SingleClusterScore(stats, 0, a, gamma);
+    EXPECT_NEAR(low_sens,
+                static_cast<double>(stats.cluster_size(0)) * sensitive,
+                1e-6);
+  }
+}
+
+TEST(SensitivePairwiseDiversityTest, BoundsAndDistinctAttrs) {
+  const StatsCache stats = MakeStats(200, 3, 10);
+  EXPECT_NEAR(SensitivePairwiseDiversity(stats, {0, 1, 0}),
+              (1.0 + 1.0 +
+               Histogram::Tvd(stats.cluster_histogram(0, 0),
+                              stats.cluster_histogram(2, 0))) /
+                  3.0,
+              1e-9);
+}
+
+TEST(MeanAbsoluteErrorTest, CountsMismatches) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1, 2, 3}, {1, 9, 9}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({5}, {6}), 1.0);
+}
+
+TEST(QualityBreakdownReportTest, ListsClustersAndQuality) {
+  const StatsCache stats = MakeStats(300, 2, 12);
+  GlobalWeights lambda;
+  const std::string report =
+      QualityBreakdownReport(stats, {0, 1}, lambda, stats.schema());
+  EXPECT_NE(report.find("cluster"), std::string::npos);
+  EXPECT_NE(report.find("a"), std::string::npos);  // attribute name
+  EXPECT_NE(report.find("Quality"), std::string::npos);
+  // One row per cluster plus header, rule, and the quality line.
+  size_t lines = 0;
+  for (char c : report) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 5u);
+}
+
+TEST(BuildSensitiveTablesTest, UnaryMatchesDirectEvaluation) {
+  const StatsCache stats = MakeStats(300, 2, 11);
+  const std::vector<std::vector<AttrIndex>> sets = {{0, 1}, {1, 0}};
+  GlobalWeights lambda;
+  const auto tables = BuildSensitiveTables(stats, sets, lambda);
+  ASSERT_EQ(tables.unary.size(), 2u);
+  // unary[0][0] corresponds to attribute 0 for cluster 0.
+  const double expected =
+      lambda.interestingness * TvdInterestingness(stats, 0, 0) / 2.0 +
+      lambda.sufficiency * SufficiencyP(stats, 0, 0) /
+          static_cast<double>(stats.num_rows());
+  EXPECT_NEAR(tables.unary[0][0], expected, 1e-9);
+}
+
+}  // namespace
+}  // namespace dpclustx::eval

@@ -1,0 +1,103 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+
+namespace dpclustx {
+namespace {
+
+Dataset MakeData(uint64_t seed = 1) {
+  synth::SyntheticConfig config;
+  config.num_rows = 4000;
+  config.num_attributes = 10;
+  config.num_latent_groups = 3;
+  config.max_domain = 6;
+  config.signal_strength = 0.9;
+  config.seed = seed;
+  return std::move(*synth::Generate(config));
+}
+
+TEST(ParseClusteringMethodTest, ParsesAllNames) {
+  EXPECT_EQ(ParseClusteringMethod("k-means").value(),
+            ClusteringMethod::kKMeans);
+  EXPECT_EQ(ParseClusteringMethod("dp-k-means").value(),
+            ClusteringMethod::kDpKMeans);
+  EXPECT_EQ(ParseClusteringMethod("k-modes").value(),
+            ClusteringMethod::kKModes);
+  EXPECT_EQ(ParseClusteringMethod("agglomerative").value(),
+            ClusteringMethod::kAgglomerative);
+  EXPECT_EQ(ParseClusteringMethod("gmm").value(), ClusteringMethod::kGmm);
+  EXPECT_FALSE(ParseClusteringMethod("dbscan").ok());
+}
+
+TEST(PipelineTest, RunsEveryMethodEndToEnd) {
+  const Dataset dataset = MakeData();
+  for (const ClusteringMethod method :
+       {ClusteringMethod::kKMeans, ClusteringMethod::kDpKMeans,
+        ClusteringMethod::kKModes, ClusteringMethod::kAgglomerative,
+        ClusteringMethod::kGmm}) {
+    PipelineOptions options;
+    options.method = method;
+    options.num_clusters = 3;
+    const auto result = RunPipeline(dataset, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->explanation.combination.size(), 3u);
+    EXPECT_EQ(result->labels.size(), dataset.num_rows());
+    EXPECT_EQ(result->stats.num_clusters(), 3u);
+    EXPECT_FALSE(result->clustering_name.empty());
+  }
+}
+
+TEST(PipelineTest, ChargesClusteringAndExplanationToOneBudget) {
+  const Dataset dataset = MakeData();
+  PrivacyBudget budget(1.3);
+  PipelineOptions options;
+  options.method = ClusteringMethod::kDpKMeans;
+  options.num_clusters = 3;
+  options.epsilon_clustering = 1.0;
+  const auto result = RunPipeline(dataset, options, &budget);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(budget.spent_epsilon(), 1.3, 1e-9);
+}
+
+TEST(PipelineTest, InsufficientBudgetFailsAtClustering) {
+  const Dataset dataset = MakeData();
+  PrivacyBudget budget(0.5);
+  PipelineOptions options;
+  options.method = ClusteringMethod::kDpKMeans;
+  options.epsilon_clustering = 1.0;
+  const auto result = RunPipeline(dataset, options, &budget);
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfBudget);
+  EXPECT_DOUBLE_EQ(budget.spent_epsilon(), 0.0);
+}
+
+TEST(PipelineTest, StatsUsableForEvaluation) {
+  const Dataset dataset = MakeData();
+  PipelineOptions options;
+  options.num_clusters = 3;
+  const auto result = RunPipeline(dataset, options);
+  ASSERT_TRUE(result.ok());
+  GlobalWeights lambda;
+  const double quality = eval::SensitiveQuality(
+      result->stats, result->explanation.combination, lambda);
+  EXPECT_GT(quality, 0.0);
+  EXPECT_LE(quality, 1.0);
+}
+
+TEST(PipelineTest, DeterministicGivenSeeds) {
+  const Dataset dataset = MakeData();
+  PipelineOptions options;
+  options.num_clusters = 3;
+  options.clustering_seed = 9;
+  options.explain.seed = 11;
+  const auto a = RunPipeline(dataset, options);
+  const auto b = RunPipeline(dataset, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->explanation.combination, b->explanation.combination);
+  EXPECT_EQ(a->labels, b->labels);
+}
+
+}  // namespace
+}  // namespace dpclustx

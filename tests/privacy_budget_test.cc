@@ -1,0 +1,61 @@
+#include "dp/privacy_budget.h"
+
+#include <gtest/gtest.h>
+
+namespace dpclustx {
+namespace {
+
+TEST(PrivacyBudgetTest, SpendAccumulates) {
+  PrivacyBudget budget(1.0);
+  EXPECT_TRUE(budget.Spend(0.3, "a").ok());
+  EXPECT_TRUE(budget.Spend(0.4, "b").ok());
+  EXPECT_DOUBLE_EQ(budget.spent_epsilon(), 0.7);
+  EXPECT_NEAR(budget.remaining_epsilon(), 0.3, 1e-12);
+  EXPECT_EQ(budget.ledger().size(), 2u);
+}
+
+TEST(PrivacyBudgetTest, OverspendFailsWithoutCharging) {
+  PrivacyBudget budget(0.5);
+  EXPECT_TRUE(budget.Spend(0.4, "a").ok());
+  const Status s = budget.Spend(0.2, "b");
+  EXPECT_EQ(s.code(), StatusCode::kOutOfBudget);
+  EXPECT_DOUBLE_EQ(budget.spent_epsilon(), 0.4);  // unchanged
+  EXPECT_EQ(budget.ledger().size(), 1u);
+}
+
+TEST(PrivacyBudgetTest, ExactSpendToleratesFloatingPoint) {
+  PrivacyBudget budget(0.3);
+  // 3 × 0.1 != 0.3 exactly in binary; the slack must absorb it.
+  EXPECT_TRUE(budget.Spend(0.1, "a").ok());
+  EXPECT_TRUE(budget.Spend(0.1, "b").ok());
+  EXPECT_TRUE(budget.Spend(0.1, "c").ok());
+}
+
+TEST(PrivacyBudgetTest, RejectsNonPositiveEpsilon) {
+  PrivacyBudget budget(1.0);
+  EXPECT_EQ(budget.Spend(0.0, "zero").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(budget.Spend(-0.1, "neg").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PrivacyBudgetTest, ParallelChargesMaximum) {
+  PrivacyBudget budget(1.0);
+  EXPECT_TRUE(budget.SpendParallel({0.2, 0.5, 0.1}, "hist").ok());
+  EXPECT_DOUBLE_EQ(budget.spent_epsilon(), 0.5);
+}
+
+TEST(PrivacyBudgetTest, ParallelValidatesInput) {
+  PrivacyBudget budget(1.0);
+  EXPECT_FALSE(budget.SpendParallel({}, "x").ok());
+  EXPECT_FALSE(budget.SpendParallel({0.1, 0.0}, "x").ok());
+}
+
+TEST(PrivacyBudgetTest, ReportListsEntries) {
+  PrivacyBudget budget(1.0);
+  ASSERT_TRUE(budget.Spend(0.25, "clustering").ok());
+  const std::string report = budget.Report();
+  EXPECT_NE(report.find("clustering"), std::string::npos);
+  EXPECT_NE(report.find("0.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpclustx

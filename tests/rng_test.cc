@@ -1,0 +1,189 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dpclustx {
+namespace {
+
+constexpr size_t kSamples = 200000;
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.UniformDouble(), b.UniformDouble());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformDouble() == b.UniformDouble()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (size_t i = 0; i < kSamples; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformOpenDoubleNeverZeroOrOne) {
+  Rng rng(9);
+  for (size_t i = 0; i < kSamples; ++i) {
+    const double u = rng.UniformOpenDouble();
+    ASSERT_GT(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeUniformly) {
+  Rng rng(11);
+  std::vector<size_t> counts(10, 0);
+  for (size_t i = 0; i < kSamples; ++i) ++counts[rng.UniformInt(10)];
+  for (size_t count : counts) {
+    EXPECT_NEAR(static_cast<double>(count), kSamples / 10.0,
+                5.0 * std::sqrt(kSamples / 10.0));
+  }
+}
+
+TEST(RngTest, LaplaceMomentsMatch) {
+  Rng rng(13);
+  const double scale = 2.5;
+  double sum = 0.0, sq = 0.0;
+  for (size_t i = 0; i < kSamples; ++i) {
+    const double x = rng.Laplace(scale);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  // Var(Lap(b)) = 2b².
+  EXPECT_NEAR(var, 2.0 * scale * scale, 0.4);
+}
+
+TEST(RngTest, GumbelMomentsMatch) {
+  Rng rng(17);
+  const double scale = 1.5;
+  double sum = 0.0, sq = 0.0;
+  for (size_t i = 0; i < kSamples; ++i) {
+    const double x = rng.Gumbel(scale);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sq / kSamples - mean * mean;
+  constexpr double kEulerGamma = 0.5772156649015329;
+  // E[Gumbel(σ)] = σγ, Var = σ²π²/6.
+  EXPECT_NEAR(mean, scale * kEulerGamma, 0.03);
+  EXPECT_NEAR(var, scale * scale * M_PI * M_PI / 6.0, 0.15);
+}
+
+TEST(RngTest, TwoSidedGeometricSymmetricWithCorrectTail) {
+  Rng rng(19);
+  const double eps = 0.5;
+  double sum = 0.0;
+  size_t zeros = 0;
+  for (size_t i = 0; i < kSamples; ++i) {
+    const int64_t z = rng.TwoSidedGeometric(eps);
+    sum += static_cast<double>(z);
+    if (z == 0) ++zeros;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.1);
+  // P(Z = 0) = (1 − α)/(1 + α) with α = e^{−ε}.
+  const double alpha = std::exp(-eps);
+  EXPECT_NEAR(static_cast<double>(zeros) / kSamples,
+              (1.0 - alpha) / (1.0 + alpha), 0.01);
+}
+
+TEST(RngTest, TwoSidedGeometricDecaysGeometrically) {
+  Rng rng(23);
+  const double eps = 1.0;
+  std::vector<size_t> counts(5, 0);
+  for (size_t i = 0; i < kSamples; ++i) {
+    const int64_t z = rng.TwoSidedGeometric(eps);
+    if (z >= 0 && z < 5) ++counts[static_cast<size_t>(z)];
+  }
+  // Successive positive values should have ratio ≈ e^{−ε}.
+  for (size_t v = 0; v + 1 < counts.size(); ++v) {
+    ASSERT_GT(counts[v], 0u);
+    const double ratio =
+        static_cast<double>(counts[v + 1]) / static_cast<double>(counts[v]);
+    EXPECT_NEAR(ratio, std::exp(-eps), 0.05);
+  }
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(29);
+  double sum = 0.0, sq = 0.0;
+  for (size_t i = 0; i < kSamples; ++i) {
+    const double x = rng.Gaussian(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  EXPECT_NEAR(mean, 3.0, 0.03);
+  EXPECT_NEAR(sq / kSamples - mean * mean, 4.0, 0.1);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(31);
+  size_t hits = 0;
+  for (size_t i = 0; i < kSamples; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(RngTest, CategoricalMatchesWeights) {
+  Rng rng(37);
+  const double weights[] = {1.0, 3.0, 6.0};
+  std::vector<size_t> counts(3, 0);
+  for (size_t i = 0; i < kSamples; ++i) {
+    ++counts[rng.Categorical(weights, 3)];
+  }
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kSamples, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kSamples, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kSamples, 0.6, 0.01);
+}
+
+TEST(RngTest, CategoricalHandlesZeroWeightBuckets) {
+  Rng rng(41);
+  const double weights[] = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.Categorical(weights, 3), 1u);
+  }
+}
+
+TEST(RngTest, ForkProducesDecorrelatedStream) {
+  Rng parent(43);
+  Rng child = parent.Fork();
+  // The child stream should not replay the parent stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.UniformDouble() == child.UniformDouble()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Xoshiro256Test, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~0ULL);
+  Xoshiro256 engine(5);
+  // Smoke: successive outputs differ.
+  EXPECT_NE(engine(), engine());
+}
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,144 @@
+// Randomized round-trip properties: CSV and JSON serialization must be
+// lossless for arbitrary library-generated artifacts, across a parameterized
+// sweep of shapes and seeds.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/serialization.h"
+#include "data/csv.h"
+#include "data/synthetic.h"
+
+namespace dpclustx {
+namespace {
+
+struct RoundTripCase {
+  uint64_t seed;
+  size_t rows;
+  size_t attrs;
+  size_t max_domain;
+};
+
+class RoundTripPropertyTest
+    : public ::testing::TestWithParam<RoundTripCase> {};
+
+Dataset MakeRandomDataset(const RoundTripCase& param) {
+  synth::SyntheticConfig config;
+  config.num_rows = param.rows;
+  config.num_attributes = param.attrs;
+  config.num_latent_groups = 2;
+  config.max_domain = param.max_domain;
+  config.seed = param.seed;
+  return std::move(*synth::Generate(config));
+}
+
+TEST_P(RoundTripPropertyTest, CsvRoundTripIsLossless) {
+  const Dataset original = MakeRandomDataset(GetParam());
+  const std::string path = testing::TempDir() + "/dpx_roundtrip_" +
+                           std::to_string(GetParam().seed) + ".csv";
+  ASSERT_TRUE(WriteCsv(original, path).ok());
+  const auto loaded = ReadCsvWithSchema(path, original.schema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->num_rows(), original.num_rows());
+  for (size_t r = 0; r < original.num_rows(); r += 13) {
+    ASSERT_EQ(loaded->Row(r), original.Row(r)) << "row " << r;
+  }
+}
+
+TEST_P(RoundTripPropertyTest, InferredSchemaReadPreservesLabelSequences) {
+  // Reading without a schema re-codes values, but the *label* sequence of
+  // every cell must survive.
+  const Dataset original = MakeRandomDataset(GetParam());
+  const std::string path = testing::TempDir() + "/dpx_roundtrip_inf_" +
+                           std::to_string(GetParam().seed) + ".csv";
+  ASSERT_TRUE(WriteCsv(original, path).ok());
+  const auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_rows(), original.num_rows());
+  for (size_t r = 0; r < original.num_rows(); r += 29) {
+    for (size_t a = 0; a < original.num_attributes(); ++a) {
+      const auto attr = static_cast<AttrIndex>(a);
+      ASSERT_EQ(
+          loaded->schema().attribute(attr).label(loaded->at(r, attr)),
+          original.schema().attribute(attr).label(original.at(r, attr)))
+          << "row " << r << " attr " << a;
+    }
+  }
+}
+
+TEST_P(RoundTripPropertyTest, SchemaJsonRoundTripIsLossless) {
+  const Dataset original = MakeRandomDataset(GetParam());
+  const auto parsed = SchemaFromJson(SchemaToJson(original.schema()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->num_attributes(), original.num_attributes());
+  for (size_t a = 0; a < original.num_attributes(); ++a) {
+    const auto attr = static_cast<AttrIndex>(a);
+    EXPECT_EQ(parsed->attribute(attr).name(),
+              original.schema().attribute(attr).name());
+    EXPECT_EQ(parsed->attribute(attr).value_labels(),
+              original.schema().attribute(attr).value_labels());
+  }
+}
+
+TEST_P(RoundTripPropertyTest, RandomExplanationJsonRoundTripIsLossless) {
+  const Dataset dataset = MakeRandomDataset(GetParam());
+  Rng rng(GetParam().seed + 99);
+  // Fabricate a random (but structurally valid) explanation.
+  GlobalExplanation original;
+  const size_t clusters = 3;
+  for (size_t c = 0; c < clusters; ++c) {
+    const auto attr = static_cast<AttrIndex>(
+        rng.UniformInt(dataset.num_attributes()));
+    original.combination.push_back(attr);
+    std::vector<AttrIndex> set;
+    for (int j = 0; j < 3; ++j) {
+      set.push_back(static_cast<AttrIndex>(
+          rng.UniformInt(dataset.num_attributes())));
+    }
+    original.candidate_sets.push_back(std::move(set));
+    SingleClusterExplanation e;
+    e.cluster = static_cast<ClusterId>(c);
+    e.attribute = attr;
+    const size_t domain = dataset.schema().attribute(attr).domain_size();
+    e.inside = Histogram(domain);
+    e.outside = Histogram(domain);
+    for (size_t v = 0; v < domain; ++v) {
+      e.inside.set_bin(static_cast<ValueCode>(v),
+                       std::floor(rng.UniformRange(0.0, 500.0)));
+      e.outside.set_bin(static_cast<ValueCode>(v),
+                        std::floor(rng.UniformRange(0.0, 500.0)));
+    }
+    original.per_cluster.push_back(std::move(e));
+  }
+
+  const auto parsed = ExplanationFromJson(
+      ExplanationToJson(original, dataset.schema()), dataset.schema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->combination, original.combination);
+  EXPECT_EQ(parsed->candidate_sets, original.candidate_sets);
+  for (size_t c = 0; c < clusters; ++c) {
+    EXPECT_DOUBLE_EQ(
+        Histogram::L1Distance(parsed->per_cluster[c].inside,
+                              original.per_cluster[c].inside),
+        0.0);
+    EXPECT_DOUBLE_EQ(
+        Histogram::L1Distance(parsed->per_cluster[c].outside,
+                              original.per_cluster[c].outside),
+        0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RoundTripPropertyTest,
+    ::testing::Values(RoundTripCase{1, 50, 3, 4},
+                      RoundTripCase{2, 500, 8, 12},
+                      RoundTripCase{3, 200, 20, 3},
+                      RoundTripCase{4, 1000, 5, 39}),
+    [](const ::testing::TestParamInfo<RoundTripCase>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,80 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace dpclustx {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({Attribute("age", {"[0,30)", "[30,60)", "[60,90)"}),
+                 Attribute("gender", {"F", "M"})});
+}
+
+TEST(AttributeTest, BasicAccessors) {
+  const Attribute attr("color", {"red", "green", "blue"});
+  EXPECT_EQ(attr.name(), "color");
+  EXPECT_EQ(attr.domain_size(), 3u);
+  EXPECT_EQ(attr.label(1), "green");
+}
+
+TEST(AttributeTest, AnonymousDomainLabels) {
+  const Attribute attr = Attribute::WithAnonymousDomain("x", 4);
+  EXPECT_EQ(attr.domain_size(), 4u);
+  EXPECT_EQ(attr.label(0), "v0");
+  EXPECT_EQ(attr.label(3), "v3");
+}
+
+TEST(AttributeTest, CodeOfFindsAndFails) {
+  const Attribute attr("color", {"red", "green"});
+  ASSERT_TRUE(attr.CodeOf("green").ok());
+  EXPECT_EQ(attr.CodeOf("green").value(), 1u);
+  EXPECT_EQ(attr.CodeOf("mauve").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, FindAttribute) {
+  const Schema schema = MakeSchema();
+  ASSERT_TRUE(schema.FindAttribute("gender").ok());
+  EXPECT_EQ(schema.FindAttribute("gender").value(), 1u);
+  EXPECT_EQ(schema.FindAttribute("zip").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(MakeSchema().Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsEmptySchema) {
+  EXPECT_EQ(Schema(std::vector<Attribute>{}).Validate().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ValidateRejectsDuplicateAttributeNames) {
+  const Schema schema({Attribute("a", {"x"}), Attribute("a", {"y"})});
+  EXPECT_FALSE(schema.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsEmptyDomain) {
+  const Schema schema({Attribute("a", std::vector<std::string>{})});
+  EXPECT_FALSE(schema.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsDuplicateLabels) {
+  const Schema schema({Attribute("a", {"x", "x"})});
+  EXPECT_FALSE(schema.Validate().ok());
+}
+
+TEST(SchemaTest, ProjectKeepsOrder) {
+  const Schema projected = MakeSchema().Project({1, 0});
+  ASSERT_EQ(projected.num_attributes(), 2u);
+  EXPECT_EQ(projected.attribute(0).name(), "gender");
+  EXPECT_EQ(projected.attribute(1).name(), "age");
+}
+
+TEST(SchemaTest, ProjectSubset) {
+  const Schema projected = MakeSchema().Project({1});
+  ASSERT_EQ(projected.num_attributes(), 1u);
+  EXPECT_EQ(projected.attribute(0).name(), "gender");
+}
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,116 @@
+#include "core/serialization.h"
+
+#include <gtest/gtest.h>
+
+namespace dpclustx {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({Attribute("lab_proc", {"[0,40)", "[40,80)"}),
+                 Attribute("gender", {"F", "M"}),
+                 Attribute("diag", {"Circulatory", "Diabetes", "Injury"})});
+}
+
+GlobalExplanation MakeExplanation() {
+  GlobalExplanation explanation;
+  explanation.combination = {0, 2};
+  explanation.candidate_sets = {{0, 1, 2}, {2, 0, 1}};
+  SingleClusterExplanation e0;
+  e0.cluster = 0;
+  e0.attribute = 0;
+  e0.inside = Histogram({10.0, 90.0});
+  e0.outside = Histogram({55.5, 44.5});
+  SingleClusterExplanation e1;
+  e1.cluster = 1;
+  e1.attribute = 2;
+  e1.inside = Histogram({1.0, 2.0, 3.0});
+  e1.outside = Histogram({30.0, 20.0, 10.0});
+  explanation.per_cluster = {e0, e1};
+  return explanation;
+}
+
+TEST(SchemaJsonTest, RoundTrip) {
+  const Schema schema = MakeSchema();
+  const std::string json = SchemaToJson(schema);
+  const auto parsed = SchemaFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->num_attributes(), 3u);
+  EXPECT_EQ(parsed->attribute(0).name(), "lab_proc");
+  EXPECT_EQ(parsed->attribute(2).value_labels(),
+            schema.attribute(2).value_labels());
+}
+
+TEST(SchemaJsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(SchemaFromJson("{}").ok());
+  EXPECT_FALSE(SchemaFromJson(R"({"attributes": 3})").ok());
+  EXPECT_FALSE(
+      SchemaFromJson(R"({"attributes": [{"name": "a"}]})").ok());
+  // Duplicate attribute names fail schema validation.
+  EXPECT_FALSE(SchemaFromJson(
+                   R"({"attributes": [{"name":"a","domain":["x"]},
+                                       {"name":"a","domain":["y"]}]})")
+                   .ok());
+}
+
+TEST(ExplanationJsonTest, RoundTrip) {
+  const Schema schema = MakeSchema();
+  const GlobalExplanation original = MakeExplanation();
+  const std::string json = ExplanationToJson(original, schema);
+  const auto parsed = ExplanationFromJson(json, schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->combination, original.combination);
+  EXPECT_EQ(parsed->candidate_sets, original.candidate_sets);
+  ASSERT_EQ(parsed->per_cluster.size(), 2u);
+  for (size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(parsed->per_cluster[c].cluster,
+              original.per_cluster[c].cluster);
+    EXPECT_EQ(parsed->per_cluster[c].attribute,
+              original.per_cluster[c].attribute);
+    EXPECT_DOUBLE_EQ(
+        Histogram::L1Distance(parsed->per_cluster[c].inside,
+                              original.per_cluster[c].inside),
+        0.0);
+    EXPECT_DOUBLE_EQ(
+        Histogram::L1Distance(parsed->per_cluster[c].outside,
+                              original.per_cluster[c].outside),
+        0.0);
+  }
+}
+
+TEST(ExplanationJsonTest, UsesAttributeNames) {
+  const std::string json =
+      ExplanationToJson(MakeExplanation(), MakeSchema());
+  EXPECT_NE(json.find("\"lab_proc\""), std::string::npos);
+  EXPECT_NE(json.find("\"diag\""), std::string::npos);
+  EXPECT_NE(json.find("\"candidate_sets\""), std::string::npos);
+}
+
+TEST(ExplanationJsonTest, UnknownAttributeNameFails) {
+  const auto parsed = ExplanationFromJson(
+      R"({"combination": ["nonexistent"]})", MakeSchema());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExplanationJsonTest, HistogramDomainMismatchFails) {
+  // lab_proc has 2 bins; give it 3.
+  const auto parsed = ExplanationFromJson(
+      R"({"combination": ["lab_proc"],
+          "clusters": [{"cluster": 0, "attribute": "lab_proc",
+                         "inside": [1,2,3], "outside": [1,2]}]})",
+      MakeSchema());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExplanationJsonTest, SelectionOnlyExplanationRoundTrips) {
+  GlobalExplanation selection_only;
+  selection_only.combination = {1, 1};
+  const Schema schema = MakeSchema();
+  const auto parsed = ExplanationFromJson(
+      ExplanationToJson(selection_only, schema), schema);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->combination, selection_only.combination);
+  EXPECT_TRUE(parsed->per_cluster.empty());
+}
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,77 @@
+#include "dp/sparse_vector.h"
+
+#include <gtest/gtest.h>
+
+namespace dpclustx {
+namespace {
+
+TEST(SparseVectorTest, CreateValidatesArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(SparseVector::Create(10.0, 0.0, 1.0, 1, &rng).ok());
+  EXPECT_FALSE(SparseVector::Create(10.0, 1.0, 0.0, 1, &rng).ok());
+  EXPECT_FALSE(SparseVector::Create(10.0, 1.0, 1.0, 0, &rng).ok());
+  EXPECT_FALSE(SparseVector::Create(10.0, 1.0, 1.0, 1, nullptr).ok());
+}
+
+TEST(SparseVectorTest, HighBudgetSeparatesClearCases) {
+  Rng rng(2);
+  auto svt = SparseVector::Create(100.0, 1.0, 1e6, 3, &rng);
+  ASSERT_TRUE(svt.ok());
+  EXPECT_FALSE(svt->Query(0.0).value());
+  EXPECT_TRUE(svt->Query(200.0).value());
+  EXPECT_FALSE(svt->Query(50.0).value());
+  EXPECT_TRUE(svt->Query(150.0).value());
+  EXPECT_EQ(svt->positives_reported(), 2u);
+  EXPECT_EQ(svt->positives_remaining(), 1u);
+}
+
+TEST(SparseVectorTest, RefusesQueriesAfterPositivesSpent) {
+  Rng rng(3);
+  auto svt = SparseVector::Create(0.0, 1.0, 1e6, 1, &rng);
+  ASSERT_TRUE(svt.ok());
+  EXPECT_TRUE(svt->Query(100.0).value());
+  const auto refused = svt->Query(100.0);
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SparseVectorTest, BelowThresholdQueriesAreFree) {
+  // Many below-threshold queries must be answerable without exhausting
+  // anything — that is the whole point of SVT.
+  Rng rng(4);
+  auto svt = SparseVector::Create(1000.0, 1.0, 2.0, 1, &rng);
+  ASSERT_TRUE(svt.ok());
+  for (int i = 0; i < 10000; ++i) {
+    const auto result = svt->Query(0.0);
+    ASSERT_TRUE(result.ok());
+  }
+  EXPECT_EQ(svt->positives_remaining(), 1u);
+}
+
+TEST(SvtAboveThresholdTest, ScanStopsAtMaxPositives) {
+  Rng rng(5);
+  const std::vector<double> values = {500.0, 0.0, 500.0, 500.0, 500.0};
+  const auto positives = SvtAboveThreshold(values, 100.0, 1.0, 1e6, 2, rng);
+  ASSERT_TRUE(positives.ok());
+  EXPECT_EQ(*positives, (std::vector<size_t>{0, 2}));
+}
+
+TEST(SvtAboveThresholdTest, NoisyRegimeStillFindsStrongSignals) {
+  // With moderate budget, a hugely-above-threshold value should be found
+  // much more often than a hugely-below one.
+  size_t strong_hits = 0, weak_hits = 0;
+  for (uint64_t seed = 0; seed < 400; ++seed) {
+    Rng rng(seed);
+    const std::vector<double> values = {-2000.0, 2000.0};
+    const auto positives = SvtAboveThreshold(values, 0.0, 1.0, 1.0, 1, rng);
+    ASSERT_TRUE(positives.ok());
+    for (size_t index : *positives) {
+      if (index == 1) ++strong_hits;
+      else ++weak_hits;
+    }
+  }
+  EXPECT_GT(strong_hits, 300u);
+  EXPECT_LT(weak_hits, 50u);
+}
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,108 @@
+#include "core/stats_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace dpclustx {
+namespace {
+
+Dataset MakeDataset() {
+  Schema schema({Attribute::WithAnonymousDomain("a", 3),
+                 Attribute::WithAnonymousDomain("b", 2)});
+  Dataset dataset(schema);
+  dataset.AppendRowUnchecked({0, 0});
+  dataset.AppendRowUnchecked({1, 1});
+  dataset.AppendRowUnchecked({2, 0});
+  dataset.AppendRowUnchecked({1, 0});
+  dataset.AppendRowUnchecked({0, 1});
+  return dataset;
+}
+
+TEST(StatsCacheTest, BuildValidatesInput) {
+  const Dataset dataset = MakeDataset();
+  EXPECT_FALSE(StatsCache::Build(dataset, {0, 0}, 2).ok());  // wrong size
+  EXPECT_FALSE(StatsCache::Build(dataset, {0, 0, 0, 0, 5}, 2).ok());
+  EXPECT_FALSE(StatsCache::Build(dataset, {0, 0, 0, 0, 0}, 0).ok());
+}
+
+TEST(StatsCacheTest, ClusterSizesAndHistograms) {
+  const Dataset dataset = MakeDataset();
+  const std::vector<ClusterId> labels = {0, 1, 0, 1, 1};
+  const auto stats = StatsCache::Build(dataset, labels, 2);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_rows(), 5u);
+  EXPECT_EQ(stats->num_clusters(), 2u);
+  EXPECT_EQ(stats->cluster_size(0), 2u);
+  EXPECT_EQ(stats->cluster_size(1), 3u);
+  // Cluster 0 holds rows {0,2}: attr a values {0,2}.
+  EXPECT_DOUBLE_EQ(stats->cluster_histogram(0, 0).bin(0), 1.0);
+  EXPECT_DOUBLE_EQ(stats->cluster_histogram(0, 0).bin(1), 0.0);
+  EXPECT_DOUBLE_EQ(stats->cluster_histogram(0, 0).bin(2), 1.0);
+}
+
+TEST(StatsCacheTest, ClusterHistogramsSumToFull) {
+  const Dataset dataset = MakeDataset();
+  const std::vector<ClusterId> labels = {0, 1, 2, 1, 0};
+  const auto stats = StatsCache::Build(dataset, labels, 3);
+  ASSERT_TRUE(stats.ok());
+  for (size_t a = 0; a < 2; ++a) {
+    const auto attr = static_cast<AttrIndex>(a);
+    Histogram sum(stats->full_histogram(attr).domain_size());
+    for (size_t c = 0; c < 3; ++c) {
+      sum = sum.Plus(stats->cluster_histogram(static_cast<ClusterId>(c),
+                                              attr));
+    }
+    EXPECT_DOUBLE_EQ(
+        Histogram::L1Distance(sum, stats->full_histogram(attr)), 0.0);
+  }
+}
+
+TEST(StatsCacheTest, SupportsEmptyClusters) {
+  const Dataset dataset = MakeDataset();
+  const std::vector<ClusterId> labels = {0, 0, 0, 0, 0};
+  const auto stats = StatsCache::Build(dataset, labels, 3);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->cluster_size(1), 0u);
+  EXPECT_DOUBLE_EQ(stats->cluster_histogram(1, 0).Total(), 0.0);
+}
+
+TEST(StatsCacheTest, FromHistogramsRoundTrip) {
+  const Dataset dataset = MakeDataset();
+  const std::vector<ClusterId> labels = {0, 1, 0, 1, 1};
+  const auto built = StatsCache::Build(dataset, labels, 2);
+  ASSERT_TRUE(built.ok());
+
+  std::vector<Histogram> full = {built->full_histogram(0),
+                                 built->full_histogram(1)};
+  std::vector<std::vector<Histogram>> clusters = {
+      {built->cluster_histogram(0, 0), built->cluster_histogram(1, 0)},
+      {built->cluster_histogram(0, 1), built->cluster_histogram(1, 1)}};
+  const auto rebuilt = StatsCache::FromHistograms(dataset.schema(),
+                                                  std::move(full),
+                                                  std::move(clusters));
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt->num_rows(), 5u);
+  EXPECT_EQ(rebuilt->cluster_size(1), 3u);
+  EXPECT_DOUBLE_EQ(Histogram::L1Distance(rebuilt->full_histogram(0),
+                                         built->full_histogram(0)),
+                   0.0);
+}
+
+TEST(StatsCacheTest, FromHistogramsValidatesShapes) {
+  const Schema schema({Attribute::WithAnonymousDomain("a", 2)});
+  // Wrong attribute count.
+  EXPECT_FALSE(StatsCache::FromHistograms(schema, {}, {}).ok());
+  // Wrong domain size.
+  EXPECT_FALSE(StatsCache::FromHistograms(schema, {Histogram(3)},
+                                          {{Histogram(3)}})
+                   .ok());
+  // Inconsistent cluster counts.
+  EXPECT_FALSE(StatsCache::FromHistograms(
+                   Schema({Attribute::WithAnonymousDomain("a", 2),
+                           Attribute::WithAnonymousDomain("b", 2)}),
+                   {Histogram(2), Histogram(2)},
+                   {{Histogram(2)}, {Histogram(2), Histogram(2)}})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,63 @@
+// Shared helpers for DPClustX tests.
+
+#ifndef DPCLUSTX_TESTS_TEST_UTIL_H_
+#define DPCLUSTX_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace dpclustx::testutil {
+
+/// Dataset with two well-separated planted blocks: the first
+/// `rows_per_block` rows draw codes from the low end of each domain, the
+/// next `rows_per_block` from the high end. Any reasonable clustering with
+/// k = 2 should recover the blocks.
+inline Dataset MakeTwoBlockDataset(size_t rows_per_block, size_t dims,
+                                   size_t domain, uint64_t seed) {
+  std::vector<Attribute> attrs;
+  for (size_t a = 0; a < dims; ++a) {
+    attrs.push_back(Attribute::WithAnonymousDomain(
+        "attr" + std::to_string(a), domain));
+  }
+  Dataset dataset{Schema(std::move(attrs))};
+  Rng rng(seed);
+  std::vector<ValueCode> row(dims);
+  for (size_t block = 0; block < 2; ++block) {
+    // Low block draws from the bottom third, high block from the top third.
+    const size_t lo = block == 0 ? 0 : (2 * domain) / 3;
+    const size_t span = std::max<size_t>(1, domain / 3);
+    for (size_t r = 0; r < rows_per_block; ++r) {
+      for (size_t a = 0; a < dims; ++a) {
+        row[a] = static_cast<ValueCode>(
+            std::min<size_t>(domain - 1, lo + rng.UniformInt(span)));
+      }
+      dataset.AppendRowUnchecked(row);
+    }
+  }
+  return dataset;
+}
+
+/// Fraction of rows whose cluster equals the majority cluster of their
+/// block, for the two-block dataset above (labels.size() must be even).
+inline double TwoBlockPurity(const std::vector<ClusterId>& labels) {
+  const size_t half = labels.size() / 2;
+  double correct = 0.0;
+  for (size_t block = 0; block < 2; ++block) {
+    std::vector<size_t> votes;
+    for (size_t r = block * half; r < (block + 1) * half; ++r) {
+      if (labels[r] >= votes.size()) votes.resize(labels[r] + 1, 0);
+      ++votes[labels[r]];
+    }
+    correct += static_cast<double>(
+        *std::max_element(votes.begin(), votes.end()));
+  }
+  return correct / static_cast<double>(labels.size());
+}
+
+}  // namespace dpclustx::testutil
+
+#endif  // DPCLUSTX_TESTS_TEST_UTIL_H_

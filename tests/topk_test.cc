@@ -1,0 +1,173 @@
+#include "dp/topk.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dp/exponential.h"
+
+namespace dpclustx {
+namespace {
+
+TEST(OneShotTopKTest, ValidatesArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(OneShotTopK({}, 1.0, 1.0, 1, rng).ok());
+  EXPECT_FALSE(OneShotTopK({1.0, 2.0}, 1.0, 1.0, 0, rng).ok());
+  EXPECT_FALSE(OneShotTopK({1.0, 2.0}, 1.0, 1.0, 3, rng).ok());
+  EXPECT_FALSE(OneShotTopK({1.0, 2.0}, 0.0, 1.0, 1, rng).ok());
+  EXPECT_FALSE(OneShotTopK({1.0, 2.0}, 1.0, -1.0, 1, rng).ok());
+}
+
+TEST(OneShotTopKTest, ReturnsKDistinctIndices) {
+  Rng rng(2);
+  const std::vector<double> scores = {5.0, 1.0, 3.0, 2.0, 4.0};
+  const auto result = OneShotTopK(scores, 1.0, 0.5, 3, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);
+  const std::set<size_t> distinct(result->begin(), result->end());
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+TEST(OneShotTopKTest, HighEpsilonRecoversExactTopKInOrder) {
+  Rng rng(3);
+  const std::vector<double> scores = {5.0, 1.0, 3.0, 2.0, 4.0};
+  for (int i = 0; i < 50; ++i) {
+    const auto result = OneShotTopK(scores, 1.0, 1e6, 3, rng);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, (std::vector<size_t>{0, 4, 2}));
+  }
+}
+
+TEST(OneShotTopKTest, KEqualsNReturnsPermutation) {
+  Rng rng(4);
+  const std::vector<double> scores = {1.0, 2.0, 3.0};
+  const auto result = OneShotTopK(scores, 1.0, 0.1, 3, rng);
+  ASSERT_TRUE(result.ok());
+  std::vector<size_t> sorted = *result;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<size_t>{0, 1, 2}));
+}
+
+// The first element of the one-shot top-k must follow the exponential-
+// mechanism distribution at ε/k (Durfee & Rogers equivalence).
+TEST(OneShotTopKTest, FirstSelectionMatchesExponentialMechanism) {
+  const std::vector<double> scores = {0.0, 1.0, 2.0};
+  const double epsilon = 3.0;
+  const size_t k = 2;
+  constexpr size_t kSamples = 200000;
+
+  Rng rng_topk(5);
+  std::vector<size_t> topk_first(3, 0);
+  for (size_t s = 0; s < kSamples; ++s) {
+    const auto result = OneShotTopK(scores, 1.0, epsilon, k, rng_topk);
+    ++topk_first[result->front()];
+  }
+
+  Rng rng_em(6);
+  std::vector<size_t> em_counts(3, 0);
+  for (size_t s = 0; s < kSamples; ++s) {
+    ++em_counts[ExponentialMechanism(scores, 1.0, epsilon / k, rng_em)
+                    .value()];
+  }
+
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(static_cast<double>(topk_first[i]) / kSamples,
+                static_cast<double>(em_counts[i]) / kSamples, 0.01)
+        << "candidate " << i;
+  }
+}
+
+// The full selected *set* must match iteratively applying the EM k times
+// without replacement at ε/k each.
+TEST(OneShotTopKTest, SelectedSetMatchesIteratedEm) {
+  const std::vector<double> scores = {0.0, 1.5, 3.0};
+  const double epsilon = 2.0;
+  const size_t k = 2;
+  constexpr size_t kSamples = 150000;
+
+  auto set_key = [](std::vector<size_t> v) {
+    std::sort(v.begin(), v.end());
+    return v[0] * 10 + v[1];
+  };
+
+  Rng rng_topk(7);
+  std::map<size_t, double> topk_sets;
+  for (size_t s = 0; s < kSamples; ++s) {
+    topk_sets[set_key(*OneShotTopK(scores, 1.0, epsilon, k, rng_topk))] +=
+        1.0;
+  }
+
+  // Iterated EM without replacement.
+  Rng rng_em(8);
+  std::map<size_t, double> em_sets;
+  for (size_t s = 0; s < kSamples; ++s) {
+    std::vector<size_t> remaining = {0, 1, 2};
+    std::vector<size_t> chosen;
+    for (size_t round = 0; round < k; ++round) {
+      std::vector<double> sub_scores;
+      for (size_t index : remaining) sub_scores.push_back(scores[index]);
+      const size_t pick =
+          ExponentialMechanism(sub_scores, 1.0, epsilon / k, rng_em).value();
+      chosen.push_back(remaining[pick]);
+      remaining.erase(remaining.begin() + static_cast<long>(pick));
+    }
+    em_sets[set_key(chosen)] += 1.0;
+  }
+
+  for (const auto& [key, count] : topk_sets) {
+    EXPECT_NEAR(count / kSamples, em_sets[key] / kSamples, 0.012)
+        << "set key " << key;
+  }
+}
+
+TEST(IteratedExponentialTopKTest, ValidatesArguments) {
+  Rng rng(9);
+  EXPECT_FALSE(IteratedExponentialTopK({}, 1.0, 1.0, 1, rng).ok());
+  EXPECT_FALSE(IteratedExponentialTopK({1.0}, 1.0, 1.0, 2, rng).ok());
+  EXPECT_FALSE(IteratedExponentialTopK({1.0}, 0.0, 1.0, 1, rng).ok());
+}
+
+TEST(IteratedExponentialTopKTest, HighEpsilonRecoversExactTopK) {
+  Rng rng(10);
+  const std::vector<double> scores = {5.0, 1.0, 3.0, 2.0, 4.0};
+  const auto result = IteratedExponentialTopK(scores, 1.0, 1e6, 3, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (std::vector<size_t>{0, 4, 2}));
+}
+
+// Durfee–Rogers equivalence: the one-shot mechanism's selected-sequence
+// distribution matches the iterated exponential mechanism's.
+TEST(IteratedExponentialTopKTest, DistributionMatchesOneShot) {
+  const std::vector<double> scores = {0.0, 1.5, 3.0};
+  const double epsilon = 2.0;
+  const size_t k = 2;
+  constexpr size_t kSamples = 150000;
+  auto sequence_key = [](const std::vector<size_t>& v) {
+    return v[0] * 10 + v[1];
+  };
+
+  Rng rng_iter(11), rng_oneshot(12);
+  std::map<size_t, double> iterated, oneshot;
+  for (size_t s = 0; s < kSamples; ++s) {
+    iterated[sequence_key(
+        *IteratedExponentialTopK(scores, 1.0, epsilon, k, rng_iter))] += 1.0;
+    oneshot[sequence_key(*OneShotTopK(scores, 1.0, epsilon, k,
+                                      rng_oneshot))] += 1.0;
+  }
+  for (const auto& [key, count] : iterated) {
+    EXPECT_NEAR(count / kSamples, oneshot[key] / kSamples, 0.012)
+        << "sequence " << key;
+  }
+}
+
+TEST(OneShotTopKErrorBoundTest, GrowsWithKAndShrinksWithEpsilon) {
+  EXPECT_GT(OneShotTopKErrorBound(50, 1.0, 0.1, 5, 1.0),
+            OneShotTopKErrorBound(50, 1.0, 0.1, 3, 1.0));
+  EXPECT_GT(OneShotTopKErrorBound(50, 1.0, 0.1, 3, 1.0),
+            OneShotTopKErrorBound(50, 1.0, 1.0, 3, 1.0));
+}
+
+}  // namespace
+}  // namespace dpclustx

@@ -1,0 +1,293 @@
+// dpclustx — command-line front end for the DPClustX pipeline.
+//
+// Reads a CSV table (or synthesizes one), clusters it, explains the
+// clusters under differential privacy, prints the explanation, and
+// optionally writes the JSON payload. Run with --help for usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "cluster/agglomerative.h"
+#include "cluster/dp_kmeans.h"
+#include "cluster/gmm.h"
+#include "cluster/kmeans.h"
+#include "cluster/kmodes.h"
+#include "core/explainer.h"
+#include "core/serialization.h"
+#include "eval/metrics.h"
+#include "data/csv.h"
+#include "data/synthetic.h"
+#include "dp/privacy_budget.h"
+
+namespace {
+
+using namespace dpclustx;
+
+constexpr char kUsage[] = R"(dpclustx — differentially private cluster explanations
+
+USAGE
+  dpclustx_cli [--input FILE.csv | --synthetic NAME] [OPTIONS]
+
+DATA
+  --input FILE        CSV file; the schema is inferred from the contents
+                      (domains become data-dependent — prefer fixed schemas
+                      for production releases)
+  --synthetic NAME    built-in generator: diabetes | census | stackoverflow
+  --rows N            rows for --synthetic (default 30000)
+
+CLUSTERING
+  --method NAME       k-means (default) | dp-k-means | k-modes |
+                      agglomerative | gmm
+  --clusters N        number of clusters (default 5)
+  --epsilon-clust E   budget of dp-k-means (default 1.0)
+
+EXPLANATION (DPClustX)
+  --epsilon-candset E   Stage-1 budget (default 0.1)
+  --epsilon-topcomb E   Stage-2 selection budget (default 0.1)
+  --epsilon-hist E      histogram-release budget (default 0.1)
+  --candidates K        Stage-1 candidate-set size (default 3)
+  --stage1 NAME         topk (default) | svt
+  --svt-threshold F     SVT score bar as a fraction of cluster size
+                        (default 0.3)
+  --lambda I,S,D        quality weights, comma separated (default
+                        0.333,0.333,0.334)
+  --hist-mechanism M    geometric (default) | laplace | hierarchical
+
+OUTPUT
+  --output-json FILE  write the explanation JSON payload
+  --report            print a per-cluster quality breakdown (computed from
+                      EXACT counts — for evaluation on non-sensitive data)
+  --seed N            mechanism seed (default 1)
+  --quiet             suppress the rendered histograms
+  --help              this message
+)";
+
+struct CliOptions {
+  std::string input;
+  std::string synthetic;
+  size_t rows = 30000;
+  std::string method = "k-means";
+  size_t clusters = 5;
+  double epsilon_clust = 1.0;
+  DpClustXOptions explain;
+  std::string output_json;
+  bool quiet = false;
+  bool report = false;
+};
+
+[[noreturn]] void Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  std::exit(2);
+}
+
+double ParseDouble(const std::string& value, const std::string& flag) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == nullptr || *end != '\0') Fail("bad value for " + flag);
+  return parsed;
+}
+
+size_t ParseSize(const std::string& value, const std::string& flag) {
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || parsed <= 0) {
+    Fail("bad value for " + flag);
+  }
+  return static_cast<size_t>(parsed);
+}
+
+CliOptions ParseArgs(int argc, char** argv) {
+  CliOptions options;
+  auto next_value = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) Fail(std::string(flag) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      std::exit(0);
+    } else if (arg == "--input") {
+      options.input = next_value(i, "--input");
+    } else if (arg == "--synthetic") {
+      options.synthetic = next_value(i, "--synthetic");
+    } else if (arg == "--rows") {
+      options.rows = ParseSize(next_value(i, "--rows"), "--rows");
+    } else if (arg == "--method") {
+      options.method = next_value(i, "--method");
+    } else if (arg == "--clusters") {
+      options.clusters =
+          ParseSize(next_value(i, "--clusters"), "--clusters");
+    } else if (arg == "--epsilon-clust") {
+      options.epsilon_clust =
+          ParseDouble(next_value(i, "--epsilon-clust"), "--epsilon-clust");
+    } else if (arg == "--epsilon-candset") {
+      options.explain.epsilon_cand_set = ParseDouble(
+          next_value(i, "--epsilon-candset"), "--epsilon-candset");
+    } else if (arg == "--epsilon-topcomb") {
+      options.explain.epsilon_top_comb = ParseDouble(
+          next_value(i, "--epsilon-topcomb"), "--epsilon-topcomb");
+    } else if (arg == "--epsilon-hist") {
+      options.explain.epsilon_hist =
+          ParseDouble(next_value(i, "--epsilon-hist"), "--epsilon-hist");
+    } else if (arg == "--candidates") {
+      options.explain.num_candidates =
+          ParseSize(next_value(i, "--candidates"), "--candidates");
+    } else if (arg == "--stage1") {
+      const std::string value = next_value(i, "--stage1");
+      if (value == "topk") {
+        options.explain.stage1 = Stage1Selector::kOneShotTopK;
+      } else if (value == "svt") {
+        options.explain.stage1 = Stage1Selector::kSvt;
+      } else {
+        Fail("unknown --stage1 '" + value + "'");
+      }
+    } else if (arg == "--svt-threshold") {
+      options.explain.svt_threshold_fraction =
+          ParseDouble(next_value(i, "--svt-threshold"), "--svt-threshold");
+    } else if (arg == "--lambda") {
+      const std::string value = next_value(i, "--lambda");
+      double l_int = 0, l_suf = 0, l_div = 0;
+      if (std::sscanf(value.c_str(), "%lf,%lf,%lf", &l_int, &l_suf,
+                      &l_div) != 3) {
+        Fail("--lambda expects I,S,D");
+      }
+      options.explain.lambda = {l_int, l_suf, l_div};
+    } else if (arg == "--hist-mechanism") {
+      const std::string value = next_value(i, "--hist-mechanism");
+      if (value == "geometric") {
+        options.explain.histogram.noise = HistogramNoise::kGeometric;
+      } else if (value == "laplace") {
+        options.explain.histogram.noise = HistogramNoise::kLaplace;
+      } else if (value == "hierarchical") {
+        options.explain.histogram.noise = HistogramNoise::kHierarchical;
+      } else {
+        Fail("unknown --hist-mechanism '" + value + "'");
+      }
+    } else if (arg == "--output-json") {
+      options.output_json = next_value(i, "--output-json");
+    } else if (arg == "--seed") {
+      options.explain.seed = ParseSize(next_value(i, "--seed"), "--seed");
+    } else if (arg == "--report") {
+      options.report = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else {
+      Fail("unknown flag '" + arg + "' (see --help)");
+    }
+  }
+  if (options.input.empty() == options.synthetic.empty()) {
+    Fail("exactly one of --input / --synthetic is required (see --help)");
+  }
+  return options;
+}
+
+Dataset LoadData(const CliOptions& options) {
+  if (!options.input.empty()) {
+    auto dataset = ReadCsv(options.input);
+    if (!dataset.ok()) Fail(dataset.status().ToString());
+    return std::move(*dataset);
+  }
+  StatusOr<Dataset> dataset = Status::Internal("unset");
+  if (options.synthetic == "diabetes") {
+    dataset = synth::Generate(synth::DiabetesLike(options.rows));
+  } else if (options.synthetic == "census") {
+    dataset = synth::Generate(synth::CensusLike(options.rows));
+  } else if (options.synthetic == "stackoverflow") {
+    dataset = synth::Generate(synth::StackOverflowLike(options.rows));
+  } else {
+    Fail("unknown --synthetic '" + options.synthetic + "'");
+  }
+  if (!dataset.ok()) Fail(dataset.status().ToString());
+  return std::move(*dataset);
+}
+
+std::unique_ptr<ClusteringFunction> Cluster(const CliOptions& options,
+                                            const Dataset& dataset,
+                                            PrivacyBudget& budget) {
+  StatusOr<std::unique_ptr<ClusteringFunction>> clustering =
+      Status::Internal("unset");
+  if (options.method == "k-means") {
+    KMeansOptions fit;
+    fit.num_clusters = options.clusters;
+    fit.seed = options.explain.seed;
+    clustering = FitKMeans(dataset, fit);
+  } else if (options.method == "dp-k-means") {
+    DpKMeansOptions fit;
+    fit.num_clusters = options.clusters;
+    fit.epsilon = options.epsilon_clust;
+    fit.seed = options.explain.seed;
+    clustering = FitDpKMeans(dataset, fit, &budget);
+  } else if (options.method == "k-modes") {
+    KModesOptions fit;
+    fit.num_clusters = options.clusters;
+    fit.seed = options.explain.seed;
+    clustering = FitKModes(dataset, fit);
+  } else if (options.method == "agglomerative") {
+    AgglomerativeOptions fit;
+    fit.num_clusters = options.clusters;
+    fit.seed = options.explain.seed;
+    clustering = FitAgglomerative(dataset, fit);
+  } else if (options.method == "gmm") {
+    GmmOptions fit;
+    fit.num_components = options.clusters;
+    fit.seed = options.explain.seed;
+    clustering = FitGmm(dataset, fit);
+  } else {
+    Fail("unknown --method '" + options.method + "'");
+  }
+  if (!clustering.ok()) Fail(clustering.status().ToString());
+  return std::move(*clustering);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options = ParseArgs(argc, argv);
+  const Dataset dataset = LoadData(options);
+  std::fprintf(stderr, "loaded %zu rows x %zu attributes\n",
+               dataset.num_rows(), dataset.num_attributes());
+
+  const double explain_budget = options.explain.epsilon_cand_set +
+                                options.explain.epsilon_top_comb +
+                                options.explain.epsilon_hist;
+  const double total =
+      explain_budget +
+      (options.method == "dp-k-means" ? options.epsilon_clust : 0.0);
+  PrivacyBudget budget(total);
+
+  const std::unique_ptr<ClusteringFunction> clustering =
+      Cluster(options, dataset, budget);
+  std::fprintf(stderr, "clustered with %s\n", clustering->name().c_str());
+
+  const auto explanation =
+      ExplainDpClustX(dataset, *clustering, options.explain, &budget);
+  if (!explanation.ok()) Fail(explanation.status().ToString());
+
+  if (!options.quiet) {
+    std::cout << RenderGlobalExplanation(*explanation, dataset.schema());
+  }
+  if (options.report) {
+    const std::vector<ClusterId> labels = clustering->AssignAll(dataset);
+    const auto stats =
+        StatsCache::Build(dataset, labels, options.clusters);
+    if (stats.ok()) {
+      std::cout << eval::QualityBreakdownReport(
+          *stats, explanation->combination, options.explain.lambda,
+          dataset.schema());
+    }
+  }
+  std::cout << budget.Report();
+
+  if (!options.output_json.empty()) {
+    std::ofstream out(options.output_json, std::ios::binary);
+    if (!out) Fail("cannot write '" + options.output_json + "'");
+    out << ExplanationToJson(*explanation, dataset.schema()) << '\n';
+    std::fprintf(stderr, "wrote %s\n", options.output_json.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,312 @@
+// dpclustx_repl — interactive analyst console, mirroring the DPClustX
+// demonstration system: load data, cluster it, run budgeted EDA queries,
+// and generate DP explanations, all against one privacy-budget accountant
+// that refuses work once the budget is spent.
+//
+// Commands (one per line; also accepted from a piped script):
+//   load csv PATH            load a CSV table (schema inferred)
+//   load synthetic NAME [N]  diabetes | census | stackoverflow, N rows
+//   budget EPS               open a fresh accountant with total EPS
+//   cluster METHOD K [EPS]   k-means | dp-k-means | k-modes |
+//                            agglomerative | gmm; EPS for dp-k-means
+//   explain [EPS]            run DPClustX (EPS split equally across the
+//                            three stages; default 0.3)
+//   hist ATTR [EPS]          noisy per-cluster histograms of ATTR
+//                            (default EPS 0.02)
+//   size CLUSTER [EPS]       noisy cluster size (default EPS 0.01)
+//   ledger                   print the budget ledger
+//   schema                   list attributes
+//   help / quit
+
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/agglomerative.h"
+#include "cluster/dp_kmeans.h"
+#include "cluster/gmm.h"
+#include "cluster/kmeans.h"
+#include "cluster/kmodes.h"
+#include "core/explainer.h"
+#include "data/csv.h"
+#include "data/synthetic.h"
+#include "dp/eda_session.h"
+#include "dp/privacy_budget.h"
+
+namespace {
+
+using namespace dpclustx;
+
+class Repl {
+ public:
+  void Run() {
+    std::cout << "dpclustx interactive console — 'help' for commands\n";
+    std::string line;
+    while (Prompt(), std::getline(std::cin, line)) {
+      if (!Dispatch(line)) break;
+    }
+  }
+
+ private:
+  void Prompt() {
+    if (budget_) {
+      std::cout << "[eps " << budget_->remaining_epsilon() << " left] > ";
+    } else {
+      std::cout << "> ";
+    }
+    std::cout.flush();
+  }
+
+  // Returns false to exit the loop.
+  bool Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    if (command.empty()) return true;
+    if (command == "quit" || command == "exit") return false;
+    if (command == "help") {
+      Help();
+    } else if (command == "load") {
+      Load(in);
+    } else if (command == "budget") {
+      Budget(in);
+    } else if (command == "cluster") {
+      Cluster(in);
+    } else if (command == "explain") {
+      Explain(in);
+    } else if (command == "hist") {
+      Hist(in);
+    } else if (command == "size") {
+      Size(in);
+    } else if (command == "ledger") {
+      if (RequireBudget()) std::cout << budget_->Report();
+    } else if (command == "schema") {
+      PrintSchema();
+    } else {
+      std::cout << "unknown command '" << command << "' — try 'help'\n";
+    }
+    return true;
+  }
+
+  void Help() {
+    std::cout <<
+        "  load csv PATH | load synthetic NAME [N]\n"
+        "  budget EPS\n"
+        "  cluster METHOD K [EPS]\n"
+        "  explain [EPS]\n"
+        "  hist ATTR [EPS]\n"
+        "  size CLUSTER [EPS]\n"
+        "  ledger | schema | quit\n";
+  }
+
+  bool RequireData() {
+    if (!dataset_) std::cout << "no dataset loaded — use 'load'\n";
+    return dataset_.has_value();
+  }
+  bool RequireBudget() {
+    if (!budget_) std::cout << "no budget open — use 'budget EPS'\n";
+    return budget_ != nullptr;
+  }
+  bool RequireClustering() {
+    if (labels_.empty()) std::cout << "no clustering — use 'cluster'\n";
+    return !labels_.empty();
+  }
+
+  void Load(std::istringstream& in) {
+    std::string kind, arg;
+    in >> kind >> arg;
+    StatusOr<Dataset> dataset = Status::InvalidArgument(
+        "usage: load csv PATH | load synthetic NAME [N]");
+    if (kind == "csv" && !arg.empty()) {
+      dataset = ReadCsv(arg);
+    } else if (kind == "synthetic" && !arg.empty()) {
+      size_t rows = 20000;
+      in >> rows;
+      if (arg == "diabetes") {
+        dataset = synth::Generate(synth::DiabetesLike(rows));
+      } else if (arg == "census") {
+        dataset = synth::Generate(synth::CensusLike(rows));
+      } else if (arg == "stackoverflow") {
+        dataset = synth::Generate(synth::StackOverflowLike(rows));
+      } else {
+        dataset = Status::InvalidArgument("unknown generator '" + arg + "'");
+      }
+    }
+    if (!dataset.ok()) {
+      std::cout << dataset.status() << "\n";
+      return;
+    }
+    dataset_ = std::move(*dataset);
+    labels_.clear();
+    session_.reset();
+    std::cout << "loaded " << dataset_->num_rows() << " rows x "
+              << dataset_->num_attributes() << " attributes\n";
+  }
+
+  void Budget(std::istringstream& in) {
+    double eps = 0.0;
+    if (!(in >> eps) || eps <= 0.0) {
+      std::cout << "usage: budget EPS (positive)\n";
+      return;
+    }
+    budget_ = std::make_unique<PrivacyBudget>(eps);
+    session_.reset();
+    std::cout << "opened budget eps = " << eps << "\n";
+  }
+
+  void Cluster(std::istringstream& in) {
+    if (!RequireData() || !RequireBudget()) return;
+    std::string method;
+    size_t k = 0;
+    in >> method >> k;
+    if (method.empty() || k == 0) {
+      std::cout << "usage: cluster METHOD K [EPS]\n";
+      return;
+    }
+    double eps = 1.0;
+    in >> eps;
+    StatusOr<std::unique_ptr<ClusteringFunction>> clustering =
+        Status::InvalidArgument("unknown method '" + method + "'");
+    if (method == "k-means") {
+      KMeansOptions options;
+      options.num_clusters = k;
+      options.seed = seed_++;
+      clustering = FitKMeans(*dataset_, options);
+    } else if (method == "dp-k-means") {
+      DpKMeansOptions options;
+      options.num_clusters = k;
+      options.epsilon = eps;
+      options.seed = seed_++;
+      clustering = FitDpKMeans(*dataset_, options, budget_.get());
+    } else if (method == "k-modes") {
+      KModesOptions options;
+      options.num_clusters = k;
+      options.seed = seed_++;
+      clustering = FitKModes(*dataset_, options);
+    } else if (method == "agglomerative") {
+      AgglomerativeOptions options;
+      options.num_clusters = k;
+      options.seed = seed_++;
+      clustering = FitAgglomerative(*dataset_, options);
+    } else if (method == "gmm") {
+      GmmOptions options;
+      options.num_components = k;
+      options.seed = seed_++;
+      clustering = FitGmm(*dataset_, options);
+    }
+    if (!clustering.ok()) {
+      std::cout << clustering.status() << "\n";
+      return;
+    }
+    labels_.clear();
+    const std::vector<ClusterId> typed = (*clustering)->AssignAll(*dataset_);
+    labels_.assign(typed.begin(), typed.end());
+    num_clusters_ = k;
+    session_.reset();
+    std::cout << "clustered with " << (*clustering)->name() << "\n";
+    const std::vector<size_t> sizes = ClusterSizes(typed, k);
+    for (size_t c = 0; c < sizes.size(); ++c) {
+      std::cout << "  cluster " << c << ": " << sizes[c] << " rows\n";
+    }
+  }
+
+  void Explain(std::istringstream& in) {
+    if (!RequireData() || !RequireBudget() || !RequireClustering()) return;
+    double eps = 0.3;
+    in >> eps;
+    DpClustXOptions options;
+    options.epsilon_cand_set = eps / 3.0;
+    options.epsilon_top_comb = eps / 3.0;
+    options.epsilon_hist = eps / 3.0;
+    options.seed = seed_++;
+    const std::vector<ClusterId> typed(labels_.begin(), labels_.end());
+    const auto explanation = ExplainDpClustXWithLabels(
+        *dataset_, typed, num_clusters_, options, budget_.get());
+    if (!explanation.ok()) {
+      std::cout << explanation.status() << "\n";
+      return;
+    }
+    std::cout << RenderGlobalExplanation(*explanation, dataset_->schema());
+  }
+
+  EdaSession* Session() {
+    if (!session_) {
+      auto session = EdaSession::Open(&*dataset_, labels_, num_clusters_,
+                                      budget_.get(), seed_++);
+      if (!session.ok()) {
+        std::cout << session.status() << "\n";
+        return nullptr;
+      }
+      session_ = std::make_unique<EdaSession>(std::move(*session));
+    }
+    return session_.get();
+  }
+
+  void Hist(std::istringstream& in) {
+    if (!RequireData() || !RequireBudget() || !RequireClustering()) return;
+    std::string attr_name;
+    double eps = 0.02;
+    in >> attr_name >> eps;
+    const auto attr = dataset_->schema().FindAttribute(attr_name);
+    if (!attr.ok()) {
+      std::cout << attr.status() << "\n";
+      return;
+    }
+    EdaSession* session = Session();
+    if (session == nullptr) return;
+    const auto round = session->QueryAllClusterHistograms(*attr, eps);
+    if (!round.ok()) {
+      std::cout << round.status() << "\n";
+      return;
+    }
+    for (size_t c = 0; c < round->size(); ++c) {
+      std::cout << "cluster " << c << ":\n"
+                << (*round)[c].ToAsciiArt(
+                       dataset_->schema().attribute(*attr));
+    }
+  }
+
+  void Size(std::istringstream& in) {
+    if (!RequireData() || !RequireBudget() || !RequireClustering()) return;
+    uint32_t cluster = 0;
+    double eps = 0.01;
+    in >> cluster >> eps;
+    EdaSession* session = Session();
+    if (session == nullptr) return;
+    const auto size = session->QueryClusterSize(cluster, eps);
+    if (!size.ok()) {
+      std::cout << size.status() << "\n";
+      return;
+    }
+    std::cout << "noisy size of cluster " << cluster << ": " << *size
+              << "\n";
+  }
+
+  void PrintSchema() {
+    if (!RequireData()) return;
+    for (size_t a = 0; a < dataset_->num_attributes(); ++a) {
+      const Attribute& attr =
+          dataset_->schema().attribute(static_cast<AttrIndex>(a));
+      std::cout << "  " << attr.name() << " (" << attr.domain_size()
+                << " values)\n";
+    }
+  }
+
+  std::optional<Dataset> dataset_;
+  std::unique_ptr<PrivacyBudget> budget_;
+  std::unique_ptr<EdaSession> session_;
+  std::vector<uint32_t> labels_;
+  size_t num_clusters_ = 0;
+  uint64_t seed_ = 1;
+};
+
+}  // namespace
+
+int main() {
+  Repl repl;
+  repl.Run();
+  return 0;
+}
