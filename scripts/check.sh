@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Repository check: build and run the test suite in the default
+# configuration, then rebuild the concurrency-sensitive targets under
+# ThreadSanitizer and run the threaded tests (thread pool, service layer,
+# budget accountant, EDA sessions) with race detection on.
+#
+# Usage: scripts/check.sh [--skip-tsan]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    *) echo "unknown flag '$arg' (usage: scripts/check.sh [--skip-tsan])" >&2
+       exit 2 ;;
+  esac
+done
+
+echo "==> default build + full test suite"
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+(cd build && ctest --output-on-failure -j)
+
+if [[ "$SKIP_TSAN" == 1 ]]; then
+  echo "==> TSan pass skipped (--skip-tsan)"
+  exit 0
+fi
+
+echo "==> ThreadSanitizer build + threaded tests"
+cmake -B build-tsan -S . -DDPCLUSTX_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j --target \
+  thread_pool_test service_test privacy_budget_test eda_session_test \
+  >/dev/null
+(cd build-tsan &&
+ ctest --output-on-failure \
+   -R '^(thread_pool_test|service_test|privacy_budget_test|eda_session_test)$')
+
+echo "==> all checks passed"

@@ -23,6 +23,7 @@ enum class StatusCode {
   kFailedPrecondition,  // object not in the required state for the call
   kIoError,           // filesystem / parsing failure
   kInternal,          // invariant violation that was recoverable
+  kResourceExhausted, // a bounded resource (queue slot, cache, ...) is full
 };
 
 /// Returns a stable human-readable name for a StatusCode ("InvalidArgument").
@@ -59,6 +60,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

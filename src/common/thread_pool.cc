@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dpclustx {
+
+ThreadPool::ThreadPool(const ThreadPoolOptions& options)
+    : queue_capacity_(options.queue_capacity) {
+  DPX_CHECK_GT(options.num_threads, 0u) << "thread pool needs >= 1 worker";
+  DPX_CHECK_GT(options.queue_capacity, 0u) << "queue capacity must be >= 1";
+  workers_.reserve(options.num_threads);
+  for (size_t i = 0; i < options.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+Status ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("thread pool is shut down");
+    }
+    if (queue_.size() >= queue_capacity_) {
+      return Status::ResourceExhausted(
+          "task queue full (" + std::to_string(queue_capacity_) +
+          " pending); retry later");
+    }
+    queue_.push_back(std::move(task));
+  }
+  queue_nonempty_.notify_one();
+  return Status::OK();
+}
+
+Status ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_nonfull_.wait(lock, [this] {
+      return shutdown_ || queue_.size() < queue_capacity_;
+    });
+    if (shutdown_) {
+      return Status::FailedPrecondition("thread pool is shut down");
+    }
+    queue_.push_back(std::move(task));
+  }
+  queue_nonempty_.notify_one();
+  return Status::OK();
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_ && workers_.empty()) return;
+    shutdown_ = true;
+  }
+  queue_nonempty_.notify_all();
+  queue_nonfull_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+uint64_t ThreadPool::tasks_completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_completed_;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_nonempty_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_nonfull_.notify_one();
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++tasks_completed_;
+    }
+  }
+}
+
+}  // namespace dpclustx

@@ -1,0 +1,80 @@
+// Fixed-size worker pool with a bounded task queue.
+//
+// The service layer (src/service) runs every request through one of these:
+// a fixed number of workers drain a bounded FIFO queue, and submissions
+// beyond the queue capacity are rejected with ResourceExhausted so an
+// overloaded server sheds load instead of buffering unboundedly
+// (backpressure). Shutdown stops intake, drains the queue, and joins the
+// workers, so no accepted task is ever dropped.
+
+#ifndef DPCLUSTX_COMMON_THREAD_POOL_H_
+#define DPCLUSTX_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpclustx {
+
+struct ThreadPoolOptions {
+  /// Number of worker threads. Requires >= 1.
+  size_t num_threads = 4;
+  /// Maximum number of queued (not yet running) tasks before TrySubmit
+  /// rejects. Requires >= 1.
+  size_t queue_capacity = 256;
+};
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(const ThreadPoolOptions& options);
+  /// Joins via Shutdown(); queued tasks still run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` without blocking. Returns ResourceExhausted when the
+  /// queue is full (the task is NOT enqueued) and FailedPrecondition after
+  /// Shutdown.
+  Status TrySubmit(std::function<void()> task);
+
+  /// Enqueues `task`, blocking while the queue is full. Returns
+  /// FailedPrecondition if the pool shuts down before a slot frees up.
+  Status Submit(std::function<void()> task);
+
+  /// Stops intake, runs every already-queued task, and joins the workers.
+  /// Idempotent; safe to call from any thread except a worker.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+  size_t queue_capacity() const { return queue_capacity_; }
+
+  /// Tasks currently queued (excludes running ones). Advisory under
+  /// concurrency.
+  size_t queue_depth() const;
+
+  /// Tasks that finished executing.
+  uint64_t tasks_completed() const;
+
+ private:
+  void WorkerLoop();
+
+  const size_t queue_capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable queue_nonempty_;
+  std::condition_variable queue_nonfull_;
+  std::deque<std::function<void()>> queue_;  // guarded by mutex_
+  bool shutdown_ = false;                    // guarded by mutex_
+  uint64_t tasks_completed_ = 0;             // guarded by mutex_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_COMMON_THREAD_POOL_H_

@@ -267,6 +267,13 @@ StatusOr<GlobalExplanation> ExplainDpClustXWithLabels(
   DPX_RETURN_IF_ERROR(ValidateOptions(options));
   DPX_ASSIGN_OR_RETURN(const StatsCache stats,
                        StatsCache::Build(dataset, labels, num_clusters));
+  return ExplainDpClustXWithStats(stats, options, budget);
+}
+
+StatusOr<GlobalExplanation> ExplainDpClustXWithStats(
+    const StatsCache& stats, const DpClustXOptions& options,
+    PrivacyBudget* budget) {
+  DPX_RETURN_IF_ERROR(ValidateOptions(options));
 
   // Reserve the whole run's budget up front so a failure cannot leave a
   // partially-released explanation.

@@ -79,6 +79,14 @@ StatusOr<GlobalExplanation> ExplainDpClustXWithLabels(
     size_t num_clusters, const DpClustXOptions& options,
     PrivacyBudget* budget = nullptr);
 
+/// Same, with a prebuilt StatsCache — skips the O(n·d) counting pass, so a
+/// server that shares one cache across many requests pays only the
+/// per-request mechanism cost. The cache is read-only here and safe to share
+/// across concurrent calls.
+StatusOr<GlobalExplanation> ExplainDpClustXWithStats(
+    const StatsCache& stats, const DpClustXOptions& options,
+    PrivacyBudget* budget = nullptr);
+
 namespace core_internal {
 
 /// Precomputed score tables for the combination enumeration: any global

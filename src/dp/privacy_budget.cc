@@ -8,13 +8,30 @@
 namespace dpclustx {
 
 namespace {
-// Absolute slack for floating-point budget comparisons so that, e.g., three
-// charges of 0.1 against a total of 0.3 never spuriously fail.
-constexpr double kBudgetSlack = 1e-9;
+// Relative slack for floating-point budget comparisons: summing many small
+// charges accumulates rounding error proportional to the total, so an exact
+// spend-down (e.g. 10^6 charges of total/10^6) must not spuriously fail. The
+// max(1, total) floor keeps tiny budgets (ε ≪ 1) from demanding sub-ulp
+// precision.
+constexpr double kBudgetRelTolerance = 1e-9;
+
+double BudgetSlack(double total) {
+  return kBudgetRelTolerance * std::max(1.0, total);
+}
 }  // namespace
 
 PrivacyBudget::PrivacyBudget(double total_epsilon) : total_(total_epsilon) {
   DPX_CHECK_GT(total_epsilon, 0.0) << "privacy budget must be positive";
+}
+
+double PrivacyBudget::spent_epsilon() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spent_;
+}
+
+double PrivacyBudget::remaining_epsilon() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::max(0.0, total_ - spent_);
 }
 
 Status PrivacyBudget::Spend(double epsilon, const std::string& label) {
@@ -22,16 +39,25 @@ Status PrivacyBudget::Spend(double epsilon, const std::string& label) {
     return Status::InvalidArgument("epsilon must be positive (label '" +
                                    label + "')");
   }
-  if (spent_ + epsilon > total_ + kBudgetSlack) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spent_ + epsilon > total_ + BudgetSlack(total_)) {
     char msg[160];
     std::snprintf(msg, sizeof(msg),
                   "spending %.6g for '%s' exceeds budget (spent %.6g of %.6g)",
                   epsilon, label.c_str(), spent_, total_);
     return Status::OutOfBudget(msg);
   }
-  spent_ += epsilon;
+  // Clamp so drift within the tolerance cannot leave spent_ > total_ (and
+  // remaining_epsilon() reporting a negative as zero forever after).
+  spent_ = std::min(spent_ + epsilon, total_);
   ledger_.push_back({label, epsilon});
   return Status::OK();
+}
+
+bool PrivacyBudget::CanSpend(double epsilon) const {
+  if (epsilon <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spent_ + epsilon <= total_ + BudgetSlack(total_);
 }
 
 Status PrivacyBudget::SpendParallel(
@@ -53,7 +79,13 @@ Status PrivacyBudget::SpendParallel(
                             "]");
 }
 
+std::vector<PrivacyBudget::LedgerEntry> PrivacyBudget::ledger() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ledger_;
+}
+
 std::string PrivacyBudget::Report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   char line[160];
   std::string out;
   std::snprintf(line, sizeof(line),

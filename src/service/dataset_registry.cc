@@ -1,0 +1,130 @@
+#include "service/dataset_registry.h"
+
+#include <atomic>
+
+#include "data/csv.h"
+#include "data/synthetic.h"
+
+namespace dpclustx::service {
+
+namespace {
+uint64_t NextUid() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+DatasetEntry::DatasetEntry(std::string name, Dataset dataset,
+                           double cap_epsilon)
+    : name_(std::move(name)),
+      uid_(NextUid()),
+      dataset_(std::move(dataset)),
+      cap_epsilon_(cap_epsilon > 0.0 ? cap_epsilon : 0.0),
+      cap_(cap_epsilon > 0.0 ? std::make_unique<PrivacyBudget>(cap_epsilon)
+                             : nullptr) {}
+
+StatusOr<std::shared_ptr<const ClusteringView>> DatasetEntry::PutClustering(
+    std::shared_ptr<const ClusteringView> view) {
+  if (view == nullptr || view->id.empty()) {
+    return Status::InvalidArgument("clustering view needs a non-empty id");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = clusterings_.find(view->id);
+  if (it != clusterings_.end()) {
+    if (it->second->fingerprint == view->fingerprint) return it->second;
+    return Status::FailedPrecondition(
+        "clustering '" + view->id + "' of dataset '" + name_ +
+        "' already exists with a different configuration (" +
+        it->second->fingerprint + " vs " + view->fingerprint + ")");
+  }
+  clusterings_.emplace(view->id, view);
+  return view;
+}
+
+StatusOr<std::shared_ptr<const ClusteringView>> DatasetEntry::GetClustering(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = clusterings_.find(id);
+  if (it == clusterings_.end()) {
+    return Status::NotFound("no clustering '" + id + "' on dataset '" +
+                            name_ + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> DatasetEntry::ClusteringIds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(clusterings_.size());
+  for (const auto& [id, view] : clusterings_) ids.push_back(id);
+  return ids;
+}
+
+StatusOr<std::shared_ptr<DatasetEntry>> DatasetRegistry::Register(
+    const std::string& name, Dataset dataset, double cap_epsilon,
+    bool replace) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dataset name must be non-empty");
+  }
+  auto entry = std::make_shared<DatasetEntry>(name, std::move(dataset),
+                                              cap_epsilon);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it != entries_.end() && !replace) {
+    return Status::FailedPrecondition(
+        "dataset '" + name + "' already registered (pass replace to reload)");
+  }
+  entries_[name] = entry;
+  return entry;
+}
+
+StatusOr<std::shared_ptr<DatasetEntry>> DatasetRegistry::RegisterSynthetic(
+    const std::string& name, const std::string& generator, size_t rows,
+    uint64_t seed, double cap_epsilon, bool replace) {
+  synth::SyntheticConfig config;
+  if (generator == "diabetes") {
+    config = synth::DiabetesLike(rows, seed);
+  } else if (generator == "census") {
+    config = synth::CensusLike(rows, seed);
+  } else if (generator == "stackoverflow") {
+    config = synth::StackOverflowLike(rows, seed);
+  } else {
+    return Status::InvalidArgument(
+        "unknown generator '" + generator +
+        "' (expected diabetes | census | stackoverflow)");
+  }
+  DPX_ASSIGN_OR_RETURN(Dataset dataset, synth::Generate(config));
+  return Register(name, std::move(dataset), cap_epsilon, replace);
+}
+
+StatusOr<std::shared_ptr<DatasetEntry>> DatasetRegistry::RegisterCsv(
+    const std::string& name, const std::string& path, double cap_epsilon,
+    bool replace) {
+  DPX_ASSIGN_OR_RETURN(Dataset dataset, ReadCsv(path));
+  return Register(name, std::move(dataset), cap_epsilon, replace);
+}
+
+StatusOr<std::shared_ptr<DatasetEntry>> DatasetRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no dataset '" + name + "' registered");
+  }
+  return it->second;
+}
+
+std::vector<std::string> DatasetRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+size_t DatasetRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace dpclustx::service

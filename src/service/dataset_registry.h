@@ -1,0 +1,125 @@
+// Shared, immutable dataset state for the explanation service.
+//
+// A production deployment loads each sensitive dataset once and serves many
+// analysts against it. The registry owns that shared state: the columnar
+// Dataset (immutable after registration), any number of named clustering
+// views (labels + a precomputed StatsCache, built once and shared read-only
+// by every request), and an optional per-dataset global privacy cap — a
+// PrivacyBudget that every session's spending is *also* charged against, so
+// the total ε released about one dataset is bounded across all tenants (the
+// central-accounting discipline the DPM line of work argues for).
+//
+// Thread-safety: the registry and each entry are internally locked; Dataset,
+// ClusteringView, and StatsCache are immutable once published and shared via
+// shared_ptr, so request threads read them without synchronization.
+
+#ifndef DPCLUSTX_SERVICE_DATASET_REGISTRY_H_
+#define DPCLUSTX_SERVICE_DATASET_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/status.h"
+#include "core/stats_cache.h"
+#include "data/dataset.h"
+#include "dp/privacy_budget.h"
+
+namespace dpclustx::service {
+
+/// One named clustering of a registered dataset: per-row labels plus the
+/// per-(cluster, attribute) count cache every explanation request reuses.
+/// Immutable once published. The StatsCache holds exact counts of the
+/// sensitive data — it must never cross the protocol boundary; only DP
+/// mechanism outputs derived from it do.
+struct ClusteringView {
+  std::string id;
+  /// Human-readable method description ("k-means(k=5)").
+  std::string description;
+  /// Canonical config string ("method=k-means k=5 seed=7 eps=0"); identical
+  /// re-registrations are idempotent, conflicting ones are rejected.
+  std::string fingerprint;
+  size_t num_clusters = 0;
+  std::vector<ClusterId> labels;
+  std::shared_ptr<const StatsCache> stats;
+};
+
+/// A registered dataset plus its clusterings and optional global ε cap.
+class DatasetEntry {
+ public:
+  /// cap_epsilon <= 0 means uncapped.
+  DatasetEntry(std::string name, Dataset dataset, double cap_epsilon);
+
+  const std::string& name() const { return name_; }
+  const Dataset& dataset() const { return dataset_; }
+  /// Registry-unique id, distinct across re-registrations of the same name —
+  /// cache keys embed it so a replaced dataset can never serve stale bytes.
+  uint64_t uid() const { return uid_; }
+
+  /// Global cross-session cap, or nullptr when uncapped.
+  PrivacyBudget* cap() const { return cap_.get(); }
+  double cap_epsilon() const { return cap_epsilon_; }
+
+  /// Publishes `view` under view->id. If the id already exists with the same
+  /// fingerprint, returns the existing view (idempotent); a conflicting
+  /// fingerprint is FailedPrecondition (views are immutable).
+  StatusOr<std::shared_ptr<const ClusteringView>> PutClustering(
+      std::shared_ptr<const ClusteringView> view);
+
+  StatusOr<std::shared_ptr<const ClusteringView>> GetClustering(
+      const std::string& id) const;
+
+  std::vector<std::string> ClusteringIds() const;
+
+ private:
+  const std::string name_;
+  const uint64_t uid_;
+  const Dataset dataset_;
+  const double cap_epsilon_;
+  const std::unique_ptr<PrivacyBudget> cap_;  // null when uncapped
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const ClusteringView>>
+      clusterings_;  // guarded by mutex_
+};
+
+class DatasetRegistry {
+ public:
+  /// Registers `dataset` under `name`. An existing name is
+  /// FailedPrecondition unless `replace` is set, in which case the old entry
+  /// is detached (sessions already bound to it keep their reference and
+  /// budget accounting, but no new sessions can reach it).
+  StatusOr<std::shared_ptr<DatasetEntry>> Register(const std::string& name,
+                                                   Dataset dataset,
+                                                   double cap_epsilon,
+                                                   bool replace = false);
+
+  /// Loads one of the synthetic substitutes: "diabetes", "census",
+  /// "stackoverflow".
+  StatusOr<std::shared_ptr<DatasetEntry>> RegisterSynthetic(
+      const std::string& name, const std::string& generator, size_t rows,
+      uint64_t seed, double cap_epsilon, bool replace = false);
+
+  /// Loads a CSV table (schema inferred).
+  StatusOr<std::shared_ptr<DatasetEntry>> RegisterCsv(const std::string& name,
+                                                      const std::string& path,
+                                                      double cap_epsilon,
+                                                      bool replace = false);
+
+  StatusOr<std::shared_ptr<DatasetEntry>> Get(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<DatasetEntry>> entries_;
+};
+
+}  // namespace dpclustx::service
+
+#endif  // DPCLUSTX_SERVICE_DATASET_REGISTRY_H_

@@ -1,0 +1,56 @@
+#include "service/explanation_cache.h"
+
+#include "common/logging.h"
+
+namespace dpclustx::service {
+
+ExplanationCache::ExplanationCache(size_t capacity) : capacity_(capacity) {
+  DPX_CHECK_GT(capacity, 0u) << "cache capacity must be >= 1";
+}
+
+std::shared_ptr<const std::string> ExplanationCache::Get(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->payload;
+}
+
+void ExplanationCache::Put(const std::string& key, std::string payload) {
+  auto shared = std::make_shared<const std::string>(std::move(payload));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->payload = std::move(shared);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Node{key, std::move(shared)});
+  index_.emplace(key, lru_.begin());
+  if (index_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+uint64_t ExplanationCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+uint64_t ExplanationCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+size_t ExplanationCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace dpclustx::service

@@ -1,0 +1,59 @@
+// Result cache for released explanations.
+//
+// A DP release is data the framework has already paid ε for; re-serving the
+// *same* release bytes is post-processing and free (paper Prop. 2.4). The
+// cache keys on everything that determines the release exactly — dataset
+// uid, clustering fingerprint, ε split, mechanism options, and seed — so a
+// hit returns byte-identical output and charges zero additional ε. Distinct
+// seeds are distinct releases and never collide, so caching cannot be used
+// to average away noise.
+//
+// Bounded LRU; payloads are shared as immutable strings so hits copy nothing
+// under the lock.
+
+#ifndef DPCLUSTX_SERVICE_EXPLANATION_CACHE_H_
+#define DPCLUSTX_SERVICE_EXPLANATION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace dpclustx::service {
+
+class ExplanationCache {
+ public:
+  explicit ExplanationCache(size_t capacity = 1024);
+
+  /// Returns the cached payload (promoting it to most-recent) or nullptr.
+  std::shared_ptr<const std::string> Get(const std::string& key);
+
+  /// Inserts (or refreshes) `payload`, evicting the least-recently-used
+  /// entry when over capacity.
+  void Put(const std::string& key, std::string payload);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Node {
+    std::string key;
+    std::shared_ptr<const std::string> payload;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Node> lru_;  // front = most recently used; guarded by mutex_
+  std::unordered_map<std::string, std::list<Node>::iterator>
+      index_;  // guarded by mutex_
+  uint64_t hits_ = 0;    // guarded by mutex_
+  uint64_t misses_ = 0;  // guarded by mutex_
+};
+
+}  // namespace dpclustx::service
+
+#endif  // DPCLUSTX_SERVICE_EXPLANATION_CACHE_H_

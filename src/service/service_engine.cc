@@ -1,0 +1,581 @@
+#include "service/service_engine.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "cluster/agglomerative.h"
+#include "cluster/dp_kmeans.h"
+#include "cluster/gmm.h"
+#include "cluster/kmeans.h"
+#include "cluster/kmodes.h"
+#include "common/logging.h"
+#include "core/explainer.h"
+#include "core/explanation.h"
+#include "core/serialization.h"
+#include "dp/dp_histogram.h"
+#include "dp/mechanisms.h"
+
+namespace dpclustx::service {
+
+namespace {
+
+JsonValue ErrorResponse(const Status& status) {
+  JsonValue error = JsonValue::Object();
+  error.Set("code", JsonValue::String(StatusCodeName(status.code())));
+  error.Set("message", JsonValue::String(status.message()));
+  JsonValue response = JsonValue::Object();
+  response.Set("ok", JsonValue::Bool(false));
+  response.Set("error", std::move(error));
+  return response;
+}
+
+/// Optional-field accessors: absent keys yield the fallback, present keys of
+/// the wrong type are InvalidArgument (never a silent default).
+StatusOr<double> OptNumber(const JsonValue& request, const std::string& key,
+                           double fallback) {
+  if (!request.Has(key)) return fallback;
+  return request.GetNumber(key);
+}
+
+StatusOr<std::string> OptString(const JsonValue& request,
+                                const std::string& key,
+                                const std::string& fallback) {
+  if (!request.Has(key)) return fallback;
+  return request.GetString(key);
+}
+
+StatusOr<bool> OptBool(const JsonValue& request, const std::string& key,
+                       bool fallback) {
+  if (!request.Has(key)) return fallback;
+  if (request.at(key).type() != JsonValue::Type::kBool) {
+    return Status::InvalidArgument("field '" + key + "' must be a boolean");
+  }
+  return request.at(key).AsBool();
+}
+
+StatusOr<size_t> OptCount(const JsonValue& request, const std::string& key,
+                          size_t fallback) {
+  DPX_ASSIGN_OR_RETURN(const double value, OptNumber(request, key,
+                                                     static_cast<double>(fallback)));
+  if (value < 0.0 || value != static_cast<double>(static_cast<size_t>(value))) {
+    return Status::InvalidArgument("field '" + key +
+                                   "' must be a non-negative integer");
+  }
+  return static_cast<size_t>(value);
+}
+
+std::string ClusteringFingerprint(const std::string& method, size_t k,
+                                  uint64_t seed, double epsilon) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "method=%s k=%zu seed=%" PRIu64 " eps=%.17g",
+                method.c_str(), k, seed, epsilon);
+  return buf;
+}
+
+JsonValue HistogramToJson(const Histogram& histogram, const Attribute& attr) {
+  JsonValue bins = JsonValue::Array();
+  for (ValueCode code = 0; code < histogram.domain_size(); ++code) {
+    JsonValue bin = JsonValue::Object();
+    bin.Set("value", JsonValue::String(attr.label(code)));
+    bin.Set("count", JsonValue::Number(histogram.bin(code)));
+    bins.Append(std::move(bin));
+  }
+  return bins;
+}
+
+}  // namespace
+
+ServiceEngine::ServiceEngine(const ServiceEngineOptions& options)
+    : options_(options),
+      cache_(options.cache_capacity),
+      pool_(ThreadPoolOptions{options.num_threads, options.queue_capacity}) {}
+
+ServiceEngine::~ServiceEngine() { Shutdown(); }
+
+void ServiceEngine::Shutdown() { pool_.Shutdown(); }
+
+uint64_t ServiceEngine::NextNoiseSeed() {
+  const uint64_t n = noise_sequence_.fetch_add(1, std::memory_order_relaxed);
+  return options_.noise_seed + 0x9e3779b97f4a7c15ULL * (n + 1);
+}
+
+std::string ServiceEngine::Handle(const std::string& request_json) {
+  StatusOr<JsonValue> parsed = JsonValue::Parse(request_json);
+  if (!parsed.ok()) return ErrorResponse(parsed.status()).Dump();
+  if (parsed->type() != JsonValue::Type::kObject) {
+    return ErrorResponse(
+               Status::InvalidArgument("request must be a JSON object"))
+        .Dump();
+  }
+  JsonValue response = Dispatch(*parsed);
+  if (parsed->Has("id")) response.Set("id", parsed->at("id"));
+  return response.Dump();
+}
+
+Status ServiceEngine::HandleAsync(std::string request_json,
+                                  std::function<void(std::string)> done) {
+  return pool_.TrySubmit(
+      [this, request = std::move(request_json), done = std::move(done)] {
+        done(Handle(request));
+      });
+}
+
+std::string ServiceEngine::RejectionResponse(const std::string& request_json,
+                                             const Status& reason) {
+  JsonValue response = ErrorResponse(reason);
+  StatusOr<JsonValue> parsed = JsonValue::Parse(request_json);
+  if (parsed.ok() && parsed->type() == JsonValue::Type::kObject &&
+      parsed->Has("id")) {
+    response.Set("id", parsed->at("id"));
+  }
+  return response.Dump();
+}
+
+JsonValue ServiceEngine::Dispatch(const JsonValue& request) {
+  StatusOr<std::string> op = request.GetString("op");
+  if (!op.ok()) return ErrorResponse(op.status());
+
+  StatusOr<JsonValue> body = Status::NotFound("unknown op '" + *op + "'");
+  if (*op == "ping") {
+    JsonValue pong = JsonValue::Object();
+    pong.Set("pong", JsonValue::Bool(true));
+    body = std::move(pong);
+  } else if (*op == "load_dataset") {
+    body = OpLoadDataset(request);
+  } else if (*op == "schema") {
+    body = OpSchema(request);
+  } else if (*op == "cluster") {
+    body = OpCluster(request);
+  } else if (*op == "create_session") {
+    body = OpCreateSession(request);
+  } else if (*op == "close_session") {
+    body = OpCloseSession(request);
+  } else if (*op == "budget") {
+    body = OpBudget(request);
+  } else if (*op == "explain") {
+    body = OpExplain(request);
+  } else if (*op == "hist") {
+    body = OpHist(request);
+  } else if (*op == "size") {
+    body = OpSize(request);
+  } else if (*op == "stats") {
+    body = OpStats(request);
+  }
+  if (!body.ok()) return ErrorResponse(body.status());
+  JsonValue response = std::move(*body);
+  response.Set("ok", JsonValue::Bool(true));
+  return response;
+}
+
+StatusOr<JsonValue> ServiceEngine::OpLoadDataset(const JsonValue& request) {
+  DPX_ASSIGN_OR_RETURN(const std::string name, request.GetString("name"));
+  DPX_ASSIGN_OR_RETURN(const std::string source,
+                       OptString(request, "source", "synthetic"));
+  DPX_ASSIGN_OR_RETURN(const double cap_epsilon,
+                       OptNumber(request, "cap_epsilon", 0.0));
+  DPX_ASSIGN_OR_RETURN(const bool replace, OptBool(request, "replace", false));
+
+  StatusOr<std::shared_ptr<DatasetEntry>> entry =
+      Status::InvalidArgument("source must be 'synthetic' or 'csv'");
+  if (source == "synthetic") {
+    DPX_ASSIGN_OR_RETURN(const std::string generator,
+                         request.GetString("generator"));
+    DPX_ASSIGN_OR_RETURN(const size_t rows, OptCount(request, "rows", 20000));
+    DPX_ASSIGN_OR_RETURN(const size_t seed, OptCount(request, "seed", 1));
+    entry = registry_.RegisterSynthetic(name, generator, rows, seed,
+                                        cap_epsilon, replace);
+  } else if (source == "csv") {
+    DPX_ASSIGN_OR_RETURN(const std::string path, request.GetString("path"));
+    entry = registry_.RegisterCsv(name, path, cap_epsilon, replace);
+  }
+  DPX_RETURN_IF_ERROR(entry.status());
+
+  JsonValue body = JsonValue::Object();
+  body.Set("dataset", JsonValue::String(name));
+  body.Set("rows",
+           JsonValue::Number(static_cast<double>((*entry)->dataset().num_rows())));
+  body.Set("attributes", JsonValue::Number(static_cast<double>(
+                             (*entry)->dataset().num_attributes())));
+  body.Set("cap_epsilon", JsonValue::Number((*entry)->cap_epsilon()));
+  return body;
+}
+
+StatusOr<JsonValue> ServiceEngine::OpSchema(const JsonValue& request) {
+  DPX_ASSIGN_OR_RETURN(const std::string name, request.GetString("dataset"));
+  DPX_ASSIGN_OR_RETURN(const std::shared_ptr<DatasetEntry> entry,
+                       registry_.Get(name));
+  // Schemas are data-independent (paper §2): releasing them costs nothing.
+  const Schema& schema = entry->dataset().schema();
+  JsonValue attributes = JsonValue::Array();
+  for (const Attribute& attr : schema.attributes()) {
+    JsonValue a = JsonValue::Object();
+    a.Set("name", JsonValue::String(attr.name()));
+    JsonValue values = JsonValue::Array();
+    for (const std::string& label : attr.value_labels()) {
+      values.Append(JsonValue::String(label));
+    }
+    a.Set("values", std::move(values));
+    attributes.Append(std::move(a));
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("dataset", JsonValue::String(name));
+  body.Set("attributes", std::move(attributes));
+  return body;
+}
+
+StatusOr<JsonValue> ServiceEngine::OpCluster(const JsonValue& request) {
+  DPX_ASSIGN_OR_RETURN(const std::string name, request.GetString("dataset"));
+  DPX_ASSIGN_OR_RETURN(const std::shared_ptr<DatasetEntry> entry,
+                       registry_.Get(name));
+  DPX_ASSIGN_OR_RETURN(const std::string clustering_id,
+                       OptString(request, "clustering", "default"));
+  DPX_ASSIGN_OR_RETURN(const std::string method, request.GetString("method"));
+  DPX_ASSIGN_OR_RETURN(const size_t k, OptCount(request, "k", 5));
+  DPX_ASSIGN_OR_RETURN(const size_t seed, OptCount(request, "seed", 1));
+  DPX_ASSIGN_OR_RETURN(const double epsilon,
+                       OptNumber(request, "epsilon", 1.0));
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+
+  const bool is_private = method == "dp-k-means";
+  const std::string fingerprint =
+      ClusteringFingerprint(method, k, seed, is_private ? epsilon : 0.0);
+
+  const auto respond = [&](const std::shared_ptr<const ClusteringView>& view) {
+    JsonValue body = JsonValue::Object();
+    body.Set("dataset", JsonValue::String(name));
+    body.Set("clustering", JsonValue::String(clustering_id));
+    body.Set("method", JsonValue::String(view->description));
+    body.Set("num_clusters",
+             JsonValue::Number(static_cast<double>(view->num_clusters)));
+    // Deliberately NO per-cluster sizes here: exact counts never cross the
+    // protocol boundary. Use the 'size' op for a noisy count.
+    return body;
+  };
+
+  // Idempotent re-request: an existing view with the same config is returned
+  // without refitting (and, for dp-k-means, without charging again).
+  if (auto existing = entry->GetClustering(clustering_id); existing.ok()) {
+    if ((*existing)->fingerprint == fingerprint) return respond(*existing);
+    return Status::FailedPrecondition(
+        "clustering '" + clustering_id + "' of dataset '" + name +
+        "' already exists with a different configuration");
+  }
+
+  StatusOr<std::unique_ptr<ClusteringFunction>> clustering =
+      Status::InvalidArgument(
+          "unknown method '" + method +
+          "' (expected k-means | dp-k-means | k-modes | agglomerative | gmm)");
+  if (method == "k-means") {
+    KMeansOptions options;
+    options.num_clusters = k;
+    options.seed = seed;
+    clustering = FitKMeans(entry->dataset(), options);
+  } else if (method == "dp-k-means") {
+    // The fit is an ε-DP release: charge the requesting session (and the
+    // dataset cap) before fitting.
+    DPX_ASSIGN_OR_RETURN(const std::string session_id,
+                         request.GetString("session"));
+    DPX_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
+                         sessions_.Get(session_id));
+    if (session->dataset() != entry) {
+      return Status::FailedPrecondition("session '" + session_id +
+                                        "' is not bound to dataset '" + name +
+                                        "'");
+    }
+    DPX_RETURN_IF_ERROR(
+        session->Spend(epsilon, "cluster/dp-k-means " + clustering_id));
+    DpKMeansOptions options;
+    options.num_clusters = k;
+    options.epsilon = epsilon;
+    options.seed = seed;
+    clustering = FitDpKMeans(entry->dataset(), options, nullptr);
+  } else if (method == "k-modes") {
+    KModesOptions options;
+    options.num_clusters = k;
+    options.seed = seed;
+    clustering = FitKModes(entry->dataset(), options);
+  } else if (method == "agglomerative") {
+    AgglomerativeOptions options;
+    options.num_clusters = k;
+    options.seed = seed;
+    clustering = FitAgglomerative(entry->dataset(), options);
+  } else if (method == "gmm") {
+    GmmOptions options;
+    options.num_components = k;
+    options.seed = seed;
+    clustering = FitGmm(entry->dataset(), options);
+  }
+  DPX_RETURN_IF_ERROR(clustering.status());
+
+  auto view = std::make_shared<ClusteringView>();
+  view->id = clustering_id;
+  view->description = (*clustering)->name();
+  view->fingerprint = fingerprint;
+  view->num_clusters = (*clustering)->num_clusters();
+  view->labels = (*clustering)->AssignAll(entry->dataset());
+  DPX_ASSIGN_OR_RETURN(StatsCache stats,
+                       StatsCache::Build(entry->dataset(), view->labels,
+                                         view->num_clusters));
+  view->stats = std::make_shared<const StatsCache>(std::move(stats));
+  DPX_ASSIGN_OR_RETURN(const std::shared_ptr<const ClusteringView> published,
+                       entry->PutClustering(std::move(view)));
+  return respond(published);
+}
+
+StatusOr<JsonValue> ServiceEngine::OpCreateSession(const JsonValue& request) {
+  DPX_ASSIGN_OR_RETURN(const std::string session_id,
+                       request.GetString("session"));
+  DPX_ASSIGN_OR_RETURN(const std::string name, request.GetString("dataset"));
+  DPX_ASSIGN_OR_RETURN(const double epsilon, request.GetNumber("epsilon"));
+  DPX_ASSIGN_OR_RETURN(const std::shared_ptr<DatasetEntry> entry,
+                       registry_.Get(name));
+  DPX_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
+                       sessions_.Create(session_id, entry, epsilon));
+  JsonValue body = JsonValue::Object();
+  body.Set("session", JsonValue::String(session_id));
+  body.Set("dataset", JsonValue::String(name));
+  body.Set("epsilon", JsonValue::Number(session->budget().total_epsilon()));
+  return body;
+}
+
+StatusOr<JsonValue> ServiceEngine::OpCloseSession(const JsonValue& request) {
+  DPX_ASSIGN_OR_RETURN(const std::string session_id,
+                       request.GetString("session"));
+  DPX_RETURN_IF_ERROR(sessions_.Close(session_id));
+  JsonValue body = JsonValue::Object();
+  body.Set("session", JsonValue::String(session_id));
+  body.Set("closed", JsonValue::Bool(true));
+  return body;
+}
+
+StatusOr<JsonValue> ServiceEngine::OpBudget(const JsonValue& request) {
+  DPX_ASSIGN_OR_RETURN(const std::string session_id,
+                       request.GetString("session"));
+  DPX_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
+                       sessions_.Get(session_id));
+  const PrivacyBudget& budget = session->budget();
+  JsonValue ledger = JsonValue::Array();
+  for (const PrivacyBudget::LedgerEntry& entry : budget.ledger()) {
+    JsonValue row = JsonValue::Object();
+    row.Set("label", JsonValue::String(entry.label));
+    row.Set("epsilon", JsonValue::Number(entry.epsilon));
+    ledger.Append(std::move(row));
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("session", JsonValue::String(session_id));
+  body.Set("dataset", JsonValue::String(session->dataset()->name()));
+  body.Set("total", JsonValue::Number(budget.total_epsilon()));
+  body.Set("spent", JsonValue::Number(budget.spent_epsilon()));
+  body.Set("remaining", JsonValue::Number(budget.remaining_epsilon()));
+  body.Set("ledger", std::move(ledger));
+  if (const PrivacyBudget* cap = session->dataset()->cap()) {
+    body.Set("dataset_cap_total", JsonValue::Number(cap->total_epsilon()));
+    body.Set("dataset_cap_remaining",
+             JsonValue::Number(cap->remaining_epsilon()));
+  }
+  return body;
+}
+
+StatusOr<JsonValue> ServiceEngine::OpExplain(const JsonValue& request) {
+  DPX_ASSIGN_OR_RETURN(const std::string session_id,
+                       request.GetString("session"));
+  DPX_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
+                       sessions_.Get(session_id));
+  DPX_ASSIGN_OR_RETURN(const std::string clustering_id,
+                       OptString(request, "clustering", "default"));
+  DPX_ASSIGN_OR_RETURN(const std::shared_ptr<const ClusteringView> view,
+                       session->dataset()->GetClustering(clustering_id));
+
+  DPX_ASSIGN_OR_RETURN(const double epsilon,
+                       OptNumber(request, "epsilon", 0.3));
+  DpClustXOptions options;
+  DPX_ASSIGN_OR_RETURN(options.epsilon_cand_set,
+                       OptNumber(request, "epsilon_cand_set", epsilon / 3.0));
+  DPX_ASSIGN_OR_RETURN(options.epsilon_top_comb,
+                       OptNumber(request, "epsilon_top_comb", epsilon / 3.0));
+  DPX_ASSIGN_OR_RETURN(options.epsilon_hist,
+                       OptNumber(request, "epsilon_hist", epsilon / 3.0));
+  DPX_ASSIGN_OR_RETURN(options.num_candidates,
+                       OptCount(request, "num_candidates", 3));
+  DPX_ASSIGN_OR_RETURN(const size_t seed, OptCount(request, "seed", 1));
+  DPX_ASSIGN_OR_RETURN(options.num_threads, OptCount(request, "threads", 1));
+  options.seed = seed;
+  if (options.num_threads == 0) options.num_threads = 1;
+  if (options.epsilon_cand_set <= 0.0 || options.epsilon_top_comb <= 0.0 ||
+      options.epsilon_hist <= 0.0) {
+    return Status::InvalidArgument("all epsilon splits must be positive");
+  }
+  if (options.num_candidates == 0) {
+    return Status::InvalidArgument("num_candidates must be >= 1");
+  }
+  const double total_epsilon = options.epsilon_cand_set +
+                               options.epsilon_top_comb +
+                               options.epsilon_hist;
+
+  // The key covers everything that determines the release bytes (threads
+  // included: the parallel search draws a different — equally distributed —
+  // noise stream than the serial one).
+  char key[320];
+  std::snprintf(key, sizeof(key),
+                "ds=%" PRIu64 " cl=%s|%s ecs=%.17g etc=%.17g eh=%.17g k=%zu "
+                "seed=%zu th=%zu",
+                session->dataset()->uid(), clustering_id.c_str(),
+                view->fingerprint.c_str(), options.epsilon_cand_set,
+                options.epsilon_top_comb, options.epsilon_hist,
+                options.num_candidates, seed, options.num_threads);
+
+  JsonValue body;
+  bool cache_hit = false;
+  if (const std::shared_ptr<const std::string> cached = cache_.Get(key)) {
+    // Post-processing an already-paid-for release: identical bytes, zero ε.
+    StatusOr<JsonValue> parsed = JsonValue::Parse(*cached);
+    DPX_CHECK(parsed.ok()) << "corrupt cache payload";
+    body = std::move(*parsed);
+    cache_hit = true;
+  } else {
+    DPX_RETURN_IF_ERROR(session->Spend(
+        total_epsilon, "explain " + clustering_id + " seed=" +
+                           std::to_string(seed)));
+    DPX_ASSIGN_OR_RETURN(const GlobalExplanation explanation,
+                         ExplainDpClustXWithStats(*view->stats, options,
+                                                  nullptr));
+    const Schema& schema = session->dataset()->dataset().schema();
+    DPX_ASSIGN_OR_RETURN(
+        JsonValue explanation_json,
+        JsonValue::Parse(ExplanationToJson(explanation, schema)));
+    body = JsonValue::Object();
+    body.Set("explanation", std::move(explanation_json));
+    body.Set("text",
+             JsonValue::String(RenderGlobalExplanation(explanation, schema)));
+    cache_.Put(key, body.Dump());
+  }
+  body.Set("cache_hit", JsonValue::Bool(cache_hit));
+  body.Set("epsilon_charged",
+           JsonValue::Number(cache_hit ? 0.0 : total_epsilon));
+  body.Set("epsilon_remaining",
+           JsonValue::Number(session->budget().remaining_epsilon()));
+  return body;
+}
+
+StatusOr<JsonValue> ServiceEngine::OpHist(const JsonValue& request) {
+  DPX_ASSIGN_OR_RETURN(const std::string session_id,
+                       request.GetString("session"));
+  DPX_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
+                       sessions_.Get(session_id));
+  DPX_ASSIGN_OR_RETURN(const std::string clustering_id,
+                       OptString(request, "clustering", "default"));
+  DPX_ASSIGN_OR_RETURN(const std::shared_ptr<const ClusteringView> view,
+                       session->dataset()->GetClustering(clustering_id));
+  DPX_ASSIGN_OR_RETURN(const std::string attr_name,
+                       request.GetString("attribute"));
+  DPX_ASSIGN_OR_RETURN(const double epsilon,
+                       OptNumber(request, "epsilon", 0.02));
+  const Schema& schema = session->dataset()->dataset().schema();
+  DPX_ASSIGN_OR_RETURN(const AttrIndex attr, schema.FindAttribute(attr_name));
+  uint64_t seed = NextNoiseSeed();
+  if (request.Has("seed")) {
+    DPX_ASSIGN_OR_RETURN(const size_t explicit_seed,
+                         OptCount(request, "seed", 0));
+    seed = explicit_seed;
+  }
+
+  // One round of per-cluster histograms over disjoint clusters: parallel
+  // composition, a single charge of `epsilon` covers all of them.
+  DPX_RETURN_IF_ERROR(session->Spend(
+      epsilon, "hist attr=" + attr_name + " [parallel x" +
+                   std::to_string(view->num_clusters) + "]"));
+
+  Rng rng(seed);
+  JsonValue clusters = JsonValue::Array();
+  for (size_t c = 0; c < view->num_clusters; ++c) {
+    DPX_ASSIGN_OR_RETURN(
+        const Histogram noisy,
+        ReleaseDpHistogram(
+            view->stats->cluster_histogram(static_cast<ClusterId>(c), attr),
+            epsilon, rng, DpHistogramOptions{}));
+    JsonValue entry = JsonValue::Object();
+    entry.Set("cluster", JsonValue::Number(static_cast<double>(c)));
+    entry.Set("bins", HistogramToJson(noisy, schema.attribute(attr)));
+    clusters.Append(std::move(entry));
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("attribute", JsonValue::String(attr_name));
+  body.Set("epsilon_charged", JsonValue::Number(epsilon));
+  body.Set("epsilon_remaining",
+           JsonValue::Number(session->budget().remaining_epsilon()));
+  body.Set("clusters", std::move(clusters));
+  return body;
+}
+
+StatusOr<JsonValue> ServiceEngine::OpSize(const JsonValue& request) {
+  DPX_ASSIGN_OR_RETURN(const std::string session_id,
+                       request.GetString("session"));
+  DPX_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
+                       sessions_.Get(session_id));
+  DPX_ASSIGN_OR_RETURN(const std::string clustering_id,
+                       OptString(request, "clustering", "default"));
+  DPX_ASSIGN_OR_RETURN(const std::shared_ptr<const ClusteringView> view,
+                       session->dataset()->GetClustering(clustering_id));
+  DPX_ASSIGN_OR_RETURN(const size_t cluster, OptCount(request, "cluster", 0));
+  DPX_ASSIGN_OR_RETURN(const double epsilon,
+                       OptNumber(request, "epsilon", 0.01));
+  uint64_t seed = NextNoiseSeed();
+  if (request.Has("seed")) {
+    DPX_ASSIGN_OR_RETURN(const size_t explicit_seed,
+                         OptCount(request, "seed", 0));
+    seed = explicit_seed;
+  }
+  if (cluster >= view->num_clusters) {
+    return Status::InvalidArgument("cluster " + std::to_string(cluster) +
+                                   " out of range");
+  }
+  DPX_RETURN_IF_ERROR(session->Spend(
+      epsilon, "size c=" + std::to_string(cluster)));
+  Rng rng(seed);
+  const int64_t noisy = GeometricMechanism(
+      static_cast<int64_t>(
+          view->stats->cluster_size(static_cast<ClusterId>(cluster))),
+      /*sensitivity=*/1.0, epsilon, rng);
+  JsonValue body = JsonValue::Object();
+  body.Set("cluster", JsonValue::Number(static_cast<double>(cluster)));
+  body.Set("noisy_size", JsonValue::Number(static_cast<double>(noisy)));
+  body.Set("epsilon_charged", JsonValue::Number(epsilon));
+  body.Set("epsilon_remaining",
+           JsonValue::Number(session->budget().remaining_epsilon()));
+  return body;
+}
+
+StatusOr<JsonValue> ServiceEngine::OpStats(const JsonValue& request) {
+  (void)request;
+  JsonValue datasets = JsonValue::Array();
+  for (const std::string& name : registry_.Names()) {
+    datasets.Append(JsonValue::String(name));
+  }
+  JsonValue session_ids = JsonValue::Array();
+  for (const std::string& id : sessions_.Ids()) {
+    session_ids.Append(JsonValue::String(id));
+  }
+  JsonValue cache = JsonValue::Object();
+  cache.Set("hits", JsonValue::Number(static_cast<double>(cache_.hits())));
+  cache.Set("misses", JsonValue::Number(static_cast<double>(cache_.misses())));
+  cache.Set("size", JsonValue::Number(static_cast<double>(cache_.size())));
+  cache.Set("capacity",
+            JsonValue::Number(static_cast<double>(cache_.capacity())));
+  JsonValue pool = JsonValue::Object();
+  pool.Set("threads",
+           JsonValue::Number(static_cast<double>(pool_.num_threads())));
+  pool.Set("queue_capacity",
+           JsonValue::Number(static_cast<double>(pool_.queue_capacity())));
+  pool.Set("queue_depth",
+           JsonValue::Number(static_cast<double>(pool_.queue_depth())));
+  pool.Set("tasks_completed",
+           JsonValue::Number(static_cast<double>(pool_.tasks_completed())));
+  JsonValue body = JsonValue::Object();
+  body.Set("datasets", std::move(datasets));
+  body.Set("sessions", std::move(session_ids));
+  body.Set("cache", std::move(cache));
+  body.Set("pool", std::move(pool));
+  return body;
+}
+
+}  // namespace dpclustx::service

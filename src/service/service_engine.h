@@ -1,0 +1,132 @@
+// Concurrent explanation-service engine: the one code path behind the REPL,
+// the stdin/stdout server (tools/dpclustx_serve), and the throughput bench.
+//
+// Requests and responses are single JSON objects (one per line on the wire).
+// Every request carries an "op" and an optional "id" that is echoed back so
+// callers can correlate out-of-order responses. Responses always carry
+// "ok"; failures add {"error": {"code", "message"}} and never crash the
+// engine or leak exact counts.
+//
+// Ops (fields beyond op/id):
+//   ping
+//   load_dataset   name, source ("synthetic"|"csv"), generator|path,
+//                  [rows], [seed], [cap_epsilon] (<=0/absent = uncapped),
+//                  [replace]
+//   schema         dataset                     (data-independent, free)
+//   cluster        dataset, clustering, method, k, [seed],
+//                  [epsilon], [session]        (dp-k-means charges the
+//                                               session; other methods are
+//                                               free: their output is only
+//                                               ever used inside the DP
+//                                               pipeline)
+//   create_session session, dataset, epsilon
+//   close_session  session
+//   budget         session                     (ledger report)
+//   explain        session, clustering, [epsilon] | [epsilon_cand_set,
+//                  epsilon_top_comb, epsilon_hist], [num_candidates],
+//                  [seed], [threads]
+//   hist           session, clustering, attribute, [epsilon], [seed]
+//   size           session, clustering, cluster, [epsilon], [seed]
+//   stats          (cache / pool / registry counters)
+//
+// Privacy invariants enforced at this boundary:
+//   - Exact counts (StatsCache, cluster sizes, raw histograms) never appear
+//     in any response; only DP mechanism outputs and data-independent
+//     metadata (schemas, domains) do.
+//   - Every ε charge goes through ServiceSession::Spend (session ledger +
+//     dataset cap, atomically) BEFORE noise is drawn; refused requests
+//     return OutOfBudget and release nothing.
+//   - Cache hits re-serve an already-paid-for release byte-identically and
+//     charge zero additional ε (post-processing).
+
+#ifndef DPCLUSTX_SERVICE_SERVICE_ENGINE_H_
+#define DPCLUSTX_SERVICE_SERVICE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "service/dataset_registry.h"
+#include "service/explanation_cache.h"
+#include "service/session_manager.h"
+
+namespace dpclustx::service {
+
+struct ServiceEngineOptions {
+  /// Worker threads for HandleAsync.
+  size_t num_threads = 4;
+  /// Pending-request bound; submissions beyond it are rejected
+  /// (backpressure).
+  size_t queue_capacity = 256;
+  /// Explanation-cache entries.
+  size_t cache_capacity = 1024;
+  /// Base seed for server-drawn noise (hist/size queries without an explicit
+  /// seed); each draw advances an engine-wide counter.
+  uint64_t noise_seed = 0x5eed5eedULL;
+};
+
+class ServiceEngine {
+ public:
+  explicit ServiceEngine(const ServiceEngineOptions& options = {});
+  ~ServiceEngine();
+
+  ServiceEngine(const ServiceEngine&) = delete;
+  ServiceEngine& operator=(const ServiceEngine&) = delete;
+
+  /// Serves one request synchronously. Never throws; malformed input yields
+  /// an error response.
+  std::string Handle(const std::string& request_json);
+
+  /// Queues the request on the worker pool; `done` runs on a worker thread
+  /// with the response. Returns ResourceExhausted (without invoking `done`)
+  /// when the queue is full — callers decide whether to retry or reply busy
+  /// — and FailedPrecondition after Shutdown.
+  Status HandleAsync(std::string request_json,
+                     std::function<void(std::string)> done);
+
+  /// Builds the busy/shutdown error response for a request HandleAsync
+  /// rejected with `reason` (echoes the request's id when parseable).
+  static std::string RejectionResponse(const std::string& request_json,
+                                       const Status& reason);
+
+  /// Drains queued requests and stops the workers.
+  void Shutdown();
+
+  DatasetRegistry& registry() { return registry_; }
+  SessionManager& sessions() { return sessions_; }
+  const ExplanationCache& cache() const { return cache_; }
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  JsonValue Dispatch(const JsonValue& request);
+  // Per-op handlers; return the response body (merged with ok/id by
+  // Dispatch) or a Status that Dispatch converts to an error response.
+  StatusOr<JsonValue> OpLoadDataset(const JsonValue& request);
+  StatusOr<JsonValue> OpSchema(const JsonValue& request);
+  StatusOr<JsonValue> OpCluster(const JsonValue& request);
+  StatusOr<JsonValue> OpCreateSession(const JsonValue& request);
+  StatusOr<JsonValue> OpCloseSession(const JsonValue& request);
+  StatusOr<JsonValue> OpBudget(const JsonValue& request);
+  StatusOr<JsonValue> OpExplain(const JsonValue& request);
+  StatusOr<JsonValue> OpHist(const JsonValue& request);
+  StatusOr<JsonValue> OpSize(const JsonValue& request);
+  StatusOr<JsonValue> OpStats(const JsonValue& request);
+
+  uint64_t NextNoiseSeed();
+
+  const ServiceEngineOptions options_;
+  DatasetRegistry registry_;
+  SessionManager sessions_;
+  ExplanationCache cache_;
+  std::atomic<uint64_t> noise_sequence_{0};
+  ThreadPool pool_;  // last member: workers must die before the state above
+};
+
+}  // namespace dpclustx::service
+
+#endif  // DPCLUSTX_SERVICE_SERVICE_ENGINE_H_

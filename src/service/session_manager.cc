@@ -1,0 +1,101 @@
+#include "service/session_manager.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace dpclustx::service {
+
+ServiceSession::ServiceSession(std::string id,
+                               std::shared_ptr<DatasetEntry> dataset,
+                               double total_epsilon)
+    : id_(std::move(id)), dataset_(std::move(dataset)),
+      budget_(total_epsilon) {
+  DPX_CHECK(dataset_ != nullptr) << "session needs a dataset";
+}
+
+Status ServiceSession::Spend(double epsilon, const std::string& label) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive (label '" +
+                                   label + "')");
+  }
+  std::lock_guard<std::mutex> lock(spend_mutex_);
+  if (!budget_.CanSpend(epsilon)) {
+    char msg[192];
+    std::snprintf(msg, sizeof(msg),
+                  "session '%s': spending %.6g for '%s' exceeds the session "
+                  "budget (spent %.6g of %.6g)",
+                  id_.c_str(), epsilon, label.c_str(),
+                  budget_.spent_epsilon(), budget_.total_epsilon());
+    return Status::OutOfBudget(msg);
+  }
+  PrivacyBudget* cap = dataset_->cap();
+  if (cap != nullptr) {
+    const Status capped = cap->Spend(epsilon, id_ + "/" + label);
+    if (!capped.ok()) {
+      return Status::OutOfBudget("dataset '" + dataset_->name() +
+                                 "' global cap: " + capped.message());
+    }
+  }
+  // Cannot fail: spend_mutex_ serializes this session's spends, so the
+  // CanSpend check above still holds.
+  const Status charged = budget_.Spend(epsilon, label);
+  DPX_CHECK(charged.ok()) << charged.ToString();
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<ServiceSession>> SessionManager::Create(
+    const std::string& id, std::shared_ptr<DatasetEntry> dataset,
+    double total_epsilon) {
+  if (id.empty()) {
+    return Status::InvalidArgument("session id must be non-empty");
+  }
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("session needs a dataset");
+  }
+  if (total_epsilon <= 0.0) {
+    return Status::InvalidArgument("session budget must be positive");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sessions_.count(id) != 0) {
+    return Status::FailedPrecondition("session '" + id +
+                                      "' already exists");
+  }
+  auto session =
+      std::make_shared<ServiceSession>(id, std::move(dataset), total_epsilon);
+  sessions_.emplace(id, session);
+  return session;
+}
+
+StatusOr<std::shared_ptr<ServiceSession>> SessionManager::Get(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session '" + id + "'");
+  }
+  return it->second;
+}
+
+Status SessionManager::Close(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sessions_.erase(id) == 0) {
+    return Status::NotFound("no session '" + id + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> SessionManager::Ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) ids.push_back(id);
+  return ids;
+}
+
+size_t SessionManager::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+}  // namespace dpclustx::service

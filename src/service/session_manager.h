@@ -1,0 +1,86 @@
+// Multi-tenant session management with enforced budget ledgers.
+//
+// Every analyst (tenant) works through a ServiceSession: a per-session
+// PrivacyBudget ledger bound to one registered dataset. All ε spending goes
+// through ServiceSession::Spend, which is an atomic dual check-and-charge —
+// the charge lands on the session ledger AND the dataset's global
+// cross-session cap (when configured), or on neither. The enforcement
+// invariants:
+//
+//   1. A session can never spend more than its own total ε.
+//   2. All sessions together can never spend more than the dataset cap.
+//   3. A refused charge changes no state anywhere (no partial charges), and
+//      no noise is drawn for refused requests.
+//
+// Atomicity without cross-accountant refunds: a per-session lock serializes
+// this session's spends, so the session-ledger pre-check (CanSpend) cannot
+// be invalidated before the final charge; the shared cap is charged in
+// between by its own internal atomic check-and-charge. A cap refusal
+// therefore happens before the session ledger is touched.
+
+#ifndef DPCLUSTX_SERVICE_SESSION_MANAGER_H_
+#define DPCLUSTX_SERVICE_SESSION_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dp/privacy_budget.h"
+#include "service/dataset_registry.h"
+
+namespace dpclustx::service {
+
+class ServiceSession {
+ public:
+  /// Requires total_epsilon > 0 and a non-null dataset entry.
+  ServiceSession(std::string id, std::shared_ptr<DatasetEntry> dataset,
+                 double total_epsilon);
+
+  const std::string& id() const { return id_; }
+  const std::shared_ptr<DatasetEntry>& dataset() const { return dataset_; }
+
+  /// The session's own ledger (thread-safe). Read-only uses (reports,
+  /// remaining_epsilon) are fine; charge exclusively through Spend so the
+  /// dataset cap stays in sync.
+  const PrivacyBudget& budget() const { return budget_; }
+
+  /// Atomic dual check-and-charge (see file comment). OutOfBudget names
+  /// which limit refused — the session ledger or the dataset cap.
+  Status Spend(double epsilon, const std::string& label);
+
+ private:
+  const std::string id_;
+  const std::shared_ptr<DatasetEntry> dataset_;
+  std::mutex spend_mutex_;  // serializes this session's dual charges
+  PrivacyBudget budget_;
+};
+
+class SessionManager {
+ public:
+  /// Creates a session with a fresh ledger of `total_epsilon`. A taken id is
+  /// FailedPrecondition (budgets are immutable; closing and reopening a
+  /// session id does not reset the dataset cap).
+  StatusOr<std::shared_ptr<ServiceSession>> Create(
+      const std::string& id, std::shared_ptr<DatasetEntry> dataset,
+      double total_epsilon);
+
+  StatusOr<std::shared_ptr<ServiceSession>> Get(const std::string& id) const;
+
+  /// Removes the session. Spending already charged to the dataset cap stays
+  /// charged — closing a session never returns ε to the shared pool.
+  Status Close(const std::string& id);
+
+  std::vector<std::string> Ids() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<ServiceSession>> sessions_;
+};
+
+}  // namespace dpclustx::service
+
+#endif  // DPCLUSTX_SERVICE_SESSION_MANAGER_H_

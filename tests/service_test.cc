@@ -1,0 +1,336 @@
+// End-to-end tests for the explanation service: protocol round-trips,
+// post-processing-free cache hits, multi-tenant budget isolation, the
+// cross-session dataset cap, and queue backpressure.
+
+#include "service/service_engine.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace dpclustx::service {
+namespace {
+
+JsonValue Parse(const std::string& text) {
+  StatusOr<JsonValue> parsed = JsonValue::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status() << " in: " << text;
+  return std::move(*parsed);
+}
+
+JsonValue Call(ServiceEngine& engine, const std::string& request) {
+  return Parse(engine.Handle(request));
+}
+
+void ExpectOk(const JsonValue& response) {
+  ASSERT_TRUE(response.Has("ok")) << response.Dump();
+  EXPECT_TRUE(response.at("ok").AsBool()) << response.Dump();
+}
+
+void ExpectError(const JsonValue& response, const std::string& code) {
+  ASSERT_TRUE(response.Has("ok")) << response.Dump();
+  ASSERT_FALSE(response.at("ok").AsBool()) << response.Dump();
+  EXPECT_EQ(response.at("error").at("code").AsString(), code)
+      << response.Dump();
+}
+
+/// Loads a small synthetic dataset and clusters it (k-means, free).
+void SetUpDataset(ServiceEngine& engine, double cap_epsilon = 0.0) {
+  JsonValue load = Call(engine,
+                        R"({"op":"load_dataset","name":"d","source":"synthetic",)"
+                        R"("generator":"diabetes","rows":1500,"seed":7,)"
+                        R"("cap_epsilon":)" +
+                            std::to_string(cap_epsilon) + "}");
+  ExpectOk(load);
+  ExpectOk(Call(engine,
+                R"({"op":"cluster","dataset":"d","method":"k-means","k":3,)"
+                R"("seed":3})"));
+}
+
+TEST(ServiceTest, PingRoundTripEchoesId) {
+  ServiceEngine engine;
+  const JsonValue response = Call(engine, R"({"op":"ping","id":"abc"})");
+  ExpectOk(response);
+  EXPECT_EQ(response.at("id").AsString(), "abc");
+  EXPECT_TRUE(response.at("pong").AsBool());
+}
+
+TEST(ServiceTest, MalformedRequestsGetErrorResponsesNotCrashes) {
+  ServiceEngine engine;
+  ExpectError(Call(engine, "this is not json"), "InvalidArgument");
+  ExpectError(Call(engine, "[1,2,3]"), "InvalidArgument");
+  ExpectError(Call(engine, R"({"no_op_field":1})"), "InvalidArgument");
+  ExpectError(Call(engine, R"({"op":"frobnicate"})"), "NotFound");
+  ExpectError(Call(engine, R"({"op":"explain","session":"ghost"})"),
+              "NotFound");
+}
+
+TEST(ServiceTest, ExplainProtocolRoundTrip) {
+  ServiceEngine engine;
+  SetUpDataset(engine);
+  ExpectOk(Call(engine, R"({"op":"create_session","session":"alice",)"
+                        R"("dataset":"d","epsilon":1.0})"));
+  const JsonValue response =
+      Call(engine, R"({"op":"explain","session":"alice","epsilon":0.3,)"
+                   R"("seed":11})");
+  ExpectOk(response);
+  EXPECT_FALSE(response.at("cache_hit").AsBool());
+  EXPECT_NEAR(response.at("epsilon_charged").AsNumber(), 0.3, 1e-12);
+  EXPECT_NEAR(response.at("epsilon_remaining").AsNumber(), 0.7, 1e-12);
+  ASSERT_TRUE(response.Has("explanation"));
+  EXPECT_FALSE(response.at("text").AsString().empty());
+
+  // The ledger reflects the single atomic charge.
+  const JsonValue budget =
+      Call(engine, R"({"op":"budget","session":"alice"})");
+  ExpectOk(budget);
+  EXPECT_NEAR(budget.at("spent").AsNumber(), 0.3, 1e-12);
+  EXPECT_EQ(budget.at("ledger").size(), 1u);
+}
+
+TEST(ServiceTest, CacheHitIsByteIdenticalAndFree) {
+  ServiceEngine engine;
+  SetUpDataset(engine);
+  ExpectOk(Call(engine, R"({"op":"create_session","session":"alice",)"
+                        R"("dataset":"d","epsilon":1.0})"));
+  const std::string request =
+      R"({"op":"explain","session":"alice","epsilon":0.3,"seed":11})";
+  const JsonValue first = Call(engine, request);
+  ExpectOk(first);
+  ASSERT_FALSE(first.at("cache_hit").AsBool());
+
+  const JsonValue second = Call(engine, request);
+  ExpectOk(second);
+  EXPECT_TRUE(second.at("cache_hit").AsBool());
+  // The release itself is byte-identical post-processing...
+  EXPECT_EQ(second.at("explanation").Dump(), first.at("explanation").Dump());
+  EXPECT_EQ(second.at("text").AsString(), first.at("text").AsString());
+  // ...and costs zero additional ε.
+  EXPECT_EQ(second.at("epsilon_charged").AsNumber(), 0.0);
+  EXPECT_EQ(second.at("epsilon_remaining").AsNumber(),
+            first.at("epsilon_remaining").AsNumber());
+  EXPECT_EQ(engine.cache().hits(), 1u);
+
+  // A different seed is a different release: fresh noise, fresh charge.
+  const JsonValue third = Call(
+      engine,
+      R"({"op":"explain","session":"alice","epsilon":0.3,"seed":12})");
+  ExpectOk(third);
+  EXPECT_FALSE(third.at("cache_hit").AsBool());
+  EXPECT_NEAR(third.at("epsilon_remaining").AsNumber(), 0.4, 1e-12);
+}
+
+TEST(ServiceTest, ExhaustedSessionGetsCleanOutOfBudget) {
+  ServiceEngine engine;
+  SetUpDataset(engine);
+  // Enough for one explain at 0.3, not two.
+  ExpectOk(Call(engine, R"({"op":"create_session","session":"alice",)"
+                        R"("dataset":"d","epsilon":0.5})"));
+  ExpectOk(Call(engine, R"({"op":"explain","session":"alice","epsilon":0.3,)"
+                        R"("seed":11})"));
+  const JsonValue refused =
+      Call(engine, R"({"op":"explain","session":"alice","epsilon":0.3,)"
+                   R"("seed":12})");
+  ExpectError(refused, "OutOfBudget");
+  // The refusal leaks nothing: no histogram payload, no exact counts —
+  // just the error object (plus ok/id bookkeeping).
+  EXPECT_FALSE(refused.Has("explanation"));
+  EXPECT_FALSE(refused.Has("text"));
+  // And it charged nothing.
+  const JsonValue budget =
+      Call(engine, R"({"op":"budget","session":"alice"})");
+  EXPECT_NEAR(budget.at("spent").AsNumber(), 0.3, 1e-12);
+
+  // The cached release from before exhaustion is still free to re-serve.
+  const JsonValue cached =
+      Call(engine, R"({"op":"explain","session":"alice","epsilon":0.3,)"
+                   R"("seed":11})");
+  ExpectOk(cached);
+  EXPECT_TRUE(cached.at("cache_hit").AsBool());
+}
+
+TEST(ServiceTest, SessionsAreIsolated) {
+  ServiceEngine engine;
+  SetUpDataset(engine);
+  ExpectOk(Call(engine, R"({"op":"create_session","session":"alice",)"
+                        R"("dataset":"d","epsilon":0.25})"));
+  ExpectOk(Call(engine, R"({"op":"create_session","session":"bob",)"
+                        R"("dataset":"d","epsilon":1.0})"));
+  // Alice burns her whole budget...
+  ExpectOk(Call(engine, R"({"op":"size","session":"alice","cluster":0,)"
+                        R"("epsilon":0.25})"));
+  ExpectError(Call(engine, R"({"op":"size","session":"alice","cluster":0,)"
+                           R"("epsilon":0.01})"),
+              "OutOfBudget");
+  // ...and Bob's is untouched.
+  const JsonValue bob = Call(engine, R"({"op":"budget","session":"bob"})");
+  ExpectOk(bob);
+  EXPECT_EQ(bob.at("spent").AsNumber(), 0.0);
+  ExpectOk(Call(engine, R"({"op":"size","session":"bob","cluster":0,)"
+                        R"("epsilon":0.01})"));
+  // Duplicate session ids are refused (a second "alice" would reset her
+  // ledger).
+  ExpectError(Call(engine, R"({"op":"create_session","session":"alice",)"
+                           R"("dataset":"d","epsilon":9.0})"),
+              "FailedPrecondition");
+}
+
+TEST(ServiceTest, DatasetCapBoundsAllSessionsTogether) {
+  ServiceEngine engine;
+  SetUpDataset(engine, /*cap_epsilon=*/0.5);
+  ExpectOk(Call(engine, R"({"op":"create_session","session":"alice",)"
+                        R"("dataset":"d","epsilon":10.0})"));
+  ExpectOk(Call(engine, R"({"op":"create_session","session":"bob",)"
+                        R"("dataset":"d","epsilon":10.0})"));
+  ExpectOk(Call(engine, R"({"op":"explain","session":"alice","epsilon":0.3,)"
+                        R"("seed":11})"));
+  // Bob has plenty of session budget, but the dataset-wide cap (0.5) has
+  // only 0.2 left.
+  const JsonValue refused =
+      Call(engine, R"({"op":"explain","session":"bob","epsilon":0.3,)"
+                   R"("seed":12})");
+  ExpectError(refused, "OutOfBudget");
+  // A smaller request that fits under the cap still works.
+  ExpectOk(Call(engine, R"({"op":"size","session":"bob","cluster":0,)"
+                        R"("epsilon":0.1})"));
+  // The refused charge did not touch Bob's session ledger.
+  const JsonValue bob = Call(engine, R"({"op":"budget","session":"bob"})");
+  EXPECT_NEAR(bob.at("spent").AsNumber(), 0.1, 1e-12);
+  EXPECT_NEAR(bob.at("dataset_cap_remaining").AsNumber(), 0.1, 1e-12);
+}
+
+TEST(ServiceTest, ClusterResponseCarriesNoExactSizes) {
+  ServiceEngine engine;
+  const JsonValue load =
+      Call(engine, R"({"op":"load_dataset","name":"d","source":"synthetic",)"
+                   R"("generator":"diabetes","rows":1500,"seed":7})");
+  ExpectOk(load);
+  const JsonValue clustered =
+      Call(engine, R"({"op":"cluster","dataset":"d","method":"k-means",)"
+                   R"("k":3,"seed":3})");
+  ExpectOk(clustered);
+  EXPECT_FALSE(clustered.Has("sizes"));
+  EXPECT_FALSE(clustered.Has("cluster_sizes"));
+  // Re-issuing the identical cluster request is idempotent; a conflicting
+  // one is refused (views are immutable).
+  ExpectOk(Call(engine, R"({"op":"cluster","dataset":"d","method":"k-means",)"
+                        R"("k":3,"seed":3})"));
+  ExpectError(Call(engine,
+                   R"({"op":"cluster","dataset":"d","method":"k-means",)"
+                   R"("k":4,"seed":3})"),
+              "FailedPrecondition");
+}
+
+TEST(ServiceTest, AsyncBackpressureRejectsWithoutLosingAcceptedWork) {
+  // Single worker blocked on a gate; the queue (capacity 2) fills, then
+  // further submissions must be rejected via Status, and every accepted
+  // request must still be answered after the gate opens.
+  ServiceEngineOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 2;
+  ServiceEngine engine(options);
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool gate_open = false;
+  bool worker_busy = false;
+  std::vector<std::string> responses;
+
+  const Status head = engine.pool().TrySubmit([&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    worker_busy = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return gate_open; });
+  });
+  ASSERT_TRUE(head.ok());
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return worker_busy; });
+  }
+
+  auto collect = [&](std::string response) {
+    std::lock_guard<std::mutex> lock(mutex);
+    responses.push_back(std::move(response));
+  };
+  int accepted = 0;
+  int rejected = 0;
+  for (int i = 0; i < 6; ++i) {
+    const std::string request =
+        R"({"op":"ping","id":)" + std::to_string(i) + "}";
+    const Status submitted = engine.HandleAsync(request, collect);
+    if (submitted.ok()) {
+      ++accepted;
+    } else {
+      EXPECT_EQ(submitted.code(), StatusCode::kResourceExhausted);
+      // The server turns the rejection into a busy response for the client.
+      const JsonValue busy =
+          Parse(ServiceEngine::RejectionResponse(request, submitted));
+      EXPECT_FALSE(busy.at("ok").AsBool());
+      EXPECT_EQ(busy.at("error").at("code").AsString(), "ResourceExhausted");
+      EXPECT_EQ(busy.at("id").AsNumber(), static_cast<double>(i));
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(accepted, 2);  // exactly the queue capacity
+  EXPECT_EQ(rejected, 4);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    gate_open = true;
+  }
+  cv.notify_all();
+  engine.Shutdown();  // drains the two accepted pings
+  ASSERT_EQ(responses.size(), 2u);
+  std::set<double> ids;
+  for (const std::string& response : responses) {
+    const JsonValue parsed = Parse(response);
+    EXPECT_TRUE(parsed.at("ok").AsBool());
+    ids.insert(parsed.at("id").AsNumber());
+  }
+  EXPECT_EQ(ids, (std::set<double>{0.0, 1.0}));
+}
+
+TEST(ServiceTest, ConcurrentMixedLoadIsRaceFreeAndBudgetExact) {
+  // Many concurrent queries against one session: the total spend must come
+  // out exact regardless of interleaving, and no request may crash. Run
+  // under TSan by scripts/check.sh.
+  ServiceEngine engine;
+  SetUpDataset(engine);
+  ExpectOk(Call(engine, R"({"op":"create_session","session":"alice",)"
+                        R"("dataset":"d","epsilon":100.0})"));
+
+  constexpr int kRequests = 40;
+  std::mutex mutex;
+  std::condition_variable cv;
+  int completed = 0;
+  std::atomic<int> ok_count{0};
+  for (int i = 0; i < kRequests; ++i) {
+    const std::string request =
+        R"({"op":"size","session":"alice","cluster":0,"epsilon":0.5,"seed":)" +
+        std::to_string(i) + "}";
+    const Status submitted =
+        engine.HandleAsync(request, [&](std::string response) {
+          if (Parse(response).at("ok").AsBool()) ++ok_count;
+          std::lock_guard<std::mutex> lock(mutex);
+          ++completed;
+          cv.notify_all();
+        });
+    ASSERT_TRUE(submitted.ok());
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return completed == kRequests; });
+  }
+  EXPECT_EQ(ok_count.load(), kRequests);
+  const JsonValue budget =
+      Call(engine, R"({"op":"budget","session":"alice"})");
+  EXPECT_NEAR(budget.at("spent").AsNumber(), 0.5 * kRequests, 1e-9);
+  EXPECT_EQ(budget.at("ledger").size(), static_cast<size_t>(kRequests));
+}
+
+}  // namespace
+}  // namespace dpclustx::service

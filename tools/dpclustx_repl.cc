@@ -3,10 +3,15 @@
 // and generate DP explanations, all against one privacy-budget accountant
 // that refuses work once the budget is spent.
 //
+// The console is a thin translator in front of the service engine
+// (src/service): every command becomes the same JSON request the line
+// server (tools/dpclustx_serve) accepts, so the REPL, the server, and the
+// bench exercise one orchestration/privacy code path.
+//
 // Commands (one per line; also accepted from a piped script):
 //   load csv PATH            load a CSV table (schema inferred)
 //   load synthetic NAME [N]  diabetes | census | stackoverflow, N rows
-//   budget EPS               open a fresh accountant with total EPS
+//   budget EPS               open a fresh session with total EPS
 //   cluster METHOD K [EPS]   k-means | dp-k-means | k-modes |
 //                            agglomerative | gmm; EPS for dp-k-means
 //   explain [EPS]            run DPClustX (EPS split equally across the
@@ -19,26 +24,19 @@
 //   help / quit
 
 #include <iostream>
-#include <memory>
-#include <optional>
 #include <sstream>
 #include <string>
-#include <vector>
 
-#include "cluster/agglomerative.h"
-#include "cluster/dp_kmeans.h"
-#include "cluster/gmm.h"
-#include "cluster/kmeans.h"
-#include "cluster/kmodes.h"
-#include "core/explainer.h"
-#include "data/csv.h"
-#include "data/synthetic.h"
-#include "dp/eda_session.h"
-#include "dp/privacy_budget.h"
+#include "common/json.h"
+#include "service/service_engine.h"
 
 namespace {
 
-using namespace dpclustx;
+using dpclustx::JsonValue;
+using dpclustx::StatusOr;
+using dpclustx::service::ServiceEngine;
+
+constexpr char kDataset[] = "repl";
 
 class Repl {
  public:
@@ -52,8 +50,8 @@ class Repl {
 
  private:
   void Prompt() {
-    if (budget_) {
-      std::cout << "[eps " << budget_->remaining_epsilon() << " left] > ";
+    if (!session_.empty()) {
+      std::cout << "[eps " << remaining_ << " left] > ";
     } else {
       std::cout << "> ";
     }
@@ -82,7 +80,7 @@ class Repl {
     } else if (command == "size") {
       Size(in);
     } else if (command == "ledger") {
-      if (RequireBudget()) std::cout << budget_->Report();
+      Ledger();
     } else if (command == "schema") {
       PrintSchema();
     } else {
@@ -102,48 +100,56 @@ class Repl {
         "  ledger | schema | quit\n";
   }
 
-  bool RequireData() {
-    if (!dataset_) std::cout << "no dataset loaded — use 'load'\n";
-    return dataset_.has_value();
-  }
-  bool RequireBudget() {
-    if (!budget_) std::cout << "no budget open — use 'budget EPS'\n";
-    return budget_ != nullptr;
-  }
-  bool RequireClustering() {
-    if (labels_.empty()) std::cout << "no clustering — use 'cluster'\n";
-    return !labels_.empty();
+  /// Sends one request to the engine. Prints the error and returns nullopt
+  /// on failure; otherwise returns the parsed response body and refreshes
+  /// the remaining-budget display when the response reports it.
+  StatusOr<JsonValue> Call(JsonValue request) {
+    StatusOr<JsonValue> response =
+        JsonValue::Parse(engine_.Handle(request.Dump()));
+    if (response.ok() && !response->at("ok").AsBool()) {
+      const JsonValue& error = response->at("error");
+      std::cout << error.at("code").AsString() << ": "
+                << error.at("message").AsString() << "\n";
+      return dpclustx::Status::Internal("request failed");
+    }
+    if (response.ok() && response->Has("epsilon_remaining")) {
+      remaining_ = response->at("epsilon_remaining").AsNumber();
+    }
+    if (response.ok() && response->Has("remaining")) {
+      remaining_ = response->at("remaining").AsNumber();
+    }
+    return response;
   }
 
   void Load(std::istringstream& in) {
     std::string kind, arg;
     in >> kind >> arg;
-    StatusOr<Dataset> dataset = Status::InvalidArgument(
-        "usage: load csv PATH | load synthetic NAME [N]");
-    if (kind == "csv" && !arg.empty()) {
-      dataset = ReadCsv(arg);
-    } else if (kind == "synthetic" && !arg.empty()) {
-      size_t rows = 20000;
-      in >> rows;
-      if (arg == "diabetes") {
-        dataset = synth::Generate(synth::DiabetesLike(rows));
-      } else if (arg == "census") {
-        dataset = synth::Generate(synth::CensusLike(rows));
-      } else if (arg == "stackoverflow") {
-        dataset = synth::Generate(synth::StackOverflowLike(rows));
-      } else {
-        dataset = Status::InvalidArgument("unknown generator '" + arg + "'");
-      }
-    }
-    if (!dataset.ok()) {
-      std::cout << dataset.status() << "\n";
+    if (arg.empty() || (kind != "csv" && kind != "synthetic")) {
+      std::cout << "usage: load csv PATH | load synthetic NAME [N]\n";
       return;
     }
-    dataset_ = std::move(*dataset);
-    labels_.clear();
-    session_.reset();
-    std::cout << "loaded " << dataset_->num_rows() << " rows x "
-              << dataset_->num_attributes() << " attributes\n";
+    JsonValue request = JsonValue::Object();
+    request.Set("op", JsonValue::String("load_dataset"));
+    request.Set("name", JsonValue::String(kDataset));
+    request.Set("replace", JsonValue::Bool(true));
+    if (kind == "csv") {
+      request.Set("source", JsonValue::String("csv"));
+      request.Set("path", JsonValue::String(arg));
+    } else {
+      size_t rows = 20000;
+      in >> rows;
+      request.Set("source", JsonValue::String("synthetic"));
+      request.Set("generator", JsonValue::String(arg));
+      request.Set("rows", JsonValue::Number(static_cast<double>(rows)));
+    }
+    StatusOr<JsonValue> response = Call(std::move(request));
+    if (!response.ok()) return;
+    // A replaced dataset invalidates the open session and clustering (they
+    // reference the detached entry).
+    session_.clear();
+    clustering_.clear();
+    std::cout << "loaded " << response->at("rows").AsNumber() << " rows x "
+              << response->at("attributes").AsNumber() << " attributes\n";
   }
 
   void Budget(std::istringstream& in) {
@@ -152,13 +158,29 @@ class Repl {
       std::cout << "usage: budget EPS (positive)\n";
       return;
     }
-    budget_ = std::make_unique<PrivacyBudget>(eps);
-    session_.reset();
+    JsonValue request = JsonValue::Object();
+    request.Set("op", JsonValue::String("create_session"));
+    request.Set("session", JsonValue::String("s" + std::to_string(++serial_)));
+    request.Set("dataset", JsonValue::String(kDataset));
+    request.Set("epsilon", JsonValue::Number(eps));
+    StatusOr<JsonValue> response = Call(std::move(request));
+    if (!response.ok()) return;
+    session_ = response->at("session").AsString();
+    remaining_ = eps;
     std::cout << "opened budget eps = " << eps << "\n";
   }
 
+  bool RequireSession() {
+    if (session_.empty()) std::cout << "no budget open — use 'budget EPS'\n";
+    return !session_.empty();
+  }
+  bool RequireClustering() {
+    if (clustering_.empty()) std::cout << "no clustering — use 'cluster'\n";
+    return !clustering_.empty();
+  }
+
   void Cluster(std::istringstream& in) {
-    if (!RequireData() || !RequireBudget()) return;
+    if (!RequireSession()) return;
     std::string method;
     size_t k = 0;
     in >> method >> k;
@@ -168,138 +190,116 @@ class Repl {
     }
     double eps = 1.0;
     in >> eps;
-    StatusOr<std::unique_ptr<ClusteringFunction>> clustering =
-        Status::InvalidArgument("unknown method '" + method + "'");
-    if (method == "k-means") {
-      KMeansOptions options;
-      options.num_clusters = k;
-      options.seed = seed_++;
-      clustering = FitKMeans(*dataset_, options);
-    } else if (method == "dp-k-means") {
-      DpKMeansOptions options;
-      options.num_clusters = k;
-      options.epsilon = eps;
-      options.seed = seed_++;
-      clustering = FitDpKMeans(*dataset_, options, budget_.get());
-    } else if (method == "k-modes") {
-      KModesOptions options;
-      options.num_clusters = k;
-      options.seed = seed_++;
-      clustering = FitKModes(*dataset_, options);
-    } else if (method == "agglomerative") {
-      AgglomerativeOptions options;
-      options.num_clusters = k;
-      options.seed = seed_++;
-      clustering = FitAgglomerative(*dataset_, options);
-    } else if (method == "gmm") {
-      GmmOptions options;
-      options.num_components = k;
-      options.seed = seed_++;
-      clustering = FitGmm(*dataset_, options);
-    }
-    if (!clustering.ok()) {
-      std::cout << clustering.status() << "\n";
-      return;
-    }
-    labels_.clear();
-    const std::vector<ClusterId> typed = (*clustering)->AssignAll(*dataset_);
-    labels_.assign(typed.begin(), typed.end());
-    num_clusters_ = k;
-    session_.reset();
-    std::cout << "clustered with " << (*clustering)->name() << "\n";
-    const std::vector<size_t> sizes = ClusterSizes(typed, k);
-    for (size_t c = 0; c < sizes.size(); ++c) {
-      std::cout << "  cluster " << c << ": " << sizes[c] << " rows\n";
-    }
+    JsonValue request = JsonValue::Object();
+    request.Set("op", JsonValue::String("cluster"));
+    request.Set("dataset", JsonValue::String(kDataset));
+    request.Set("clustering",
+                JsonValue::String("c" + std::to_string(++serial_)));
+    request.Set("method", JsonValue::String(method));
+    request.Set("k", JsonValue::Number(static_cast<double>(k)));
+    request.Set("seed", JsonValue::Number(static_cast<double>(seed_++)));
+    request.Set("epsilon", JsonValue::Number(eps));
+    request.Set("session", JsonValue::String(session_));
+    StatusOr<JsonValue> response = Call(std::move(request));
+    if (!response.ok()) return;
+    clustering_ = response->at("clustering").AsString();
+    std::cout << "clustered with " << response->at("method").AsString()
+              << " (" << response->at("num_clusters").AsNumber()
+              << " clusters; sizes are private — use 'size C')\n";
   }
 
   void Explain(std::istringstream& in) {
-    if (!RequireData() || !RequireBudget() || !RequireClustering()) return;
+    if (!RequireSession() || !RequireClustering()) return;
     double eps = 0.3;
     in >> eps;
-    DpClustXOptions options;
-    options.epsilon_cand_set = eps / 3.0;
-    options.epsilon_top_comb = eps / 3.0;
-    options.epsilon_hist = eps / 3.0;
-    options.seed = seed_++;
-    const std::vector<ClusterId> typed(labels_.begin(), labels_.end());
-    const auto explanation = ExplainDpClustXWithLabels(
-        *dataset_, typed, num_clusters_, options, budget_.get());
-    if (!explanation.ok()) {
-      std::cout << explanation.status() << "\n";
-      return;
-    }
-    std::cout << RenderGlobalExplanation(*explanation, dataset_->schema());
-  }
-
-  EdaSession* Session() {
-    if (!session_) {
-      auto session = EdaSession::Open(&*dataset_, labels_, num_clusters_,
-                                      budget_.get(), seed_++);
-      if (!session.ok()) {
-        std::cout << session.status() << "\n";
-        return nullptr;
-      }
-      session_ = std::make_unique<EdaSession>(std::move(*session));
-    }
-    return session_.get();
+    JsonValue request = JsonValue::Object();
+    request.Set("op", JsonValue::String("explain"));
+    request.Set("session", JsonValue::String(session_));
+    request.Set("clustering", JsonValue::String(clustering_));
+    request.Set("epsilon", JsonValue::Number(eps));
+    request.Set("seed", JsonValue::Number(static_cast<double>(seed_++)));
+    StatusOr<JsonValue> response = Call(std::move(request));
+    if (!response.ok()) return;
+    std::cout << response->at("text").AsString();
   }
 
   void Hist(std::istringstream& in) {
-    if (!RequireData() || !RequireBudget() || !RequireClustering()) return;
+    if (!RequireSession() || !RequireClustering()) return;
     std::string attr_name;
     double eps = 0.02;
     in >> attr_name >> eps;
-    const auto attr = dataset_->schema().FindAttribute(attr_name);
-    if (!attr.ok()) {
-      std::cout << attr.status() << "\n";
-      return;
-    }
-    EdaSession* session = Session();
-    if (session == nullptr) return;
-    const auto round = session->QueryAllClusterHistograms(*attr, eps);
-    if (!round.ok()) {
-      std::cout << round.status() << "\n";
-      return;
-    }
-    for (size_t c = 0; c < round->size(); ++c) {
-      std::cout << "cluster " << c << ":\n"
-                << (*round)[c].ToAsciiArt(
-                       dataset_->schema().attribute(*attr));
+    JsonValue request = JsonValue::Object();
+    request.Set("op", JsonValue::String("hist"));
+    request.Set("session", JsonValue::String(session_));
+    request.Set("clustering", JsonValue::String(clustering_));
+    request.Set("attribute", JsonValue::String(attr_name));
+    request.Set("epsilon", JsonValue::Number(eps));
+    StatusOr<JsonValue> response = Call(std::move(request));
+    if (!response.ok()) return;
+    const JsonValue& clusters = response->at("clusters");
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      const JsonValue& entry = clusters.at(c);
+      std::cout << "cluster " << entry.at("cluster").AsNumber() << ":\n";
+      const JsonValue& bins = entry.at("bins");
+      for (size_t b = 0; b < bins.size(); ++b) {
+        std::cout << "  " << bins.at(b).at("value").AsString() << ": "
+                  << bins.at(b).at("count").AsNumber() << "\n";
+      }
     }
   }
 
   void Size(std::istringstream& in) {
-    if (!RequireData() || !RequireBudget() || !RequireClustering()) return;
+    if (!RequireSession() || !RequireClustering()) return;
     uint32_t cluster = 0;
     double eps = 0.01;
     in >> cluster >> eps;
-    EdaSession* session = Session();
-    if (session == nullptr) return;
-    const auto size = session->QueryClusterSize(cluster, eps);
-    if (!size.ok()) {
-      std::cout << size.status() << "\n";
-      return;
+    JsonValue request = JsonValue::Object();
+    request.Set("op", JsonValue::String("size"));
+    request.Set("session", JsonValue::String(session_));
+    request.Set("clustering", JsonValue::String(clustering_));
+    request.Set("cluster", JsonValue::Number(static_cast<double>(cluster)));
+    request.Set("epsilon", JsonValue::Number(eps));
+    StatusOr<JsonValue> response = Call(std::move(request));
+    if (!response.ok()) return;
+    std::cout << "noisy size of cluster " << cluster << ": "
+              << response->at("noisy_size").AsNumber() << "\n";
+  }
+
+  void Ledger() {
+    if (!RequireSession()) return;
+    JsonValue request = JsonValue::Object();
+    request.Set("op", JsonValue::String("budget"));
+    request.Set("session", JsonValue::String(session_));
+    StatusOr<JsonValue> response = Call(std::move(request));
+    if (!response.ok()) return;
+    std::cout << "session " << session_ << ": spent "
+              << response->at("spent").AsNumber() << " of "
+              << response->at("total").AsNumber() << " eps\n";
+    const JsonValue& ledger = response->at("ledger");
+    for (size_t i = 0; i < ledger.size(); ++i) {
+      std::cout << "  " << ledger.at(i).at("epsilon").AsNumber() << "  "
+                << ledger.at(i).at("label").AsString() << "\n";
     }
-    std::cout << "noisy size of cluster " << cluster << ": " << *size
-              << "\n";
   }
 
   void PrintSchema() {
-    if (!RequireData()) return;
-    for (size_t a = 0; a < dataset_->num_attributes(); ++a) {
-      const Attribute& attr =
-          dataset_->schema().attribute(static_cast<AttrIndex>(a));
-      std::cout << "  " << attr.name() << " (" << attr.domain_size()
-                << " values)\n";
+    JsonValue request = JsonValue::Object();
+    request.Set("op", JsonValue::String("schema"));
+    request.Set("dataset", JsonValue::String(kDataset));
+    StatusOr<JsonValue> response = Call(std::move(request));
+    if (!response.ok()) return;
+    const JsonValue& attributes = response->at("attributes");
+    for (size_t a = 0; a < attributes.size(); ++a) {
+      std::cout << "  " << attributes.at(a).at("name").AsString() << " ("
+                << attributes.at(a).at("values").size() << " values)\n";
     }
   }
 
-  std::optional<Dataset> dataset_;
-  std::unique_ptr<PrivacyBudget> budget_;
-  std::unique_ptr<EdaSession> session_;
-  std::vector<uint32_t> labels_;
-  size_t num_clusters_ = 0;
+  ServiceEngine engine_;
+  std::string session_;     // active session id ("" until 'budget')
+  std::string clustering_;  // active clustering id ("" until 'cluster')
+  double remaining_ = 0.0;
+  uint64_t serial_ = 0;  // session / clustering id counter
   uint64_t seed_ = 1;
 };
 

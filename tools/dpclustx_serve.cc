@@ -1,0 +1,93 @@
+// dpclustx_serve — JSON line-protocol explanation server on stdin/stdout.
+//
+// Reads one JSON request per line, dispatches it to the service engine's
+// worker pool, and writes one JSON response per line. Responses can arrive
+// out of order relative to requests; clients that care pass an "id" field,
+// which is echoed back verbatim. When the request queue is full the request
+// is answered immediately with a ResourceExhausted error instead of
+// blocking the reader (backpressure is explicit, never silent).
+//
+// Usage:
+//   dpclustx_serve [--threads N] [--queue N] [--cache N] [--sync]
+//
+//   --threads N   worker threads (default 4)
+//   --queue N     pending-request bound (default 256)
+//   --cache N     explanation-cache entries (default 1024)
+//   --sync        serve each request on the reader thread, in order
+//                 (for deterministic scripted sessions)
+//
+// On EOF the server drains queued requests, flushes, and exits 0. See
+// README.md for a quickstart transcript.
+
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+
+#include "service/service_engine.h"
+
+namespace {
+
+using dpclustx::Status;
+using dpclustx::service::ServiceEngine;
+using dpclustx::service::ServiceEngineOptions;
+
+std::mutex stdout_mutex;
+
+void WriteLine(const std::string& response) {
+  std::lock_guard<std::mutex> lock(stdout_mutex);
+  std::cout << response << "\n";
+  std::cout.flush();
+}
+
+bool ParseSizeFlag(int argc, char** argv, int* i, const char* name,
+                   size_t* out) {
+  if (std::strcmp(argv[*i], name) != 0) return false;
+  if (*i + 1 >= argc) {
+    std::cerr << name << " needs a value\n";
+    std::exit(2);
+  }
+  *out = static_cast<size_t>(std::stoull(argv[++*i]));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServiceEngineOptions options;
+  bool sync = false;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseSizeFlag(argc, argv, &i, "--threads", &options.num_threads) ||
+        ParseSizeFlag(argc, argv, &i, "--queue", &options.queue_capacity) ||
+        ParseSizeFlag(argc, argv, &i, "--cache", &options.cache_capacity)) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--sync") == 0) {
+      sync = true;
+      continue;
+    }
+    std::cerr << "unknown flag '" << argv[i]
+              << "' (usage: dpclustx_serve [--threads N] [--queue N] "
+                 "[--cache N] [--sync])\n";
+    return 2;
+  }
+
+  ServiceEngine engine(options);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (sync) {
+      WriteLine(engine.Handle(line));
+      continue;
+    }
+    const Status submitted =
+        engine.HandleAsync(line, [](std::string response) {
+          WriteLine(response);
+        });
+    if (!submitted.ok()) {
+      WriteLine(ServiceEngine::RejectionResponse(line, submitted));
+    }
+  }
+  engine.Shutdown();  // drain queued requests before exiting
+  return 0;
+}
