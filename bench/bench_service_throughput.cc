@@ -70,6 +70,9 @@ RunResult RunOnce(const BenchConfig& config, size_t workers) {
   ServiceEngineOptions options;
   options.num_threads = workers;
   options.queue_capacity = 4096;
+  // Test-only deterministic noise so each request can pin a distinct seed
+  // (below); a production engine rejects client seeds outright.
+  options.insecure_deterministic_noise = true;
   ServiceEngine engine(options);
 
   // Shared state set up outside the timed region: dataset + clustering +

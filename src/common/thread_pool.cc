@@ -7,7 +7,8 @@
 namespace dpclustx {
 
 ThreadPool::ThreadPool(const ThreadPoolOptions& options)
-    : queue_capacity_(options.queue_capacity) {
+    : num_threads_(options.num_threads),
+      queue_capacity_(options.queue_capacity) {
   DPX_CHECK_GT(options.num_threads, 0u) << "thread pool needs >= 1 worker";
   DPX_CHECK_GT(options.queue_capacity, 0u) << "queue capacity must be >= 1";
   workers_.reserve(options.num_threads);
@@ -51,17 +52,27 @@ Status ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (shutdown_ && workers_.empty()) return;
-    shutdown_ = true;
+  std::unique_lock<std::mutex> lock(mutex_);
+  shutdown_ = true;
+  if (!workers_.empty()) {
+    // First caller: take sole ownership of the worker handles under the
+    // lock, then join outside it (workers need the lock to drain the
+    // queue). Concurrent callers see workers_ empty and wait below.
+    std::vector<std::thread> workers;
+    workers.swap(workers_);
+    joining_ = true;
+    lock.unlock();
+    queue_nonempty_.notify_all();
+    queue_nonfull_.notify_all();
+    for (std::thread& worker : workers) worker.join();
+    lock.lock();
+    joining_ = false;
+    shutdown_done_.notify_all();
+    return;
   }
-  queue_nonempty_.notify_all();
-  queue_nonfull_.notify_all();
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
-  workers_.clear();
+  // Later caller (or already shut down): Shutdown is synchronous for every
+  // caller, so wait until the joiner finishes draining.
+  shutdown_done_.wait(lock, [this] { return !joining_; });
 }
 
 size_t ThreadPool::queue_depth() const {

@@ -49,10 +49,12 @@ class ThreadPool {
   Status Submit(std::function<void()> task);
 
   /// Stops intake, runs every already-queued task, and joins the workers.
-  /// Idempotent; safe to call from any thread except a worker.
+  /// Idempotent; safe to call from any thread except a worker. Concurrent
+  /// callers all block until the drain completes: exactly one of them joins
+  /// the worker threads, the others wait for it.
   void Shutdown();
 
-  size_t num_threads() const { return workers_.size(); }
+  size_t num_threads() const { return num_threads_; }
   size_t queue_capacity() const { return queue_capacity_; }
 
   /// Tasks currently queued (excludes running ones). Advisory under
@@ -65,14 +67,17 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  const size_t num_threads_;
   const size_t queue_capacity_;
   mutable std::mutex mutex_;
   std::condition_variable queue_nonempty_;
   std::condition_variable queue_nonfull_;
+  std::condition_variable shutdown_done_;
   std::deque<std::function<void()>> queue_;  // guarded by mutex_
   bool shutdown_ = false;                    // guarded by mutex_
+  bool joining_ = false;                     // guarded by mutex_
   uint64_t tasks_completed_ = 0;             // guarded by mutex_
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;         // guarded by mutex_
 };
 
 }  // namespace dpclustx

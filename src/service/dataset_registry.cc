@@ -1,7 +1,9 @@
 #include "service/dataset_registry.h"
 
+#include <algorithm>
 #include <atomic>
 
+#include "common/logging.h"
 #include "data/csv.h"
 #include "data/synthetic.h"
 
@@ -14,9 +16,10 @@ uint64_t NextUid() {
 }
 }  // namespace
 
-DatasetEntry::DatasetEntry(std::string name, Dataset dataset,
-                           double cap_epsilon)
+DatasetEntry::DatasetEntry(std::string name, std::string source,
+                           Dataset dataset, double cap_epsilon)
     : name_(std::move(name)),
+      source_(std::move(source)),
       uid_(NextUid()),
       dataset_(std::move(dataset)),
       cap_epsilon_(cap_epsilon > 0.0 ? cap_epsilon : 0.0),
@@ -61,18 +64,44 @@ std::vector<std::string> DatasetEntry::ClusteringIds() const {
 }
 
 StatusOr<std::shared_ptr<DatasetEntry>> DatasetRegistry::Register(
-    const std::string& name, Dataset dataset, double cap_epsilon,
-    bool replace) {
+    const std::string& name, const std::string& source, Dataset dataset,
+    double cap_epsilon, bool replace) {
   if (name.empty()) {
     return Status::InvalidArgument("dataset name must be non-empty");
   }
-  auto entry = std::make_shared<DatasetEntry>(name, std::move(dataset),
-                                              cap_epsilon);
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(name);
   if (it != entries_.end() && !replace) {
     return Status::FailedPrecondition(
         "dataset '" + name + "' already registered (pass replace to reload)");
+  }
+  // Replacing must not reset the cross-session ε cap: unless both sources
+  // are known and differ (genuinely new data), the replacement is the same
+  // sensitive data, so the accumulated spend carries over and the cap can
+  // only be tightened, never raised or removed. An unknown (empty) source
+  // is treated as possibly-same — over-charging is the safe direction.
+  double effective_cap = cap_epsilon;
+  double carried_spent = 0.0;
+  if (it != entries_.end()) {
+    const DatasetEntry& old = *it->second;
+    const bool known_distinct =
+        !old.source().empty() && !source.empty() && old.source() != source;
+    if (!known_distinct && old.cap() != nullptr) {
+      effective_cap = cap_epsilon > 0.0
+                          ? std::min(cap_epsilon, old.cap_epsilon())
+                          : old.cap_epsilon();
+      carried_spent = old.cap()->spent_epsilon();
+    }
+  }
+  auto entry = std::make_shared<DatasetEntry>(name, source,
+                                              std::move(dataset),
+                                              effective_cap);
+  if (carried_spent > 0.0 && entry->cap() != nullptr) {
+    const double charge =
+        std::min(carried_spent, entry->cap()->total_epsilon());
+    const Status carried = entry->cap()->Spend(
+        charge, "carried over from replaced registration");
+    DPX_CHECK(carried.ok()) << carried;  // charge <= total, cannot refuse
   }
   entries_[name] = entry;
   return entry;
@@ -94,14 +123,18 @@ StatusOr<std::shared_ptr<DatasetEntry>> DatasetRegistry::RegisterSynthetic(
         "' (expected diabetes | census | stackoverflow)");
   }
   DPX_ASSIGN_OR_RETURN(Dataset dataset, synth::Generate(config));
-  return Register(name, std::move(dataset), cap_epsilon, replace);
+  const std::string source = "synthetic generator=" + generator +
+                             " rows=" + std::to_string(rows) +
+                             " seed=" + std::to_string(seed);
+  return Register(name, source, std::move(dataset), cap_epsilon, replace);
 }
 
 StatusOr<std::shared_ptr<DatasetEntry>> DatasetRegistry::RegisterCsv(
     const std::string& name, const std::string& path, double cap_epsilon,
     bool replace) {
   DPX_ASSIGN_OR_RETURN(Dataset dataset, ReadCsv(path));
-  return Register(name, std::move(dataset), cap_epsilon, replace);
+  return Register(name, "csv path=" + path, std::move(dataset), cap_epsilon,
+                  replace);
 }
 
 StatusOr<std::shared_ptr<DatasetEntry>> DatasetRegistry::Get(

@@ -51,10 +51,15 @@ struct ClusteringView {
 /// A registered dataset plus its clusterings and optional global ε cap.
 class DatasetEntry {
  public:
-  /// cap_epsilon <= 0 means uncapped.
-  DatasetEntry(std::string name, Dataset dataset, double cap_epsilon);
+  /// `source` fingerprints where the data came from (e.g. "csv path=..." or
+  /// "synthetic generator=... rows=... seed=...") so the registry can tell a
+  /// re-registration of the same data from genuinely new data; empty means
+  /// unknown. cap_epsilon <= 0 means uncapped.
+  DatasetEntry(std::string name, std::string source, Dataset dataset,
+               double cap_epsilon);
 
   const std::string& name() const { return name_; }
+  const std::string& source() const { return source_; }
   const Dataset& dataset() const { return dataset_; }
   /// Registry-unique id, distinct across re-registrations of the same name —
   /// cache keys embed it so a replaced dataset can never serve stale bytes.
@@ -77,6 +82,7 @@ class DatasetEntry {
 
  private:
   const std::string name_;
+  const std::string source_;
   const uint64_t uid_;
   const Dataset dataset_;
   const double cap_epsilon_;
@@ -89,11 +95,19 @@ class DatasetEntry {
 
 class DatasetRegistry {
  public:
-  /// Registers `dataset` under `name`. An existing name is
-  /// FailedPrecondition unless `replace` is set, in which case the old entry
-  /// is detached (sessions already bound to it keep their reference and
-  /// budget accounting, but no new sessions can reach it).
+  /// Registers `dataset` under `name` with the given source fingerprint
+  /// (see DatasetEntry). An existing name is FailedPrecondition unless
+  /// `replace` is set, in which case the old entry is detached (sessions
+  /// already bound to it keep their reference and budget accounting, but no
+  /// new sessions can reach it).
+  ///
+  /// The dataset ε cap is a property of the data, so a replacement cannot
+  /// be used to reset it: unless both entries' sources are known and
+  /// differ (genuinely new data), the new cap inherits the old cap's spent
+  /// ε, and the cap total can be tightened but never raised or removed by
+  /// re-registering.
   StatusOr<std::shared_ptr<DatasetEntry>> Register(const std::string& name,
+                                                   const std::string& source,
                                                    Dataset dataset,
                                                    double cap_epsilon,
                                                    bool replace = false);

@@ -2,6 +2,8 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <mutex>
+#include <random>
 
 #include "cluster/agglomerative.h"
 #include "cluster/dp_kmeans.h"
@@ -96,7 +98,54 @@ void ServiceEngine::Shutdown() { pool_.Shutdown(); }
 
 uint64_t ServiceEngine::NextNoiseSeed() {
   const uint64_t n = noise_sequence_.fetch_add(1, std::memory_order_relaxed);
-  return options_.noise_seed + 0x9e3779b97f4a7c15ULL * (n + 1);
+  uint64_t base;
+  if (options_.insecure_deterministic_noise) {
+    base = options_.noise_seed;
+  } else {
+    // Clients must not be able to predict (let alone choose) the seed:
+    // mechanism noise is data-independent, so a predictable seed lets a
+    // caller recompute the noise and subtract it from the response.
+    static std::mutex device_mutex;
+    static std::random_device device;
+    std::lock_guard<std::mutex> lock(device_mutex);
+    base = (static_cast<uint64_t>(device()) << 32) ^ device();
+  }
+  // splitmix64 finalizer over base + draw counter: decorrelates consecutive
+  // draws even if the entropy source is weak on this platform.
+  uint64_t z = base + 0x9e3779b97f4a7c15ULL * (n + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+StatusOr<uint64_t> ServiceEngine::RequestNoiseSeed(const JsonValue& request) {
+  if (request.Has("seed")) {
+    if (!options_.insecure_deterministic_noise) {
+      return Status::InvalidArgument(
+          "'seed' is not accepted on noisy ops: noise seeds are drawn "
+          "server-side (a client-chosen seed would let the caller subtract "
+          "the mechanism noise and recover exact counts)");
+    }
+    DPX_ASSIGN_OR_RETURN(const size_t pinned, OptCount(request, "seed", 0));
+    return static_cast<uint64_t>(pinned);
+  }
+  return NextNoiseSeed();
+}
+
+std::shared_ptr<ServiceEngine::InflightSlot> ServiceEngine::AcquireInflight(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  std::shared_ptr<InflightSlot>& slot = inflight_[key];
+  if (slot == nullptr) slot = std::make_shared<InflightSlot>();
+  ++slot->refs;
+  return slot;
+}
+
+void ServiceEngine::ReleaseInflight(const std::string& key) {
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  auto it = inflight_.find(key);
+  DPX_CHECK(it != inflight_.end()) << "release without acquire";
+  if (--it->second->refs == 0) inflight_.erase(it);
 }
 
 std::string ServiceEngine::Handle(const std::string& request_json) {
@@ -397,9 +446,14 @@ StatusOr<JsonValue> ServiceEngine::OpExplain(const JsonValue& request) {
                        OptNumber(request, "epsilon_hist", epsilon / 3.0));
   DPX_ASSIGN_OR_RETURN(options.num_candidates,
                        OptCount(request, "num_candidates", 3));
-  DPX_ASSIGN_OR_RETURN(const size_t seed, OptCount(request, "seed", 1));
   DPX_ASSIGN_OR_RETURN(options.num_threads, OptCount(request, "threads", 1));
-  options.seed = seed;
+  // Pinned seeds are test-only (rejected here in the secure configuration);
+  // otherwise the seed is drawn server-side at compute time below.
+  const bool pinned_seed = request.Has("seed");
+  uint64_t seed = 0;
+  if (pinned_seed) {
+    DPX_ASSIGN_OR_RETURN(seed, RequestNoiseSeed(request));
+  }
   if (options.num_threads == 0) options.num_threads = 1;
   if (options.epsilon_cand_set <= 0.0 || options.epsilon_top_comb <= 0.0 ||
       options.epsilon_hist <= 0.0) {
@@ -414,40 +468,60 @@ StatusOr<JsonValue> ServiceEngine::OpExplain(const JsonValue& request) {
 
   // The key covers everything that determines the release bytes (threads
   // included: the parallel search draws a different — equally distributed —
-  // noise stream than the serial one).
+  // noise stream than the serial one). Server-seeded requests key on
+  // "seed=auto": identical requests share the first paid-for release.
   char key[320];
   std::snprintf(key, sizeof(key),
                 "ds=%" PRIu64 " cl=%s|%s ecs=%.17g etc=%.17g eh=%.17g k=%zu "
-                "seed=%zu th=%zu",
+                "seed=%s th=%zu",
                 session->dataset()->uid(), clustering_id.c_str(),
                 view->fingerprint.c_str(), options.epsilon_cand_set,
                 options.epsilon_top_comb, options.epsilon_hist,
-                options.num_candidates, seed, options.num_threads);
+                options.num_candidates,
+                pinned_seed ? std::to_string(seed).c_str() : "auto",
+                options.num_threads);
 
   JsonValue body;
   bool cache_hit = false;
-  if (const std::shared_ptr<const std::string> cached = cache_.Get(key)) {
+  std::shared_ptr<const std::string> cached = cache_.Get(key);
+  if (cached == nullptr) {
+    // Miss: serialize concurrent identical requests on a per-key lock so
+    // exactly one of them spends ε and computes; the others block here,
+    // then find the release cached below (a dual charge would silently
+    // burn double budget).
+    const std::shared_ptr<InflightSlot> slot = AcquireInflight(key);
+    struct Release {
+      ServiceEngine* engine;
+      const char* key;
+      ~Release() { engine->ReleaseInflight(key); }
+    } release{this, key};
+    std::lock_guard<std::mutex> in_flight(slot->mutex);
+    cached = cache_.Get(key);
+    if (cached == nullptr) {
+      DPX_RETURN_IF_ERROR(
+          session->Spend(total_epsilon, "explain " + clustering_id));
+      options.seed = pinned_seed ? seed : NextNoiseSeed();
+      DPX_ASSIGN_OR_RETURN(const GlobalExplanation explanation,
+                           ExplainDpClustXWithStats(*view->stats, options,
+                                                    nullptr));
+      const Schema& schema = session->dataset()->dataset().schema();
+      DPX_ASSIGN_OR_RETURN(
+          JsonValue explanation_json,
+          JsonValue::Parse(ExplanationToJson(explanation, schema)));
+      body = JsonValue::Object();
+      body.Set("explanation", std::move(explanation_json));
+      body.Set("text",
+               JsonValue::String(RenderGlobalExplanation(explanation,
+                                                         schema)));
+      cache_.Put(key, body.Dump());
+    }
+  }
+  if (cached != nullptr) {
     // Post-processing an already-paid-for release: identical bytes, zero ε.
     StatusOr<JsonValue> parsed = JsonValue::Parse(*cached);
     DPX_CHECK(parsed.ok()) << "corrupt cache payload";
     body = std::move(*parsed);
     cache_hit = true;
-  } else {
-    DPX_RETURN_IF_ERROR(session->Spend(
-        total_epsilon, "explain " + clustering_id + " seed=" +
-                           std::to_string(seed)));
-    DPX_ASSIGN_OR_RETURN(const GlobalExplanation explanation,
-                         ExplainDpClustXWithStats(*view->stats, options,
-                                                  nullptr));
-    const Schema& schema = session->dataset()->dataset().schema();
-    DPX_ASSIGN_OR_RETURN(
-        JsonValue explanation_json,
-        JsonValue::Parse(ExplanationToJson(explanation, schema)));
-    body = JsonValue::Object();
-    body.Set("explanation", std::move(explanation_json));
-    body.Set("text",
-             JsonValue::String(RenderGlobalExplanation(explanation, schema)));
-    cache_.Put(key, body.Dump());
   }
   body.Set("cache_hit", JsonValue::Bool(cache_hit));
   body.Set("epsilon_charged",
@@ -472,12 +546,7 @@ StatusOr<JsonValue> ServiceEngine::OpHist(const JsonValue& request) {
                        OptNumber(request, "epsilon", 0.02));
   const Schema& schema = session->dataset()->dataset().schema();
   DPX_ASSIGN_OR_RETURN(const AttrIndex attr, schema.FindAttribute(attr_name));
-  uint64_t seed = NextNoiseSeed();
-  if (request.Has("seed")) {
-    DPX_ASSIGN_OR_RETURN(const size_t explicit_seed,
-                         OptCount(request, "seed", 0));
-    seed = explicit_seed;
-  }
+  DPX_ASSIGN_OR_RETURN(const uint64_t seed, RequestNoiseSeed(request));
 
   // One round of per-cluster histograms over disjoint clusters: parallel
   // composition, a single charge of `epsilon` covers all of them.
@@ -519,12 +588,7 @@ StatusOr<JsonValue> ServiceEngine::OpSize(const JsonValue& request) {
   DPX_ASSIGN_OR_RETURN(const size_t cluster, OptCount(request, "cluster", 0));
   DPX_ASSIGN_OR_RETURN(const double epsilon,
                        OptNumber(request, "epsilon", 0.01));
-  uint64_t seed = NextNoiseSeed();
-  if (request.Has("seed")) {
-    DPX_ASSIGN_OR_RETURN(const size_t explicit_seed,
-                         OptCount(request, "seed", 0));
-    seed = explicit_seed;
-  }
+  DPX_ASSIGN_OR_RETURN(const uint64_t seed, RequestNoiseSeed(request));
   if (cluster >= view->num_clusters) {
     return Status::InvalidArgument("cluster " + std::to_string(cluster) +
                                    " out of range");

@@ -24,20 +24,29 @@
 //   budget         session                     (ledger report)
 //   explain        session, clustering, [epsilon] | [epsilon_cand_set,
 //                  epsilon_top_comb, epsilon_hist], [num_candidates],
-//                  [seed], [threads]
-//   hist           session, clustering, attribute, [epsilon], [seed]
-//   size           session, clustering, cluster, [epsilon], [seed]
+//                  [threads]
+//   hist           session, clustering, attribute, [epsilon]
+//   size           session, clustering, cluster, [epsilon]
 //   stats          (cache / pool / registry counters)
 //
 // Privacy invariants enforced at this boundary:
 //   - Exact counts (StatsCache, cluster sizes, raw histograms) never appear
 //     in any response; only DP mechanism outputs and data-independent
 //     metadata (schemas, domains) do.
+//   - Noise seeds for every release (explain/hist/size) are drawn
+//     server-side from a cryptographically random source. A client-supplied
+//     "seed" field on these ops is rejected: mechanism noise is
+//     data-independent, so a caller who chose (or could predict) the seed
+//     could recompute the noise and subtract it from the response,
+//     recovering the exact counts. (Test binaries may re-enable pinned
+//     seeds via ServiceEngineOptions::insecure_deterministic_noise.)
 //   - Every ε charge goes through ServiceSession::Spend (session ledger +
 //     dataset cap, atomically) BEFORE noise is drawn; refused requests
 //     return OutOfBudget and release nothing.
 //   - Cache hits re-serve an already-paid-for release byte-identically and
-//     charge zero additional ε (post-processing).
+//     charge zero additional ε (post-processing). Concurrent identical
+//     explain requests are deduplicated in flight, so exactly one of them
+//     charges ε and the rest wait for its cached release.
 
 #ifndef DPCLUSTX_SERVICE_SERVICE_ENGINE_H_
 #define DPCLUSTX_SERVICE_SERVICE_ENGINE_H_
@@ -45,7 +54,9 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/json.h"
@@ -65,8 +76,15 @@ struct ServiceEngineOptions {
   size_t queue_capacity = 256;
   /// Explanation-cache entries.
   size_t cache_capacity = 1024;
-  /// Base seed for server-drawn noise (hist/size queries without an explicit
-  /// seed); each draw advances an engine-wide counter.
+  /// TEST/DEBUG ONLY. When true, server-drawn noise seeds derive
+  /// deterministically from `noise_seed`, and requests may pin a "seed"
+  /// field on the noisy ops (explain/hist/size). NEVER enable this in a
+  /// deployment: a client who knows the seed can subtract the mechanism
+  /// noise from the response and recover exact counts.
+  bool insecure_deterministic_noise = false;
+  /// Base for deterministic server-drawn seeds. Only consulted when
+  /// `insecure_deterministic_noise` is set; otherwise seeds come from
+  /// std::random_device.
   uint64_t noise_seed = 0x5eed5eedULL;
 };
 
@@ -119,11 +137,31 @@ class ServiceEngine {
 
   uint64_t NextNoiseSeed();
 
+  /// The noise seed a noisy op must use: server-drawn (NextNoiseSeed)
+  /// normally; a request-pinned "seed" only in the test-only
+  /// insecure_deterministic_noise configuration, and InvalidArgument when a
+  /// client supplies one otherwise.
+  StatusOr<uint64_t> RequestNoiseSeed(const JsonValue& request);
+
+  /// Refcounted per-cache-key lock that serializes concurrent identical
+  /// explain computations: the first holder spends ε and computes, waiters
+  /// then find the release in the cache (never a second charge). Slots are
+  /// created on demand and removed when the last holder releases.
+  struct InflightSlot {
+    std::mutex mutex;
+    size_t refs = 0;  // guarded by inflight_mutex_
+  };
+  std::shared_ptr<InflightSlot> AcquireInflight(const std::string& key);
+  void ReleaseInflight(const std::string& key);
+
   const ServiceEngineOptions options_;
   DatasetRegistry registry_;
   SessionManager sessions_;
   ExplanationCache cache_;
   std::atomic<uint64_t> noise_sequence_{0};
+  std::mutex inflight_mutex_;
+  std::map<std::string, std::shared_ptr<InflightSlot>>
+      inflight_;         // guarded by inflight_mutex_
   ThreadPool pool_;  // last member: workers must die before the state above
 };
 

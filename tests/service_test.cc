@@ -38,6 +38,15 @@ void ExpectError(const JsonValue& response, const std::string& code) {
       << response.Dump();
 }
 
+/// Engine options for tests that pin mechanism seeds. Deterministic noise
+/// is a test-only configuration: a default-configured engine rejects
+/// client-supplied seeds on noisy ops (see SeedsAreRejectedInSecureMode).
+ServiceEngineOptions DebugNoise() {
+  ServiceEngineOptions options;
+  options.insecure_deterministic_noise = true;
+  return options;
+}
+
 /// Loads a small synthetic dataset and clusters it (k-means, free).
 void SetUpDataset(ServiceEngine& engine, double cap_epsilon = 0.0) {
   JsonValue load = Call(engine,
@@ -70,7 +79,7 @@ TEST(ServiceTest, MalformedRequestsGetErrorResponsesNotCrashes) {
 }
 
 TEST(ServiceTest, ExplainProtocolRoundTrip) {
-  ServiceEngine engine;
+  ServiceEngine engine(DebugNoise());
   SetUpDataset(engine);
   ExpectOk(Call(engine, R"({"op":"create_session","session":"alice",)"
                         R"("dataset":"d","epsilon":1.0})"));
@@ -93,7 +102,7 @@ TEST(ServiceTest, ExplainProtocolRoundTrip) {
 }
 
 TEST(ServiceTest, CacheHitIsByteIdenticalAndFree) {
-  ServiceEngine engine;
+  ServiceEngine engine(DebugNoise());
   SetUpDataset(engine);
   ExpectOk(Call(engine, R"({"op":"create_session","session":"alice",)"
                         R"("dataset":"d","epsilon":1.0})"));
@@ -125,7 +134,7 @@ TEST(ServiceTest, CacheHitIsByteIdenticalAndFree) {
 }
 
 TEST(ServiceTest, ExhaustedSessionGetsCleanOutOfBudget) {
-  ServiceEngine engine;
+  ServiceEngine engine(DebugNoise());
   SetUpDataset(engine);
   // Enough for one explain at 0.3, not two.
   ExpectOk(Call(engine, R"({"op":"create_session","session":"alice",)"
@@ -180,7 +189,7 @@ TEST(ServiceTest, SessionsAreIsolated) {
 }
 
 TEST(ServiceTest, DatasetCapBoundsAllSessionsTogether) {
-  ServiceEngine engine;
+  ServiceEngine engine(DebugNoise());
   SetUpDataset(engine, /*cap_epsilon=*/0.5);
   ExpectOk(Call(engine, R"({"op":"create_session","session":"alice",)"
                         R"("dataset":"d","epsilon":10.0})"));
@@ -298,7 +307,7 @@ TEST(ServiceTest, ConcurrentMixedLoadIsRaceFreeAndBudgetExact) {
   // Many concurrent queries against one session: the total spend must come
   // out exact regardless of interleaving, and no request may crash. Run
   // under TSan by scripts/check.sh.
-  ServiceEngine engine;
+  ServiceEngine engine(DebugNoise());
   SetUpDataset(engine);
   ExpectOk(Call(engine, R"({"op":"create_session","session":"alice",)"
                         R"("dataset":"d","epsilon":100.0})"));
@@ -330,6 +339,147 @@ TEST(ServiceTest, ConcurrentMixedLoadIsRaceFreeAndBudgetExact) {
       Call(engine, R"({"op":"budget","session":"alice"})");
   EXPECT_NEAR(budget.at("spent").AsNumber(), 0.5 * kRequests, 1e-9);
   EXPECT_EQ(budget.at("ledger").size(), static_cast<size_t>(kRequests));
+}
+
+TEST(ServiceTest, SeedsAreRejectedInSecureMode) {
+  // A default-configured engine must refuse client-supplied noise seeds on
+  // every noisy op: the mechanism noise is data-independent, so a client
+  // who chose the seed could subtract the noise and recover exact counts.
+  ServiceEngine engine;
+  SetUpDataset(engine);
+  ExpectOk(Call(engine, R"({"op":"create_session","session":"alice",)"
+                        R"("dataset":"d","epsilon":1.0})"));
+  const JsonValue schema = Call(engine, R"({"op":"schema","dataset":"d"})");
+  ExpectOk(schema);
+  const std::string attr =
+      schema.at("attributes").at(0).at("name").AsString();
+
+  ExpectError(Call(engine, R"({"op":"explain","session":"alice",)"
+                           R"("epsilon":0.3,"seed":11})"),
+              "InvalidArgument");
+  ExpectError(Call(engine, R"({"op":"hist","session":"alice","attribute":")" +
+                               attr + R"(","epsilon":0.02,"seed":11})"),
+              "InvalidArgument");
+  ExpectError(Call(engine, R"({"op":"size","session":"alice","cluster":0,)"
+                           R"("epsilon":0.01,"seed":11})"),
+              "InvalidArgument");
+  // Refusals charge nothing.
+  const JsonValue budget =
+      Call(engine, R"({"op":"budget","session":"alice"})");
+  EXPECT_EQ(budget.at("spent").AsNumber(), 0.0);
+}
+
+TEST(ServiceTest, ServerSeededExplainsStillCacheHit) {
+  // Without client seeds, a repeated identical request re-serves the first
+  // (server-seeded) release byte-identically at zero additional ε.
+  ServiceEngine engine;
+  SetUpDataset(engine);
+  ExpectOk(Call(engine, R"({"op":"create_session","session":"alice",)"
+                        R"("dataset":"d","epsilon":1.0})"));
+  const std::string request =
+      R"({"op":"explain","session":"alice","epsilon":0.3})";
+  const JsonValue first = Call(engine, request);
+  ExpectOk(first);
+  ASSERT_FALSE(first.at("cache_hit").AsBool());
+  const JsonValue second = Call(engine, request);
+  ExpectOk(second);
+  EXPECT_TRUE(second.at("cache_hit").AsBool());
+  EXPECT_EQ(second.at("explanation").Dump(), first.at("explanation").Dump());
+  EXPECT_EQ(second.at("epsilon_charged").AsNumber(), 0.0);
+}
+
+TEST(ServiceTest, ConcurrentIdenticalExplainsChargeOnce) {
+  // N identical explain requests race through the pool: exactly one may
+  // spend ε and compute; the others must wait for it in flight and take
+  // the cache hit (a dual charge would silently burn double budget).
+  ServiceEngine engine;
+  SetUpDataset(engine);
+  ExpectOk(Call(engine, R"({"op":"create_session","session":"alice",)"
+                        R"("dataset":"d","epsilon":10.0})"));
+  constexpr int kRequests = 8;
+  std::mutex mutex;
+  std::condition_variable cv;
+  int completed = 0;
+  std::vector<std::string> responses;
+  for (int i = 0; i < kRequests; ++i) {
+    const Status submitted = engine.HandleAsync(
+        R"({"op":"explain","session":"alice","epsilon":0.3})",
+        [&](std::string response) {
+          std::lock_guard<std::mutex> lock(mutex);
+          responses.push_back(std::move(response));
+          ++completed;
+          cv.notify_all();
+        });
+    ASSERT_TRUE(submitted.ok());
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return completed == kRequests; });
+  }
+  int misses = 0;
+  double charged = 0.0;
+  for (const std::string& response : responses) {
+    const JsonValue parsed = Parse(response);
+    ExpectOk(parsed);
+    if (!parsed.at("cache_hit").AsBool()) ++misses;
+    charged += parsed.at("epsilon_charged").AsNumber();
+  }
+  EXPECT_EQ(misses, 1);
+  EXPECT_NEAR(charged, 0.3, 1e-12);
+  const JsonValue budget =
+      Call(engine, R"({"op":"budget","session":"alice"})");
+  EXPECT_NEAR(budget.at("spent").AsNumber(), 0.3, 1e-12);
+  EXPECT_EQ(budget.at("ledger").size(), 1u);
+}
+
+TEST(ServiceTest, ReplacingDatasetDoesNotResetCap) {
+  // Re-registering the same underlying data with replace=true must carry
+  // the cross-session cap's spend forward — otherwise any client could
+  // reset the dataset-wide ε bound in one request.
+  ServiceEngine engine;
+  SetUpDataset(engine, /*cap_epsilon=*/0.5);
+  ExpectOk(Call(engine, R"({"op":"create_session","session":"alice",)"
+                        R"("dataset":"d","epsilon":10.0})"));
+  ExpectOk(Call(engine,
+                R"({"op":"explain","session":"alice","epsilon":0.3})"));
+
+  // Same source (generator/rows/seed), bigger requested cap: the cap can
+  // be tightened but never raised or reset by a replacement.
+  const JsonValue reloaded = Call(
+      engine, R"({"op":"load_dataset","name":"d","source":"synthetic",)"
+              R"("generator":"diabetes","rows":1500,"seed":7,)"
+              R"("cap_epsilon":100.0,"replace":true})");
+  ExpectOk(reloaded);
+  EXPECT_NEAR(reloaded.at("cap_epsilon").AsNumber(), 0.5, 1e-12);
+  ExpectOk(Call(engine,
+                R"({"op":"cluster","dataset":"d","method":"k-means","k":3,)"
+                R"("seed":3})"));
+  ExpectOk(Call(engine, R"({"op":"create_session","session":"bob",)"
+                        R"("dataset":"d","epsilon":10.0})"));
+  // Only 0.5 - 0.3 = 0.2 of the cap survives the replacement.
+  ExpectError(Call(engine,
+                   R"({"op":"explain","session":"bob","epsilon":0.3})"),
+              "OutOfBudget");
+  ExpectOk(Call(engine, R"({"op":"size","session":"bob","cluster":0,)"
+                        R"("epsilon":0.1})"));
+  const JsonValue bob = Call(engine, R"({"op":"budget","session":"bob"})");
+  ExpectOk(bob);
+  EXPECT_NEAR(bob.at("dataset_cap_remaining").AsNumber(), 0.1, 1e-9);
+
+  // A genuinely different source (other row count) is new data and gets
+  // the cap it asks for.
+  const JsonValue fresh = Call(
+      engine, R"({"op":"load_dataset","name":"d","source":"synthetic",)"
+              R"("generator":"diabetes","rows":1600,"seed":7,)"
+              R"("cap_epsilon":0.5,"replace":true})");
+  ExpectOk(fresh);
+  ExpectOk(Call(engine,
+                R"({"op":"cluster","dataset":"d","method":"k-means","k":3,)"
+                R"("seed":3})"));
+  ExpectOk(Call(engine, R"({"op":"create_session","session":"carol",)"
+                        R"("dataset":"d","epsilon":10.0})"));
+  ExpectOk(Call(engine,
+                R"({"op":"explain","session":"carol","epsilon":0.3})"));
 }
 
 }  // namespace

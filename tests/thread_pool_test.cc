@@ -102,6 +102,33 @@ TEST(ThreadPoolTest, ShutdownIsIdempotent) {
   pool.Shutdown();
 }
 
+TEST(ThreadPoolTest, ConcurrentShutdownDrainsOnceWithoutRacing) {
+  // Several threads race Shutdown against a loaded queue: exactly one may
+  // join the workers (a double-join is UB), every accepted task must still
+  // run, and every Shutdown caller must return only after the drain. TSan
+  // validates the single-joiner handoff on this test.
+  ThreadPool pool(ThreadPoolOptions{4, 64});
+  std::atomic<int> counter{0};
+  int accepted = 0;
+  for (int i = 0; i < 48; ++i) {
+    if (pool.TrySubmit([&counter] {
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+          ++counter;
+        }).ok()) {
+      ++accepted;
+    }
+  }
+  std::vector<std::thread> closers;
+  for (int i = 0; i < 4; ++i) {
+    closers.emplace_back([&pool] { pool.Shutdown(); });
+  }
+  for (std::thread& closer : closers) closer.join();
+  // Shutdown is synchronous for every caller, so the counts are final here.
+  EXPECT_EQ(counter.load(), accepted);
+  EXPECT_EQ(pool.tasks_completed(), static_cast<uint64_t>(accepted));
+  EXPECT_EQ(pool.num_threads(), 4u);  // configuration survives shutdown
+}
+
 TEST(ThreadPoolTest, ManyProducersManyWorkersStress) {
   // N producer threads hammer a small pool through the blocking Submit; the
   // total must come out exact (no lost or duplicated tasks). TSan validates

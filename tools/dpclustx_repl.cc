@@ -217,7 +217,8 @@ class Repl {
     request.Set("session", JsonValue::String(session_));
     request.Set("clustering", JsonValue::String(clustering_));
     request.Set("epsilon", JsonValue::Number(eps));
-    request.Set("seed", JsonValue::Number(static_cast<double>(seed_++)));
+    // No seed: noise seeds are server-drawn (a repeated identical explain
+    // re-serves the already-paid-for release from the cache at zero ε).
     StatusOr<JsonValue> response = Call(std::move(request));
     if (!response.ok()) return;
     std::cout << response->at("text").AsString();
@@ -300,7 +301,7 @@ class Repl {
   std::string clustering_;  // active clustering id ("" until 'cluster')
   double remaining_ = 0.0;
   uint64_t serial_ = 0;  // session / clustering id counter
-  uint64_t seed_ = 1;
+  uint64_t seed_ = 1;    // clustering-fit seeds (not mechanism noise)
 };
 
 }  // namespace
