@@ -1,0 +1,127 @@
+// Parallel-execution-layer scaling: times the fused sharded StatsCache
+// build and the end-to-end explanation at 1/2/4/8 threads on the 250k-row
+// Census-like table, plus the seed's per-attribute build as the
+// single-thread baseline the fused pass replaces. Results feed
+// BENCH_parallel.json (scripts/bench_snapshot.sh) and the EXPERIMENTS.md
+// scaling table. Note the determinism contract: every thread count produces
+// bitwise-identical statistics, so these runs differ only in wall clock.
+
+#include <cstdlib>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "data/synthetic.h"
+
+namespace {
+
+using namespace dpclustx;
+using namespace dpclustx::bench;
+
+constexpr size_t kRows = 250000;
+constexpr size_t kClusters = 5;
+
+struct Prepared {
+  Dataset dataset;
+  std::vector<ClusterId> labels;
+};
+
+const Prepared& CachedPrepared() {
+  static auto* prepared = new Prepared{[] {
+    Dataset dataset = std::move(*synth::Generate(synth::CensusLike(kRows)));
+    std::vector<ClusterId> labels =
+        FitLabels(dataset, "k-means", kClusters, 1);
+    return Prepared{std::move(dataset), std::move(labels)};
+  }()};
+  return *prepared;
+}
+
+// The seed's build algorithm: one columnar pass per attribute, full
+// histogram by out-of-place Plus. Kept here as the baseline the fused
+// single-pass build (StatsCache::Build) is measured against.
+void BM_StatsCacheBuildLegacyPerAttribute(benchmark::State& state) {
+  const Prepared& prepared = CachedPrepared();
+  const Dataset& dataset = prepared.dataset;
+  for (auto _ : state) {
+    std::vector<Histogram> full_histograms;
+    std::vector<std::vector<Histogram>> cluster_histograms;
+    full_histograms.reserve(dataset.num_attributes());
+    cluster_histograms.reserve(dataset.num_attributes());
+    for (size_t a = 0; a < dataset.num_attributes(); ++a) {
+      const auto attr = static_cast<AttrIndex>(a);
+      std::vector<Histogram> per_cluster =
+          dataset.ComputeGroupHistograms(attr, prepared.labels, kClusters);
+      Histogram full(dataset.schema().attribute(attr).domain_size());
+      for (const Histogram& h : per_cluster) full = full.Plus(h);
+      full_histograms.push_back(std::move(full));
+      cluster_histograms.push_back(std::move(per_cluster));
+    }
+    benchmark::DoNotOptimize(cluster_histograms);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kRows) *
+                          static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StatsCacheBuildLegacyPerAttribute)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_StatsCacheBuildFused(benchmark::State& state) {
+  const Prepared& prepared = CachedPrepared();
+  const auto threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto stats = StatsCache::Build(prepared.dataset, prepared.labels,
+                                         kClusters, threads);
+    DPX_CHECK_OK(stats.status());
+    benchmark::DoNotOptimize(stats->num_rows());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kRows) *
+                          static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StatsCacheBuildFused)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_ExplainEndToEnd(benchmark::State& state) {
+  const Prepared& prepared = CachedPrepared();
+  const auto threads = static_cast<size_t>(state.range(0));
+  DpClustXOptions options;
+  options.num_threads = threads;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    const auto explanation = ExplainDpClustXWithLabels(
+        prepared.dataset, prepared.labels, kClusters, options);
+    DPX_CHECK_OK(explanation.status());
+    benchmark::DoNotOptimize(explanation->combination);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kRows) *
+                          static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ExplainEndToEnd)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // An 8-wide compute pool even on narrow CI hosts, so the 2/4/8-thread
+  // configurations exercise the parallel dispatch path (an externally
+  // exported DPCLUSTX_THREADS wins). On a single-core host the extra
+  // workers time-share one core: expect flat scaling there, and read the
+  // fused-vs-legacy single-thread ratio instead.
+  setenv("DPCLUSTX_THREADS", "8", /*overwrite=*/0);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Benchmark snapshot for the parallel execution layer: builds the bench
+# binaries, runs bench_parallel_scaling (fused vs legacy StatsCache build,
+# end-to-end explain at 1/2/4/8 threads) and bench_scale_large_dataset
+# (linear-in-n scale check), and merges both google-benchmark JSON reports
+# into BENCH_parallel.json at the repo root. EXPERIMENTS.md quotes these
+# numbers; rerun this script to refresh them on new hardware.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_parallel.json}"
+
+echo "==> building bench binaries"
+cmake -B build -S . >/dev/null
+cmake --build build -j --target bench_parallel_scaling \
+  bench_scale_large_dataset >/dev/null
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+echo "==> bench_parallel_scaling"
+./build/bench/bench_parallel_scaling \
+  --benchmark_out="$TMP_DIR/parallel_scaling.json" \
+  --benchmark_out_format=json
+echo "==> bench_scale_large_dataset"
+./build/bench/bench_scale_large_dataset \
+  --benchmark_out="$TMP_DIR/scale_large_dataset.json" \
+  --benchmark_out_format=json
+
+# Merge into one envelope keyed by bench binary. python3 is already a build
+# prerequisite on the CI image; no extra dependencies.
+python3 - "$TMP_DIR/parallel_scaling.json" \
+  "$TMP_DIR/scale_large_dataset.json" "$OUT" <<'PY'
+import json, sys
+parallel, scale, out = sys.argv[1:4]
+with open(parallel) as f:
+    parallel_report = json.load(f)
+with open(scale) as f:
+    scale_report = json.load(f)
+with open(out, "w") as f:
+    json.dump({"bench_parallel_scaling": parallel_report,
+               "bench_scale_large_dataset": scale_report}, f, indent=2)
+    f.write("\n")
+PY
+
+echo "==> wrote $OUT"

@@ -32,9 +32,12 @@ echo "==> ThreadSanitizer build + threaded tests"
 cmake -B build-tsan -S . -DDPCLUSTX_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target \
   thread_pool_test service_test privacy_budget_test eda_session_test \
+  parallel_equivalence_test \
   >/dev/null
+# DPCLUSTX_THREADS=8 widens the shared compute pool so the ParallelFor
+# kernels genuinely interleave under TSan even on narrow CI hosts.
 (cd build-tsan &&
- ctest --output-on-failure \
-   -R '^(thread_pool_test|service_test|privacy_budget_test|eda_session_test)$')
+ DPCLUSTX_THREADS=8 ctest --output-on-failure \
+   -R '^(thread_pool_test|service_test|privacy_budget_test|eda_session_test|parallel_equivalence_test)$')
 
 echo "==> all checks passed"

@@ -3,15 +3,28 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace dpclustx {
+
+namespace {
+
+// Rows per shard of the AssignAll fast paths. Assignments are pure per-row
+// maps into disjoint label slots, so any shard schedule writes the same
+// labels.
+constexpr size_t kAssignGrain = 2048;
+
+}  // namespace
 
 std::vector<ClusterId> ClusteringFunction::AssignAll(
     const Dataset& dataset) const {
   std::vector<ClusterId> labels(dataset.num_rows());
-  for (size_t row = 0; row < dataset.num_rows(); ++row) {
-    labels[row] = Assign(dataset.Row(row));
-  }
+  ParallelFor(dataset.num_rows(), kAssignGrain,
+              [&](size_t /*chunk*/, size_t begin, size_t end) {
+                for (size_t row = begin; row < end; ++row) {
+                  labels[row] = Assign(dataset.Row(row));
+                }
+              });
   return labels;
 }
 
@@ -90,9 +103,12 @@ std::vector<ClusterId> CentroidClustering::AssignAll(
   const std::vector<double> points = EmbedDataset(dataset);
   const size_t dims = schema_.num_attributes();
   std::vector<ClusterId> labels(dataset.num_rows());
-  for (size_t row = 0; row < dataset.num_rows(); ++row) {
-    labels[row] = AssignEmbedded(&points[row * dims]);
-  }
+  ParallelFor(dataset.num_rows(), kAssignGrain,
+              [&](size_t /*chunk*/, size_t begin, size_t end) {
+                for (size_t row = begin; row < end; ++row) {
+                  labels[row] = AssignEmbedded(&points[row * dims]);
+                }
+              });
   return labels;
 }
 

@@ -7,12 +7,16 @@
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace dpclustx {
 
 namespace {
 
 constexpr double kLog2Pi = 1.8378770664093453;  // log(2π)
+
+// Rows per shard of the E-step / M-step passes; each row costs O(k·dims).
+constexpr size_t kRowGrain = 1024;
 
 }  // namespace
 
@@ -73,9 +77,13 @@ std::vector<ClusterId> GmmClustering::AssignAll(
   const std::vector<double> points = EmbedDataset(dataset);
   const size_t dims = schema_.num_attributes();
   std::vector<ClusterId> labels(dataset.num_rows());
-  for (size_t row = 0; row < dataset.num_rows(); ++row) {
-    labels[row] = AssignEmbedded(&points[row * dims]);
-  }
+  // Pure per-row map: any shard schedule writes the same labels.
+  ParallelFor(dataset.num_rows(), kRowGrain,
+              [&](size_t /*chunk*/, size_t begin, size_t end) {
+                for (size_t row = begin; row < end; ++row) {
+                  labels[row] = AssignEmbedded(&points[row * dims]);
+                }
+              });
   return labels;
 }
 
@@ -119,6 +127,15 @@ StatusOr<std::unique_ptr<ClusteringFunction>> FitGmm(
   std::vector<double> resp(rows * k);
   double prev_ll = -std::numeric_limits<double>::infinity();
 
+  // Per-shard partial sums. Shard boundaries depend only on (rows, grain)
+  // and shards merge in ascending chunk order, so every thread count walks
+  // the same floating-point summation tree.
+  const size_t chunks = ParallelForNumChunks(rows, kRowGrain);
+  std::vector<double> shard_ll(chunks, 0.0);
+  std::vector<std::vector<double>> shard_nk(chunks);
+  std::vector<std::vector<double>> shard_sums(chunks);  // [c*dims + a]
+  std::vector<std::vector<double>> shard_sq(chunks);    // [c*dims + a]
+
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     // Cached normalization constants.
     std::vector<double> log_norm(k, 0.0);
@@ -128,32 +145,57 @@ StatusOr<std::unique_ptr<ClusteringFunction>> FitGmm(
       }
     }
 
-    // E-step.
+    // E-step, fused with the M-step's responsibility accumulation: each
+    // shard writes its rows of `resp` (disjoint) and folds log-likelihood,
+    // component masses nk, and weighted coordinate sums into private
+    // buffers.
+    ParallelFor(
+        rows, kRowGrain,
+        [&](size_t chunk, size_t begin, size_t end) {
+          shard_ll[chunk] = 0.0;
+          shard_nk[chunk].assign(k, 0.0);
+          shard_sums[chunk].assign(k * dims, 0.0);
+          std::vector<double> log_probs(k);
+          for (size_t row = begin; row < end; ++row) {
+            const double* point = &points[row * dims];
+            for (size_t c = 0; c < k; ++c) {
+              double quad = 0.0;
+              for (size_t a = 0; a < dims; ++a) {
+                const double diff = point[a] - means[c][a];
+                quad += diff * diff / vars[c][a];
+              }
+              log_probs[c] = log_weights[c] + log_norm[c] - 0.5 * quad;
+            }
+            const double lse = LogSumExp(log_probs);
+            shard_ll[chunk] += lse;
+            for (size_t c = 0; c < k; ++c) {
+              const double r = std::exp(log_probs[c] - lse);
+              resp[row * k + c] = r;
+              shard_nk[chunk][c] += r;
+              for (size_t a = 0; a < dims; ++a) {
+                shard_sums[chunk][c * dims + a] += r * point[a];
+              }
+            }
+          }
+        },
+        options.num_threads);
+
     double total_ll = 0.0;
-    std::vector<double> log_probs(k);
-    for (size_t row = 0; row < rows; ++row) {
-      const double* point = &points[row * dims];
-      for (size_t c = 0; c < k; ++c) {
-        double quad = 0.0;
-        for (size_t a = 0; a < dims; ++a) {
-          const double diff = point[a] - means[c][a];
-          quad += diff * diff / vars[c][a];
-        }
-        log_probs[c] = log_weights[c] + log_norm[c] - 0.5 * quad;
-      }
-      const double lse = LogSumExp(log_probs);
-      total_ll += lse;
-      for (size_t c = 0; c < k; ++c) {
-        resp[row * k + c] = std::exp(log_probs[c] - lse);
-      }
+    std::vector<double> nk(k, 0.0);
+    std::vector<double> sums(k * dims, 0.0);
+    for (size_t chunk = 0; chunk < chunks; ++chunk) {
+      total_ll += shard_ll[chunk];
+      for (size_t c = 0; c < k; ++c) nk[c] += shard_nk[chunk][c];
+      for (size_t i = 0; i < k * dims; ++i) sums[i] += shard_sums[chunk][i];
     }
 
-    // M-step.
+    // M-step, means and dead-component reseeds. Reseeds consume the rng in
+    // ascending component order, matching the serial formulation.
+    std::vector<uint8_t> dead(k, 0);
     for (size_t c = 0; c < k; ++c) {
-      double nk = 0.0;
-      for (size_t row = 0; row < rows; ++row) nk += resp[row * k + c];
-      if (nk < 1e-9) {
+      if (nk[c] < 1e-9) {
         // Dead component: reseed at a random point with the global variance.
+        dead[c] = 1;
         const size_t row = rng.UniformInt(rows);
         for (size_t a = 0; a < dims; ++a) {
           means[c][a] = points[row * dims + a];
@@ -163,21 +205,39 @@ StatusOr<std::unique_ptr<ClusteringFunction>> FitGmm(
         continue;
       }
       for (size_t a = 0; a < dims; ++a) {
-        double sum = 0.0;
-        for (size_t row = 0; row < rows; ++row) {
-          sum += resp[row * k + c] * points[row * dims + a];
-        }
-        means[c][a] = sum / nk;
+        means[c][a] = sums[c * dims + a] / nk[c];
       }
+      log_weights[c] = std::log(nk[c] / static_cast<double>(rows));
+    }
+
+    // M-step, variances: needs the updated means, so it is a second sharded
+    // pass over the rows.
+    ParallelFor(
+        rows, kRowGrain,
+        [&](size_t chunk, size_t begin, size_t end) {
+          shard_sq[chunk].assign(k * dims, 0.0);
+          for (size_t row = begin; row < end; ++row) {
+            const double* point = &points[row * dims];
+            for (size_t c = 0; c < k; ++c) {
+              if (dead[c]) continue;
+              const double r = resp[row * k + c];
+              for (size_t a = 0; a < dims; ++a) {
+                const double diff = point[a] - means[c][a];
+                shard_sq[chunk][c * dims + a] += r * diff * diff;
+              }
+            }
+          }
+        },
+        options.num_threads);
+    for (size_t c = 0; c < k; ++c) {
+      if (dead[c]) continue;
       for (size_t a = 0; a < dims; ++a) {
         double sq = 0.0;
-        for (size_t row = 0; row < rows; ++row) {
-          const double diff = points[row * dims + a] - means[c][a];
-          sq += resp[row * k + c] * diff * diff;
+        for (size_t chunk = 0; chunk < chunks; ++chunk) {
+          sq += shard_sq[chunk][c * dims + a];
         }
-        vars[c][a] = std::max(options.variance_floor, sq / nk);
+        vars[c][a] = std::max(options.variance_floor, sq / nk[c]);
       }
-      log_weights[c] = std::log(nk / static_cast<double>(rows));
     }
 
     const double mean_ll = total_ll / static_cast<double>(rows);

@@ -21,6 +21,10 @@ struct GmmOptions {
   /// Lower bound on per-dimension variances, for numerical stability.
   double variance_floor = 1e-4;
   uint64_t seed = 1;
+  /// Parallelism cap for the per-row E-step and M-step accumulation passes
+  /// (0 = compute-pool width). Per-shard partial sums merge in fixed shard
+  /// order, so the fit is identical for a given seed at any thread count.
+  size_t num_threads = 0;
 };
 
 /// Clustering function backed by a fitted diagonal-covariance GMM.

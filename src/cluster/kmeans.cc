@@ -6,10 +6,15 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace dpclustx {
 
 namespace {
+
+// Rows per shard of the fused assignment/accumulation pass. Each row costs
+// O(k·dims) distance work, so shards amortize dispatch well below this size.
+constexpr size_t kAssignGrain = 1024;
 
 double SquaredDistance(const double* a, const double* b, size_t dims) {
   double dist = 0.0;
@@ -71,35 +76,63 @@ StatusOr<std::unique_ptr<ClusteringFunction>> FitKMeans(
       KMeansPlusPlusInit(points, rows, dims, k, rng);
   std::vector<ClusterId> labels(rows, 0);
 
-  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
-    // Assignment step.
+  // Per-shard accumulator of the fused assignment/update pass. Shard
+  // boundaries depend only on (rows, grain), and shards merge in ascending
+  // chunk order, so every thread count produces the same centers.
+  struct ShardAccum {
+    std::vector<double> sums;    // [c*dims + a]
+    std::vector<size_t> counts;  // [c]
     bool changed = false;
-    for (size_t row = 0; row < rows; ++row) {
-      ClusterId best = 0;
-      double best_dist = std::numeric_limits<double>::infinity();
-      for (size_t c = 0; c < k; ++c) {
-        const double dist =
-            SquaredDistance(&points[row * dims], centers[c].data(), dims);
-        if (dist < best_dist) {
-          best_dist = dist;
-          best = static_cast<ClusterId>(c);
-        }
-      }
-      if (labels[row] != best) {
-        labels[row] = best;
-        changed = true;
-      }
-    }
+  };
+  const size_t chunks = ParallelForNumChunks(rows, kAssignGrain);
+  std::vector<ShardAccum> shards(chunks);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Fused assignment + accumulation: each shard assigns its rows and folds
+    // them into private sums/counts in the same sweep.
+    ParallelFor(
+        rows, kAssignGrain,
+        [&](size_t chunk, size_t begin, size_t end) {
+          ShardAccum& shard = shards[chunk];
+          shard.sums.assign(k * dims, 0.0);
+          shard.counts.assign(k, 0);
+          shard.changed = false;
+          for (size_t row = begin; row < end; ++row) {
+            ClusterId best = 0;
+            double best_dist = std::numeric_limits<double>::infinity();
+            for (size_t c = 0; c < k; ++c) {
+              const double dist = SquaredDistance(&points[row * dims],
+                                                  centers[c].data(), dims);
+              if (dist < best_dist) {
+                best_dist = dist;
+                best = static_cast<ClusterId>(c);
+              }
+            }
+            if (labels[row] != best) {
+              labels[row] = best;
+              shard.changed = true;
+            }
+            ++shard.counts[best];
+            for (size_t a = 0; a < dims; ++a) {
+              shard.sums[best * dims + a] += points[row * dims + a];
+            }
+          }
+        },
+        options.num_threads);
+
+    bool changed = false;
+    for (const ShardAccum& shard : shards) changed |= shard.changed;
     if (!changed && iter > 0) break;
 
-    // Update step.
+    // Update step: merge shard accumulators in ascending chunk order.
     std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
     std::vector<size_t> counts(k, 0);
-    for (size_t row = 0; row < rows; ++row) {
-      const ClusterId c = labels[row];
-      ++counts[c];
-      for (size_t a = 0; a < dims; ++a) {
-        sums[c][a] += points[row * dims + a];
+    for (const ShardAccum& shard : shards) {
+      for (size_t c = 0; c < k; ++c) {
+        counts[c] += shard.counts[c];
+        for (size_t a = 0; a < dims; ++a) {
+          sums[c][a] += shard.sums[c * dims + a];
+        }
       }
     }
     for (size_t c = 0; c < k; ++c) {

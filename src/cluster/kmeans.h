@@ -18,6 +18,10 @@ struct KMeansOptions {
   /// Stop when no assignment changes (always also bounded by
   /// max_iterations).
   uint64_t seed = 1;
+  /// Parallelism cap for the per-row assignment/accumulation pass
+  /// (0 = compute-pool width). Chunked accumulators merge in fixed shard
+  /// order, so the fit is identical for a given seed at any thread count.
+  size_t num_threads = 0;
 };
 
 /// Fits k-means on `dataset`. Requires num_clusters >= 1 and a non-empty

@@ -4,8 +4,16 @@
 #include <string>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace dpclustx {
+
+namespace {
+
+// Rows per shard of the Hamming assignment pass; each row costs O(k·dims).
+constexpr size_t kAssignGrain = 1024;
+
+}  // namespace
 
 StatusOr<std::unique_ptr<ClusteringFunction>> FitKModes(
     const Dataset& dataset, const KModesOptions& options) {
@@ -26,39 +34,50 @@ StatusOr<std::unique_ptr<ClusteringFunction>> FitKModes(
   }
 
   std::vector<ClusterId> labels(rows, 0);
+  const size_t chunks = ParallelForNumChunks(rows, kAssignGrain);
+  std::vector<uint8_t> shard_changed(chunks, 0);
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
-    // Assignment by Hamming distance.
+    // Assignment by Hamming distance: a pure per-row map, so any shard
+    // schedule writes the same labels.
+    ParallelFor(
+        rows, kAssignGrain,
+        [&](size_t chunk, size_t begin, size_t end) {
+          shard_changed[chunk] = 0;
+          for (size_t row = begin; row < end; ++row) {
+            ClusterId best = 0;
+            size_t best_dist = std::numeric_limits<size_t>::max();
+            for (size_t c = 0; c < k; ++c) {
+              size_t dist = 0;
+              for (size_t a = 0; a < dims; ++a) {
+                dist += (dataset.at(row, static_cast<AttrIndex>(a)) !=
+                         modes[c][a])
+                            ? 1
+                            : 0;
+              }
+              if (dist < best_dist) {
+                best_dist = dist;
+                best = static_cast<ClusterId>(c);
+              }
+            }
+            if (labels[row] != best) {
+              labels[row] = best;
+              shard_changed[chunk] = 1;
+            }
+          }
+        },
+        options.num_threads);
     bool changed = false;
-    for (size_t row = 0; row < rows; ++row) {
-      ClusterId best = 0;
-      size_t best_dist = std::numeric_limits<size_t>::max();
-      for (size_t c = 0; c < k; ++c) {
-        size_t dist = 0;
-        for (size_t a = 0; a < dims; ++a) {
-          dist += (dataset.at(row, static_cast<AttrIndex>(a)) !=
-                   modes[c][a])
-                      ? 1
-                      : 0;
-        }
-        if (dist < best_dist) {
-          best_dist = dist;
-          best = static_cast<ClusterId>(c);
-        }
-      }
-      if (labels[row] != best) {
-        labels[row] = best;
-        changed = true;
-      }
-    }
+    for (uint8_t c : shard_changed) changed |= (c != 0);
     if (!changed && iter > 0) break;
 
-    // Update: per-cluster per-attribute value counts, mode update.
+    // Update: one fused sharded count pass over every attribute at once,
+    // then per-cluster per-attribute mode update.
+    DPX_ASSIGN_OR_RETURN(
+        const std::vector<std::vector<Histogram>> hists,
+        dataset.ComputeAllGroupHistograms(labels, k, options.num_threads));
     for (size_t a = 0; a < dims; ++a) {
-      const auto attr = static_cast<AttrIndex>(a);
-      const std::vector<Histogram> hists =
-          dataset.ComputeGroupHistograms(attr, labels, k);
       for (size_t c = 0; c < k; ++c) {
-        if (hists[c].Total() > 0.0) modes[c][a] = hists[c].ArgMax();
+        if (hists[a][c].Total() > 0.0) modes[c][a] = hists[a][c].ArgMax();
       }
     }
     // Reseed empty clusters.

@@ -17,6 +17,11 @@ struct KModesOptions {
   size_t num_clusters = 5;
   size_t max_iterations = 30;
   uint64_t seed = 1;
+  /// Parallelism cap for the assignment pass and the fused count-based mode
+  /// update (0 = compute-pool width). Assignment is a pure per-row map and
+  /// the update merges integer counts, so the fit is identical for a given
+  /// seed at any thread count.
+  size_t num_threads = 0;
 };
 
 /// Fits k-modes on `dataset`. Requires num_clusters >= 1 and at least

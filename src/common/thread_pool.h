@@ -1,4 +1,5 @@
-// Fixed-size worker pool with a bounded task queue.
+// Fixed-size worker pool with a bounded task queue, plus the process-wide
+// parallel-compute layer (ParallelFor) built on top of it.
 //
 // The service layer (src/service) runs every request through one of these:
 // a fixed number of workers drain a bounded FIFO queue, and submissions
@@ -6,6 +7,14 @@
 // overloaded server sheds load instead of buffering unboundedly
 // (backpressure). Shutdown stops intake, drains the queue, and joins the
 // workers, so no accepted task is ever dropped.
+//
+// ParallelFor runs row-order-independent kernels (counting sweeps,
+// clustering assignment loops) over a separate lazily-created compute pool
+// shared by the whole process. Its determinism contract: work is split into
+// chunks whose boundaries depend only on (n, grain) — never on the thread
+// count or scheduling — so a kernel that keeps one accumulator per chunk and
+// merges them in ascending chunk order produces bit-identical results at any
+// parallelism, including fully serial execution.
 
 #ifndef DPCLUSTX_COMMON_THREAD_POOL_H_
 #define DPCLUSTX_COMMON_THREAD_POOL_H_
@@ -79,6 +88,42 @@ class ThreadPool {
   uint64_t tasks_completed_ = 0;             // guarded by mutex_
   std::vector<std::thread> workers_;         // guarded by mutex_
 };
+
+/// Width of the process-wide compute pool: the DPCLUSTX_THREADS environment
+/// variable when set to a positive integer, otherwise
+/// std::thread::hardware_concurrency() (minimum 1). Resolved once on first
+/// call; the pool itself is created lazily on the first ParallelFor that can
+/// use it and lives until process exit.
+size_t ComputePoolWidth();
+
+/// Number of chunks ParallelFor splits [0, n) into. Boundaries depend only
+/// on n and grain: chunk i covers [i*g, min(n, (i+1)*g)) where g is `grain`,
+/// widened only when ceil(n/grain) would exceed an internal shard cap (so
+/// per-chunk scratch buffers stay bounded). Exposed so kernels can size
+/// per-chunk accumulator arrays.
+size_t ParallelForNumChunks(size_t n, size_t grain);
+
+/// Runs body(chunk, begin, end) for every chunk of [0, n) (see
+/// ParallelForNumChunks) and returns when all chunks have finished. Chunks
+/// may run concurrently on the compute pool, in any order; the calling
+/// thread always participates, so the call makes progress even when the
+/// compute pool is saturated or has a single worker. Nested calls — a body
+/// that itself calls ParallelFor — run the inner loop inline on the calling
+/// thread (no pool re-entry, no oversubscription deadlock). `max_threads`
+/// caps the number of threads working on this call (0 = compute-pool
+/// width; 1 = serial inline). The chunk structure — and therefore any
+/// chunk-merged result — is identical for every max_threads value.
+/// `body` must not throw.
+void ParallelFor(size_t n, size_t grain,
+                 const std::function<void(size_t chunk, size_t begin,
+                                          size_t end)>& body,
+                 size_t max_threads = 0);
+
+/// Total ParallelFor invocations that dispatched to the compute pool (i.e.
+/// ran with >1 thread) and total invocations overall. Advisory counters for
+/// service stats / benchmarks.
+uint64_t ParallelForCalls();
+uint64_t ParallelForParallelCalls();
 
 }  // namespace dpclustx
 

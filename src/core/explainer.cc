@@ -3,10 +3,10 @@
 #include <cmath>
 #include <limits>
 #include <set>
-#include <thread>
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 #include "core/candidate_selection.h"
 
 namespace dpclustx {
@@ -215,13 +215,15 @@ StatusOr<AttributeCombination> SearchCombinationParallel(
     }
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (size_t w = 1; w < workers; ++w) {
-    threads.emplace_back(scan_shard, w);
-  }
-  scan_shard(0);
-  for (std::thread& thread : threads) thread.join();
+  // The shard structure (and thus each shard's forked noise stream) is fixed
+  // by num_threads; execution runs on the shared compute pool, which may use
+  // fewer threads without changing which shard scans which range.
+  ParallelFor(
+      workers, /*grain=*/1,
+      [&](size_t /*chunk*/, size_t begin, size_t end) {
+        for (size_t w = begin; w < end; ++w) scan_shard(w);
+      },
+      workers);
 
   size_t best_worker = 0;
   for (size_t w = 1; w < workers; ++w) {
@@ -266,7 +268,8 @@ StatusOr<GlobalExplanation> ExplainDpClustXWithLabels(
     PrivacyBudget* budget) {
   DPX_RETURN_IF_ERROR(ValidateOptions(options));
   DPX_ASSIGN_OR_RETURN(const StatsCache stats,
-                       StatsCache::Build(dataset, labels, num_clusters));
+                       StatsCache::Build(dataset, labels, num_clusters,
+                                         options.num_threads));
   return ExplainDpClustXWithStats(stats, options, budget);
 }
 

@@ -58,9 +58,13 @@ struct DpClustXOptions {
   /// Seed for all mechanism noise in this run.
   uint64_t seed = 1;
   /// Threads for the Stage-2 combination enumeration (k^|C| grows
-  /// exponentially; the search shards perfectly). 1 = serial. The selection
-  /// distribution is identical either way (independent Gumbel draws), but
-  /// parallel runs draw different noise than serial runs at the same seed.
+  /// exponentially; the search shards perfectly) and parallelism cap for the
+  /// StatsCache counting pass. 1 = serial. The shard count — not the
+  /// execution width — determines Stage-2's forked noise streams, so this
+  /// value is part of the run's noise seed. The selection distribution is
+  /// identical either way (independent Gumbel draws), but runs with
+  /// different num_threads draw different noise at the same seed. The
+  /// StatsCache build is bitwise-identical at any value.
   size_t num_threads = 1;
 };
 
@@ -118,9 +122,11 @@ StatusOr<AttributeCombination> SearchCombination(
 
 /// Multithreaded variant: shards the combination space across
 /// `num_threads` workers, each with an independent noise stream forked from
-/// `rng`. Exact mode (epsilon <= 0) returns the same argmax as the serial
-/// search; private mode realizes the same exponential-mechanism
-/// distribution with different draws.
+/// `rng`. Shards execute on the shared compute pool (ParallelFor); the
+/// shard structure — and thus the noise stream — is fixed by `num_threads`
+/// even when the pool runs them on fewer threads. Exact mode (epsilon <= 0)
+/// returns the same argmax as the serial search; private mode realizes the
+/// same exponential-mechanism distribution with different draws.
 StatusOr<AttributeCombination> SearchCombinationParallel(
     const std::vector<std::vector<AttrIndex>>& candidate_sets,
     const CombinationScoreTables& tables, double epsilon, double sensitivity,

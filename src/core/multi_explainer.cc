@@ -94,7 +94,8 @@ StatusOr<MultiGlobalExplanation> ExplainDpClustXMultiWithLabels(
     return Status::InvalidArgument("epsilon_hist must be positive");
   }
   DPX_ASSIGN_OR_RETURN(const StatsCache stats,
-                       StatsCache::Build(dataset, labels, num_clusters));
+                       StatsCache::Build(dataset, labels, num_clusters,
+                                         base.num_threads));
 
   if (budget != nullptr) {
     DPX_RETURN_IF_ERROR(

@@ -27,6 +27,7 @@ StatusOr<PipelineResult> RunPipeline(const Dataset& dataset,
       KMeansOptions fit;
       fit.num_clusters = options.num_clusters;
       fit.seed = options.clustering_seed;
+      fit.num_threads = options.clustering_threads;
       clustering = FitKMeans(dataset, fit);
       break;
     }
@@ -42,6 +43,7 @@ StatusOr<PipelineResult> RunPipeline(const Dataset& dataset,
       KModesOptions fit;
       fit.num_clusters = options.num_clusters;
       fit.seed = options.clustering_seed;
+      fit.num_threads = options.clustering_threads;
       clustering = FitKModes(dataset, fit);
       break;
     }
@@ -56,6 +58,7 @@ StatusOr<PipelineResult> RunPipeline(const Dataset& dataset,
       GmmOptions fit;
       fit.num_components = options.num_clusters;
       fit.seed = options.clustering_seed;
+      fit.num_threads = options.clustering_threads;
       clustering = FitGmm(dataset, fit);
       break;
     }
@@ -65,7 +68,8 @@ StatusOr<PipelineResult> RunPipeline(const Dataset& dataset,
   std::vector<ClusterId> labels = (*clustering)->AssignAll(dataset);
   DPX_ASSIGN_OR_RETURN(
       StatsCache stats,
-      StatsCache::Build(dataset, labels, options.num_clusters));
+      StatsCache::Build(dataset, labels, options.num_clusters,
+                        options.explain.num_threads));
   DPX_ASSIGN_OR_RETURN(
       GlobalExplanation explanation,
       ExplainDpClustXWithLabels(dataset, labels, options.num_clusters,

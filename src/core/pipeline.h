@@ -38,6 +38,11 @@ struct PipelineOptions {
   DpClustXOptions explain;
   /// Seed for the clustering fit (the explanation uses explain.seed).
   uint64_t clustering_seed = 1;
+  /// Parallelism cap for the clustering fit's per-row passes (k-means,
+  /// k-modes, gmm; 0 = compute-pool width). Fits are identical for a given
+  /// clustering_seed at any value, so this is a pure performance knob —
+  /// unlike explain.num_threads, which participates in the noise stream.
+  size_t clustering_threads = 0;
 };
 
 struct PipelineResult {

@@ -6,22 +6,18 @@ namespace dpclustx {
 
 StatusOr<StatsCache> StatsCache::Build(const Dataset& dataset,
                                        const std::vector<ClusterId>& labels,
-                                       size_t num_clusters) {
-  if (labels.size() != dataset.num_rows()) {
-    return Status::InvalidArgument(
-        "labels has " + std::to_string(labels.size()) + " entries, dataset " +
-        std::to_string(dataset.num_rows()) + " rows");
-  }
+                                       size_t num_clusters,
+                                       size_t num_threads) {
   if (num_clusters == 0) {
     return Status::InvalidArgument("num_clusters must be >= 1");
   }
-  for (ClusterId label : labels) {
-    if (label >= num_clusters) {
-      return Status::InvalidArgument("label " + std::to_string(label) +
-                                     " >= num_clusters " +
-                                     std::to_string(num_clusters));
-    }
-  }
+  // One fused sharded sweep over every column fills all |A|·|C| histograms
+  // (it also validates label range and size); the old per-attribute variant
+  // re-read the label vector |A| times. Counts are merged by exact integer
+  // addition, so the result is bitwise-identical at any thread count.
+  DPX_ASSIGN_OR_RETURN(
+      std::vector<std::vector<Histogram>> cluster_histograms,
+      dataset.ComputeAllGroupHistograms(labels, num_clusters, num_threads));
 
   StatsCache cache;
   cache.schema_ = dataset.schema();
@@ -31,18 +27,15 @@ StatusOr<StatsCache> StatsCache::Build(const Dataset& dataset,
 
   const size_t attrs = dataset.num_attributes();
   cache.full_histograms_.reserve(attrs);
-  cache.cluster_histograms_.reserve(attrs);
   for (size_t a = 0; a < attrs; ++a) {
     const auto attr = static_cast<AttrIndex>(a);
-    // One columnar pass per attribute fills the per-cluster histograms; the
-    // full histogram is their bin-wise sum (clusters partition the dataset).
-    std::vector<Histogram> per_cluster =
-        dataset.ComputeGroupHistograms(attr, labels, num_clusters);
+    // The full histogram is the in-place bin-wise sum of the per-cluster
+    // histograms (clusters partition the dataset; integer bins, exact).
     Histogram full(dataset.schema().attribute(attr).domain_size());
-    for (const Histogram& h : per_cluster) full = full.Plus(h);
+    for (const Histogram& h : cluster_histograms[a]) full.PlusInPlace(h);
     cache.full_histograms_.push_back(std::move(full));
-    cache.cluster_histograms_.push_back(std::move(per_cluster));
   }
+  cache.cluster_histograms_ = std::move(cluster_histograms);
   return cache;
 }
 

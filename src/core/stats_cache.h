@@ -27,10 +27,15 @@ class StatsCache {
   /// Builds the cache from a dataset and per-row cluster labels. Requires
   /// labels.size() == dataset.num_rows() and every label < num_clusters.
   /// num_clusters may exceed the number of labels present (empty clusters
-  /// are legal throughout the framework).
+  /// are legal throughout the framework). The counting pass is one fused
+  /// sharded sweep over all columns (Dataset::ComputeAllGroupHistograms);
+  /// `num_threads` caps its parallelism (0 = compute-pool width) and never
+  /// changes the result — shards merge by exact integer addition, so the
+  /// cache is bitwise-identical at any thread count.
   static StatusOr<StatsCache> Build(const Dataset& dataset,
                                     const std::vector<ClusterId>& labels,
-                                    size_t num_clusters);
+                                    size_t num_clusters,
+                                    size_t num_threads = 0);
 
   /// Builds a cache directly from histograms — used by the DP-Naive baseline
   /// to evaluate quality functions over *noisy* counts as post-processing.

@@ -157,6 +157,7 @@ StatusOr<Dataset> ReadCsv(const std::string& path) {
   DPX_RETURN_IF_ERROR(schema.Validate());
 
   Dataset dataset(std::move(schema));
+  dataset.Reserve(rows.size() - 1);
   std::vector<ValueCode> row_codes(header.size());
   for (size_t r = 1; r < rows.size(); ++r) {
     for (size_t a = 0; a < header.size(); ++a) {
@@ -199,6 +200,7 @@ StatusOr<Dataset> ReadCsvWithSchema(const std::string& path,
   }
 
   Dataset dataset(schema);
+  dataset.Reserve(rows.size() - 1);
   std::vector<ValueCode> row_codes(header.size());
   for (size_t r = 1; r < rows.size(); ++r) {
     if (rows[r].size() != header.size()) {

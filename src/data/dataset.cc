@@ -1,12 +1,29 @@
 #include "data/dataset.h"
 
+#include <atomic>
+#include <cstdint>
+
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 
 namespace dpclustx {
 
+namespace {
+
+// Rows per shard of the fused counting sweep. ~68 attributes per row makes
+// this ~280k bin increments per chunk — large enough to amortize dispatch,
+// small enough that a shard's label slice stays cache-resident.
+constexpr size_t kGroupCountGrain = 4096;
+
+}  // namespace
+
 Dataset::Dataset(Schema schema) : schema_(std::move(schema)) {
   columns_.resize(schema_.num_attributes());
+}
+
+void Dataset::Reserve(size_t num_rows) {
+  for (std::vector<ValueCode>& column : columns_) column.reserve(num_rows);
 }
 
 Status Dataset::AppendRow(const std::vector<ValueCode>& row) {
@@ -70,6 +87,90 @@ std::vector<Histogram> Dataset::ComputeGroupHistograms(
     hists[labels[row]].Increment(col[row]);
   }
   return hists;
+}
+
+StatusOr<std::vector<std::vector<Histogram>>>
+Dataset::ComputeAllGroupHistograms(const std::vector<uint32_t>& labels,
+                                   size_t num_groups,
+                                   size_t max_threads) const {
+  if (labels.size() != num_rows_) {
+    return Status::InvalidArgument(
+        "labels has " + std::to_string(labels.size()) + " entries, dataset " +
+        std::to_string(num_rows_) + " rows");
+  }
+  if (num_groups == 0) {
+    return Status::InvalidArgument("num_groups must be >= 1");
+  }
+  const size_t attrs = columns_.size();
+
+  // Flat per-shard count layout: offset[a] + label*domain(a) + value.
+  std::vector<size_t> offsets(attrs + 1, 0);
+  for (size_t a = 0; a < attrs; ++a) {
+    offsets[a + 1] = offsets[a] +
+                     num_groups *
+                         schema_.attribute(static_cast<AttrIndex>(a))
+                             .domain_size();
+  }
+  const size_t flat_size = offsets[attrs];
+
+  const size_t chunks = ParallelForNumChunks(num_rows_, kGroupCountGrain);
+  std::vector<std::vector<uint64_t>> shard_counts(chunks);
+  // An out-of-range label would index outside the flat buffer, so each shard
+  // validates before counting; the first offender is reported afterwards.
+  std::atomic<int64_t> bad_label{-1};
+  ParallelFor(
+      num_rows_, kGroupCountGrain,
+      [&](size_t chunk, size_t begin, size_t end) {
+        for (size_t row = begin; row < end; ++row) {
+          if (labels[row] >= num_groups) {
+            int64_t expected = -1;
+            bad_label.compare_exchange_strong(
+                expected, static_cast<int64_t>(labels[row]));
+            return;
+          }
+        }
+        std::vector<uint64_t>& counts = shard_counts[chunk];
+        counts.assign(flat_size, 0);
+        for (size_t a = 0; a < attrs; ++a) {
+          const size_t domain =
+              schema_.attribute(static_cast<AttrIndex>(a)).domain_size();
+          const ValueCode* col = columns_[a].data();
+          uint64_t* base = counts.data() + offsets[a];
+          for (size_t row = begin; row < end; ++row) {
+            ++base[static_cast<size_t>(labels[row]) * domain + col[row]];
+          }
+        }
+      },
+      max_threads);
+  if (const int64_t bad = bad_label.load(); bad >= 0) {
+    return Status::InvalidArgument("label " + std::to_string(bad) +
+                                   " >= num_groups " +
+                                   std::to_string(num_groups));
+  }
+
+  // Merge shards in ascending chunk order. Counts are integers, so the sum
+  // is exact regardless of order — bitwise-identical at any thread count.
+  std::vector<uint64_t> merged(flat_size, 0);
+  for (const std::vector<uint64_t>& counts : shard_counts) {
+    if (counts.empty()) continue;  // empty dataset edge case
+    for (size_t i = 0; i < flat_size; ++i) merged[i] += counts[i];
+  }
+
+  std::vector<std::vector<Histogram>> result(attrs);
+  for (size_t a = 0; a < attrs; ++a) {
+    const size_t domain =
+        schema_.attribute(static_cast<AttrIndex>(a)).domain_size();
+    result[a].reserve(num_groups);
+    const uint64_t* base = merged.data() + offsets[a];
+    for (size_t g = 0; g < num_groups; ++g) {
+      std::vector<double> bins(domain);
+      for (size_t v = 0; v < domain; ++v) {
+        bins[v] = static_cast<double>(base[g * domain + v]);
+      }
+      result[a].emplace_back(std::move(bins));
+    }
+  }
+  return result;
 }
 
 Dataset Dataset::SelectRows(const std::vector<uint32_t>& row_indices) const {

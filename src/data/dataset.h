@@ -27,6 +27,11 @@ class Dataset {
   size_t num_rows() const { return num_rows_; }
   size_t num_attributes() const { return schema_.num_attributes(); }
 
+  /// Reserves capacity for `num_rows` total rows in every column. Bulk
+  /// loaders (synth::Generate, the CSV readers) call this once up front so
+  /// appending n rows does not reallocate every column log(n) times.
+  void Reserve(size_t num_rows);
+
   /// Appends one tuple. Requires row.size() == num_attributes() and each code
   /// within its attribute's domain; returns InvalidArgument otherwise.
   Status AppendRow(const std::vector<ValueCode>& row);
@@ -61,6 +66,19 @@ class Dataset {
   std::vector<Histogram> ComputeGroupHistograms(
       AttrIndex attr, const std::vector<uint32_t>& labels,
       size_t num_groups) const;
+
+  /// Per-group histograms of EVERY attribute in one fused sharded pass:
+  /// result[attr][g] is the histogram of rows with labels[row] == g. Rows
+  /// are sharded across the compute pool (ParallelFor); each shard fills a
+  /// flat (attribute × group × value) integer count buffer in one
+  /// cache-friendly sweep over all columns, and shards merge by exact
+  /// integer addition — the output is bitwise-identical for every
+  /// max_threads value (0 = compute-pool width). Returns InvalidArgument on
+  /// a label >= num_groups instead of DPX_CHECK-aborting, since callers
+  /// (StatsCache::Build) validate through this path.
+  StatusOr<std::vector<std::vector<Histogram>>> ComputeAllGroupHistograms(
+      const std::vector<uint32_t>& labels, size_t num_groups,
+      size_t max_threads = 0) const;
 
   /// New dataset with only the listed rows (bag semantics: duplicates and
   /// reordering allowed).

@@ -87,6 +87,11 @@ Histogram Histogram::Plus(const Histogram& other) const {
   return out;
 }
 
+void Histogram::PlusInPlace(const Histogram& other) {
+  DPX_CHECK_EQ(domain_size(), other.domain_size());
+  for (size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+}
+
 Histogram Histogram::RoundedNonNegative() const {
   Histogram out(domain_size());
   for (size_t i = 0; i < bins_.size(); ++i) {

@@ -61,6 +61,11 @@ class Histogram {
   /// Bin-wise sum. Requires equal domain sizes.
   Histogram Plus(const Histogram& other) const;
 
+  /// Bin-wise sum in place (no O(domain) allocation, unlike Plus). Requires
+  /// equal domain sizes. The fold primitive of hot count paths
+  /// (StatsCache::Build's full-histogram fold).
+  void PlusInPlace(const Histogram& other);
+
   /// Rounds every bin to the nearest non-negative integer (presentation
   /// post-processing of noisy histograms).
   Histogram RoundedNonNegative() const;

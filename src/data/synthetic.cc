@@ -116,6 +116,7 @@ StatusOr<Dataset> Generate(const SyntheticConfig& config) {
   }
 
   Dataset dataset(schema);
+  dataset.Reserve(config.num_rows);
   std::vector<ValueCode> row(config.num_attributes);
   for (size_t r = 0; r < config.num_rows; ++r) {
     const size_t g = rng.Categorical(group_weights.data(), groups);

@@ -634,11 +634,24 @@ StatusOr<JsonValue> ServiceEngine::OpStats(const JsonValue& request) {
            JsonValue::Number(static_cast<double>(pool_.queue_depth())));
   pool.Set("tasks_completed",
            JsonValue::Number(static_cast<double>(pool_.tasks_completed())));
+  // The shared compute pool (ParallelFor) is process-wide and distinct from
+  // the request pool above; request workers always participate in their own
+  // ParallelFor regions, so the two compose without oversubscription
+  // deadlock.
+  JsonValue compute = JsonValue::Object();
+  compute.Set("width",
+              JsonValue::Number(static_cast<double>(ComputePoolWidth())));
+  compute.Set("parallel_for_calls",
+              JsonValue::Number(static_cast<double>(ParallelForCalls())));
+  compute.Set("parallel_for_parallel_calls",
+              JsonValue::Number(
+                  static_cast<double>(ParallelForParallelCalls())));
   JsonValue body = JsonValue::Object();
   body.Set("datasets", std::move(datasets));
   body.Set("sessions", std::move(session_ids));
   body.Set("cache", std::move(cache));
   body.Set("pool", std::move(pool));
+  body.Set("compute_pool", std::move(compute));
   return body;
 }
 
