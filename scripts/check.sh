@@ -2,18 +2,24 @@
 # Repository check: build and run the test suite in the default
 # configuration, then rebuild the concurrency-sensitive targets under
 # ThreadSanitizer and run the threaded tests (thread pool, service layer,
-# budget accountant, EDA sessions) with race detection on.
+# budget accountant, EDA sessions) with race detection on, then rebuild the
+# request-path targets under ASan+UBSan and run the service/robustness
+# tests — no std::abort, overflow, or memory error may be reachable from
+# request input.
 #
-# Usage: scripts/check.sh [--skip-tsan]
+# Usage: scripts/check.sh [--skip-tsan] [--skip-asan]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
+SKIP_ASAN=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
-    *) echo "unknown flag '$arg' (usage: scripts/check.sh [--skip-tsan])" >&2
+    --skip-asan) SKIP_ASAN=1 ;;
+    *) echo "unknown flag '$arg'" \
+            "(usage: scripts/check.sh [--skip-tsan] [--skip-asan])" >&2
        exit 2 ;;
   esac
 done
@@ -22,6 +28,20 @@ echo "==> default build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 (cd build && ctest --output-on-failure -j)
+
+if [[ "$SKIP_ASAN" == 1 ]]; then
+  echo "==> ASan+UBSan pass skipped (--skip-asan)"
+else
+  echo "==> ASan+UBSan build + service/robustness tests"
+  cmake -B build-asan -S . -DDPCLUSTX_SANITIZE=address >/dev/null
+  cmake --build build-asan -j --target \
+    service_test service_robustness_test json_test mechanisms_test \
+    thread_pool_test \
+    >/dev/null
+  (cd build-asan &&
+   ctest --output-on-failure \
+     -R '^(service_test|service_robustness_test|json_test|mechanisms_test|thread_pool_test)$')
+fi
 
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "==> TSan pass skipped (--skip-tsan)"

@@ -69,9 +69,12 @@ StatusOr<std::unique_ptr<ClusteringFunction>> FitDpKMeans(
 
     // Noisy statistics release for this iteration.
     for (size_t c = 0; c < k; ++c) {
-      counts[c] = LaplaceMechanism(counts[c], sensitivity, eps_iter, rng);
+      DPX_ASSIGN_OR_RETURN(
+          counts[c], LaplaceMechanism(counts[c], sensitivity, eps_iter, rng));
       for (size_t a = 0; a < dims; ++a) {
-        sums[c][a] = LaplaceMechanism(sums[c][a], sensitivity, eps_iter, rng);
+        DPX_ASSIGN_OR_RETURN(
+            sums[c][a],
+            LaplaceMechanism(sums[c][a], sensitivity, eps_iter, rng));
       }
     }
 

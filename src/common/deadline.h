@@ -1,0 +1,74 @@
+// Per-request deadlines with cooperative cancellation.
+//
+// A Deadline is a cheap value type (one time point + a flag) threaded from
+// the service boundary down into long-running kernels. Code that can loop
+// for a long time — the Stage-1 per-cluster selection, the Stage-2
+// combination enumeration — calls Check() at coarse checkpoints (every few
+// thousand iterations) and propagates the resulting DeadlineExceeded Status
+// instead of pinning a worker forever on a pathological request.
+//
+// Cancellation is purely cooperative: a checkpoint that fires AFTER a
+// privacy-budget charge does not refund the charge (the conservative
+// direction — the accountant may overstate, never understate, released ε).
+// Callers that want expiry to cost nothing must Check() before spending.
+
+#ifndef DPCLUSTX_COMMON_DEADLINE_H_
+#define DPCLUSTX_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace dpclustx {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No deadline: Expired() is always false, Check() always OK.
+  Deadline() = default;
+
+  /// Expires `ms` milliseconds from now. ms <= 0 is already expired.
+  static Deadline AfterMillis(int64_t ms) {
+    return FromStart(Clock::now(), ms);
+  }
+
+  /// Expires `ms` milliseconds after `start` — lets an asynchronous server
+  /// anchor the deadline at enqueue time so queue wait counts against it.
+  static Deadline FromStart(Clock::time_point start, int64_t ms) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.at_ = start + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  bool Expired() const { return has_deadline_ && Clock::now() >= at_; }
+
+  /// OK while time remains; DeadlineExceeded naming `where` once expired.
+  Status Check(const char* where) const {
+    if (!Expired()) return Status::OK();
+    return Status::DeadlineExceeded(std::string("deadline exceeded in ") +
+                                    where);
+  }
+
+  /// Milliseconds until expiry (clamped at 0); meaningless without a
+  /// deadline.
+  int64_t remaining_millis() const {
+    if (!has_deadline_) return 0;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at_ - Clock::now());
+    return left.count() > 0 ? left.count() : 0;
+  }
+
+ private:
+  bool has_deadline_ = false;
+  Clock::time_point at_{};
+};
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_COMMON_DEADLINE_H_

@@ -16,7 +16,11 @@ JsonValue JsonValue::Bool(bool value) {
 }
 
 JsonValue JsonValue::Number(double value) {
-  DPX_CHECK(std::isfinite(value)) << "JSON numbers must be finite";
+  // Deliberately no finiteness check: aborting here would let any NaN
+  // produced anywhere in a response take down the whole process (the
+  // serving path feeds data-dependent doubles through this constructor).
+  // Dump() serializes non-finite values as null; IsFinite() lets
+  // boundaries detect and reject them.
   JsonValue v;
   v.type_ = Type::kNumber;
   v.number_ = value;
@@ -90,6 +94,25 @@ void JsonValue::Set(const std::string& key, JsonValue value) {
   object_[key] = std::move(value);
 }
 
+bool JsonValue::IsFinite() const {
+  switch (type_) {
+    case Type::kNumber:
+      return std::isfinite(number_);
+    case Type::kArray:
+      for (const JsonValue& v : array_) {
+        if (!v.IsFinite()) return false;
+      }
+      return true;
+    case Type::kObject:
+      for (const auto& [key, v] : object_) {
+        if (!v.IsFinite()) return false;
+      }
+      return true;
+    default:
+      return true;
+  }
+}
+
 StatusOr<double> JsonValue::GetNumber(const std::string& key) const {
   if (type_ != Type::kObject) {
     return Status::InvalidArgument("not an object");
@@ -137,6 +160,13 @@ void EscapeInto(const std::string& s, std::string& out) {
 }
 
 void NumberInto(double x, std::string& out) {
+  // JSON has no NaN/Inf literals; serialize them as null so output is
+  // always parseable (boundaries that must not lose the value gate on
+  // IsFinite() before dumping).
+  if (!std::isfinite(x)) {
+    out += "null";
+    return;
+  }
   // Integers print without exponent/decimals; others with enough digits to
   // round-trip.
   if (x == std::floor(x) && std::fabs(x) < 1e15) {

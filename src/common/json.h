@@ -26,6 +26,12 @@ class JsonValue {
 
   static JsonValue Null() { return JsonValue(); }
   static JsonValue Bool(bool value);
+  /// Accepts any double, including NaN/Inf — constructing a number must
+  /// never abort, because numbers on the serving path are data-dependent
+  /// (a degenerate request can legitimately produce a non-finite metric).
+  /// JSON has no non-finite literals, so Dump() serializes them as `null`;
+  /// boundaries that must not emit such a hole check IsFinite() first and
+  /// turn it into an error response (see ServiceEngine::Dispatch).
   static JsonValue Number(double value);
   static JsonValue String(std::string value);
   static JsonValue Array();
@@ -33,6 +39,11 @@ class JsonValue {
 
   Type type() const { return type_; }
   bool is_null() const { return type_ == Type::kNull; }
+
+  /// True when every number in this value (recursively) is finite — i.e.
+  /// Dump() loses nothing. Serving boundaries use this to reject responses
+  /// that picked up a NaN/Inf instead of silently emitting `null`.
+  bool IsFinite() const;
 
   /// Typed accessors; DPX_CHECK on type mismatch (programming error — use
   /// the Typed* lookups below for data-dependent access).

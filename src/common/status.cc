@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -24,6 +24,7 @@ enum class StatusCode {
   kIoError,           // filesystem / parsing failure
   kInternal,          // invariant violation that was recoverable
   kResourceExhausted, // a bounded resource (queue slot, cache, ...) is full
+  kDeadlineExceeded,  // the operation ran past its cooperative deadline
 };
 
 /// Returns a stable human-readable name for a StatusCode ("InvalidArgument").
@@ -63,6 +64,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

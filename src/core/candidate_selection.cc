@@ -49,6 +49,7 @@ StatusOr<std::vector<std::vector<AttrIndex>>> SelectCandidates(
   std::vector<std::vector<AttrIndex>> candidate_sets;
   candidate_sets.reserve(stats.num_clusters());
   for (size_t c = 0; c < stats.num_clusters(); ++c) {
+    DPX_RETURN_IF_ERROR(options.deadline.Check("stage1 top-k"));
     const std::vector<double> scores =
         ScoreAllAttributes(stats, static_cast<ClusterId>(c), options.gamma);
     // One-shot top-k with σ = 2·Δ·k/ε_Topk, Δ_SScore = 1 (Prop. 4.10).
@@ -115,12 +116,15 @@ StatusOr<std::vector<std::vector<AttrIndex>>> SvtSelectCandidates(
   std::vector<std::vector<AttrIndex>> candidate_sets;
   candidate_sets.reserve(stats.num_clusters());
   for (size_t c = 0; c < stats.num_clusters(); ++c) {
+    DPX_RETURN_IF_ERROR(options.deadline.Check("stage1 svt"));
     const auto cluster = static_cast<ClusterId>(c);
     // Noisy cluster size (sensitivity-1 count) sets a data-calibrated bar.
-    const double noisy_size = std::max(
-        0.0, static_cast<double>(GeometricMechanism(
-                 static_cast<int64_t>(stats.cluster_size(cluster)),
-                 /*sensitivity=*/1.0, eps_size, rng)));
+    DPX_ASSIGN_OR_RETURN(
+        const int64_t noisy_count,
+        GeometricMechanism(static_cast<int64_t>(stats.cluster_size(cluster)),
+                           /*sensitivity=*/1.0, eps_size, rng));
+    const double noisy_size =
+        std::max(0.0, static_cast<double>(noisy_count));
     const double threshold = options.threshold_fraction * noisy_size;
 
     std::vector<double> scores(stats.num_attributes());

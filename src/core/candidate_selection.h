@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/quality.h"
@@ -26,6 +27,11 @@ struct CandidateSelectionOptions {
   size_t k = 3;
   /// γ weights of the single-cluster score.
   SingleClusterWeights gamma;
+  /// Cooperative cancellation bound, checked between clusters. Default: no
+  /// deadline. A DeadlineExceeded return after some clusters were scanned is
+  /// safe: the caller has already paid the stage's full ε up front and no
+  /// partial selection escapes.
+  Deadline deadline;
 };
 
 /// Runs Algorithm 1. Returns one candidate set per cluster (attribute
@@ -60,6 +66,9 @@ struct SvtCandidateOptions {
   /// Slice of each cluster's budget spent on the noisy cluster size.
   double size_budget_share = 0.1;
   SingleClusterWeights gamma;
+  /// Cooperative cancellation bound, checked between clusters (see
+  /// CandidateSelectionOptions::deadline).
+  Deadline deadline;
 };
 
 /// Runs the SVT Stage-1. A cluster with no qualifying attribute falls back

@@ -1,5 +1,6 @@
 #include "core/explainer.h"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <set>
@@ -12,6 +13,13 @@
 namespace dpclustx {
 
 namespace core_internal {
+
+namespace {
+// Combinations scanned between deadline checks. Power of two so the
+// checkpoint is a mask test; coarse enough (a few µs of lookups per block)
+// that the steady_clock read is amortized to noise.
+constexpr size_t kDeadlineCheckStride = 4096;
+}  // namespace
 
 CombinationScoreTables BuildLowSensitivityTables(
     const StatsCache& stats,
@@ -61,7 +69,7 @@ CombinationScoreTables BuildLowSensitivityTables(
 StatusOr<AttributeCombination> SearchCombination(
     const std::vector<std::vector<AttrIndex>>& candidate_sets,
     const CombinationScoreTables& tables, double epsilon, double sensitivity,
-    size_t max_combinations, Rng& rng) {
+    size_t max_combinations, Rng& rng, const Deadline& deadline) {
   const size_t clusters = candidate_sets.size();
   if (clusters == 0) {
     return Status::InvalidArgument("need at least one cluster");
@@ -98,6 +106,9 @@ StatusOr<AttributeCombination> SearchCombination(
   std::vector<size_t> best_choice(clusters, 0);
   double best_value = -std::numeric_limits<double>::infinity();
   for (size_t combo = 0; combo < num_combinations; ++combo) {
+    if ((combo & (kDeadlineCheckStride - 1)) == 0) {
+      DPX_RETURN_IF_ERROR(deadline.Check("stage2 search"));
+    }
     double score = 0.0;
     for (size_t c = 0; c < clusters; ++c) {
       score += tables.unary[c][choice[c]];
@@ -133,7 +144,8 @@ StatusOr<AttributeCombination> SearchCombination(
 StatusOr<AttributeCombination> SearchCombinationParallel(
     const std::vector<std::vector<AttrIndex>>& candidate_sets,
     const CombinationScoreTables& tables, double epsilon, double sensitivity,
-    size_t max_combinations, Rng& rng, size_t num_threads) {
+    size_t max_combinations, Rng& rng, size_t num_threads,
+    const Deadline& deadline) {
   const size_t clusters = candidate_sets.size();
   if (clusters == 0) {
     return Status::InvalidArgument("need at least one cluster");
@@ -170,6 +182,12 @@ StatusOr<AttributeCombination> SearchCombinationParallel(
   shard_rngs.reserve(workers);
   for (size_t w = 0; w < workers; ++w) shard_rngs.push_back(rng.Fork());
 
+  // ParallelFor bodies cannot propagate Status, so cancellation is a shared
+  // flag: the first shard to observe the deadline raises it, every shard
+  // polls it at the same stride and bails, and the Status is materialized
+  // after the join. Relaxed ordering suffices — the flag gates no data.
+  std::atomic<bool> cancelled{false};
+
   auto scan_shard = [&](size_t worker) {
     const size_t begin = worker * num_combinations / workers;
     const size_t end = (worker + 1) * num_combinations / workers;
@@ -185,6 +203,13 @@ StatusOr<AttributeCombination> SearchCombinationParallel(
       remainder /= candidate_sets[c].size();
     }
     for (size_t combo = begin; combo < end; ++combo) {
+      if ((combo & (kDeadlineCheckStride - 1)) == 0) {
+        if (cancelled.load(std::memory_order_relaxed)) return;
+        if (deadline.Expired()) {
+          cancelled.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
       double score = 0.0;
       for (size_t c = 0; c < clusters; ++c) {
         score += tables.unary[c][choice[c]];
@@ -224,6 +249,9 @@ StatusOr<AttributeCombination> SearchCombinationParallel(
         for (size_t w = begin; w < end; ++w) scan_shard(w);
       },
       workers);
+  if (cancelled.load(std::memory_order_relaxed)) {
+    return Status::DeadlineExceeded("deadline exceeded in stage2 search");
+  }
 
   size_t best_worker = 0;
   for (size_t w = 1; w < workers; ++w) {
@@ -277,6 +305,10 @@ StatusOr<GlobalExplanation> ExplainDpClustXWithStats(
     const StatsCache& stats, const DpClustXOptions& options,
     PrivacyBudget* budget) {
   DPX_RETURN_IF_ERROR(ValidateOptions(options));
+  // Check the deadline BEFORE reserving budget: a request that expired while
+  // queued must charge nothing. Checkpoints past this point do not refund —
+  // the accountant may overstate, never understate, the released ε.
+  DPX_RETURN_IF_ERROR(options.deadline.Check("explain start"));
 
   // Reserve the whole run's budget up front so a failure cannot leave a
   // partially-released explanation.
@@ -304,6 +336,7 @@ StatusOr<GlobalExplanation> ExplainDpClustXWithStats(
       stage1.epsilon = options.epsilon_cand_set;
       stage1.k = options.num_candidates;
       stage1.gamma = gamma;
+      stage1.deadline = options.deadline;
       DPX_ASSIGN_OR_RETURN(candidate_sets,
                            SelectCandidates(stats, stage1, rng));
       break;
@@ -314,6 +347,7 @@ StatusOr<GlobalExplanation> ExplainDpClustXWithStats(
       stage1.max_candidates = options.num_candidates;
       stage1.threshold_fraction = options.svt_threshold_fraction;
       stage1.gamma = gamma;
+      stage1.deadline = options.deadline;
       DPX_ASSIGN_OR_RETURN(candidate_sets,
                            SvtSelectCandidates(stats, stage1, rng));
       break;
@@ -329,10 +363,11 @@ StatusOr<GlobalExplanation> ExplainDpClustXWithStats(
           ? core_internal::SearchCombinationParallel(
                 candidate_sets, tables, options.epsilon_top_comb,
                 kGlScoreSensitivity, options.max_combinations, rng,
-                options.num_threads)
+                options.num_threads, options.deadline)
           : core_internal::SearchCombination(
                 candidate_sets, tables, options.epsilon_top_comb,
-                kGlScoreSensitivity, options.max_combinations, rng);
+                kGlScoreSensitivity, options.max_combinations, rng,
+                options.deadline);
   DPX_RETURN_IF_ERROR(selected.status());
   AttributeCombination combination = std::move(selected).value();
 
@@ -352,6 +387,7 @@ StatusOr<GlobalExplanation> ExplainDpClustXWithStats(
   // the |A'| attributes).
   std::vector<Histogram> noisy_full(stats.num_attributes());
   for (AttrIndex attr : distinct) {
+    DPX_RETURN_IF_ERROR(options.deadline.Check("full histograms"));
     DPX_ASSIGN_OR_RETURN(
         noisy_full[attr],
         ReleaseDpHistogram(stats.full_histogram(attr), eps_hist_all, rng,
@@ -362,6 +398,7 @@ StatusOr<GlobalExplanation> ExplainDpClustXWithStats(
   // the disjoint clusters) and post-processed out-of-cluster histograms.
   explanation.per_cluster.resize(stats.num_clusters());
   for (size_t c = 0; c < stats.num_clusters(); ++c) {
+    DPX_RETURN_IF_ERROR(options.deadline.Check("cluster histograms"));
     const auto cluster = static_cast<ClusterId>(c);
     const AttrIndex attr = combination[c];
     SingleClusterExplanation& e = explanation.per_cluster[c];

@@ -15,6 +15,7 @@
 #define DPCLUSTX_CORE_EXPLAINER_H_
 
 #include "cluster/clustering.h"
+#include "common/deadline.h"
 #include "common/status.h"
 #include "core/explanation.h"
 #include "core/quality.h"
@@ -66,6 +67,13 @@ struct DpClustXOptions {
   /// different num_threads draw different noise at the same seed. The
   /// StatsCache build is bitwise-identical at any value.
   size_t num_threads = 1;
+  /// Cooperative cancellation bound for the whole run. Checked between
+  /// Stage-1 clusters, every few thousand Stage-2 combinations, and between
+  /// histogram releases. Default: no deadline. A DeadlineExceeded return
+  /// does NOT refund budget already reserved up front — the accountant may
+  /// overstate, never understate, the released ε (see DESIGN.md, failure
+  /// semantics).
+  Deadline deadline;
 };
 
 /// Runs DPClustX against a black-box clustering function: labels the dataset
@@ -118,7 +126,7 @@ CombinationScoreTables BuildLowSensitivityTables(
 StatusOr<AttributeCombination> SearchCombination(
     const std::vector<std::vector<AttrIndex>>& candidate_sets,
     const CombinationScoreTables& tables, double epsilon, double sensitivity,
-    size_t max_combinations, Rng& rng);
+    size_t max_combinations, Rng& rng, const Deadline& deadline = {});
 
 /// Multithreaded variant: shards the combination space across
 /// `num_threads` workers, each with an independent noise stream forked from
@@ -130,7 +138,8 @@ StatusOr<AttributeCombination> SearchCombination(
 StatusOr<AttributeCombination> SearchCombinationParallel(
     const std::vector<std::vector<AttrIndex>>& candidate_sets,
     const CombinationScoreTables& tables, double epsilon, double sensitivity,
-    size_t max_combinations, Rng& rng, size_t num_threads);
+    size_t max_combinations, Rng& rng, size_t num_threads,
+    const Deadline& deadline = {});
 
 }  // namespace core_internal
 

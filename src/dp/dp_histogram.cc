@@ -31,14 +31,19 @@ StatusOr<Histogram> ReleaseDpHistogram(const Histogram& exact, double epsilon,
         // Exact bins are integral by construction; llround guards against
         // caller-provided non-integer bins.
         const auto count = static_cast<int64_t>(std::llround(exact.bin(code)));
-        value = static_cast<double>(GeometricMechanism(count, /*sensitivity=*/
-                                                       1.0, epsilon, rng));
+        DPX_ASSIGN_OR_RETURN(
+            const int64_t noisy_count,
+            GeometricMechanism(count, /*sensitivity=*/1.0, epsilon, rng));
+        value = static_cast<double>(noisy_count);
         break;
       }
-      case HistogramNoise::kLaplace:
-        value = LaplaceMechanism(exact.bin(code), /*sensitivity=*/1.0,
-                                 epsilon, rng);
+      case HistogramNoise::kLaplace: {
+        DPX_ASSIGN_OR_RETURN(value,
+                             LaplaceMechanism(exact.bin(code),
+                                              /*sensitivity=*/1.0, epsilon,
+                                              rng));
         break;
+      }
       case HistogramNoise::kHierarchical:
         break;  // dispatched above; unreachable
     }

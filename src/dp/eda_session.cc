@@ -96,8 +96,10 @@ StatusOr<double> EdaSession::QueryClusterSize(uint32_t cluster,
   for (uint32_t label : labels_) {
     if (label == cluster) ++count;
   }
-  return static_cast<double>(
+  DPX_ASSIGN_OR_RETURN(
+      const int64_t noisy,
       GeometricMechanism(count, /*sensitivity=*/1.0, epsilon, rng_));
+  return static_cast<double>(noisy);
 }
 
 }  // namespace dpclustx

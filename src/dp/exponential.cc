@@ -1,6 +1,7 @@
 #include "dp/exponential.h"
 
 #include <cmath>
+#include <limits>
 
 namespace dpclustx {
 

@@ -6,17 +6,38 @@
 
 namespace dpclustx {
 
-double LaplaceMechanism(double true_value, double sensitivity, double epsilon,
-                        Rng& rng) {
-  DPX_CHECK_GT(sensitivity, 0.0);
-  DPX_CHECK_GT(epsilon, 0.0);
+namespace {
+
+// Shared parameter gate: refusing (rather than aborting) on a bad Δ or ε
+// keeps a hostile request from taking down the process, and drawing no
+// noise on refusal keeps the refusal itself free of privacy cost. NaN
+// must be caught explicitly — every comparison against it is false.
+Status ValidateNoiseParams(const char* mechanism, double sensitivity,
+                           double epsilon) {
+  if (!std::isfinite(sensitivity) || sensitivity <= 0.0) {
+    return Status::InvalidArgument(
+        std::string(mechanism) + ": sensitivity must be finite and positive");
+  }
+  if (!std::isfinite(epsilon) || epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        std::string(mechanism) + ": epsilon must be finite and positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<double> LaplaceMechanism(double true_value, double sensitivity,
+                                  double epsilon, Rng& rng) {
+  DPX_RETURN_IF_ERROR(ValidateNoiseParams("LaplaceMechanism", sensitivity,
+                                          epsilon));
   return true_value + rng.Laplace(sensitivity / epsilon);
 }
 
-int64_t GeometricMechanism(int64_t true_count, double sensitivity,
-                           double epsilon, Rng& rng) {
-  DPX_CHECK_GT(sensitivity, 0.0);
-  DPX_CHECK_GT(epsilon, 0.0);
+StatusOr<int64_t> GeometricMechanism(int64_t true_count, double sensitivity,
+                                     double epsilon, Rng& rng) {
+  DPX_RETURN_IF_ERROR(ValidateNoiseParams("GeometricMechanism", sensitivity,
+                                          epsilon));
   return true_count + rng.TwoSidedGeometric(epsilon / sensitivity);
 }
 

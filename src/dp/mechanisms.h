@@ -17,16 +17,19 @@
 
 namespace dpclustx {
 
-/// true_value + Lap(sensitivity/epsilon). Requires sensitivity > 0 and
-/// epsilon > 0 (DPX_CHECKed — miscalibrated noise is a privacy bug, not a
-/// recoverable error).
-double LaplaceMechanism(double true_value, double sensitivity, double epsilon,
-                        Rng& rng);
+/// true_value + Lap(sensitivity/epsilon). Returns InvalidArgument unless
+/// sensitivity and epsilon are finite and positive — miscalibrated noise is
+/// a privacy bug, and these parameters can descend from request input, so
+/// the refusal must be a propagated error rather than a process abort (no
+/// noise is drawn on refusal).
+StatusOr<double> LaplaceMechanism(double true_value, double sensitivity,
+                                  double epsilon, Rng& rng);
 
 /// true_count + Z with Z two-sided geometric at parameter exp(-epsilon /
-/// sensitivity). Requires sensitivity > 0 and epsilon > 0.
-int64_t GeometricMechanism(int64_t true_count, double sensitivity,
-                           double epsilon, Rng& rng);
+/// sensitivity). Same finite-positive parameter contract as
+/// LaplaceMechanism.
+StatusOr<int64_t> GeometricMechanism(int64_t true_count, double sensitivity,
+                                     double epsilon, Rng& rng);
 
 /// Symmetric-interval quantile of the Laplace mechanism's noise:
 /// the smallest t with P(|Z| <= t) >= confidence. Used to translate accuracy

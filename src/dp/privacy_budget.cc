@@ -1,6 +1,7 @@
 #include "dp/privacy_budget.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "common/logging.h"
@@ -35,9 +36,11 @@ double PrivacyBudget::remaining_epsilon() const {
 }
 
 Status PrivacyBudget::Spend(double epsilon, const std::string& label) {
-  if (epsilon <= 0.0) {
-    return Status::InvalidArgument("epsilon must be positive (label '" +
-                                   label + "')");
+  // The finite check must be explicit: a NaN charge passes every comparison
+  // below (all false) and would poison spent_ for the ledger's lifetime.
+  if (!std::isfinite(epsilon) || epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        "epsilon must be finite and positive (label '" + label + "')");
   }
   std::lock_guard<std::mutex> lock(mutex_);
   if (spent_ + epsilon > total_ + BudgetSlack(total_)) {
@@ -55,7 +58,7 @@ Status PrivacyBudget::Spend(double epsilon, const std::string& label) {
 }
 
 bool PrivacyBudget::CanSpend(double epsilon) const {
-  if (epsilon <= 0.0) return false;
+  if (!std::isfinite(epsilon) || epsilon <= 0.0) return false;
   std::lock_guard<std::mutex> lock(mutex_);
   return spent_ + epsilon <= total_ + BudgetSlack(total_);
 }
@@ -67,9 +70,9 @@ Status PrivacyBudget::SpendParallel(
     return Status::InvalidArgument("SpendParallel: empty epsilon list");
   }
   for (double eps : per_partition_epsilons) {
-    if (eps <= 0.0) {
+    if (!std::isfinite(eps) || eps <= 0.0) {
       return Status::InvalidArgument(
-          "SpendParallel: all epsilons must be positive");
+          "SpendParallel: all epsilons must be finite and positive");
     }
   }
   const double max_eps = *std::max_element(per_partition_epsilons.begin(),

@@ -1,6 +1,8 @@
 #include "service/service_engine.h"
 
+#include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <mutex>
 #include <random>
@@ -21,14 +23,29 @@ namespace dpclustx::service {
 
 namespace {
 
-JsonValue ErrorResponse(const Status& status) {
+JsonValue ErrorResponse(const Status& status, int64_t retry_after_ms = 0) {
   JsonValue error = JsonValue::Object();
   error.Set("code", JsonValue::String(StatusCodeName(status.code())));
   error.Set("message", JsonValue::String(status.message()));
+  if (retry_after_ms > 0) {
+    error.Set("retry_after_ms",
+              JsonValue::Number(static_cast<double>(retry_after_ms)));
+  }
   JsonValue response = JsonValue::Object();
   response.Set("ok", JsonValue::Bool(false));
   response.Set("error", std::move(error));
   return response;
+}
+
+bool IsKnownOp(const std::string& op) {
+  static constexpr const char* kOps[] = {
+      "ping",   "load_dataset",   "schema",        "cluster",
+      "budget", "create_session", "close_session", "explain",
+      "hist",   "size",           "stats"};
+  for (const char* known : kOps) {
+    if (op == known) return true;
+  }
+  return false;
 }
 
 /// Optional-field accessors: absent keys yield the fallback, present keys of
@@ -149,6 +166,20 @@ void ServiceEngine::ReleaseInflight(const std::string& key) {
 }
 
 std::string ServiceEngine::Handle(const std::string& request_json) {
+  return HandleAt(request_json, Deadline::Clock::now());
+}
+
+std::string ServiceEngine::HandleAt(const std::string& request_json,
+                                    Deadline::Clock::time_point start) {
+  // Size gate BEFORE parsing: a hostile payload must not buy a parse
+  // proportional to its length.
+  if (request_json.size() > options_.max_request_bytes) {
+    return ErrorResponse(Status::InvalidArgument(
+               "request of " + std::to_string(request_json.size()) +
+               " bytes exceeds max_request_bytes=" +
+               std::to_string(options_.max_request_bytes)))
+        .Dump();
+  }
   StatusOr<JsonValue> parsed = JsonValue::Parse(request_json);
   if (!parsed.ok()) return ErrorResponse(parsed.status()).Dump();
   if (parsed->type() != JsonValue::Type::kObject) {
@@ -156,22 +187,34 @@ std::string ServiceEngine::Handle(const std::string& request_json) {
                Status::InvalidArgument("request must be a JSON object"))
         .Dump();
   }
-  JsonValue response = Dispatch(*parsed);
+  JsonValue response = Dispatch(*parsed, start);
   if (parsed->Has("id")) response.Set("id", parsed->at("id"));
   return response.Dump();
 }
 
 Status ServiceEngine::HandleAsync(std::string request_json,
                                   std::function<void(std::string)> done) {
-  return pool_.TrySubmit(
-      [this, request = std::move(request_json), done = std::move(done)] {
-        done(Handle(request));
-      });
+  // The deadline clock starts at enqueue, not at execution: a request that
+  // sat in the queue past its deadline_ms is dropped (for free) when a
+  // worker finally picks it up.
+  const Deadline::Clock::time_point enqueued = Deadline::Clock::now();
+  Status submitted = pool_.TrySubmit(
+      [this, enqueued, request = std::move(request_json),
+       done = std::move(done)] { done(HandleAt(request, enqueued)); });
+  if (submitted.code() == StatusCode::kResourceExhausted) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return submitted;
 }
 
 std::string ServiceEngine::RejectionResponse(const std::string& request_json,
-                                             const Status& reason) {
-  JsonValue response = ErrorResponse(reason);
+                                             const Status& reason,
+                                             int64_t retry_after_ms) {
+  // Only shed requests get the back-off hint; retrying a shutdown rejection
+  // is pointless.
+  JsonValue response = ErrorResponse(
+      reason, reason.code() == StatusCode::kResourceExhausted ? retry_after_ms
+                                                              : 0);
   StatusOr<JsonValue> parsed = JsonValue::Parse(request_json);
   if (parsed.ok() && parsed->type() == JsonValue::Type::kObject &&
       parsed->Has("id")) {
@@ -180,40 +223,112 @@ std::string ServiceEngine::RejectionResponse(const std::string& request_json,
   return response.Dump();
 }
 
-JsonValue ServiceEngine::Dispatch(const JsonValue& request) {
+JsonValue ServiceEngine::Dispatch(const JsonValue& request,
+                                  Deadline::Clock::time_point start) {
   StatusOr<std::string> op = request.GetString("op");
   if (!op.ok()) return ErrorResponse(op.status());
-
-  StatusOr<JsonValue> body = Status::NotFound("unknown op '" + *op + "'");
-  if (*op == "ping") {
-    JsonValue pong = JsonValue::Object();
-    pong.Set("pong", JsonValue::Bool(true));
-    body = std::move(pong);
-  } else if (*op == "load_dataset") {
-    body = OpLoadDataset(request);
-  } else if (*op == "schema") {
-    body = OpSchema(request);
-  } else if (*op == "cluster") {
-    body = OpCluster(request);
-  } else if (*op == "create_session") {
-    body = OpCreateSession(request);
-  } else if (*op == "close_session") {
-    body = OpCloseSession(request);
-  } else if (*op == "budget") {
-    body = OpBudget(request);
-  } else if (*op == "explain") {
-    body = OpExplain(request);
-  } else if (*op == "hist") {
-    body = OpHist(request);
-  } else if (*op == "size") {
-    body = OpSize(request);
-  } else if (*op == "stats") {
-    body = OpStats(request);
+  if (!IsKnownOp(*op)) {
+    // Unknown ops bypass the metrics map so a hostile stream of invented op
+    // names cannot grow it without bound.
+    return ErrorResponse(Status::NotFound("unknown op '" + *op + "'"));
   }
+
+  const Deadline::Clock::time_point began = Deadline::Clock::now();
+  StatusOr<JsonValue> body = DispatchOp(*op, request, start);
+  if (body.ok() && !body->IsFinite()) {
+    // A NaN/Inf anywhere in a response means a mechanism or handler bug (or
+    // an injected fault) upstream; suppress the body — a null-laden release
+    // is not a usable DP output — and keep serving.
+    body = Status::Internal("op '" + *op +
+                            "' produced a non-finite number; response "
+                            "suppressed");
+  }
+  RecordOp(*op, began, body.status());
   if (!body.ok()) return ErrorResponse(body.status());
   JsonValue response = std::move(*body);
   response.Set("ok", JsonValue::Bool(true));
   return response;
+}
+
+StatusOr<JsonValue> ServiceEngine::DispatchOp(
+    const std::string& op, const JsonValue& request,
+    Deadline::Clock::time_point start) {
+  DPX_ASSIGN_OR_RETURN(
+      const double deadline_ms,
+      OptNumber(request, "deadline_ms",
+                static_cast<double>(options_.default_deadline_ms)));
+  if (!std::isfinite(deadline_ms) || deadline_ms < 0.0) {
+    return Status::InvalidArgument(
+        "'deadline_ms' must be a finite non-negative number (0 = none)");
+  }
+  Deadline deadline;
+  if (deadline_ms > 0.0) {
+    deadline = Deadline::FromStart(start, static_cast<int64_t>(deadline_ms));
+  }
+  // Expired while queued: drop before the handler runs (and before any ε
+  // could be charged).
+  DPX_RETURN_IF_ERROR(deadline.Check("dispatch"));
+  DPX_RETURN_IF_ERROR(InjectFault(op + ":start", request, nullptr));
+
+  StatusOr<JsonValue> body = Status::Internal("unrouted op '" + op + "'");
+  if (op == "ping") {
+    JsonValue pong = JsonValue::Object();
+    pong.Set("pong", JsonValue::Bool(true));
+    body = std::move(pong);
+  } else if (op == "load_dataset") {
+    body = OpLoadDataset(request);
+  } else if (op == "schema") {
+    body = OpSchema(request);
+  } else if (op == "cluster") {
+    body = OpCluster(request);
+  } else if (op == "create_session") {
+    body = OpCreateSession(request);
+  } else if (op == "close_session") {
+    body = OpCloseSession(request);
+  } else if (op == "budget") {
+    body = OpBudget(request);
+  } else if (op == "explain") {
+    body = OpExplain(request, deadline);
+  } else if (op == "hist") {
+    body = OpHist(request);
+  } else if (op == "size") {
+    body = OpSize(request);
+  } else if (op == "stats") {
+    body = OpStats(request);
+  }
+  if (body.ok()) {
+    DPX_RETURN_IF_ERROR(InjectFault(op + ":finish", request, &*body));
+  }
+  return body;
+}
+
+Status ServiceEngine::InjectFault(const std::string& point,
+                                  const JsonValue& request, JsonValue* body) {
+  if (!options_.fault_injector) return Status::OK();
+  FaultPoint fault;
+  fault.point = point;
+  fault.request = &request;
+  fault.body = body;
+  return options_.fault_injector(fault);
+}
+
+void ServiceEngine::RecordOp(const std::string& op,
+                             Deadline::Clock::time_point began,
+                             const Status& outcome) {
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          Deadline::Clock::now() - began)
+          .count();
+  const auto micros = static_cast<uint64_t>(elapsed > 0 ? elapsed : 0);
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  OpCounters& counters = op_counters_[op];
+  ++counters.count;
+  if (!outcome.ok()) ++counters.errors;
+  if (outcome.code() == StatusCode::kDeadlineExceeded) {
+    ++counters.deadline_exceeded;
+  }
+  counters.total_micros += micros;
+  if (micros > counters.max_micros) counters.max_micros = micros;
 }
 
 StatusOr<JsonValue> ServiceEngine::OpLoadDataset(const JsonValue& request) {
@@ -425,7 +540,8 @@ StatusOr<JsonValue> ServiceEngine::OpBudget(const JsonValue& request) {
   return body;
 }
 
-StatusOr<JsonValue> ServiceEngine::OpExplain(const JsonValue& request) {
+StatusOr<JsonValue> ServiceEngine::OpExplain(const JsonValue& request,
+                                             const Deadline& deadline) {
   DPX_ASSIGN_OR_RETURN(const std::string session_id,
                        request.GetString("session"));
   DPX_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
@@ -447,6 +563,7 @@ StatusOr<JsonValue> ServiceEngine::OpExplain(const JsonValue& request) {
   DPX_ASSIGN_OR_RETURN(options.num_candidates,
                        OptCount(request, "num_candidates", 3));
   DPX_ASSIGN_OR_RETURN(options.num_threads, OptCount(request, "threads", 1));
+  options.deadline = deadline;
   // Pinned seeds are test-only (rejected here in the secure configuration);
   // otherwise the seed is drawn server-side at compute time below.
   const bool pinned_seed = request.Has("seed");
@@ -498,8 +615,18 @@ StatusOr<JsonValue> ServiceEngine::OpExplain(const JsonValue& request) {
     std::lock_guard<std::mutex> in_flight(slot->mutex);
     cached = cache_.Get(key);
     if (cached == nullptr) {
+      // The slot wait above can block behind another request's compute;
+      // re-check the deadline so a request that expired waiting charges
+      // nothing. Past the Spend below there are no refunds.
+      DPX_RETURN_IF_ERROR(deadline.Check("explain inflight wait"));
       DPX_RETURN_IF_ERROR(
           session->Spend(total_epsilon, "explain " + clustering_id));
+      // Fault point between the charge and the compute: a hook that sleeps
+      // here (with the check that follows) exercises post-spend
+      // cancellation; one that returns an error simulates a compute
+      // failure after budget was committed.
+      DPX_RETURN_IF_ERROR(InjectFault("explain:compute", request, nullptr));
+      DPX_RETURN_IF_ERROR(deadline.Check("explain compute"));
       options.seed = pinned_seed ? seed : NextNoiseSeed();
       DPX_ASSIGN_OR_RETURN(const GlobalExplanation explanation,
                            ExplainDpClustXWithStats(*view->stats, options,
@@ -596,10 +723,12 @@ StatusOr<JsonValue> ServiceEngine::OpSize(const JsonValue& request) {
   DPX_RETURN_IF_ERROR(session->Spend(
       epsilon, "size c=" + std::to_string(cluster)));
   Rng rng(seed);
-  const int64_t noisy = GeometricMechanism(
-      static_cast<int64_t>(
-          view->stats->cluster_size(static_cast<ClusterId>(cluster))),
-      /*sensitivity=*/1.0, epsilon, rng);
+  DPX_ASSIGN_OR_RETURN(
+      const int64_t noisy,
+      GeometricMechanism(
+          static_cast<int64_t>(
+              view->stats->cluster_size(static_cast<ClusterId>(cluster))),
+          /*sensitivity=*/1.0, epsilon, rng));
   JsonValue body = JsonValue::Object();
   body.Set("cluster", JsonValue::Number(static_cast<double>(cluster)));
   body.Set("noisy_size", JsonValue::Number(static_cast<double>(noisy)));
@@ -646,12 +775,39 @@ StatusOr<JsonValue> ServiceEngine::OpStats(const JsonValue& request) {
   compute.Set("parallel_for_parallel_calls",
               JsonValue::Number(
                   static_cast<double>(ParallelForParallelCalls())));
+  // Per-op latency/error counters. The stats op itself is recorded only
+  // after this snapshot is taken, so its own in-progress call is absent.
+  JsonValue ops = JsonValue::Object();
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    for (const auto& [name, counters] : op_counters_) {
+      JsonValue entry = JsonValue::Object();
+      entry.Set("count",
+                JsonValue::Number(static_cast<double>(counters.count)));
+      entry.Set("errors",
+                JsonValue::Number(static_cast<double>(counters.errors)));
+      entry.Set("deadline_exceeded",
+                JsonValue::Number(
+                    static_cast<double>(counters.deadline_exceeded)));
+      entry.Set("total_micros",
+                JsonValue::Number(static_cast<double>(counters.total_micros)));
+      entry.Set("max_micros",
+                JsonValue::Number(static_cast<double>(counters.max_micros)));
+      ops.Set(name, std::move(entry));
+    }
+  }
   JsonValue body = JsonValue::Object();
   body.Set("datasets", std::move(datasets));
   body.Set("sessions", std::move(session_ids));
   body.Set("cache", std::move(cache));
   body.Set("pool", std::move(pool));
   body.Set("compute_pool", std::move(compute));
+  body.Set("ops", std::move(ops));
+  body.Set("shed",
+           JsonValue::Number(static_cast<double>(
+               shed_.load(std::memory_order_relaxed))));
+  body.Set("retry_after_ms",
+           JsonValue::Number(static_cast<double>(options_.retry_after_ms)));
   return body;
 }
 

@@ -27,7 +27,19 @@
 //                  [threads]
 //   hist           session, clustering, attribute, [epsilon]
 //   size           session, clustering, cluster, [epsilon]
-//   stats          (cache / pool / registry counters)
+//   stats          (cache / pool / registry / per-op latency+error counters)
+//
+// Failure semantics (see DESIGN.md §7): anything a request can cause —
+// malformed JSON, bad parameters, budget refusal, deadlines — comes back as
+// a structured error response; std::abort is reserved for internal
+// invariant violations. Every op accepts an optional "deadline_ms": the
+// request is cooperatively cancelled (DeadlineExceeded) once that many
+// milliseconds have elapsed since it entered the engine — for HandleAsync
+// that clock starts at enqueue, so time spent waiting in the queue counts.
+// Expiry is checked before any ε is charged; a checkpoint that fires after
+// the charge does not refund it (the ledger may overstate, never
+// understate, released ε). When the bounded queue is full, HandleAsync
+// sheds the request and RejectionResponse carries a retry_after_ms hint.
 //
 // Privacy invariants enforced at this boundary:
 //   - Exact counts (StatsCache, cluster sizes, raw histograms) never appear
@@ -59,6 +71,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/deadline.h"
 #include "common/json.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -67,6 +80,25 @@
 #include "service/session_manager.h"
 
 namespace dpclustx::service {
+
+/// One interception site on the request path, handed to the test-only fault
+/// injector. `point` is "<op>:start" (before the handler runs), "<op>:finish"
+/// (after a successful handler; `body` is the mutable response body, so a
+/// test can force a NaN into it), or "explain:compute" (inside OpExplain,
+/// after the ε charge and before the pipeline runs; a hook that sleeps past
+/// the deadline here exercises post-spend cancellation). `request` is the
+/// parsed request, letting a hook target one tenant and wave the rest
+/// through. `body` is null except at ":finish".
+struct FaultPoint {
+  std::string point;
+  const JsonValue* request = nullptr;
+  JsonValue* body = nullptr;
+};
+
+/// Returns OK to let the request proceed; any error Status is propagated as
+/// that request's failure (the engine treats it exactly like a handler
+/// error). TEST ONLY — never install one in a deployment.
+using FaultInjector = std::function<Status(const FaultPoint&)>;
 
 struct ServiceEngineOptions {
   /// Worker threads for HandleAsync.
@@ -86,6 +118,18 @@ struct ServiceEngineOptions {
   /// `insecure_deterministic_noise` is set; otherwise seeds come from
   /// std::random_device.
   uint64_t noise_seed = 0x5eed5eedULL;
+  /// Deadline applied to every request that does not carry its own
+  /// "deadline_ms" field. 0 = no default deadline.
+  int64_t default_deadline_ms = 0;
+  /// Hint returned in shed-request errors: how long (ms) the client should
+  /// back off before retrying.
+  int64_t retry_after_ms = 50;
+  /// Requests larger than this many bytes are rejected before parsing (a
+  /// hostile payload must not cost a parse proportional to its size).
+  size_t max_request_bytes = 1u << 20;
+  /// TEST ONLY fault-injection hook; see FaultPoint. Leave empty in any
+  /// deployment.
+  FaultInjector fault_injector;
 };
 
 class ServiceEngine {
@@ -108,9 +152,11 @@ class ServiceEngine {
                      std::function<void(std::string)> done);
 
   /// Builds the busy/shutdown error response for a request HandleAsync
-  /// rejected with `reason` (echoes the request's id when parseable).
+  /// rejected with `reason` (echoes the request's id when parseable). Shed
+  /// requests (ResourceExhausted) carry a "retry_after_ms" back-off hint.
   static std::string RejectionResponse(const std::string& request_json,
-                                       const Status& reason);
+                                       const Status& reason,
+                                       int64_t retry_after_ms = 50);
 
   /// Drains queued requests and stops the workers.
   void Shutdown();
@@ -121,7 +167,21 @@ class ServiceEngine {
   ThreadPool& pool() { return pool_; }
 
  private:
-  JsonValue Dispatch(const JsonValue& request);
+  /// Handle with an explicit arrival time — the deadline anchor. Handle
+  /// passes now(); HandleAsync passes its enqueue time so queue wait counts.
+  std::string HandleAt(const std::string& request_json,
+                       Deadline::Clock::time_point start);
+  JsonValue Dispatch(const JsonValue& request,
+                     Deadline::Clock::time_point start);
+  /// Resolves the request deadline, runs the ":start" fault point, routes to
+  /// the op handler, runs ":finish"; Dispatch wraps the result (non-finite
+  /// gate, metrics, error envelope).
+  StatusOr<JsonValue> DispatchOp(const std::string& op,
+                                 const JsonValue& request,
+                                 Deadline::Clock::time_point start);
+  /// Runs the configured fault injector at `point` (no-op when absent).
+  Status InjectFault(const std::string& point, const JsonValue& request,
+                     JsonValue* body);
   // Per-op handlers; return the response body (merged with ok/id by
   // Dispatch) or a Status that Dispatch converts to an error response.
   StatusOr<JsonValue> OpLoadDataset(const JsonValue& request);
@@ -130,7 +190,8 @@ class ServiceEngine {
   StatusOr<JsonValue> OpCreateSession(const JsonValue& request);
   StatusOr<JsonValue> OpCloseSession(const JsonValue& request);
   StatusOr<JsonValue> OpBudget(const JsonValue& request);
-  StatusOr<JsonValue> OpExplain(const JsonValue& request);
+  StatusOr<JsonValue> OpExplain(const JsonValue& request,
+                                const Deadline& deadline);
   StatusOr<JsonValue> OpHist(const JsonValue& request);
   StatusOr<JsonValue> OpSize(const JsonValue& request);
   StatusOr<JsonValue> OpStats(const JsonValue& request);
@@ -154,11 +215,27 @@ class ServiceEngine {
   std::shared_ptr<InflightSlot> AcquireInflight(const std::string& key);
   void ReleaseInflight(const std::string& key);
 
+  /// Per-op request/error/latency counters, surfaced by the stats op. Keyed
+  /// only by the fixed op names (client-invented op strings are not
+  /// recorded: a hostile stream of distinct names must not grow the map).
+  struct OpCounters {
+    uint64_t count = 0;
+    uint64_t errors = 0;
+    uint64_t deadline_exceeded = 0;
+    uint64_t total_micros = 0;
+    uint64_t max_micros = 0;
+  };
+  void RecordOp(const std::string& op, Deadline::Clock::time_point began,
+                const Status& outcome);
+
   const ServiceEngineOptions options_;
   DatasetRegistry registry_;
   SessionManager sessions_;
   ExplanationCache cache_;
   std::atomic<uint64_t> noise_sequence_{0};
+  std::atomic<uint64_t> shed_{0};  // requests rejected by the full queue
+  std::mutex metrics_mutex_;
+  std::map<std::string, OpCounters> op_counters_;  // guarded by metrics_mutex_
   std::mutex inflight_mutex_;
   std::map<std::string, std::shared_ptr<InflightSlot>>
       inflight_;         // guarded by inflight_mutex_

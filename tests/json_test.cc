@@ -1,5 +1,8 @@
 #include "common/json.h"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace dpclustx {
@@ -103,6 +106,49 @@ TEST(JsonParseTest, ErrorsIncludeOffset) {
   const auto parsed = JsonValue::Parse("[1, oops]");
   ASSERT_FALSE(parsed.ok());
   EXPECT_NE(parsed.status().message().find("offset"), std::string::npos);
+}
+
+// Regression: Number(NaN) used to DPX_CHECK-abort, so any computation that
+// produced a NaN took down the whole service while serializing the response.
+// Construction must succeed and Dump must emit valid JSON (null).
+TEST(JsonNonFiniteTest, NumberAcceptsNonFiniteAndDumpsNull) {
+  const JsonValue nan = JsonValue::Number(std::nan(""));
+  EXPECT_EQ(nan.Dump(), "null");
+  const JsonValue inf =
+      JsonValue::Number(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(inf.Dump(), "null");
+  JsonValue nested = JsonValue::Object();
+  nested.Set("x", JsonValue::Number(-std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(nested.Dump(), R"({"x":null})");
+}
+
+TEST(JsonNonFiniteTest, IsFiniteRecursesIntoContainers) {
+  EXPECT_TRUE(JsonValue::Number(1.5).IsFinite());
+  EXPECT_TRUE(JsonValue::String("NaN").IsFinite());
+  EXPECT_TRUE(JsonValue::Null().IsFinite());
+  EXPECT_FALSE(JsonValue::Number(std::nan("")).IsFinite());
+
+  JsonValue deep = JsonValue::Object();
+  JsonValue inner = JsonValue::Array();
+  inner.Append(JsonValue::Number(1.0));
+  inner.Append(JsonValue::Number(std::nan("")));
+  deep.Set("bins", std::move(inner));
+  EXPECT_FALSE(deep.IsFinite());
+
+  JsonValue clean = JsonValue::Object();
+  JsonValue bins = JsonValue::Array();
+  bins.Append(JsonValue::Number(1.0));
+  clean.Set("bins", std::move(bins));
+  EXPECT_TRUE(clean.IsFinite());
+}
+
+// The parser never manufactures non-finite numbers: bare NaN/Infinity
+// literals are malformed JSON, so hostile requests cannot smuggle one in.
+TEST(JsonNonFiniteTest, ParserRejectsNonFiniteLiterals) {
+  EXPECT_FALSE(JsonValue::Parse("NaN").ok());
+  EXPECT_FALSE(JsonValue::Parse("Infinity").ok());
+  EXPECT_FALSE(JsonValue::Parse(R"({"epsilon":NaN})").ok());
+  EXPECT_FALSE(JsonValue::Parse(R"({"epsilon":-Infinity})").ok());
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "dp/mechanisms.h"
 
 #include <cmath>
+#include <limits>
 #include <map>
 
 #include <gtest/gtest.h>
@@ -15,7 +16,7 @@ TEST(LaplaceMechanismTest, UnbiasedWithCorrectScale) {
   double sum = 0.0, sq = 0.0;
   const double sensitivity = 2.0, epsilon = 0.5;
   for (size_t i = 0; i < kSamples; ++i) {
-    const double x = LaplaceMechanism(10.0, sensitivity, epsilon, rng);
+    const double x = LaplaceMechanism(10.0, sensitivity, epsilon, rng).value();
     sum += x;
     sq += (x - 10.0) * (x - 10.0);
   }
@@ -28,7 +29,7 @@ TEST(GeometricMechanismTest, UnbiasedIntegerNoise) {
   Rng rng(2);
   double sum = 0.0;
   for (size_t i = 0; i < kSamples; ++i) {
-    sum += static_cast<double>(GeometricMechanism(100, 1.0, 1.0, rng));
+    sum += static_cast<double>(GeometricMechanism(100, 1.0, 1.0, rng).value());
   }
   EXPECT_NEAR(sum / kSamples, 100.0, 0.05);
 }
@@ -41,8 +42,8 @@ TEST(GeometricMechanismTest, EmpiricalPrivacyRatioBounded) {
   Rng rng(3);
   std::map<int64_t, double> p_n, p_n1;
   for (size_t i = 0; i < kSamples; ++i) {
-    p_n[GeometricMechanism(5, 1.0, epsilon, rng)] += 1.0;
-    p_n1[GeometricMechanism(6, 1.0, epsilon, rng)] += 1.0;
+    p_n[GeometricMechanism(5, 1.0, epsilon, rng).value()] += 1.0;
+    p_n1[GeometricMechanism(6, 1.0, epsilon, rng).value()] += 1.0;
   }
   const double bound = std::exp(epsilon);
   for (const auto& [value, count] : p_n) {
@@ -53,6 +54,35 @@ TEST(GeometricMechanismTest, EmpiricalPrivacyRatioBounded) {
     EXPECT_LT(ratio, bound * 1.1) << "output " << value;
     EXPECT_GT(ratio, 1.0 / (bound * 1.1)) << "output " << value;
   }
+}
+
+// Hostile parameters must refuse (not abort, not sample): NaN passes every
+// ordinary comparison, so the mechanisms check finiteness explicitly.
+TEST(MechanismParameterTest, NonFiniteOrNonPositiveParamsRefuse) {
+  Rng rng(7);
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(LaplaceMechanism(1.0, 1.0, nan, rng).ok());
+  EXPECT_FALSE(LaplaceMechanism(1.0, nan, 1.0, rng).ok());
+  EXPECT_FALSE(LaplaceMechanism(1.0, 1.0, inf, rng).ok());
+  EXPECT_FALSE(LaplaceMechanism(1.0, 1.0, 0.0, rng).ok());
+  EXPECT_FALSE(LaplaceMechanism(1.0, -1.0, 1.0, rng).ok());
+  EXPECT_FALSE(GeometricMechanism(1, 1.0, nan, rng).ok());
+  EXPECT_FALSE(GeometricMechanism(1, inf, 1.0, rng).ok());
+  EXPECT_FALSE(GeometricMechanism(1, 1.0, -0.5, rng).ok());
+  EXPECT_EQ(LaplaceMechanism(1.0, 1.0, nan, rng).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// A refused call must not consume randomness: the noise stream a valid
+// caller sees is unaffected by interleaved hostile calls.
+TEST(MechanismParameterTest, RefusalDrawsNoNoise) {
+  Rng clean(11);
+  Rng probed(11);
+  const double before = LaplaceMechanism(0.0, 1.0, 1.0, clean).value();
+  ASSERT_FALSE(LaplaceMechanism(0.0, 1.0, std::nan(""), probed).ok());
+  ASSERT_FALSE(GeometricMechanism(0, -1.0, 1.0, probed).ok());
+  EXPECT_EQ(LaplaceMechanism(0.0, 1.0, 1.0, probed).value(), before);
 }
 
 TEST(LaplaceNoiseQuantileTest, MatchesClosedForm) {
@@ -68,7 +98,8 @@ TEST(LaplaceNoiseQuantileTest, EmpiricalCoverage) {
   const double t = LaplaceNoiseQuantile(sensitivity, epsilon, confidence);
   size_t within = 0;
   for (size_t i = 0; i < kSamples; ++i) {
-    if (std::fabs(LaplaceMechanism(0.0, sensitivity, epsilon, rng)) <= t) {
+    if (std::fabs(LaplaceMechanism(0.0, sensitivity, epsilon, rng).value()) <=
+        t) {
       ++within;
     }
   }

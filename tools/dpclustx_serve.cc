@@ -8,13 +8,17 @@
 // blocking the reader (backpressure is explicit, never silent).
 //
 // Usage:
-//   dpclustx_serve [--threads N] [--queue N] [--cache N] [--sync]
+//   dpclustx_serve [--threads N] [--queue N] [--cache N] [--deadline-ms N]
+//                  [--sync]
 //
-//   --threads N   worker threads (default 4)
-//   --queue N     pending-request bound (default 256)
-//   --cache N     explanation-cache entries (default 1024)
-//   --sync        serve each request on the reader thread, in order
-//                 (for deterministic scripted sessions)
+//   --threads N      worker threads (default 4)
+//   --queue N        pending-request bound (default 256)
+//   --cache N        explanation-cache entries (default 1024)
+//   --deadline-ms N  default per-request deadline in milliseconds, counted
+//                    from enqueue; requests may override with their own
+//                    "deadline_ms" field (default 0 = none)
+//   --sync           serve each request on the reader thread, in order
+//                    (for deterministic scripted sessions)
 //
 // On EOF the server drains queued requests, flushes, and exits 0. See
 // README.md for a quickstart transcript.
@@ -56,10 +60,12 @@ bool ParseSizeFlag(int argc, char** argv, int* i, const char* name,
 int main(int argc, char** argv) {
   ServiceEngineOptions options;
   bool sync = false;
+  size_t deadline_ms = 0;
   for (int i = 1; i < argc; ++i) {
     if (ParseSizeFlag(argc, argv, &i, "--threads", &options.num_threads) ||
         ParseSizeFlag(argc, argv, &i, "--queue", &options.queue_capacity) ||
-        ParseSizeFlag(argc, argv, &i, "--cache", &options.cache_capacity)) {
+        ParseSizeFlag(argc, argv, &i, "--cache", &options.cache_capacity) ||
+        ParseSizeFlag(argc, argv, &i, "--deadline-ms", &deadline_ms)) {
       continue;
     }
     if (std::strcmp(argv[i], "--sync") == 0) {
@@ -68,9 +74,10 @@ int main(int argc, char** argv) {
     }
     std::cerr << "unknown flag '" << argv[i]
               << "' (usage: dpclustx_serve [--threads N] [--queue N] "
-                 "[--cache N] [--sync])\n";
+                 "[--cache N] [--deadline-ms N] [--sync])\n";
     return 2;
   }
+  options.default_deadline_ms = static_cast<int64_t>(deadline_ms);
 
   ServiceEngine engine(options);
   std::string line;
@@ -85,7 +92,8 @@ int main(int argc, char** argv) {
           WriteLine(response);
         });
     if (!submitted.ok()) {
-      WriteLine(ServiceEngine::RejectionResponse(line, submitted));
+      WriteLine(ServiceEngine::RejectionResponse(line, submitted,
+                                                 options.retry_after_ms));
     }
   }
   engine.Shutdown();  // drain queued requests before exiting
