@@ -1,6 +1,10 @@
 #include "bench_common.h"
 
 #include <cstdlib>
+#include <string>
+#include <thread>
+
+#include <benchmark/benchmark.h>
 
 #include "baselines/dp_naive.h"
 #include "baselines/dp_tabee.h"
@@ -11,10 +15,21 @@
 #include "cluster/kmeans.h"
 #include "cluster/kmodes.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "core/candidate_selection.h"
 #include "data/synthetic.h"
 
 namespace dpclustx::bench {
+
+void AddPoolContext() {
+  const char* env = std::getenv("DPCLUSTX_THREADS");
+  benchmark::AddCustomContext("dpclustx_threads_env", env ? env : "");
+  benchmark::AddCustomContext("compute_pool_width",
+                              std::to_string(ComputePoolWidth()));
+  benchmark::AddCustomContext(
+      "hardware_concurrency",
+      std::to_string(std::thread::hardware_concurrency()));
+}
 
 size_t NumRuns() {
   if (const char* env = std::getenv("DPX_BENCH_RUNS")) {

@@ -22,6 +22,13 @@
 
 namespace dpclustx::bench {
 
+/// Records the execution environment (DPCLUSTX_THREADS as exported, the
+/// resolved compute-pool width, hardware concurrency) as google-benchmark
+/// custom context, so every JSON snapshot states the parallelism it was
+/// measured under. Call after benchmark::Initialize, before
+/// RunSpecifiedBenchmarks.
+void AddPoolContext();
+
 /// Repetitions per configuration (DPX_BENCH_RUNS, default 5).
 size_t NumRuns();
 

@@ -122,6 +122,7 @@ int main(int argc, char** argv) {
   setenv("DPCLUSTX_THREADS", "8", /*overwrite=*/0);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  dpclustx::bench::AddPoolContext();
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -1,22 +1,29 @@
 #!/usr/bin/env bash
-# Benchmark snapshot for the parallel execution layer: builds the bench
-# binaries, runs bench_parallel_scaling (fused vs legacy StatsCache build,
-# end-to-end explain at 1/2/4/8 threads) and bench_scale_large_dataset
-# (linear-in-n scale check), and merges both google-benchmark JSON reports
-# into BENCH_parallel.json at the repo root. EXPERIMENTS.md quotes these
-# numbers; rerun this script to refresh them on new hardware.
+# Benchmark snapshot: builds the bench binaries and refreshes the two JSON
+# snapshots EXPERIMENTS.md quotes —
+#   BENCH_parallel.json    bench_parallel_scaling (fused vs legacy StatsCache
+#                          build, end-to-end explain at 1/2/4/8 threads) +
+#                          bench_scale_large_dataset (linear-in-n check)
+#   BENCH_data_plane.json  bench_data_plane (adaptive narrow layout vs the
+#                          pre-narrowing uint32 layout: histogram build,
+#                          embedding, batched assignment, width sweep)
+# Each envelope carries an "execution" block (DPCLUSTX_THREADS as exported,
+# the resolved compute-pool width, cpu count) alongside each binary's own
+# google-benchmark context, so a snapshot states the parallelism it was
+# measured under. Rerun on new hardware to refresh.
 #
-# Usage: scripts/bench_snapshot.sh [output.json]
+# Usage: scripts/bench_snapshot.sh [parallel_out.json [data_plane_out.json]]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_parallel.json}"
+OUT_PARALLEL="${1:-BENCH_parallel.json}"
+OUT_DATA_PLANE="${2:-BENCH_data_plane.json}"
 
 echo "==> building bench binaries"
 cmake -B build -S . >/dev/null
 cmake --build build -j --target bench_parallel_scaling \
-  bench_scale_large_dataset >/dev/null
+  bench_scale_large_dataset bench_data_plane >/dev/null
 
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
@@ -29,21 +36,38 @@ echo "==> bench_scale_large_dataset"
 ./build/bench/bench_scale_large_dataset \
   --benchmark_out="$TMP_DIR/scale_large_dataset.json" \
   --benchmark_out_format=json
+echo "==> bench_data_plane"
+./build/bench/bench_data_plane \
+  --benchmark_out="$TMP_DIR/data_plane.json" \
+  --benchmark_out_format=json
 
-# Merge into one envelope keyed by bench binary. python3 is already a build
-# prerequisite on the CI image; no extra dependencies.
+# Merge into one envelope per output, keyed by bench binary and stamped with
+# the execution environment. python3 is already a build prerequisite on the
+# CI image; no extra dependencies.
 python3 - "$TMP_DIR/parallel_scaling.json" \
-  "$TMP_DIR/scale_large_dataset.json" "$OUT" <<'PY'
-import json, sys
-parallel, scale, out = sys.argv[1:4]
-with open(parallel) as f:
-    parallel_report = json.load(f)
-with open(scale) as f:
-    scale_report = json.load(f)
-with open(out, "w") as f:
-    json.dump({"bench_parallel_scaling": parallel_report,
-               "bench_scale_large_dataset": scale_report}, f, indent=2)
-    f.write("\n")
+  "$TMP_DIR/scale_large_dataset.json" "$TMP_DIR/data_plane.json" \
+  "$OUT_PARALLEL" "$OUT_DATA_PLANE" <<'PY'
+import json, os, sys
+parallel, scale, data_plane, out_parallel, out_data_plane = sys.argv[1:6]
+
+execution = {
+    "dpclustx_threads_env": os.environ.get("DPCLUSTX_THREADS", ""),
+    "num_cpus": os.cpu_count(),
+}
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+def dump(path, envelope):
+    envelope["execution"] = execution
+    with open(path, "w") as f:
+        json.dump(envelope, f, indent=2)
+        f.write("\n")
+
+dump(out_parallel, {"bench_parallel_scaling": load(parallel),
+                    "bench_scale_large_dataset": load(scale)})
+dump(out_data_plane, {"bench_data_plane": load(data_plane)})
 PY
 
-echo "==> wrote $OUT"
+echo "==> wrote $OUT_PARALLEL and $OUT_DATA_PLANE"

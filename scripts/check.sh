@@ -5,21 +5,27 @@
 # budget accountant, EDA sessions) with race detection on, then rebuild the
 # request-path targets under ASan+UBSan and run the service/robustness
 # tests — no std::abort, overflow, or memory error may be reachable from
-# request input.
+# request input. The width-dispatched data-plane kernels run in both
+# sanitizer passes (dataset_layout_test), and the bench binaries get a
+# compile-only smoke build with -march=native (DPCLUSTX_NATIVE) so codegen
+# regressions in the tile kernels surface before a benchmark run does.
 #
-# Usage: scripts/check.sh [--skip-tsan] [--skip-asan]
+# Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--skip-native]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
 SKIP_ASAN=0
+SKIP_NATIVE=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-asan) SKIP_ASAN=1 ;;
+    --skip-native) SKIP_NATIVE=1 ;;
     *) echo "unknown flag '$arg'" \
-            "(usage: scripts/check.sh [--skip-tsan] [--skip-asan])" >&2
+            "(usage: scripts/check.sh [--skip-tsan] [--skip-asan]" \
+            "[--skip-native])" >&2
        exit 2 ;;
   esac
 done
@@ -36,28 +42,38 @@ else
   cmake -B build-asan -S . -DDPCLUSTX_SANITIZE=address >/dev/null
   cmake --build build-asan -j --target \
     service_test service_robustness_test json_test mechanisms_test \
-    thread_pool_test \
+    thread_pool_test dataset_layout_test \
     >/dev/null
   (cd build-asan &&
    ctest --output-on-failure \
-     -R '^(service_test|service_robustness_test|json_test|mechanisms_test|thread_pool_test)$')
+     -R '^(service_test|service_robustness_test|json_test|mechanisms_test|thread_pool_test|dataset_layout_test)$')
 fi
 
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "==> TSan pass skipped (--skip-tsan)"
-  exit 0
+else
+  echo "==> ThreadSanitizer build + threaded tests"
+  cmake -B build-tsan -S . -DDPCLUSTX_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j --target \
+    thread_pool_test service_test privacy_budget_test eda_session_test \
+    parallel_equivalence_test dataset_layout_test \
+    >/dev/null
+  # DPCLUSTX_THREADS=8 widens the shared compute pool so the ParallelFor
+  # kernels genuinely interleave under TSan even on narrow CI hosts.
+  (cd build-tsan &&
+   DPCLUSTX_THREADS=8 ctest --output-on-failure \
+     -R '^(thread_pool_test|service_test|privacy_budget_test|eda_session_test|parallel_equivalence_test|dataset_layout_test)$')
 fi
 
-echo "==> ThreadSanitizer build + threaded tests"
-cmake -B build-tsan -S . -DDPCLUSTX_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target \
-  thread_pool_test service_test privacy_budget_test eda_session_test \
-  parallel_equivalence_test \
-  >/dev/null
-# DPCLUSTX_THREADS=8 widens the shared compute pool so the ParallelFor
-# kernels genuinely interleave under TSan even on narrow CI hosts.
-(cd build-tsan &&
- DPCLUSTX_THREADS=8 ctest --output-on-failure \
-   -R '^(thread_pool_test|service_test|privacy_budget_test|eda_session_test|parallel_equivalence_test)$')
+if [[ "$SKIP_NATIVE" == 1 ]]; then
+  echo "==> -march=native bench smoke skipped (--skip-native)"
+else
+  echo "==> -march=native bench smoke (compile-only)"
+  cmake -B build-native -S . -DDPCLUSTX_NATIVE=ON >/dev/null
+  cmake --build build-native -j --target \
+    bench_data_plane bench_parallel_scaling bench_scale_large_dataset \
+    >/dev/null
+  echo "    built bench targets with -march=native"
+fi
 
 echo "==> all checks passed"

@@ -6,6 +6,14 @@
 // for every possible tuple, which is what makes the sequential-composition
 // argument for "cluster privately, then explain privately" go through.
 // DPClustX only ever uses a clustering through this black-box interface.
+//
+// Bulk labeling is batched: AssignAll shards the rows and makes ONE virtual
+// AssignBatch call per shard, and each concrete clustering overrides
+// AssignBatch with a contiguous tile kernel over the dataset's narrow
+// column codes (data/column.h) — no per-row virtual dispatch, no per-row
+// allocation. Per-row Assign and the batched kernels compute identical
+// arithmetic, so labels are bitwise-identical between the two paths
+// (tests/dataset_layout_test).
 
 #ifndef DPCLUSTX_CLUSTER_CLUSTERING_H_
 #define DPCLUSTX_CLUSTER_CLUSTERING_H_
@@ -39,8 +47,18 @@ class ClusteringFunction {
   /// Short description for reports ("k-means(k=5)").
   virtual std::string name() const = 0;
 
-  /// Labels every row of `dataset`. The default implementation loops over
-  /// Assign; subclasses may override with a columnar fast path.
+  /// Labels rows [begin, end) of `dataset`: out[i] is the label of row
+  /// begin+i. Must equal Assign(dataset.Row(row)) for every row — the
+  /// batched kernel is an execution strategy, never a different function.
+  /// The default materializes each row into one reused scratch tuple and
+  /// calls Assign (no per-row allocation); concrete clusterings override
+  /// with columnar tile kernels. Called concurrently from AssignAll shards,
+  /// so overrides must be const-thread-safe.
+  virtual void AssignBatch(const Dataset& dataset, size_t begin, size_t end,
+                           ClusterId* out) const;
+
+  /// Labels every row of `dataset`: shards the rows and calls AssignBatch
+  /// once per shard (one virtual call per ~2k rows instead of one per row).
   virtual std::vector<ClusterId> AssignAll(const Dataset& dataset) const;
 };
 
@@ -51,9 +69,32 @@ class ClusteringFunction {
 std::vector<double> EmbedTuple(const Schema& schema,
                                const std::vector<ValueCode>& tuple);
 
+/// Embeds rows [begin, end) into `out` (row-major, (end−begin) ×
+/// num_attributes doubles). The width-dispatched tile primitive behind
+/// EmbedDataset and the centroid/GMM assignment kernels; all three therefore
+/// produce identical coordinates. `scales`/`offsets` are per-attribute
+/// precomputed factors (see EmbedScales).
+void EmbedRows(const Dataset& dataset, size_t begin, size_t end,
+               const double* scales, const double* offsets, double* out);
+
+/// Per-attribute embedding factors: coordinate = offset[a] + scale[a]·code.
+/// (scale = 1/(domain−1), offset = 0; singleton domains: scale = 0,
+/// offset = 0.5.)
+void EmbedScales(const Schema& schema, std::vector<double>* scales,
+                 std::vector<double>* offsets);
+
 /// Columnar embedding of a whole dataset; result is row-major
 /// [num_rows × num_attributes].
 std::vector<double> EmbedDataset(const Dataset& dataset);
+
+/// Labels rows [begin, end) by minimum Hamming distance to `modes` (ties to
+/// the lower label); out[i] is the label of row begin+i. Columnar tile
+/// kernel over the narrow codes, shared by ModeClustering::AssignBatch and
+/// the k-modes fitting loop. Distances are exact integers, so the result
+/// equals the naive per-row argmin.
+void AssignNearestModes(const Dataset& dataset,
+                        const std::vector<std::vector<ValueCode>>& modes,
+                        size_t begin, size_t end, ClusterId* out);
 
 /// Clustering function defined by centroids in the [0,1]^d embedding; tuples
 /// go to the nearest centroid in squared Euclidean distance (ties to the
@@ -67,7 +108,8 @@ class CentroidClustering final : public ClusteringFunction {
   size_t num_clusters() const override { return centers_.size(); }
   ClusterId Assign(const std::vector<ValueCode>& tuple) const override;
   std::string name() const override { return name_; }
-  std::vector<ClusterId> AssignAll(const Dataset& dataset) const override;
+  void AssignBatch(const Dataset& dataset, size_t begin, size_t end,
+                   ClusterId* out) const override;
 
   const std::vector<std::vector<double>>& centers() const { return centers_; }
 
@@ -91,6 +133,8 @@ class ModeClustering final : public ClusteringFunction {
   size_t num_clusters() const override { return modes_.size(); }
   ClusterId Assign(const std::vector<ValueCode>& tuple) const override;
   std::string name() const override { return name_; }
+  void AssignBatch(const Dataset& dataset, size_t begin, size_t end,
+                   ClusterId* out) const override;
 
   const std::vector<std::vector<ValueCode>>& modes() const { return modes_; }
 

@@ -1,5 +1,6 @@
 #include "cluster/gmm.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <string>
@@ -17,6 +18,10 @@ constexpr double kLog2Pi = 1.8378770664093453;  // log(2π)
 
 // Rows per shard of the E-step / M-step passes; each row costs O(k·dims).
 constexpr size_t kRowGrain = 1024;
+
+// Rows per tile of the batched assignment kernel; the embedded tile
+// (64 × dims × 8 bytes) stays L1-resident while it is scored.
+constexpr size_t kEmbedTileRows = 64;
 
 }  // namespace
 
@@ -71,20 +76,23 @@ std::string GmmClustering::name() const {
   return "gmm(k=" + std::to_string(means_.size()) + ")";
 }
 
-std::vector<ClusterId> GmmClustering::AssignAll(
-    const Dataset& dataset) const {
+void GmmClustering::AssignBatch(const Dataset& dataset, size_t begin,
+                                size_t end, ClusterId* out) const {
   DPX_CHECK_EQ(dataset.num_attributes(), schema_.num_attributes());
-  const std::vector<double> points = EmbedDataset(dataset);
   const size_t dims = schema_.num_attributes();
-  std::vector<ClusterId> labels(dataset.num_rows());
-  // Pure per-row map: any shard schedule writes the same labels.
-  ParallelFor(dataset.num_rows(), kRowGrain,
-              [&](size_t /*chunk*/, size_t begin, size_t end) {
-                for (size_t row = begin; row < end; ++row) {
-                  labels[row] = AssignEmbedded(&points[row * dims]);
-                }
-              });
-  return labels;
+  std::vector<double> scales, offsets;
+  EmbedScales(dataset.schema(), &scales, &offsets);
+  // Embed a tile straight from the narrow codes, score it while cache-hot
+  // (the old AssignAll materialized the full n × d double matrix first).
+  // Same per-row arithmetic, same labels.
+  std::vector<double> tile(kEmbedTileRows * dims);
+  for (size_t tb = begin; tb < end; tb += kEmbedTileRows) {
+    const size_t te = std::min(end, tb + kEmbedTileRows);
+    EmbedRows(dataset, tb, te, scales.data(), offsets.data(), tile.data());
+    for (size_t row = tb; row < te; ++row) {
+      out[row - begin] = AssignEmbedded(&tile[(row - tb) * dims]);
+    }
+  }
 }
 
 StatusOr<std::unique_ptr<ClusteringFunction>> FitGmm(

@@ -37,7 +37,8 @@ class GmmClustering final : public ClusteringFunction {
   size_t num_clusters() const override { return means_.size(); }
   ClusterId Assign(const std::vector<ValueCode>& tuple) const override;
   std::string name() const override;
-  std::vector<ClusterId> AssignAll(const Dataset& dataset) const override;
+  void AssignBatch(const Dataset& dataset, size_t begin, size_t end,
+                   ClusterId* out) const override;
 
   const std::vector<std::vector<double>>& means() const { return means_; }
 

@@ -16,14 +16,60 @@ namespace {
 // small enough that a shard's label slice stays cache-resident.
 constexpr size_t kGroupCountGrain = 4096;
 
+// Skewed categorical columns produce runs of increments to the same bin,
+// and each such pair is a store-to-load-forwarding dependence (~5 cycles).
+// Counting into kCountBanks interleaved replicas — row i increments bank
+// i mod kCountBanks — breaks those chains; the banks then merge by exact
+// integer addition, so totals are identical to the single-bank scan. Only
+// worth the extra buffer when the banked bins fit in L1, hence the limit.
+constexpr size_t kCountBanks = 4;
+constexpr size_t kBankedBinsLimit = 2048;
+static_assert(kCountBanks == 4, "BankedCount's unrolled pass assumes 4");
+
+// One banked counting pass over rows [begin, end): codes is the typed
+// column base, `index` maps a row to its bin (< bins), `counts` receives
+// the merged totals. CountT must not overflow on end-begin rows per bin.
+template <typename CountT, typename Codes, typename IndexFn>
+void BankedCount(const Codes* codes_in, size_t begin, size_t end, size_t bins,
+                 std::vector<CountT>& bank, const IndexFn& index,
+                 uint64_t* counts) {
+  bank.assign(kCountBanks * bins, 0);
+  // __restrict: the uint8 code loads inside `index` may legally alias the
+  // bank stores (char aliases everything); without it each increment forces
+  // a code re-load.
+  const Codes* __restrict codes = codes_in;
+  CountT* __restrict b = bank.data();
+  size_t row = begin;
+  for (; row + kCountBanks <= end; row += kCountBanks) {
+    ++b[0 * bins + index(codes, row + 0)];
+    ++b[1 * bins + index(codes, row + 1)];
+    ++b[2 * bins + index(codes, row + 2)];
+    ++b[3 * bins + index(codes, row + 3)];
+  }
+  for (; row < end; ++row) ++b[index(codes, row)];
+  for (size_t i = 0; i < bins; ++i) {
+    counts[i] += static_cast<uint64_t>(b[i]) + b[bins + i] + b[2 * bins + i] +
+                 b[3 * bins + i];
+  }
+}
+
 }  // namespace
 
-Dataset::Dataset(Schema schema) : schema_(std::move(schema)) {
-  columns_.resize(schema_.num_attributes());
+Dataset::Dataset(Schema schema, WidthPolicy policy)
+    : schema_(std::move(schema)), width_policy_(policy) {
+  columns_.reserve(schema_.num_attributes());
+  for (size_t a = 0; a < schema_.num_attributes(); ++a) {
+    const ColumnWidth width =
+        policy == WidthPolicy::kForce32
+            ? ColumnWidth::k32
+            : NarrowestColumnWidth(
+                  schema_.attribute(static_cast<AttrIndex>(a)).domain_size());
+    columns_.emplace_back(width);
+  }
 }
 
 void Dataset::Reserve(size_t num_rows) {
-  for (std::vector<ValueCode>& column : columns_) column.reserve(num_rows);
+  for (NarrowColumn& column : columns_) column.reserve(num_rows);
 }
 
 Status Dataset::AppendRow(const std::vector<ValueCode>& row) {
@@ -49,27 +95,79 @@ void Dataset::AppendRowUnchecked(const std::vector<ValueCode>& row) {
 }
 
 std::vector<ValueCode> Dataset::Row(size_t row) const {
+  std::vector<ValueCode> out;
+  RowInto(row, &out);
+  return out;
+}
+
+void Dataset::RowInto(size_t row, std::vector<ValueCode>* out) const {
   DPX_CHECK_LT(row, num_rows_);
-  std::vector<ValueCode> out(columns_.size());
-  for (size_t a = 0; a < columns_.size(); ++a) out[a] = columns_[a][row];
+  out->resize(columns_.size());
+  ValueCode* cells = out->data();
+  for (size_t a = 0; a < columns_.size(); ++a) cells[a] = columns_[a][row];
+}
+
+std::vector<ValueCode> Dataset::ColumnCodes(AttrIndex attr) const {
+  DPX_CHECK_LT(attr, columns_.size());
+  std::vector<ValueCode> out(num_rows_);
+  VisitColumn(columns_[attr].view(), [&](const auto* codes) {
+    for (size_t row = 0; row < num_rows_; ++row) out[row] = codes[row];
+  });
   return out;
 }
 
 Histogram Dataset::ComputeHistogram(AttrIndex attr) const {
   DPX_CHECK_LT(attr, columns_.size());
-  Histogram hist(schema_.attribute(attr).domain_size());
-  for (ValueCode code : columns_[attr]) hist.Increment(code);
+  const size_t domain = schema_.attribute(attr).domain_size();
+  // Count into integers (exact; no float add chain), then widen the bins.
+  std::vector<uint64_t> counts(domain, 0);
+  VisitColumn(columns_[attr].view(), [&](const auto* codes) {
+    if (domain <= kBankedBinsLimit) {
+      std::vector<uint64_t> bank;
+      BankedCount<uint64_t>(
+          codes, 0, num_rows_, domain, bank,
+          [](const auto* c, size_t row) {
+            return static_cast<size_t>(c[row]);
+          },
+          counts.data());
+    } else {
+      const auto* __restrict cs = codes;
+      for (size_t row = 0; row < num_rows_; ++row) ++counts[cs[row]];
+    }
+  });
+  Histogram hist(domain);
+  for (size_t v = 0; v < domain; ++v) {
+    hist.set_bin(static_cast<ValueCode>(v), static_cast<double>(counts[v]));
+  }
   return hist;
 }
 
 Histogram Dataset::ComputeHistogram(
     AttrIndex attr, const std::vector<uint32_t>& row_indices) const {
   DPX_CHECK_LT(attr, columns_.size());
-  Histogram hist(schema_.attribute(attr).domain_size());
-  const std::vector<ValueCode>& col = columns_[attr];
-  for (uint32_t row : row_indices) {
-    DPX_CHECK_LT(row, num_rows_);
-    hist.Increment(col[row]);
+  const size_t domain = schema_.attribute(attr).domain_size();
+  std::vector<uint64_t> counts(domain, 0);
+  VisitColumn(columns_[attr].view(), [&](const auto* codes) {
+    if (domain <= kBankedBinsLimit) {
+      std::vector<uint64_t> bank;
+      BankedCount<uint64_t>(
+          codes, 0, row_indices.size(), domain, bank,
+          [&](const auto* c, size_t i) {
+            const uint32_t row = row_indices[i];
+            DPX_CHECK_LT(row, num_rows_);
+            return static_cast<size_t>(c[row]);
+          },
+          counts.data());
+    } else {
+      for (uint32_t row : row_indices) {
+        DPX_CHECK_LT(row, num_rows_);
+        ++counts[codes[row]];
+      }
+    }
+  });
+  Histogram hist(domain);
+  for (size_t v = 0; v < domain; ++v) {
+    hist.set_bin(static_cast<ValueCode>(v), static_cast<double>(counts[v]));
   }
   return hist;
 }
@@ -79,12 +177,22 @@ std::vector<Histogram> Dataset::ComputeGroupHistograms(
     size_t num_groups) const {
   DPX_CHECK_LT(attr, columns_.size());
   DPX_CHECK_EQ(labels.size(), num_rows_);
-  std::vector<Histogram> hists(
-      num_groups, Histogram(schema_.attribute(attr).domain_size()));
-  const std::vector<ValueCode>& col = columns_[attr];
-  for (size_t row = 0; row < num_rows_; ++row) {
-    DPX_CHECK_LT(labels[row], num_groups);
-    hists[labels[row]].Increment(col[row]);
+  const size_t domain = schema_.attribute(attr).domain_size();
+  std::vector<uint64_t> counts(num_groups * domain, 0);
+  VisitColumn(columns_[attr].view(), [&](const auto* codes) {
+    for (size_t row = 0; row < num_rows_; ++row) {
+      DPX_CHECK_LT(labels[row], num_groups);
+      ++counts[static_cast<size_t>(labels[row]) * domain + codes[row]];
+    }
+  });
+  std::vector<Histogram> hists;
+  hists.reserve(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    std::vector<double> bins(domain);
+    for (size_t v = 0; v < domain; ++v) {
+      bins[v] = static_cast<double>(counts[g * domain + v]);
+    }
+    hists.emplace_back(std::move(bins));
   }
   return hists;
 }
@@ -131,14 +239,31 @@ Dataset::ComputeAllGroupHistograms(const std::vector<uint32_t>& labels,
         }
         std::vector<uint64_t>& counts = shard_counts[chunk];
         counts.assign(flat_size, 0);
+        // Banked-count scratch, reused across the shard's attribute sweep.
+        // uint32 cannot overflow: a bank sees at most end-begin (≈ grain)
+        // increments per bin.
+        std::vector<uint32_t> bank;
         for (size_t a = 0; a < attrs; ++a) {
           const size_t domain =
               schema_.attribute(static_cast<AttrIndex>(a)).domain_size();
-          const ValueCode* col = columns_[a].data();
+          const size_t bins = num_groups * domain;
           uint64_t* base = counts.data() + offsets[a];
-          for (size_t row = begin; row < end; ++row) {
-            ++base[static_cast<size_t>(labels[row]) * domain + col[row]];
-          }
+          VisitColumn(columns_[a].view(), [&](const auto* codes) {
+            if (bins <= kBankedBinsLimit) {
+              BankedCount<uint32_t>(
+                  codes, begin, end, bins, bank,
+                  [&](const auto* c, size_t row) {
+                    return static_cast<size_t>(labels[row]) * domain +
+                           static_cast<size_t>(c[row]);
+                  },
+                  base);
+            } else {
+              const auto* __restrict cs = codes;
+              for (size_t row = begin; row < end; ++row) {
+                ++base[static_cast<size_t>(labels[row]) * domain + cs[row]];
+              }
+            }
+          });
         }
       },
       max_threads);
@@ -174,22 +299,26 @@ Dataset::ComputeAllGroupHistograms(const std::vector<uint32_t>& labels,
 }
 
 Dataset Dataset::SelectRows(const std::vector<uint32_t>& row_indices) const {
-  Dataset out(schema_);
+  Dataset out(schema_, width_policy_);
   for (size_t a = 0; a < columns_.size(); ++a) {
-    out.columns_[a].reserve(row_indices.size());
-    for (uint32_t row : row_indices) {
-      DPX_CHECK_LT(row, num_rows_);
-      out.columns_[a].push_back(columns_[a][row]);
-    }
+    NarrowColumn& out_col = out.columns_[a];
+    out_col.reserve(row_indices.size());
+    VisitColumn(columns_[a].view(), [&](const auto* codes) {
+      for (uint32_t row : row_indices) {
+        DPX_CHECK_LT(row, num_rows_);
+        out_col.push_back(codes[row]);
+      }
+    });
   }
   out.num_rows_ = row_indices.size();
   return out;
 }
 
 Dataset Dataset::SelectAttributes(const std::vector<AttrIndex>& attrs) const {
-  Dataset out(schema_.Project(attrs));
+  Dataset out(schema_.Project(attrs), width_policy_);
   for (size_t i = 0; i < attrs.size(); ++i) {
     DPX_CHECK_LT(attrs[i], columns_.size());
+    // Same domain → same width under either policy; whole-column copy.
     out.columns_[i] = columns_[attrs[i]];
   }
   out.num_rows_ = num_rows_;

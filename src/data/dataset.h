@@ -2,7 +2,10 @@
 //
 // A dataset is a bag of tuples over a Schema (paper §2). Storage is columnar
 // (one contiguous code vector per attribute) because every quality function
-// in DPClustX reduces to single-attribute count scans.
+// in DPClustX reduces to single-attribute count scans — and each column is
+// stored in the narrowest physical width (uint8/uint16/uint32) that covers
+// its domain, so those scans move as few bytes as the data allows (see
+// data/column.h and DESIGN.md §9).
 
 #ifndef DPCLUSTX_DATA_DATASET_H_
 #define DPCLUSTX_DATA_DATASET_H_
@@ -12,6 +15,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "data/column.h"
 #include "data/histogram.h"
 #include "data/schema.h"
 
@@ -20,12 +24,20 @@ namespace dpclustx {
 class Dataset {
  public:
   Dataset() = default;
-  /// Empty dataset over `schema`.
-  explicit Dataset(Schema schema);
+  /// Empty dataset over `schema`. Each column's width is the narrowest that
+  /// fits its domain; `policy` = kForce32 pins every column to the legacy
+  /// 4-byte layout (equivalence tests, pre-narrowing benchmark baselines).
+  explicit Dataset(Schema schema, WidthPolicy policy = WidthPolicy::kAdaptive);
 
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
   size_t num_attributes() const { return schema_.num_attributes(); }
+  WidthPolicy width_policy() const { return width_policy_; }
+
+  /// Physical storage width of one column.
+  ColumnWidth column_width(AttrIndex attr) const {
+    return columns_[attr].width();
+  }
 
   /// Reserves capacity for `num_rows` total rows in every column. Bulk
   /// loaders (synth::Generate, the CSV readers) call this once up front so
@@ -40,7 +52,8 @@ class Dataset {
   /// well-formed codes; invalid codes trip DPX_CHECKs downstream.
   void AppendRowUnchecked(const std::vector<ValueCode>& row);
 
-  /// Cell accessor.
+  /// Cell accessor (width-dispatched; cold paths only — hot kernels should
+  /// visit column() once and run a typed loop).
   ValueCode at(size_t row, AttrIndex attr) const {
     return columns_[attr][row];
   }
@@ -48,10 +61,18 @@ class Dataset {
   /// Materializes one tuple (for clustering-function evaluation).
   std::vector<ValueCode> Row(size_t row) const;
 
-  /// Contiguous codes of one attribute (π_A(D)).
-  const std::vector<ValueCode>& column(AttrIndex attr) const {
-    return columns_[attr];
-  }
+  /// Materializes one tuple into `out` (resized to num_attributes()),
+  /// reusing its capacity — the allocation-free variant per-row scan loops
+  /// call with one scratch tuple per shard.
+  void RowInto(size_t row, std::vector<ValueCode>* out) const;
+
+  /// Tagged read-only span over one attribute's codes (π_A(D)). Kernels
+  /// dispatch on the width once via VisitColumn (data/column.h).
+  ColumnView column(AttrIndex attr) const { return columns_[attr].view(); }
+
+  /// One attribute's codes widened to ValueCode. O(n) copy — for cold paths
+  /// that want a plain vector regardless of storage width.
+  std::vector<ValueCode> ColumnCodes(AttrIndex attr) const;
 
   /// Exact histogram h_A(D) over dom(A).
   Histogram ComputeHistogram(AttrIndex attr) const;
@@ -81,7 +102,7 @@ class Dataset {
       size_t max_threads = 0) const;
 
   /// New dataset with only the listed rows (bag semantics: duplicates and
-  /// reordering allowed).
+  /// reordering allowed). Column widths carry over.
   Dataset SelectRows(const std::vector<uint32_t>& row_indices) const;
 
   /// New dataset with only the listed attributes, schema projected to match.
@@ -93,7 +114,8 @@ class Dataset {
 
  private:
   Schema schema_;
-  std::vector<std::vector<ValueCode>> columns_;  // [attr][row]
+  WidthPolicy width_policy_ = WidthPolicy::kAdaptive;
+  std::vector<NarrowColumn> columns_;  // [attr][row]
   size_t num_rows_ = 0;
 };
 

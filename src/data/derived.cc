@@ -1,5 +1,7 @@
 #include "data/derived.h"
 
+#include <algorithm>
+
 namespace dpclustx {
 
 StatusOr<Dataset> WithProductAttribute(
@@ -48,16 +50,17 @@ StatusOr<Dataset> WithProductAttributes(
 
   Dataset out{Schema(std::move(attrs))};
   DPX_RETURN_IF_ERROR(out.schema().Validate());
+  out.Reserve(dataset.num_rows());
   std::vector<ValueCode> row(out.num_attributes());
+  std::vector<ValueCode> base;  // scratch tuple reused across rows
   for (size_t r = 0; r < dataset.num_rows(); ++r) {
-    for (size_t i = 0; i < dataset.num_attributes(); ++i) {
-      row[i] = dataset.at(r, static_cast<AttrIndex>(i));
-    }
+    dataset.RowInto(r, &base);
+    std::copy(base.begin(), base.end(), row.begin());
     for (size_t p = 0; p < pairs.size(); ++p) {
       const auto [a, b] = pairs[p];
       const size_t domain_b = schema.attribute(b).domain_size();
-      row[dataset.num_attributes() + p] = static_cast<ValueCode>(
-          dataset.at(r, a) * domain_b + dataset.at(r, b));
+      row[dataset.num_attributes() + p] =
+          static_cast<ValueCode>(base[a] * domain_b + base[b]);
     }
     out.AppendRowUnchecked(row);
   }

@@ -233,8 +233,8 @@ double CramersV(const Dataset& dataset, AttrIndex a, AttrIndex b) {
   std::vector<double> table(da * db, 0.0);
   std::vector<double> row_sum(da, 0.0);
   std::vector<double> col_sum(db, 0.0);
-  const auto& col_a = dataset.column(a);
-  const auto& col_b = dataset.column(b);
+  const ColumnView col_a = dataset.column(a);
+  const ColumnView col_b = dataset.column(b);
   for (size_t r = 0; r < rows; ++r) {
     table[col_a[r] * db + col_b[r]] += 1.0;
     row_sum[col_a[r]] += 1.0;
@@ -289,7 +289,7 @@ StatusOr<Dataset> AddCorrelatedTwins(const Dataset& dataset, double target_v,
   std::vector<std::vector<ValueCode>> twins(orig_attrs);
   for (size_t a = 0; a < orig_attrs; ++a) {
     const auto attr = static_cast<AttrIndex>(a);
-    const std::vector<ValueCode>& col = dataset.column(attr);
+    const std::vector<ValueCode> col = dataset.ColumnCodes(attr);
     const Histogram marginal = dataset.ComputeHistogram(attr);
     const std::vector<double> probs = marginal.Normalized();
 

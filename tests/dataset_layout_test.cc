@@ -1,0 +1,320 @@
+// Narrow-column data-plane equivalence (DESIGN.md §9).
+//
+// Codes are exact integers in every storage width, so narrowing a column
+// from uint32 to uint16/uint8 must not change ANY downstream result: these
+// tests pin histograms, group histograms, clustering labels, and end-to-end
+// explanations to be bitwise-identical between the adaptive layout and the
+// legacy force-32 layout, across the 8/16/32-bit width boundaries (domain
+// sizes 2, 255, 256, 65536, 65537), between the batched AssignBatch kernels
+// and the per-row Assign scan, and at 0/1/8 threads.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/clustering.h"
+#include "cluster/gmm.h"
+#include "cluster/kmeans.h"
+#include "cluster/kmodes.h"
+#include "common/rng.h"
+#include "core/explainer.h"
+#include "core/serialization.h"
+#include "data/column.h"
+#include "data/dataset.h"
+
+namespace dpclustx {
+namespace {
+
+// The five domain sizes straddling the uint8/uint16/uint32 boundaries.
+const size_t kBoundaryDomains[] = {2, 255, 256, 65536, 65537};
+
+Schema BoundarySchema() {
+  std::vector<Attribute> attrs;
+  size_t i = 0;
+  for (const size_t domain : kBoundaryDomains) {
+    attrs.push_back(Attribute::WithAnonymousDomain(
+        "attr" + std::to_string(i++), domain));
+  }
+  return Schema(std::move(attrs));
+}
+
+// Deterministic rows exercising the full code range of every domain,
+// including the extreme codes 0 and domain−1.
+void FillRows(Dataset* dataset, size_t num_rows, uint64_t seed) {
+  Rng rng(seed);
+  const Schema& schema = dataset->schema();
+  dataset->Reserve(num_rows);
+  std::vector<ValueCode> row(schema.num_attributes());
+  for (size_t r = 0; r < num_rows; ++r) {
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      const size_t domain =
+          schema.attribute(static_cast<AttrIndex>(a)).domain_size();
+      if (r < 2) {
+        row[a] = static_cast<ValueCode>(r == 0 ? 0 : domain - 1);
+      } else {
+        row[a] = static_cast<ValueCode>(rng.UniformInt(domain));
+      }
+    }
+    dataset->AppendRowUnchecked(row);
+  }
+}
+
+struct LayoutPair {
+  Dataset adaptive;
+  Dataset force32;
+};
+
+LayoutPair MakeBoundaryPair(size_t num_rows, uint64_t seed = 7) {
+  LayoutPair pair{Dataset(BoundarySchema(), WidthPolicy::kAdaptive),
+                  Dataset(BoundarySchema(), WidthPolicy::kForce32)};
+  FillRows(&pair.adaptive, num_rows, seed);
+  FillRows(&pair.force32, num_rows, seed);
+  return pair;
+}
+
+std::vector<uint32_t> MakeLabels(size_t num_rows, size_t num_groups,
+                                 uint64_t seed = 11) {
+  Rng rng(seed);
+  std::vector<uint32_t> labels(num_rows);
+  for (uint32_t& label : labels) {
+    label = static_cast<uint32_t>(rng.UniformInt(num_groups));
+  }
+  return labels;
+}
+
+TEST(DatasetLayoutTest, AdaptiveWidthsMatchDomainBoundaries) {
+  const Dataset dataset(BoundarySchema(), WidthPolicy::kAdaptive);
+  EXPECT_EQ(dataset.column_width(0), ColumnWidth::k8);   // domain 2
+  EXPECT_EQ(dataset.column_width(1), ColumnWidth::k8);   // domain 255
+  EXPECT_EQ(dataset.column_width(2), ColumnWidth::k8);   // domain 256
+  EXPECT_EQ(dataset.column_width(3), ColumnWidth::k16);  // domain 65536
+  EXPECT_EQ(dataset.column_width(4), ColumnWidth::k32);  // domain 65537
+
+  const Dataset wide(BoundarySchema(), WidthPolicy::kForce32);
+  for (AttrIndex a = 0; a < 5; ++a) {
+    EXPECT_EQ(wide.column_width(a), ColumnWidth::k32);
+  }
+}
+
+TEST(DatasetLayoutTest, CellAccessorsIdenticalAcrossWidths) {
+  const LayoutPair pair = MakeBoundaryPair(500);
+  ASSERT_EQ(pair.adaptive.num_rows(), pair.force32.num_rows());
+  std::vector<ValueCode> scratch;
+  for (size_t r = 0; r < pair.adaptive.num_rows(); ++r) {
+    ASSERT_EQ(pair.adaptive.Row(r), pair.force32.Row(r)) << "row " << r;
+    pair.adaptive.RowInto(r, &scratch);
+    ASSERT_EQ(scratch, pair.force32.Row(r)) << "row " << r;
+  }
+  for (AttrIndex a = 0; a < pair.adaptive.num_attributes(); ++a) {
+    ASSERT_EQ(pair.adaptive.ColumnCodes(a), pair.force32.ColumnCodes(a));
+    const ColumnView narrow = pair.adaptive.column(a);
+    const ColumnView wide = pair.force32.column(a);
+    ASSERT_EQ(narrow.size(), wide.size());
+    for (size_t r = 0; r < narrow.size(); ++r) {
+      ASSERT_EQ(narrow[r], wide[r]) << "attr " << a << " row " << r;
+    }
+  }
+}
+
+TEST(DatasetLayoutTest, HistogramsBitwiseIdenticalAcrossWidths) {
+  const LayoutPair pair = MakeBoundaryPair(2000);
+  for (AttrIndex a = 0; a < pair.adaptive.num_attributes(); ++a) {
+    EXPECT_EQ(pair.adaptive.ComputeHistogram(a).bins(),
+              pair.force32.ComputeHistogram(a).bins())
+        << "attr " << a;
+  }
+  // Sub-bag histograms over an arbitrary index list (with duplicates).
+  std::vector<uint32_t> rows = {0, 1, 1, 5, 99, 1337, 1999};
+  for (AttrIndex a = 0; a < pair.adaptive.num_attributes(); ++a) {
+    EXPECT_EQ(pair.adaptive.ComputeHistogram(a, rows).bins(),
+              pair.force32.ComputeHistogram(a, rows).bins())
+        << "attr " << a;
+  }
+}
+
+TEST(DatasetLayoutTest, GroupHistogramsBitwiseIdenticalAcrossWidthsAndThreads) {
+  constexpr size_t kGroups = 4;
+  const LayoutPair pair = MakeBoundaryPair(2000);
+  const std::vector<uint32_t> labels = MakeLabels(2000, kGroups);
+
+  for (AttrIndex a = 0; a < pair.adaptive.num_attributes(); ++a) {
+    const auto narrow =
+        pair.adaptive.ComputeGroupHistograms(a, labels, kGroups);
+    const auto wide = pair.force32.ComputeGroupHistograms(a, labels, kGroups);
+    for (size_t g = 0; g < kGroups; ++g) {
+      EXPECT_EQ(narrow[g].bins(), wide[g].bins())
+          << "attr " << a << " group " << g;
+    }
+  }
+
+  // The fused sweep: every (width, thread-count) combination must agree
+  // bin-for-bin. 0 = compute-pool width.
+  const auto reference =
+      pair.force32.ComputeAllGroupHistograms(labels, kGroups, 1);
+  ASSERT_TRUE(reference.ok());
+  for (const Dataset* dataset : {&pair.adaptive, &pair.force32}) {
+    for (const size_t threads : {size_t{0}, size_t{1}, size_t{8}}) {
+      const auto got =
+          dataset->ComputeAllGroupHistograms(labels, kGroups, threads);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(got->size(), reference->size());
+      for (size_t a = 0; a < got->size(); ++a) {
+        for (size_t g = 0; g < kGroups; ++g) {
+          EXPECT_EQ((*got)[a][g].bins(), (*reference)[a][g].bins())
+              << "attr " << a << " group " << g << " threads " << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(DatasetLayoutTest, SelectAndSamplePreserveEquivalence) {
+  const LayoutPair pair = MakeBoundaryPair(800);
+  const std::vector<uint32_t> rows = {7, 7, 0, 799, 123, 456};
+  const Dataset narrow_sel = pair.adaptive.SelectRows(rows);
+  const Dataset wide_sel = pair.force32.SelectRows(rows);
+  EXPECT_EQ(narrow_sel.width_policy(), WidthPolicy::kAdaptive);
+  EXPECT_EQ(wide_sel.width_policy(), WidthPolicy::kForce32);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    EXPECT_EQ(narrow_sel.Row(r), wide_sel.Row(r));
+  }
+
+  const Dataset narrow_proj = pair.adaptive.SelectAttributes({4, 0, 3});
+  const Dataset wide_proj = pair.force32.SelectAttributes({4, 0, 3});
+  EXPECT_EQ(narrow_proj.column_width(0), ColumnWidth::k32);  // domain 65537
+  EXPECT_EQ(narrow_proj.column_width(1), ColumnWidth::k8);   // domain 2
+  EXPECT_EQ(narrow_proj.column_width(2), ColumnWidth::k16);  // domain 65536
+  for (size_t r = 0; r < narrow_proj.num_rows(); ++r) {
+    EXPECT_EQ(narrow_proj.Row(r), wide_proj.Row(r));
+  }
+
+  Rng rng_a(3), rng_b(3);
+  const Dataset narrow_sample = pair.adaptive.SampleRows(0.4, rng_a);
+  const Dataset wide_sample = pair.force32.SampleRows(0.4, rng_b);
+  ASSERT_EQ(narrow_sample.num_rows(), wide_sample.num_rows());
+  for (size_t r = 0; r < narrow_sample.num_rows(); ++r) {
+    EXPECT_EQ(narrow_sample.Row(r), wide_sample.Row(r));
+  }
+}
+
+TEST(DatasetLayoutTest, EmbeddingBitwiseIdenticalAcrossWidths) {
+  const LayoutPair pair = MakeBoundaryPair(1200);
+  const std::vector<double> narrow = EmbedDataset(pair.adaptive);
+  const std::vector<double> wide = EmbedDataset(pair.force32);
+  ASSERT_EQ(narrow.size(), wide.size());
+  for (size_t i = 0; i < narrow.size(); ++i) {
+    ASSERT_EQ(narrow[i], wide[i]) << "coordinate " << i;  // bitwise, not NEAR
+  }
+  // And the tile primitive agrees with the per-tuple embedding.
+  for (size_t r = 0; r < 50; ++r) {
+    const std::vector<double> tuple =
+        EmbedTuple(pair.adaptive.schema(), pair.adaptive.Row(r));
+    for (size_t a = 0; a < tuple.size(); ++a) {
+      ASSERT_EQ(narrow[r * tuple.size() + a], tuple[a]);
+    }
+  }
+}
+
+// Every fitted clustering must produce identical labels on both layouts,
+// through AssignAll (batched kernels), per-row Assign, and the default
+// scratch-tuple AssignBatch fallback.
+void ExpectAssignmentEquivalence(const ClusteringFunction& clustering,
+                                 const Dataset& narrow, const Dataset& wide) {
+  const std::vector<ClusterId> batched = clustering.AssignAll(narrow);
+  EXPECT_EQ(batched, clustering.AssignAll(wide));
+
+  std::vector<ClusterId> direct(narrow.num_rows());
+  clustering.AssignBatch(narrow, 0, narrow.num_rows(), direct.data());
+  EXPECT_EQ(batched, direct);
+
+  // Unaligned batch windows must see the same labels as full sweeps.
+  if (narrow.num_rows() > 70) {
+    std::vector<ClusterId> window(63);
+    clustering.AssignBatch(narrow, 7, 70, window.data());
+    for (size_t i = 0; i < window.size(); ++i) {
+      EXPECT_EQ(window[i], batched[7 + i]) << "window row " << (7 + i);
+    }
+  }
+
+  for (size_t r = 0; r < narrow.num_rows(); ++r) {
+    ASSERT_EQ(batched[r], clustering.Assign(narrow.Row(r))) << "row " << r;
+  }
+}
+
+TEST(DatasetLayoutTest, ClusteringLabelsIdenticalAcrossWidthsAndKernels) {
+  constexpr size_t kRows = 600;
+  constexpr size_t kClusters = 4;
+  const LayoutPair pair = MakeBoundaryPair(kRows);
+
+  KModesOptions kmodes;
+  kmodes.num_clusters = kClusters;
+  kmodes.seed = 5;
+  KMeansOptions kmeans;
+  kmeans.num_clusters = kClusters;
+  kmeans.seed = 5;
+  GmmOptions gmm;
+  gmm.num_components = kClusters;
+  gmm.seed = 5;
+  gmm.max_iterations = 10;
+
+  for (const size_t threads : {size_t{0}, size_t{1}, size_t{8}}) {
+    kmodes.num_threads = threads;
+    kmeans.num_threads = threads;
+    gmm.num_threads = threads;
+
+    const auto modes_narrow = FitKModes(pair.adaptive, kmodes);
+    const auto modes_wide = FitKModes(pair.force32, kmodes);
+    ASSERT_TRUE(modes_narrow.ok() && modes_wide.ok());
+    EXPECT_EQ((*modes_narrow)->AssignAll(pair.adaptive),
+              (*modes_wide)->AssignAll(pair.force32))
+        << "k-modes fit diverged at threads=" << threads;
+    ExpectAssignmentEquivalence(**modes_narrow, pair.adaptive, pair.force32);
+
+    const auto kmeans_narrow = FitKMeans(pair.adaptive, kmeans);
+    const auto kmeans_wide = FitKMeans(pair.force32, kmeans);
+    ASSERT_TRUE(kmeans_narrow.ok() && kmeans_wide.ok());
+    EXPECT_EQ((*kmeans_narrow)->AssignAll(pair.adaptive),
+              (*kmeans_wide)->AssignAll(pair.force32))
+        << "k-means fit diverged at threads=" << threads;
+    ExpectAssignmentEquivalence(**kmeans_narrow, pair.adaptive, pair.force32);
+
+    const auto gmm_narrow = FitGmm(pair.adaptive, gmm);
+    const auto gmm_wide = FitGmm(pair.force32, gmm);
+    ASSERT_TRUE(gmm_narrow.ok() && gmm_wide.ok());
+    EXPECT_EQ((*gmm_narrow)->AssignAll(pair.adaptive),
+              (*gmm_wide)->AssignAll(pair.force32))
+        << "gmm fit diverged at threads=" << threads;
+    ExpectAssignmentEquivalence(**gmm_narrow, pair.adaptive, pair.force32);
+  }
+}
+
+TEST(DatasetLayoutTest, ExplanationsBitwiseIdenticalAcrossWidthsAndThreads) {
+  constexpr size_t kRows = 1500;
+  constexpr size_t kClusters = 3;
+  const LayoutPair pair = MakeBoundaryPair(kRows);
+  const std::vector<uint32_t> labels = MakeLabels(kRows, kClusters);
+
+  DpClustXOptions options;
+  options.seed = 21;
+
+  // Reference: the legacy layout, serial. Stage-2's noise stream is keyed
+  // by num_threads (see DpClustXOptions), so compare per thread count; the
+  // storage width must never change the bytes.
+  for (const size_t threads : {size_t{1}, size_t{8}}) {
+    options.num_threads = threads;
+    const auto narrow = ExplainDpClustXWithLabels(pair.adaptive, labels,
+                                                  kClusters, options);
+    const auto wide = ExplainDpClustXWithLabels(pair.force32, labels,
+                                                kClusters, options);
+    ASSERT_TRUE(narrow.ok()) << narrow.status().ToString();
+    ASSERT_TRUE(wide.ok()) << wide.status().ToString();
+    EXPECT_EQ(ExplanationToJson(*narrow, pair.adaptive.schema()),
+              ExplanationToJson(*wide, pair.force32.schema()))
+        << "explanation diverged at threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace dpclustx
