@@ -17,7 +17,13 @@
 //
 // Usage:
 //   bench_service_throughput [--rows N] [--clients N] [--requests N]
-//                            [--stall-ms MS]
+//                            [--stall-ms MS] [--observability MODE]
+//
+// --observability selects how much telemetry the engine records, to
+// measure its overhead (the acceptance bar is <= 2% between off and full):
+//   off      per-op counters/latency histograms disabled
+//   metrics  the default production configuration (counters + histograms)
+//   full     metrics plus a span trace captured for every request
 
 #include <algorithm>
 #include <atomic>
@@ -47,6 +53,7 @@ struct BenchConfig {
   size_t clients = 24;
   size_t requests = 200;  // per worker-count configuration
   double stall_ms = 15.0;
+  std::string observability = "metrics";  // off | metrics | full
 };
 
 struct RunResult {
@@ -73,6 +80,8 @@ RunResult RunOnce(const BenchConfig& config, size_t workers) {
   // Test-only deterministic noise so each request can pin a distinct seed
   // (below); a production engine rejects client seeds outright.
   options.insecure_deterministic_noise = true;
+  options.record_metrics = config.observability != "off";
+  options.trace_all = config.observability == "full";
   ServiceEngine engine(options);
 
   // Shared state set up outside the timed region: dataset + clustering +
@@ -172,6 +181,16 @@ int main(int argc, char** argv) {
       config.stall_ms = std::stod(argv[++i]);
       continue;
     }
+    if (std::strcmp(argv[i], "--observability") == 0 && i + 1 < argc) {
+      config.observability = argv[++i];
+      if (config.observability != "off" &&
+          config.observability != "metrics" &&
+          config.observability != "full") {
+        std::cerr << "--observability expects off|metrics|full\n";
+        return 2;
+      }
+      continue;
+    }
     std::cerr << "unknown flag '" << argv[i] << "'\n";
     return 2;
   }
@@ -179,7 +198,8 @@ int main(int argc, char** argv) {
   std::cout << "# service throughput — closed loop, " << config.clients
             << " clients, " << config.requests << " explain requests/run, "
             << config.rows << "-row dataset, " << config.stall_ms
-            << " ms simulated response drain per request\n";
+            << " ms simulated response drain per request, observability="
+            << config.observability << "\n";
   std::cout << "workers\treq_per_sec\tp50_ms\tp99_ms\tspeedup_vs_1\n";
 
   double baseline = 0.0;

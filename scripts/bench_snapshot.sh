@@ -8,9 +8,12 @@
 #                          pre-narrowing uint32 layout: histogram build,
 #                          embedding, batched assignment, width sweep)
 # Each envelope carries an "execution" block (DPCLUSTX_THREADS as exported,
-# the resolved compute-pool width, cpu count) alongside each binary's own
-# google-benchmark context, so a snapshot states the parallelism it was
-# measured under. Rerun on new hardware to refresh.
+# the resolved compute-pool width, cpu count, build provenance from
+# `dpclustx_serve --version`) alongside each binary's own google-benchmark
+# context, plus a "metrics" block holding the Prometheus exposition dumped
+# by a short smoke run of the service, so a snapshot states both the
+# parallelism and the exact binary it was measured under. Rerun on new
+# hardware to refresh.
 #
 # Usage: scripts/bench_snapshot.sh [parallel_out.json [data_plane_out.json]]
 
@@ -23,7 +26,7 @@ OUT_DATA_PLANE="${2:-BENCH_data_plane.json}"
 echo "==> building bench binaries"
 cmake -B build -S . >/dev/null
 cmake --build build -j --target bench_parallel_scaling \
-  bench_scale_large_dataset bench_data_plane >/dev/null
+  bench_scale_large_dataset bench_data_plane dpclustx_serve >/dev/null
 
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
@@ -41,19 +44,34 @@ echo "==> bench_data_plane"
   --benchmark_out="$TMP_DIR/data_plane.json" \
   --benchmark_out_format=json
 
+echo "==> service metrics smoke dump"
+BUILD_VERSION="$(./build/tools/dpclustx_serve --version)"
+printf '%s\n' \
+  '{"op":"load_dataset","name":"smoke","source":"synthetic","generator":"diabetes","rows":500,"seed":7}' \
+  '{"op":"cluster","dataset":"smoke","method":"k-means","k":3,"seed":3}' \
+  '{"op":"stats"}' |
+  ./build/tools/dpclustx_serve --sync \
+    --metrics-dump "$TMP_DIR/metrics.prom" >/dev/null
+
 # Merge into one envelope per output, keyed by bench binary and stamped with
 # the execution environment. python3 is already a build prerequisite on the
 # CI image; no extra dependencies.
 python3 - "$TMP_DIR/parallel_scaling.json" \
   "$TMP_DIR/scale_large_dataset.json" "$TMP_DIR/data_plane.json" \
-  "$OUT_PARALLEL" "$OUT_DATA_PLANE" <<'PY'
+  "$OUT_PARALLEL" "$OUT_DATA_PLANE" "$TMP_DIR/metrics.prom" \
+  "$BUILD_VERSION" <<'PY'
 import json, os, sys
-parallel, scale, data_plane, out_parallel, out_data_plane = sys.argv[1:6]
+(parallel, scale, data_plane, out_parallel, out_data_plane, metrics_path,
+ build_version) = sys.argv[1:8]
 
 execution = {
     "dpclustx_threads_env": os.environ.get("DPCLUSTX_THREADS", ""),
     "num_cpus": os.cpu_count(),
+    "build": build_version,
 }
+
+with open(metrics_path) as f:
+    metrics_text = f.read()
 
 def load(path):
     with open(path) as f:
@@ -61,6 +79,7 @@ def load(path):
 
 def dump(path, envelope):
     envelope["execution"] = execution
+    envelope["metrics"] = {"prometheus": metrics_text}
     with open(path, "w") as f:
         json.dump(envelope, f, indent=2)
         f.write("\n")

@@ -2,7 +2,8 @@
 # Repository check: build and run the test suite in the default
 # configuration, then rebuild the concurrency-sensitive targets under
 # ThreadSanitizer and run the threaded tests (thread pool, service layer,
-# budget accountant, EDA sessions) with race detection on, then rebuild the
+# budget accountant, EDA sessions, metrics registry) with race detection
+# on, then rebuild the
 # request-path targets under ASan+UBSan and run the service/robustness
 # tests — no std::abort, overflow, or memory error may be reachable from
 # request input. The width-dispatched data-plane kernels run in both
@@ -42,11 +43,11 @@ else
   cmake -B build-asan -S . -DDPCLUSTX_SANITIZE=address >/dev/null
   cmake --build build-asan -j --target \
     service_test service_robustness_test json_test mechanisms_test \
-    thread_pool_test dataset_layout_test \
+    thread_pool_test dataset_layout_test obs_test \
     >/dev/null
   (cd build-asan &&
    ctest --output-on-failure \
-     -R '^(service_test|service_robustness_test|json_test|mechanisms_test|thread_pool_test|dataset_layout_test)$')
+     -R '^(service_test|service_robustness_test|json_test|mechanisms_test|thread_pool_test|dataset_layout_test|obs_test)$')
 fi
 
 if [[ "$SKIP_TSAN" == 1 ]]; then
@@ -56,13 +57,13 @@ else
   cmake -B build-tsan -S . -DDPCLUSTX_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target \
     thread_pool_test service_test privacy_budget_test eda_session_test \
-    parallel_equivalence_test dataset_layout_test \
+    parallel_equivalence_test dataset_layout_test obs_test \
     >/dev/null
   # DPCLUSTX_THREADS=8 widens the shared compute pool so the ParallelFor
   # kernels genuinely interleave under TSan even on narrow CI hosts.
   (cd build-tsan &&
    DPCLUSTX_THREADS=8 ctest --output-on-failure \
-     -R '^(thread_pool_test|service_test|privacy_budget_test|eda_session_test|parallel_equivalence_test|dataset_layout_test)$')
+     -R '^(thread_pool_test|service_test|privacy_budget_test|eda_session_test|parallel_equivalence_test|dataset_layout_test|obs_test)$')
 fi
 
 if [[ "$SKIP_NATIVE" == 1 ]]; then

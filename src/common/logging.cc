@@ -1,0 +1,53 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace dpclustx {
+namespace {
+
+constexpr int kMaxFatalFlushHooks = 8;
+std::atomic<FatalFlushHook> g_fatal_hooks[kMaxFatalFlushHooks] = {};
+std::atomic<int> g_fatal_hook_count{0};
+
+void RunFatalFlushHooks() {
+  const int count = g_fatal_hook_count.load(std::memory_order_acquire);
+  for (int i = 0; i < count && i < kMaxFatalFlushHooks; ++i) {
+    FatalFlushHook hook = g_fatal_hooks[i].load(std::memory_order_acquire);
+    if (hook != nullptr) hook();
+  }
+}
+
+}  // namespace
+
+void RegisterFatalFlushHook(FatalFlushHook hook) {
+  if (hook == nullptr) return;
+  const int idx = g_fatal_hook_count.fetch_add(1, std::memory_order_acq_rel);
+  if (idx < kMaxFatalFlushHooks) {
+    g_fatal_hooks[idx].store(hook, std::memory_order_release);
+  }
+}
+
+}  // namespace dpclustx
+
+namespace dpclustx::internal_logging {
+
+struct FatalMessage::Impl {
+  std::ostringstream stream;
+};
+
+FatalMessage::FatalMessage(const char* file, int line, const char* condition)
+    : impl_(new Impl), stream_(&impl_->stream) {
+  impl_->stream << "[DPX FATAL] " << file << ":" << line
+                << " Check failed: " << condition << " ";
+}
+
+FatalMessage::~FatalMessage() {
+  std::cerr << impl_->stream.str() << std::endl;
+  dpclustx::RunFatalFlushHooks();
+  std::abort();
+}
+
+}  // namespace dpclustx::internal_logging

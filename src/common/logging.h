@@ -1,13 +1,29 @@
 // Minimal logging and assertion macros. DPX_CHECK* document and enforce
 // internal invariants; they are active in all build types because the cost is
 // negligible relative to the statistical work this library does.
+//
+// The header stays light on purpose (only <ostream>): FatalMessage's
+// formatting machinery lives in logging.cc so that every translation unit
+// using DPX_CHECK does not pay for <iostream>/<sstream>.
 
 #ifndef DPCLUSTX_COMMON_LOGGING_H_
 #define DPCLUSTX_COMMON_LOGGING_H_
 
-#include <cstdlib>
-#include <iostream>
-#include <sstream>
+#include <ostream>
+
+namespace dpclustx {
+
+/// Called (in registration order) after a fatal check's message is printed
+/// and before std::abort(), so subsystems can flush in-memory telemetry
+/// (active trace, metrics buffers) while the crashing thread still exists.
+/// Hooks must be async-signal-unsafe-tolerant in the weak sense only: they
+/// run on the crashing thread with other threads possibly wedged, so they
+/// must not take locks another thread could hold. At most 8 hooks are kept;
+/// later registrations are ignored.
+using FatalFlushHook = void (*)();
+void RegisterFatalFlushHook(FatalFlushHook hook);
+
+}  // namespace dpclustx
 
 namespace dpclustx::internal_logging {
 
@@ -15,20 +31,16 @@ namespace dpclustx::internal_logging {
 // macros below; never instantiate directly.
 class FatalMessage {
  public:
-  FatalMessage(const char* file, int line, const char* condition) {
-    stream_ << "[DPX FATAL] " << file << ":" << line << " Check failed: "
-            << condition << " ";
-  }
+  FatalMessage(const char* file, int line, const char* condition);
   FatalMessage(const FatalMessage&) = delete;
   FatalMessage& operator=(const FatalMessage&) = delete;
-  [[noreturn]] ~FatalMessage() {
-    std::cerr << stream_.str() << std::endl;
-    std::abort();
-  }
-  std::ostream& stream() { return stream_; }
+  [[noreturn]] ~FatalMessage();
+  std::ostream& stream() { return *stream_; }
 
  private:
-  std::ostringstream stream_;
+  struct Impl;
+  Impl* impl_;  // leaked: the destructor never returns
+  std::ostream* stream_;
 };
 
 }  // namespace dpclustx::internal_logging

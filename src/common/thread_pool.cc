@@ -89,6 +89,11 @@ uint64_t ThreadPool::tasks_completed() const {
   return tasks_completed_;
 }
 
+size_t ThreadPool::active_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
 namespace {
 
 // A body already running on the compute pool (or the caller's drain loop)
@@ -236,11 +241,13 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
+      ++active_;
     }
     queue_nonfull_.notify_one();
     task();
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
       ++tasks_completed_;
     }
   }

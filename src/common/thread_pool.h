@@ -73,6 +73,10 @@ class ThreadPool {
   /// Tasks that finished executing.
   uint64_t tasks_completed() const;
 
+  /// Workers currently running a task. Advisory under concurrency; used by
+  /// the observability layer as a utilization gauge.
+  size_t active_count() const;
+
  private:
   void WorkerLoop();
 
@@ -86,6 +90,7 @@ class ThreadPool {
   bool shutdown_ = false;                    // guarded by mutex_
   bool joining_ = false;                     // guarded by mutex_
   uint64_t tasks_completed_ = 0;             // guarded by mutex_
+  size_t active_ = 0;                        // guarded by mutex_
   std::vector<std::thread> workers_;         // guarded by mutex_
 };
 

@@ -9,6 +9,7 @@
 #include "common/math_util.h"
 #include "common/thread_pool.h"
 #include "core/candidate_selection.h"
+#include "obs/trace.h"
 
 namespace dpclustx {
 
@@ -312,70 +313,82 @@ StatusOr<GlobalExplanation> ExplainDpClustXWithStats(
 
   // Reserve the whole run's budget up front so a failure cannot leave a
   // partially-released explanation.
-  if (budget != nullptr) {
-    DPX_RETURN_IF_ERROR(
-        budget->Spend(options.epsilon_cand_set, "dpclustx/stage1-candidates"));
-    DPX_RETURN_IF_ERROR(
-        budget->Spend(options.epsilon_top_comb, "dpclustx/stage2-selection"));
-    if (options.generate_histograms) {
-      DPX_RETURN_IF_ERROR(
-          budget->Spend(options.epsilon_hist, "dpclustx/histograms"));
+  {
+    DPX_SPAN("budget_reserve");
+    if (budget != nullptr) {
+      DPX_RETURN_IF_ERROR(budget->Spend(options.epsilon_cand_set,
+                                        "dpclustx/stage1-candidates"));
+      DPX_RETURN_IF_ERROR(budget->Spend(options.epsilon_top_comb,
+                                        "dpclustx/stage2-selection"));
+      if (options.generate_histograms) {
+        DPX_RETURN_IF_ERROR(
+            budget->Spend(options.epsilon_hist, "dpclustx/histograms"));
+      }
     }
   }
 
   Rng rng(options.seed);
 
   // Algorithm 2, lines 1–2: conditional single-cluster weights γ from λ,
-  // then the configured Stage-1 mechanism.
+  // then the configured Stage-1 mechanism. (Spans time the stages only —
+  // they never touch the Rng, so the noise-stream contract is untouched.)
   std::vector<std::vector<AttrIndex>> candidate_sets;
-  const SingleClusterWeights gamma =
-      options.lambda.ConditionalSingleClusterWeights();
-  switch (options.stage1) {
-    case Stage1Selector::kOneShotTopK: {
-      CandidateSelectionOptions stage1;
-      stage1.epsilon = options.epsilon_cand_set;
-      stage1.k = options.num_candidates;
-      stage1.gamma = gamma;
-      stage1.deadline = options.deadline;
-      DPX_ASSIGN_OR_RETURN(candidate_sets,
-                           SelectCandidates(stats, stage1, rng));
-      break;
-    }
-    case Stage1Selector::kSvt: {
-      SvtCandidateOptions stage1;
-      stage1.epsilon = options.epsilon_cand_set;
-      stage1.max_candidates = options.num_candidates;
-      stage1.threshold_fraction = options.svt_threshold_fraction;
-      stage1.gamma = gamma;
-      stage1.deadline = options.deadline;
-      DPX_ASSIGN_OR_RETURN(candidate_sets,
-                           SvtSelectCandidates(stats, stage1, rng));
-      break;
+  {
+    DPX_SPAN("stage1_candidates");
+    const SingleClusterWeights gamma =
+        options.lambda.ConditionalSingleClusterWeights();
+    switch (options.stage1) {
+      case Stage1Selector::kOneShotTopK: {
+        CandidateSelectionOptions stage1;
+        stage1.epsilon = options.epsilon_cand_set;
+        stage1.k = options.num_candidates;
+        stage1.gamma = gamma;
+        stage1.deadline = options.deadline;
+        DPX_ASSIGN_OR_RETURN(candidate_sets,
+                             SelectCandidates(stats, stage1, rng));
+        break;
+      }
+      case Stage1Selector::kSvt: {
+        SvtCandidateOptions stage1;
+        stage1.epsilon = options.epsilon_cand_set;
+        stage1.max_candidates = options.num_candidates;
+        stage1.threshold_fraction = options.svt_threshold_fraction;
+        stage1.gamma = gamma;
+        stage1.deadline = options.deadline;
+        DPX_ASSIGN_OR_RETURN(candidate_sets,
+                             SvtSelectCandidates(stats, stage1, rng));
+        break;
+      }
     }
   }
 
   // Lines 4–5: exponential mechanism over candidate combinations.
-  const core_internal::CombinationScoreTables tables =
-      core_internal::BuildLowSensitivityTables(stats, candidate_sets,
-                                               options.lambda);
-  StatusOr<AttributeCombination> selected =
-      options.num_threads > 1
-          ? core_internal::SearchCombinationParallel(
-                candidate_sets, tables, options.epsilon_top_comb,
-                kGlScoreSensitivity, options.max_combinations, rng,
-                options.num_threads, options.deadline)
-          : core_internal::SearchCombination(
-                candidate_sets, tables, options.epsilon_top_comb,
-                kGlScoreSensitivity, options.max_combinations, rng,
-                options.deadline);
-  DPX_RETURN_IF_ERROR(selected.status());
-  AttributeCombination combination = std::move(selected).value();
+  AttributeCombination combination;
+  {
+    DPX_SPAN("stage2_select");
+    const core_internal::CombinationScoreTables tables =
+        core_internal::BuildLowSensitivityTables(stats, candidate_sets,
+                                                 options.lambda);
+    StatusOr<AttributeCombination> selected =
+        options.num_threads > 1
+            ? core_internal::SearchCombinationParallel(
+                  candidate_sets, tables, options.epsilon_top_comb,
+                  kGlScoreSensitivity, options.max_combinations, rng,
+                  options.num_threads, options.deadline)
+            : core_internal::SearchCombination(
+                  candidate_sets, tables, options.epsilon_top_comb,
+                  kGlScoreSensitivity, options.max_combinations, rng,
+                  options.deadline);
+    DPX_RETURN_IF_ERROR(selected.status());
+    combination = std::move(selected).value();
+  }
 
   GlobalExplanation explanation;
   explanation.combination = combination;
   explanation.candidate_sets = std::move(candidate_sets);
   if (!options.generate_histograms) return explanation;
 
+  DPX_SPAN("stage2_histograms");
   // Line 6: distinct selected attributes A'.
   const std::set<AttrIndex> distinct(combination.begin(), combination.end());
   // Line 7: budget split between full-dataset and cluster histograms.

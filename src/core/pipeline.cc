@@ -5,6 +5,7 @@
 #include "cluster/gmm.h"
 #include "cluster/kmeans.h"
 #include "cluster/kmodes.h"
+#include "obs/trace.h"
 
 namespace dpclustx {
 
@@ -22,50 +23,57 @@ StatusOr<PipelineResult> RunPipeline(const Dataset& dataset,
                                      PrivacyBudget* budget) {
   StatusOr<std::unique_ptr<ClusteringFunction>> clustering =
       Status::Internal("unset");
-  switch (options.method) {
-    case ClusteringMethod::kKMeans: {
-      KMeansOptions fit;
-      fit.num_clusters = options.num_clusters;
-      fit.seed = options.clustering_seed;
-      fit.num_threads = options.clustering_threads;
-      clustering = FitKMeans(dataset, fit);
-      break;
+  {
+    DPX_SPAN("clustering_fit");
+    switch (options.method) {
+      case ClusteringMethod::kKMeans: {
+        KMeansOptions fit;
+        fit.num_clusters = options.num_clusters;
+        fit.seed = options.clustering_seed;
+        fit.num_threads = options.clustering_threads;
+        clustering = FitKMeans(dataset, fit);
+        break;
+      }
+      case ClusteringMethod::kDpKMeans: {
+        DpKMeansOptions fit;
+        fit.num_clusters = options.num_clusters;
+        fit.epsilon = options.epsilon_clustering;
+        fit.seed = options.clustering_seed;
+        clustering = FitDpKMeans(dataset, fit, budget);
+        break;
+      }
+      case ClusteringMethod::kKModes: {
+        KModesOptions fit;
+        fit.num_clusters = options.num_clusters;
+        fit.seed = options.clustering_seed;
+        fit.num_threads = options.clustering_threads;
+        clustering = FitKModes(dataset, fit);
+        break;
+      }
+      case ClusteringMethod::kAgglomerative: {
+        AgglomerativeOptions fit;
+        fit.num_clusters = options.num_clusters;
+        fit.seed = options.clustering_seed;
+        clustering = FitAgglomerative(dataset, fit);
+        break;
+      }
+      case ClusteringMethod::kGmm: {
+        GmmOptions fit;
+        fit.num_components = options.num_clusters;
+        fit.seed = options.clustering_seed;
+        fit.num_threads = options.clustering_threads;
+        clustering = FitGmm(dataset, fit);
+        break;
+      }
     }
-    case ClusteringMethod::kDpKMeans: {
-      DpKMeansOptions fit;
-      fit.num_clusters = options.num_clusters;
-      fit.epsilon = options.epsilon_clustering;
-      fit.seed = options.clustering_seed;
-      clustering = FitDpKMeans(dataset, fit, budget);
-      break;
-    }
-    case ClusteringMethod::kKModes: {
-      KModesOptions fit;
-      fit.num_clusters = options.num_clusters;
-      fit.seed = options.clustering_seed;
-      fit.num_threads = options.clustering_threads;
-      clustering = FitKModes(dataset, fit);
-      break;
-    }
-    case ClusteringMethod::kAgglomerative: {
-      AgglomerativeOptions fit;
-      fit.num_clusters = options.num_clusters;
-      fit.seed = options.clustering_seed;
-      clustering = FitAgglomerative(dataset, fit);
-      break;
-    }
-    case ClusteringMethod::kGmm: {
-      GmmOptions fit;
-      fit.num_components = options.num_clusters;
-      fit.seed = options.clustering_seed;
-      fit.num_threads = options.clustering_threads;
-      clustering = FitGmm(dataset, fit);
-      break;
-    }
-  }
+  }  // DPX_SPAN("clustering_fit")
   DPX_RETURN_IF_ERROR(clustering.status());
 
-  std::vector<ClusterId> labels = (*clustering)->AssignAll(dataset);
+  std::vector<ClusterId> labels;
+  {
+    DPX_SPAN("assign_all");
+    labels = (*clustering)->AssignAll(dataset);
+  }
   DPX_ASSIGN_OR_RETURN(
       StatsCache stats,
       StatsCache::Build(dataset, labels, options.num_clusters,

@@ -2,12 +2,15 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace dpclustx {
 
 StatusOr<StatsCache> StatsCache::Build(const Dataset& dataset,
                                        const std::vector<ClusterId>& labels,
                                        size_t num_clusters,
                                        size_t num_threads) {
+  DPX_SPAN("stats_cache_build");
   if (num_clusters == 0) {
     return Status::InvalidArgument("num_clusters must be >= 1");
   }

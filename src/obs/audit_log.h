@@ -1,0 +1,93 @@
+// Append-only privacy-budget audit log.
+//
+// Every ε charge or denial flows through AuditLog::Record with a monotonic
+// sequence number, so the SessionManager ledgers become externally
+// verifiable: the sum of granted charges per tenant in the log must equal
+// the ledger's spent total exactly (tested, not approximately). To make
+// that hold for floating-point ε under concurrency, callers invoke Record
+// while still holding the same lock that serialized the ledger update
+// (ServiceSession::Spend does this), so the log observes charges in ledger
+// order and per-tenant running totals accumulate in the same order as the
+// ledger's own sum.
+//
+// The record buffer is bounded (drop-oldest); per-tenant/global totals are
+// exact forever regardless of drops, and `dropped` is reported so an
+// auditor knows whether the tail is complete.
+//
+// DP-safety: a record carries tenant/session id, dataset name, an
+// operation label, ε, and the grant/deny outcome — all operational
+// metadata the client already knows. Never data values or per-record
+// information.
+
+#ifndef DPCLUSTX_OBS_AUDIT_LOG_H_
+#define DPCLUSTX_OBS_AUDIT_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace dpclustx::obs {
+
+struct AuditRecord {
+  uint64_t seq = 0;  // monotonic from 1, never reused
+  std::string tenant;
+  std::string dataset;
+  std::string label;  // operation label, e.g. "explain" or "hist"
+  double epsilon = 0.0;
+  bool granted = false;
+  std::string reason;  // empty when granted; denial reason otherwise
+};
+
+class AuditLog {
+ public:
+  /// Keeps at most `capacity` records in the tail buffer (older records are
+  /// dropped; totals are unaffected).
+  explicit AuditLog(size_t capacity = 4096);
+  AuditLog(const AuditLog&) = delete;
+  AuditLog& operator=(const AuditLog&) = delete;
+
+  /// Appends one charge/denial. Returns the assigned sequence number.
+  uint64_t Record(const std::string& tenant, const std::string& dataset,
+                  const std::string& label, double epsilon, bool granted,
+                  const std::string& reason = "");
+
+  struct Totals {
+    double epsilon_charged = 0.0;  // sum of granted ε, in Record order
+    double epsilon_denied = 0.0;   // sum of denied ε
+    uint64_t charges = 0;
+    uint64_t denials = 0;
+  };
+
+  /// Per-tenant totals (exact: accumulated in Record order).
+  Totals TenantTotals(const std::string& tenant) const;
+  Totals GlobalTotals() const;
+
+  /// Last `limit` records, oldest first (0 = all retained).
+  std::vector<AuditRecord> Tail(size_t limit = 0) const;
+
+  uint64_t next_seq() const;
+  uint64_t dropped() const;
+
+  /// {"next_seq","dropped","totals":{tenant:{...}},"records":[...]} with
+  /// records limited to `tail_limit` (0 = all retained). Field names are
+  /// stable (golden-tested).
+  JsonValue ToJson(size_t tail_limit = 0) const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<AuditRecord> records_;
+  std::map<std::string, Totals> tenant_totals_;
+  Totals global_totals_;
+  uint64_t next_seq_ = 1;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace dpclustx::obs
+
+#endif  // DPCLUSTX_OBS_AUDIT_LOG_H_

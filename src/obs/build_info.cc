@@ -1,0 +1,65 @@
+#include "obs/build_info.h"
+
+#include <cstdlib>
+
+#include "common/thread_pool.h"
+
+// Definitions are injected by src/obs/CMakeLists.txt; the fallbacks keep
+// non-CMake builds (e.g. IDE single-file checks) compiling.
+#ifndef DPCLUSTX_GIT_SHA
+#define DPCLUSTX_GIT_SHA "unknown"
+#endif
+#ifndef DPCLUSTX_COMPILER
+#define DPCLUSTX_COMPILER "unknown"
+#endif
+#ifndef DPCLUSTX_CXX_FLAGS
+#define DPCLUSTX_CXX_FLAGS ""
+#endif
+#ifndef DPCLUSTX_BUILD_TYPE
+#define DPCLUSTX_BUILD_TYPE ""
+#endif
+
+namespace dpclustx::obs {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo* info = [] {
+    auto* b = new BuildInfo;
+    b->git_sha = DPCLUSTX_GIT_SHA;
+    b->compiler = DPCLUSTX_COMPILER;
+    b->flags = DPCLUSTX_CXX_FLAGS;
+    b->build_type = DPCLUSTX_BUILD_TYPE;
+    return b;
+  }();
+  return *info;
+}
+
+JsonValue BuildInfoJson() {
+  const BuildInfo& info = GetBuildInfo();
+  JsonValue out = JsonValue::Object();
+  out.Set("git_sha", JsonValue::String(info.git_sha));
+  out.Set("compiler", JsonValue::String(info.compiler));
+  out.Set("flags", JsonValue::String(info.flags));
+  out.Set("build_type", JsonValue::String(info.build_type));
+  const char* threads_env = std::getenv("DPCLUSTX_THREADS");
+  out.Set("dpclustx_threads_env",
+          JsonValue::String(threads_env == nullptr ? "" : threads_env));
+  out.Set("compute_pool_width",
+          JsonValue::Number(static_cast<double>(ComputePoolWidth())));
+  return out;
+}
+
+std::string BuildInfoVersionLine() {
+  const BuildInfo& info = GetBuildInfo();
+  std::string line = "dpclustx ";
+  line += info.git_sha;
+  line += " (";
+  line += info.compiler;
+  if (!info.build_type.empty()) {
+    line += ", ";
+    line += info.build_type;
+  }
+  line += ")";
+  return line;
+}
+
+}  // namespace dpclustx::obs

@@ -1,0 +1,35 @@
+// Build provenance: which binary produced a given metrics dump or bench
+// number. Values are baked in at compile time by src/obs/CMakeLists.txt
+// (git SHA, compiler, flags, build type) and surfaced through the `stats`
+// op, `dpclustx_serve --version`, and scripts/bench_snapshot.sh.
+
+#ifndef DPCLUSTX_OBS_BUILD_INFO_H_
+#define DPCLUSTX_OBS_BUILD_INFO_H_
+
+#include <string>
+
+#include "common/json.h"
+
+namespace dpclustx::obs {
+
+struct BuildInfo {
+  std::string git_sha;     // short SHA, or "unknown" outside a checkout
+  std::string compiler;    // e.g. "GNU 12.2.0"
+  std::string flags;       // CMAKE_CXX_FLAGS + build-type flags
+  std::string build_type;  // e.g. "Release"
+};
+
+/// Compile-time constants of the dpclustx_obs translation unit.
+const BuildInfo& GetBuildInfo();
+
+/// {"git_sha","compiler","flags","build_type","dpclustx_threads_env",
+///  "compute_pool_width"} — the last two are runtime values so a dump
+/// records the parallelism it ran with.
+JsonValue BuildInfoJson();
+
+/// One-line form for --version output.
+std::string BuildInfoVersionLine();
+
+}  // namespace dpclustx::obs
+
+#endif  // DPCLUSTX_OBS_BUILD_INFO_H_

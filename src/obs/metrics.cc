@@ -1,0 +1,404 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace dpclustx::obs {
+
+namespace internal {
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace internal
+
+namespace {
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Inner label text `k1="v1",k2="v2"` (no braces), stable given the
+/// registration-time label order.
+std::string RenderLabels(const MetricLabels& labels) {
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    DPX_CHECK(ValidMetricName(key)) << "bad label name '" << key << "'";
+    if (!out.empty()) out += ',';
+    out += key;
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out += '"';
+  }
+  return out;
+}
+
+std::string Decorate(const std::string& name, const std::string& inner) {
+  if (inner.empty()) return name;
+  return name + "{" + inner + "}";
+}
+
+/// Same, with an extra `le` label appended (histogram buckets).
+std::string DecorateLe(const std::string& name, const std::string& inner,
+                       const std::string& le) {
+  std::string joined = inner;
+  if (!joined.empty()) joined += ',';
+  joined += "le=\"" + le + "\"";
+  return name + "{" + joined + "}";
+}
+
+std::string FormatDouble(double value) {
+  // Callback gauges must never leak NaN/Inf into an exposition format (the
+  // service response gate would reject the whole payload).
+  if (!std::isfinite(value)) value = 0.0;
+  if (value == std::floor(value) && std::abs(value) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string FormatU64(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return buf;
+}
+
+}  // namespace
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const internal::ShardCell& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void LatencyHistogram::Observe(uint64_t micros) {
+  size_t bucket = 0;
+  while (bucket < kBucketBoundsMicros.size() &&
+         micros > kBucketBoundsMicros[bucket]) {
+    ++bucket;
+  }
+  Shard& shard = shards_[internal::ThisThreadShard()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(micros, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (micros > seen &&
+         !max_.compare_exchange_weak(seen, micros,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t LatencyHistogram::count() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t LatencyHistogram::sum_micros() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::array<uint64_t, LatencyHistogram::kNumBuckets>
+LatencyHistogram::BucketCounts() const {
+  std::array<uint64_t, kNumBuckets> totals{};
+  for (const Shard& shard : shards_) {
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      totals[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return totals;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  // Leaked on purpose: instruments may be written from compute-pool threads
+  // that outlive static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrNull(
+    const std::string& name, const std::string& label_text) {
+  for (Entry& entry : entries_) {
+    if (entry.name == name && entry.label_text == label_text) return &entry;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::Register(Kind kind,
+                                                  const std::string& name,
+                                                  const std::string& help,
+                                                  const MetricLabels& labels) {
+  DPX_CHECK(ValidMetricName(name)) << "bad metric name '" << name << "'";
+  const std::string label_text = RenderLabels(labels);
+  if (Entry* existing = FindOrNull(name, label_text)) {
+    DPX_CHECK(existing->kind == kind)
+        << "metric '" << name << "' re-registered as a different kind";
+    return *existing;
+  }
+  // One instrument kind per family: mixed kinds under one name would
+  // produce an unparseable exposition.
+  for (const Entry& entry : entries_) {
+    DPX_CHECK(entry.name != name || entry.kind == kind)
+        << "metric family '" << name << "' already holds a different kind";
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.name = name;
+  entry.help = help;
+  entry.label_text = label_text;
+  entries_.push_back(std::move(entry));
+  return entries_.back();
+}
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name,
+                                          const std::string& help,
+                                          const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = Register(Kind::kCounter, name, help, labels);
+  if (entry.counter == nullptr) {
+    entry.counter = &counters_.emplace_back();
+  }
+  return entry.counter;
+}
+
+Gauge* MetricsRegistry::RegisterGauge(const std::string& name,
+                                      const std::string& help,
+                                      const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = Register(Kind::kGauge, name, help, labels);
+  if (entry.gauge == nullptr) {
+    entry.gauge = &gauges_.emplace_back();
+  }
+  return entry.gauge;
+}
+
+LatencyHistogram* MetricsRegistry::RegisterLatencyHistogram(
+    const std::string& name, const std::string& help,
+    const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = Register(Kind::kHistogram, name, help, labels);
+  if (entry.histogram == nullptr) {
+    entry.histogram = &histograms_.emplace_back();
+  }
+  return entry.histogram;
+}
+
+uint64_t MetricsRegistry::AddCallbackGauge(const std::string& name,
+                                           const std::string& help,
+                                           const MetricLabels& labels,
+                                           std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DPX_CHECK(ValidMetricName(name)) << "bad metric name '" << name << "'";
+  Entry entry;
+  entry.kind = Kind::kCallback;
+  entry.name = name;
+  entry.help = help;
+  entry.label_text = RenderLabels(labels);
+  entry.callback = std::move(fn);
+  entry.callback_id = next_callback_id_++;
+  entries_.push_back(std::move(entry));
+  return entries_.back().callback_id;
+}
+
+void MetricsRegistry::RemoveCallback(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry& entry : entries_) {
+    if (entry.kind == Kind::kCallback && entry.callback_id == id) {
+      // Detach rather than erase so handles into entries_ stay valid.
+      entry.callback = nullptr;
+    }
+  }
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Group by family, sorted by name; within a family, by label text. Index
+  // into entries_ so callback evaluation happens exactly once per entry.
+  std::vector<const Entry*> ordered;
+  ordered.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    if (entry.kind == Kind::kCallback && entry.callback == nullptr) continue;
+    ordered.push_back(&entry);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Entry* a, const Entry* b) {
+                     if (a->name != b->name) return a->name < b->name;
+                     return a->label_text < b->label_text;
+                   });
+
+  std::string out;
+  const std::string* current_family = nullptr;
+  // Histogram max values are exposed as a sibling gauge family
+  // (<name>_max_micros) because the Prometheus histogram type has no max
+  // series; collected here and emitted after the main walk.
+  std::string max_families;
+  const std::string* current_max_family = nullptr;
+  for (const Entry* entry : ordered) {
+    if (current_family == nullptr || *current_family != entry->name) {
+      out += "# HELP " + entry->name + " " + entry->help + "\n";
+      out += "# TYPE " + entry->name + " ";
+      switch (entry->kind) {
+        case Kind::kCounter:
+          out += "counter\n";
+          break;
+        case Kind::kGauge:
+        case Kind::kCallback:
+          out += "gauge\n";
+          break;
+        case Kind::kHistogram:
+          out += "histogram\n";
+          break;
+      }
+      current_family = &entry->name;
+    }
+    switch (entry->kind) {
+      case Kind::kCounter:
+        out += Decorate(entry->name, entry->label_text) + " " +
+               FormatU64(entry->counter->Value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += Decorate(entry->name, entry->label_text) + " " +
+               FormatDouble(static_cast<double>(entry->gauge->Value())) + "\n";
+        break;
+      case Kind::kCallback:
+        out += Decorate(entry->name, entry->label_text) + " " +
+               FormatDouble(entry->callback()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const auto buckets = entry->histogram->BucketCounts();
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < LatencyHistogram::kBucketBoundsMicros.size();
+             ++b) {
+          cumulative += buckets[b];
+          out += DecorateLe(
+                     entry->name + "_bucket", entry->label_text,
+                     FormatU64(LatencyHistogram::kBucketBoundsMicros[b])) +
+                 " " + FormatU64(cumulative) + "\n";
+        }
+        cumulative += buckets.back();
+        out += DecorateLe(entry->name + "_bucket", entry->label_text,
+                          "+Inf") +
+               " " + FormatU64(cumulative) + "\n";
+        out += Decorate(entry->name + "_sum", entry->label_text) + " " +
+               FormatU64(entry->histogram->sum_micros()) + "\n";
+        out += Decorate(entry->name + "_count", entry->label_text) + " " +
+               FormatU64(entry->histogram->count()) + "\n";
+        const std::string max_name = entry->name + "_max_micros";
+        if (current_max_family == nullptr ||
+            *current_max_family != entry->name) {
+          max_families += "# HELP " + max_name +
+                          " Largest single observation of " + entry->name +
+                          "\n# TYPE " + max_name + " gauge\n";
+          current_max_family = &entry->name;
+        }
+        max_families += Decorate(max_name, entry->label_text) + " " +
+                        FormatU64(entry->histogram->max_micros()) + "\n";
+        break;
+      }
+    }
+  }
+  out += max_families;
+  return out;
+}
+
+JsonValue MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue counters = JsonValue::Object();
+  JsonValue gauges = JsonValue::Object();
+  JsonValue histograms = JsonValue::Object();
+  for (const Entry& entry : entries_) {
+    const std::string key = Decorate(entry.name, entry.label_text);
+    switch (entry.kind) {
+      case Kind::kCounter:
+        counters.Set(key, JsonValue::Number(
+                              static_cast<double>(entry.counter->Value())));
+        break;
+      case Kind::kGauge:
+        gauges.Set(key, JsonValue::Number(
+                            static_cast<double>(entry.gauge->Value())));
+        break;
+      case Kind::kCallback: {
+        if (entry.callback == nullptr) break;
+        double value = entry.callback();
+        if (!std::isfinite(value)) value = 0.0;
+        gauges.Set(key, JsonValue::Number(value));
+        break;
+      }
+      case Kind::kHistogram: {
+        JsonValue h = JsonValue::Object();
+        h.Set("count", JsonValue::Number(
+                           static_cast<double>(entry.histogram->count())));
+        h.Set("sum_micros",
+              JsonValue::Number(
+                  static_cast<double>(entry.histogram->sum_micros())));
+        h.Set("max_micros",
+              JsonValue::Number(
+                  static_cast<double>(entry.histogram->max_micros())));
+        JsonValue bounds = JsonValue::Array();
+        for (uint64_t bound : LatencyHistogram::kBucketBoundsMicros) {
+          bounds.Append(JsonValue::Number(static_cast<double>(bound)));
+        }
+        h.Set("bounds_micros", std::move(bounds));
+        JsonValue buckets = JsonValue::Array();
+        for (uint64_t value : entry.histogram->BucketCounts()) {
+          buckets.Append(JsonValue::Number(static_cast<double>(value)));
+        }
+        h.Set("buckets", std::move(buckets));
+        histograms.Set(key, std::move(h));
+        break;
+      }
+    }
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("counters", std::move(counters));
+  out.Set("gauges", std::move(gauges));
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace dpclustx::obs

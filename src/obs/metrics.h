@@ -1,0 +1,213 @@
+// Process-wide metrics registry with lock-light instruments.
+//
+// The serving stack needs counters on every request, so the hot path must
+// not take a lock or bounce one cache line between workers: Counter and
+// LatencyHistogram shard their state across cacheline-aligned atomic cells
+// indexed by a per-thread shard id, and reads sum the shards. Registration
+// happens once at startup (engine construction); after that the registry is
+// only read, so handles are plain pointers with no lifetime bookkeeping on
+// the hot path.
+//
+// Instruments:
+//   Counter           monotonic, sharded; Increment is one relaxed
+//                     fetch_add on a thread-private-ish cell.
+//   Gauge             last-written int64 (queue depths, sizes).
+//   LatencyHistogram  fixed log-spaced µs buckets + count/sum/max; one
+//                     relaxed fetch_add per bucket observation plus a CAS
+//                     loop for the max.
+//   callback gauge    evaluated at exposition time only — for values some
+//                     other component already maintains (cache hit counts,
+//                     pool queue depth). Non-finite callback results are
+//                     clamped to 0 so the JSON/Prometheus gate never sees
+//                     NaN/Inf.
+//
+// Exposition: PrometheusText() (text format 0.0.4) and ToJson(). Both walk
+// the registry under its registration mutex; neither blocks writers.
+//
+// DP-safety boundary: metric names, labels, and help strings are
+// compile-time constants chosen by this codebase — never client data, raw
+// values, or per-record information. Values are aggregate counts/timings
+// and ε totals, which are DP-safe operational metadata (see DESIGN.md §10).
+
+#ifndef DPCLUSTX_OBS_METRICS_H_
+#define DPCLUSTX_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+
+namespace dpclustx::obs {
+
+/// Shards per instrument. Small enough that summing on read is cheap,
+/// large enough that a handful of workers rarely collide on a cell.
+inline constexpr size_t kMetricShards = 8;
+
+namespace internal {
+
+/// Stable per-thread shard index in [0, kMetricShards): threads are
+/// assigned round-robin on first use, so up to kMetricShards concurrent
+/// writers never share a cell.
+size_t ThisThreadShard();
+
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> value{0};
+};
+
+}  // namespace internal
+
+class MetricsRegistry;
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    shards_[internal::ThisThreadShard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const;
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  std::array<internal::ShardCell, kMetricShards> shards_;
+};
+
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class LatencyHistogram {
+ public:
+  /// Upper bucket bounds in microseconds; the final +Inf bucket is
+  /// implicit. Log-spaced from 50 µs (a cache-hit explain) to 4 s (a
+  /// deadline-bounded worst case).
+  static constexpr std::array<uint64_t, 14> kBucketBoundsMicros = {
+      50,     100,    250,    500,     1000,    2500,    5000,
+      10000,  25000,  50000,  100000,  250000,  1000000, 4000000};
+  static constexpr size_t kNumBuckets = kBucketBoundsMicros.size() + 1;
+
+  void Observe(uint64_t micros);
+
+  uint64_t count() const;
+  uint64_t sum_micros() const;
+  uint64_t max_micros() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  /// Per-bucket (non-cumulative) counts, shard-summed.
+  std::array<uint64_t, kNumBuckets> BucketCounts() const;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+  std::atomic<uint64_t> max_{0};
+};
+
+/// One {key, value} Prometheus label. Values are escaped on exposition.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide default registry for single-engine deployments. Library
+  /// code never writes to it implicitly; components are handed a registry
+  /// (or create their own) and register at startup.
+  static MetricsRegistry& Default();
+
+  /// Registration is idempotent per (name, labels): a second call returns
+  /// the first handle, so restarts of a subsystem inside one process reuse
+  /// the same instrument. Registering the same (name, labels) as a
+  /// different instrument kind is a programming error (DPX_CHECK). Names
+  /// must match [a-zA-Z_:][a-zA-Z0-9_:]*; a metric family must hold one
+  /// instrument kind across all label sets.
+  Counter* RegisterCounter(const std::string& name, const std::string& help,
+                           const MetricLabels& labels = {});
+  Gauge* RegisterGauge(const std::string& name, const std::string& help,
+                       const MetricLabels& labels = {});
+  LatencyHistogram* RegisterLatencyHistogram(const std::string& name,
+                                             const std::string& help,
+                                             const MetricLabels& labels = {});
+
+  /// Callback gauge: `fn` is invoked at exposition time (under the
+  /// registry mutex — keep it cheap and never call back into the
+  /// registry). Returns an id for RemoveCallback; owners whose state the
+  /// callback reads MUST remove it before that state dies.
+  uint64_t AddCallbackGauge(const std::string& name, const std::string& help,
+                            const MetricLabels& labels,
+                            std::function<double()> fn);
+  void RemoveCallback(uint64_t id);
+
+  /// Prometheus text exposition format 0.0.4. Families sorted by name,
+  /// entries within a family by label string; deterministic given
+  /// deterministic values (golden-tested).
+  std::string PrometheusText() const;
+
+  /// JSON dump of every instrument. All numbers finite by construction
+  /// (callback results are clamped), so the service JSON gate passes.
+  JsonValue ToJson() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kCallback };
+
+  struct Entry {
+    Kind kind;
+    std::string name;
+    std::string help;
+    std::string label_text;  // rendered {k="v",...} or ""
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    LatencyHistogram* histogram = nullptr;
+    std::function<double()> callback;
+    uint64_t callback_id = 0;
+  };
+
+  Entry* FindOrNull(const std::string& name, const std::string& label_text);
+  Entry& Register(Kind kind, const std::string& name, const std::string& help,
+                  const MetricLabels& labels);
+
+  mutable std::mutex mutex_;
+  // Instrument storage is a deque so handles stay stable as the registry
+  // grows; entries are never removed (callbacks are detached, not erased,
+  // so exposition order stays stable).
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<LatencyHistogram> histograms_;
+  std::vector<Entry> entries_;  // exposition order: registration order
+  uint64_t next_callback_id_ = 1;
+};
+
+}  // namespace dpclustx::obs
+
+#endif  // DPCLUSTX_OBS_METRICS_H_

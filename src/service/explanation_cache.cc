@@ -35,6 +35,7 @@ void ExplanationCache::Put(const std::string& key, std::string payload) {
   if (index_.size() > capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
+    ++evictions_;
   }
 }
 
@@ -46,6 +47,11 @@ uint64_t ExplanationCache::hits() const {
 uint64_t ExplanationCache::misses() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return misses_;
+}
+
+uint64_t ExplanationCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
 }
 
 size_t ExplanationCache::size() const {

@@ -36,6 +36,7 @@ class ExplanationCache {
 
   uint64_t hits() const;
   uint64_t misses() const;
+  uint64_t evictions() const;
   size_t size() const;
   size_t capacity() const { return capacity_; }
 
@@ -50,8 +51,9 @@ class ExplanationCache {
   std::list<Node> lru_;  // front = most recently used; guarded by mutex_
   std::unordered_map<std::string, std::list<Node>::iterator>
       index_;  // guarded by mutex_
-  uint64_t hits_ = 0;    // guarded by mutex_
-  uint64_t misses_ = 0;  // guarded by mutex_
+  uint64_t hits_ = 0;       // guarded by mutex_
+  uint64_t misses_ = 0;     // guarded by mutex_
+  uint64_t evictions_ = 0;  // guarded by mutex_
 };
 
 }  // namespace dpclustx::service

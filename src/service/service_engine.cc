@@ -18,6 +18,8 @@
 #include "core/serialization.h"
 #include "dp/dp_histogram.h"
 #include "dp/mechanisms.h"
+#include "obs/build_info.h"
+#include "obs/trace.h"
 
 namespace dpclustx::service {
 
@@ -37,11 +39,16 @@ JsonValue ErrorResponse(const Status& status, int64_t retry_after_ms = 0) {
   return response;
 }
 
+/// The complete op vocabulary. Per-op instruments are pre-registered for
+/// exactly these names at engine construction, so the set here and the
+/// RecordOp fast path stay in lockstep by construction.
+constexpr const char* kOps[] = {
+    "ping",   "load_dataset",   "schema",        "cluster",
+    "budget", "create_session", "close_session", "explain",
+    "hist",   "size",           "stats",         "metrics",
+    "trace",  "audit"};
+
 bool IsKnownOp(const std::string& op) {
-  static constexpr const char* kOps[] = {
-      "ping",   "load_dataset",   "schema",        "cluster",
-      "budget", "create_session", "close_session", "explain",
-      "hist",   "size",           "stats"};
   for (const char* known : kOps) {
     if (op == known) return true;
   }
@@ -107,11 +114,90 @@ JsonValue HistogramToJson(const Histogram& histogram, const Attribute& attr) {
 ServiceEngine::ServiceEngine(const ServiceEngineOptions& options)
     : options_(options),
       cache_(options.cache_capacity),
-      pool_(ThreadPoolOptions{options.num_threads, options.queue_capacity}) {}
+      audit_(options.audit_capacity),
+      metrics_(options.metrics_registry != nullptr ? options.metrics_registry
+                                                   : &owned_metrics_),
+      pool_(ThreadPoolOptions{options.num_threads, options.queue_capacity}) {
+  sessions_.set_audit_log(&audit_);
+  RegisterMetrics();
+}
 
-ServiceEngine::~ServiceEngine() { Shutdown(); }
+ServiceEngine::~ServiceEngine() {
+  Shutdown();
+  // The callback gauges read members of this engine; with an injected
+  // registry that outlives us, leaving them installed would dangle.
+  for (const uint64_t id : callback_ids_) metrics_->RemoveCallback(id);
+}
 
 void ServiceEngine::Shutdown() { pool_.Shutdown(); }
+
+void ServiceEngine::RegisterMetrics() {
+  for (const char* op : kOps) {
+    const obs::MetricLabels labels = {{"op", op}};
+    OpMetrics handles;
+    handles.count = metrics_->RegisterCounter(
+        "dpclustx_op_requests_total", "Requests handled, by op", labels);
+    handles.errors = metrics_->RegisterCounter(
+        "dpclustx_op_errors_total", "Requests that returned an error, by op",
+        labels);
+    handles.deadline_exceeded = metrics_->RegisterCounter(
+        "dpclustx_op_deadline_exceeded_total",
+        "Requests cancelled at their deadline, by op", labels);
+    handles.latency = metrics_->RegisterLatencyHistogram(
+        "dpclustx_op_latency_micros", "Request handling latency, by op",
+        labels);
+    op_metrics_.emplace(op, handles);
+  }
+  shed_ = metrics_->RegisterCounter(
+      "dpclustx_requests_shed_total",
+      "Requests rejected because the request queue was full");
+  traced_ = metrics_->RegisterCounter(
+      "dpclustx_requests_traced_total",
+      "Requests that ran with span tracing active");
+
+  const auto gauge = [this](const std::string& name, const std::string& help,
+                            std::function<double()> fn) {
+    callback_ids_.push_back(
+        metrics_->AddCallbackGauge(name, help, {}, std::move(fn)));
+  };
+  gauge("dpclustx_cache_hits", "Explanation-cache hits",
+        [this] { return static_cast<double>(cache_.hits()); });
+  gauge("dpclustx_cache_misses", "Explanation-cache misses",
+        [this] { return static_cast<double>(cache_.misses()); });
+  gauge("dpclustx_cache_evictions", "Explanation-cache LRU evictions",
+        [this] { return static_cast<double>(cache_.evictions()); });
+  gauge("dpclustx_cache_size", "Explanation-cache entries",
+        [this] { return static_cast<double>(cache_.size()); });
+  gauge("dpclustx_cache_capacity", "Explanation-cache capacity",
+        [this] { return static_cast<double>(cache_.capacity()); });
+  gauge("dpclustx_pool_threads", "Request-pool worker threads",
+        [this] { return static_cast<double>(pool_.num_threads()); });
+  gauge("dpclustx_pool_queue_depth", "Requests waiting in the pool queue",
+        [this] { return static_cast<double>(pool_.queue_depth()); });
+  gauge("dpclustx_pool_active", "Request-pool workers currently busy",
+        [this] { return static_cast<double>(pool_.active_count()); });
+  gauge("dpclustx_pool_tasks_completed", "Requests the pool has finished",
+        [this] { return static_cast<double>(pool_.tasks_completed()); });
+  gauge("dpclustx_compute_pool_width", "Shared compute-pool width",
+        [] { return static_cast<double>(ComputePoolWidth()); });
+  gauge("dpclustx_parallel_for_calls", "ParallelFor invocations",
+        [] { return static_cast<double>(ParallelForCalls()); });
+  gauge("dpclustx_parallel_for_parallel_calls",
+        "ParallelFor invocations that dispatched to the pool",
+        [] { return static_cast<double>(ParallelForParallelCalls()); });
+  gauge("dpclustx_datasets", "Registered datasets",
+        [this] { return static_cast<double>(registry_.Names().size()); });
+  gauge("dpclustx_sessions", "Open sessions",
+        [this] { return static_cast<double>(sessions_.size()); });
+  gauge("dpclustx_audit_records", "Privacy-audit records appended",
+        [this] { return static_cast<double>(audit_.next_seq() - 1); });
+  gauge("dpclustx_audit_epsilon_charged",
+        "Total granted epsilon across all tenants",
+        [this] { return audit_.GlobalTotals().epsilon_charged; });
+  gauge("dpclustx_audit_epsilon_denied",
+        "Total refused epsilon across all tenants",
+        [this] { return audit_.GlobalTotals().epsilon_denied; });
+}
 
 uint64_t ServiceEngine::NextNoiseSeed() {
   const uint64_t n = noise_sequence_.fetch_add(1, std::memory_order_relaxed);
@@ -180,6 +266,7 @@ std::string ServiceEngine::HandleAt(const std::string& request_json,
                std::to_string(options_.max_request_bytes)))
         .Dump();
   }
+  const auto parse_began = Deadline::Clock::now();
   StatusOr<JsonValue> parsed = JsonValue::Parse(request_json);
   if (!parsed.ok()) return ErrorResponse(parsed.status()).Dump();
   if (parsed->type() != JsonValue::Type::kObject) {
@@ -187,9 +274,56 @@ std::string ServiceEngine::HandleAt(const std::string& request_json,
                Status::InvalidArgument("request must be a JSON object"))
         .Dump();
   }
-  JsonValue response = Dispatch(*parsed, start);
+  const auto parse_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          Deadline::Clock::now() - parse_began)
+          .count());
+
+  // Whether to trace is only knowable after the parse, so the parse itself
+  // is attached as a pre-measured span.
+  bool want_trace = options_.trace_all;
+  bool trace_in_response = false;
+  if (parsed->Has("trace") &&
+      parsed->at("trace").type() == JsonValue::Type::kBool &&
+      parsed->at("trace").AsBool()) {
+    want_trace = true;
+    trace_in_response = true;
+  }
+
+  JsonValue response;
+  if (want_trace) {
+    const std::string op =
+        parsed->Has("op") && parsed->at("op").type() == JsonValue::Type::kString
+            ? parsed->at("op").AsString()
+            : "unknown";
+    obs::Trace trace("request");
+    obs::AddPrerecordedSpan(trace, "parse", parse_micros);
+    {
+      obs::ScopedTraceActivation activate(&trace);
+      response = Dispatch(*parsed, start);
+    }
+    trace.Finish();
+    JsonValue trace_json = trace.ToJson();
+    if (traced_ != nullptr) traced_->Increment();
+    if (trace_in_response) response.Set("trace", trace_json);
+    PushTrace(op, std::move(trace_json));
+  } else {
+    response = Dispatch(*parsed, start);
+  }
   if (parsed->Has("id")) response.Set("id", parsed->at("id"));
   return response.Dump();
+}
+
+void ServiceEngine::PushTrace(const std::string& op, JsonValue trace_json) {
+  JsonValue entry = JsonValue::Object();
+  entry.Set("op", JsonValue::String(op));
+  entry.Set("trace", std::move(trace_json));
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  trace_ring_.push_back(std::move(entry));
+  while (trace_ring_.size() > options_.trace_ring_capacity &&
+         !trace_ring_.empty()) {
+    trace_ring_.pop_front();
+  }
 }
 
 Status ServiceEngine::HandleAsync(std::string request_json,
@@ -202,7 +336,7 @@ Status ServiceEngine::HandleAsync(std::string request_json,
       [this, enqueued, request = std::move(request_json),
        done = std::move(done)] { done(HandleAt(request, enqueued)); });
   if (submitted.code() == StatusCode::kResourceExhausted) {
-    shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_->Increment();
   }
   return submitted;
 }
@@ -295,6 +429,12 @@ StatusOr<JsonValue> ServiceEngine::DispatchOp(
     body = OpSize(request);
   } else if (op == "stats") {
     body = OpStats(request);
+  } else if (op == "metrics") {
+    body = OpMetricsDump(request);
+  } else if (op == "trace") {
+    body = OpTrace(request);
+  } else if (op == "audit") {
+    body = OpAudit(request);
   }
   if (body.ok()) {
     DPX_RETURN_IF_ERROR(InjectFault(op + ":finish", request, &*body));
@@ -315,20 +455,24 @@ Status ServiceEngine::InjectFault(const std::string& point,
 void ServiceEngine::RecordOp(const std::string& op,
                              Deadline::Clock::time_point began,
                              const Status& outcome) {
+  if (!options_.record_metrics) return;
   const auto elapsed =
       std::chrono::duration_cast<std::chrono::microseconds>(
           Deadline::Clock::now() - began)
           .count();
   const auto micros = static_cast<uint64_t>(elapsed > 0 ? elapsed : 0);
-  std::lock_guard<std::mutex> lock(metrics_mutex_);
-  OpCounters& counters = op_counters_[op];
-  ++counters.count;
-  if (!outcome.ok()) ++counters.errors;
+  // op_metrics_ is immutable after construction, so this lookup (and the
+  // instrument updates, which are relaxed atomics) takes no lock. Dispatch
+  // only records known ops, so the find always hits.
+  const auto it = op_metrics_.find(op);
+  if (it == op_metrics_.end()) return;
+  const OpMetrics& handles = it->second;
+  handles.count->Increment();
+  if (!outcome.ok()) handles.errors->Increment();
   if (outcome.code() == StatusCode::kDeadlineExceeded) {
-    ++counters.deadline_exceeded;
+    handles.deadline_exceeded->Increment();
   }
-  counters.total_micros += micros;
-  if (micros > counters.max_micros) counters.max_micros = micros;
+  handles.latency->Observe(micros);
 }
 
 StatusOr<JsonValue> ServiceEngine::OpLoadDataset(const JsonValue& request) {
@@ -429,46 +573,49 @@ StatusOr<JsonValue> ServiceEngine::OpCluster(const JsonValue& request) {
       Status::InvalidArgument(
           "unknown method '" + method +
           "' (expected k-means | dp-k-means | k-modes | agglomerative | gmm)");
-  if (method == "k-means") {
-    KMeansOptions options;
-    options.num_clusters = k;
-    options.seed = seed;
-    clustering = FitKMeans(entry->dataset(), options);
-  } else if (method == "dp-k-means") {
-    // The fit is an ε-DP release: charge the requesting session (and the
-    // dataset cap) before fitting.
-    DPX_ASSIGN_OR_RETURN(const std::string session_id,
-                         request.GetString("session"));
-    DPX_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
-                         sessions_.Get(session_id));
-    if (session->dataset() != entry) {
-      return Status::FailedPrecondition("session '" + session_id +
-                                        "' is not bound to dataset '" + name +
-                                        "'");
+  {
+    DPX_SPAN("clustering_fit");
+    if (method == "k-means") {
+      KMeansOptions options;
+      options.num_clusters = k;
+      options.seed = seed;
+      clustering = FitKMeans(entry->dataset(), options);
+    } else if (method == "dp-k-means") {
+      // The fit is an ε-DP release: charge the requesting session (and the
+      // dataset cap) before fitting.
+      DPX_ASSIGN_OR_RETURN(const std::string session_id,
+                           request.GetString("session"));
+      DPX_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
+                           sessions_.Get(session_id));
+      if (session->dataset() != entry) {
+        return Status::FailedPrecondition("session '" + session_id +
+                                          "' is not bound to dataset '" + name +
+                                          "'");
+      }
+      DPX_RETURN_IF_ERROR(
+          session->Spend(epsilon, "cluster/dp-k-means " + clustering_id));
+      DpKMeansOptions options;
+      options.num_clusters = k;
+      options.epsilon = epsilon;
+      options.seed = seed;
+      clustering = FitDpKMeans(entry->dataset(), options, nullptr);
+    } else if (method == "k-modes") {
+      KModesOptions options;
+      options.num_clusters = k;
+      options.seed = seed;
+      clustering = FitKModes(entry->dataset(), options);
+    } else if (method == "agglomerative") {
+      AgglomerativeOptions options;
+      options.num_clusters = k;
+      options.seed = seed;
+      clustering = FitAgglomerative(entry->dataset(), options);
+    } else if (method == "gmm") {
+      GmmOptions options;
+      options.num_components = k;
+      options.seed = seed;
+      clustering = FitGmm(entry->dataset(), options);
     }
-    DPX_RETURN_IF_ERROR(
-        session->Spend(epsilon, "cluster/dp-k-means " + clustering_id));
-    DpKMeansOptions options;
-    options.num_clusters = k;
-    options.epsilon = epsilon;
-    options.seed = seed;
-    clustering = FitDpKMeans(entry->dataset(), options, nullptr);
-  } else if (method == "k-modes") {
-    KModesOptions options;
-    options.num_clusters = k;
-    options.seed = seed;
-    clustering = FitKModes(entry->dataset(), options);
-  } else if (method == "agglomerative") {
-    AgglomerativeOptions options;
-    options.num_clusters = k;
-    options.seed = seed;
-    clustering = FitAgglomerative(entry->dataset(), options);
-  } else if (method == "gmm") {
-    GmmOptions options;
-    options.num_components = k;
-    options.seed = seed;
-    clustering = FitGmm(entry->dataset(), options);
-  }
+  }  // DPX_SPAN("clustering_fit")
   DPX_RETURN_IF_ERROR(clustering.status());
 
   auto view = std::make_shared<ClusteringView>();
@@ -476,7 +623,10 @@ StatusOr<JsonValue> ServiceEngine::OpCluster(const JsonValue& request) {
   view->description = (*clustering)->name();
   view->fingerprint = fingerprint;
   view->num_clusters = (*clustering)->num_clusters();
-  view->labels = (*clustering)->AssignAll(entry->dataset());
+  {
+    DPX_SPAN("assign_all");
+    view->labels = (*clustering)->AssignAll(entry->dataset());
+  }
   DPX_ASSIGN_OR_RETURN(StatsCache stats,
                        StatsCache::Build(entry->dataset(), view->labels,
                                          view->num_clusters));
@@ -600,7 +750,11 @@ StatusOr<JsonValue> ServiceEngine::OpExplain(const JsonValue& request,
 
   JsonValue body;
   bool cache_hit = false;
-  std::shared_ptr<const std::string> cached = cache_.Get(key);
+  std::shared_ptr<const std::string> cached;
+  {
+    DPX_SPAN("cache_lookup");
+    cached = cache_.Get(key);
+  }
   if (cached == nullptr) {
     // Miss: serialize concurrent identical requests on a per-key lock so
     // exactly one of them spends ε and computes; the others block here,
@@ -612,15 +766,22 @@ StatusOr<JsonValue> ServiceEngine::OpExplain(const JsonValue& request,
       const char* key;
       ~Release() { engine->ReleaseInflight(key); }
     } release{this, key};
-    std::lock_guard<std::mutex> in_flight(slot->mutex);
-    cached = cache_.Get(key);
+    std::unique_lock<std::mutex> in_flight(slot->mutex, std::defer_lock);
+    {
+      DPX_SPAN("inflight_wait");
+      in_flight.lock();
+      cached = cache_.Get(key);
+    }
     if (cached == nullptr) {
       // The slot wait above can block behind another request's compute;
       // re-check the deadline so a request that expired waiting charges
       // nothing. Past the Spend below there are no refunds.
       DPX_RETURN_IF_ERROR(deadline.Check("explain inflight wait"));
-      DPX_RETURN_IF_ERROR(
-          session->Spend(total_epsilon, "explain " + clustering_id));
+      {
+        DPX_SPAN("budget_check");
+        DPX_RETURN_IF_ERROR(
+            session->Spend(total_epsilon, "explain " + clustering_id));
+      }
       // Fault point between the charge and the compute: a hook that sleeps
       // here (with the check that follows) exercises post-spend
       // cancellation; one that returns an error simulates a compute
@@ -628,9 +789,10 @@ StatusOr<JsonValue> ServiceEngine::OpExplain(const JsonValue& request,
       DPX_RETURN_IF_ERROR(InjectFault("explain:compute", request, nullptr));
       DPX_RETURN_IF_ERROR(deadline.Check("explain compute"));
       options.seed = pinned_seed ? seed : NextNoiseSeed();
-      DPX_ASSIGN_OR_RETURN(const GlobalExplanation explanation,
-                           ExplainDpClustXWithStats(*view->stats, options,
-                                                    nullptr));
+      DPX_ASSIGN_OR_RETURN(const GlobalExplanation explanation, [&] {
+        DPX_SPAN("explain_compute");
+        return ExplainDpClustXWithStats(*view->stats, options, nullptr);
+      }());
       const Schema& schema = session->dataset()->dataset().schema();
       DPX_ASSIGN_OR_RETURN(
           JsonValue explanation_json,
@@ -751,6 +913,8 @@ StatusOr<JsonValue> ServiceEngine::OpStats(const JsonValue& request) {
   JsonValue cache = JsonValue::Object();
   cache.Set("hits", JsonValue::Number(static_cast<double>(cache_.hits())));
   cache.Set("misses", JsonValue::Number(static_cast<double>(cache_.misses())));
+  cache.Set("evictions",
+            JsonValue::Number(static_cast<double>(cache_.evictions())));
   cache.Set("size", JsonValue::Number(static_cast<double>(cache_.size())));
   cache.Set("capacity",
             JsonValue::Number(static_cast<double>(cache_.capacity())));
@@ -761,6 +925,8 @@ StatusOr<JsonValue> ServiceEngine::OpStats(const JsonValue& request) {
            JsonValue::Number(static_cast<double>(pool_.queue_capacity())));
   pool.Set("queue_depth",
            JsonValue::Number(static_cast<double>(pool_.queue_depth())));
+  pool.Set("active",
+           JsonValue::Number(static_cast<double>(pool_.active_count())));
   pool.Set("tasks_completed",
            JsonValue::Number(static_cast<double>(pool_.tasks_completed())));
   // The shared compute pool (ParallelFor) is process-wide and distinct from
@@ -775,27 +941,39 @@ StatusOr<JsonValue> ServiceEngine::OpStats(const JsonValue& request) {
   compute.Set("parallel_for_parallel_calls",
               JsonValue::Number(
                   static_cast<double>(ParallelForParallelCalls())));
-  // Per-op latency/error counters. The stats op itself is recorded only
-  // after this snapshot is taken, so its own in-progress call is absent.
+  // Per-op latency/error counters, read from the pre-registered instrument
+  // handles. The JSON shape predates the registry (count/errors/
+  // deadline_exceeded/total_micros/max_micros per op) and is kept
+  // backward-compatible; like the old lazily-grown map, ops that have not
+  // been called are absent. The stats op itself is recorded only after this
+  // snapshot is taken, so its own in-progress call is absent.
   JsonValue ops = JsonValue::Object();
-  {
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
-    for (const auto& [name, counters] : op_counters_) {
-      JsonValue entry = JsonValue::Object();
-      entry.Set("count",
-                JsonValue::Number(static_cast<double>(counters.count)));
-      entry.Set("errors",
-                JsonValue::Number(static_cast<double>(counters.errors)));
-      entry.Set("deadline_exceeded",
-                JsonValue::Number(
-                    static_cast<double>(counters.deadline_exceeded)));
-      entry.Set("total_micros",
-                JsonValue::Number(static_cast<double>(counters.total_micros)));
-      entry.Set("max_micros",
-                JsonValue::Number(static_cast<double>(counters.max_micros)));
-      ops.Set(name, std::move(entry));
-    }
+  for (const auto& [name, handles] : op_metrics_) {
+    const uint64_t count = handles.count->Value();
+    if (count == 0) continue;
+    JsonValue entry = JsonValue::Object();
+    entry.Set("count", JsonValue::Number(static_cast<double>(count)));
+    entry.Set("errors", JsonValue::Number(
+                            static_cast<double>(handles.errors->Value())));
+    entry.Set("deadline_exceeded",
+              JsonValue::Number(static_cast<double>(
+                  handles.deadline_exceeded->Value())));
+    entry.Set("total_micros",
+              JsonValue::Number(static_cast<double>(
+                  handles.latency->sum_micros())));
+    entry.Set("max_micros",
+              JsonValue::Number(static_cast<double>(
+                  handles.latency->max_micros())));
+    ops.Set(name, std::move(entry));
   }
+  const obs::AuditLog::Totals audit_totals = audit_.GlobalTotals();
+  JsonValue audit = JsonValue::Object();
+  audit.Set("records",
+            JsonValue::Number(static_cast<double>(audit_.next_seq() - 1)));
+  audit.Set("dropped",
+            JsonValue::Number(static_cast<double>(audit_.dropped())));
+  audit.Set("epsilon_charged", JsonValue::Number(audit_totals.epsilon_charged));
+  audit.Set("epsilon_denied", JsonValue::Number(audit_totals.epsilon_denied));
   JsonValue body = JsonValue::Object();
   body.Set("datasets", std::move(datasets));
   body.Set("sessions", std::move(session_ids));
@@ -803,12 +981,56 @@ StatusOr<JsonValue> ServiceEngine::OpStats(const JsonValue& request) {
   body.Set("pool", std::move(pool));
   body.Set("compute_pool", std::move(compute));
   body.Set("ops", std::move(ops));
-  body.Set("shed",
-           JsonValue::Number(static_cast<double>(
-               shed_.load(std::memory_order_relaxed))));
+  body.Set("audit", std::move(audit));
+  body.Set("build", obs::BuildInfoJson());
+  body.Set("shed", JsonValue::Number(static_cast<double>(shed_->Value())));
   body.Set("retry_after_ms",
            JsonValue::Number(static_cast<double>(options_.retry_after_ms)));
   return body;
+}
+
+StatusOr<JsonValue> ServiceEngine::OpMetricsDump(const JsonValue& request) {
+  DPX_ASSIGN_OR_RETURN(const std::string format,
+                       OptString(request, "format", "both"));
+  if (format != "json" && format != "prometheus" && format != "both") {
+    return Status::InvalidArgument(
+        "format must be 'json', 'prometheus', or 'both'");
+  }
+  JsonValue body = JsonValue::Object();
+  if (format == "json" || format == "both") {
+    body.Set("metrics", metrics_->ToJson());
+  }
+  if (format == "prometheus" || format == "both") {
+    body.Set("prometheus", JsonValue::String(metrics_->PrometheusText()));
+  }
+  return body;
+}
+
+StatusOr<JsonValue> ServiceEngine::OpTrace(const JsonValue& request) {
+  DPX_ASSIGN_OR_RETURN(const size_t limit, OptCount(request, "limit", 0));
+  JsonValue traces = JsonValue::Array();
+  {
+    std::lock_guard<std::mutex> lock(trace_mutex_);
+    size_t start = 0;
+    if (limit != 0 && trace_ring_.size() > limit) {
+      start = trace_ring_.size() - limit;
+    }
+    for (size_t i = start; i < trace_ring_.size(); ++i) {
+      traces.Append(trace_ring_[i]);
+    }
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("traces", std::move(traces));
+  body.Set("trace_all", JsonValue::Bool(options_.trace_all));
+  body.Set("ring_capacity",
+           JsonValue::Number(
+               static_cast<double>(options_.trace_ring_capacity)));
+  return body;
+}
+
+StatusOr<JsonValue> ServiceEngine::OpAudit(const JsonValue& request) {
+  DPX_ASSIGN_OR_RETURN(const size_t limit, OptCount(request, "limit", 0));
+  return audit_.ToJson(limit);
 }
 
 }  // namespace dpclustx::service

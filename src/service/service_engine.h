@@ -27,7 +27,24 @@
 //                  [threads]
 //   hist           session, clustering, attribute, [epsilon]
 //   size           session, clustering, cluster, [epsilon]
-//   stats          (cache / pool / registry / per-op latency+error counters)
+//   stats          (cache / pool / registry / per-op latency+error counters
+//                   / build info)
+//   metrics        [format: "json"|"prometheus"|"both"]  (registry dump)
+//   trace          [limit]    (recent request span trees, newest last)
+//   audit          [limit]    (privacy-budget audit log tail + totals)
+//
+// Observability (see DESIGN.md §10): every request updates pre-registered
+// instruments in a MetricsRegistry (no locks on the hot path). A request
+// carrying "trace": true — or every request when
+// ServiceEngineOptions::trace_all is set — is traced: the engine activates
+// a per-request span tree, handlers and pipeline stages mark DPX_SPAN
+// scopes into it, the finished tree is attached to the response as "trace"
+// (only for per-request opt-in) and retained in a bounded ring served by
+// the `trace` op. Every ε charge/denial is appended to an AuditLog whose
+// per-tenant totals match the session ledgers exactly. The stats/metrics/
+// trace/audit ops are operator-facing: they expose op names, timings, ε
+// totals and tenant/session ids — never data values, labels, or
+// per-record information.
 //
 // Failure semantics (see DESIGN.md §7): anything a request can cause —
 // malformed JSON, bad parameters, budget refusal, deadlines — comes back as
@@ -65,16 +82,20 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/deadline.h"
 #include "common/json.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/audit_log.h"
+#include "obs/metrics.h"
 #include "service/dataset_registry.h"
 #include "service/explanation_cache.h"
 #include "service/session_manager.h"
@@ -130,6 +151,23 @@ struct ServiceEngineOptions {
   /// TEST ONLY fault-injection hook; see FaultPoint. Leave empty in any
   /// deployment.
   FaultInjector fault_injector;
+  /// Registry the engine registers its instruments in. nullptr = an
+  /// engine-private registry (isolated, the default for tests). Deployments
+  /// that want one scrape endpoint pass &obs::MetricsRegistry::Default().
+  /// An injected registry must outlive the engine; the engine removes its
+  /// callback gauges on destruction.
+  obs::MetricsRegistry* metrics_registry = nullptr;
+  /// When false, per-op counters/latency histograms are not updated (the
+  /// `stats` op then reports no per-op data). Exists so the throughput
+  /// bench can measure instrumentation overhead; leave true in deployments.
+  bool record_metrics = true;
+  /// Trace every request as if it carried "trace": true. Traces land in
+  /// the trace ring (responses are not inflated).
+  bool trace_all = false;
+  /// Completed request traces retained for the `trace` op (drop-oldest).
+  size_t trace_ring_capacity = 64;
+  /// Audit-log tail records retained (totals stay exact regardless).
+  size_t audit_capacity = 4096;
 };
 
 class ServiceEngine {
@@ -165,6 +203,10 @@ class ServiceEngine {
   SessionManager& sessions() { return sessions_; }
   const ExplanationCache& cache() const { return cache_; }
   ThreadPool& pool() { return pool_; }
+  /// The registry this engine's instruments live in (the injected one, or
+  /// the engine-private default).
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  const obs::AuditLog& audit_log() const { return audit_; }
 
  private:
   /// Handle with an explicit arrival time — the deadline anchor. Handle
@@ -195,6 +237,9 @@ class ServiceEngine {
   StatusOr<JsonValue> OpHist(const JsonValue& request);
   StatusOr<JsonValue> OpSize(const JsonValue& request);
   StatusOr<JsonValue> OpStats(const JsonValue& request);
+  StatusOr<JsonValue> OpMetricsDump(const JsonValue& request);
+  StatusOr<JsonValue> OpTrace(const JsonValue& request);
+  StatusOr<JsonValue> OpAudit(const JsonValue& request);
 
   uint64_t NextNoiseSeed();
 
@@ -215,27 +260,38 @@ class ServiceEngine {
   std::shared_ptr<InflightSlot> AcquireInflight(const std::string& key);
   void ReleaseInflight(const std::string& key);
 
-  /// Per-op request/error/latency counters, surfaced by the stats op. Keyed
-  /// only by the fixed op names (client-invented op strings are not
-  /// recorded: a hostile stream of distinct names must not grow the map).
-  struct OpCounters {
-    uint64_t count = 0;
-    uint64_t errors = 0;
-    uint64_t deadline_exceeded = 0;
-    uint64_t total_micros = 0;
-    uint64_t max_micros = 0;
+  /// Pre-registered instrument handles for one op. Built once at engine
+  /// construction for the fixed op names only (client-invented op strings
+  /// are never recorded: a hostile stream of distinct names must not grow
+  /// the registry), then read-only — RecordOp touches no lock.
+  struct OpMetrics {
+    obs::Counter* count = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* deadline_exceeded = nullptr;
+    obs::LatencyHistogram* latency = nullptr;
   };
   void RecordOp(const std::string& op, Deadline::Clock::time_point began,
                 const Status& outcome);
+  /// Registers the per-op handles and callback gauges (cache, pools,
+  /// registry sizes, audit totals) in *metrics_. Called from the ctor.
+  void RegisterMetrics();
+  /// Appends a finished request trace to the bounded ring.
+  void PushTrace(const std::string& op, JsonValue trace_json);
 
   const ServiceEngineOptions options_;
   DatasetRegistry registry_;
-  SessionManager sessions_;
   ExplanationCache cache_;
+  obs::AuditLog audit_;
+  obs::MetricsRegistry owned_metrics_;  // used unless options injects one
+  obs::MetricsRegistry* const metrics_;
+  SessionManager sessions_;  // after audit_: sessions hold a pointer to it
+  std::map<std::string, OpMetrics> op_metrics_;  // immutable after ctor
+  obs::Counter* shed_ = nullptr;     // requests rejected by the full queue
+  obs::Counter* traced_ = nullptr;   // requests that ran with tracing on
+  std::vector<uint64_t> callback_ids_;  // removed from *metrics_ in dtor
   std::atomic<uint64_t> noise_sequence_{0};
-  std::atomic<uint64_t> shed_{0};  // requests rejected by the full queue
-  std::mutex metrics_mutex_;
-  std::map<std::string, OpCounters> op_counters_;  // guarded by metrics_mutex_
+  std::mutex trace_mutex_;
+  std::deque<JsonValue> trace_ring_;  // guarded by trace_mutex_
   std::mutex inflight_mutex_;
   std::map<std::string, std::shared_ptr<InflightSlot>>
       inflight_;         // guarded by inflight_mutex_

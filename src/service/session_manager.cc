@@ -16,6 +16,7 @@ ServiceSession::ServiceSession(std::string id,
 
 Status ServiceSession::Spend(double epsilon, const std::string& label) {
   if (epsilon <= 0.0) {
+    // Malformed request, not a ledger event: nothing to audit.
     return Status::InvalidArgument("epsilon must be positive (label '" +
                                    label + "')");
   }
@@ -27,12 +28,20 @@ Status ServiceSession::Spend(double epsilon, const std::string& label) {
                   "budget (spent %.6g of %.6g)",
                   id_.c_str(), epsilon, label.c_str(),
                   budget_.spent_epsilon(), budget_.total_epsilon());
+    if (audit_log_ != nullptr) {
+      audit_log_->Record(id_, dataset_->name(), label, epsilon,
+                         /*granted=*/false, "session budget");
+    }
     return Status::OutOfBudget(msg);
   }
   PrivacyBudget* cap = dataset_->cap();
   if (cap != nullptr) {
     const Status capped = cap->Spend(epsilon, id_ + "/" + label);
     if (!capped.ok()) {
+      if (audit_log_ != nullptr) {
+        audit_log_->Record(id_, dataset_->name(), label, epsilon,
+                           /*granted=*/false, "dataset cap");
+      }
       return Status::OutOfBudget("dataset '" + dataset_->name() +
                                  "' global cap: " + capped.message());
     }
@@ -41,6 +50,12 @@ Status ServiceSession::Spend(double epsilon, const std::string& label) {
   // CanSpend check above still holds.
   const Status charged = budget_.Spend(epsilon, label);
   DPX_CHECK(charged.ok()) << charged.ToString();
+  // Audited under spend_mutex_, after the charge: the log sees this
+  // session's grants in ledger order (see set_audit_log).
+  if (audit_log_ != nullptr) {
+    audit_log_->Record(id_, dataset_->name(), label, epsilon,
+                       /*granted=*/true);
+  }
   return Status::OK();
 }
 
@@ -63,6 +78,7 @@ StatusOr<std::shared_ptr<ServiceSession>> SessionManager::Create(
   }
   auto session =
       std::make_shared<ServiceSession>(id, std::move(dataset), total_epsilon);
+  session->set_audit_log(audit_log_);
   sessions_.emplace(id, session);
   return session;
 }
@@ -96,6 +112,11 @@ std::vector<std::string> SessionManager::Ids() const {
 size_t SessionManager::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return sessions_.size();
+}
+
+void SessionManager::set_audit_log(obs::AuditLog* log) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  audit_log_ = log;
 }
 
 }  // namespace dpclustx::service

@@ -29,6 +29,7 @@
 
 #include "common/status.h"
 #include "dp/privacy_budget.h"
+#include "obs/audit_log.h"
 #include "service/dataset_registry.h"
 
 namespace dpclustx::service {
@@ -51,11 +52,20 @@ class ServiceSession {
   /// which limit refused — the session ledger or the dataset cap.
   Status Spend(double epsilon, const std::string& label);
 
+  /// Audit sink for every charge/denial this session processes. Recorded
+  /// while spend_mutex_ is held, so the log observes this session's charges
+  /// in ledger order and its per-tenant ε totals accumulate in exactly the
+  /// same floating-point order as the ledger's own sum (the cross-check in
+  /// tests is an equality, not a tolerance). The log must outlive every
+  /// Spend call; nullptr disables auditing.
+  void set_audit_log(obs::AuditLog* log) { audit_log_ = log; }
+
  private:
   const std::string id_;
   const std::shared_ptr<DatasetEntry> dataset_;
   std::mutex spend_mutex_;  // serializes this session's dual charges
   PrivacyBudget budget_;
+  obs::AuditLog* audit_log_ = nullptr;
 };
 
 class SessionManager {
@@ -76,9 +86,15 @@ class SessionManager {
   std::vector<std::string> Ids() const;
   size_t size() const;
 
+  /// Audit sink handed to every session created afterwards (existing
+  /// sessions are untouched). Must outlive the sessions; typically set once
+  /// right after construction, before any Create.
+  void set_audit_log(obs::AuditLog* log);
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<ServiceSession>> sessions_;
+  obs::AuditLog* audit_log_ = nullptr;  // guarded by mutex_
 };
 
 }  // namespace dpclustx::service

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <map>
 #include <mutex>
 #include <set>
 #include <string>
@@ -480,6 +481,269 @@ TEST(ServiceTest, ReplacingDatasetDoesNotResetCap) {
                         R"("dataset":"d","epsilon":10.0})"));
   ExpectOk(Call(engine,
                 R"({"op":"explain","session":"carol","epsilon":0.3})"));
+}
+
+TEST(ServiceTest, StatsSchemaIsBackwardCompatible) {
+  // The per-op block moved from a mutex-guarded map onto registry handles;
+  // the JSON surface must not change: count/errors/deadline_exceeded/
+  // total_micros/max_micros per op, never-called ops absent.
+  ServiceEngine engine;
+  SetUpDataset(engine);
+  ExpectError(Call(engine, R"({"op":"schema","dataset":"ghost"})"),
+              "NotFound");
+  const JsonValue stats = Call(engine, R"({"op":"stats"})");
+  ExpectOk(stats);
+
+  const JsonValue& ops = stats.at("ops");
+  ASSERT_TRUE(ops.Has("load_dataset")) << stats.Dump();
+  ASSERT_TRUE(ops.Has("schema"));
+  EXPECT_FALSE(ops.Has("explain")) << "never-called ops must be absent";
+  const JsonValue& schema_op = ops.at("schema");
+  EXPECT_EQ(schema_op.at("count").AsNumber(), 1.0);
+  EXPECT_EQ(schema_op.at("errors").AsNumber(), 1.0);
+  EXPECT_EQ(schema_op.at("deadline_exceeded").AsNumber(), 0.0);
+  EXPECT_TRUE(schema_op.Has("total_micros"));
+  EXPECT_TRUE(schema_op.Has("max_micros"));
+
+  // Pre-registry fields survive, and the new blocks are present.
+  EXPECT_TRUE(stats.at("cache").Has("hits"));
+  EXPECT_TRUE(stats.at("cache").Has("evictions"));
+  EXPECT_TRUE(stats.at("pool").Has("queue_depth"));
+  EXPECT_TRUE(stats.at("pool").Has("active"));
+  EXPECT_TRUE(stats.Has("shed"));
+  EXPECT_TRUE(stats.at("audit").Has("epsilon_charged"));
+  EXPECT_FALSE(stats.at("build").at("compiler").AsString().empty());
+}
+
+TEST(ServiceTest, MetricsOpExposesPrometheusAndJson) {
+  ServiceEngine engine;
+  ExpectOk(Call(engine, R"({"op":"ping"})"));
+  const JsonValue both = Call(engine, R"({"op":"metrics"})");
+  ExpectOk(both);
+  EXPECT_TRUE(both.Has("metrics"));
+  const std::string text = both.at("prometheus").AsString();
+  EXPECT_NE(text.find("# TYPE dpclustx_op_requests_total counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dpclustx_op_requests_total{op=\"ping\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE dpclustx_op_latency_micros histogram"),
+            std::string::npos)
+      << text;
+
+  const JsonValue json_only = Call(engine, R"({"op":"metrics",)"
+                                           R"("format":"json"})");
+  ExpectOk(json_only);
+  EXPECT_TRUE(json_only.Has("metrics"));
+  EXPECT_FALSE(json_only.Has("prometheus"));
+  ExpectError(Call(engine, R"({"op":"metrics","format":"xml"})"),
+              "InvalidArgument");
+}
+
+/// Flattens a span tree into {name -> wall_micros}.
+std::map<std::string, double> FlattenSpans(const JsonValue& trace) {
+  std::map<std::string, double> wall_by_name;
+  std::vector<const JsonValue*> stack = {&trace};
+  while (!stack.empty()) {
+    const JsonValue* span = stack.back();
+    stack.pop_back();
+    wall_by_name[span->at("name").AsString()] =
+        span->at("wall_micros").AsNumber();
+    const JsonValue& children = span->at("children");
+    for (size_t i = 0; i < children.size(); ++i) {
+      stack.push_back(&children.at(i));
+    }
+  }
+  return wall_by_name;
+}
+
+TEST(ServiceTest, PerRequestTraceCoversThePipelineStages) {
+  // Acceptance: traced requests yield span trees covering clustering, the
+  // StatsCache build (both during the `cluster` op — explains reuse the
+  // resident cache), and the Stage-1/Stage-2 mechanisms, with non-zero
+  // wall timings throughout.
+  ServiceEngine engine;
+  ExpectOk(Call(engine,
+                R"({"op":"load_dataset","name":"d","source":"synthetic",)"
+                R"("generator":"diabetes","rows":1500,"seed":7})"));
+  const JsonValue clustered =
+      Call(engine,
+           R"({"op":"cluster","dataset":"d","method":"k-means","k":3,)"
+           R"("seed":3,"trace":true})");
+  ExpectOk(clustered);
+  ASSERT_TRUE(clustered.Has("trace")) << clustered.Dump();
+  std::map<std::string, double> cluster_spans =
+      FlattenSpans(clustered.at("trace"));
+  for (const char* stage :
+       {"parse", "clustering_fit", "assign_all", "stats_cache_build"}) {
+    ASSERT_TRUE(cluster_spans.count(stage) != 0)
+        << "missing span '" << stage << "' in "
+        << clustered.at("trace").Dump();
+    EXPECT_GE(cluster_spans[stage], 1.0) << stage;
+  }
+
+  ExpectOk(Call(engine, R"({"op":"create_session","session":"alice",)"
+                        R"("dataset":"d","epsilon":1.0})"));
+  const JsonValue response =
+      Call(engine, R"({"op":"explain","session":"alice","epsilon":0.3,)"
+                   R"("trace":true})");
+  ExpectOk(response);
+  ASSERT_TRUE(response.Has("trace")) << response.Dump();
+  std::map<std::string, double> explain_spans =
+      FlattenSpans(response.at("trace"));
+  for (const char* stage :
+       {"parse", "cache_lookup", "budget_check", "explain_compute",
+        "stage1_candidates", "stage2_select", "stage2_histograms"}) {
+    ASSERT_TRUE(explain_spans.count(stage) != 0)
+        << "missing span '" << stage << "' in " << response.at("trace").Dump();
+    EXPECT_GE(explain_spans[stage], 1.0) << stage;
+  }
+
+  // The ring kept both traces for the `trace` op (and untraced requests
+  // do not land there).
+  ExpectOk(Call(engine, R"({"op":"ping"})"));
+  const JsonValue ring = Call(engine, R"({"op":"trace"})");
+  ExpectOk(ring);
+  ASSERT_EQ(ring.at("traces").size(), 2u);
+  EXPECT_EQ(ring.at("traces").at(0).at("op").AsString(), "cluster");
+  EXPECT_EQ(ring.at("traces").at(1).at("op").AsString(), "explain");
+  EXPECT_FALSE(ring.at("trace_all").AsBool());
+}
+
+TEST(ServiceTest, TraceAllFillsTheRingWithoutInflatingResponses) {
+  ServiceEngineOptions options;
+  options.trace_all = true;
+  options.trace_ring_capacity = 2;
+  ServiceEngine engine(options);
+  for (int i = 0; i < 3; ++i) {
+    const JsonValue response = Call(engine, R"({"op":"ping"})");
+    ExpectOk(response);
+    EXPECT_FALSE(response.Has("trace"));
+  }
+  // `trace` op requests are themselves traced; the ring keeps the newest 2.
+  const JsonValue ring = Call(engine, R"({"op":"trace"})");
+  ExpectOk(ring);
+  ASSERT_EQ(ring.at("traces").size(), 2u);
+  EXPECT_EQ(ring.at("traces").at(1).at("op").AsString(), "ping");
+  EXPECT_TRUE(ring.at("trace_all").AsBool());
+  const JsonValue limited = Call(engine, R"({"op":"trace","limit":1})");
+  ExpectOk(limited);
+  EXPECT_EQ(limited.at("traces").size(), 1u);
+}
+
+TEST(ServiceTest, AuditOpRecordsChargesAndDenials) {
+  ServiceEngine engine;
+  SetUpDataset(engine);
+  ExpectOk(Call(engine, R"({"op":"create_session","session":"alice",)"
+                        R"("dataset":"d","epsilon":0.4})"));
+  ExpectOk(Call(engine,
+                R"({"op":"explain","session":"alice","epsilon":0.3})"));
+  // A repeat at ε=0.3 would be a cache hit (same key, zero charge); asking
+  // for ε=0.2 misses the cache and exceeds the 0.1 remaining.
+  ExpectError(Call(engine,
+                   R"({"op":"explain","session":"alice","epsilon":0.2})"),
+              "OutOfBudget");
+
+  const JsonValue audit = Call(engine, R"({"op":"audit"})");
+  ExpectOk(audit);
+  ASSERT_EQ(audit.at("records").size(), 2u);
+  const JsonValue& charge = audit.at("records").at(0);
+  EXPECT_EQ(charge.at("seq").AsNumber(), 1.0);
+  EXPECT_EQ(charge.at("tenant").AsString(), "alice");
+  EXPECT_EQ(charge.at("dataset").AsString(), "d");
+  EXPECT_TRUE(charge.at("granted").AsBool());
+  EXPECT_NEAR(charge.at("epsilon").AsNumber(), 0.3, 1e-12);
+  const JsonValue& denial = audit.at("records").at(1);
+  EXPECT_FALSE(denial.at("granted").AsBool());
+  EXPECT_EQ(denial.at("reason").AsString(), "session budget");
+
+  // The audited charge total equals the ledger spend exactly.
+  const JsonValue budget =
+      Call(engine, R"({"op":"budget","session":"alice"})");
+  EXPECT_EQ(audit.at("totals").at("alice").at("epsilon_charged").AsNumber(),
+            budget.at("spent").AsNumber());
+  const JsonValue limited = Call(engine, R"({"op":"audit","limit":1})");
+  ExpectOk(limited);
+  EXPECT_EQ(limited.at("records").size(), 1u);
+}
+
+TEST(ServiceTest, ConcurrentAuditTotalsMatchLedgersExactly) {
+  // Acceptance: under concurrent multi-tenant load, each tenant's audited
+  // ε total must equal its session ledger's spent total EXACTLY (bit-for-
+  // bit, not within a tolerance) — both sums accumulate under the session's
+  // spend lock, in the same order. Runs under TSan via scripts/check.sh.
+  ServiceEngine engine(DebugNoise());
+  SetUpDataset(engine);
+  constexpr int kTenants = 4;
+  constexpr int kRequestsPerTenant = 25;
+  for (int t = 0; t < kTenants; ++t) {
+    ExpectOk(Call(engine, R"({"op":"create_session","session":"tenant)" +
+                              std::to_string(t) +
+                              R"(","dataset":"d","epsilon":100.0})"));
+  }
+  std::mutex mutex;
+  std::condition_variable cv;
+  int completed = 0;
+  constexpr int kTotal = kTenants * kRequestsPerTenant;
+  for (int i = 0; i < kTotal; ++i) {
+    // An awkward ε whose repeated sum is inexact in binary floating point:
+    // only same-order accumulation can reproduce the ledger total exactly.
+    const std::string request =
+        R"({"op":"size","session":"tenant)" + std::to_string(i % kTenants) +
+        R"(","cluster":0,"epsilon":0.1,"seed":)" + std::to_string(i) + "}";
+    const Status submitted =
+        engine.HandleAsync(request, [&](std::string response) {
+          EXPECT_TRUE(Parse(response).at("ok").AsBool());
+          std::lock_guard<std::mutex> lock(mutex);
+          ++completed;
+          cv.notify_all();
+        });
+    ASSERT_TRUE(submitted.ok());
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return completed == kTotal; });
+  }
+
+  const JsonValue audit = Call(engine, R"({"op":"audit"})");
+  ExpectOk(audit);
+  for (int t = 0; t < kTenants; ++t) {
+    const std::string tenant = "tenant" + std::to_string(t);
+    const JsonValue budget =
+        Call(engine, R"({"op":"budget","session":")" + tenant + R"("})");
+    ExpectOk(budget);
+    EXPECT_EQ(
+        audit.at("totals").at(tenant).at("epsilon_charged").AsNumber(),
+        budget.at("spent").AsNumber())
+        << tenant << " audit total diverged from its ledger";
+  }
+  EXPECT_EQ(audit.at("global").at("charges").AsNumber(),
+            static_cast<double>(kTotal));
+}
+
+TEST(ServiceTest, InjectedRegistryOutlivesTheEngine) {
+  // Two engines sharing one injected registry: per-op instruments are
+  // reused (registration is idempotent), and engine destruction detaches
+  // its callback gauges so a later exposition does not touch freed state.
+  obs::MetricsRegistry registry;
+  ServiceEngineOptions options;
+  options.metrics_registry = &registry;
+  {
+    ServiceEngine first(options);
+    ExpectOk(Call(first, R"({"op":"ping"})"));
+  }
+  {
+    ServiceEngine second(options);
+    ExpectOk(Call(second, R"({"op":"ping"})"));
+    ExpectOk(Call(second, R"({"op":"ping"})"));
+  }
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("dpclustx_op_requests_total{op=\"ping\"} 3"),
+            std::string::npos)
+      << text;
+  // Callback gauges from both destroyed engines are gone, not dangling.
+  EXPECT_EQ(text.find("dpclustx_cache_size"), std::string::npos) << text;
 }
 
 }  // namespace

@@ -22,6 +22,8 @@
 #include "data/csv.h"
 #include "data/synthetic.h"
 #include "dp/privacy_budget.h"
+#include "obs/build_info.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -62,7 +64,11 @@ OUTPUT
   --report            print a per-cluster quality breakdown (computed from
                       EXACT counts — for evaluation on non-sensitive data)
   --seed N            mechanism seed (default 1)
+  --trace             print a span-tree timing breakdown of the run to
+                      stderr (clustering fit, stats build, Stage-1,
+                      Stage-2; timings only, never data values)
   --quiet             suppress the rendered histograms
+  --version           print build provenance and exit
   --help              this message
 )";
 
@@ -77,6 +83,7 @@ struct CliOptions {
   std::string output_json;
   bool quiet = false;
   bool report = false;
+  bool trace = false;
 };
 
 [[noreturn]] void Fail(const std::string& message) {
@@ -110,6 +117,9 @@ CliOptions ParseArgs(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::fputs(kUsage, stdout);
+      std::exit(0);
+    } else if (arg == "--version") {
+      std::puts(obs::BuildInfoVersionLine().c_str());
       std::exit(0);
     } else if (arg == "--input") {
       options.input = next_value(i, "--input");
@@ -174,6 +184,8 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.explain.seed = ParseSize(next_value(i, "--seed"), "--seed");
     } else if (arg == "--report") {
       options.report = true;
+    } else if (arg == "--trace") {
+      options.trace = true;
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else {
@@ -260,12 +272,23 @@ int main(int argc, char** argv) {
       (options.method == "dp-k-means" ? options.epsilon_clust : 0.0);
   PrivacyBudget budget(total);
 
-  const std::unique_ptr<ClusteringFunction> clustering =
-      Cluster(options, dataset, budget);
-  std::fprintf(stderr, "clustered with %s\n", clustering->name().c_str());
-
-  const auto explanation =
-      ExplainDpClustX(dataset, *clustering, options.explain, &budget);
+  obs::Trace trace("dpclustx_cli");
+  std::unique_ptr<ClusteringFunction> clustering;
+  StatusOr<GlobalExplanation> explanation = Status::Internal("unset");
+  {
+    // Spans record only when a trace is active on this thread; without
+    // --trace the activation is a no-op and nothing is measured.
+    obs::ScopedTraceActivation activate(options.trace ? &trace : nullptr);
+    {
+      DPX_SPAN("clustering_fit");
+      clustering = Cluster(options, dataset, budget);
+    }
+    std::fprintf(stderr, "clustered with %s\n", clustering->name().c_str());
+    explanation =
+        ExplainDpClustX(dataset, *clustering, options.explain, &budget);
+  }
+  trace.Finish();
+  if (options.trace) std::cerr << obs::RenderTraceText(trace.root());
   if (!explanation.ok()) Fail(explanation.status().ToString());
 
   if (!options.quiet) {

@@ -9,7 +9,8 @@
 //
 // Usage:
 //   dpclustx_serve [--threads N] [--queue N] [--cache N] [--deadline-ms N]
-//                  [--sync]
+//                  [--sync] [--trace-all] [--metrics-dump FILE]
+//                  [--metrics-interval-ms N] [--version]
 //
 //   --threads N      worker threads (default 4)
 //   --queue N        pending-request bound (default 256)
@@ -19,15 +20,30 @@
 //                    "deadline_ms" field (default 0 = none)
 //   --sync           serve each request on the reader thread, in order
 //                    (for deterministic scripted sessions)
+//   --trace-all      trace every request into the engine's trace ring
+//                    (retrieve with the "trace" op)
+//   --metrics-dump FILE
+//                    periodically write the Prometheus text exposition to
+//                    FILE (atomic tmp+rename, so a scraper never sees a
+//                    partial file); also written once at shutdown
+//   --metrics-interval-ms N
+//                    dump period in milliseconds (default 5000)
+//   --version        print build provenance and exit
 //
-// On EOF the server drains queued requests, flushes, and exits 0. See
-// README.md for a quickstart transcript.
+// On EOF the server drains queued requests, writes a final metrics dump,
+// flushes, and exits 0. See README.md for a quickstart transcript.
 
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <string>
+#include <thread>
 
+#include "obs/build_info.h"
 #include "service/service_engine.h"
 
 namespace {
@@ -55,31 +71,96 @@ bool ParseSizeFlag(int argc, char** argv, int* i, const char* name,
   return true;
 }
 
+bool ParseStringFlag(int argc, char** argv, int* i, const char* name,
+                     std::string* out) {
+  if (std::strcmp(argv[*i], name) != 0) return false;
+  if (*i + 1 >= argc) {
+    std::cerr << name << " needs a value\n";
+    std::exit(2);
+  }
+  *out = argv[++*i];
+  return true;
+}
+
+// Writes the Prometheus exposition atomically: scrapers that read `path`
+// see either the previous complete dump or the new one, never a torn file.
+void DumpMetrics(dpclustx::service::ServiceEngine& engine,
+                 const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot write metrics dump '" << tmp << "'\n";
+      return;
+    }
+    out << engine.metrics().PrometheusText();
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::cerr << "cannot rename metrics dump to '" << path << "'\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ServiceEngineOptions options;
   bool sync = false;
   size_t deadline_ms = 0;
+  std::string metrics_dump;
+  size_t metrics_interval_ms = 5000;
   for (int i = 1; i < argc; ++i) {
     if (ParseSizeFlag(argc, argv, &i, "--threads", &options.num_threads) ||
         ParseSizeFlag(argc, argv, &i, "--queue", &options.queue_capacity) ||
         ParseSizeFlag(argc, argv, &i, "--cache", &options.cache_capacity) ||
-        ParseSizeFlag(argc, argv, &i, "--deadline-ms", &deadline_ms)) {
+        ParseSizeFlag(argc, argv, &i, "--deadline-ms", &deadline_ms) ||
+        ParseSizeFlag(argc, argv, &i, "--metrics-interval-ms",
+                      &metrics_interval_ms) ||
+        ParseStringFlag(argc, argv, &i, "--metrics-dump", &metrics_dump)) {
       continue;
     }
     if (std::strcmp(argv[i], "--sync") == 0) {
       sync = true;
       continue;
     }
+    if (std::strcmp(argv[i], "--trace-all") == 0) {
+      options.trace_all = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::cout << dpclustx::obs::BuildInfoVersionLine() << "\n";
+      return 0;
+    }
     std::cerr << "unknown flag '" << argv[i]
               << "' (usage: dpclustx_serve [--threads N] [--queue N] "
-                 "[--cache N] [--deadline-ms N] [--sync])\n";
+                 "[--cache N] [--deadline-ms N] [--sync] [--trace-all] "
+                 "[--metrics-dump FILE] [--metrics-interval-ms N] "
+                 "[--version])\n";
     return 2;
   }
   options.default_deadline_ms = static_cast<int64_t>(deadline_ms);
+  if (metrics_interval_ms == 0) metrics_interval_ms = 5000;
 
   ServiceEngine engine(options);
+
+  // Periodic metrics writer: a plain thread parked on a condition variable
+  // so shutdown is immediate instead of waiting out the interval.
+  std::thread metrics_writer;
+  std::mutex writer_mutex;
+  std::condition_variable writer_cv;
+  bool writer_stop = false;
+  if (!metrics_dump.empty()) {
+    metrics_writer = std::thread([&] {
+      std::unique_lock<std::mutex> lock(writer_mutex);
+      while (!writer_stop) {
+        lock.unlock();
+        DumpMetrics(engine, metrics_dump);
+        lock.lock();
+        writer_cv.wait_for(lock,
+                           std::chrono::milliseconds(metrics_interval_ms),
+                           [&] { return writer_stop; });
+      }
+    });
+  }
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
@@ -97,5 +178,14 @@ int main(int argc, char** argv) {
     }
   }
   engine.Shutdown();  // drain queued requests before exiting
+  if (!metrics_dump.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(writer_mutex);
+      writer_stop = true;
+    }
+    writer_cv.notify_all();
+    metrics_writer.join();
+    DumpMetrics(engine, metrics_dump);  // final post-drain snapshot
+  }
   return 0;
 }
