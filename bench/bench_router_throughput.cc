@@ -1,0 +1,297 @@
+// Closed-loop throughput comparison: one dpclustx_serve worker versus the
+// dpclustx_router fronting N shard workers, over the real line protocol and
+// real pipes (fork/exec, same as production).
+//
+// The workload is budget-charged `explain` releases spread across several
+// datasets — every request a distinct ε so the release cache never
+// short-circuits the candidate search — driven through a pipelined window
+// of in-flight requests (the protocol allows out-of-order responses, so a
+// windowed client measures server capacity rather than round-trip
+// latency). Datasets shard across workers by consistent hash, so on a
+// multi-core host the router configuration gets real multi-process
+// parallelism; on a single core the interesting number is the router's
+// overhead (speedup ~1.0x means the extra hop costs nothing at this
+// request weight).
+//
+// Usage:
+//   bench_router_throughput [--workers N] [--requests N] [--window N]
+//                           [--rows N] [--datasets N] [--state-dir DIR]
+//
+// Prints one human line per configuration and a final machine-readable
+// JSON line (consumed by scripts/bench_snapshot.sh → BENCH_service.json):
+//   {"bench":"router_vs_single","single_rps":...,"router_rps":...,...}
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using dpclustx::JsonValue;
+using dpclustx::StatusOr;
+
+struct BenchConfig {
+  size_t workers = 2;
+  size_t requests = 400;
+  size_t window = 16;  // in-flight pipeline depth
+  size_t rows = 2000;
+  size_t datasets = 4;
+  std::string state_dir = "/tmp/dpclustx_router_bench";
+};
+
+std::string BuildDir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  DPX_CHECK(n > 0);
+  buf[n] = '\0';
+  std::string path(buf);                    // .../build/bench/bench_...
+  path = path.substr(0, path.rfind('/'));   // .../build/bench
+  return path.substr(0, path.rfind('/'));   // .../build
+}
+
+/// A line-protocol child (serve or router) driven through a pipelined
+/// request window.
+class ProtocolChild {
+ public:
+  explicit ProtocolChild(const std::vector<std::string>& args) {
+    int to_child[2];
+    int from_child[2];
+    DPX_CHECK(::pipe(to_child) == 0 && ::pipe(from_child) == 0);
+    pid_ = ::fork();
+    DPX_CHECK(pid_ >= 0);
+    if (pid_ == 0) {
+      ::dup2(to_child[0], STDIN_FILENO);
+      ::dup2(from_child[1], STDOUT_FILENO);
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      ::close(from_child[0]);
+      ::close(from_child[1]);
+      std::vector<char*> argv;
+      for (const std::string& a : args) {
+        argv.push_back(const_cast<char*>(a.c_str()));
+      }
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      ::_exit(127);
+    }
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    stdin_fd_ = to_child[1];
+    stdout_fd_ = from_child[0];
+  }
+
+  ~ProtocolChild() {
+    if (stdin_fd_ >= 0) ::close(stdin_fd_);
+    if (pid_ > 0) ::waitpid(pid_, nullptr, 0);
+    if (stdout_fd_ >= 0) ::close(stdout_fd_);
+  }
+
+  void Send(const std::string& line) {
+    const std::string payload = line + "\n";
+    size_t off = 0;
+    while (off < payload.size()) {
+      const ssize_t n =
+          ::write(stdin_fd_, payload.data() + off, payload.size() - off);
+      DPX_CHECK(n > 0) << "write to child failed";
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  /// Blocks until the response with string id `id` arrives.
+  JsonValue Await(const std::string& id) {
+    for (;;) {
+      auto it = received_.find(id);
+      if (it != received_.end()) {
+        JsonValue response = it->second;
+        received_.erase(it);
+        return response;
+      }
+      ReadSome();
+    }
+  }
+
+  /// Drains one readable chunk, parsing any complete lines into received_.
+  void ReadSome() {
+    struct pollfd pfd = {stdout_fd_, POLLIN, 0};
+    DPX_CHECK(::poll(&pfd, 1, 30000) > 0) << "child response timeout";
+    char chunk[8192];
+    const ssize_t n = ::read(stdout_fd_, chunk, sizeof(chunk));
+    DPX_CHECK(n > 0) << "child closed its stdout";
+    buffer_.append(chunk, static_cast<size_t>(n));
+    size_t pos;
+    while ((pos = buffer_.find('\n')) != std::string::npos) {
+      const std::string line = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      StatusOr<JsonValue> parsed = JsonValue::Parse(line);
+      if (!parsed.ok() || parsed->type() != JsonValue::Type::kObject ||
+          !parsed->Has("id") ||
+          parsed->at("id").type() != JsonValue::Type::kString) {
+        continue;
+      }
+      received_[parsed->at("id").AsString()] = std::move(*parsed);
+    }
+  }
+
+  size_t pending() const { return received_.size(); }
+
+ private:
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+  std::string buffer_;
+  std::map<std::string, JsonValue> received_;
+};
+
+void Require(const JsonValue& response) {
+  DPX_CHECK(response.at("ok").AsBool()) << response.Dump();
+}
+
+/// Loads/clusters `datasets` synthetic sets and opens one big session per
+/// dataset. Setup ops are awaited one by one (ordering matters here).
+void SetUpWorkload(ProtocolChild& child, const BenchConfig& config) {
+  for (size_t d = 0; d < config.datasets; ++d) {
+    const std::string name = "bench-d" + std::to_string(d);
+    char request[512];
+    std::snprintf(request, sizeof(request),
+                  R"({"op":"load_dataset","name":"%s","source":"synthetic",)"
+                  R"("generator":"diabetes","rows":%zu,"seed":%zu,)"
+                  R"("id":"setup-load-%zu"})",
+                  name.c_str(), config.rows, d + 1, d);
+    child.Send(request);
+    Require(child.Await("setup-load-" + std::to_string(d)));
+    std::snprintf(request, sizeof(request),
+                  R"({"op":"cluster","dataset":"%s","method":"k-means",)"
+                  R"("k":4,"seed":3,"id":"setup-cluster-%zu"})",
+                  name.c_str(), d);
+    child.Send(request);
+    Require(child.Await("setup-cluster-" + std::to_string(d)));
+    std::snprintf(request, sizeof(request),
+                  R"({"op":"create_session","dataset":"%s",)"
+                  R"("session":"bench-s%zu","epsilon":100000.0,)"
+                  R"("id":"setup-session-%zu"})",
+                  name.c_str(), d, d);
+    child.Send(request);
+    Require(child.Await("setup-session-" + std::to_string(d)));
+  }
+}
+
+/// Pipelined closed-loop run: keeps `window` explain releases in flight
+/// until `requests` have completed. Every request carries a distinct ε
+/// split, so each one misses the cache and pays for the full candidate
+/// search + exponential mechanism — the compute that sharding across
+/// worker processes actually parallelizes.
+double RunExplainLoad(ProtocolChild& child, const BenchConfig& config) {
+  size_t sent = 0;
+  size_t done = 0;
+  size_t next_await = 0;
+  const auto start = Clock::now();
+  auto send_one = [&](size_t i) {
+    const size_t d = i % config.datasets;
+    char request[384];
+    std::snprintf(request, sizeof(request),
+                  R"({"op":"explain","session":"bench-s%zu",)"
+                  R"("epsilon":%.8f,"id":"h%zu"})",
+                  d, 0.3 + 1e-7 * static_cast<double>(i), i);
+    child.Send(request);
+  };
+  while (sent < config.window && sent < config.requests) send_one(sent++);
+  while (done < config.requests) {
+    Require(child.Await("h" + std::to_string(next_await++)));
+    ++done;
+    if (sent < config.requests) send_one(sent++);
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return static_cast<double>(config.requests) / seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    auto size_flag = [&](const char* name, size_t* out) {
+      if (std::strcmp(argv[i], name) != 0) return false;
+      DPX_CHECK(i + 1 < argc) << name << " needs a value";
+      *out = static_cast<size_t>(std::stoull(argv[++i]));
+      return true;
+    };
+    if (size_flag("--workers", &config.workers) ||
+        size_flag("--requests", &config.requests) ||
+        size_flag("--window", &config.window) ||
+        size_flag("--rows", &config.rows) ||
+        size_flag("--datasets", &config.datasets)) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--state-dir") == 0 && i + 1 < argc) {
+      config.state_dir = argv[++i];
+      continue;
+    }
+    std::cerr << "unknown flag '" << argv[i] << "'\n";
+    return 2;
+  }
+  ::signal(SIGPIPE, SIG_IGN);
+  const std::string build = BuildDir();
+  const std::string serve = build + "/tools/dpclustx_serve";
+  const std::string router = build + "/tools/dpclustx_router";
+
+  // Both configurations run with full durability (snapshot + audit
+  // journal), so the comparison isolates the router topology rather than
+  // charging journal flushes to one side only. State dirs must be clean:
+  // restored ledgers from a previous run would refuse re-loading datasets.
+  const std::string scrub = "rm -rf " + config.state_dir +
+                            " && mkdir -p " + config.state_dir;
+  DPX_CHECK(std::system(scrub.c_str()) == 0);
+
+  // Baseline: one durable worker, no router in the path.
+  double single_rps = 0.0;
+  {
+    ProtocolChild child({serve,
+                         "--snapshot", config.state_dir + "/single.snap",
+                         "--audit-journal",
+                         config.state_dir + "/single.journal"});
+    SetUpWorkload(child, config);
+    single_rps = RunExplainLoad(child, config);
+    std::printf("single worker        : %8.1f req/s (%zu explain releases)\n",
+                single_rps, config.requests);
+  }
+  double router_rps = 0.0;
+  {
+    ProtocolChild child({router, "--workers", std::to_string(config.workers),
+                         "--serve", serve, "--state-dir", config.state_dir});
+    SetUpWorkload(child, config);
+    router_rps = RunExplainLoad(child, config);
+    std::printf("router x%zu workers   : %8.1f req/s (%zu explain releases)\n",
+                config.workers, router_rps, config.requests);
+  }
+  std::printf("router speedup       : %8.2fx\n", router_rps / single_rps);
+
+  JsonValue result = JsonValue::Object();
+  result.Set("bench", JsonValue::String("router_vs_single"));
+  result.Set("workers", JsonValue::Number(static_cast<double>(config.workers)));
+  result.Set("requests",
+             JsonValue::Number(static_cast<double>(config.requests)));
+  result.Set("window", JsonValue::Number(static_cast<double>(config.window)));
+  result.Set("datasets",
+             JsonValue::Number(static_cast<double>(config.datasets)));
+  result.Set("rows", JsonValue::Number(static_cast<double>(config.rows)));
+  result.Set("single_rps", JsonValue::Number(single_rps));
+  result.Set("router_rps", JsonValue::Number(router_rps));
+  result.Set("speedup", JsonValue::Number(router_rps / single_rps));
+  std::printf("%s\n", result.Dump().c_str());
+  return 0;
+}

@@ -7,26 +7,32 @@
 #   BENCH_data_plane.json  bench_data_plane (adaptive narrow layout vs the
 #                          pre-narrowing uint32 layout: histogram build,
 #                          embedding, batched assignment, width sweep)
+#   BENCH_service.json     bench_router_throughput (dpclustx_router fronting
+#                          N durable shard workers vs one durable worker,
+#                          over the real line protocol and pipes)
 # Each envelope carries an "execution" block (DPCLUSTX_THREADS as exported,
-# the resolved compute-pool width, cpu count, build provenance from
-# `dpclustx_serve --version`) alongside each binary's own google-benchmark
-# context, plus a "metrics" block holding the Prometheus exposition dumped
-# by a short smoke run of the service, so a snapshot states both the
-# parallelism and the exact binary it was measured under. Rerun on new
-# hardware to refresh.
+# the resolved compute-pool width, cpu count, build provenance and snapshot
+# format version from `dpclustx_serve --version`) alongside each binary's
+# own google-benchmark context, plus a "metrics" block holding the
+# Prometheus exposition dumped by a short smoke run of the service, so a
+# snapshot states both the parallelism and the exact binary it was measured
+# under. Rerun on new hardware to refresh.
 #
-# Usage: scripts/bench_snapshot.sh [parallel_out.json [data_plane_out.json]]
+# Usage: scripts/bench_snapshot.sh [parallel_out.json [data_plane_out.json \
+#                                   [service_out.json]]]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT_PARALLEL="${1:-BENCH_parallel.json}"
 OUT_DATA_PLANE="${2:-BENCH_data_plane.json}"
+OUT_SERVICE="${3:-BENCH_service.json}"
 
 echo "==> building bench binaries"
 cmake -B build -S . >/dev/null
 cmake --build build -j --target bench_parallel_scaling \
-  bench_scale_large_dataset bench_data_plane dpclustx_serve >/dev/null
+  bench_scale_large_dataset bench_data_plane bench_router_throughput \
+  dpclustx_serve >/dev/null
 
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
@@ -43,6 +49,12 @@ echo "==> bench_data_plane"
 ./build/bench/bench_data_plane \
   --benchmark_out="$TMP_DIR/data_plane.json" \
   --benchmark_out_format=json
+echo "==> bench_router_throughput"
+# Plain-main bench: the last stdout line is the machine-readable JSON.
+./build/bench/bench_router_throughput \
+  --workers 2 --requests 96 --window 32 --rows 20000 --datasets 4 \
+  --state-dir "$TMP_DIR/router_bench" | tee "$TMP_DIR/router_human.txt"
+tail -n 1 "$TMP_DIR/router_human.txt" > "$TMP_DIR/router_throughput.json"
 
 echo "==> service metrics smoke dump"
 BUILD_VERSION="$(./build/tools/dpclustx_serve --version)"
@@ -59,15 +71,22 @@ printf '%s\n' \
 python3 - "$TMP_DIR/parallel_scaling.json" \
   "$TMP_DIR/scale_large_dataset.json" "$TMP_DIR/data_plane.json" \
   "$OUT_PARALLEL" "$OUT_DATA_PLANE" "$TMP_DIR/metrics.prom" \
-  "$BUILD_VERSION" <<'PY'
-import json, os, sys
+  "$BUILD_VERSION" "$TMP_DIR/router_throughput.json" "$OUT_SERVICE" <<'PY'
+import json, os, re, sys
 (parallel, scale, data_plane, out_parallel, out_data_plane, metrics_path,
- build_version) = sys.argv[1:8]
+ build_version, router_throughput, out_service) = sys.argv[1:10]
+
+# "dpclustx <sha> (GNU 12.2.0, Release), snapshot-format v1" — the format
+# version is part of the provenance line so it is stamped from the binary
+# actually measured, not from a header the script happens to see.
+format_match = re.search(r"snapshot-format v(\d+)", build_version)
 
 execution = {
     "dpclustx_threads_env": os.environ.get("DPCLUSTX_THREADS", ""),
     "num_cpus": os.cpu_count(),
     "build": build_version,
+    "snapshot_format_version":
+        int(format_match.group(1)) if format_match else None,
 }
 
 with open(metrics_path) as f:
@@ -87,6 +106,7 @@ def dump(path, envelope):
 dump(out_parallel, {"bench_parallel_scaling": load(parallel),
                     "bench_scale_large_dataset": load(scale)})
 dump(out_data_plane, {"bench_data_plane": load(data_plane)})
+dump(out_service, {"bench_router_throughput": load(router_throughput)})
 PY
 
-echo "==> wrote $OUT_PARALLEL and $OUT_DATA_PLANE"
+echo "==> wrote $OUT_PARALLEL, $OUT_DATA_PLANE and $OUT_SERVICE"

@@ -6,7 +6,10 @@
 # on, then rebuild the
 # request-path targets under ASan+UBSan and run the service/robustness
 # tests — no std::abort, overflow, or memory error may be reachable from
-# request input. The width-dispatched data-plane kernels run in both
+# request input. The ASan pass also drives two end-to-end smokes against
+# the real binaries: a snapshot round-trip (charge, kill, restore, check
+# the ledger) and a 2-worker dpclustx_router session over the line
+# protocol. The width-dispatched data-plane kernels run in both
 # sanitizer passes (dataset_layout_test), and the bench binaries get a
 # compile-only smoke build with -march=native (DPCLUSTX_NATIVE) so codegen
 # regressions in the tile kernels surface before a benchmark run does.
@@ -43,11 +46,76 @@ else
   cmake -B build-asan -S . -DDPCLUSTX_SANITIZE=address >/dev/null
   cmake --build build-asan -j --target \
     service_test service_robustness_test json_test mechanisms_test \
-    thread_pool_test dataset_layout_test obs_test \
+    thread_pool_test dataset_layout_test obs_test snapshot_test \
+    dpclustx_serve dpclustx_router \
     >/dev/null
   (cd build-asan &&
    ctest --output-on-failure \
-     -R '^(service_test|service_robustness_test|json_test|mechanisms_test|thread_pool_test|dataset_layout_test|obs_test)$')
+     -R '^(service_test|service_robustness_test|json_test|mechanisms_test|thread_pool_test|dataset_layout_test|obs_test|snapshot_test)$')
+
+  echo "==> ASan smoke: snapshot round-trip over the line protocol"
+  SMOKE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$SMOKE_DIR"' EXIT
+  # First life: load/cluster/charge, then EOF — the worker writes its final
+  # snapshot on shutdown. Second life: restore from that snapshot (plus the
+  # audit journal) and check the ledger survived exactly.
+  build-asan/tools/dpclustx_serve --sync \
+      --snapshot "$SMOKE_DIR/smoke.snap" \
+      --audit-journal "$SMOKE_DIR/smoke.journal" \
+      > "$SMOKE_DIR/first.out" 2>"$SMOKE_DIR/first.err" <<'EOF'
+{"op":"load_dataset","name":"d","source":"synthetic","generator":"diabetes","rows":200,"seed":1,"id":"1"}
+{"op":"cluster","dataset":"d","method":"k-means","k":3,"seed":2,"id":"2"}
+{"op":"create_session","dataset":"d","session":"s","epsilon":1.0,"id":"3"}
+{"op":"hist","session":"s","clustering":"default","attribute":"diab_0","epsilon":0.25,"id":"4"}
+EOF
+  build-asan/tools/dpclustx_serve --sync \
+      --snapshot "$SMOKE_DIR/smoke.snap" \
+      --audit-journal "$SMOKE_DIR/smoke.journal" \
+      > "$SMOKE_DIR/second.out" 2>"$SMOKE_DIR/second.err" <<'EOF'
+{"op":"budget","session":"s","id":"b"}
+{"op":"hist","session":"s","clustering":"default","attribute":"diab_0","epsilon":0.25,"id":"h"}
+EOF
+  python3 - "$SMOKE_DIR/second.out" <<'PYEOF'
+import json, sys
+byid = {}
+for line in open(sys.argv[1]):
+    r = json.loads(line)
+    byid[r["id"]] = r
+b, h = byid["b"], byid["h"]
+assert b["ok"] and abs(b["spent"] - 0.25) < 1e-12, b
+assert h["ok"] and h["cache_hit"] and h["epsilon_charged"] == 0.0, h
+print("    snapshot round-trip OK: ledger restored, repeat hist free")
+PYEOF
+
+  echo "==> ASan smoke: 2-worker router end-to-end"
+  build-asan/tools/dpclustx_router --workers 2 \
+      --serve build-asan/tools/dpclustx_serve \
+      --state-dir "$SMOKE_DIR/router" -- --sync \
+      > "$SMOKE_DIR/router.out" 2>"$SMOKE_DIR/router.err" <<'EOF'
+{"op":"load_dataset","name":"d1","source":"synthetic","generator":"diabetes","rows":200,"seed":1,"id":"1"}
+{"op":"load_dataset","name":"d2","source":"synthetic","generator":"diabetes","rows":200,"seed":2,"id":"2"}
+{"op":"cluster","dataset":"d1","method":"k-means","k":3,"seed":3,"id":"3"}
+{"op":"create_session","dataset":"d1","session":"s1","epsilon":1.0,"id":"4"}
+{"op":"hist","session":"s1","clustering":"default","attribute":"diab_0","epsilon":0.1,"id":"5"}
+{"op":"budget","session":"s1","id":"6"}
+{"op":"save_snapshot","path":"/tmp/nope","id":"7"}
+{"op":"ping","id":"8"}
+EOF
+  python3 - "$SMOKE_DIR/router.out" <<'PYEOF'
+import json, sys
+byid = {}
+for line in open(sys.argv[1]):
+    r = json.loads(line)
+    byid[r["id"]] = r
+for i in "12345":
+    assert byid[i]["ok"], byid[i]
+assert abs(byid["6"]["spent"] - 0.1) < 1e-12, byid["6"]
+assert not byid["7"]["ok"], byid["7"]
+assert byid["7"]["error"]["code"] == "FailedPrecondition", byid["7"]
+workers = byid["8"]["workers"]
+assert "shard-0" in workers and "shard-1" in workers, byid["8"]
+print("    router smoke OK: sharded flow, budget exact, snapshots refused")
+PYEOF
 fi
 
 if [[ "$SKIP_TSAN" == 1 ]]; then

@@ -1,0 +1,32 @@
+// Whole-file read/write helpers.
+//
+// WriteFileAtomic is the durability primitive the snapshot layer (and the
+// serve metrics dump) relies on: the payload lands in `path + ".tmp"` and is
+// renamed over `path`, so a reader — or a process restoring after a crash —
+// sees either the previous complete file or the new complete file, never a
+// torn prefix. rename(2) on the same filesystem is atomic; a crash mid-write
+// leaves at worst a stale .tmp beside an intact `path`.
+
+#ifndef DPCLUSTX_COMMON_FILE_UTIL_H_
+#define DPCLUSTX_COMMON_FILE_UTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace dpclustx {
+
+/// Reads the entire file into a string. NotFound when the file does not
+/// exist; IoError on any other failure.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path` atomically (tmp file + rename). IoError on
+/// any failure; on failure `path` is untouched (the tmp file may remain).
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
+/// True when `path` names an existing regular file.
+bool FileExists(const std::string& path);
+
+}  // namespace dpclustx
+
+#endif  // DPCLUSTX_COMMON_FILE_UTIL_H_

@@ -94,6 +94,11 @@ void JsonValue::Set(const std::string& key, JsonValue value) {
   object_[key] = std::move(value);
 }
 
+void JsonValue::Remove(const std::string& key) {
+  DPX_CHECK(type_ == Type::kObject);
+  object_.erase(key);
+}
+
 bool JsonValue::IsFinite() const {
   switch (type_) {
     case Type::kNumber:

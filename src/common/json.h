@@ -60,6 +60,9 @@ class JsonValue {
   bool Has(const std::string& key) const;
   const JsonValue& at(const std::string& key) const;
   void Set(const std::string& key, JsonValue value);
+  /// Drops `key` if present (no-op otherwise). Proxies use this to strip
+  /// internal correlation fields before relaying a response.
+  void Remove(const std::string& key);
 
   /// Checked lookups returning Status on shape mismatches; for parsing
   /// untrusted documents.

@@ -56,7 +56,7 @@ StatusOr<HistogramNoise> NoiseFromName(const std::string& name) {
 
 }  // namespace
 
-std::string SchemaToJson(const Schema& schema) {
+JsonValue SchemaToJsonValue(const Schema& schema) {
   JsonValue attributes = JsonValue::Array();
   for (const Attribute& attr : schema.attributes()) {
     JsonValue entry = JsonValue::Object();
@@ -70,7 +70,11 @@ std::string SchemaToJson(const Schema& schema) {
   }
   JsonValue root = JsonValue::Object();
   root.Set("attributes", std::move(attributes));
-  return root.Dump();
+  return root;
+}
+
+std::string SchemaToJson(const Schema& schema) {
+  return SchemaToJsonValue(schema).Dump();
 }
 
 StatusOr<Schema> SchemaFromJson(const std::string& json) {

@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "common/json.h"
 #include "common/status.h"
 #include "core/explanation.h"
 #include "data/schema.h"
@@ -19,6 +20,11 @@ namespace dpclustx {
 
 /// Serializes a schema (attribute names + domains).
 std::string SchemaToJson(const Schema& schema);
+
+/// Same document as SchemaToJson, as a JsonValue — for callers embedding
+/// the schema into a larger payload (the `schema` service op, snapshot
+/// provenance) without a dump/re-parse round trip.
+JsonValue SchemaToJsonValue(const Schema& schema);
 
 /// Parses a schema produced by SchemaToJson.
 StatusOr<Schema> SchemaFromJson(const std::string& json);

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "common/logging.h"
@@ -195,6 +196,53 @@ class NarrowColumn {
         break;
     }
     return ColumnView(v32_.data(), v32_.size(), width_);
+  }
+
+  /// The raw backing bytes (size() * ColumnWidthBytes(width()), host byte
+  /// order). Snapshot harvest copies this verbatim so save/load moves the
+  /// column as one memcpy-shaped blob instead of n element appends.
+  const void* raw_data() const {
+    switch (width_) {
+      case ColumnWidth::k8:
+        return v8_.data();
+      case ColumnWidth::k16:
+        return v16_.data();
+      case ColumnWidth::k32:
+        break;
+    }
+    return v32_.data();
+  }
+  size_t raw_size_bytes() const { return size() * ColumnWidthBytes(width_); }
+
+  /// Replaces this column's contents from raw bytes previously produced by
+  /// raw_data() at the same width. `size_bytes` must be a multiple of the
+  /// element width; codes are NOT domain-validated here (Dataset::FromColumns
+  /// does that once per column against the schema).
+  void AssignRaw(ColumnWidth width, const void* data, size_t size_bytes) {
+    const size_t elem = ColumnWidthBytes(width);
+    DPX_CHECK(size_bytes % elem == 0) << "raw column bytes not a multiple of "
+                                      << elem;
+    const size_t n = size_bytes / elem;
+    width_ = width;
+    v8_.clear();
+    v16_.clear();
+    v32_.clear();
+    // memcpy, not typed assign: the source is typically a std::string
+    // payload with no alignment guarantee for the wider widths.
+    switch (width_) {
+      case ColumnWidth::k8:
+        v8_.resize(n);
+        if (n != 0) std::memcpy(v8_.data(), data, size_bytes);
+        return;
+      case ColumnWidth::k16:
+        v16_.resize(n);
+        if (n != 0) std::memcpy(v16_.data(), data, size_bytes);
+        return;
+      case ColumnWidth::k32:
+        v32_.resize(n);
+        if (n != 0) std::memcpy(v32_.data(), data, size_bytes);
+        return;
+    }
   }
 
  private:

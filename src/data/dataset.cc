@@ -72,6 +72,58 @@ void Dataset::Reserve(size_t num_rows) {
   for (NarrowColumn& column : columns_) column.reserve(num_rows);
 }
 
+StatusOr<Dataset> Dataset::FromColumns(Schema schema, WidthPolicy policy,
+                                       std::vector<NarrowColumn> columns) {
+  DPX_RETURN_IF_ERROR(schema.Validate());
+  if (columns.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        "column count " + std::to_string(columns.size()) +
+        " does not match schema attribute count " +
+        std::to_string(schema.num_attributes()));
+  }
+  const size_t rows = columns.empty() ? 0 : columns[0].size();
+  for (size_t a = 0; a < columns.size(); ++a) {
+    const Attribute& attr = schema.attribute(static_cast<AttrIndex>(a));
+    if (columns[a].size() != rows) {
+      return Status::InvalidArgument(
+          "column '" + attr.name() + "' has " +
+          std::to_string(columns[a].size()) + " rows, expected " +
+          std::to_string(rows));
+    }
+    const ColumnWidth expected =
+        policy == WidthPolicy::kForce32
+            ? ColumnWidth::k32
+            : NarrowestColumnWidth(attr.domain_size());
+    if (columns[a].width() != expected) {
+      return Status::InvalidArgument(
+          "column '" + attr.name() + "' has width " +
+          std::to_string(ColumnWidthBytes(columns[a].width())) +
+          " bytes, the width policy requires " +
+          std::to_string(ColumnWidthBytes(expected)));
+    }
+    // Out-of-domain codes would index past histogram buffers downstream;
+    // a width that covers the domain does not imply every code is in it.
+    const size_t domain = attr.domain_size();
+    bool in_domain = true;
+    VisitColumn(columns[a].view(), [&](const auto* codes) {
+      for (size_t row = 0; row < rows; ++row) {
+        if (codes[row] >= domain) {
+          in_domain = false;
+          return;
+        }
+      }
+    });
+    if (!in_domain) {
+      return Status::InvalidArgument("column '" + attr.name() +
+                                     "' contains a code outside its domain");
+    }
+  }
+  Dataset dataset(std::move(schema), policy);
+  dataset.columns_ = std::move(columns);
+  dataset.num_rows_ = rows;
+  return dataset;
+}
+
 Status Dataset::AppendRow(const std::vector<ValueCode>& row) {
   if (row.size() != schema_.num_attributes()) {
     return Status::InvalidArgument(

@@ -29,6 +29,14 @@ class Dataset {
   /// 4-byte layout (equivalence tests, pre-narrowing benchmark baselines).
   explicit Dataset(Schema schema, WidthPolicy policy = WidthPolicy::kAdaptive);
 
+  /// Rebuilds a dataset from pre-built columns — the snapshot-restore path.
+  /// Validates that the column set matches `schema` (count, per-column row
+  /// count, width per `policy`) and that every code is inside its
+  /// attribute's domain (a snapshot is CRC-protected, but an out-of-domain
+  /// code would index past histogram buffers, so restore re-checks).
+  static StatusOr<Dataset> FromColumns(Schema schema, WidthPolicy policy,
+                                       std::vector<NarrowColumn> columns);
+
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
   size_t num_attributes() const { return schema_.num_attributes(); }
@@ -69,6 +77,11 @@ class Dataset {
   /// Tagged read-only span over one attribute's codes (π_A(D)). Kernels
   /// dispatch on the width once via VisitColumn (data/column.h).
   ColumnView column(AttrIndex attr) const { return columns_[attr].view(); }
+
+  /// The owning column object (raw-bytes access for snapshot harvest).
+  const NarrowColumn& narrow_column(AttrIndex attr) const {
+    return columns_[attr];
+  }
 
   /// One attribute's codes widened to ValueCode. O(n) copy — for cold paths
   /// that want a plain vector regardless of storage width.

@@ -43,16 +43,25 @@ uint64_t AuditLog::Record(const std::string& tenant, const std::string& dataset,
   record.granted = granted;
   record.reason = reason;
 
-  Totals& tenant_totals = tenant_totals_[tenant];
-  if (granted) {
-    tenant_totals.epsilon_charged += epsilon;
+  // Durable hook first: the journal write happens before the charge is
+  // observable anywhere (the caller is still holding its spend lock and has
+  // not yet built a response).
+  if (sink_) sink_(record);
+  ApplyLocked(std::move(record));
+  return next_seq_ - 1;
+}
+
+void AuditLog::ApplyLocked(AuditRecord record) {
+  Totals& tenant_totals = tenant_totals_[record.tenant];
+  if (record.granted) {
+    tenant_totals.epsilon_charged += record.epsilon;
     tenant_totals.charges++;
-    global_totals_.epsilon_charged += epsilon;
+    global_totals_.epsilon_charged += record.epsilon;
     global_totals_.charges++;
   } else {
-    tenant_totals.epsilon_denied += epsilon;
+    tenant_totals.epsilon_denied += record.epsilon;
     tenant_totals.denials++;
-    global_totals_.epsilon_denied += epsilon;
+    global_totals_.epsilon_denied += record.epsilon;
     global_totals_.denials++;
   }
 
@@ -61,7 +70,41 @@ uint64_t AuditLog::Record(const std::string& tenant, const std::string& dataset,
     records_.pop_front();
     dropped_++;
   }
-  return next_seq_ - 1;
+}
+
+void AuditLog::set_sink(std::function<void(const AuditRecord&)> sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+AuditLog::State AuditLog::SnapshotState() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  State state;
+  state.next_seq = next_seq_;
+  state.dropped = dropped_;
+  state.global = global_totals_;
+  state.tenants = tenant_totals_;
+  state.tail.assign(records_.begin(), records_.end());
+  return state;
+}
+
+void AuditLog::RestoreState(State state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  next_seq_ = state.next_seq;
+  dropped_ = state.dropped;
+  global_totals_ = state.global;
+  tenant_totals_ = std::move(state.tenants);
+  records_.assign(state.tail.begin(), state.tail.end());
+  while (records_.size() > capacity_) {
+    records_.pop_front();
+    dropped_++;
+  }
+}
+
+void AuditLog::RestoreRecord(const AuditRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (record.seq >= next_seq_) next_seq_ = record.seq + 1;
+  ApplyLocked(record);
 }
 
 AuditLog::Totals AuditLog::TenantTotals(const std::string& tenant) const {

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -73,14 +74,47 @@ class AuditLog {
   uint64_t next_seq() const;
   uint64_t dropped() const;
 
+  /// Durable sink invoked synchronously inside Record, under the log's
+  /// lock, with the fully-assigned record — before Record returns, hence
+  /// before any response leaves the service. The snapshot layer's journal
+  /// hangs off this hook so every observable charge is on disk first.
+  /// The sink must not call back into this log. nullptr disables.
+  void set_sink(std::function<void(const AuditRecord&)> sink);
+
+  /// The complete mutable state, for snapshotting. Totals are the exact
+  /// running doubles, not recomputed sums — restoring them and continuing
+  /// in record order keeps the ledger/audit equality bit-for-bit.
+  struct State {
+    uint64_t next_seq = 1;
+    uint64_t dropped = 0;
+    Totals global;
+    std::map<std::string, Totals> tenants;
+    std::vector<AuditRecord> tail;  // oldest first
+  };
+
+  State SnapshotState() const;
+
+  /// Overwrites this log's cursor, totals, and tail wholesale. Restore-time
+  /// only: must happen before the log is shared with serving threads.
+  void RestoreState(State state);
+
+  /// Re-applies one journaled record exactly as recorded: keeps its seq
+  /// (advancing next_seq to seq + 1), updates totals in call order, appends
+  /// to the tail. Does NOT invoke the sink — a replayed record is already
+  /// durable. Crash recovery replays the journal through this.
+  void RestoreRecord(const AuditRecord& record);
+
   /// {"next_seq","dropped","totals":{tenant:{...}},"records":[...]} with
   /// records limited to `tail_limit` (0 = all retained). Field names are
   /// stable (golden-tested).
   JsonValue ToJson(size_t tail_limit = 0) const;
 
  private:
+  void ApplyLocked(AuditRecord record);  // totals + bounded tail
+
   const size_t capacity_;
   mutable std::mutex mutex_;
+  std::function<void(const AuditRecord&)> sink_;  // guarded by mutex_
   std::deque<AuditRecord> records_;
   std::map<std::string, Totals> tenant_totals_;
   Totals global_totals_;

@@ -10,21 +10,39 @@
 namespace dpclustx::service {
 
 namespace {
-uint64_t NextUid() {
+std::atomic<uint64_t>& UidCounter() {
   static std::atomic<uint64_t> counter{1};
-  return counter.fetch_add(1, std::memory_order_relaxed);
+  return counter;
+}
+
+uint64_t NextUid() {
+  return UidCounter().fetch_add(1, std::memory_order_relaxed);
 }
 }  // namespace
 
 DatasetEntry::DatasetEntry(std::string name, std::string source,
                            Dataset dataset, double cap_epsilon)
+    : DatasetEntry(std::move(name), std::move(source), std::move(dataset),
+                   cap_epsilon, NextUid()) {}
+
+DatasetEntry::DatasetEntry(std::string name, std::string source,
+                           Dataset dataset, double cap_epsilon, uint64_t uid)
     : name_(std::move(name)),
       source_(std::move(source)),
-      uid_(NextUid()),
+      uid_(uid),
       dataset_(std::move(dataset)),
       cap_epsilon_(cap_epsilon > 0.0 ? cap_epsilon : 0.0),
       cap_(cap_epsilon > 0.0 ? std::make_unique<PrivacyBudget>(cap_epsilon)
                              : nullptr) {}
+
+void DatasetEntry::BumpUidFloor(uint64_t floor) {
+  std::atomic<uint64_t>& counter = UidCounter();
+  uint64_t current = counter.load(std::memory_order_relaxed);
+  while (current < floor &&
+         !counter.compare_exchange_weak(current, floor,
+                                        std::memory_order_relaxed)) {
+  }
+}
 
 StatusOr<std::shared_ptr<const ClusteringView>> DatasetEntry::PutClustering(
     std::shared_ptr<const ClusteringView> view) {
@@ -61,6 +79,15 @@ std::vector<std::string> DatasetEntry::ClusteringIds() const {
   ids.reserve(clusterings_.size());
   for (const auto& [id, view] : clusterings_) ids.push_back(id);
   return ids;
+}
+
+std::vector<std::shared_ptr<const ClusteringView>>
+DatasetEntry::Clusterings() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<const ClusteringView>> views;
+  views.reserve(clusterings_.size());
+  for (const auto& [id, view] : clusterings_) views.push_back(view);
+  return views;
 }
 
 StatusOr<std::shared_ptr<DatasetEntry>> DatasetRegistry::Register(
@@ -147,12 +174,34 @@ StatusOr<std::shared_ptr<DatasetEntry>> DatasetRegistry::Get(
   return it->second;
 }
 
+Status DatasetRegistry::RestoreEntry(std::shared_ptr<DatasetEntry> entry) {
+  if (entry == nullptr) {
+    return Status::InvalidArgument("cannot restore a null dataset entry");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.count(entry->name()) != 0) {
+    return Status::FailedPrecondition(
+        "dataset '" + entry->name() +
+        "' already registered; snapshot restore requires an empty registry");
+  }
+  entries_.emplace(entry->name(), std::move(entry));
+  return Status::OK();
+}
+
 std::vector<std::string> DatasetRegistry::Names() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) names.push_back(name);
   return names;
+}
+
+std::vector<std::shared_ptr<DatasetEntry>> DatasetRegistry::Entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<DatasetEntry>> entries;
+  entries.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) entries.push_back(entry);
+  return entries;
 }
 
 size_t DatasetRegistry::size() const {

@@ -58,6 +58,18 @@ class DatasetEntry {
   DatasetEntry(std::string name, std::string source, Dataset dataset,
                double cap_epsilon);
 
+  /// Restore-time constructor: pins the registry uid to `uid` instead of
+  /// drawing a fresh one. Release-cache keys embed the uid, so a restored
+  /// entry must keep its pre-crash uid or every cached (paid-for) release
+  /// would miss. Callers must also BumpUidFloor so later fresh entries
+  /// cannot collide with restored uids.
+  DatasetEntry(std::string name, std::string source, Dataset dataset,
+               double cap_epsilon, uint64_t uid);
+
+  /// Raises the process-wide uid counter to at least `floor` so uids minted
+  /// after a restore never collide with pinned ones.
+  static void BumpUidFloor(uint64_t floor);
+
   const std::string& name() const { return name_; }
   const std::string& source() const { return source_; }
   const Dataset& dataset() const { return dataset_; }
@@ -79,6 +91,9 @@ class DatasetEntry {
       const std::string& id) const;
 
   std::vector<std::string> ClusteringIds() const;
+
+  /// Every published view, in id order (snapshot harvest).
+  std::vector<std::shared_ptr<const ClusteringView>> Clusterings() const;
 
  private:
   const std::string name_;
@@ -126,7 +141,13 @@ class DatasetRegistry {
 
   StatusOr<std::shared_ptr<DatasetEntry>> Get(const std::string& name) const;
 
+  /// Inserts a fully-built entry (snapshot restore). FailedPrecondition if
+  /// the name is taken — restore targets an empty registry.
+  Status RestoreEntry(std::shared_ptr<DatasetEntry> entry);
+
   std::vector<std::string> Names() const;
+  /// Every live entry, in name order (snapshot harvest).
+  std::vector<std::shared_ptr<DatasetEntry>> Entries() const;
   size_t size() const;
 
  private:

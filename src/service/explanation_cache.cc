@@ -39,6 +39,17 @@ void ExplanationCache::Put(const std::string& key, std::string payload) {
   }
 }
 
+std::vector<std::pair<std::string, std::string>> ExplanationCache::Entries()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.reserve(lru_.size());
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    entries.emplace_back(it->key, *it->payload);
+  }
+  return entries;
+}
+
 uint64_t ExplanationCache::hits() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return hits_;

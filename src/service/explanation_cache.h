@@ -20,6 +20,8 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace dpclustx::service {
 
@@ -33,6 +35,11 @@ class ExplanationCache {
   /// Inserts (or refreshes) `payload`, evicting the least-recently-used
   /// entry when over capacity.
   void Put(const std::string& key, std::string payload);
+
+  /// Every cached (key, payload), least-recently-used first — so replaying
+  /// the list through Put rebuilds the identical LRU order. Snapshot
+  /// harvest; releases are already-paid-for DP outputs, safe to persist.
+  std::vector<std::pair<std::string, std::string>> Entries() const;
 
   uint64_t hits() const;
   uint64_t misses() const;

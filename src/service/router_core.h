@@ -1,0 +1,145 @@
+// Routing policy for the sharded multi-worker front door (dpclustx_router).
+//
+// The router process (tools/dpclustx_router.cc) supervises N dpclustx_serve
+// shard workers (each owning a disjoint set of datasets, with its own
+// snapshot + audit journal) and optionally R read-only replicas per shard.
+// Everything that is *policy* — which worker a request belongs to, which
+// requests may be served by a replica, how a session maps to its dataset,
+// how respawn delays grow — lives here, process-free and unit-testable.
+// The tool owns only the mechanics (pipes, threads, kill/respawn).
+//
+// Sharding is a consistent-hash ring over dataset names with virtual nodes,
+// so dataset→shard assignments are deterministic across router restarts
+// (a restarted router must route "census" to the shard whose snapshot holds
+// it) and resharding from N to N+1 workers moves only ~1/(N+1) of the
+// datasets.
+//
+// Request classification (one entry per engine op — keep in lockstep with
+// ServiceEngine's op vocabulary):
+//
+//   load_dataset            shard by "name"
+//   schema, cluster,
+//   create_session          shard by "dataset"   (create_session also binds
+//                                                 session→dataset here)
+//   budget, size,
+//   close_session           shard by the session's bound dataset
+//   explain, hist           same, and replica-eligible: a read-only replica
+//                           restored from the shard's snapshot can serve the
+//                           cache hit; on its FailedPrecondition/NotFound
+//                           refusal the router retries against the primary
+//   ping, stats, metrics,
+//   trace, audit            broadcast to every shard, responses merged
+//   save_snapshot,
+//   load_snapshot           refused: the router owns snapshot scheduling
+//                           (per-shard files; see _router_sync_replicas)
+//
+// Session stickiness: the router learns session→dataset bindings from the
+// create_session requests that pass through it. A session created before
+// the router started (or through another front door) is unroutable —
+// NotFound here, by design: guessing a shard could silently charge the
+// wrong ledger... it couldn't actually (shards refuse unknown sessions),
+// but the client deserves a deterministic error, not a shard-dependent one.
+
+#ifndef DPCLUSTX_SERVICE_ROUTER_CORE_H_
+#define DPCLUSTX_SERVICE_ROUTER_CORE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace dpclustx::service {
+
+/// FNV-1a 64-bit over the key bytes. Stable across platforms and builds —
+/// the ring layout is part of the deployment contract (snapshots name the
+/// shard that owns each dataset).
+uint64_t RouterHash(const std::string& key);
+
+/// Consistent-hash ring with virtual nodes. Immutable after construction
+/// (the worker fleet is fixed at router startup; a respawned worker keeps
+/// its name and therefore its ring positions).
+class HashRing {
+ public:
+  /// `vnodes` virtual nodes per physical node smooth the key distribution;
+  /// 64 keeps the max/min load ratio under ~1.4 for small fleets.
+  explicit HashRing(std::vector<std::string> nodes, size_t vnodes = 64);
+
+  /// The node owning `key`: the first virtual node clockwise from the key's
+  /// hash. Requires a non-empty ring.
+  const std::string& Route(const std::string& key) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  std::vector<std::string> nodes_;
+  std::vector<std::pair<uint64_t, size_t>> ring_;  // sorted (hash, node idx)
+};
+
+/// What the router should do with one request.
+enum class RouteKind {
+  kShard,        // exactly one shard owns it (decision.dataset says which)
+  kReplicaRead,  // shard-keyed and replica-eligible (explain/hist)
+  kBroadcast,    // every shard answers; the router merges the responses
+  kRefused,      // the router answers with an error itself (snapshot ops)
+  kUnknownOp,    // not in the vocabulary: forward to shard 0 so the engine
+                 // produces its canonical "unknown op" error
+};
+
+struct RouteDecision {
+  RouteKind kind = RouteKind::kUnknownOp;
+  std::string dataset;  // set for kShard / kReplicaRead
+};
+
+/// Thread-safe session→dataset bindings learned from create_session.
+class SessionTable {
+ public:
+  void Bind(const std::string& session, const std::string& dataset);
+  void Unbind(const std::string& session);
+  /// NotFound when the session was never bound through this router.
+  StatusOr<std::string> Lookup(const std::string& session) const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> bindings_;
+};
+
+/// Exponential respawn backoff: base * 2^(attempt-1), capped. attempt is
+/// 1-based; out-of-range attempts clamp to the cap (never overflow).
+struct Backoff {
+  int64_t base_ms = 100;
+  int64_t max_ms = 2000;
+  int64_t DelayMs(uint64_t attempt) const;
+};
+
+/// The policy bundle the router tool drives: ring + session table +
+/// request classification.
+class RouterCore {
+ public:
+  explicit RouterCore(std::vector<std::string> shards, size_t vnodes = 64);
+
+  /// Classifies `request` (a parsed engine request). Learns bindings as a
+  /// side effect: create_session binds its session, close_session unbinds.
+  /// InvalidArgument when a field the route needs is missing/mistyped;
+  /// NotFound for a session this router never saw.
+  StatusOr<RouteDecision> Classify(const JsonValue& request);
+
+  /// The shard owning `dataset` (ring lookup).
+  const std::string& ShardFor(const std::string& dataset) const;
+
+  SessionTable& sessions() { return sessions_; }
+  const HashRing& ring() const { return ring_; }
+
+ private:
+  HashRing ring_;
+  SessionTable sessions_;
+};
+
+}  // namespace dpclustx::service
+
+#endif  // DPCLUSTX_SERVICE_ROUTER_CORE_H_

@@ -1,11 +1,13 @@
 #include "service/service_engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <mutex>
 #include <random>
+#include <shared_mutex>
 
 #include "cluster/agglomerative.h"
 #include "cluster/dp_kmeans.h"
@@ -16,10 +18,12 @@
 #include "core/explainer.h"
 #include "core/explanation.h"
 #include "core/serialization.h"
+#include "common/file_util.h"
 #include "dp/dp_histogram.h"
 #include "dp/mechanisms.h"
 #include "obs/build_info.h"
 #include "obs/trace.h"
+#include "snapshot/snapshot_io.h"
 
 namespace dpclustx::service {
 
@@ -46,7 +50,7 @@ constexpr const char* kOps[] = {
     "ping",   "load_dataset",   "schema",        "cluster",
     "budget", "create_session", "close_session", "explain",
     "hist",   "size",           "stats",         "metrics",
-    "trace",  "audit"};
+    "trace",  "audit",          "save_snapshot", "load_snapshot"};
 
 bool IsKnownOp(const std::string& op) {
   for (const char* known : kOps) {
@@ -154,6 +158,21 @@ void ServiceEngine::RegisterMetrics() {
   traced_ = metrics_->RegisterCounter(
       "dpclustx_requests_traced_total",
       "Requests that ran with span tracing active");
+  snapshot_saves_ = metrics_->RegisterCounter(
+      "dpclustx_snapshot_saves_total", "Snapshots saved successfully");
+  snapshot_restores_ = metrics_->RegisterCounter(
+      "dpclustx_snapshot_restores_total",
+      "Successful snapshot (+ journal) restores");
+  journal_records_ = metrics_->RegisterCounter(
+      "dpclustx_audit_journal_records_total",
+      "Audit records durably appended to the journal");
+  journal_failures_ = metrics_->RegisterCounter(
+      "dpclustx_audit_journal_failures_total",
+      "Audit-journal writes that failed (durability hole: charges since the "
+      "first failure may be unrecoverable)");
+  journal_replayed_ = metrics_->RegisterCounter(
+      "dpclustx_audit_journal_replayed_total",
+      "Journal records applied by crash recovery");
 
   const auto gauge = [this](const std::string& name, const std::string& help,
                             std::function<double()> fn) {
@@ -191,6 +210,12 @@ void ServiceEngine::RegisterMetrics() {
         [this] { return static_cast<double>(sessions_.size()); });
   gauge("dpclustx_audit_records", "Privacy-audit records appended",
         [this] { return static_cast<double>(audit_.next_seq() - 1); });
+  // Exported because drops are correctness-relevant for any consumer that
+  // replays the in-memory tail: a non-zero value means the retained ring is
+  // incomplete (the durable journal, when enabled, never drops).
+  gauge("dpclustx_audit_dropped_total",
+        "Audit tail records dropped by the bounded in-memory ring",
+        [this] { return static_cast<double>(audit_.dropped()); });
   gauge("dpclustx_audit_epsilon_charged",
         "Total granted epsilon across all tenants",
         [this] { return audit_.GlobalTotals().epsilon_charged; });
@@ -435,6 +460,10 @@ StatusOr<JsonValue> ServiceEngine::DispatchOp(
     body = OpTrace(request);
   } else if (op == "audit") {
     body = OpAudit(request);
+  } else if (op == "save_snapshot") {
+    body = OpSaveSnapshot(request);
+  } else if (op == "load_snapshot") {
+    body = OpLoadSnapshot(request);
   }
   if (body.ok()) {
     DPX_RETURN_IF_ERROR(InjectFault(op + ":finish", request, &*body));
@@ -476,6 +505,7 @@ void ServiceEngine::RecordOp(const std::string& op,
 }
 
 StatusOr<JsonValue> ServiceEngine::OpLoadDataset(const JsonValue& request) {
+  DPX_RETURN_IF_ERROR(RefuseIfReadOnly("load_dataset"));
   DPX_ASSIGN_OR_RETURN(const std::string name, request.GetString("name"));
   DPX_ASSIGN_OR_RETURN(const std::string source,
                        OptString(request, "source", "synthetic"));
@@ -532,6 +562,7 @@ StatusOr<JsonValue> ServiceEngine::OpSchema(const JsonValue& request) {
 }
 
 StatusOr<JsonValue> ServiceEngine::OpCluster(const JsonValue& request) {
+  DPX_RETURN_IF_ERROR(RefuseIfReadOnly("cluster"));
   DPX_ASSIGN_OR_RETURN(const std::string name, request.GetString("dataset"));
   DPX_ASSIGN_OR_RETURN(const std::shared_ptr<DatasetEntry> entry,
                        registry_.Get(name));
@@ -637,6 +668,7 @@ StatusOr<JsonValue> ServiceEngine::OpCluster(const JsonValue& request) {
 }
 
 StatusOr<JsonValue> ServiceEngine::OpCreateSession(const JsonValue& request) {
+  DPX_RETURN_IF_ERROR(RefuseIfReadOnly("create_session"));
   DPX_ASSIGN_OR_RETURN(const std::string session_id,
                        request.GetString("session"));
   DPX_ASSIGN_OR_RETURN(const std::string name, request.GetString("dataset"));
@@ -653,6 +685,7 @@ StatusOr<JsonValue> ServiceEngine::OpCreateSession(const JsonValue& request) {
 }
 
 StatusOr<JsonValue> ServiceEngine::OpCloseSession(const JsonValue& request) {
+  DPX_RETURN_IF_ERROR(RefuseIfReadOnly("close_session"));
   DPX_ASSIGN_OR_RETURN(const std::string session_id,
                        request.GetString("session"));
   DPX_RETURN_IF_ERROR(sessions_.Close(session_id));
@@ -773,6 +806,9 @@ StatusOr<JsonValue> ServiceEngine::OpExplain(const JsonValue& request,
       cached = cache_.Get(key);
     }
     if (cached == nullptr) {
+      // A replica serves hits above for free but must not charge ε; the
+      // router retries the miss against the primary.
+      DPX_RETURN_IF_ERROR(RefuseIfReadOnly("explain (uncached)"));
       // The slot wait above can block behind another request's compute;
       // re-check the deadline so a request that expired waiting charges
       // nothing. Past the Spend below there are no refunds.
@@ -835,37 +871,93 @@ StatusOr<JsonValue> ServiceEngine::OpHist(const JsonValue& request) {
                        OptNumber(request, "epsilon", 0.02));
   const Schema& schema = session->dataset()->dataset().schema();
   DPX_ASSIGN_OR_RETURN(const AttrIndex attr, schema.FindAttribute(attr_name));
-  DPX_ASSIGN_OR_RETURN(const uint64_t seed, RequestNoiseSeed(request));
-
-  // One round of per-cluster histograms over disjoint clusters: parallel
-  // composition, a single charge of `epsilon` covers all of them.
-  DPX_RETURN_IF_ERROR(session->Spend(
-      epsilon, "hist attr=" + attr_name + " [parallel x" +
-                   std::to_string(view->num_clusters) + "]"));
-
-  Rng rng(seed);
-  JsonValue clusters = JsonValue::Array();
-  for (size_t c = 0; c < view->num_clusters; ++c) {
-    DPX_ASSIGN_OR_RETURN(
-        const Histogram noisy,
-        ReleaseDpHistogram(
-            view->stats->cluster_histogram(static_cast<ClusterId>(c), attr),
-            epsilon, rng, DpHistogramOptions{}));
-    JsonValue entry = JsonValue::Object();
-    entry.Set("cluster", JsonValue::Number(static_cast<double>(c)));
-    entry.Set("bins", HistogramToJson(noisy, schema.attribute(attr)));
-    clusters.Append(std::move(entry));
+  // Pinned seeds are test-only (RequestNoiseSeed rejects them in the secure
+  // configuration); otherwise the seed is drawn at compute time below.
+  const bool pinned_seed = request.Has("seed");
+  uint64_t seed = 0;
+  if (pinned_seed) {
+    DPX_ASSIGN_OR_RETURN(seed, RequestNoiseSeed(request));
   }
-  JsonValue body = JsonValue::Object();
-  body.Set("attribute", JsonValue::String(attr_name));
-  body.Set("epsilon_charged", JsonValue::Number(epsilon));
+
+  // Hist releases cache like explain releases: a repeat of an identical
+  // request re-serves the paid-for bytes for zero ε (post-processing), and
+  // server-seeded requests key on "seed=auto" so they share one release.
+  char key[256];
+  std::snprintf(key, sizeof(key),
+                "hist ds=%" PRIu64 " cl=%s|%s attr=%s eps=%.17g seed=%s",
+                session->dataset()->uid(), clustering_id.c_str(),
+                view->fingerprint.c_str(), attr_name.c_str(), epsilon,
+                pinned_seed ? std::to_string(seed).c_str() : "auto");
+
+  JsonValue body;
+  bool cache_hit = false;
+  std::shared_ptr<const std::string> cached;
+  {
+    DPX_SPAN("cache_lookup");
+    cached = cache_.Get(key);
+  }
+  if (cached == nullptr) {
+    // Same in-flight dedup as explain: exactly one of a burst of identical
+    // misses charges ε; the rest wait and hit the cache below.
+    const std::shared_ptr<InflightSlot> slot = AcquireInflight(key);
+    struct Release {
+      ServiceEngine* engine;
+      const char* key;
+      ~Release() { engine->ReleaseInflight(key); }
+    } release{this, key};
+    std::unique_lock<std::mutex> in_flight(slot->mutex, std::defer_lock);
+    {
+      DPX_SPAN("inflight_wait");
+      in_flight.lock();
+      cached = cache_.Get(key);
+    }
+    if (cached == nullptr) {
+      // A replica serves hits above for free but must not charge ε; the
+      // router retries the miss against the primary.
+      DPX_RETURN_IF_ERROR(RefuseIfReadOnly("hist (uncached)"));
+      // One round of per-cluster histograms over disjoint clusters: parallel
+      // composition, a single charge of `epsilon` covers all of them.
+      DPX_RETURN_IF_ERROR(session->Spend(
+          epsilon, "hist attr=" + attr_name + " [parallel x" +
+                       std::to_string(view->num_clusters) + "]"));
+      Rng rng(pinned_seed ? seed : NextNoiseSeed());
+      JsonValue clusters = JsonValue::Array();
+      for (size_t c = 0; c < view->num_clusters; ++c) {
+        DPX_ASSIGN_OR_RETURN(
+            const Histogram noisy,
+            ReleaseDpHistogram(
+                view->stats->cluster_histogram(static_cast<ClusterId>(c),
+                                               attr),
+                epsilon, rng, DpHistogramOptions{}));
+        JsonValue entry = JsonValue::Object();
+        entry.Set("cluster", JsonValue::Number(static_cast<double>(c)));
+        entry.Set("bins", HistogramToJson(noisy, schema.attribute(attr)));
+        clusters.Append(std::move(entry));
+      }
+      body = JsonValue::Object();
+      body.Set("attribute", JsonValue::String(attr_name));
+      body.Set("clusters", std::move(clusters));
+      cache_.Put(key, body.Dump());
+    }
+  }
+  if (cached != nullptr) {
+    // Post-processing an already-paid-for release: identical bytes, zero ε.
+    StatusOr<JsonValue> parsed = JsonValue::Parse(*cached);
+    DPX_CHECK(parsed.ok()) << "corrupt cache payload";
+    body = std::move(*parsed);
+    cache_hit = true;
+  }
+  body.Set("cache_hit", JsonValue::Bool(cache_hit));
+  body.Set("epsilon_charged", JsonValue::Number(cache_hit ? 0.0 : epsilon));
   body.Set("epsilon_remaining",
            JsonValue::Number(session->budget().remaining_epsilon()));
-  body.Set("clusters", std::move(clusters));
   return body;
 }
 
 StatusOr<JsonValue> ServiceEngine::OpSize(const JsonValue& request) {
+  // Always refused on replicas: a size release is never cached, so there is
+  // no free-hit path to carve out.
+  DPX_RETURN_IF_ERROR(RefuseIfReadOnly("size"));
   DPX_ASSIGN_OR_RETURN(const std::string session_id,
                        request.GetString("session"));
   DPX_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
@@ -1031,6 +1123,473 @@ StatusOr<JsonValue> ServiceEngine::OpTrace(const JsonValue& request) {
 StatusOr<JsonValue> ServiceEngine::OpAudit(const JsonValue& request) {
   DPX_ASSIGN_OR_RETURN(const size_t limit, OptCount(request, "limit", 0));
   return audit_.ToJson(limit);
+}
+
+// ---- durability (src/snapshot; DESIGN.md §11) -----------------------------
+
+namespace {
+
+snapshot::AuditRecordState ToRecordState(const obs::AuditRecord& record) {
+  snapshot::AuditRecordState state;
+  state.seq = record.seq;
+  state.tenant = record.tenant;
+  state.dataset = record.dataset;
+  state.label = record.label;
+  state.epsilon = record.epsilon;
+  state.granted = record.granted;
+  state.reason = record.reason;
+  return state;
+}
+
+obs::AuditRecord ToAuditRecord(const snapshot::AuditRecordState& state) {
+  obs::AuditRecord record;
+  record.seq = state.seq;
+  record.tenant = state.tenant;
+  record.dataset = state.dataset;
+  record.label = state.label;
+  record.epsilon = state.epsilon;
+  record.granted = state.granted;
+  record.reason = state.reason;
+  return record;
+}
+
+snapshot::AuditTotalsState ToTotalsState(const std::string& tenant,
+                                         const obs::AuditLog::Totals& totals) {
+  snapshot::AuditTotalsState state;
+  state.tenant = tenant;
+  state.epsilon_charged = totals.epsilon_charged;
+  state.epsilon_denied = totals.epsilon_denied;
+  state.charges = totals.charges;
+  state.denials = totals.denials;
+  return state;
+}
+
+obs::AuditLog::Totals ToTotals(const snapshot::AuditTotalsState& state) {
+  obs::AuditLog::Totals totals;
+  totals.epsilon_charged = state.epsilon_charged;
+  totals.epsilon_denied = state.epsilon_denied;
+  totals.charges = state.charges;
+  totals.denials = state.denials;
+  return totals;
+}
+
+std::vector<snapshot::LedgerEntryState> ToLedgerState(
+    const std::vector<PrivacyBudget::LedgerEntry>& ledger) {
+  std::vector<snapshot::LedgerEntryState> state;
+  state.reserve(ledger.size());
+  for (const PrivacyBudget::LedgerEntry& entry : ledger) {
+    state.push_back(snapshot::LedgerEntryState{entry.label, entry.epsilon});
+  }
+  return state;
+}
+
+}  // namespace
+
+Status ServiceEngine::RefuseIfReadOnly(const char* what) const {
+  if (!options_.read_only) return Status::OK();
+  return Status::FailedPrecondition(
+      std::string("this worker is read-only: ") + what +
+      " is refused (retry against the primary)");
+}
+
+Status ServiceEngine::EnableAuditJournal(const std::string& path) {
+  DPX_RETURN_IF_ERROR(journal_.Open(path));
+  // The sink runs inside AuditLog::Record, under its lock, before the
+  // charge's response is built — the journal is a write-ahead log for every
+  // ε charge a client could have observed.
+  audit_.set_sink([this](const obs::AuditRecord& record) {
+    if (journal_.Append(ToRecordState(record)).ok()) {
+      journal_records_->Increment();
+    } else {
+      journal_failures_->Increment();
+    }
+  });
+  return Status::OK();
+}
+
+Status ServiceEngine::SaveSnapshotToFile(const std::string& path) {
+  // Exclusive gate: every in-flight Spend holds it shared across its whole
+  // ledger+cap+audit transaction, so once acquired, every charge is either
+  // fully in the harvested state or fully after its audit cursor.
+  DPX_SPAN("snapshot_save");
+  std::unique_lock<std::shared_mutex> gate(sessions_.spend_gate());
+  DPX_ASSIGN_OR_RETURN(const snapshot::ServiceSnapshot state,
+                       HarvestSnapshot());
+  DPX_RETURN_IF_ERROR(snapshot::SaveSnapshotFile(path, state));
+  snapshot_saves_->Increment();
+  return Status::OK();
+}
+
+StatusOr<snapshot::ServiceSnapshot> ServiceEngine::HarvestSnapshot() {
+  snapshot::ServiceSnapshot state;
+
+  const std::vector<std::shared_ptr<ServiceSession>> sessions =
+      sessions_.Sessions();
+  // A session bound to a replaced (detached) dataset entry charges a cap
+  // object the snapshot cannot name; a refused save beats a wrong restore.
+  for (const std::shared_ptr<ServiceSession>& session : sessions) {
+    StatusOr<std::shared_ptr<DatasetEntry>> current =
+        registry_.Get(session->dataset()->name());
+    if (!current.ok() || current->get() != session->dataset().get()) {
+      return Status::FailedPrecondition(
+          "session '" + session->id() + "' is bound to a replaced "
+          "registration of dataset '" + session->dataset()->name() +
+          "'; snapshots cannot represent detached entries");
+    }
+  }
+
+  for (const std::shared_ptr<DatasetEntry>& entry : registry_.Entries()) {
+    snapshot::DatasetState ds;
+    ds.name = entry->name();
+    ds.source = entry->source();
+    ds.uid = entry->uid();
+    const Dataset& dataset = entry->dataset();
+    ds.width_policy = static_cast<uint8_t>(dataset.width_policy());
+    ds.cap_epsilon = entry->cap_epsilon();
+    if (const PrivacyBudget* cap = entry->cap()) {
+      ds.cap_ledger = ToLedgerState(cap->ledger());
+    }
+    ds.schema_json = SchemaToJson(dataset.schema());
+    for (size_t a = 0; a < dataset.num_attributes(); ++a) {
+      const NarrowColumn& column =
+          dataset.narrow_column(static_cast<AttrIndex>(a));
+      snapshot::ColumnState cs;
+      cs.width_tag = static_cast<uint8_t>(column.width());
+      cs.rows = column.size();
+      cs.bytes.assign(static_cast<const char*>(column.raw_data()),
+                      column.raw_size_bytes());
+      ds.columns.push_back(std::move(cs));
+    }
+    for (const std::shared_ptr<const ClusteringView>& view :
+         entry->Clusterings()) {
+      snapshot::ClusteringState cl;
+      cl.id = view->id;
+      cl.description = view->description;
+      cl.fingerprint = view->fingerprint;
+      cl.num_clusters = view->num_clusters;
+      cl.labels = view->labels;
+      ds.clusterings.push_back(std::move(cl));
+    }
+    state.datasets.push_back(std::move(ds));
+  }
+
+  for (const std::shared_ptr<ServiceSession>& session : sessions) {
+    snapshot::SessionState ss;
+    ss.id = session->id();
+    ss.dataset_name = session->dataset()->name();
+    ss.dataset_uid = session->dataset()->uid();
+    ss.total_epsilon = session->budget().total_epsilon();
+    ss.spent = session->budget().spent_epsilon();
+    // Exact comparison on purpose: recovery re-asserts the equality only
+    // where it held at save (a closed session reusing the tenant id breaks
+    // it legitimately — its charges stay in the audit totals).
+    ss.audit_matches_ledger =
+        audit_.TenantTotals(session->id()).epsilon_charged == ss.spent;
+    ss.ledger = ToLedgerState(session->budget().ledger());
+    state.sessions.push_back(std::move(ss));
+  }
+
+  for (auto& [key, payload] : cache_.Entries()) {
+    state.cache.push_back(
+        snapshot::CacheEntryState{std::move(key), std::move(payload)});
+  }
+
+  obs::AuditLog::State audit = audit_.SnapshotState();
+  state.audit.next_seq = audit.next_seq;
+  state.audit.dropped = audit.dropped;
+  state.audit.global = ToTotalsState("", audit.global);
+  for (const auto& [tenant, totals] : audit.tenants) {
+    state.audit.tenants.push_back(ToTotalsState(tenant, totals));
+  }
+  for (const obs::AuditRecord& record : audit.tail) {
+    state.audit.tail.push_back(ToRecordState(record));
+  }
+  return state;
+}
+
+Status ServiceEngine::ApplySnapshot(const snapshot::ServiceSnapshot& state,
+                                    RestoreReport* report) {
+  uint64_t max_uid = 0;
+  for (const snapshot::DatasetState& ds : state.datasets) {
+    DPX_ASSIGN_OR_RETURN(Schema schema, SchemaFromJson(ds.schema_json));
+    if (ds.width_policy > static_cast<uint8_t>(WidthPolicy::kForce32)) {
+      return Status::IoError("snapshot dataset '" + ds.name +
+                             "' carries an unknown width policy");
+    }
+    const WidthPolicy policy = static_cast<WidthPolicy>(ds.width_policy);
+    std::vector<NarrowColumn> columns;
+    columns.reserve(ds.columns.size());
+    for (const snapshot::ColumnState& cs : ds.columns) {
+      if (cs.width_tag > static_cast<uint8_t>(ColumnWidth::k32)) {
+        return Status::IoError("snapshot dataset '" + ds.name +
+                               "' carries an unknown column width");
+      }
+      const ColumnWidth width = static_cast<ColumnWidth>(cs.width_tag);
+      if (cs.bytes.size() != cs.rows * ColumnWidthBytes(width)) {
+        return Status::IoError("snapshot dataset '" + ds.name +
+                               "' has a column whose byte count does not "
+                               "match its row count");
+      }
+      NarrowColumn column(width);
+      column.AssignRaw(width, cs.bytes.data(), cs.bytes.size());
+      columns.push_back(std::move(column));
+    }
+    DPX_ASSIGN_OR_RETURN(
+        Dataset dataset,
+        Dataset::FromColumns(std::move(schema), policy, std::move(columns)));
+    auto entry = std::make_shared<DatasetEntry>(
+        ds.name, ds.source, std::move(dataset), ds.cap_epsilon, ds.uid);
+    if (entry->cap() == nullptr && !ds.cap_ledger.empty()) {
+      return Status::IoError("snapshot dataset '" + ds.name +
+                             "' has cap charges but no cap");
+    }
+    for (const snapshot::LedgerEntryState& charge : ds.cap_ledger) {
+      // Replaying the saved entries in order rebuilds the cap's spent total
+      // through the same floating-point additions — bit-for-bit.
+      const Status spent = entry->cap()->Spend(charge.epsilon, charge.label);
+      if (!spent.ok()) {
+        return Status::IoError("snapshot cap ledger for dataset '" + ds.name +
+                               "' does not fit its cap: " + spent.message());
+      }
+    }
+    for (const snapshot::ClusteringState& cl : ds.clusterings) {
+      auto view = std::make_shared<ClusteringView>();
+      view->id = cl.id;
+      view->description = cl.description;
+      view->fingerprint = cl.fingerprint;
+      view->num_clusters = cl.num_clusters;
+      view->labels = cl.labels;
+      // The StatsCache is rebuilt, not stored: Build is deterministic and
+      // bitwise-identical for the same (columns, labels).
+      DPX_ASSIGN_OR_RETURN(
+          StatsCache stats,
+          StatsCache::Build(entry->dataset(), view->labels,
+                            view->num_clusters));
+      view->stats = std::make_shared<const StatsCache>(std::move(stats));
+      DPX_RETURN_IF_ERROR(entry->PutClustering(std::move(view)).status());
+    }
+    if (ds.uid > max_uid) max_uid = ds.uid;
+    DPX_RETURN_IF_ERROR(registry_.RestoreEntry(std::move(entry)));
+    ++report->datasets;
+  }
+  // Uids minted after the restore must not collide with pinned ones (release
+  // cache keys embed them).
+  if (max_uid > 0) DatasetEntry::BumpUidFloor(max_uid + 1);
+
+  for (const snapshot::SessionState& ss : state.sessions) {
+    DPX_ASSIGN_OR_RETURN(const std::shared_ptr<DatasetEntry> entry,
+                         registry_.Get(ss.dataset_name));
+    if (entry->uid() != ss.dataset_uid) {
+      return Status::IoError(
+          "snapshot session '" + ss.id + "' names dataset uid " +
+          std::to_string(ss.dataset_uid) + " but the restored dataset '" +
+          ss.dataset_name + "' has uid " + std::to_string(entry->uid()));
+    }
+    DPX_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
+                         sessions_.Create(ss.id, entry, ss.total_epsilon));
+    for (const snapshot::LedgerEntryState& charge : ss.ledger) {
+      const Status charged =
+          session->RestoreCharge(charge.epsilon, charge.label);
+      if (!charged.ok()) {
+        return Status::IoError("snapshot ledger for session '" + ss.id +
+                               "' does not fit its budget: " +
+                               charged.message());
+      }
+    }
+    if (session->budget().spent_epsilon() != ss.spent) {
+      return Status::IoError("restored ledger for session '" + ss.id +
+                             "' does not reproduce its saved spent total");
+    }
+    ++report->sessions;
+  }
+
+  for (const snapshot::CacheEntryState& entry : state.cache) {
+    cache_.Put(entry.key, entry.payload);
+    ++report->cache_entries;
+  }
+
+  obs::AuditLog::State audit;
+  audit.next_seq = state.audit.next_seq;
+  audit.dropped = state.audit.dropped;
+  audit.global = ToTotals(state.audit.global);
+  for (const snapshot::AuditTotalsState& totals : state.audit.tenants) {
+    audit.tenants.emplace(totals.tenant, ToTotals(totals));
+  }
+  for (const snapshot::AuditRecordState& record : state.audit.tail) {
+    audit.tail.push_back(ToAuditRecord(record));
+  }
+  audit_.RestoreState(std::move(audit));
+  return Status::OK();
+}
+
+Status ServiceEngine::ReplayJournal(const std::string& journal_path,
+                                    uint64_t cursor, RestoreReport* report) {
+  StatusOr<std::vector<snapshot::AuditRecordState>> records =
+      snapshot::ReadAuditJournal(journal_path);
+  // No journal file yet is a fresh deployment, not a recovery failure.
+  if (records.status().code() == StatusCode::kNotFound) return Status::OK();
+  DPX_RETURN_IF_ERROR(records.status());
+
+  uint64_t expected = cursor;
+  for (const snapshot::AuditRecordState& record : *records) {
+    if (record.seq < cursor) continue;  // already inside the snapshot
+    if (record.seq != expected) {
+      // A hole at or after the cursor means records were lost (truncation,
+      // a dropped write): ledgers rebuilt across it would be wrong.
+      return Status::FailedPrecondition(
+          "audit journal has a gap: expected seq " + std::to_string(expected) +
+          " after the snapshot cursor, found " + std::to_string(record.seq) +
+          " — refusing to rebuild ledgers across missing charges");
+    }
+    ++expected;
+    // RestoreRecord keeps the journaled seq and does not re-invoke the sink,
+    // so replay never double-journals.
+    audit_.RestoreRecord(ToAuditRecord(record));
+    if (record.granted) {
+      StatusOr<std::shared_ptr<ServiceSession>> session =
+          sessions_.Get(record.tenant);
+      if (session.ok()) {
+        const Status charged =
+            (*session)->RestoreCharge(record.epsilon, record.label);
+        if (!charged.ok()) {
+          return Status::FailedPrecondition(
+              "journal replay overflows the ledger of session '" +
+              record.tenant + "': " + charged.message());
+        }
+        if (PrivacyBudget* cap = (*session)->dataset()->cap()) {
+          // Post-cursor charges are not in the saved cap ledger; re-apply
+          // with the same label shape ServiceSession::Spend uses.
+          DPX_RETURN_IF_ERROR(
+              cap->Spend(record.epsilon, record.tenant + "/" + record.label));
+        }
+      } else {
+        // The session was created after the snapshot: its ledger cannot be
+        // rebuilt (session creation is not journaled), but the dataset cap
+        // must never understate — charge it and report the tenant.
+        StatusOr<std::shared_ptr<DatasetEntry>> entry =
+            registry_.Get(record.dataset);
+        if (entry.ok() && (*entry)->cap() != nullptr) {
+          DPX_RETURN_IF_ERROR((*entry)->cap()->Spend(
+              record.epsilon, record.tenant + "/" + record.label));
+        }
+        if (std::find(report->unrecovered_sessions.begin(),
+                      report->unrecovered_sessions.end(),
+                      record.tenant) == report->unrecovered_sessions.end()) {
+          report->unrecovered_sessions.push_back(record.tenant);
+        }
+      }
+    }
+    journal_replayed_->Increment();
+    ++report->replayed_records;
+  }
+  return Status::OK();
+}
+
+StatusOr<ServiceEngine::RestoreReport> ServiceEngine::RestoreFromFiles(
+    const std::string& snapshot_path, const std::string& journal_path) {
+  DPX_SPAN("snapshot_restore");
+  if (registry_.size() != 0 || sessions_.size() != 0 ||
+      audit_.next_seq() != 1 || cache_.size() != 0) {
+    return Status::FailedPrecondition(
+        "restore requires an empty engine (datasets, sessions, audit, and "
+        "cache must all be untouched)");
+  }
+  StatusOr<snapshot::ServiceSnapshot> state =
+      snapshot::LoadSnapshotFile(snapshot_path);
+  if (state.status().code() == StatusCode::kNotFound) {
+    // No snapshot. An absent/empty journal is a genuinely fresh start; a
+    // non-empty journal holds charges whose session budgets and dataset
+    // contents were never snapshotted — rebuilding ledgers from the journal
+    // alone would silently undercount, so refuse loudly instead.
+    if (!journal_path.empty()) {
+      StatusOr<std::vector<snapshot::AuditRecordState>> journaled =
+          snapshot::ReadAuditJournal(journal_path);
+      if (journaled.ok() && !journaled->empty()) {
+        return Status::FailedPrecondition(
+            "no snapshot at '" + snapshot_path + "' but the audit journal '" +
+            journal_path + "' holds " + std::to_string(journaled->size()) +
+            " records: snapshot-less recovery cannot rebuild correct ledgers "
+            "(session budgets and dataset contents are not journaled) — "
+            "restore from a snapshot or archive the journal first");
+      }
+    }
+    return state.status();
+  }
+  DPX_RETURN_IF_ERROR(state.status());
+
+  RestoreReport report;
+  // The loader refuses any other version, so a decoded snapshot is ours.
+  report.format_version = snapshot::kSnapshotFormatVersion;
+  DPX_RETURN_IF_ERROR(ApplySnapshot(*state, &report));
+  if (!journal_path.empty()) {
+    DPX_RETURN_IF_ERROR(
+        ReplayJournal(journal_path, state->audit.next_seq, &report));
+  }
+  // Cross-check: where audit/ledger equality held at save it must hold now —
+  // both sides restarted from the same saved doubles and replay applied the
+  // same additions to both in the same order.
+  for (const snapshot::SessionState& ss : state->sessions) {
+    if (!ss.audit_matches_ledger) continue;
+    DPX_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
+                         sessions_.Get(ss.id));
+    if (audit_.TenantTotals(ss.id).epsilon_charged !=
+        session->budget().spent_epsilon()) {
+      return Status::Internal("post-recovery audit/ledger mismatch for "
+                              "session '" + ss.id +
+                              "': the journal and snapshot disagree");
+    }
+  }
+  snapshot_restores_->Increment();
+  return report;
+}
+
+StatusOr<JsonValue> ServiceEngine::OpSaveSnapshot(const JsonValue& request) {
+  DPX_RETURN_IF_ERROR(RefuseIfReadOnly("save_snapshot"));
+  DPX_ASSIGN_OR_RETURN(const std::string path, request.GetString("path"));
+  DPX_RETURN_IF_ERROR(SaveSnapshotToFile(path));
+  JsonValue body = JsonValue::Object();
+  body.Set("path", JsonValue::String(path));
+  body.Set("format_version",
+           JsonValue::Number(
+               static_cast<double>(snapshot::kSnapshotFormatVersion)));
+  body.Set("datasets",
+           JsonValue::Number(static_cast<double>(registry_.size())));
+  body.Set("sessions",
+           JsonValue::Number(static_cast<double>(sessions_.size())));
+  body.Set("cache_entries",
+           JsonValue::Number(static_cast<double>(cache_.size())));
+  body.Set("audit_next_seq",
+           JsonValue::Number(static_cast<double>(audit_.next_seq())));
+  return body;
+}
+
+StatusOr<JsonValue> ServiceEngine::OpLoadSnapshot(const JsonValue& request) {
+  // Deliberately NOT refused on read-only workers: a restore is how a
+  // respawned replica gets the primary's paid-for releases in the first
+  // place (RestoreFromFiles itself requires the engine to be empty).
+  DPX_ASSIGN_OR_RETURN(const std::string path, request.GetString("path"));
+  DPX_ASSIGN_OR_RETURN(const std::string journal,
+                       OptString(request, "journal", ""));
+  DPX_ASSIGN_OR_RETURN(const RestoreReport report,
+                       RestoreFromFiles(path, journal));
+  JsonValue unrecovered = JsonValue::Array();
+  for (const std::string& tenant : report.unrecovered_sessions) {
+    unrecovered.Append(JsonValue::String(tenant));
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("path", JsonValue::String(path));
+  body.Set("format_version",
+           JsonValue::Number(static_cast<double>(report.format_version)));
+  body.Set("datasets",
+           JsonValue::Number(static_cast<double>(report.datasets)));
+  body.Set("sessions",
+           JsonValue::Number(static_cast<double>(report.sessions)));
+  body.Set("cache_entries",
+           JsonValue::Number(static_cast<double>(report.cache_entries)));
+  body.Set("replayed_records",
+           JsonValue::Number(static_cast<double>(report.replayed_records)));
+  body.Set("unrecovered_sessions", std::move(unrecovered));
+  return body;
 }
 
 }  // namespace dpclustx::service

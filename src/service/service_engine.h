@@ -25,13 +25,18 @@
 //   explain        session, clustering, [epsilon] | [epsilon_cand_set,
 //                  epsilon_top_comb, epsilon_hist], [num_candidates],
 //                  [threads]
-//   hist           session, clustering, attribute, [epsilon]
+//   hist           session, clustering, attribute, [epsilon]  (cached like
+//                                               explain: an identical repeat
+//                                               re-serves the paid-for bytes
+//                                               for zero ε)
 //   size           session, clustering, cluster, [epsilon]
 //   stats          (cache / pool / registry / per-op latency+error counters
 //                   / build info)
 //   metrics        [format: "json"|"prometheus"|"both"]  (registry dump)
 //   trace          [limit]    (recent request span trees, newest last)
 //   audit          [limit]    (privacy-budget audit log tail + totals)
+//   save_snapshot  path       (durable state snapshot; DESIGN.md §11)
+//   load_snapshot  path, [journal]   (crash recovery into an empty engine)
 //
 // Observability (see DESIGN.md §10): every request updates pre-registered
 // instruments in a MetricsRegistry (no locks on the hot path). A request
@@ -99,6 +104,8 @@
 #include "service/dataset_registry.h"
 #include "service/explanation_cache.h"
 #include "service/session_manager.h"
+#include "snapshot/audit_journal.h"
+#include "snapshot/snapshot.h"
 
 namespace dpclustx::service {
 
@@ -168,6 +175,14 @@ struct ServiceEngineOptions {
   size_t trace_ring_capacity = 64;
   /// Audit-log tail records retained (totals stay exact regardless).
   size_t audit_capacity = 4096;
+  /// Read-only replica mode: every op that would charge ε or mutate state
+  /// (load_dataset, cluster, create_session, close_session, size,
+  /// save_snapshot, and cache *misses* on explain/hist) is refused with
+  /// FailedPrecondition. Cache hits still serve — a hit is free
+  /// post-processing of an already-paid-for release — so a replica restored
+  /// from the primary's snapshot can absorb repeat-read traffic. The router
+  /// falls back to the primary on the refusals.
+  bool read_only = false;
 };
 
 class ServiceEngine {
@@ -208,6 +223,55 @@ class ServiceEngine {
   obs::MetricsRegistry& metrics() { return *metrics_; }
   const obs::AuditLog& audit_log() const { return audit_; }
 
+  // ---- durability (src/snapshot; DESIGN.md §11) ---------------------------
+
+  /// Opens the JSONL audit journal at `path` (append, created if absent)
+  /// and hooks it into the audit log: from here on every ε charge/denial is
+  /// written and flushed to disk before its response is built. Call once,
+  /// after any RestoreFromFiles and before serving.
+  Status EnableAuditJournal(const std::string& path);
+
+  /// Saves the full hot state (datasets, session ledgers, release cache,
+  /// audit cursor + totals + tail) to `path` atomically. Takes the session
+  /// managers' spend gate exclusively, so the saved ledgers, caps, audit
+  /// totals, and cursor are one coherent instant — a charge is either
+  /// entirely inside the snapshot or entirely after its cursor.
+  /// FailedPrecondition when a session is bound to a replaced (detached)
+  /// dataset entry: its cap accounting lives on an entry the snapshot
+  /// cannot name, and a wrong restore is worse than a refused save.
+  Status SaveSnapshotToFile(const std::string& path);
+
+  /// What RestoreFromFiles rebuilt and replayed.
+  struct RestoreReport {
+    uint32_t format_version = 0;
+    size_t datasets = 0;
+    size_t sessions = 0;
+    size_t cache_entries = 0;
+    /// Journal records applied strictly after the snapshot cursor.
+    uint64_t replayed_records = 0;
+    /// Tenants with post-snapshot journaled charges whose sessions did not
+    /// exist at snapshot time: their dataset-cap charges were replayed (the
+    /// cap never understates), but their session ledgers are gone — those
+    /// analysts must open new sessions.
+    std::vector<std::string> unrecovered_sessions;
+  };
+
+  /// Crash recovery: loads the snapshot at `snapshot_path`, rebuilds every
+  /// dataset (pinned uids), session ledger (bit-for-bit), the release
+  /// cache, and the audit log, then — when `journal_path` is non-empty and
+  /// exists — replays journal records with seq >= the snapshot's audit
+  /// cursor, in order, charging each granted record to its session ledger
+  /// and dataset cap exactly once. Refuses (no partial restore of ledgers)
+  /// when: the engine is not empty; the snapshot is corrupt, truncated, or
+  /// a newer format; the journal has a gap at or after the cursor (records
+  /// were dropped or the file was truncated — rebuilt ledgers would be
+  /// wrong); or a post-replay ledger/audit equality check fails. A missing
+  /// snapshot with a non-empty journal is also refused: session budgets and
+  /// dataset contents are not journaled, so snapshot-less recovery cannot
+  /// rebuild correct ledgers.
+  StatusOr<RestoreReport> RestoreFromFiles(const std::string& snapshot_path,
+                                           const std::string& journal_path);
+
  private:
   /// Handle with an explicit arrival time — the deadline anchor. Handle
   /// passes now(); HandleAsync passes its enqueue time so queue wait counts.
@@ -240,6 +304,20 @@ class ServiceEngine {
   StatusOr<JsonValue> OpMetricsDump(const JsonValue& request);
   StatusOr<JsonValue> OpTrace(const JsonValue& request);
   StatusOr<JsonValue> OpAudit(const JsonValue& request);
+  StatusOr<JsonValue> OpSaveSnapshot(const JsonValue& request);
+  StatusOr<JsonValue> OpLoadSnapshot(const JsonValue& request);
+
+  /// FailedPrecondition naming `what` when this worker is read-only.
+  Status RefuseIfReadOnly(const char* what) const;
+  /// Harvests the full hot state. Caller must hold the spend gate
+  /// exclusively (SaveSnapshotToFile does).
+  StatusOr<snapshot::ServiceSnapshot> HarvestSnapshot();
+  /// Applies a decoded snapshot to this (empty) engine.
+  Status ApplySnapshot(const snapshot::ServiceSnapshot& state,
+                       RestoreReport* report);
+  /// Replays journal records with seq >= `cursor` (see RestoreFromFiles).
+  Status ReplayJournal(const std::string& journal_path, uint64_t cursor,
+                       RestoreReport* report);
 
   uint64_t NextNoiseSeed();
 
@@ -282,12 +360,18 @@ class ServiceEngine {
   DatasetRegistry registry_;
   ExplanationCache cache_;
   obs::AuditLog audit_;
+  snapshot::AuditJournal journal_;  // sink of audit_ once enabled
   obs::MetricsRegistry owned_metrics_;  // used unless options injects one
   obs::MetricsRegistry* const metrics_;
   SessionManager sessions_;  // after audit_: sessions hold a pointer to it
   std::map<std::string, OpMetrics> op_metrics_;  // immutable after ctor
   obs::Counter* shed_ = nullptr;     // requests rejected by the full queue
   obs::Counter* traced_ = nullptr;   // requests that ran with tracing on
+  obs::Counter* snapshot_saves_ = nullptr;
+  obs::Counter* snapshot_restores_ = nullptr;
+  obs::Counter* journal_records_ = nullptr;   // records appended to the WAL
+  obs::Counter* journal_failures_ = nullptr;  // journal writes that failed
+  obs::Counter* journal_replayed_ = nullptr;  // records applied by recovery
   std::vector<uint64_t> callback_ids_;  // removed from *metrics_ in dtor
   std::atomic<uint64_t> noise_sequence_{0};
   std::mutex trace_mutex_;

@@ -20,6 +20,13 @@ Status ServiceSession::Spend(double epsilon, const std::string& label) {
     return Status::InvalidArgument("epsilon must be positive (label '" +
                                    label + "')");
   }
+  // Shared gate first (never blocks other spenders), own lock second. A
+  // snapshot harvester holding the gate exclusively therefore sees either
+  // none or all of {session charge, cap charge, audit record}.
+  std::shared_lock<std::shared_mutex> gate;
+  if (spend_gate_ != nullptr) {
+    gate = std::shared_lock<std::shared_mutex>(*spend_gate_);
+  }
   std::lock_guard<std::mutex> lock(spend_mutex_);
   if (!budget_.CanSpend(epsilon)) {
     char msg[192];
@@ -59,6 +66,21 @@ Status ServiceSession::Spend(double epsilon, const std::string& label) {
   return Status::OK();
 }
 
+Status ServiceSession::RestoreCharge(double epsilon,
+                                     const std::string& label) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        "restored ledger entry has non-positive epsilon (label '" + label +
+        "')");
+  }
+  std::lock_guard<std::mutex> lock(spend_mutex_);
+  // Same code path as the original charge (budget_.Spend appends the entry
+  // and adds to the running total), so an in-order replay reproduces the
+  // exact floating-point sum. No cap charge, no audit record: both already
+  // exist in their own saved state.
+  return budget_.Spend(epsilon, label);
+}
+
 StatusOr<std::shared_ptr<ServiceSession>> SessionManager::Create(
     const std::string& id, std::shared_ptr<DatasetEntry> dataset,
     double total_epsilon) {
@@ -79,6 +101,7 @@ StatusOr<std::shared_ptr<ServiceSession>> SessionManager::Create(
   auto session =
       std::make_shared<ServiceSession>(id, std::move(dataset), total_epsilon);
   session->set_audit_log(audit_log_);
+  session->set_spend_gate(&spend_gate_);
   sessions_.emplace(id, session);
   return session;
 }
@@ -107,6 +130,14 @@ std::vector<std::string> SessionManager::Ids() const {
   ids.reserve(sessions_.size());
   for (const auto& [id, session] : sessions_) ids.push_back(id);
   return ids;
+}
+
+std::vector<std::shared_ptr<ServiceSession>> SessionManager::Sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<ServiceSession>> sessions;
+  sessions.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) sessions.push_back(session);
+  return sessions;
 }
 
 size_t SessionManager::size() const {

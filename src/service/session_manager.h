@@ -24,6 +24,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -60,12 +61,28 @@ class ServiceSession {
   /// Spend call; nullptr disables auditing.
   void set_audit_log(obs::AuditLog* log) { audit_log_ = log; }
 
+  /// Snapshot-consistency gate (see SessionManager::spend_gate). Spend
+  /// holds it shared for the whole ledger+cap+audit transaction; the
+  /// snapshot harvester holds it exclusive, so a snapshot never observes a
+  /// charge on one ledger but not the other. nullptr disables (tests that
+  /// drive a bare session).
+  void set_spend_gate(std::shared_mutex* gate) { spend_gate_ = gate; }
+
+  /// Re-applies one saved ledger entry to the session ledger ONLY — no
+  /// dataset-cap charge (the cap's own saved ledger already holds it) and
+  /// no audit record (the charge is already journaled/snapshotted). Entries
+  /// replayed in saved order rebuild the spent total through the same
+  /// floating-point additions, so the result is bit-for-bit the pre-crash
+  /// ledger. OutOfBudget here means the snapshot is inconsistent.
+  Status RestoreCharge(double epsilon, const std::string& label);
+
  private:
   const std::string id_;
   const std::shared_ptr<DatasetEntry> dataset_;
   std::mutex spend_mutex_;  // serializes this session's dual charges
   PrivacyBudget budget_;
   obs::AuditLog* audit_log_ = nullptr;
+  std::shared_mutex* spend_gate_ = nullptr;
 };
 
 class SessionManager {
@@ -84,6 +101,8 @@ class SessionManager {
   Status Close(const std::string& id);
 
   std::vector<std::string> Ids() const;
+  /// Every open session, in id order (snapshot harvest).
+  std::vector<std::shared_ptr<ServiceSession>> Sessions() const;
   size_t size() const;
 
   /// Audit sink handed to every session created afterwards (existing
@@ -91,8 +110,16 @@ class SessionManager {
   /// right after construction, before any Create.
   void set_audit_log(obs::AuditLog* log);
 
+  /// The spend gate every created session shares. A snapshot harvester
+  /// takes it exclusively to freeze all ledgers, caps, and the audit log in
+  /// one coherent instant (each Spend holds it shared across its whole
+  /// dual-charge + audit transaction); normal serving takes it shared, so
+  /// concurrent spends are unaffected.
+  std::shared_mutex& spend_gate() { return spend_gate_; }
+
  private:
   mutable std::mutex mutex_;
+  mutable std::shared_mutex spend_gate_;
   std::map<std::string, std::shared_ptr<ServiceSession>> sessions_;
   obs::AuditLog* audit_log_ = nullptr;  // guarded by mutex_
 };

@@ -1,0 +1,115 @@
+#include "snapshot/audit_journal.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/file_util.h"
+#include "common/json.h"
+
+namespace dpclustx::snapshot {
+
+AuditJournal::~AuditJournal() { Close(); }
+
+Status AuditJournal::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("audit journal already open: " + path_);
+  }
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::IoError("cannot open audit journal " + path + ": " +
+                           std::strerror(errno));
+  }
+  file_ = file;
+  path_ = path;
+  return Status::OK();
+}
+
+bool AuditJournal::is_open() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return file_ != nullptr;
+}
+
+Status AuditJournal::Append(const AuditRecordState& record) {
+  const std::string line = AuditRecordToJsonLine(record) + "\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("audit journal is not open");
+  }
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0) {
+    return Status::IoError("audit journal write failed for " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void AuditJournal::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+std::string AuditRecordToJsonLine(const AuditRecordState& record) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("seq", JsonValue::Number(static_cast<double>(record.seq)));
+  obj.Set("tenant", JsonValue::String(record.tenant));
+  obj.Set("dataset", JsonValue::String(record.dataset));
+  obj.Set("label", JsonValue::String(record.label));
+  obj.Set("epsilon", JsonValue::Number(record.epsilon));
+  obj.Set("granted", JsonValue::Bool(record.granted));
+  obj.Set("reason", JsonValue::String(record.reason));
+  return obj.Dump();
+}
+
+namespace {
+
+StatusOr<AuditRecordState> ParseJournalLine(const std::string& line) {
+  DPX_ASSIGN_OR_RETURN(const JsonValue obj, JsonValue::Parse(line));
+  AuditRecordState record;
+  DPX_ASSIGN_OR_RETURN(const double seq, obj.GetNumber("seq"));
+  record.seq = static_cast<uint64_t>(seq);
+  DPX_ASSIGN_OR_RETURN(record.tenant, obj.GetString("tenant"));
+  DPX_ASSIGN_OR_RETURN(record.dataset, obj.GetString("dataset"));
+  DPX_ASSIGN_OR_RETURN(record.label, obj.GetString("label"));
+  DPX_ASSIGN_OR_RETURN(record.epsilon, obj.GetNumber("epsilon"));
+  if (!obj.Has("granted") ||
+      obj.at("granted").type() != JsonValue::Type::kBool) {
+    return Status::InvalidArgument("journal record missing bool 'granted'");
+  }
+  record.granted = obj.at("granted").AsBool();
+  DPX_ASSIGN_OR_RETURN(record.reason, obj.GetString("reason"));
+  return record;
+}
+
+}  // namespace
+
+StatusOr<std::vector<AuditRecordState>> ReadAuditJournal(
+    const std::string& path) {
+  DPX_ASSIGN_OR_RETURN(const std::string contents, ReadFileToString(path));
+  std::vector<AuditRecordState> records;
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    const size_t newline = contents.find('\n', pos);
+    if (newline == std::string::npos) {
+      // No terminating newline: the process died mid-append. That record's
+      // response was never sent, so skipping it keeps accounting exact.
+      break;
+    }
+    const std::string line = contents.substr(pos, newline - pos);
+    pos = newline + 1;
+    if (line.empty()) continue;
+    StatusOr<AuditRecordState> record = ParseJournalLine(line);
+    if (!record.ok()) {
+      return Status::IoError(
+          "audit journal " + path + " is corrupt (not merely torn): " +
+          record.status().message());
+    }
+    records.push_back(std::move(record).value());
+  }
+  return records;
+}
+
+}  // namespace dpclustx::snapshot

@@ -1,0 +1,312 @@
+#include "snapshot/snapshot.h"
+
+#include "common/file_util.h"
+
+namespace dpclustx::snapshot {
+
+namespace {
+
+// ---- encode helpers -------------------------------------------------------
+
+void PutLedger(ByteWriter& w, const std::vector<LedgerEntryState>& ledger) {
+  w.PutU64(ledger.size());
+  for (const LedgerEntryState& entry : ledger) {
+    w.PutString(entry.label);
+    w.PutDouble(entry.epsilon);
+  }
+}
+
+StatusOr<std::vector<LedgerEntryState>> GetLedger(ByteReader& r) {
+  DPX_ASSIGN_OR_RETURN(const uint64_t count, r.GetU64());
+  std::vector<LedgerEntryState> ledger;
+  ledger.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    LedgerEntryState entry;
+    DPX_ASSIGN_OR_RETURN(entry.label, r.GetString());
+    DPX_ASSIGN_OR_RETURN(entry.epsilon, r.GetDouble());
+    ledger.push_back(std::move(entry));
+  }
+  return ledger;
+}
+
+void PutTotals(ByteWriter& w, const AuditTotalsState& totals) {
+  w.PutString(totals.tenant);
+  w.PutDouble(totals.epsilon_charged);
+  w.PutDouble(totals.epsilon_denied);
+  w.PutU64(totals.charges);
+  w.PutU64(totals.denials);
+}
+
+StatusOr<AuditTotalsState> GetTotals(ByteReader& r) {
+  AuditTotalsState totals;
+  DPX_ASSIGN_OR_RETURN(totals.tenant, r.GetString());
+  DPX_ASSIGN_OR_RETURN(totals.epsilon_charged, r.GetDouble());
+  DPX_ASSIGN_OR_RETURN(totals.epsilon_denied, r.GetDouble());
+  DPX_ASSIGN_OR_RETURN(totals.charges, r.GetU64());
+  DPX_ASSIGN_OR_RETURN(totals.denials, r.GetU64());
+  return totals;
+}
+
+std::string EncodeMeta(const ServiceSnapshot& state) {
+  ByteWriter w;
+  w.PutU64(state.datasets.size());
+  w.PutU64(state.sessions.size());
+  w.PutU64(state.cache.size());
+  w.PutU64(state.audit.next_seq);
+  return w.Take();
+}
+
+std::string EncodeDatasets(const ServiceSnapshot& state) {
+  ByteWriter w;
+  w.PutU64(state.datasets.size());
+  for (const DatasetState& ds : state.datasets) {
+    w.PutString(ds.name);
+    w.PutString(ds.source);
+    w.PutU64(ds.uid);
+    w.PutU8(ds.width_policy);
+    w.PutDouble(ds.cap_epsilon);
+    PutLedger(w, ds.cap_ledger);
+    w.PutString(ds.schema_json);
+    w.PutU64(ds.columns.size());
+    for (const ColumnState& col : ds.columns) {
+      w.PutU8(col.width_tag);
+      w.PutU64(col.rows);
+      w.PutString(col.bytes);
+    }
+    w.PutU64(ds.clusterings.size());
+    for (const ClusteringState& cl : ds.clusterings) {
+      w.PutString(cl.id);
+      w.PutString(cl.description);
+      w.PutString(cl.fingerprint);
+      w.PutU64(cl.num_clusters);
+      w.PutU64(cl.labels.size());
+      for (const uint32_t label : cl.labels) w.PutU32(label);
+    }
+  }
+  return w.Take();
+}
+
+StatusOr<std::vector<DatasetState>> DecodeDatasets(
+    const std::string& payload) {
+  ByteReader r(payload);
+  DPX_ASSIGN_OR_RETURN(const uint64_t count, r.GetU64());
+  std::vector<DatasetState> datasets;
+  datasets.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    DatasetState ds;
+    DPX_ASSIGN_OR_RETURN(ds.name, r.GetString());
+    DPX_ASSIGN_OR_RETURN(ds.source, r.GetString());
+    DPX_ASSIGN_OR_RETURN(ds.uid, r.GetU64());
+    DPX_ASSIGN_OR_RETURN(ds.width_policy, r.GetU8());
+    DPX_ASSIGN_OR_RETURN(ds.cap_epsilon, r.GetDouble());
+    DPX_ASSIGN_OR_RETURN(ds.cap_ledger, GetLedger(r));
+    DPX_ASSIGN_OR_RETURN(ds.schema_json, r.GetString());
+    DPX_ASSIGN_OR_RETURN(const uint64_t num_columns, r.GetU64());
+    ds.columns.reserve(num_columns);
+    for (uint64_t c = 0; c < num_columns; ++c) {
+      ColumnState col;
+      DPX_ASSIGN_OR_RETURN(col.width_tag, r.GetU8());
+      DPX_ASSIGN_OR_RETURN(col.rows, r.GetU64());
+      DPX_ASSIGN_OR_RETURN(col.bytes, r.GetString());
+      ds.columns.push_back(std::move(col));
+    }
+    DPX_ASSIGN_OR_RETURN(const uint64_t num_clusterings, r.GetU64());
+    ds.clusterings.reserve(num_clusterings);
+    for (uint64_t c = 0; c < num_clusterings; ++c) {
+      ClusteringState cl;
+      DPX_ASSIGN_OR_RETURN(cl.id, r.GetString());
+      DPX_ASSIGN_OR_RETURN(cl.description, r.GetString());
+      DPX_ASSIGN_OR_RETURN(cl.fingerprint, r.GetString());
+      DPX_ASSIGN_OR_RETURN(cl.num_clusters, r.GetU64());
+      DPX_ASSIGN_OR_RETURN(const uint64_t num_labels, r.GetU64());
+      cl.labels.reserve(num_labels);
+      for (uint64_t l = 0; l < num_labels; ++l) {
+        DPX_ASSIGN_OR_RETURN(const uint32_t label, r.GetU32());
+        cl.labels.push_back(label);
+      }
+      ds.clusterings.push_back(std::move(cl));
+    }
+    datasets.push_back(std::move(ds));
+  }
+  return datasets;
+}
+
+std::string EncodeSessions(const ServiceSnapshot& state) {
+  ByteWriter w;
+  w.PutU64(state.sessions.size());
+  for (const SessionState& session : state.sessions) {
+    w.PutString(session.id);
+    w.PutString(session.dataset_name);
+    w.PutU64(session.dataset_uid);
+    w.PutDouble(session.total_epsilon);
+    w.PutDouble(session.spent);
+    w.PutU8(session.audit_matches_ledger ? 1 : 0);
+    PutLedger(w, session.ledger);
+  }
+  return w.Take();
+}
+
+StatusOr<std::vector<SessionState>> DecodeSessions(
+    const std::string& payload) {
+  ByteReader r(payload);
+  DPX_ASSIGN_OR_RETURN(const uint64_t count, r.GetU64());
+  std::vector<SessionState> sessions;
+  sessions.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SessionState session;
+    DPX_ASSIGN_OR_RETURN(session.id, r.GetString());
+    DPX_ASSIGN_OR_RETURN(session.dataset_name, r.GetString());
+    DPX_ASSIGN_OR_RETURN(session.dataset_uid, r.GetU64());
+    DPX_ASSIGN_OR_RETURN(session.total_epsilon, r.GetDouble());
+    DPX_ASSIGN_OR_RETURN(session.spent, r.GetDouble());
+    DPX_ASSIGN_OR_RETURN(const uint8_t matches, r.GetU8());
+    session.audit_matches_ledger = matches != 0;
+    DPX_ASSIGN_OR_RETURN(session.ledger, GetLedger(r));
+    sessions.push_back(std::move(session));
+  }
+  return sessions;
+}
+
+std::string EncodeCache(const ServiceSnapshot& state) {
+  ByteWriter w;
+  w.PutU64(state.cache.size());
+  for (const CacheEntryState& entry : state.cache) {
+    w.PutString(entry.key);
+    w.PutString(entry.payload);
+  }
+  return w.Take();
+}
+
+StatusOr<std::vector<CacheEntryState>> DecodeCache(
+    const std::string& payload) {
+  ByteReader r(payload);
+  DPX_ASSIGN_OR_RETURN(const uint64_t count, r.GetU64());
+  std::vector<CacheEntryState> cache;
+  cache.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    CacheEntryState entry;
+    DPX_ASSIGN_OR_RETURN(entry.key, r.GetString());
+    DPX_ASSIGN_OR_RETURN(entry.payload, r.GetString());
+    cache.push_back(std::move(entry));
+  }
+  return cache;
+}
+
+std::string EncodeAudit(const ServiceSnapshot& state) {
+  const AuditState& audit = state.audit;
+  ByteWriter w;
+  w.PutU64(audit.next_seq);
+  w.PutU64(audit.dropped);
+  PutTotals(w, audit.global);
+  w.PutU64(audit.tenants.size());
+  for (const AuditTotalsState& totals : audit.tenants) PutTotals(w, totals);
+  w.PutU64(audit.tail.size());
+  for (const AuditRecordState& record : audit.tail) {
+    w.PutU64(record.seq);
+    w.PutString(record.tenant);
+    w.PutString(record.dataset);
+    w.PutString(record.label);
+    w.PutDouble(record.epsilon);
+    w.PutU8(record.granted ? 1 : 0);
+    w.PutString(record.reason);
+  }
+  return w.Take();
+}
+
+StatusOr<AuditState> DecodeAudit(const std::string& payload) {
+  ByteReader r(payload);
+  AuditState audit;
+  DPX_ASSIGN_OR_RETURN(audit.next_seq, r.GetU64());
+  DPX_ASSIGN_OR_RETURN(audit.dropped, r.GetU64());
+  DPX_ASSIGN_OR_RETURN(audit.global, GetTotals(r));
+  DPX_ASSIGN_OR_RETURN(const uint64_t num_tenants, r.GetU64());
+  audit.tenants.reserve(num_tenants);
+  for (uint64_t i = 0; i < num_tenants; ++i) {
+    DPX_ASSIGN_OR_RETURN(AuditTotalsState totals, GetTotals(r));
+    audit.tenants.push_back(std::move(totals));
+  }
+  DPX_ASSIGN_OR_RETURN(const uint64_t num_records, r.GetU64());
+  audit.tail.reserve(num_records);
+  for (uint64_t i = 0; i < num_records; ++i) {
+    AuditRecordState record;
+    DPX_ASSIGN_OR_RETURN(record.seq, r.GetU64());
+    DPX_ASSIGN_OR_RETURN(record.tenant, r.GetString());
+    DPX_ASSIGN_OR_RETURN(record.dataset, r.GetString());
+    DPX_ASSIGN_OR_RETURN(record.label, r.GetString());
+    DPX_ASSIGN_OR_RETURN(record.epsilon, r.GetDouble());
+    DPX_ASSIGN_OR_RETURN(const uint8_t granted, r.GetU8());
+    record.granted = granted != 0;
+    DPX_ASSIGN_OR_RETURN(record.reason, r.GetString());
+    audit.tail.push_back(std::move(record));
+  }
+  return audit;
+}
+
+}  // namespace
+
+std::string EncodeServiceSnapshot(const ServiceSnapshot& state) {
+  SectionWriter writer;
+  writer.AddSection(SectionId::kMeta, EncodeMeta(state));
+  writer.AddSection(SectionId::kDatasets, EncodeDatasets(state));
+  writer.AddSection(SectionId::kSessions, EncodeSessions(state));
+  writer.AddSection(SectionId::kCache, EncodeCache(state));
+  writer.AddSection(SectionId::kAudit, EncodeAudit(state));
+  return writer.Take();
+}
+
+StatusOr<ServiceSnapshot> DecodeServiceSnapshot(const std::string& bytes) {
+  uint32_t version = 0;
+  DPX_ASSIGN_OR_RETURN(const std::vector<Section> sections,
+                       ParseSnapshotFile(bytes, &version));
+  ServiceSnapshot state;
+  bool saw_datasets = false, saw_sessions = false, saw_audit = false;
+  for (const Section& section : sections) {
+    switch (section.id) {
+      case SectionId::kMeta:
+        // Counts are advisory; the per-section payloads are authoritative.
+        break;
+      case SectionId::kDatasets: {
+        DPX_ASSIGN_OR_RETURN(state.datasets,
+                             DecodeDatasets(section.payload));
+        saw_datasets = true;
+        break;
+      }
+      case SectionId::kSessions: {
+        DPX_ASSIGN_OR_RETURN(state.sessions,
+                             DecodeSessions(section.payload));
+        saw_sessions = true;
+        break;
+      }
+      case SectionId::kCache: {
+        DPX_ASSIGN_OR_RETURN(state.cache, DecodeCache(section.payload));
+        break;
+      }
+      case SectionId::kAudit: {
+        DPX_ASSIGN_OR_RETURN(state.audit, DecodeAudit(section.payload));
+        saw_audit = true;
+        break;
+      }
+      default:
+        // Unknown-but-CRC-valid sections within a supported version are
+        // skipped (compatible append; see header).
+        break;
+    }
+  }
+  if (!saw_datasets || !saw_sessions || !saw_audit) {
+    return Status::IoError(
+        "snapshot is missing a required section (datasets/sessions/audit)");
+  }
+  return state;
+}
+
+Status SaveSnapshotFile(const std::string& path,
+                        const ServiceSnapshot& state) {
+  return WriteFileAtomic(path, EncodeServiceSnapshot(state));
+}
+
+StatusOr<ServiceSnapshot> LoadSnapshotFile(const std::string& path) {
+  DPX_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
+  return DecodeServiceSnapshot(bytes);
+}
+
+}  // namespace dpclustx::snapshot

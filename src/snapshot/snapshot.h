@@ -1,0 +1,157 @@
+// Durable snapshot of the hot explanation-service state.
+//
+// ServiceSnapshot is a plain-data mirror of everything a dpclustx_serve
+// worker must not lose across a crash or restart:
+//
+//   - every registered dataset: schema (as serialization JSON), the narrow
+//     column bytes exactly as stored (PR 4 layout), the source fingerprint
+//     and registry uid (uids are pinned across restore so cached release
+//     keys stay valid), the cross-session ε cap and its ledger, and every
+//     published clustering view (labels only — the StatsCache is rebuilt
+//     deterministically on load, bitwise-identical per the PR 2 contract);
+//   - every open session's budget ledger, entry by entry, in charge order
+//     (so the floating-point spend total reconstructs bit-for-bit);
+//   - the release cache in LRU order (a DP release is paid-for bytes;
+//     losing it costs ε on the next identical request);
+//   - the audit-log cursor (next_seq) plus its exact per-tenant totals and
+//     retained tail. The cursor is the replay anchor: crash recovery loads
+//     the snapshot, then replays the durable audit journal strictly after
+//     the cursor, so every ε charge lands exactly once.
+//
+// This layer is deliberately below src/service: it defines the state
+// structs and the byte codec only. Harvesting live service objects into a
+// ServiceSnapshot and applying one back is the service layer's job
+// (ServiceEngine::SaveSnapshotToFile / RestoreFromFiles), which keeps the
+// format testable without a running engine.
+//
+// Versioning rules (DESIGN.md §11): the file carries a format version;
+// loading refuses any version newer than this build (forward-refusing).
+// Within a version, unknown section ids are skipped — appending sections
+// is a compatible change; any other layout change bumps the version.
+
+#ifndef DPCLUSTX_SNAPSHOT_SNAPSHOT_H_
+#define DPCLUSTX_SNAPSHOT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "snapshot/snapshot_io.h"
+
+namespace dpclustx::snapshot {
+
+/// One budget-ledger entry (mirrors PrivacyBudget::LedgerEntry).
+struct LedgerEntryState {
+  std::string label;
+  double epsilon = 0.0;
+};
+
+/// One published clustering view: labels only; the StatsCache is rebuilt on
+/// load from (columns, labels) and is bitwise-identical by construction.
+struct ClusteringState {
+  std::string id;
+  std::string description;
+  std::string fingerprint;
+  uint64_t num_clusters = 0;
+  std::vector<uint32_t> labels;
+};
+
+/// One column's physical bytes, exactly as NarrowColumn stores them.
+struct ColumnState {
+  uint8_t width_tag = 0;  // ColumnWidth as u8: 0 = k8, 1 = k16, 2 = k32
+  uint64_t rows = 0;
+  std::string bytes;  // rows * width bytes, host-order codes
+};
+
+/// One registered dataset.
+struct DatasetState {
+  std::string name;
+  std::string source;
+  uint64_t uid = 0;
+  uint8_t width_policy = 0;  // WidthPolicy as u8
+  double cap_epsilon = 0.0;  // <= 0 = uncapped
+  std::vector<LedgerEntryState> cap_ledger;
+  std::string schema_json;  // serialization::SchemaToJson payload
+  std::vector<ColumnState> columns;
+  std::vector<ClusteringState> clusterings;
+};
+
+/// One open session's ledger. `spent` is the ledger total at save time;
+/// after replaying `ledger` into a fresh budget the rebuilt total must
+/// equal it bit-for-bit (checked on load — a mismatch means corruption).
+struct SessionState {
+  std::string id;
+  std::string dataset_name;
+  uint64_t dataset_uid = 0;
+  double total_epsilon = 0.0;
+  double spent = 0.0;
+  /// True when, at save time, the audit log's per-tenant granted total
+  /// equaled this ledger's spent total exactly (the PR 5 invariant; false
+  /// only when a closed session's records share the tenant id). Recovery
+  /// re-asserts the equality after replay only when it held at save.
+  bool audit_matches_ledger = true;
+  std::vector<LedgerEntryState> ledger;
+};
+
+/// One release-cache entry. Entries are saved least- to most-recently used
+/// so a restore rebuilds the same LRU order.
+struct CacheEntryState {
+  std::string key;
+  std::string payload;
+};
+
+/// One audit record (mirrors obs::AuditRecord).
+struct AuditRecordState {
+  uint64_t seq = 0;
+  std::string tenant;
+  std::string dataset;
+  std::string label;
+  double epsilon = 0.0;
+  bool granted = false;
+  std::string reason;
+};
+
+/// Exact audit totals for one tenant (or the global roll-up).
+struct AuditTotalsState {
+  std::string tenant;  // empty for the global totals
+  double epsilon_charged = 0.0;
+  double epsilon_denied = 0.0;
+  uint64_t charges = 0;
+  uint64_t denials = 0;
+};
+
+/// Audit-log cursor + totals + retained tail.
+struct AuditState {
+  uint64_t next_seq = 1;  // replay anchor: journal records >= next_seq apply
+  uint64_t dropped = 0;
+  AuditTotalsState global;
+  std::vector<AuditTotalsState> tenants;
+  std::vector<AuditRecordState> tail;
+};
+
+/// The whole worker state.
+struct ServiceSnapshot {
+  std::vector<DatasetState> datasets;
+  std::vector<SessionState> sessions;
+  std::vector<CacheEntryState> cache;  // LRU order, oldest first
+  AuditState audit;
+};
+
+/// Encodes to the complete snapshot file image (magic + version + CRC'd
+/// sections). Deterministic: the same state encodes to the same bytes.
+std::string EncodeServiceSnapshot(const ServiceSnapshot& state);
+
+/// Decodes and verifies a snapshot file image. IoError on corruption or
+/// truncation, FailedPrecondition on an unsupported (newer) format version.
+StatusOr<ServiceSnapshot> DecodeServiceSnapshot(const std::string& bytes);
+
+/// Writes the snapshot atomically (tmp + rename) to `path`.
+Status SaveSnapshotFile(const std::string& path, const ServiceSnapshot& state);
+
+/// Reads and decodes `path`. NotFound when the file does not exist.
+StatusOr<ServiceSnapshot> LoadSnapshotFile(const std::string& path);
+
+}  // namespace dpclustx::snapshot
+
+#endif  // DPCLUSTX_SNAPSHOT_SNAPSHOT_H_

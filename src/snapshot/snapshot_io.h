@@ -1,0 +1,137 @@
+// Binary wire primitives for the snapshot format.
+//
+// A snapshot file is:
+//
+//   magic   "DPXSNAP\n"                                   (8 bytes)
+//   version u32 little-endian format version              (4 bytes)
+//   section*                                              (repeated)
+//
+// and each section is:
+//
+//   id      u32   section identifier (SectionId)
+//   length  u64   payload byte count
+//   crc32   u32   CRC-32 of the payload bytes
+//   payload length bytes
+//
+// All integers are little-endian regardless of host; doubles travel as the
+// IEEE-754 bit pattern in a u64 so save→load→save is bit-for-bit. The
+// loader is *forward-refusing*: a file whose format version is newer than
+// this build understands is rejected outright (FailedPrecondition) rather
+// than half-parsed — budget ledgers rebuilt from a misread file are worse
+// than a refused restore. Unknown section ids within a supported version
+// are skipped (they are CRC-framed, so skipping is safe), which is what
+// lets a *newer* writer stay loadable by an older reader when it only
+// appends sections.
+//
+// ByteWriter/ByteReader are the primitive layer; SectionWriter/SectionReader
+// add the framing. ByteReader is hard against truncated and hostile input:
+// every read is bounds-checked and returns Status instead of reading past
+// the end.
+
+#ifndef DPCLUSTX_SNAPSHOT_SNAPSHOT_IO_H_
+#define DPCLUSTX_SNAPSHOT_SNAPSHOT_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpclustx::snapshot {
+
+/// 8-byte file magic; the trailing newline catches ASCII-mode mangling the
+/// way the PNG magic does.
+inline constexpr char kSnapshotMagic[8] = {'D', 'P', 'X', 'S',
+                                           'N', 'A', 'P', '\n'};
+
+/// Current snapshot format version. Bump on any incompatible layout change;
+/// the loader refuses anything newer (see file comment).
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Section identifiers. Values are part of the on-disk format — append new
+/// ones, never renumber.
+enum class SectionId : uint32_t {
+  kMeta = 1,      // counts + provenance
+  kDatasets = 2,  // registry entries: schema, columns, caps, clusterings
+  kSessions = 3,  // per-tenant budget ledgers
+  kCache = 4,     // explanation/hist release cache, LRU order
+  kAudit = 5,     // audit cursor + exact totals + retained tail
+};
+
+/// Appends little-endian primitives to a byte buffer.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t value) { buffer_.push_back(static_cast<char>(value)); }
+  void PutU32(uint32_t value);
+  void PutU64(uint64_t value);
+  /// IEEE-754 bit pattern in a u64 — exact, never printf-rounded.
+  void PutDouble(double value);
+  /// u64 length followed by the raw bytes.
+  void PutString(const std::string& value);
+  void PutBytes(const void* data, size_t size);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Take() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked little-endian reads over a byte span. Never reads past
+/// the end: truncation yields IoError, not UB.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t size)
+      : data_(static_cast<const char*>(data)), size_(size) {}
+  explicit ByteReader(const std::string& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  StatusOr<uint8_t> GetU8();
+  StatusOr<uint32_t> GetU32();
+  StatusOr<uint64_t> GetU64();
+  StatusOr<double> GetDouble();
+  StatusOr<std::string> GetString();
+  /// Exactly `size` raw bytes (no length prefix).
+  StatusOr<std::string> GetBytes(size_t size);
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status Need(size_t bytes) const;
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Assembles a whole snapshot file: magic + version header, then one
+/// CRC-framed section per AddSection call.
+class SectionWriter {
+ public:
+  explicit SectionWriter(uint32_t version = kSnapshotFormatVersion);
+
+  void AddSection(SectionId id, const std::string& payload);
+
+  /// The complete file image.
+  std::string Take() { return std::move(file_); }
+
+ private:
+  std::string file_;
+};
+
+/// One parsed section.
+struct Section {
+  SectionId id;
+  std::string payload;  // CRC-verified
+};
+
+/// Parses and verifies a snapshot file image: checks magic, refuses
+/// versions newer than kSnapshotFormatVersion, walks every section frame,
+/// and verifies each payload CRC. Returns the sections in file order.
+StatusOr<std::vector<Section>> ParseSnapshotFile(const std::string& bytes,
+                                                 uint32_t* version_out);
+
+}  // namespace dpclustx::snapshot
+
+#endif  // DPCLUSTX_SNAPSHOT_SNAPSHOT_IO_H_

@@ -1,0 +1,521 @@
+// Tests for the sharded multi-worker front door: RouterCore policy units
+// (hash ring, classification, session table, backoff) plus end-to-end tests
+// that drive the real dpclustx_router + dpclustx_serve binaries over pipes —
+// including SIGKILLing workers mid-session and verifying that respawn +
+// snapshot/journal restore preserves every ε charge exactly once.
+
+#include "service/router_core.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "gtest/gtest.h"
+
+namespace dpclustx::service {
+namespace {
+
+// ---- RouterCore policy units -----------------------------------------
+
+TEST(HashRingTest, RoutingIsDeterministicAndCoversEveryNode) {
+  const std::vector<std::string> nodes = {"shard-0", "shard-1", "shard-2"};
+  HashRing ring(nodes);
+  HashRing same(nodes);
+  std::map<std::string, size_t> load;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "dataset-" + std::to_string(i);
+    const std::string& node = ring.Route(key);
+    EXPECT_EQ(node, same.Route(key)) << key;  // placement is a contract
+    load[node]++;
+  }
+  ASSERT_EQ(load.size(), 3u);  // no starved shard
+  for (const auto& [node, count] : load) {
+    EXPECT_GT(count, 100u) << node << " is badly underloaded";
+  }
+}
+
+TEST(HashRingTest, AddingANodeMovesOnlyAFractionOfKeys) {
+  HashRing three({"shard-0", "shard-1", "shard-2"});
+  HashRing four({"shard-0", "shard-1", "shard-2", "shard-3"});
+  size_t moved = 0;
+  const size_t keys = 1000;
+  for (size_t i = 0; i < keys; ++i) {
+    const std::string key = "dataset-" + std::to_string(i);
+    if (three.Route(key) != four.Route(key)) ++moved;
+  }
+  // Consistent hashing moves ~1/4 of keys on 3→4; a modulo scheme would
+  // move ~3/4. Half is a generous bound that still catches regressions.
+  EXPECT_LT(moved, keys / 2);
+  EXPECT_GT(moved, 0u);  // the new shard owns something
+}
+
+JsonValue ParseRequest(const std::string& text) {
+  StatusOr<JsonValue> parsed = JsonValue::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  return std::move(*parsed);
+}
+
+TEST(RouterCoreTest, ClassifiesEveryOpKind) {
+  RouterCore core({"shard-0", "shard-1"});
+
+  StatusOr<RouteDecision> d =
+      core.Classify(ParseRequest(R"({"op":"ping"})"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->kind, RouteKind::kBroadcast);
+
+  d = core.Classify(ParseRequest(R"({"op":"save_snapshot","path":"x"})"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->kind, RouteKind::kRefused);
+
+  d = core.Classify(ParseRequest(R"({"op":"load_dataset","name":"census"})"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->kind, RouteKind::kShard);
+  EXPECT_EQ(d->dataset, "census");
+
+  d = core.Classify(
+      ParseRequest(R"({"op":"cluster","dataset":"census","method":"k"})"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->kind, RouteKind::kShard);
+  EXPECT_EQ(d->dataset, "census");
+
+  d = core.Classify(ParseRequest(R"({"op":"frobnicate"})"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->kind, RouteKind::kUnknownOp);
+}
+
+TEST(RouterCoreTest, SessionsBindOnCreateAndUnbindOnClose) {
+  RouterCore core({"shard-0", "shard-1"});
+
+  // Before create: session-keyed ops are unroutable, deterministically.
+  StatusOr<RouteDecision> d =
+      core.Classify(ParseRequest(R"({"op":"budget","session":"alice"})"));
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
+
+  d = core.Classify(ParseRequest(
+      R"({"op":"create_session","dataset":"census","session":"alice"})"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->kind, RouteKind::kShard);
+  EXPECT_EQ(core.sessions().size(), 1u);
+
+  // Session-keyed ops now route to the dataset's shard; reads are
+  // replica-eligible, control ops are not.
+  d = core.Classify(ParseRequest(R"({"op":"budget","session":"alice"})"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->kind, RouteKind::kShard);
+  EXPECT_EQ(d->dataset, "census");
+
+  d = core.Classify(ParseRequest(
+      R"({"op":"hist","session":"alice","attribute":"a"})"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->kind, RouteKind::kReplicaRead);
+  EXPECT_EQ(d->dataset, "census");
+
+  d = core.Classify(
+      ParseRequest(R"({"op":"close_session","session":"alice"})"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->kind, RouteKind::kShard);
+  EXPECT_EQ(core.sessions().size(), 0u);
+
+  d = core.Classify(ParseRequest(R"({"op":"budget","session":"alice"})"));
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(RouterCoreTest, MissingFieldsAreInvalidArgument) {
+  RouterCore core({"shard-0"});
+  StatusOr<RouteDecision> d =
+      core.Classify(ParseRequest(R"({"op":"load_dataset"})"));
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+
+  d = core.Classify(ParseRequest(R"({"no_op":1})"));
+  ASSERT_FALSE(d.ok());
+}
+
+TEST(BackoffTest, DoublesFromBaseAndClampsAtCapWithoutOverflow) {
+  Backoff backoff;  // base 100, cap 2000
+  EXPECT_EQ(backoff.DelayMs(1), 100);
+  EXPECT_EQ(backoff.DelayMs(2), 200);
+  EXPECT_EQ(backoff.DelayMs(3), 400);
+  EXPECT_EQ(backoff.DelayMs(5), 1600);
+  EXPECT_EQ(backoff.DelayMs(6), 2000);
+  EXPECT_EQ(backoff.DelayMs(64), 2000);   // would overflow a naive shift
+  EXPECT_EQ(backoff.DelayMs(1000), 2000);
+}
+
+// ---- end-to-end: the real binaries over pipes ------------------------
+
+std::string BuildDir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  EXPECT_GT(n, 0);
+  buf[n] = '\0';
+  std::string path(buf);          // .../build/tests/router_test
+  path = path.substr(0, path.rfind('/'));  // .../build/tests
+  return path.substr(0, path.rfind('/'));  // .../build
+}
+
+std::string FreshStateDir(const std::string& name) {
+  const std::string dir =
+      ::testing::TempDir() + "/router_" + name + "_" +
+      std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  // Stale state from a previous run of the same pid is implausible but
+  // cheap to rule out.
+  for (int i = 0; i < 4; ++i) {
+    const std::string base = dir + "/shard-" + std::to_string(i);
+    ::unlink((base + ".snap").c_str());
+    ::unlink((base + ".journal").c_str());
+  }
+  return dir;
+}
+
+/// Drives a dpclustx_router child over pipes, correlating the out-of-order
+/// response stream by id.
+class RouterProcess {
+ public:
+  explicit RouterProcess(std::vector<std::string> args) {
+    int to_child[2];
+    int from_child[2];
+    EXPECT_EQ(::pipe(to_child), 0);
+    EXPECT_EQ(::pipe(from_child), 0);
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      ::dup2(to_child[0], STDIN_FILENO);
+      ::dup2(from_child[1], STDOUT_FILENO);
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      ::close(from_child[0]);
+      ::close(from_child[1]);
+      std::vector<char*> argv;
+      for (const std::string& a : args) {
+        argv.push_back(const_cast<char*>(a.c_str()));
+      }
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      ::_exit(127);
+    }
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    stdin_fd_ = to_child[1];
+    stdout_fd_ = from_child[0];
+  }
+
+  ~RouterProcess() { Stop(); }
+
+  void Stop() {
+    if (stdin_fd_ >= 0) {
+      ::close(stdin_fd_);
+      stdin_fd_ = -1;
+    }
+    if (pid_ > 0) {
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+      pid_ = -1;
+    }
+    if (stdout_fd_ >= 0) {
+      ::close(stdout_fd_);
+      stdout_fd_ = -1;
+    }
+  }
+
+  void Send(const std::string& line) {
+    const std::string payload = line + "\n";
+    ASSERT_EQ(::write(stdin_fd_, payload.data(), payload.size()),
+              static_cast<ssize_t>(payload.size()));
+  }
+
+  /// Sends `request` (which must carry the string id `id`) and blocks until
+  /// that id's response arrives. 30s deadline: a hang here is a router bug.
+  JsonValue Call(const std::string& id, const std::string& request) {
+    Send(request);
+    return WaitFor(id);
+  }
+
+  JsonValue WaitFor(const std::string& id) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (;;) {
+      auto it = received_.find(id);
+      if (it != received_.end()) {
+        JsonValue response = it->second;
+        received_.erase(it);
+        return response;
+      }
+      EXPECT_LT(std::chrono::steady_clock::now(), deadline)
+          << "no response for id '" << id << "'";
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return JsonValue::Null();
+      }
+      ReadSome();
+    }
+  }
+
+ private:
+  void ReadSome() {
+    struct pollfd pfd = {stdout_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 1000);
+    if (ready <= 0) return;
+    char chunk[4096];
+    const ssize_t n = ::read(stdout_fd_, chunk, sizeof(chunk));
+    if (n <= 0) return;
+    buffer_.append(chunk, static_cast<size_t>(n));
+    size_t pos;
+    while ((pos = buffer_.find('\n')) != std::string::npos) {
+      const std::string line = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      StatusOr<JsonValue> parsed = JsonValue::Parse(line);
+      if (!parsed.ok() || parsed->type() != JsonValue::Type::kObject ||
+          !parsed->Has("id")) {
+        continue;
+      }
+      const JsonValue& id = parsed->at("id");
+      if (id.type() != JsonValue::Type::kString) continue;
+      received_[id.AsString()] = *parsed;
+    }
+  }
+
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+  std::string buffer_;
+  std::map<std::string, JsonValue> received_;
+};
+
+void ExpectOk(const JsonValue& response) {
+  ASSERT_TRUE(response.Has("ok")) << response.Dump();
+  EXPECT_TRUE(response.at("ok").AsBool()) << response.Dump();
+}
+
+std::vector<std::string> RouterArgs(const std::string& state_dir,
+                                    const std::string& workers,
+                                    const std::string& replicas) {
+  const std::string build = BuildDir();
+  return {build + "/tools/dpclustx_router",
+          "--workers", workers,
+          "--replicas", replicas,
+          "--serve", build + "/tools/dpclustx_serve",
+          "--state-dir", state_dir,
+          "--health-interval-ms", "100",
+          "--health-deadline-ms", "2000",
+          "--health-misses", "3",
+          // Workers run --sync so each shard serves its stream in order
+          // (the test pipelines setup ops); snapshots every 100ms so a
+          // SIGKILL finds recent durable state.
+          "--", "--sync", "--snapshot-interval-ms", "100"};
+}
+
+TEST(RouterE2eTest, ShardedSessionFlowAcrossTwoWorkers) {
+  const std::string state = FreshStateDir("flow");
+  RouterProcess router(RouterArgs(state, "2", "0"));
+
+  // Two datasets: the ring may place them on the same shard or different
+  // ones — either way every dataset-keyed op must land where its data is.
+  ExpectOk(router.Call(
+      "t1",
+      R"({"op":"load_dataset","name":"d1","source":"synthetic",)"
+      R"("generator":"diabetes","rows":300,"cap_epsilon":5.0,"id":"t1"})"));
+  ExpectOk(router.Call(
+      "t2",
+      R"({"op":"load_dataset","name":"d2","source":"synthetic",)"
+      R"("generator":"diabetes","rows":300,"cap_epsilon":5.0,"id":"t2"})"));
+  ExpectOk(router.Call(
+      "t3",
+      R"({"op":"cluster","dataset":"d1","method":"k-means","k":3,"id":"t3"})"));
+  ExpectOk(router.Call(
+      "t4",
+      R"({"op":"cluster","dataset":"d2","method":"k-means","k":3,"id":"t4"})"));
+  ExpectOk(router.Call(
+      "t5",
+      R"({"op":"create_session","dataset":"d1","session":"alice",)"
+      R"("epsilon":2.0,"id":"t5"})"));
+  ExpectOk(router.Call(
+      "t6",
+      R"({"op":"create_session","dataset":"d2","session":"bob",)"
+      R"("epsilon":2.0,"id":"t6"})"));
+
+  const JsonValue hist = router.Call(
+      "t7", R"({"op":"hist","session":"alice","attribute":"diab_3",)"
+            R"("epsilon":0.1,"id":"t7"})");
+  ExpectOk(hist);
+  EXPECT_FALSE(hist.at("cache_hit").AsBool());
+
+  const JsonValue budget = router.Call(
+      "t8", R"({"op":"budget","session":"alice","id":"t8"})");
+  ExpectOk(budget);
+  EXPECT_DOUBLE_EQ(budget.at("spent").AsNumber(), 0.1);
+
+  // Broadcast: a ping fans out and returns one pong per shard.
+  const JsonValue ping = router.Call("t9", R"({"op":"ping","id":"t9"})");
+  ExpectOk(ping);
+  ASSERT_TRUE(ping.Has("workers"));
+  EXPECT_TRUE(ping.at("workers").Has("shard-0"));
+  EXPECT_TRUE(ping.at("workers").Has("shard-1"));
+
+  // Snapshot ops belong to the router, not clients.
+  const JsonValue refused = router.Call(
+      "t10", R"({"op":"save_snapshot","path":"x.snap","id":"t10"})");
+  ASSERT_FALSE(refused.at("ok").AsBool());
+  EXPECT_EQ(refused.at("error").at("code").AsString(), "FailedPrecondition");
+
+  // A session this router never saw is deterministically unroutable.
+  const JsonValue ghost = router.Call(
+      "t11", R"({"op":"budget","session":"ghost","id":"t11"})");
+  ASSERT_FALSE(ghost.at("ok").AsBool());
+  EXPECT_EQ(ghost.at("error").at("code").AsString(), "NotFound");
+}
+
+std::vector<pid_t> ShardPids(RouterProcess& router, const std::string& id) {
+  const JsonValue status =
+      router.Call(id, R"({"op":"_router_status","id":")" + id + R"("})");
+  std::vector<pid_t> pids;
+  if (!status.Has("workers")) return pids;
+  const JsonValue& workers = status.at("workers");
+  for (size_t i = 0; i < workers.size(); ++i) {
+    const JsonValue& w = workers.at(i);
+    if (w.at("role").AsString() == "shard" && w.at("alive").AsBool()) {
+      pids.push_back(static_cast<pid_t>(w.at("pid").AsNumber()));
+    }
+  }
+  return pids;
+}
+
+TEST(RouterE2eTest, SigkilledWorkersRespawnWithLedgersIntact) {
+  const std::string state = FreshStateDir("kill");
+  RouterProcess router(RouterArgs(state, "2", "0"));
+
+  ExpectOk(router.Call(
+      "s1",
+      R"({"op":"load_dataset","name":"d1","source":"synthetic",)"
+      R"("generator":"diabetes","rows":300,"cap_epsilon":5.0,"id":"s1"})"));
+  ExpectOk(router.Call(
+      "s2",
+      R"({"op":"load_dataset","name":"d2","source":"synthetic",)"
+      R"("generator":"diabetes","rows":300,"cap_epsilon":5.0,"id":"s2"})"));
+  ExpectOk(router.Call(
+      "s3",
+      R"({"op":"cluster","dataset":"d1","method":"k-means","k":3,"id":"s3"})"));
+  ExpectOk(router.Call(
+      "s4",
+      R"({"op":"cluster","dataset":"d2","method":"k-means","k":3,"id":"s4"})"));
+  ExpectOk(router.Call(
+      "s5",
+      R"({"op":"create_session","dataset":"d1","session":"alice",)"
+      R"("epsilon":2.0,"id":"s5"})"));
+  ExpectOk(router.Call(
+      "s6",
+      R"({"op":"create_session","dataset":"d2","session":"bob",)"
+      R"("epsilon":2.0,"id":"s6"})"));
+  ExpectOk(router.Call(
+      "s7", R"({"op":"hist","session":"alice","attribute":"diab_3",)"
+            R"("epsilon":0.1,"id":"s7"})"));
+  ExpectOk(router.Call(
+      "s8", R"({"op":"hist","session":"bob","attribute":"diab_5",)"
+            R"("epsilon":0.07,"id":"s8"})"));
+
+  // Let the periodic snapshot (100ms) capture the sessions, then SIGKILL
+  // every shard — the strongest crash the protocol must survive.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  const std::vector<pid_t> pids = ShardPids(router, "s9");
+  ASSERT_EQ(pids.size(), 2u);
+  for (const pid_t pid : pids) ASSERT_EQ(::kill(pid, SIGKILL), 0);
+
+  // Wait until the router reports both shards respawned with NEW pids.
+  std::vector<pid_t> fresh;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    fresh = ShardPids(router, "k" + std::to_string(attempt));
+    if (fresh.size() == 2) {
+      bool all_new = true;
+      for (const pid_t pid : fresh) {
+        for (const pid_t old : pids) all_new = all_new && pid != old;
+      }
+      if (all_new) break;
+    }
+  }
+  ASSERT_EQ(fresh.size(), 2u) << "shards never respawned";
+
+  // Restored-from-snapshot(+journal) ledgers: every pre-kill charge is
+  // there, exactly once.
+  const JsonValue alice = router.Call(
+      "v1", R"({"op":"budget","session":"alice","id":"v1"})");
+  ExpectOk(alice);
+  EXPECT_DOUBLE_EQ(alice.at("spent").AsNumber(), 0.1);
+
+  const JsonValue bob = router.Call(
+      "v2", R"({"op":"budget","session":"bob","id":"v2"})");
+  ExpectOk(bob);
+  EXPECT_DOUBLE_EQ(bob.at("spent").AsNumber(), 0.07);
+
+  // The paid-for releases survived in the restored cache: repeats are free.
+  const JsonValue repeat = router.Call(
+      "v3", R"({"op":"hist","session":"alice","attribute":"diab_3",)"
+            R"("epsilon":0.1,"id":"v3"})");
+  ExpectOk(repeat);
+  EXPECT_TRUE(repeat.at("cache_hit").AsBool());
+  EXPECT_EQ(repeat.at("epsilon_charged").AsNumber(), 0.0);
+  const JsonValue after = router.Call(
+      "v4", R"({"op":"budget","session":"alice","id":"v4"})");
+  ExpectOk(after);
+  EXPECT_DOUBLE_EQ(after.at("spent").AsNumber(), 0.1);
+}
+
+TEST(RouterE2eTest, ReplicaServesRepeatReadsAfterSync) {
+  const std::string state = FreshStateDir("replica");
+  RouterProcess router(RouterArgs(state, "1", "1"));
+
+  ExpectOk(router.Call(
+      "r1",
+      R"({"op":"load_dataset","name":"d","source":"synthetic",)"
+      R"("generator":"diabetes","rows":300,"cap_epsilon":5.0,"id":"r1"})"));
+  ExpectOk(router.Call(
+      "r2",
+      R"({"op":"cluster","dataset":"d","method":"k-means","k":3,"id":"r2"})"));
+  ExpectOk(router.Call(
+      "r3",
+      R"({"op":"create_session","dataset":"d","session":"alice",)"
+      R"("epsilon":2.0,"id":"r3"})"));
+
+  // First read: charged on the primary (the replica, whatever its state,
+  // refuses the miss and the router falls back).
+  const JsonValue first = router.Call(
+      "r4", R"({"op":"hist","session":"alice","attribute":"diab_3",)"
+            R"("epsilon":0.1,"id":"r4"})");
+  ExpectOk(first);
+  EXPECT_FALSE(first.at("cache_hit").AsBool());
+
+  // Push the charged release into the replica via snapshot sync.
+  ExpectOk(router.Call(
+      "r5", R"({"op":"_router_sync_replicas","id":"r5"})"));
+
+  // Repeat reads are now hits — served for zero ε (by the replica when it
+  // answers first, by the primary's cache on fallback; either way free and
+  // byte-identical), and the ledger must not move.
+  for (int i = 0; i < 3; ++i) {
+    const std::string id = "rr" + std::to_string(i);
+    const JsonValue repeat = router.Call(
+        id, R"({"op":"hist","session":"alice","attribute":"diab_3",)"
+            R"("epsilon":0.1,"id":")" + id + R"("})");
+    ExpectOk(repeat);
+    EXPECT_TRUE(repeat.at("cache_hit").AsBool()) << repeat.Dump();
+    EXPECT_EQ(repeat.at("epsilon_charged").AsNumber(), 0.0);
+  }
+  const JsonValue budget = router.Call(
+      "r6", R"({"op":"budget","session":"alice","id":"r6"})");
+  ExpectOk(budget);
+  EXPECT_DOUBLE_EQ(budget.at("spent").AsNumber(), 0.1);
+}
+
+}  // namespace
+}  // namespace dpclustx::service

@@ -1,0 +1,479 @@
+// Crash-recovery tests for the durable snapshot/restore path (src/snapshot +
+// ServiceEngine::SaveSnapshotToFile / RestoreFromFiles / EnableAuditJournal).
+//
+// The invariant under test is exactly-once ε accounting across a SIGKILL:
+// a charge that reached the audit journal is restored bit-for-bit (same
+// doubles, same order → same floating-point sums), a charge that didn't
+// reach it never produced a response, and every refusal path (corrupt
+// snapshot, truncated snapshot, newer format, journal gap, snapshot-less
+// journal) refuses loudly instead of rebuilding wrong ledgers.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dp/privacy_budget.h"
+#include "gtest/gtest.h"
+#include "service/service_engine.h"
+#include "snapshot/snapshot_io.h"
+
+namespace dpclustx::service {
+namespace {
+
+JsonValue Parse(const std::string& text) {
+  StatusOr<JsonValue> parsed = JsonValue::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status() << " in: " << text;
+  return std::move(*parsed);
+}
+
+JsonValue Call(ServiceEngine& engine, const std::string& request) {
+  return Parse(engine.Handle(request));
+}
+
+void ExpectOk(const JsonValue& response) {
+  ASSERT_TRUE(response.Has("ok")) << response.Dump();
+  EXPECT_TRUE(response.at("ok").AsBool()) << response.Dump();
+}
+
+void ExpectError(const JsonValue& response, const std::string& code) {
+  ASSERT_TRUE(response.Has("ok")) << response.Dump();
+  ASSERT_FALSE(response.at("ok").AsBool()) << response.Dump();
+  EXPECT_EQ(response.at("error").at("code").AsString(), code)
+      << response.Dump();
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Loads the diabetes synthetic set (cap 5.0), clusters it, and opens a
+/// session "alice" with ε = 2.0.
+void SetUpServing(ServiceEngine& engine) {
+  ExpectOk(Call(engine,
+                R"({"op":"load_dataset","name":"d","source":"synthetic",)"
+                R"("generator":"diabetes","rows":400,"seed":7,)"
+                R"("cap_epsilon":5.0})"));
+  ExpectOk(Call(engine,
+                R"({"op":"cluster","dataset":"d","method":"k-means","k":3,)"
+                R"("seed":3})"));
+  ExpectOk(Call(engine,
+                R"({"op":"create_session","dataset":"d","session":"alice",)"
+                R"("epsilon":2.0})"));
+}
+
+/// One hist release; 0.1 is inexact in binary, so repeated additions
+/// exercise the bit-for-bit replay guarantee rather than hiding behind
+/// round numbers.
+JsonValue Hist(ServiceEngine& engine, const std::string& attr,
+               double epsilon = 0.1) {
+  std::ostringstream request;
+  request << R"({"op":"hist","session":"alice","attribute":")" << attr
+          << R"(","epsilon":)" << epsilon << "}";
+  return Call(engine, request.str());
+}
+
+double SessionSpent(ServiceEngine& engine, const std::string& id) {
+  StatusOr<std::shared_ptr<ServiceSession>> session =
+      engine.sessions().Get(id);
+  EXPECT_TRUE(session.ok()) << session.status();
+  return (*session)->budget().spent_epsilon();
+}
+
+double CapSpent(ServiceEngine& engine, const std::string& dataset) {
+  StatusOr<std::shared_ptr<DatasetEntry>> entry =
+      engine.registry().Get(dataset);
+  EXPECT_TRUE(entry.ok()) << entry.status();
+  EXPECT_NE((*entry)->cap(), nullptr);
+  return (*entry)->cap()->spent_epsilon();
+}
+
+std::vector<PrivacyBudget::LedgerEntry> SessionLedger(
+    ServiceEngine& engine, const std::string& id) {
+  StatusOr<std::shared_ptr<ServiceSession>> session =
+      engine.sessions().Get(id);
+  EXPECT_TRUE(session.ok()) << session.status();
+  return (*session)->budget().ledger();
+}
+
+TEST(SnapshotTest, RoundTripRestoresEverythingBitForBit) {
+  const std::string snap = TempPath("roundtrip.snap");
+  std::remove(snap.c_str());
+
+  ServiceEngine saved;
+  SetUpServing(saved);
+  // Awkward doubles on purpose: the restored ledger must reproduce the
+  // exact floating-point sum, not an approximation of it.
+  ExpectOk(Hist(saved, "diab_3", 0.1));
+  ExpectOk(Hist(saved, "diab_5", 0.07));
+  ExpectOk(Hist(saved, "diab_7", 0.3));
+  const double spent = SessionSpent(saved, "alice");
+  const double cap_spent = CapSpent(saved, "d");
+  const std::vector<PrivacyBudget::LedgerEntry> ledger =
+      SessionLedger(saved, "alice");
+  ASSERT_TRUE(saved.SaveSnapshotToFile(snap).ok());
+
+  ServiceEngine restored;
+  StatusOr<ServiceEngine::RestoreReport> report =
+      restored.RestoreFromFiles(snap, "");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->format_version, dpclustx::snapshot::kSnapshotFormatVersion);
+  EXPECT_EQ(report->datasets, 1u);
+  EXPECT_EQ(report->sessions, 1u);
+  EXPECT_EQ(report->cache_entries, 3u);
+  EXPECT_EQ(report->replayed_records, 0u);
+
+  // Ledger equality is EXACT double equality, entry by entry.
+  EXPECT_EQ(SessionSpent(restored, "alice"), spent);
+  EXPECT_EQ(CapSpent(restored, "d"), cap_spent);
+  const std::vector<PrivacyBudget::LedgerEntry> restored_ledger =
+      SessionLedger(restored, "alice");
+  ASSERT_EQ(restored_ledger.size(), ledger.size());
+  for (size_t i = 0; i < ledger.size(); ++i) {
+    EXPECT_EQ(restored_ledger[i].epsilon, ledger[i].epsilon);
+    EXPECT_EQ(restored_ledger[i].label, ledger[i].label);
+  }
+  // Audit totals were restored and still match the ledger exactly.
+  EXPECT_EQ(restored.audit_log().TenantTotals("alice").epsilon_charged, spent);
+  EXPECT_EQ(restored.audit_log().next_seq(), saved.audit_log().next_seq());
+
+  // A repeat of a paid-for release is a cache hit: zero additional ε.
+  const JsonValue repeat = Hist(restored, "diab_3", 0.1);
+  ExpectOk(repeat);
+  EXPECT_TRUE(repeat.at("cache_hit").AsBool());
+  EXPECT_EQ(repeat.at("epsilon_charged").AsNumber(), 0.0);
+  EXPECT_EQ(SessionSpent(restored, "alice"), spent);
+}
+
+TEST(SnapshotTest, KillBetweenChargeAndResponseReplaysExactlyOnce) {
+  const std::string snap = TempPath("kill.snap");
+  const std::string journal = TempPath("kill.journal");
+  std::remove(snap.c_str());
+  std::remove(journal.c_str());
+
+  // The "worker": journaling enabled, snapshot saved BEFORE the fatal
+  // charge. The fault injector fails the request after the handler ran —
+  // the ε was charged and journaled, but no successful response ever left
+  // the engine. On-disk state is now exactly what a SIGKILL between charge
+  // and response leaves behind.
+  double spent_before_kill = 0.0;
+  double cap_before_kill = 0.0;
+  {
+    ServiceEngineOptions options;
+    options.fault_injector = [](const FaultPoint& point) {
+      if (point.point == "hist:finish" && point.request->Has("lethal")) {
+        return Status::Internal("simulated crash before response");
+      }
+      return Status::OK();
+    };
+    ServiceEngine worker(options);
+    ASSERT_TRUE(worker.EnableAuditJournal(journal).ok());
+    SetUpServing(worker);
+    ExpectOk(Hist(worker, "diab_3", 0.1));
+    ASSERT_TRUE(worker.SaveSnapshotToFile(snap).ok());
+
+    ExpectError(Call(worker,
+                     R"({"op":"hist","session":"alice","attribute":"diab_5",)"
+                     R"("epsilon":0.07,"lethal":true})"),
+                "Internal");
+    spent_before_kill = SessionSpent(worker, "alice");
+    cap_before_kill = CapSpent(worker, "d");
+    // The charge stuck even though the response was lost.
+    EXPECT_EQ(spent_before_kill, 0.1 + 0.07);
+  }
+
+  ServiceEngine recovered;
+  StatusOr<ServiceEngine::RestoreReport> report =
+      recovered.RestoreFromFiles(snap, journal);
+  ASSERT_TRUE(report.ok()) << report.status();
+  // The snapshot held the first charge; only the post-cursor one replays.
+  EXPECT_EQ(report->replayed_records, 1u);
+  EXPECT_TRUE(report->unrecovered_sessions.empty());
+
+  // Exactly-once: the replayed ledger equals the pre-kill ledger to the
+  // bit, on the session, the dataset cap, and the audit totals.
+  EXPECT_EQ(SessionSpent(recovered, "alice"), spent_before_kill);
+  EXPECT_EQ(CapSpent(recovered, "d"), cap_before_kill);
+  EXPECT_EQ(recovered.audit_log().TenantTotals("alice").epsilon_charged,
+            spent_before_kill);
+
+  // Restoring the same files again into another engine gives the same
+  // answer — replay is deterministic, not cumulative.
+  ServiceEngine again;
+  ASSERT_TRUE(again.RestoreFromFiles(snap, journal).ok());
+  EXPECT_EQ(SessionSpent(again, "alice"), spent_before_kill);
+}
+
+TEST(SnapshotTest, SnapshotlessRecoveryWithJournalIsRefused) {
+  const std::string journal = TempPath("orphan.journal");
+  std::remove(journal.c_str());
+  {
+    ServiceEngine worker;
+    ASSERT_TRUE(worker.EnableAuditJournal(journal).ok());
+    SetUpServing(worker);
+    ExpectOk(Hist(worker, "diab_3", 0.1));
+  }
+
+  ServiceEngine recovered;
+  StatusOr<ServiceEngine::RestoreReport> report =
+      recovered.RestoreFromFiles(TempPath("never-saved.snap"), journal);
+  ASSERT_FALSE(report.ok());
+  // A clear, actionable refusal — not NotFound (which means "fresh start").
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(report.status().message().find("snapshot-less"),
+            std::string::npos)
+      << report.status();
+}
+
+TEST(SnapshotTest, MissingSnapshotWithoutJournalIsNotFound) {
+  ServiceEngine engine;
+  StatusOr<ServiceEngine::RestoreReport> report =
+      engine.RestoreFromFiles(TempPath("absent.snap"),
+                              TempPath("absent.journal"));
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotTest, CorruptedSnapshotIsRejected) {
+  const std::string snap = TempPath("corrupt.snap");
+  {
+    ServiceEngine saved;
+    SetUpServing(saved);
+    ExpectOk(Hist(saved, "diab_3", 0.1));
+    ASSERT_TRUE(saved.SaveSnapshotToFile(snap).ok());
+  }
+  // Flip one byte in the middle of the file: some section's CRC now fails.
+  {
+    std::fstream file(snap, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekg(0, std::ios::end);
+    const std::streamoff size = file.tellg();
+    ASSERT_GT(size, 64);
+    file.seekp(size / 2);
+    char byte = 0;
+    file.seekg(size / 2);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0xFF);
+    file.seekp(size / 2);
+    file.write(&byte, 1);
+  }
+  ServiceEngine engine;
+  StatusOr<ServiceEngine::RestoreReport> report =
+      engine.RestoreFromFiles(snap, "");
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kIoError) << report.status();
+  // Nothing was partially applied.
+  EXPECT_EQ(engine.registry().size(), 0u);
+}
+
+TEST(SnapshotTest, TruncatedSnapshotIsRejected) {
+  const std::string snap = TempPath("truncated.snap");
+  {
+    ServiceEngine saved;
+    SetUpServing(saved);
+    ASSERT_TRUE(saved.SaveSnapshotToFile(snap).ok());
+  }
+  std::string bytes;
+  {
+    std::ifstream in(snap, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  ASSERT_GT(bytes.size(), 32u);
+  {
+    std::ofstream out(snap, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  ServiceEngine engine;
+  StatusOr<ServiceEngine::RestoreReport> report =
+      engine.RestoreFromFiles(snap, "");
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kIoError) << report.status();
+  EXPECT_EQ(engine.registry().size(), 0u);
+}
+
+TEST(SnapshotTest, NewerFormatVersionIsRefusedNotGuessed) {
+  const std::string snap = TempPath("future.snap");
+  {
+    ServiceEngine saved;
+    SetUpServing(saved);
+    ASSERT_TRUE(saved.SaveSnapshotToFile(snap).ok());
+  }
+  // Patch the u32 version field (right after the 8-byte magic) to a future
+  // format. A reader must refuse what it cannot fully understand: guessing
+  // at ledgers is how budgets get silently corrupted.
+  {
+    std::fstream file(snap, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    const uint32_t future = dpclustx::snapshot::kSnapshotFormatVersion + 7;
+    char le[4] = {static_cast<char>(future & 0xFF),
+                  static_cast<char>((future >> 8) & 0xFF),
+                  static_cast<char>((future >> 16) & 0xFF),
+                  static_cast<char>((future >> 24) & 0xFF)};
+    file.seekp(sizeof(dpclustx::snapshot::kSnapshotMagic));
+    file.write(le, 4);
+  }
+  ServiceEngine engine;
+  StatusOr<ServiceEngine::RestoreReport> report =
+      engine.RestoreFromFiles(snap, "");
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition)
+      << report.status();
+  EXPECT_NE(report.status().message().find("not supported"),
+            std::string::npos)
+      << report.status();
+}
+
+TEST(SnapshotTest, JournalGapIsRefused) {
+  const std::string snap = TempPath("gap.snap");
+  const std::string journal = TempPath("gap.journal");
+  std::remove(snap.c_str());
+  std::remove(journal.c_str());
+  {
+    ServiceEngine worker;
+    ASSERT_TRUE(worker.EnableAuditJournal(journal).ok());
+    SetUpServing(worker);
+    ASSERT_TRUE(worker.SaveSnapshotToFile(snap).ok());  // cursor = 1
+    ExpectOk(Hist(worker, "diab_3", 0.1));              // seq 1
+    ExpectOk(Hist(worker, "diab_5", 0.1));              // seq 2
+  }
+  // Drop the journal's first line: recovery now sees seq 2 where it needs
+  // seq 1 — records are missing, rebuilt ledgers would understate.
+  {
+    std::ifstream in(journal);
+    std::string first, rest, line;
+    std::getline(in, first);
+    while (std::getline(in, line)) rest += line + "\n";
+    in.close();
+    std::ofstream out(journal, std::ios::trunc);
+    out << rest;
+  }
+  ServiceEngine recovered;
+  StatusOr<ServiceEngine::RestoreReport> report =
+      recovered.RestoreFromFiles(snap, journal);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition)
+      << report.status();
+  EXPECT_NE(report.status().message().find("gap"), std::string::npos)
+      << report.status();
+}
+
+TEST(SnapshotTest, TornFinalJournalLineIsSkipped) {
+  const std::string snap = TempPath("torn.snap");
+  const std::string journal = TempPath("torn.journal");
+  std::remove(snap.c_str());
+  std::remove(journal.c_str());
+  double spent_at_seq1 = 0.0;
+  {
+    ServiceEngine worker;
+    ASSERT_TRUE(worker.EnableAuditJournal(journal).ok());
+    SetUpServing(worker);
+    ASSERT_TRUE(worker.SaveSnapshotToFile(snap).ok());
+    ExpectOk(Hist(worker, "diab_3", 0.1));
+    spent_at_seq1 = SessionSpent(worker, "alice");
+    ExpectOk(Hist(worker, "diab_5", 0.1));
+  }
+  // A SIGKILL mid-append leaves a half-written final line. Its charge never
+  // produced a response (the journal flush happens before the response), so
+  // skipping it keeps accounting consistent with what any client observed.
+  {
+    std::ifstream in(journal);
+    std::string first;
+    std::getline(in, first);
+    in.close();
+    std::ofstream out(journal, std::ios::trunc);
+    out << first << "\n" << R"({"dataset":"d","epsilon":0.1,"gra)";
+  }
+  ServiceEngine recovered;
+  StatusOr<ServiceEngine::RestoreReport> report =
+      recovered.RestoreFromFiles(snap, journal);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->replayed_records, 1u);
+  EXPECT_EQ(SessionSpent(recovered, "alice"), spent_at_seq1);
+}
+
+TEST(SnapshotTest, RestoreIntoNonEmptyEngineIsRefused) {
+  const std::string snap = TempPath("nonempty.snap");
+  {
+    ServiceEngine saved;
+    SetUpServing(saved);
+    ASSERT_TRUE(saved.SaveSnapshotToFile(snap).ok());
+  }
+  ServiceEngine busy;
+  ExpectOk(Call(busy,
+                R"({"op":"load_dataset","name":"other","source":"synthetic",)"
+                R"("generator":"diabetes","rows":200})"));
+  StatusOr<ServiceEngine::RestoreReport> report =
+      busy.RestoreFromFiles(snap, "");
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotTest, UnrecoveredSessionChargesStillHitTheDatasetCap) {
+  const std::string snap = TempPath("unrecovered.snap");
+  const std::string journal = TempPath("unrecovered.journal");
+  std::remove(snap.c_str());
+  std::remove(journal.c_str());
+  double cap_before_kill = 0.0;
+  {
+    ServiceEngine worker;
+    ASSERT_TRUE(worker.EnableAuditJournal(journal).ok());
+    SetUpServing(worker);
+    ASSERT_TRUE(worker.SaveSnapshotToFile(snap).ok());
+    // A session created AFTER the snapshot charges, then the worker dies:
+    // its ledger cannot be rebuilt (session creation is not journaled), but
+    // the dataset cap must still absorb the charge — the cap may overstate,
+    // never understate.
+    ExpectOk(Call(worker,
+                  R"({"op":"create_session","dataset":"d","session":"bob",)"
+                  R"("epsilon":1.0})"));
+    ExpectOk(Call(worker,
+                  R"({"op":"hist","session":"bob","attribute":"diab_3",)"
+                  R"("epsilon":0.1})"));
+    cap_before_kill = CapSpent(worker, "d");
+  }
+  ServiceEngine recovered;
+  StatusOr<ServiceEngine::RestoreReport> report =
+      recovered.RestoreFromFiles(snap, journal);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->unrecovered_sessions.size(), 1u);
+  EXPECT_EQ(report->unrecovered_sessions[0], "bob");
+  EXPECT_EQ(CapSpent(recovered, "d"), cap_before_kill);
+  EXPECT_FALSE(recovered.sessions().Get("bob").ok());
+}
+
+TEST(SnapshotTest, ReadOnlyReplicaServesHitsAndRefusesCharges) {
+  const std::string snap = TempPath("replica.snap");
+  {
+    ServiceEngine primary;
+    SetUpServing(primary);
+    ExpectOk(Hist(primary, "diab_3", 0.1));
+    ASSERT_TRUE(primary.SaveSnapshotToFile(snap).ok());
+  }
+  ServiceEngineOptions options;
+  options.read_only = true;
+  ServiceEngine replica(options);
+  ASSERT_TRUE(replica.RestoreFromFiles(snap, "").ok());
+
+  // The paid-for release serves from the restored cache, free.
+  const JsonValue hit = Hist(replica, "diab_3", 0.1);
+  ExpectOk(hit);
+  EXPECT_TRUE(hit.at("cache_hit").AsBool());
+  EXPECT_EQ(hit.at("epsilon_charged").AsNumber(), 0.0);
+
+  // Anything that would charge or mutate is refused, loudly.
+  ExpectError(Hist(replica, "diab_11", 0.1), "FailedPrecondition");
+  ExpectError(Call(replica,
+                   R"({"op":"load_dataset","name":"x","source":"synthetic",)"
+                   R"("generator":"diabetes","rows":100})"),
+              "FailedPrecondition");
+  ExpectError(Call(replica,
+                   R"({"op":"create_session","dataset":"d","session":"eve",)"
+                   R"("epsilon":1.0})"),
+              "FailedPrecondition");
+}
+
+}  // namespace
+}  // namespace dpclustx::service

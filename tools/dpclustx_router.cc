@@ -1,0 +1,1030 @@
+// dpclustx_router — sharded multi-worker front door for dpclustx_serve.
+//
+// Speaks the same JSON line protocol as dpclustx_serve on stdin/stdout, but
+// behind it supervises N shard workers (each a dpclustx_serve child with its
+// own snapshot + audit journal under --state-dir) and optionally R read-only
+// replicas per shard (spawned from the shard's snapshot). Datasets are
+// consistent-hashed across shards (src/service/router_core.h), so every
+// request touching a dataset or a session bound to one lands on the worker
+// whose ledgers own it.
+//
+//   client ──stdin──▶ router ──pipes──▶ shard-0 (snapshot + journal)
+//                        │              shard-1 (snapshot + journal)
+//                        │              ...
+//                        └─ explain/hist may try ─▶ replica-i.r (--read-only,
+//                           restored from shard-i's snapshot; serves cache
+//                           hits for free, refuses misses → router retries
+//                           against the primary)
+//
+// Fault handling: a health thread pings every worker on an interval with a
+// deadline; after --health-misses consecutive misses (or an EOF on the
+// worker's pipe) the worker is SIGKILLed and respawned with exponential
+// backoff. Shards restore themselves at startup from their own --snapshot
+// and --audit-journal flags, so the respawn path here is just re-exec — the
+// exactly-once ε accounting lives in the worker (DESIGN.md §11). Requests
+// in flight on a dead worker get an Internal error telling the client to
+// retry (replica reads silently retry against the primary instead).
+//
+// Flags:
+//
+//   --workers N              shard workers (default 2)
+//   --replicas R             read-only replicas per shard (default 0)
+//   --serve BIN              dpclustx_serve binary (default: next to this
+//                            executable)
+//   --state-dir DIR          where shard-i.snap / shard-i.journal live
+//                            (default ".")
+//   --vnodes N               virtual nodes per shard on the hash ring
+//                            (default 64; part of the placement contract —
+//                            keep it stable across restarts)
+//   --health-interval-ms N   ping period (default 1000)
+//   --health-deadline-ms N   ping response deadline (default 2000)
+//   --health-misses N        consecutive misses before respawn (default 3)
+//   --version                print build provenance and exit
+//   --help                   print this flag table and exit
+//   -- FLAGS...              everything after -- is appended to every
+//                            worker's command line (e.g. `-- --sync` for
+//                            scripted sessions: the protocol is pipelined,
+//                            so without --sync two requests to the same
+//                            shard may be served out of order)
+//
+// Router-level ops (handled here, never forwarded):
+//
+//   {"op":"_router_status"}          topology, worker liveness, restarts,
+//                                    bound sessions
+//   {"op":"_router_sync_replicas"}   save_snapshot on every shard, then
+//                                    respawn replicas from the fresh files
+//
+// save_snapshot / load_snapshot from clients are refused: the router owns
+// snapshot scheduling (per-shard files under --state-dir). ping / stats /
+// metrics / trace / audit broadcast to every shard and return the per-shard
+// responses under "workers".
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/status.h"
+#include "obs/build_info.h"
+#include "service/router_core.h"
+
+namespace {
+
+using dpclustx::JsonValue;
+using dpclustx::Status;
+using dpclustx::StatusCode;
+using dpclustx::StatusCodeName;
+using dpclustx::StatusOr;
+using dpclustx::service::Backoff;
+using dpclustx::service::RouteDecision;
+using dpclustx::service::RouteKind;
+using dpclustx::service::RouterCore;
+
+constexpr const char kUsage[] =
+    "usage: dpclustx_router [flags]\n"
+    "\n"
+    "  --workers N              shard workers (default 2)\n"
+    "  --replicas R             read-only replicas per shard (default 0)\n"
+    "  --serve BIN              dpclustx_serve binary (default: next to this\n"
+    "                           executable)\n"
+    "  --state-dir DIR          shard snapshot/journal directory (default .)\n"
+    "  --vnodes N               virtual nodes per shard (default 64)\n"
+    "  --health-interval-ms N   ping period (default 1000)\n"
+    "  --health-deadline-ms N   ping response deadline (default 2000)\n"
+    "  --health-misses N        consecutive misses before respawn (default 3)\n"
+    "  --version                print build provenance and exit\n"
+    "  --help                   print this flag table and exit\n"
+    "  -- FLAGS...              appended to every worker's command line\n"
+    "                           (e.g. `-- --sync` for scripted sessions)\n";
+
+std::mutex stdout_mutex;
+
+void WriteClientLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(stdout_mutex);
+  std::cout << line << "\n";
+  std::cout.flush();
+}
+
+/// Engine-shaped error response so clients see one vocabulary regardless of
+/// whether the router or a worker produced the error.
+JsonValue ErrorBody(StatusCode code, const std::string& message) {
+  JsonValue error = JsonValue::Object();
+  error.Set("code", JsonValue::String(StatusCodeName(code)));
+  error.Set("message", JsonValue::String(message));
+  JsonValue response = JsonValue::Object();
+  response.Set("ok", JsonValue::Bool(false));
+  response.Set("error", std::move(error));
+  return response;
+}
+
+void RespondError(StatusCode code, const std::string& message,
+                  bool has_id, const JsonValue& id) {
+  JsonValue response = ErrorBody(code, message);
+  if (has_id) response.Set("id", id);
+  WriteClientLine(response.Dump());
+}
+
+/// One in-flight forwarded request. kInternal entries (health pings, admin
+/// snapshot saves) complete a condition-variable wait instead of writing to
+/// the client.
+struct PendingEntry {
+  enum class Kind { kSingle, kBroadcast, kInternal };
+  Kind kind = Kind::kSingle;
+
+  bool has_client_id = false;
+  JsonValue client_id;
+
+  std::string worker;        // who currently owes the response
+  std::string request_line;  // rewritten line (router id), for fallback
+  std::string dataset;       // kSingle: owning dataset, "" for unknown-op
+  bool on_replica = false;   // kSingle: true while a replica is trying
+
+  size_t awaiting = 0;       // kBroadcast: responses still outstanding
+  JsonValue merged = JsonValue::Object();
+
+  bool done = false;         // kInternal
+  std::string response_line;
+};
+
+struct WorkerProc {
+  std::string name;            // "shard-0" / "replica-0.1"
+  std::vector<std::string> args;
+  size_t shard = 0;            // owning shard index (== own index for shards)
+  bool replica = false;
+
+  std::mutex write_mutex;      // serializes writes into the worker's stdin
+  int stdin_fd = -1;
+  pid_t pid = -1;
+  std::thread reader;
+  std::atomic<bool> alive{false};
+  std::atomic<uint64_t> restarts{0};  // crash respawns (not deliberate ones)
+  int misses = 0;              // consecutive health-check misses
+};
+
+class Router {
+ public:
+  Router(std::string serve_bin, std::string state_dir, size_t num_shards,
+         size_t replicas_per_shard, size_t vnodes, int64_t health_interval_ms,
+         int64_t health_deadline_ms, int health_misses,
+         std::vector<std::string> worker_extra_args)
+      : core_(ShardNames(num_shards), vnodes),
+        serve_bin_(std::move(serve_bin)),
+        state_dir_(std::move(state_dir)),
+        health_interval_ms_(health_interval_ms),
+        health_deadline_ms_(health_deadline_ms),
+        health_misses_(health_misses) {
+    for (size_t i = 0; i < num_shards; ++i) {
+      auto w = std::make_unique<WorkerProc>();
+      w->name = "shard-" + std::to_string(i);
+      w->shard = i;
+      w->args = {serve_bin_,
+                 "--snapshot", SnapshotPath(i),
+                 "--audit-journal", state_dir_ + "/shard-" +
+                     std::to_string(i) + ".journal"};
+      w->args.insert(w->args.end(), worker_extra_args.begin(),
+                     worker_extra_args.end());
+      workers_.push_back(std::move(w));
+    }
+    for (size_t i = 0; i < num_shards; ++i) {
+      for (size_t r = 0; r < replicas_per_shard; ++r) {
+        auto w = std::make_unique<WorkerProc>();
+        w->name = "replica-" + std::to_string(i) + "." + std::to_string(r);
+        w->shard = i;
+        w->replica = true;
+        // Replicas restore from the shard's snapshot but never journal or
+        // save: they are disposable caches, refreshed by respawning
+        // (_router_sync_replicas).
+        w->args = {serve_bin_, "--read-only", "--snapshot", SnapshotPath(i)};
+        w->args.insert(w->args.end(), worker_extra_args.begin(),
+                       worker_extra_args.end());
+        workers_.push_back(std::move(w));
+      }
+    }
+    num_shards_ = num_shards;
+  }
+
+  void Start() {
+    EnsureStateDir();
+    for (auto& w : workers_) Spawn(*w);
+    health_thread_ = std::thread([this] { HealthLoop(); });
+  }
+
+  void ServeStdin() {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      HandleClientLine(line);
+    }
+  }
+
+  void Shutdown() {
+    // Drain first: a replica fallback still in flight needs the primary's
+    // pipe to stay open until its response lands. Ten seconds bounds the
+    // wait if a worker is wedged; its entries then fail via FailWorkerPending
+    // when the pipe closes below.
+    {
+      std::unique_lock<std::mutex> lock(pending_mutex_);
+      pending_cv_.wait_for(lock, std::chrono::seconds(10),
+                           [this] { return pending_.empty(); });
+    }
+    {
+      std::lock_guard<std::mutex> lock(health_mutex_);
+      shutting_down_ = true;
+    }
+    health_cv_.notify_all();
+    health_thread_.join();
+    // Closing a worker's stdin makes it drain, snapshot, and exit 0.
+    for (auto& w : workers_) {
+      std::lock_guard<std::mutex> lock(w->write_mutex);
+      if (w->stdin_fd >= 0) {
+        ::close(w->stdin_fd);
+        w->stdin_fd = -1;
+      }
+    }
+    for (auto& w : workers_) {
+      if (w->pid > 0) ::waitpid(w->pid, nullptr, 0);
+      if (w->reader.joinable()) w->reader.join();
+    }
+  }
+
+ private:
+  static std::vector<std::string> ShardNames(size_t n) {
+    std::vector<std::string> names;
+    names.reserve(n);
+    for (size_t i = 0; i < n; ++i) names.push_back("shard-" + std::to_string(i));
+    return names;
+  }
+
+  std::string SnapshotPath(size_t shard) const {
+    return state_dir_ + "/shard-" + std::to_string(shard) + ".snap";
+  }
+
+  // Workers refuse to start if their journal path is unwritable, so a
+  // missing --state-dir would look like an instant crash loop. mkdir -p.
+  void EnsureStateDir() const {
+    std::string partial;
+    for (size_t i = 0; i <= state_dir_.size(); ++i) {
+      if (i < state_dir_.size() && state_dir_[i] != '/') {
+        partial += state_dir_[i];
+        continue;
+      }
+      if (!partial.empty() && partial != ".") {
+        ::mkdir(partial.c_str(), 0755);  // EEXIST is fine
+      }
+      if (i < state_dir_.size()) partial += '/';
+    }
+    struct stat st;
+    DPX_CHECK(::stat(state_dir_.c_str(), &st) == 0 && S_ISDIR(st.st_mode))
+        << "--state-dir '" << state_dir_ << "' cannot be created";
+  }
+
+  WorkerProc* FindWorker(const std::string& name) {
+    for (auto& w : workers_) {
+      if (w->name == name) return w.get();
+    }
+    return nullptr;
+  }
+
+  WorkerProc* ShardWorker(const std::string& shard_name) {
+    return FindWorker(shard_name);
+  }
+
+  /// An alive replica of `shard`, round-robin; nullptr when none.
+  WorkerProc* PickReplica(size_t shard) {
+    std::vector<WorkerProc*> candidates;
+    for (auto& w : workers_) {
+      if (w->replica && w->shard == shard && w->alive.load()) {
+        candidates.push_back(w.get());
+      }
+    }
+    if (candidates.empty()) return nullptr;
+    return candidates[replica_rr_.fetch_add(1) % candidates.size()];
+  }
+
+  // ---- process plumbing ----------------------------------------------
+
+  void Spawn(WorkerProc& w) {
+    int to_child[2];
+    int from_child[2];
+    DPX_CHECK(::pipe(to_child) == 0 && ::pipe(from_child) == 0)
+        << "pipe: " << std::strerror(errno);
+    const pid_t pid = ::fork();
+    DPX_CHECK(pid >= 0) << "fork: " << std::strerror(errno);
+    if (pid == 0) {
+      ::dup2(to_child[0], STDIN_FILENO);
+      ::dup2(from_child[1], STDOUT_FILENO);
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      ::close(from_child[0]);
+      ::close(from_child[1]);
+      std::vector<char*> argv;
+      argv.reserve(w.args.size() + 1);
+      for (const std::string& a : w.args) {
+        argv.push_back(const_cast<char*>(a.c_str()));
+      }
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      std::cerr << "execv " << w.args[0] << ": " << std::strerror(errno)
+                << "\n";
+      ::_exit(127);
+    }
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    {
+      std::lock_guard<std::mutex> lock(w.write_mutex);
+      w.stdin_fd = to_child[1];
+    }
+    w.pid = pid;
+    w.misses = 0;
+    w.alive.store(true);
+    w.reader = std::thread([this, &w, fd = from_child[0]] {
+      ReaderLoop(w, fd);
+    });
+  }
+
+  /// Reads the worker's stdout line by line until EOF (worker exit or
+  /// crash), dispatching each response, then fails what the worker still
+  /// owed so clients are never left hanging.
+  void ReaderLoop(WorkerProc& w, int fd) {
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<size_t>(n));
+      size_t pos;
+      while ((pos = buffer.find('\n')) != std::string::npos) {
+        std::string line = buffer.substr(0, pos);
+        buffer.erase(0, pos + 1);
+        if (!line.empty()) HandleWorkerLine(w, line);
+      }
+    }
+    ::close(fd);
+    w.alive.store(false);
+    FailWorkerPending(w.name);
+  }
+
+  /// Writes one protocol line into the worker. False when the worker's pipe
+  /// is gone (caller decides: error out or fall back).
+  bool WriteToWorker(WorkerProc& w, const std::string& line) {
+    std::lock_guard<std::mutex> lock(w.write_mutex);
+    if (w.stdin_fd < 0 || !w.alive.load()) return false;
+    const std::string payload = line + "\n";
+    size_t off = 0;
+    while (off < payload.size()) {
+      const ssize_t n =
+          ::write(w.stdin_fd, payload.data() + off, payload.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;  // EPIPE etc. — the health loop will respawn it
+      }
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  // ---- response plumbing ---------------------------------------------
+
+  void HandleWorkerLine(WorkerProc& w, const std::string& line) {
+    StatusOr<JsonValue> parsed = JsonValue::Parse(line);
+    if (!parsed.ok() || parsed->type() != JsonValue::Type::kObject ||
+        !parsed->Has("id") ||
+        parsed->at("id").type() != JsonValue::Type::kString) {
+      // Every line we send carries a string router id; anything else is a
+      // stray (e.g. a response to a request from a previous incarnation).
+      return;
+    }
+    const std::string rid = parsed->at("id").AsString();
+
+    std::string retry_line;      // replica miss → re-send to this primary
+    WorkerProc* retry_worker = nullptr;
+    std::shared_ptr<PendingEntry> retry_entry;
+
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      auto it = pending_.find(rid);
+      if (it == pending_.end()) return;
+      std::shared_ptr<PendingEntry> entry = it->second;
+      switch (entry->kind) {
+        case PendingEntry::Kind::kInternal:
+          entry->response_line = line;
+          entry->done = true;
+          pending_.erase(it);
+          break;
+        case PendingEntry::Kind::kBroadcast: {
+          JsonValue piece = *parsed;
+          piece.Remove("id");
+          entry->merged.Set(w.name, std::move(piece));
+          if (--entry->awaiting == 0) {
+            JsonValue response = JsonValue::Object();
+            response.Set("ok", JsonValue::Bool(true));
+            response.Set("workers", entry->merged);
+            if (entry->has_client_id) response.Set("id", entry->client_id);
+            WriteClientLine(response.Dump());
+            pending_.erase(it);
+          }
+          break;
+        }
+        case PendingEntry::Kind::kSingle: {
+          if (entry->on_replica && ReplicaRefusal(*parsed)) {
+            // The replica's cache had no hit (or its snapshot predates the
+            // session): retry the identical line against the primary.
+            WorkerProc* primary =
+                ShardWorker(core_.ShardFor(entry->dataset));
+            if (primary != nullptr) {
+              entry->on_replica = false;
+              entry->worker = primary->name;
+              retry_line = entry->request_line;
+              retry_worker = primary;
+              retry_entry = entry;
+              break;  // keep the pending entry; response comes from primary
+            }
+          }
+          JsonValue response = *parsed;
+          if (entry->has_client_id) {
+            response.Set("id", entry->client_id);
+          } else {
+            response.Remove("id");
+          }
+          WriteClientLine(response.Dump());
+          pending_.erase(it);
+          break;
+        }
+      }
+    }
+    pending_cv_.notify_all();
+
+    if (retry_worker != nullptr && !WriteToWorker(*retry_worker, retry_line)) {
+      FinishWithError(retry_entry->has_client_id ? &retry_entry->client_id
+                                                 : nullptr,
+                      rid, "primary '" + retry_worker->name +
+                               "' is down; retry once it respawns");
+    }
+  }
+
+  /// True when a worker response is the read-only / unknown-state refusal a
+  /// replica emits on a cache miss — the signal to fall back to the primary.
+  static bool ReplicaRefusal(const JsonValue& response) {
+    if (!response.Has("ok") ||
+        response.at("ok").type() != JsonValue::Type::kBool ||
+        response.at("ok").AsBool()) {
+      return false;
+    }
+    if (!response.Has("error") ||
+        response.at("error").type() != JsonValue::Type::kObject) {
+      return false;
+    }
+    const JsonValue& error = response.at("error");
+    if (!error.Has("code") ||
+        error.at("code").type() != JsonValue::Type::kString) {
+      return false;
+    }
+    const std::string& code = error.at("code").AsString();
+    return code == StatusCodeName(StatusCode::kFailedPrecondition) ||
+           code == StatusCodeName(StatusCode::kNotFound);
+  }
+
+  /// Resolves (erases) a pending id with a router-generated error.
+  void FinishWithError(const JsonValue* client_id, const std::string& rid,
+                       const std::string& message) {
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      pending_.erase(rid);
+    }
+    JsonValue response = ErrorBody(StatusCode::kInternal, message);
+    if (client_id != nullptr) response.Set("id", *client_id);
+    WriteClientLine(response.Dump());
+  }
+
+  /// Called when `worker` died: every request it still owed is either
+  /// retried (replica reads move to the primary) or failed with a retryable
+  /// error. The worker's own snapshot+journal restore makes the retry safe:
+  /// a charge that reached the journal is restored, its response re-served
+  /// from the cache for zero ε.
+  void FailWorkerPending(const std::string& worker) {
+    struct Retry {
+      std::string line;
+      WorkerProc* target;
+      std::string rid;
+      std::shared_ptr<PendingEntry> entry;
+    };
+    std::vector<Retry> retries;
+    std::vector<std::string> failed_lines;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      for (auto it = pending_.begin(); it != pending_.end();) {
+        std::shared_ptr<PendingEntry> entry = it->second;
+        if (entry->kind == PendingEntry::Kind::kBroadcast) {
+          // Broadcasts owe one slot per shard; a dead shard contributes an
+          // error object instead of blocking the merge forever. The
+          // merged.Has check keeps this idempotent if the death is
+          // reported twice.
+          if (!entry->merged.Has(worker) && entry->awaiting > 0) {
+            entry->merged.Set(
+                worker, ErrorBody(StatusCode::kInternal,
+                                  "worker died before responding"));
+            if (--entry->awaiting == 0) {
+              JsonValue response = JsonValue::Object();
+              response.Set("ok", JsonValue::Bool(true));
+              response.Set("workers", entry->merged);
+              if (entry->has_client_id) response.Set("id", entry->client_id);
+              failed_lines.push_back(response.Dump());
+              it = pending_.erase(it);
+              continue;
+            }
+          }
+          ++it;
+          continue;
+        }
+        if (entry->worker != worker) {
+          ++it;
+          continue;
+        }
+        if (entry->kind == PendingEntry::Kind::kInternal) {
+          entry->done = true;  // empty response_line signals failure
+          it = pending_.erase(it);
+          continue;
+        }
+        if (entry->on_replica) {
+          WorkerProc* primary = ShardWorker(core_.ShardFor(entry->dataset));
+          if (primary != nullptr) {
+            entry->on_replica = false;
+            entry->worker = primary->name;
+            retries.push_back({entry->request_line, primary, it->first, entry});
+            ++it;
+            continue;
+          }
+        }
+        JsonValue response = ErrorBody(
+            StatusCode::kInternal,
+            "worker '" + worker +
+                "' died mid-request; it will be respawned and restored "
+                "from its snapshot and audit journal — retry (a charge "
+                "that was journaled re-serves from the cache for zero "
+                "ε)");
+        if (entry->has_client_id) response.Set("id", entry->client_id);
+        failed_lines.push_back(response.Dump());
+        it = pending_.erase(it);
+      }
+    }
+    pending_cv_.notify_all();
+    for (const std::string& line : failed_lines) WriteClientLine(line);
+    for (Retry& retry : retries) {
+      if (!WriteToWorker(*retry.target, retry.line)) {
+        FinishWithError(retry.entry->has_client_id ? &retry.entry->client_id
+                                                   : nullptr,
+                        retry.rid,
+                        "primary '" + retry.target->name +
+                            "' is down; retry once it respawns");
+      }
+    }
+  }
+
+  // ---- health + respawn ----------------------------------------------
+
+  void HealthLoop() {
+    std::unique_lock<std::mutex> lock(health_mutex_);
+    while (!shutting_down_) {
+      health_cv_.wait_for(lock,
+                          std::chrono::milliseconds(health_interval_ms_),
+                          [this] { return shutting_down_.load(); });
+      if (shutting_down_) return;
+      lock.unlock();
+      for (auto& w : workers_) {
+        if (shutting_down_) break;
+        if (!w->alive.load()) {
+          RespawnCrashed(*w);
+          continue;
+        }
+        if (PingWorker(*w)) {
+          w->misses = 0;
+        } else if (++w->misses >= health_misses_) {
+          std::cerr << "[router] " << w->name << " missed " << w->misses
+                    << " health checks; killing\n";
+          ::kill(w->pid, SIGKILL);
+          ::waitpid(w->pid, nullptr, 0);
+          w->pid = -1;
+          // The reader thread sees EOF, marks it dead, and fails its
+          // pending work; the next health tick respawns it.
+        }
+      }
+      lock.lock();
+    }
+  }
+
+  /// One ping round-trip with a deadline. True on a timely response.
+  bool PingWorker(WorkerProc& w) {
+    const std::string rid = "hc-" + std::to_string(next_id_.fetch_add(1));
+    auto entry = std::make_shared<PendingEntry>();
+    entry->kind = PendingEntry::Kind::kInternal;
+    entry->worker = w.name;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      pending_[rid] = entry;
+    }
+    JsonValue ping = JsonValue::Object();
+    ping.Set("op", JsonValue::String("ping"));
+    ping.Set("id", JsonValue::String(rid));
+    if (!WriteToWorker(w, ping.Dump())) {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      pending_.erase(rid);
+      return false;
+    }
+    std::unique_lock<std::mutex> lock(pending_mutex_);
+    const bool responded = pending_cv_.wait_for(
+        lock, std::chrono::milliseconds(health_deadline_ms_),
+        [&entry] { return entry->done; });
+    pending_.erase(rid);
+    return responded && !entry->response_line.empty();
+  }
+
+  void RespawnCrashed(WorkerProc& w) {
+    std::lock_guard<std::mutex> lock(restart_mutex_);
+    if (w.alive.load()) return;  // raced with another respawn
+    if (w.pid > 0) {
+      ::kill(w.pid, SIGKILL);
+      ::waitpid(w.pid, nullptr, 0);
+      w.pid = -1;
+    }
+    {
+      std::lock_guard<std::mutex> wlock(w.write_mutex);
+      if (w.stdin_fd >= 0) {
+        ::close(w.stdin_fd);
+        w.stdin_fd = -1;
+      }
+    }
+    if (w.reader.joinable()) w.reader.join();
+    const uint64_t attempt = w.restarts.fetch_add(1) + 1;
+    const int64_t delay = backoff_.DelayMs(attempt);
+    std::cerr << "[router] respawning " << w.name << " (attempt " << attempt
+              << ", backoff " << delay << "ms)\n";
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    Spawn(w);
+  }
+
+  /// Kill + respawn without counting it as a crash and without backoff —
+  /// used to refresh replicas from a newly saved shard snapshot.
+  void RespawnDeliberately(WorkerProc& w) {
+    std::lock_guard<std::mutex> lock(restart_mutex_);
+    if (w.pid > 0) {
+      ::kill(w.pid, SIGKILL);
+      ::waitpid(w.pid, nullptr, 0);
+      w.pid = -1;
+    }
+    w.alive.store(false);
+    {
+      std::lock_guard<std::mutex> wlock(w.write_mutex);
+      if (w.stdin_fd >= 0) {
+        ::close(w.stdin_fd);
+        w.stdin_fd = -1;
+      }
+    }
+    if (w.reader.joinable()) w.reader.join();
+    Spawn(w);
+  }
+
+  // ---- request handling ----------------------------------------------
+
+  void HandleClientLine(const std::string& line) {
+    StatusOr<JsonValue> parsed = JsonValue::Parse(line);
+    if (!parsed.ok() || parsed->type() != JsonValue::Type::kObject) {
+      RespondError(StatusCode::kInvalidArgument,
+                   "request is not a JSON object: " +
+                       parsed.status().message(),
+                   false, JsonValue::Null());
+      return;
+    }
+    const bool has_id = parsed->Has("id");
+    const JsonValue client_id = has_id ? parsed->at("id") : JsonValue::Null();
+
+    if (parsed->Has("op") &&
+        parsed->at("op").type() == JsonValue::Type::kString) {
+      const std::string& op = parsed->at("op").AsString();
+      if (op == "_router_status") {
+        RespondStatus(has_id, client_id);
+        return;
+      }
+      if (op == "_router_sync_replicas") {
+        SyncReplicas(has_id, client_id);
+        return;
+      }
+    }
+
+    StatusOr<RouteDecision> decision = core_.Classify(*parsed);
+    if (!decision.ok()) {
+      RespondError(decision.status().code(), decision.status().message(),
+                   has_id, client_id);
+      return;
+    }
+
+    switch (decision->kind) {
+      case RouteKind::kRefused:
+        RespondError(
+            StatusCode::kFailedPrecondition,
+            "the router manages snapshots: each shard saves to its own file "
+            "under --state-dir (use _router_sync_replicas to refresh "
+            "replicas)",
+            has_id, client_id);
+        return;
+      case RouteKind::kBroadcast:
+        ForwardBroadcast(*parsed, has_id, client_id);
+        return;
+      case RouteKind::kShard:
+      case RouteKind::kReplicaRead:
+      case RouteKind::kUnknownOp:
+        ForwardSingle(*parsed, *decision, has_id, client_id);
+        return;
+    }
+  }
+
+  void ForwardSingle(JsonValue request, const RouteDecision& decision,
+                     bool has_id, const JsonValue& client_id) {
+    WorkerProc* primary = nullptr;
+    if (decision.kind == RouteKind::kUnknownOp) {
+      // Forwarded so the engine produces its canonical unknown-op error.
+      primary = workers_[0].get();
+    } else {
+      primary = ShardWorker(core_.ShardFor(decision.dataset));
+    }
+    DPX_CHECK(primary != nullptr);
+
+    WorkerProc* target = primary;
+    bool on_replica = false;
+    if (decision.kind == RouteKind::kReplicaRead) {
+      WorkerProc* replica = PickReplica(primary->shard);
+      if (replica != nullptr) {
+        target = replica;
+        on_replica = true;
+      }
+    }
+
+    const std::string rid = "r" + std::to_string(next_id_.fetch_add(1));
+    request.Set("id", JsonValue::String(rid));
+    const std::string forwarded = request.Dump();
+
+    auto entry = std::make_shared<PendingEntry>();
+    entry->kind = PendingEntry::Kind::kSingle;
+    entry->has_client_id = has_id;
+    entry->client_id = client_id;
+    entry->worker = target->name;
+    entry->request_line = forwarded;
+    entry->dataset = decision.dataset;
+    entry->on_replica = on_replica;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      pending_[rid] = entry;
+    }
+
+    if (WriteToWorker(*target, forwarded)) return;
+    if (on_replica && WriteToWorker(*primary, forwarded)) {
+      // Replica pipe was gone; the primary took it directly.
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      entry->on_replica = false;
+      entry->worker = primary->name;
+      return;
+    }
+    FinishWithError(has_id ? &client_id : nullptr, rid,
+                    "worker '" + primary->name +
+                        "' is down; retry once it respawns");
+  }
+
+  void ForwardBroadcast(JsonValue request, bool has_id,
+                        const JsonValue& client_id) {
+    std::vector<WorkerProc*> shards;
+    for (auto& w : workers_) {
+      if (!w->replica) shards.push_back(w.get());
+    }
+    const std::string rid = "r" + std::to_string(next_id_.fetch_add(1));
+    request.Set("id", JsonValue::String(rid));
+    const std::string forwarded = request.Dump();
+
+    auto entry = std::make_shared<PendingEntry>();
+    entry->kind = PendingEntry::Kind::kBroadcast;
+    entry->has_client_id = has_id;
+    entry->client_id = client_id;
+    entry->awaiting = shards.size();
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      pending_[rid] = entry;
+    }
+    for (WorkerProc* shard : shards) {
+      if (WriteToWorker(*shard, forwarded)) continue;
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      if (pending_.count(rid) == 0) continue;
+      entry->merged.Set(shard->name,
+                        ErrorBody(StatusCode::kInternal,
+                                  "worker is down; respawn pending"));
+      if (--entry->awaiting == 0) {
+        JsonValue response = JsonValue::Object();
+        response.Set("ok", JsonValue::Bool(true));
+        response.Set("workers", entry->merged);
+        if (has_id) response.Set("id", client_id);
+        WriteClientLine(response.Dump());
+        pending_.erase(rid);
+      }
+    }
+  }
+
+  void RespondStatus(bool has_id, const JsonValue& client_id) {
+    JsonValue workers = JsonValue::Array();
+    for (auto& w : workers_) {
+      JsonValue entry = JsonValue::Object();
+      entry.Set("name", JsonValue::String(w->name));
+      entry.Set("role", JsonValue::String(w->replica ? "replica" : "shard"));
+      entry.Set("shard", JsonValue::Number(static_cast<double>(w->shard)));
+      entry.Set("alive", JsonValue::Bool(w->alive.load()));
+      entry.Set("pid", JsonValue::Number(static_cast<double>(w->pid)));
+      entry.Set("restarts",
+                JsonValue::Number(static_cast<double>(w->restarts.load())));
+      workers.Append(std::move(entry));
+    }
+    JsonValue response = JsonValue::Object();
+    response.Set("ok", JsonValue::Bool(true));
+    response.Set("workers", std::move(workers));
+    response.Set("shards", JsonValue::Number(static_cast<double>(num_shards_)));
+    response.Set("bound_sessions",
+                 JsonValue::Number(
+                     static_cast<double>(core_.sessions().size())));
+    response.Set("state_dir", JsonValue::String(state_dir_));
+    if (has_id) response.Set("id", client_id);
+    WriteClientLine(response.Dump());
+  }
+
+  /// save_snapshot on every shard (synchronously, so the files are complete
+  /// before any replica reads them), then respawn every replica from the
+  /// fresh snapshots. Deterministic replica refresh for tests and benches.
+  void SyncReplicas(bool has_id, const JsonValue& client_id) {
+    size_t saved = 0;
+    for (size_t i = 0; i < num_shards_; ++i) {
+      WorkerProc* shard = workers_[i].get();
+      if (!shard->alive.load()) continue;
+      const std::string rid = "hc-" + std::to_string(next_id_.fetch_add(1));
+      auto entry = std::make_shared<PendingEntry>();
+      entry->kind = PendingEntry::Kind::kInternal;
+      entry->worker = shard->name;
+      {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        pending_[rid] = entry;
+      }
+      JsonValue save = JsonValue::Object();
+      save.Set("op", JsonValue::String("save_snapshot"));
+      save.Set("path", JsonValue::String(SnapshotPath(i)));
+      save.Set("id", JsonValue::String(rid));
+      if (!WriteToWorker(*shard, save.Dump())) {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        pending_.erase(rid);
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(pending_mutex_);
+      const bool responded =
+          pending_cv_.wait_for(lock, std::chrono::milliseconds(10000),
+                               [&entry] { return entry->done; });
+      pending_.erase(rid);
+      if (responded && !entry->response_line.empty()) ++saved;
+    }
+    size_t respawned = 0;
+    for (auto& w : workers_) {
+      if (!w->replica) continue;
+      RespawnDeliberately(*w);
+      ++respawned;
+    }
+    JsonValue response = JsonValue::Object();
+    response.Set("ok", JsonValue::Bool(true));
+    response.Set("synced_shards", JsonValue::Number(static_cast<double>(saved)));
+    response.Set("respawned_replicas",
+                 JsonValue::Number(static_cast<double>(respawned)));
+    if (has_id) response.Set("id", client_id);
+    WriteClientLine(response.Dump());
+  }
+
+  RouterCore core_;
+  std::string serve_bin_;
+  std::string state_dir_;
+  size_t num_shards_ = 0;
+  std::vector<std::unique_ptr<WorkerProc>> workers_;  // shards first
+
+  std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;
+  std::map<std::string, std::shared_ptr<PendingEntry>> pending_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> replica_rr_{0};
+
+  Backoff backoff_;
+  std::mutex restart_mutex_;
+  std::mutex health_mutex_;
+  std::condition_variable health_cv_;
+  std::atomic<bool> shutting_down_{false};
+  std::thread health_thread_;
+  int64_t health_interval_ms_;
+  int64_t health_deadline_ms_;
+  int health_misses_;
+};
+
+std::string DefaultServeBinary() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "dpclustx_serve";
+  buf[n] = '\0';
+  std::string path(buf);
+  const size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return "dpclustx_serve";
+  return path.substr(0, slash) + "/dpclustx_serve";
+}
+
+bool ParseSizeFlag(int argc, char** argv, int* i, const char* name,
+                   size_t* out) {
+  if (std::strcmp(argv[*i], name) != 0) return false;
+  if (*i + 1 >= argc) {
+    std::cerr << name << " needs a value\n";
+    std::exit(2);
+  }
+  *out = static_cast<size_t>(std::stoull(argv[++*i]));
+  return true;
+}
+
+bool ParseStringFlag(int argc, char** argv, int* i, const char* name,
+                     std::string* out) {
+  if (std::strcmp(argv[*i], name) != 0) return false;
+  if (*i + 1 >= argc) {
+    std::cerr << name << " needs a value\n";
+    std::exit(2);
+  }
+  *out = argv[++*i];
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t num_workers = 2;
+  size_t replicas = 0;
+  size_t vnodes = 64;
+  size_t health_interval_ms = 1000;
+  size_t health_deadline_ms = 2000;
+  size_t health_misses = 3;
+  std::string serve_bin = DefaultServeBinary();
+  std::string state_dir = ".";
+  std::vector<std::string> worker_extra_args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--") == 0) {
+      for (int j = i + 1; j < argc; ++j) worker_extra_args.push_back(argv[j]);
+      break;
+    }
+    if (ParseSizeFlag(argc, argv, &i, "--workers", &num_workers) ||
+        ParseSizeFlag(argc, argv, &i, "--replicas", &replicas) ||
+        ParseSizeFlag(argc, argv, &i, "--vnodes", &vnodes) ||
+        ParseSizeFlag(argc, argv, &i, "--health-interval-ms",
+                      &health_interval_ms) ||
+        ParseSizeFlag(argc, argv, &i, "--health-deadline-ms",
+                      &health_deadline_ms) ||
+        ParseSizeFlag(argc, argv, &i, "--health-misses", &health_misses) ||
+        ParseStringFlag(argc, argv, &i, "--serve", &serve_bin) ||
+        ParseStringFlag(argc, argv, &i, "--state-dir", &state_dir)) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::cout << dpclustx::obs::BuildInfoVersionLine() << "\n";
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << kUsage;
+      return 0;
+    }
+    std::cerr << "unknown flag '" << argv[i] << "'\n" << kUsage;
+    return 2;
+  }
+  if (num_workers == 0) {
+    std::cerr << "--workers must be at least 1\n";
+    return 2;
+  }
+  if (vnodes == 0) vnodes = 1;
+
+  // A worker dying while we write to its pipe must surface as EPIPE (we
+  // respawn it), not kill the router.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  Router router(serve_bin, state_dir, num_workers, replicas, vnodes,
+                static_cast<int64_t>(health_interval_ms),
+                static_cast<int64_t>(health_deadline_ms),
+                static_cast<int>(health_misses),
+                std::move(worker_extra_args));
+  router.Start();
+  router.ServeStdin();
+  router.Shutdown();
+  return 0;
+}

@@ -7,48 +7,70 @@
 // is answered immediately with a ResourceExhausted error instead of
 // blocking the reader (backpressure is explicit, never silent).
 //
-// Usage:
-//   dpclustx_serve [--threads N] [--queue N] [--cache N] [--deadline-ms N]
-//                  [--sync] [--trace-all] [--metrics-dump FILE]
-//                  [--metrics-interval-ms N] [--version]
+// Durability (DESIGN.md §11): with --snapshot the worker restores its hot
+// state (datasets, session ledgers, release cache, audit cursor) at startup
+// and saves it periodically and at shutdown; with --audit-journal every ε
+// charge/denial is appended and flushed to a JSONL write-ahead log before
+// its response leaves the process, so restore + journal replay puts every
+// observable charge back exactly once after a SIGKILL. A restore error
+// other than "no snapshot yet" refuses to serve — wrong ledgers are worse
+// than downtime.
 //
-//   --threads N      worker threads (default 4)
-//   --queue N        pending-request bound (default 256)
-//   --cache N        explanation-cache entries (default 1024)
-//   --deadline-ms N  default per-request deadline in milliseconds, counted
-//                    from enqueue; requests may override with their own
-//                    "deadline_ms" field (default 0 = none)
-//   --sync           serve each request on the reader thread, in order
-//                    (for deterministic scripted sessions)
-//   --trace-all      trace every request into the engine's trace ring
-//                    (retrieve with the "trace" op)
-//   --metrics-dump FILE
-//                    periodically write the Prometheus text exposition to
-//                    FILE (atomic tmp+rename, so a scraper never sees a
-//                    partial file); also written once at shutdown
-//   --metrics-interval-ms N
-//                    dump period in milliseconds (default 5000)
-//   --version        print build provenance and exit
+// The flag table below is the single reference (printed by --help and
+// mirrored in README.md "Serving flags"):
 //
-// On EOF the server drains queued requests, writes a final metrics dump,
-// flushes, and exits 0. See README.md for a quickstart transcript.
+//   --threads N              worker threads (default 4)
+//   --queue N                pending-request bound (default 256)
+//   --cache N                release-cache entries (default 1024)
+//   --deadline-ms N          default per-request deadline in ms, counted
+//                            from enqueue; requests may override with their
+//                            own "deadline_ms" field (default 0 = none)
+//   --sync                   serve each request on the reader thread, in
+//                            order (deterministic scripted sessions)
+//   --trace-all              trace every request into the engine's trace
+//                            ring (retrieve with the "trace" op)
+//   --metrics-dump FILE      periodically write the Prometheus text
+//                            exposition to FILE (atomic tmp+rename); also
+//                            written once at shutdown
+//   --metrics-interval-ms N  metrics dump period in ms (default 5000)
+//   --snapshot FILE          durable state snapshot: restored (with the
+//                            journal, if any) at startup, then saved every
+//                            --snapshot-interval-ms and at shutdown
+//   --snapshot-interval-ms N snapshot save period in ms (default 10000;
+//                            0 = save only at shutdown)
+//   --audit-journal FILE     append+flush every ε charge/denial to FILE
+//                            before its response (the crash-recovery WAL)
+//   --read-only              replica mode: refuse every op that would
+//                            charge ε or mutate state; cache hits (and
+//                            load_snapshot) still serve
+//   --version                print build provenance and exit
+//   --help                   print this flag table and exit
+//
+// On EOF the server drains queued requests, writes a final metrics dump and
+// snapshot, flushes, and exits 0. See README.md for a quickstart transcript.
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
 #include "obs/build_info.h"
 #include "service/service_engine.h"
+#include "snapshot/snapshot_io.h"
 
 namespace {
 
 using dpclustx::Status;
+using dpclustx::StatusCode;
+using dpclustx::StatusCodeName;
+using dpclustx::StatusOr;
 using dpclustx::service::ServiceEngine;
 using dpclustx::service::ServiceEngineOptions;
 
@@ -59,6 +81,34 @@ void WriteLine(const std::string& response) {
   std::cout << response << "\n";
   std::cout.flush();
 }
+
+// Keep in sync with the file comment above and README.md "Serving flags" —
+// this text IS the reference table.
+constexpr const char kUsage[] =
+    "usage: dpclustx_serve [flags]\n"
+    "\n"
+    "  --threads N              worker threads (default 4)\n"
+    "  --queue N                pending-request bound (default 256)\n"
+    "  --cache N                release-cache entries (default 1024)\n"
+    "  --deadline-ms N          default per-request deadline in ms, counted\n"
+    "                           from enqueue (default 0 = none)\n"
+    "  --sync                   serve each request on the reader thread, in\n"
+    "                           order (deterministic scripted sessions)\n"
+    "  --trace-all              trace every request into the trace ring\n"
+    "  --metrics-dump FILE      periodic Prometheus exposition to FILE\n"
+    "                           (atomic tmp+rename; final dump at shutdown)\n"
+    "  --metrics-interval-ms N  metrics dump period in ms (default 5000)\n"
+    "  --snapshot FILE          durable state snapshot: restored at startup,\n"
+    "                           saved every --snapshot-interval-ms and at\n"
+    "                           shutdown\n"
+    "  --snapshot-interval-ms N snapshot save period in ms (default 10000;\n"
+    "                           0 = save only at shutdown)\n"
+    "  --audit-journal FILE     append+flush every charge/denial to FILE\n"
+    "                           before its response (crash-recovery WAL)\n"
+    "  --read-only              replica mode: refuse charging/mutating ops;\n"
+    "                           cache hits still serve\n"
+    "  --version                print build provenance and exit\n"
+    "  --help                   print this flag table and exit\n";
 
 bool ParseSizeFlag(int argc, char** argv, int* i, const char* name,
                    size_t* out) {
@@ -100,6 +150,48 @@ void DumpMetrics(dpclustx::service::ServiceEngine& engine,
   }
 }
 
+void SaveSnapshot(ServiceEngine& engine, const std::string& path) {
+  const Status saved = engine.SaveSnapshotToFile(path);
+  if (!saved.ok()) {
+    std::cerr << "snapshot save to '" << path
+              << "' failed: " << StatusCodeName(saved.code()) << ": "
+              << saved.message() << "\n";
+  }
+}
+
+/// Background thread running `work` every `interval_ms`, parked on a
+/// condition variable so Stop is immediate instead of waiting out the
+/// interval. Used for both the metrics dump and the periodic snapshot.
+class PeriodicWorker {
+ public:
+  PeriodicWorker(size_t interval_ms, std::function<void()> work)
+      : thread_([this, interval_ms, work = std::move(work)] {
+          std::unique_lock<std::mutex> lock(mutex_);
+          while (!stop_) {
+            lock.unlock();
+            work();
+            lock.lock();
+            cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                         [this] { return stop_; });
+          }
+        }) {}
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -108,6 +200,9 @@ int main(int argc, char** argv) {
   size_t deadline_ms = 0;
   std::string metrics_dump;
   size_t metrics_interval_ms = 5000;
+  std::string snapshot_path;
+  size_t snapshot_interval_ms = 10000;
+  std::string audit_journal;
   for (int i = 1; i < argc; ++i) {
     if (ParseSizeFlag(argc, argv, &i, "--threads", &options.num_threads) ||
         ParseSizeFlag(argc, argv, &i, "--queue", &options.queue_capacity) ||
@@ -115,7 +210,11 @@ int main(int argc, char** argv) {
         ParseSizeFlag(argc, argv, &i, "--deadline-ms", &deadline_ms) ||
         ParseSizeFlag(argc, argv, &i, "--metrics-interval-ms",
                       &metrics_interval_ms) ||
-        ParseStringFlag(argc, argv, &i, "--metrics-dump", &metrics_dump)) {
+        ParseSizeFlag(argc, argv, &i, "--snapshot-interval-ms",
+                      &snapshot_interval_ms) ||
+        ParseStringFlag(argc, argv, &i, "--metrics-dump", &metrics_dump) ||
+        ParseStringFlag(argc, argv, &i, "--snapshot", &snapshot_path) ||
+        ParseStringFlag(argc, argv, &i, "--audit-journal", &audit_journal)) {
       continue;
     }
     if (std::strcmp(argv[i], "--sync") == 0) {
@@ -126,15 +225,23 @@ int main(int argc, char** argv) {
       options.trace_all = true;
       continue;
     }
+    if (std::strcmp(argv[i], "--read-only") == 0) {
+      options.read_only = true;
+      continue;
+    }
     if (std::strcmp(argv[i], "--version") == 0) {
-      std::cout << dpclustx::obs::BuildInfoVersionLine() << "\n";
+      // The snapshot format rides along so operators (and the bench
+      // snapshot scripts) can tell which format a binary writes without
+      // inspecting a file.
+      std::cout << dpclustx::obs::BuildInfoVersionLine() << ", snapshot-format v"
+                << dpclustx::snapshot::kSnapshotFormatVersion << "\n";
       return 0;
     }
-    std::cerr << "unknown flag '" << argv[i]
-              << "' (usage: dpclustx_serve [--threads N] [--queue N] "
-                 "[--cache N] [--deadline-ms N] [--sync] [--trace-all] "
-                 "[--metrics-dump FILE] [--metrics-interval-ms N] "
-                 "[--version])\n";
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << kUsage;
+      return 0;
+    }
+    std::cerr << "unknown flag '" << argv[i] << "'\n" << kUsage;
     return 2;
   }
   options.default_deadline_ms = static_cast<int64_t>(deadline_ms);
@@ -142,25 +249,58 @@ int main(int argc, char** argv) {
 
   ServiceEngine engine(options);
 
-  // Periodic metrics writer: a plain thread parked on a condition variable
-  // so shutdown is immediate instead of waiting out the interval.
-  std::thread metrics_writer;
-  std::mutex writer_mutex;
-  std::condition_variable writer_cv;
-  bool writer_stop = false;
-  if (!metrics_dump.empty()) {
-    metrics_writer = std::thread([&] {
-      std::unique_lock<std::mutex> lock(writer_mutex);
-      while (!writer_stop) {
-        lock.unlock();
-        DumpMetrics(engine, metrics_dump);
-        lock.lock();
-        writer_cv.wait_for(lock,
-                           std::chrono::milliseconds(metrics_interval_ms),
-                           [&] { return writer_stop; });
+  // Restore BEFORE the journal is opened for append and before any request
+  // is read: RestoreFromFiles requires an empty engine, and the journal must
+  // hold only records the restored audit cursor accounts for.
+  if (!snapshot_path.empty()) {
+    StatusOr<ServiceEngine::RestoreReport> restored =
+        engine.RestoreFromFiles(snapshot_path, audit_journal);
+    if (restored.ok()) {
+      std::cerr << "restored snapshot '" << snapshot_path << "' (format v"
+                << restored->format_version << "): " << restored->datasets
+                << " datasets, " << restored->sessions << " sessions, "
+                << restored->cache_entries << " cached releases, "
+                << restored->replayed_records << " journal records replayed";
+      if (!restored->unrecovered_sessions.empty()) {
+        std::cerr << "; unrecovered sessions:";
+        for (const std::string& tenant : restored->unrecovered_sessions) {
+          std::cerr << " " << tenant;
+        }
       }
-    });
+      std::cerr << "\n";
+    } else if (restored.status().code() == StatusCode::kNotFound) {
+      std::cerr << "no snapshot at '" << snapshot_path
+                << "'; starting fresh\n";
+    } else {
+      // Corrupt snapshot, newer format, journal gap, snapshot-less journal:
+      // serving with wrong ledgers is worse than not serving.
+      std::cerr << "refusing to serve: "
+                << StatusCodeName(restored.status().code()) << ": "
+                << restored.status().message() << "\n";
+      return 1;
+    }
   }
+  if (!audit_journal.empty()) {
+    const Status journaling = engine.EnableAuditJournal(audit_journal);
+    if (!journaling.ok()) {
+      std::cerr << "cannot open audit journal '" << audit_journal
+                << "': " << journaling.message() << "\n";
+      return 1;
+    }
+  }
+
+  std::unique_ptr<PeriodicWorker> metrics_writer;
+  if (!metrics_dump.empty()) {
+    metrics_writer = std::make_unique<PeriodicWorker>(
+        metrics_interval_ms, [&] { DumpMetrics(engine, metrics_dump); });
+  }
+  std::unique_ptr<PeriodicWorker> snapshot_writer;
+  if (!snapshot_path.empty() && snapshot_interval_ms > 0 &&
+      !options.read_only) {
+    snapshot_writer = std::make_unique<PeriodicWorker>(
+        snapshot_interval_ms, [&] { SaveSnapshot(engine, snapshot_path); });
+  }
+
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
@@ -178,13 +318,12 @@ int main(int argc, char** argv) {
     }
   }
   engine.Shutdown();  // drain queued requests before exiting
-  if (!metrics_dump.empty()) {
-    {
-      std::lock_guard<std::mutex> lock(writer_mutex);
-      writer_stop = true;
-    }
-    writer_cv.notify_all();
-    metrics_writer.join();
+  if (snapshot_writer != nullptr) snapshot_writer->Stop();
+  if (!snapshot_path.empty() && !options.read_only) {
+    SaveSnapshot(engine, snapshot_path);  // final post-drain snapshot
+  }
+  if (metrics_writer != nullptr) {
+    metrics_writer->Stop();
     DumpMetrics(engine, metrics_dump);  // final post-drain snapshot
   }
   return 0;
