@@ -17,6 +17,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "core/candidate_selection.h"
+#include "data/kernels/isa.h"
 #include "data/synthetic.h"
 
 namespace dpclustx::bench {
@@ -29,6 +30,13 @@ void AddPoolContext() {
   benchmark::AddCustomContext(
       "hardware_concurrency",
       std::to_string(std::thread::hardware_concurrency()));
+  // Kernel dispatch state: numbers are not comparable across dispatch
+  // levels, so every bench JSON records what this run actually executed.
+  benchmark::AddCustomContext(
+      "isa_detected", kernels::IsaLevelName(kernels::DetectedIsaLevel()));
+  benchmark::AddCustomContext(
+      "isa_active", kernels::IsaLevelName(kernels::ActiveIsaLevel()));
+  benchmark::AddCustomContext("cpu_features", kernels::CpuFeatureString());
 }
 
 size_t NumRuns() {

@@ -11,17 +11,21 @@
 // feed BENCH_data_plane.json (scripts/bench_snapshot.sh) and the
 // EXPERIMENTS.md data-plane table.
 
+#include <cmath>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
 #include "cluster/clustering.h"
+#include "cluster/gmm.h"
 #include "common/logging.h"
 #include "data/column.h"
 #include "data/dataset.h"
+#include "data/kernels/isa.h"
 #include "data/schema.h"
 #include "data/synthetic.h"
 
@@ -308,6 +312,106 @@ BENCHMARK(BM_WidthModesAssign)
     ->ArgName("domain")->Arg(256)->Arg(65536)->Arg(65537)
     ->Unit(benchmark::kMillisecond)->Iterations(3);
 
+// --- Forced-ISA sweep: same kernels, dispatch clamped per level -----------
+//
+// Registered dynamically in main() for every level the host supports
+// (generic → detected), so BENCH_data_plane.json carries a per-ISA entry of
+// each hot kernel. The kernels are bitwise-identical across levels
+// (tests/dataset_layout_test), so rows/sec is the only thing that moves.
+
+void IsaGroupHistograms(benchmark::State& state, kernels::IsaLevel level) {
+  kernels::ScopedForceIsa force(level);
+  const Dataset& dataset = Census().adaptive;
+  for (auto _ : state) {
+    const auto hists =
+        dataset.ComputeAllGroupHistograms(Census().labels, kClusters,
+                                          /*max_threads=*/1);
+    DPX_CHECK_OK(hists.status());
+    benchmark::DoNotOptimize(hists->size());
+  }
+  SetRowsProcessed(state);
+}
+
+void IsaEmbed(benchmark::State& state, kernels::IsaLevel level) {
+  kernels::ScopedForceIsa force(level);
+  const Dataset& dataset = Census().adaptive;
+  for (auto _ : state) {
+    const std::vector<double> points = EmbedDataset(dataset);
+    benchmark::DoNotOptimize(points.data());
+  }
+  SetRowsProcessed(state);
+}
+
+void IsaKModesAssign(benchmark::State& state, kernels::IsaLevel level) {
+  kernels::ScopedForceIsa force(level);
+  const Dataset& dataset = Census().adaptive;
+  const ModeClustering clustering(dataset.schema(), Census().modes,
+                                  "bench-modes");
+  for (auto _ : state) {
+    const std::vector<ClusterId> labels = clustering.AssignAll(dataset);
+    benchmark::DoNotOptimize(labels.data());
+  }
+  SetRowsProcessed(state);
+}
+
+void IsaCentroidAssign(benchmark::State& state, kernels::IsaLevel level) {
+  kernels::ScopedForceIsa force(level);
+  const Dataset& dataset = Census().adaptive;
+  std::vector<std::vector<double>> centers;
+  for (size_t c = 0; c < kClusters; ++c) {
+    centers.push_back(EmbedTuple(dataset.schema(), Census().modes[c]));
+  }
+  const CentroidClustering clustering(dataset.schema(), std::move(centers),
+                                      "bench-centroids");
+  for (auto _ : state) {
+    const std::vector<ClusterId> labels = clustering.AssignAll(dataset);
+    benchmark::DoNotOptimize(labels.data());
+  }
+  SetRowsProcessed(state);
+}
+
+// GMM-E-step-shaped load: per-row quadratic forms against k diagonal
+// components over the embedded tile (the quad_form kernel dominates).
+void IsaGmmScore(benchmark::State& state, kernels::IsaLevel level) {
+  kernels::ScopedForceIsa force(level);
+  const Dataset& dataset = Census().adaptive;
+  const size_t dims = dataset.num_attributes();
+  std::vector<double> log_weights(kClusters,
+                                  -std::log(static_cast<double>(kClusters)));
+  std::vector<std::vector<double>> means, vars;
+  for (size_t c = 0; c < kClusters; ++c) {
+    means.push_back(EmbedTuple(dataset.schema(), Census().modes[c]));
+    vars.emplace_back(dims, 0.05 + 0.01 * static_cast<double>(c));
+  }
+  const GmmClustering clustering(dataset.schema(), std::move(log_weights),
+                                 std::move(means), std::move(vars));
+  for (auto _ : state) {
+    const std::vector<ClusterId> labels = clustering.AssignAll(dataset);
+    benchmark::DoNotOptimize(labels.data());
+  }
+  SetRowsProcessed(state);
+}
+
+void RegisterIsaSweep() {
+  using Fn = void (*)(benchmark::State&, kernels::IsaLevel);
+  const std::pair<const char*, Fn> benches[] = {
+      {"BM_IsaGroupHistograms", IsaGroupHistograms},
+      {"BM_IsaEmbed", IsaEmbed},
+      {"BM_IsaKModesAssign", IsaKModesAssign},
+      {"BM_IsaCentroidAssign", IsaCentroidAssign},
+      {"BM_IsaGmmScore", IsaGmmScore},
+  };
+  for (const auto& [name, fn] : benches) {
+    for (const kernels::IsaLevel level : kernels::SupportedIsaLevels()) {
+      const std::string full =
+          std::string(name) + "/isa:" + kernels::IsaLevelName(level);
+      benchmark::RegisterBenchmark(full.c_str(), fn, level)
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(3);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -329,6 +433,7 @@ int main(int argc, char** argv) {
       "census_column_widths", "u8=" + std::to_string(n8) +
                                   " u16=" + std::to_string(n16) +
                                   " u32=" + std::to_string(n32));
+  RegisterIsaSweep();
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -10,13 +10,14 @@
 #   BENCH_service.json     bench_router_throughput (dpclustx_router fronting
 #                          N durable shard workers vs one durable worker,
 #                          over the real line protocol and pipes)
-# Each envelope carries an "execution" block (DPCLUSTX_THREADS as exported,
-# the resolved compute-pool width, cpu count, build provenance and snapshot
-# format version from `dpclustx_serve --version`) alongside each binary's
-# own google-benchmark context, plus a "metrics" block holding the
-# Prometheus exposition dumped by a short smoke run of the service, so a
-# snapshot states both the parallelism and the exact binary it was measured
-# under. Rerun on new hardware to refresh.
+# Each envelope carries an "execution" block (DPCLUSTX_THREADS and
+# DPCLUSTX_ISA as exported, cpu count, build provenance, snapshot format
+# version and active/detected kernel dispatch level from `dpclustx_serve
+# --version`, and the cpuid feature list) alongside each binary's own
+# google-benchmark context, plus a "metrics" block holding the Prometheus
+# exposition dumped by a short smoke run of the service, so a snapshot
+# states the parallelism, the vector ISA, and the exact binary it was
+# measured under. Rerun on new hardware to refresh.
 #
 # Usage: scripts/bench_snapshot.sh [parallel_out.json [data_plane_out.json \
 #                                   [service_out.json]]]
@@ -76,18 +77,30 @@ import json, os, re, sys
 (parallel, scale, data_plane, out_parallel, out_data_plane, metrics_path,
  build_version, router_throughput, out_service) = sys.argv[1:10]
 
-# "dpclustx <sha> (GNU 12.2.0, Release), snapshot-format v1" — the format
-# version is part of the provenance line so it is stamped from the binary
-# actually measured, not from a header the script happens to see.
+# "dpclustx <sha> (GNU 12.2.0, Release), isa avx2 (detected avx512),
+# snapshot-format v1" — the format version and the kernel dispatch level are
+# part of the provenance line so they are stamped from the binary actually
+# measured, not from a header the script happens to see.
 format_match = re.search(r"snapshot-format v(\d+)", build_version)
+isa_match = re.search(r"isa (\S+) \(detected (\S+)\)", build_version)
 
 execution = {
     "dpclustx_threads_env": os.environ.get("DPCLUSTX_THREADS", ""),
+    "dpclustx_isa_env": os.environ.get("DPCLUSTX_ISA", ""),
     "num_cpus": os.cpu_count(),
     "build": build_version,
     "snapshot_format_version":
         int(format_match.group(1)) if format_match else None,
+    "isa_active": isa_match.group(1) if isa_match else None,
+    "isa_detected": isa_match.group(2) if isa_match else None,
 }
+
+# The benchmark binaries also stamp isa_active/isa_detected/cpu_features
+# into their own google-benchmark context (bench_common.cc AddPoolContext),
+# so the per-bench blocks carry the cpuid feature list verbatim; copy the
+# feature string up into the envelope when present.
+def cpu_features_of(bench_json):
+    return bench_json.get("context", {}).get("cpu_features")
 
 with open(metrics_path) as f:
     metrics_text = f.read()
@@ -103,9 +116,14 @@ def dump(path, envelope):
         json.dump(envelope, f, indent=2)
         f.write("\n")
 
-dump(out_parallel, {"bench_parallel_scaling": load(parallel),
+parallel_json = load(parallel)
+data_plane_json = load(data_plane)
+execution["cpu_features"] = (cpu_features_of(parallel_json) or
+                             cpu_features_of(data_plane_json))
+
+dump(out_parallel, {"bench_parallel_scaling": parallel_json,
                     "bench_scale_large_dataset": load(scale)})
-dump(out_data_plane, {"bench_data_plane": load(data_plane)})
+dump(out_data_plane, {"bench_data_plane": data_plane_json})
 dump(out_service, {"bench_router_throughput": load(router_throughput)})
 PY
 

@@ -10,9 +10,21 @@
 # the real binaries: a snapshot round-trip (charge, kill, restore, check
 # the ledger) and a 2-worker dpclustx_router session over the line
 # protocol. The width-dispatched data-plane kernels run in both
-# sanitizer passes (dataset_layout_test), and the bench binaries get a
-# compile-only smoke build with -march=native (DPCLUSTX_NATIVE) so codegen
-# regressions in the tile kernels surface before a benchmark run does.
+# sanitizer passes (dataset_layout_test).
+#
+# Kernel dispatch pass: every per-ISA kernel TU (generic/sse2/avx2/avx512,
+# src/data/kernels) compiles unconditionally in the default build — a host
+# without AVX-512 still compile-checks the AVX-512 TU. The layout test then
+# reruns with DPCLUSTX_ISA forced to each level the host supports, so the
+# cpuid clamp, the env override, and the cross-level bitwise-identity
+# contract are all exercised from a cold process, plus once under ASan with
+# dispatch clamped to generic (the in-test ScopedForceIsa sweep still
+# raises to every supported level from there).
+#
+# The bench binaries get a compile-only smoke build with -march=native
+# (DPCLUSTX_NATIVE — now largely redundant next to the per-ISA kernel TUs,
+# kept for whole-program codegen A/B) so codegen regressions in the tile
+# kernels surface before a benchmark run does.
 #
 # Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--skip-native]
 
@@ -39,6 +51,25 @@ cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 (cd build && ctest --output-on-failure -j)
 
+echo "==> kernel dispatch pass: forced-ISA rerun of the layout tests"
+# The detected level comes from the measured binary itself, not from this
+# script probing /proc/cpuinfo: `--version` ends with
+# ", isa <active> (detected <level>), snapshot-format vN".
+DETECTED="$(./build/tools/dpclustx_serve --version |
+  sed -n 's/.*isa [^ ]* (detected \([^)]*\)).*/\1/p')"
+LEVELS=(generic)
+case "$DETECTED" in
+  sse2) LEVELS+=(sse2) ;;
+  avx2) LEVELS+=(sse2 avx2) ;;
+  avx512) LEVELS+=(sse2 avx2 avx512) ;;
+esac
+echo "    detected '$DETECTED' -> forcing: ${LEVELS[*]}"
+for level in "${LEVELS[@]}"; do
+  (cd build && DPCLUSTX_ISA="$level" ctest --output-on-failure \
+    -R '^(dataset_layout_test|parallel_equivalence_test)$' |
+    tail -n 3 | sed "s/^/    [DPCLUSTX_ISA=$level] /")
+done
+
 if [[ "$SKIP_ASAN" == 1 ]]; then
   echo "==> ASan+UBSan pass skipped (--skip-asan)"
 else
@@ -52,6 +83,14 @@ else
   (cd build-asan &&
    ctest --output-on-failure \
      -R '^(service_test|service_robustness_test|json_test|mechanisms_test|thread_pool_test|dataset_layout_test|obs_test|snapshot_test)$')
+
+  echo "==> ASan kernel dispatch smoke (DPCLUSTX_ISA=generic startup)"
+  # Starts with dispatch clamped all the way down, then the in-test
+  # ScopedForceIsa sweep raises through every supported level — so each
+  # per-ISA TU's loads/stores run under ASan+UBSan once per check.
+  (cd build-asan && DPCLUSTX_ISA=generic ctest --output-on-failure \
+    -R '^dataset_layout_test$' >/dev/null)
+  echo "    ASan forced-level sweep OK"
 
   echo "==> ASan smoke: snapshot round-trip over the line protocol"
   SMOKE_DIR="$(mktemp -d)"
@@ -137,8 +176,11 @@ fi
 if [[ "$SKIP_NATIVE" == 1 ]]; then
   echo "==> -march=native bench smoke skipped (--skip-native)"
 else
+  # DPCLUSTX_NATIVE is largely redundant now that the hot kernels dispatch
+  # per-ISA at runtime; the smoke stays as an A/B codegen check (CMake
+  # prints the redundancy warning on configure).
   echo "==> -march=native bench smoke (compile-only)"
-  cmake -B build-native -S . -DDPCLUSTX_NATIVE=ON >/dev/null
+  cmake -B build-native -S . -DDPCLUSTX_NATIVE=ON 2>/dev/null >/dev/null
   cmake --build build-native -j --target \
     bench_data_plane bench_parallel_scaling bench_scale_large_dataset \
     >/dev/null

@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "data/kernels/kernel_table.h"
 
 namespace dpclustx {
 
@@ -43,14 +44,12 @@ StatusOr<std::unique_ptr<ClusteringFunction>> FitAgglomerative(
   std::vector<std::vector<uint32_t>> members(s);
   for (size_t i = 0; i < s; ++i) members[i] = {static_cast<uint32_t>(i)};
 
+  const kernels::KernelTable& kt = kernels::Active();
   std::vector<double> dist(s * s, 0.0);
   for (size_t i = 0; i < s; ++i) {
     for (size_t j = i + 1; j < s; ++j) {
-      double d2 = 0.0;
-      for (size_t a = 0; a < dims; ++a) {
-        const double diff = points[i * dims + a] - points[j * dims + a];
-        d2 += diff * diff;
-      }
+      const double d2 =
+          kt.squared_distance(&points[i * dims], &points[j * dims], dims);
       dist[i * s + j] = dist[j * s + i] = std::sqrt(d2);
     }
   }

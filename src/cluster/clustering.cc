@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "data/kernels/kernel_table.h"
 
 namespace dpclustx {
 
@@ -82,20 +83,12 @@ std::vector<double> EmbedTuple(const Schema& schema,
 void EmbedRows(const Dataset& dataset, size_t begin, size_t end,
                const double* scales, const double* offsets, double* out) {
   const size_t dims = dataset.num_attributes();
+  const kernels::KernelTable& kt = kernels::Active();
   for (size_t a = 0; a < dims; ++a) {
-    const double scale = scales[a];
-    const double offset = offsets[a];
-    // __restrict matters: uint8 code loads may legally alias the double
-    // stores (char aliases everything), which otherwise forces a re-load
-    // of the column per iteration.
     VisitColumn(dataset.column(static_cast<AttrIndex>(a)),
-                [&](const auto* codes_in) {
-                  const auto* __restrict codes = codes_in;
-                  double* __restrict o = out;
-                  for (size_t row = begin; row < end; ++row) {
-                    o[(row - begin) * dims + a] =
-                        offset + scale * static_cast<double>(codes[row]);
-                  }
+                [&](const auto* codes) {
+                  kernels::EmbedFn(kt, codes)(codes, begin, end, scales[a],
+                                              offsets[a], out + a, dims);
                 });
   }
 }
@@ -140,18 +133,16 @@ void AccumulateMismatches(const Dataset& dataset,
                           std::vector<T>& partial, uint32_t* dist) {
   const size_t k = modes.size();
   const size_t block = std::numeric_limits<T>::max();
+  const kernels::KernelTable& kt = kernels::Active();
   for (size_t ab = 0; ab < attrs.size(); ab += block) {
     const size_t ae = std::min(attrs.size(), ab + block);
     std::fill(partial.begin(), partial.end(), T{0});
     for (size_t i = ab; i < ae; ++i) {
       const AttrIndex a = attrs[i];
-      // __restrict: col and p have the same narrow type (and uint8 aliases
-      // everything), so without it every p[r] store forces a col re-load.
-      const T* __restrict col = (dataset.column(a).*ptr)() + tb;
+      const T* col = (dataset.column(a).*ptr)() + tb;
       for (size_t c = 0; c < k; ++c) {
-        const T m = static_cast<T>(modes[c][a]);
-        T* __restrict p = partial.data() + c * kTileRows;
-        for (size_t r = 0; r < n; ++r) p[r] += col[r] != m ? 1 : 0;
+        kernels::HammingFn(kt, col)(col, n, static_cast<T>(modes[c][a]),
+                                    partial.data() + c * kTileRows);
       }
     }
     for (size_t c = 0; c < k; ++c) {
@@ -199,12 +190,13 @@ void AssignNearestModes(const Dataset& dataset,
                                      &ColumnView::u16, partial16,
                                      dist.data());
     }
+    // 32-bit attributes accumulate straight into the distance block — the
+    // partial and the distance share a width, so no flush step is needed.
+    const kernels::KernelTable& kt = kernels::Active();
     for (const AttrIndex a : attrs32) {
-      const uint32_t* __restrict col = dataset.column(a).u32() + tb;
+      const uint32_t* col = dataset.column(a).u32() + tb;
       for (size_t c = 0; c < k; ++c) {
-        const uint32_t m = modes[c][a];
-        uint32_t* __restrict d = dist.data() + c * kTileRows;
-        for (size_t r = 0; r < n; ++r) d[r] += col[r] != m ? 1u : 0u;
+        kt.hamming_u32(col, n, modes[c][a], dist.data() + c * kTileRows);
       }
     }
     // Hamming distances are exact integers, so this argmin (ties to the
@@ -237,15 +229,11 @@ CentroidClustering::CentroidClustering(
 
 ClusterId CentroidClustering::AssignEmbedded(const double* point) const {
   const size_t dims = schema_.num_attributes();
+  const kernels::KernelTable& kt = kernels::Active();
   ClusterId best = 0;
   double best_dist = std::numeric_limits<double>::infinity();
   for (size_t c = 0; c < centers_.size(); ++c) {
-    double dist = 0.0;
-    const std::vector<double>& center = centers_[c];
-    for (size_t a = 0; a < dims; ++a) {
-      const double diff = point[a] - center[a];
-      dist += diff * diff;
-    }
+    const double dist = kt.squared_distance(point, centers_[c].data(), dims);
     if (dist < best_dist) {
       best_dist = dist;
       best = static_cast<ClusterId>(c);

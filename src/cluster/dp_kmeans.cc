@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "data/kernels/kernel_table.h"
 #include "dp/mechanisms.h"
 
 namespace dpclustx {
@@ -44,6 +45,7 @@ StatusOr<std::unique_ptr<ClusteringFunction>> FitDpKMeans(
   // Joint L1 sensitivity of (count, sum_1..sum_d) per iteration.
   const double sensitivity = static_cast<double>(dims) + 1.0;
 
+  const kernels::KernelTable& kt = kernels::Active();
   for (size_t iter = 0; iter < options.iterations; ++iter) {
     // Assignment (against the current noisy centers).
     std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
@@ -53,18 +55,15 @@ StatusOr<std::unique_ptr<ClusteringFunction>> FitDpKMeans(
       ClusterId best = 0;
       double best_dist = std::numeric_limits<double>::infinity();
       for (size_t c = 0; c < k; ++c) {
-        double dist = 0.0;
-        for (size_t a = 0; a < dims; ++a) {
-          const double diff = point[a] - centers[c][a];
-          dist += diff * diff;
-        }
+        const double dist =
+            kt.squared_distance(point, centers[c].data(), dims);
         if (dist < best_dist) {
           best_dist = dist;
           best = static_cast<ClusterId>(c);
         }
       }
       counts[best] += 1.0;
-      for (size_t a = 0; a < dims; ++a) sums[best][a] += point[a];
+      kt.axpy(1.0, point, sums[best].data(), dims);
     }
 
     // Noisy statistics release for this iteration.

@@ -9,6 +9,7 @@
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "data/kernels/kernel_table.h"
 
 namespace dpclustx {
 
@@ -36,13 +37,17 @@ GmmClustering::GmmClustering(Schema schema, std::vector<double> log_weights,
   DPX_CHECK_EQ(log_weights_.size(), means_.size());
   DPX_CHECK_EQ(variances_.size(), means_.size());
   log_norm_.resize(means_.size());
+  inv_variances_.resize(means_.size());
   for (size_t c = 0; c < means_.size(); ++c) {
     DPX_CHECK_EQ(means_[c].size(), schema_.num_attributes());
     DPX_CHECK_EQ(variances_[c].size(), schema_.num_attributes());
     double log_det = 0.0;
-    for (double var : variances_[c]) {
+    inv_variances_[c].resize(variances_[c].size());
+    for (size_t a = 0; a < variances_[c].size(); ++a) {
+      const double var = variances_[c][a];
       DPX_CHECK_GT(var, 0.0);
       log_det += std::log(var) + kLog2Pi;
+      inv_variances_[c][a] = 1.0 / var;
     }
     log_norm_[c] = -0.5 * log_det;
   }
@@ -50,14 +55,12 @@ GmmClustering::GmmClustering(Schema schema, std::vector<double> log_weights,
 
 ClusterId GmmClustering::AssignEmbedded(const double* point) const {
   const size_t dims = schema_.num_attributes();
+  const kernels::KernelTable& kt = kernels::Active();
   ClusterId best = 0;
   double best_score = -std::numeric_limits<double>::infinity();
   for (size_t c = 0; c < means_.size(); ++c) {
-    double quad = 0.0;
-    for (size_t a = 0; a < dims; ++a) {
-      const double diff = point[a] - means_[c][a];
-      quad += diff * diff / variances_[c][a];
-    }
+    const double quad = kt.quad_form(point, means_[c].data(),
+                                     inv_variances_[c].data(), dims);
     const double score = log_weights_[c] + log_norm_[c] - 0.5 * quad;
     if (score > best_score) {
       best_score = score;
@@ -145,11 +148,15 @@ StatusOr<std::unique_ptr<ClusteringFunction>> FitGmm(
   std::vector<std::vector<double>> shard_sq(chunks);    // [c*dims + a]
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
-    // Cached normalization constants.
+    // Cached normalization constants and inverted variances (the quad-form
+    // kernel multiplies by 1/var; same inversion as GmmClustering's cache,
+    // so the fitted model scores rows exactly as the final E-step did).
     std::vector<double> log_norm(k, 0.0);
+    std::vector<std::vector<double>> inv_vars(k, std::vector<double>(dims));
     for (size_t c = 0; c < k; ++c) {
       for (size_t a = 0; a < dims; ++a) {
         log_norm[c] -= 0.5 * (std::log(vars[c][a]) + kLog2Pi);
+        inv_vars[c][a] = 1.0 / vars[c][a];
       }
     }
 
@@ -160,6 +167,7 @@ StatusOr<std::unique_ptr<ClusteringFunction>> FitGmm(
     ParallelFor(
         rows, kRowGrain,
         [&](size_t chunk, size_t begin, size_t end) {
+          const kernels::KernelTable& kt = kernels::Active();
           shard_ll[chunk] = 0.0;
           shard_nk[chunk].assign(k, 0.0);
           shard_sums[chunk].assign(k * dims, 0.0);
@@ -167,11 +175,8 @@ StatusOr<std::unique_ptr<ClusteringFunction>> FitGmm(
           for (size_t row = begin; row < end; ++row) {
             const double* point = &points[row * dims];
             for (size_t c = 0; c < k; ++c) {
-              double quad = 0.0;
-              for (size_t a = 0; a < dims; ++a) {
-                const double diff = point[a] - means[c][a];
-                quad += diff * diff / vars[c][a];
-              }
+              const double quad = kt.quad_form(point, means[c].data(),
+                                               inv_vars[c].data(), dims);
               log_probs[c] = log_weights[c] + log_norm[c] - 0.5 * quad;
             }
             const double lse = LogSumExp(log_probs);
@@ -180,9 +185,7 @@ StatusOr<std::unique_ptr<ClusteringFunction>> FitGmm(
               const double r = std::exp(log_probs[c] - lse);
               resp[row * k + c] = r;
               shard_nk[chunk][c] += r;
-              for (size_t a = 0; a < dims; ++a) {
-                shard_sums[chunk][c * dims + a] += r * point[a];
-              }
+              kt.axpy(r, point, &shard_sums[chunk][c * dims], dims);
             }
           }
         },
@@ -223,16 +226,14 @@ StatusOr<std::unique_ptr<ClusteringFunction>> FitGmm(
     ParallelFor(
         rows, kRowGrain,
         [&](size_t chunk, size_t begin, size_t end) {
+          const kernels::KernelTable& kt = kernels::Active();
           shard_sq[chunk].assign(k * dims, 0.0);
           for (size_t row = begin; row < end; ++row) {
             const double* point = &points[row * dims];
             for (size_t c = 0; c < k; ++c) {
               if (dead[c]) continue;
-              const double r = resp[row * k + c];
-              for (size_t a = 0; a < dims; ++a) {
-                const double diff = point[a] - means[c][a];
-                shard_sq[chunk][c * dims + a] += r * diff * diff;
-              }
+              kt.weighted_sq_acc(resp[row * k + c], point, means[c].data(),
+                                 &shard_sq[chunk][c * dims], dims);
             }
           }
         },

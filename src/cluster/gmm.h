@@ -50,6 +50,10 @@ class GmmClustering final : public ClusteringFunction {
   std::vector<double> log_weights_;
   std::vector<std::vector<double>> means_;
   std::vector<std::vector<double>> variances_;
+  // Cached 1/var per component, so scoring multiplies instead of divides —
+  // the same quad-form kernel (and thus the same float result) as the EM
+  // E-step that produced the fit.
+  std::vector<std::vector<double>> inv_variances_;
   std::vector<double> log_norm_;  // cached −½·Σ log(2π·var) per component
 };
 

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "data/kernels/kernel_table.h"
 
 namespace dpclustx {
 
@@ -16,13 +17,11 @@ namespace {
 // O(k·dims) distance work, so shards amortize dispatch well below this size.
 constexpr size_t kAssignGrain = 1024;
 
+// The ISA-dispatched kernel uses the same fixed reduction structure as
+// CentroidClustering::AssignEmbedded, so fitted labels and the serve-time
+// assignment agree bitwise.
 double SquaredDistance(const double* a, const double* b, size_t dims) {
-  double dist = 0.0;
-  for (size_t i = 0; i < dims; ++i) {
-    const double diff = a[i] - b[i];
-    dist += diff * diff;
-  }
-  return dist;
+  return kernels::Active().squared_distance(a, b, dims);
 }
 
 // k-means++ seeding: first center uniform, subsequent centers proportional
@@ -93,6 +92,7 @@ StatusOr<std::unique_ptr<ClusteringFunction>> FitKMeans(
     ParallelFor(
         rows, kAssignGrain,
         [&](size_t chunk, size_t begin, size_t end) {
+          const kernels::KernelTable& kt = kernels::Active();
           ShardAccum& shard = shards[chunk];
           shard.sums.assign(k * dims, 0.0);
           shard.counts.assign(k, 0);
@@ -101,8 +101,8 @@ StatusOr<std::unique_ptr<ClusteringFunction>> FitKMeans(
             ClusterId best = 0;
             double best_dist = std::numeric_limits<double>::infinity();
             for (size_t c = 0; c < k; ++c) {
-              const double dist = SquaredDistance(&points[row * dims],
-                                                  centers[c].data(), dims);
+              const double dist = kt.squared_distance(
+                  &points[row * dims], centers[c].data(), dims);
               if (dist < best_dist) {
                 best_dist = dist;
                 best = static_cast<ClusterId>(c);
@@ -113,9 +113,9 @@ StatusOr<std::unique_ptr<ClusteringFunction>> FitKMeans(
               shard.changed = true;
             }
             ++shard.counts[best];
-            for (size_t a = 0; a < dims; ++a) {
-              shard.sums[best * dims + a] += points[row * dims + a];
-            }
+            // Elementwise, so the kernel adds in the same per-slot order as
+            // the scalar loop it replaces.
+            kt.axpy(1.0, &points[row * dims], &shard.sums[best * dims], dims);
           }
         },
         options.num_threads);

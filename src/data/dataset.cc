@@ -1,11 +1,13 @@
 #include "data/dataset.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/thread_pool.h"
+#include "data/kernels/kernel_table.h"
 
 namespace dpclustx {
 
@@ -16,42 +18,11 @@ namespace {
 // small enough that a shard's label slice stays cache-resident.
 constexpr size_t kGroupCountGrain = 4096;
 
-// Skewed categorical columns produce runs of increments to the same bin,
-// and each such pair is a store-to-load-forwarding dependence (~5 cycles).
-// Counting into kCountBanks interleaved replicas — row i increments bank
-// i mod kCountBanks — breaks those chains; the banks then merge by exact
-// integer addition, so totals are identical to the single-bank scan. Only
-// worth the extra buffer when the banked bins fit in L1, hence the limit.
-constexpr size_t kCountBanks = 4;
-constexpr size_t kBankedBinsLimit = 2048;
-static_assert(kCountBanks == 4, "BankedCount's unrolled pass assumes 4");
-
-// One banked counting pass over rows [begin, end): codes is the typed
-// column base, `index` maps a row to its bin (< bins), `counts` receives
-// the merged totals. CountT must not overflow on end-begin rows per bin.
-template <typename CountT, typename Codes, typename IndexFn>
-void BankedCount(const Codes* codes_in, size_t begin, size_t end, size_t bins,
-                 std::vector<CountT>& bank, const IndexFn& index,
-                 uint64_t* counts) {
-  bank.assign(kCountBanks * bins, 0);
-  // __restrict: the uint8 code loads inside `index` may legally alias the
-  // bank stores (char aliases everything); without it each increment forces
-  // a code re-load.
-  const Codes* __restrict codes = codes_in;
-  CountT* __restrict b = bank.data();
-  size_t row = begin;
-  for (; row + kCountBanks <= end; row += kCountBanks) {
-    ++b[0 * bins + index(codes, row + 0)];
-    ++b[1 * bins + index(codes, row + 1)];
-    ++b[2 * bins + index(codes, row + 2)];
-    ++b[3 * bins + index(codes, row + 3)];
-  }
-  for (; row < end; ++row) ++b[index(codes, row)];
-  for (size_t i = 0; i < bins; ++i) {
-    counts[i] += static_cast<uint64_t>(b[i]) + b[bins + i] + b[2 * bins + i] +
-                 b[3 * bins + i];
-  }
-}
+// Rows per kernel call of the single-attribute grouped count. The grouped
+// kernels bank into uint32 partials, so one call must see fewer than 2^32
+// rows; 2^31 keeps the bound with headroom. Integer counts merge exactly,
+// so segmentation never changes the totals.
+constexpr size_t kGroupSegmentRows = size_t{1} << 31;
 
 }  // namespace
 
@@ -172,20 +143,11 @@ Histogram Dataset::ComputeHistogram(AttrIndex attr) const {
   DPX_CHECK_LT(attr, columns_.size());
   const size_t domain = schema_.attribute(attr).domain_size();
   // Count into integers (exact; no float add chain), then widen the bins.
+  // The counting loop itself is the ISA-dispatched kernel (DESIGN.md §12).
   std::vector<uint64_t> counts(domain, 0);
+  const kernels::KernelTable& kt = kernels::Active();
   VisitColumn(columns_[attr].view(), [&](const auto* codes) {
-    if (domain <= kBankedBinsLimit) {
-      std::vector<uint64_t> bank;
-      BankedCount<uint64_t>(
-          codes, 0, num_rows_, domain, bank,
-          [](const auto* c, size_t row) {
-            return static_cast<size_t>(c[row]);
-          },
-          counts.data());
-    } else {
-      const auto* __restrict cs = codes;
-      for (size_t row = 0; row < num_rows_; ++row) ++counts[cs[row]];
-    }
+    kernels::HistFn(kt, codes)(codes, 0, num_rows_, domain, counts.data());
   });
   Histogram hist(domain);
   for (size_t v = 0; v < domain; ++v) {
@@ -198,24 +160,13 @@ Histogram Dataset::ComputeHistogram(
     AttrIndex attr, const std::vector<uint32_t>& row_indices) const {
   DPX_CHECK_LT(attr, columns_.size());
   const size_t domain = schema_.attribute(attr).domain_size();
+  // Bounds-check the index list once up front; the kernel trusts its input.
+  for (const uint32_t row : row_indices) DPX_CHECK_LT(row, num_rows_);
   std::vector<uint64_t> counts(domain, 0);
+  const kernels::KernelTable& kt = kernels::Active();
   VisitColumn(columns_[attr].view(), [&](const auto* codes) {
-    if (domain <= kBankedBinsLimit) {
-      std::vector<uint64_t> bank;
-      BankedCount<uint64_t>(
-          codes, 0, row_indices.size(), domain, bank,
-          [&](const auto* c, size_t i) {
-            const uint32_t row = row_indices[i];
-            DPX_CHECK_LT(row, num_rows_);
-            return static_cast<size_t>(c[row]);
-          },
-          counts.data());
-    } else {
-      for (uint32_t row : row_indices) {
-        DPX_CHECK_LT(row, num_rows_);
-        ++counts[codes[row]];
-      }
-    }
+    kernels::HistRowsFn(kt, codes)(codes, row_indices.data(),
+                                   row_indices.size(), domain, counts.data());
   });
   Histogram hist(domain);
   for (size_t v = 0; v < domain; ++v) {
@@ -230,11 +181,19 @@ std::vector<Histogram> Dataset::ComputeGroupHistograms(
   DPX_CHECK_LT(attr, columns_.size());
   DPX_CHECK_EQ(labels.size(), num_rows_);
   const size_t domain = schema_.attribute(attr).domain_size();
+  for (size_t row = 0; row < num_rows_; ++row) {
+    DPX_CHECK_LT(labels[row], num_groups);
+  }
   std::vector<uint64_t> counts(num_groups * domain, 0);
+  const kernels::KernelTable& kt = kernels::Active();
+  std::vector<uint32_t> bank;
   VisitColumn(columns_[attr].view(), [&](const auto* codes) {
-    for (size_t row = 0; row < num_rows_; ++row) {
-      DPX_CHECK_LT(labels[row], num_groups);
-      ++counts[static_cast<size_t>(labels[row]) * domain + codes[row]];
+    // Segmented so the kernel's uint32 bank partials cannot overflow.
+    for (size_t begin = 0; begin < num_rows_; begin += kGroupSegmentRows) {
+      const size_t end = std::min(num_rows_, begin + kGroupSegmentRows);
+      kernels::GroupHistFn(kt, codes)(codes, labels.data(), begin, end,
+                                      domain, num_groups, counts.data(),
+                                      &bank);
     }
   });
   std::vector<Histogram> hists;
@@ -292,29 +251,17 @@ Dataset::ComputeAllGroupHistograms(const std::vector<uint32_t>& labels,
         std::vector<uint64_t>& counts = shard_counts[chunk];
         counts.assign(flat_size, 0);
         // Banked-count scratch, reused across the shard's attribute sweep.
-        // uint32 cannot overflow: a bank sees at most end-begin (≈ grain)
-        // increments per bin.
+        // The kernel's uint32 bank partials cannot overflow: a bank sees at
+        // most end-begin (≈ grain) increments per bin.
+        const kernels::KernelTable& kt = kernels::Active();
         std::vector<uint32_t> bank;
         for (size_t a = 0; a < attrs; ++a) {
           const size_t domain =
               schema_.attribute(static_cast<AttrIndex>(a)).domain_size();
-          const size_t bins = num_groups * domain;
           uint64_t* base = counts.data() + offsets[a];
           VisitColumn(columns_[a].view(), [&](const auto* codes) {
-            if (bins <= kBankedBinsLimit) {
-              BankedCount<uint32_t>(
-                  codes, begin, end, bins, bank,
-                  [&](const auto* c, size_t row) {
-                    return static_cast<size_t>(labels[row]) * domain +
-                           static_cast<size_t>(c[row]);
-                  },
-                  base);
-            } else {
-              const auto* __restrict cs = codes;
-              for (size_t row = begin; row < end; ++row) {
-                ++base[static_cast<size_t>(labels[row]) * domain + cs[row]];
-              }
-            }
+            kernels::GroupHistFn(kt, codes)(codes, labels.data(), begin, end,
+                                            domain, num_groups, base, &bank);
           });
         }
       },

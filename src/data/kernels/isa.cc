@@ -1,0 +1,223 @@
+#include "data/kernels/isa.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/kernels/kernel_table.h"
+
+// Which per-ISA translation units this binary carries. Injected by
+// src/data/kernels/CMakeLists.txt on this file only, after probing the
+// compiler for each -m flag; the generic TU is always present.
+
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+#define DPCLUSTX_X86_CPUID 1
+#else
+#define DPCLUSTX_X86_CPUID 0
+#endif
+
+namespace dpclustx::kernels {
+
+namespace {
+
+bool CompiledIn(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kGeneric:
+      return true;
+    case IsaLevel::kSse2:
+#ifdef DPCLUSTX_HAVE_ISA_SSE2
+      return true;
+#else
+      return false;
+#endif
+    case IsaLevel::kAvx2:
+#ifdef DPCLUSTX_HAVE_ISA_AVX2
+      return true;
+#else
+      return false;
+#endif
+    case IsaLevel::kAvx512:
+#ifdef DPCLUSTX_HAVE_ISA_AVX512
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool CpuSupports(IsaLevel level) {
+#if DPCLUSTX_X86_CPUID
+  __builtin_cpu_init();
+  switch (level) {
+    case IsaLevel::kGeneric:
+      return true;
+    case IsaLevel::kSse2:
+      return __builtin_cpu_supports("sse2");
+    case IsaLevel::kAvx2:
+      return __builtin_cpu_supports("avx2");
+    case IsaLevel::kAvx512:
+      // The kernels use 512-bit integer lanes on narrow codes (BW), doubles
+      // (F/DQ) and 128/256-bit tails (VL), so all four bits gate together.
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512vl");
+  }
+  return false;
+#else
+  return level == IsaLevel::kGeneric;
+#endif
+}
+
+const KernelTable* TablePtr(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kAvx512:
+#ifdef DPCLUSTX_HAVE_ISA_AVX512
+      return avx512_impl::GetKernelTable();
+#else
+      break;
+#endif
+    case IsaLevel::kAvx2:
+#ifdef DPCLUSTX_HAVE_ISA_AVX2
+      return avx2_impl::GetKernelTable();
+#else
+      break;
+#endif
+    case IsaLevel::kSse2:
+#ifdef DPCLUSTX_HAVE_ISA_SSE2
+      return sse2_impl::GetKernelTable();
+#else
+      break;
+#endif
+    case IsaLevel::kGeneric:
+      break;
+  }
+  return generic_impl::GetKernelTable();
+}
+
+IsaLevel ClampToDetected(IsaLevel level) {
+  const IsaLevel detected = DetectedIsaLevel();
+  return level < detected ? level : detected;
+}
+
+// Startup level: detected, clamped (never raised) by DPCLUSTX_ISA.
+IsaLevel InitialLevel() {
+  IsaLevel level = DetectedIsaLevel();
+  const char* env = std::getenv("DPCLUSTX_ISA");
+  if (env == nullptr || env[0] == '\0') return level;
+  IsaLevel requested;
+  if (!ParseIsaLevel(env, &requested)) {
+    std::fprintf(stderr,
+                 "dpclustx: ignoring unknown DPCLUSTX_ISA value '%s' "
+                 "(expected generic|sse2|avx2|avx512); dispatching %s\n",
+                 env, IsaLevelName(level));
+    return level;
+  }
+  if (requested > level) {
+    std::fprintf(stderr,
+                 "dpclustx: DPCLUSTX_ISA=%s exceeds what this host/build "
+                 "supports; dispatching %s\n",
+                 env, IsaLevelName(level));
+    return level;
+  }
+  return requested;
+}
+
+std::atomic<const KernelTable*>& ActiveSlot() {
+  static std::atomic<const KernelTable*> slot{TablePtr(InitialLevel())};
+  return slot;
+}
+
+}  // namespace
+
+const char* IsaLevelName(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kGeneric:
+      return "generic";
+    case IsaLevel::kSse2:
+      return "sse2";
+    case IsaLevel::kAvx2:
+      return "avx2";
+    case IsaLevel::kAvx512:
+      return "avx512";
+  }
+  return "generic";
+}
+
+bool ParseIsaLevel(const std::string& text, IsaLevel* level) {
+  for (const IsaLevel candidate :
+       {IsaLevel::kGeneric, IsaLevel::kSse2, IsaLevel::kAvx2,
+        IsaLevel::kAvx512}) {
+    if (text == IsaLevelName(candidate)) {
+      *level = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+IsaLevel DetectedIsaLevel() {
+  static const IsaLevel detected = [] {
+    for (const IsaLevel level : {IsaLevel::kAvx512, IsaLevel::kAvx2,
+                                 IsaLevel::kSse2}) {
+      if (CompiledIn(level) && CpuSupports(level)) return level;
+    }
+    return IsaLevel::kGeneric;
+  }();
+  return detected;
+}
+
+IsaLevel ActiveIsaLevel() { return Active().level; }
+
+std::vector<IsaLevel> SupportedIsaLevels() {
+  std::vector<IsaLevel> levels;
+  const IsaLevel detected = DetectedIsaLevel();
+  for (const IsaLevel level : {IsaLevel::kGeneric, IsaLevel::kSse2,
+                               IsaLevel::kAvx2, IsaLevel::kAvx512}) {
+    if (level <= detected && CompiledIn(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+std::string CpuFeatureString() {
+#if DPCLUSTX_X86_CPUID
+  __builtin_cpu_init();
+  std::string out;
+  const auto append = [&out](bool supported, const char* name) {
+    if (!supported) return;
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  append(__builtin_cpu_supports("sse2"), "sse2");
+  append(__builtin_cpu_supports("sse4.2"), "sse4.2");
+  append(__builtin_cpu_supports("avx"), "avx");
+  append(__builtin_cpu_supports("avx2"), "avx2");
+  append(__builtin_cpu_supports("fma"), "fma");
+  append(__builtin_cpu_supports("avx512f"), "avx512f");
+  append(__builtin_cpu_supports("avx512bw"), "avx512bw");
+  append(__builtin_cpu_supports("avx512dq"), "avx512dq");
+  append(__builtin_cpu_supports("avx512vl"), "avx512vl");
+  return out;
+#else
+  return "";
+#endif
+}
+
+const KernelTable& Active() {
+  return *ActiveSlot().load(std::memory_order_acquire);
+}
+
+const KernelTable& TableFor(IsaLevel level) {
+  return *TablePtr(ClampToDetected(level));
+}
+
+ScopedForceIsa::ScopedForceIsa(IsaLevel level)
+    : saved_(ActiveSlot().exchange(TablePtr(ClampToDetected(level)),
+                                   std::memory_order_acq_rel)) {}
+
+ScopedForceIsa::~ScopedForceIsa() {
+  ActiveSlot().store(saved_, std::memory_order_release);
+}
+
+}  // namespace dpclustx::kernels

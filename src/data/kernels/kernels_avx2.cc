@@ -1,0 +1,7 @@
+// AVX2 kernels (32-byte integer lanes, 4 doubles). No -mfma on purpose:
+// contraction would break the cross-level float identity (kernels_impl.inc).
+
+#define DPX_KERNEL_NAMESPACE avx2_impl
+#define DPX_KERNEL_LEVEL ::dpclustx::kernels::IsaLevel::kAvx2
+#define DPX_KERNEL_NAME "avx2"
+#include "data/kernels/kernels_impl.inc"

@@ -1,0 +1,8 @@
+// AVX-512 kernels (64-byte integer lanes, 8 doubles — one vector per
+// accumulator bank of the fixed float reduction). Requires F+BW+DQ+VL at
+// runtime; isa.cc gates dispatch on all four cpuid bits.
+
+#define DPX_KERNEL_NAMESPACE avx512_impl
+#define DPX_KERNEL_LEVEL ::dpclustx::kernels::IsaLevel::kAvx512
+#define DPX_KERNEL_NAME "avx512"
+#include "data/kernels/kernels_impl.inc"

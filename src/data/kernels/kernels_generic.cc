@@ -1,0 +1,9 @@
+// Scalar reference kernels. Compiled with vectorization disabled (see
+// CMakeLists.txt) so "generic" is an honest no-SIMD baseline for the
+// per-ISA benchmark sweeps, and the level every other table must match
+// bitwise.
+
+#define DPX_KERNEL_NAMESPACE generic_impl
+#define DPX_KERNEL_LEVEL ::dpclustx::kernels::IsaLevel::kGeneric
+#define DPX_KERNEL_NAME "generic"
+#include "data/kernels/kernels_impl.inc"

@@ -1,0 +1,6 @@
+// SSE2 kernels (the x86-64 baseline: 16-byte integer lanes, 2 doubles).
+
+#define DPX_KERNEL_NAMESPACE sse2_impl
+#define DPX_KERNEL_LEVEL ::dpclustx::kernels::IsaLevel::kSse2
+#define DPX_KERNEL_NAME "sse2"
+#include "data/kernels/kernels_impl.inc"

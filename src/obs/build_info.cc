@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/thread_pool.h"
+#include "data/kernels/isa.h"
 
 // Definitions are injected by src/obs/CMakeLists.txt; the fallbacks keep
 // non-CMake builds (e.g. IDE single-file checks) compiling.
@@ -45,6 +46,13 @@ JsonValue BuildInfoJson() {
           JsonValue::String(threads_env == nullptr ? "" : threads_env));
   out.Set("compute_pool_width",
           JsonValue::Number(static_cast<double>(ComputePoolWidth())));
+  // Kernel dispatch state: what the cpuid probe found vs what dispatch
+  // actually uses (DPCLUSTX_ISA can clamp active below detected).
+  out.Set("isa_detected", JsonValue::String(kernels::IsaLevelName(
+                              kernels::DetectedIsaLevel())));
+  out.Set("isa_active",
+          JsonValue::String(kernels::IsaLevelName(kernels::ActiveIsaLevel())));
+  out.Set("cpu_features", JsonValue::String(kernels::CpuFeatureString()));
   return out;
 }
 
@@ -58,6 +66,11 @@ std::string BuildInfoVersionLine() {
     line += ", ";
     line += info.build_type;
   }
+  line += ")";
+  line += ", isa ";
+  line += kernels::IsaLevelName(kernels::ActiveIsaLevel());
+  line += " (detected ";
+  line += kernels::IsaLevelName(kernels::DetectedIsaLevel());
   line += ")";
   return line;
 }

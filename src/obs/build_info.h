@@ -23,11 +23,14 @@ struct BuildInfo {
 const BuildInfo& GetBuildInfo();
 
 /// {"git_sha","compiler","flags","build_type","dpclustx_threads_env",
-///  "compute_pool_width"} — the last two are runtime values so a dump
-/// records the parallelism it ran with.
+///  "compute_pool_width","isa_detected","isa_active","cpu_features"} —
+/// the runtime values record the parallelism and kernel dispatch level a
+/// dump ran with.
 JsonValue BuildInfoJson();
 
-/// One-line form for --version output.
+/// One-line form for --version output; ends with
+/// ", isa <active> (detected <level>)" so scripts can parse the host's
+/// dispatch ceiling.
 std::string BuildInfoVersionLine();
 
 }  // namespace dpclustx::obs

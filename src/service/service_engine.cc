@@ -19,6 +19,7 @@
 #include "core/explanation.h"
 #include "core/serialization.h"
 #include "common/file_util.h"
+#include "data/kernels/isa.h"
 #include "dp/dp_histogram.h"
 #include "dp/mechanisms.h"
 #include "obs/build_info.h"
@@ -199,6 +200,19 @@ void ServiceEngine::RegisterMetrics() {
         [this] { return static_cast<double>(pool_.tasks_completed()); });
   gauge("dpclustx_compute_pool_width", "Shared compute-pool width",
         [] { return static_cast<double>(ComputePoolWidth()); });
+  // Info-style gauge: the value is the live dispatch ordinal
+  // (0=generic … 3=avx512); the labels pin the names this process started
+  // with, so a scrape records both what the CPU offers and what is in use.
+  callback_ids_.push_back(metrics_->AddCallbackGauge(
+      "dpclustx_isa_level",
+      "Active kernel ISA dispatch level (0=generic, 1=sse2, 2=avx2, "
+      "3=avx512)",
+      {{"detected", kernels::IsaLevelName(kernels::DetectedIsaLevel())},
+       {"active", kernels::IsaLevelName(kernels::ActiveIsaLevel())}},
+      [] {
+        return static_cast<double>(
+            static_cast<int>(kernels::ActiveIsaLevel()));
+      }));
   gauge("dpclustx_parallel_for_calls", "ParallelFor invocations",
         [] { return static_cast<double>(ParallelForCalls()); });
   gauge("dpclustx_parallel_for_parallel_calls",

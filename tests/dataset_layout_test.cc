@@ -23,6 +23,7 @@
 #include "core/serialization.h"
 #include "data/column.h"
 #include "data/dataset.h"
+#include "data/kernels/isa.h"
 
 namespace dpclustx {
 namespace {
@@ -287,6 +288,196 @@ TEST(DatasetLayoutTest, ClusteringLabelsIdenticalAcrossWidthsAndKernels) {
               (*gmm_wide)->AssignAll(pair.force32))
         << "gmm fit diverged at threads=" << threads;
     ExpectAssignmentEquivalence(**gmm_narrow, pair.adaptive, pair.force32);
+  }
+}
+
+// ---- Multi-arch kernel dispatch (DESIGN.md §12) ----
+//
+// The per-ISA kernel TUs compile identical source at different vector
+// widths; integer kernels (and the fixed-reduction float kernels) must
+// produce bitwise-identical results at every level the host can run. Each
+// sweep below pins every supported level against a forced-generic
+// reference, across storage widths and thread counts.
+
+TEST(KernelDispatchTest, ForcingSwitchesAndRestoresActiveLevel) {
+  const std::vector<kernels::IsaLevel> levels = kernels::SupportedIsaLevels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), kernels::IsaLevel::kGeneric);
+  EXPECT_LE(kernels::ActiveIsaLevel(), kernels::DetectedIsaLevel());
+  const kernels::IsaLevel before = kernels::ActiveIsaLevel();
+  for (const kernels::IsaLevel level : levels) {
+    kernels::ScopedForceIsa force(level);
+    EXPECT_EQ(kernels::ActiveIsaLevel(), level);
+  }
+  EXPECT_EQ(kernels::ActiveIsaLevel(), before);
+  {
+    // Forcing above the detected level clamps instead of dispatching
+    // unsupported instructions.
+    kernels::ScopedForceIsa force(kernels::IsaLevel::kAvx512);
+    EXPECT_LE(kernels::ActiveIsaLevel(), kernels::DetectedIsaLevel());
+  }
+}
+
+TEST(KernelDispatchTest, HistogramsBitwiseIdenticalAcrossIsaLevels) {
+  constexpr size_t kGroups = 4;
+  const LayoutPair pair = MakeBoundaryPair(3000);
+  const std::vector<uint32_t> labels = MakeLabels(3000, kGroups);
+  std::vector<uint32_t> rows = {0, 1, 1, 5, 99, 1337, 2999};
+
+  struct Reference {
+    std::vector<std::vector<double>> hists;
+    std::vector<std::vector<double>> row_hists;
+    std::vector<std::vector<std::vector<double>>> group_hists;
+  };
+  const auto compute = [&](const Dataset& dataset, size_t threads) {
+    Reference out;
+    for (AttrIndex a = 0; a < dataset.num_attributes(); ++a) {
+      out.hists.push_back(dataset.ComputeHistogram(a).bins());
+      out.row_hists.push_back(dataset.ComputeHistogram(a, rows).bins());
+    }
+    const auto grouped =
+        dataset.ComputeAllGroupHistograms(labels, kGroups, threads);
+    EXPECT_TRUE(grouped.ok());
+    for (const auto& per_attr : *grouped) {
+      auto& slot = out.group_hists.emplace_back();
+      for (const Histogram& h : per_attr) slot.push_back(h.bins());
+    }
+    return out;
+  };
+
+  kernels::ScopedForceIsa generic(kernels::IsaLevel::kGeneric);
+  const Reference reference = compute(pair.force32, 1);
+  for (const kernels::IsaLevel level : kernels::SupportedIsaLevels()) {
+    kernels::ScopedForceIsa force(level);
+    for (const Dataset* dataset : {&pair.adaptive, &pair.force32}) {
+      for (const size_t threads : {size_t{1}, size_t{8}}) {
+        const Reference got = compute(*dataset, threads);
+        EXPECT_EQ(got.hists, reference.hists)
+            << "isa " << kernels::IsaLevelName(level) << " threads "
+            << threads;
+        EXPECT_EQ(got.row_hists, reference.row_hists)
+            << "isa " << kernels::IsaLevelName(level);
+        EXPECT_EQ(got.group_hists, reference.group_hists)
+            << "isa " << kernels::IsaLevelName(level) << " threads "
+            << threads;
+      }
+    }
+  }
+}
+
+TEST(KernelDispatchTest, EmbeddingBitwiseIdenticalAcrossIsaLevels) {
+  const LayoutPair pair = MakeBoundaryPair(1200);
+  std::vector<double> reference;
+  {
+    kernels::ScopedForceIsa generic(kernels::IsaLevel::kGeneric);
+    reference = EmbedDataset(pair.force32);
+  }
+  for (const kernels::IsaLevel level : kernels::SupportedIsaLevels()) {
+    kernels::ScopedForceIsa force(level);
+    for (const Dataset* dataset : {&pair.adaptive, &pair.force32}) {
+      const std::vector<double> got = EmbedDataset(*dataset);
+      ASSERT_EQ(got.size(), reference.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i], reference[i])  // bitwise, not NEAR
+            << "isa " << kernels::IsaLevelName(level) << " coordinate " << i;
+      }
+    }
+  }
+}
+
+// Clustering fits consume the kernels' float outputs (squared distances,
+// quadratic forms, weighted accumulations), so identical fits + labels at
+// every level prove the fixed-reduction contract end to end.
+TEST(KernelDispatchTest, ClusteringLabelsIdenticalAcrossIsaLevels) {
+  constexpr size_t kRows = 600;
+  constexpr size_t kClusters = 4;
+  const LayoutPair pair = MakeBoundaryPair(kRows);
+
+  KModesOptions kmodes;
+  kmodes.num_clusters = kClusters;
+  kmodes.seed = 5;
+  KMeansOptions kmeans;
+  kmeans.num_clusters = kClusters;
+  kmeans.seed = 5;
+  GmmOptions gmm;
+  gmm.num_components = kClusters;
+  gmm.seed = 5;
+  gmm.max_iterations = 10;
+
+  std::vector<ClusterId> ref_modes, ref_means, ref_gmm;
+  std::unique_ptr<ClusteringFunction> generic_gmm;
+  {
+    kernels::ScopedForceIsa generic(kernels::IsaLevel::kGeneric);
+    ref_modes = (*FitKModes(pair.adaptive, kmodes))->AssignAll(pair.adaptive);
+    ref_means = (*FitKMeans(pair.adaptive, kmeans))->AssignAll(pair.adaptive);
+    auto fitted = FitGmm(pair.adaptive, gmm);
+    ASSERT_TRUE(fitted.ok());
+    generic_gmm = std::move(fitted).value();
+    ref_gmm = generic_gmm->AssignAll(pair.adaptive);
+  }
+
+  for (const kernels::IsaLevel level : kernels::SupportedIsaLevels()) {
+    kernels::ScopedForceIsa force(level);
+    for (const size_t threads : {size_t{1}, size_t{8}}) {
+      kmodes.num_threads = threads;
+      kmeans.num_threads = threads;
+      gmm.num_threads = threads;
+
+      const auto modes = FitKModes(pair.adaptive, kmodes);
+      ASSERT_TRUE(modes.ok());
+      EXPECT_EQ((*modes)->AssignAll(pair.adaptive), ref_modes)
+          << "k-modes diverged at isa " << kernels::IsaLevelName(level)
+          << " threads " << threads;
+      ExpectAssignmentEquivalence(**modes, pair.adaptive, pair.force32);
+
+      const auto means = FitKMeans(pair.adaptive, kmeans);
+      ASSERT_TRUE(means.ok());
+      EXPECT_EQ((*means)->AssignAll(pair.adaptive), ref_means)
+          << "k-means diverged at isa " << kernels::IsaLevelName(level)
+          << " threads " << threads;
+      ExpectAssignmentEquivalence(**means, pair.adaptive, pair.force32);
+
+      const auto mixture = FitGmm(pair.adaptive, gmm);
+      ASSERT_TRUE(mixture.ok());
+      EXPECT_EQ((*mixture)->AssignAll(pair.adaptive), ref_gmm)
+          << "gmm diverged at isa " << kernels::IsaLevelName(level)
+          << " threads " << threads;
+      ExpectAssignmentEquivalence(**mixture, pair.adaptive, pair.force32);
+    }
+    // Cross-level scoring: a model fitted at the generic level must assign
+    // the same labels when scored by this level's kernels.
+    EXPECT_EQ(generic_gmm->AssignAll(pair.adaptive), ref_gmm)
+        << "generic-fitted gmm scored differently at isa "
+        << kernels::IsaLevelName(level);
+  }
+}
+
+TEST(KernelDispatchTest, ExplanationsBitwiseIdenticalAcrossIsaLevels) {
+  constexpr size_t kRows = 1500;
+  constexpr size_t kClusters = 3;
+  const LayoutPair pair = MakeBoundaryPair(kRows);
+  const std::vector<uint32_t> labels = MakeLabels(kRows, kClusters);
+
+  DpClustXOptions options;
+  options.seed = 21;
+  options.num_threads = 1;
+
+  std::string reference;
+  {
+    kernels::ScopedForceIsa generic(kernels::IsaLevel::kGeneric);
+    const auto explanation = ExplainDpClustXWithLabels(pair.adaptive, labels,
+                                                       kClusters, options);
+    ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+    reference = ExplanationToJson(*explanation, pair.adaptive.schema());
+  }
+  for (const kernels::IsaLevel level : kernels::SupportedIsaLevels()) {
+    kernels::ScopedForceIsa force(level);
+    const auto explanation = ExplainDpClustXWithLabels(pair.adaptive, labels,
+                                                       kClusters, options);
+    ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+    EXPECT_EQ(ExplanationToJson(*explanation, pair.adaptive.schema()),
+              reference)
+        << "explanation diverged at isa " << kernels::IsaLevelName(level);
   }
 }
 

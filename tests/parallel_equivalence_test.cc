@@ -16,6 +16,7 @@
 #include "cluster/kmodes.h"
 #include "common/thread_pool.h"
 #include "core/stats_cache.h"
+#include "data/kernels/isa.h"
 #include "data/synthetic.h"
 
 namespace dpclustx {
@@ -296,6 +297,61 @@ TEST(ClusteringParallelTest, GmmLabelsInvariantAcrossThreadCounts) {
     ASSERT_TRUE(parallel.ok());
     EXPECT_EQ((*parallel)->AssignAll(dataset), serial_labels)
         << "threads " << threads;
+  }
+}
+
+// The determinism contract is two-dimensional now: the result must be a
+// pure function of the input at every (ISA level × thread count) pair, not
+// just every thread count at the host's top level (DESIGN.md §12).
+TEST(ClusteringParallelTest, FitsInvariantAcrossIsaLevelsAndThreadCounts) {
+  const Dataset dataset = TestDataset(20000);
+  const size_t num_clusters = 5;
+  const std::vector<ClusterId> labels =
+      CyclicLabels(dataset.num_rows(), num_clusters);
+
+  KMeansOptions kmeans;
+  kmeans.num_clusters = 4;
+  kmeans.max_iterations = 6;
+  kmeans.seed = 7;
+  GmmOptions gmm;
+  gmm.num_components = 4;
+  gmm.max_iterations = 4;
+  gmm.seed = 7;
+
+  std::vector<ClusterId> ref_kmeans, ref_gmm;
+  std::vector<std::vector<Histogram>> ref_counts;
+  {
+    kernels::ScopedForceIsa generic(kernels::IsaLevel::kGeneric);
+    kmeans.num_threads = 1;
+    gmm.num_threads = 1;
+    ref_kmeans = (*FitKMeans(dataset, kmeans))->AssignAll(dataset);
+    ref_gmm = (*FitGmm(dataset, gmm))->AssignAll(dataset);
+    ref_counts = std::move(
+        *dataset.ComputeAllGroupHistograms(labels, num_clusters, 1));
+  }
+
+  for (const kernels::IsaLevel level : kernels::SupportedIsaLevels()) {
+    kernels::ScopedForceIsa force(level);
+    for (size_t threads : {size_t{1}, size_t{8}, size_t{0}}) {
+      kmeans.num_threads = threads;
+      gmm.num_threads = threads;
+      EXPECT_EQ((*FitKMeans(dataset, kmeans))->AssignAll(dataset), ref_kmeans)
+          << "k-means at isa " << kernels::IsaLevelName(level) << " threads "
+          << threads;
+      EXPECT_EQ((*FitGmm(dataset, gmm))->AssignAll(dataset), ref_gmm)
+          << "gmm at isa " << kernels::IsaLevelName(level) << " threads "
+          << threads;
+      const auto counts =
+          dataset.ComputeAllGroupHistograms(labels, num_clusters, threads);
+      ASSERT_TRUE(counts.ok());
+      for (size_t a = 0; a < counts->size(); ++a) {
+        for (size_t c = 0; c < num_clusters; ++c) {
+          ASSERT_EQ((*counts)[a][c].bins(), ref_counts[a][c].bins())
+              << "attr " << a << " cluster " << c << " isa "
+              << kernels::IsaLevelName(level) << " threads " << threads;
+        }
+      }
+    }
   }
 }
 
