@@ -1,0 +1,201 @@
+// Ingest-plane benchmarks for the DPXCOL mapped columnar format: open
+// latency at Census scale (the demo's "load 2.46M rows instantly" moment —
+// Open is O(header), so it must not move with file size), streaming append
+// throughput (rows/sec committed durably through AppendRowsToColumnar),
+// and the StatsCache delta-build vs. the cold rebuild it replaces (the
+// payoff is O(tail) instead of O(base + tail) per append batch).
+//
+// Results feed BENCH_columnar_ingest.json (scripts/bench_snapshot.sh).
+
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "core/stats_cache.h"
+#include "data/columnar_format.h"
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace {
+
+using namespace dpclustx;
+
+constexpr size_t kCensusRows = 2458285;  // ACS-like demo scale
+constexpr size_t kCensusAttrs = 68;
+constexpr size_t kClusters = 5;
+
+std::string BenchPath(const std::string& name) {
+  return "/tmp/dpclustx_bench_ingest_" + std::to_string(::getpid()) + "_" +
+         name + ".dpxcol";
+}
+
+// Census-shaped table: 68 attributes, domains 2..32, deterministic filler.
+// Row r's label is (r % kClusters) — skew does not matter here, only data
+// volume does.
+Dataset MakeCensusShaped(size_t rows) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(kCensusAttrs);
+  for (size_t a = 0; a < kCensusAttrs; ++a) {
+    attrs.push_back(Attribute::WithAnonymousDomain(
+        "attr" + std::to_string(a), 2 + (a % 31)));
+  }
+  Dataset dataset{Schema(std::move(attrs))};
+  dataset.Reserve(rows);
+  std::vector<ValueCode> row(kCensusAttrs);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t a = 0; a < kCensusAttrs; ++a) {
+      row[a] = static_cast<ValueCode>((r * (a + 3) + 17) % (2 + (a % 31)));
+    }
+    dataset.AppendRowUnchecked(row);
+  }
+  return dataset;
+}
+
+std::vector<ClusterId> RoundRobinLabels(size_t rows) {
+  std::vector<ClusterId> labels(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    labels[r] = static_cast<ClusterId>(r % kClusters);
+  }
+  return labels;
+}
+
+// --- open latency ----------------------------------------------------------
+
+// Arg: row count. The point of the sweep is the flat line: Open validates
+// O(header) bytes and mmaps the rest, so 2.46M rows must open in the same
+// time as 10k.
+void BM_ColumnarOpen(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const std::string path = BenchPath("open_" + std::to_string(rows));
+  {
+    const Dataset dataset = MakeCensusShaped(rows);
+    DPX_CHECK_OK(WriteColumnarFile(dataset, path));
+  }
+  for (auto _ : state) {
+    auto mapped = MappedColumnar::Open(path);
+    DPX_CHECK_OK(mapped.status());
+    benchmark::DoNotOptimize((*mapped)->num_rows());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows) *
+                          static_cast<int64_t>(state.iterations()));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_ColumnarOpen)
+    ->ArgName("rows")->Arg(10000)->Arg(250000)->Arg(kCensusRows)
+    ->Unit(benchmark::kMicrosecond);
+
+// The O(data) integrity pass, for contrast with the O(header) open above:
+// this is what `dpclustx_convert verify` and ColumnarOpenOptions
+// {verify_data=true} cost.
+void BM_ColumnarVerifyData(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const std::string path = BenchPath("verify_" + std::to_string(rows));
+  {
+    const Dataset dataset = MakeCensusShaped(rows);
+    DPX_CHECK_OK(WriteColumnarFile(dataset, path));
+  }
+  auto mapped = MappedColumnar::Open(path);
+  DPX_CHECK_OK(mapped.status());
+  for (auto _ : state) {
+    DPX_CHECK_OK((*mapped)->VerifyData());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows) *
+                          static_cast<int64_t>(state.iterations()));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_ColumnarVerifyData)
+    ->ArgName("rows")->Arg(250000)
+    ->Unit(benchmark::kMillisecond);
+
+// --- append throughput -----------------------------------------------------
+
+// Durable append path: each iteration commits one batch through
+// AppendRowsToColumnar (write tail codes + per-column CRC update + header
+// rewrite). Capacity is pre-reserved so every iteration takes the in-place
+// branch — the grow-and-rename branch is a rare amortized event, not the
+// steady state.
+void BM_ColumnarAppendBatch(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const std::string path = BenchPath("append_" + std::to_string(batch));
+  const Dataset seedset = MakeCensusShaped(1000);
+  std::vector<std::vector<ValueCode>> rows(batch);
+  for (size_t r = 0; r < batch; ++r) rows[r] = seedset.Row(r % 1000);
+
+  // Fresh file per timing run, capacity for every planned batch.
+  ColumnarWriteOptions options;
+  options.capacity_rows = 1000 + batch * 2000;
+  DPX_CHECK_OK(WriteColumnarFile(seedset, path, options));
+  auto handle = MappedColumnar::Open(path);
+  DPX_CHECK_OK(handle.status());
+  std::shared_ptr<const MappedColumnar> current = *handle;
+
+  for (auto _ : state) {
+    auto appended = AppendRowsToColumnar(current, rows);
+    DPX_CHECK_OK(appended.status());
+    current = *appended;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(batch) *
+                          static_cast<int64_t>(state.iterations()));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_ColumnarAppendBatch)
+    ->ArgName("batch")->Arg(100)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond)->Iterations(100);
+
+// --- stats delta-build vs cold rebuild -------------------------------------
+
+// The service's post-append work: arg 0 times StatsCache::BuildAppended
+// over a 10k-row tail on a 250k-row warm base (what ingest actually runs),
+// arg 1 times the cold Build over all 260k rows (what it replaced). Both
+// produce bitwise-identical caches (tests/dataset_layout_test).
+void BM_StatsAfterAppend(benchmark::State& state) {
+  const bool cold = state.range(0) == 1;
+  constexpr size_t kBase = 250000;
+  constexpr size_t kTail = 10000;
+  static const Dataset* full = new Dataset(MakeCensusShaped(kBase + kTail));
+  static const Dataset* base = new Dataset(MakeCensusShaped(kBase));
+  const std::vector<ClusterId> full_labels = RoundRobinLabels(kBase + kTail);
+  const std::vector<ClusterId> tail_labels(full_labels.begin() + kBase,
+                                           full_labels.end());
+  std::vector<uint32_t> tail_rows(kTail);
+  for (size_t r = 0; r < kTail; ++r) {
+    tail_rows[r] = static_cast<uint32_t>(kBase + r);
+  }
+  const Dataset tail = full->SelectRows(tail_rows);
+  const auto warm = StatsCache::Build(*base, RoundRobinLabels(kBase),
+                                      kClusters);
+  DPX_CHECK_OK(warm.status());
+
+  for (auto _ : state) {
+    if (cold) {
+      auto rebuilt = StatsCache::Build(*full, full_labels, kClusters);
+      DPX_CHECK_OK(rebuilt.status());
+      benchmark::DoNotOptimize(rebuilt->num_rows());
+    } else {
+      auto delta =
+          StatsCache::BuildAppended(*warm, tail, tail_labels);
+      DPX_CHECK_OK(delta.status());
+      benchmark::DoNotOptimize(delta->num_rows());
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(cold ? kBase + kTail : kTail) *
+      static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StatsAfterAppend)
+    ->ArgName("cold")->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->Iterations(5);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  dpclustx::bench::AddPoolContext();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -6,11 +6,14 @@
 # on, then rebuild the
 # request-path targets under ASan+UBSan and run the service/robustness
 # tests — no std::abort, overflow, or memory error may be reachable from
-# request input. The ASan pass also drives two end-to-end smokes against
-# the real binaries: a snapshot round-trip (charge, kill, restore, check
-# the ledger) and a 2-worker dpclustx_router session over the line
-# protocol. The width-dispatched data-plane kernels run in both
-# sanitizer passes (dataset_layout_test).
+# request input. The ingest plane (csv_test, columnar_format_test) runs
+# under ASan too: CSV bytes and DPXCOL headers are untrusted input. The
+# ASan pass also drives three end-to-end smokes against the real binaries:
+# a snapshot round-trip (charge, kill, restore, check the ledger), a
+# byte-identical CSV -> DPXCOL -> CSV round trip through dpclustx_convert,
+# and a 2-worker dpclustx_router session over the line protocol. The
+# width-dispatched data-plane kernels run in both sanitizer passes
+# (dataset_layout_test).
 #
 # Kernel dispatch pass: every per-ISA kernel TU (generic/sse2/avx2/avx512,
 # src/data/kernels) compiles unconditionally in the default build — a host
@@ -78,11 +81,12 @@ else
   cmake --build build-asan -j --target \
     service_test service_robustness_test json_test mechanisms_test \
     thread_pool_test dataset_layout_test obs_test snapshot_test \
-    dpclustx_serve dpclustx_router \
+    csv_test columnar_format_test \
+    dpclustx_serve dpclustx_router dpclustx_convert \
     >/dev/null
   (cd build-asan &&
    ctest --output-on-failure \
-     -R '^(service_test|service_robustness_test|json_test|mechanisms_test|thread_pool_test|dataset_layout_test|obs_test|snapshot_test)$')
+     -R '^(service_test|service_robustness_test|json_test|mechanisms_test|thread_pool_test|dataset_layout_test|obs_test|snapshot_test|csv_test|columnar_format_test)$')
 
   echo "==> ASan kernel dispatch smoke (DPCLUSTX_ISA=generic startup)"
   # Starts with dispatch clamped all the way down, then the in-test
@@ -125,6 +129,27 @@ assert b["ok"] and abs(b["spent"] - 0.25) < 1e-12, b
 assert h["ok"] and h["cache_hit"] and h["epsilon_charged"] == 0.0, h
 print("    snapshot round-trip OK: ledger restored, repeat hist free")
 PYEOF
+
+  echo "==> ASan smoke: CSV -> DPXCOL -> CSV round trip"
+  # The converter must be lossless: re-encoding the DPXCOL back to CSV
+  # reproduces the input byte for byte (ingest normalizes nothing — same
+  # labels, same order, same quoting decisions on the way back out).
+  cat > "$SMOKE_DIR/roundtrip.csv" <<'EOF'
+color,size,notes
+red,small,"has, comma"
+blue,large,"has ""quote"""
+red,large,plain
+EOF
+  build-asan/tools/dpclustx_convert to-dpxcol \
+      "$SMOKE_DIR/roundtrip.csv" "$SMOKE_DIR/roundtrip.dpxcol" --verify \
+      2>/dev/null
+  build-asan/tools/dpclustx_convert verify "$SMOKE_DIR/roundtrip.dpxcol" \
+      2>/dev/null
+  build-asan/tools/dpclustx_convert to-csv \
+      "$SMOKE_DIR/roundtrip.dpxcol" "$SMOKE_DIR/roundtrip_back.csv" \
+      2>/dev/null
+  diff "$SMOKE_DIR/roundtrip.csv" "$SMOKE_DIR/roundtrip_back.csv"
+  echo "    convert round trip OK: CSV -> DPXCOL -> CSV is byte-identical"
 
   echo "==> ASan smoke: 2-worker router end-to-end"
   build-asan/tools/dpclustx_router --workers 2 \

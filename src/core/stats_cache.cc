@@ -42,6 +42,58 @@ StatusOr<StatsCache> StatsCache::Build(const Dataset& dataset,
   return cache;
 }
 
+StatusOr<StatsCache> StatsCache::BuildAppended(
+    const StatsCache& base, const Dataset& tail,
+    const std::vector<ClusterId>& tail_labels, size_t num_threads) {
+  DPX_SPAN("stats_cache_build_appended");
+  if (tail.num_attributes() != base.num_attributes()) {
+    return Status::InvalidArgument(
+        "tail has " + std::to_string(tail.num_attributes()) +
+        " attributes, base cache has " +
+        std::to_string(base.num_attributes()));
+  }
+  for (size_t a = 0; a < base.num_attributes(); ++a) {
+    const auto attr = static_cast<AttrIndex>(a);
+    if (tail.schema().attribute(attr).domain_size() !=
+        base.schema().attribute(attr).domain_size()) {
+      return Status::InvalidArgument("tail domain mismatch on attribute '" +
+                                     tail.schema().attribute(attr).name() +
+                                     "'");
+    }
+  }
+  // Count only the tail, with the same fused sweep Build uses, then add
+  // the counts onto the base bin by bin. Same kernels, same merge order,
+  // exact integer addition throughout.
+  DPX_ASSIGN_OR_RETURN(std::vector<std::vector<Histogram>> tail_histograms,
+                       tail.ComputeAllGroupHistograms(
+                           tail_labels, base.num_clusters(), num_threads));
+
+  StatsCache cache;
+  cache.schema_ = base.schema_;
+  cache.num_rows_ = base.num_rows_ + tail.num_rows();
+  cache.cluster_sizes_ = base.cluster_sizes_;
+  for (ClusterId label : tail_labels) ++cache.cluster_sizes_[label];
+
+  cache.cluster_histograms_ = std::move(tail_histograms);
+  cache.full_histograms_.reserve(base.num_attributes());
+  for (size_t a = 0; a < base.num_attributes(); ++a) {
+    const auto attr = static_cast<AttrIndex>(a);
+    for (size_t c = 0; c < base.num_clusters(); ++c) {
+      cache.cluster_histograms_[a][c].PlusInPlace(
+          base.cluster_histogram(static_cast<ClusterId>(c), attr));
+    }
+    // Rebuild the full histogram the same way Build does — as the bin-wise
+    // sum of the per-cluster histograms in cluster order — so the float
+    // add chain matches a cold build exactly.
+    Histogram full(cache.schema_.attribute(attr).domain_size());
+    for (const Histogram& h : cache.cluster_histograms_[a]) {
+      full.PlusInPlace(h);
+    }
+    cache.full_histograms_.push_back(std::move(full));
+  }
+  return cache;
+}
+
 StatusOr<StatsCache> StatsCache::FromHistograms(
     Schema schema, std::vector<Histogram> full_histograms,
     std::vector<std::vector<Histogram>> cluster_histograms) {

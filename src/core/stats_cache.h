@@ -37,6 +37,17 @@ class StatsCache {
                                     size_t num_clusters,
                                     size_t num_threads = 0);
 
+  /// Delta-build for append-only ingest: extends `base` with the rows of
+  /// `tail` (same schema) labeled by `tail_labels`. Every histogram bin is
+  /// an integer-valued double far below 2^53, so adding the tail's exact
+  /// counts onto the base's is exact and associative — the result is
+  /// bitwise-identical to a cold Build over the concatenated dataset, at
+  /// any thread count and ISA level (tests/dataset_layout_test enforces
+  /// this). Cost is O(tail), not O(base + tail).
+  static StatusOr<StatsCache> BuildAppended(
+      const StatsCache& base, const Dataset& tail,
+      const std::vector<ClusterId>& tail_labels, size_t num_threads = 0);
+
   /// Builds a cache directly from histograms — used by the DP-Naive baseline
   /// to evaluate quality functions over *noisy* counts as post-processing.
   /// `cluster_histograms[attr][cluster]`; all histograms of attribute `attr`

@@ -4,37 +4,110 @@
 // schema infers one (each column's domain = distinct cell values in order of
 // first appearance); reading with a schema enforces the data-independent
 // domains that DP requires. The parser handles RFC 4180 quoting (quoted
-// fields, embedded commas/newlines, doubled quotes).
+// fields, embedded commas/newlines, doubled quotes) and is strict about
+// malformed quoting: a stray character after a closed quoted field is an
+// IoError with the row/column position, never a silent guess.
+//
+// Files are streamed in chunks through csv_internal::StreamParser — peak
+// memory is one chunk plus the dataset being built, not file + rows +
+// columns at once — and gated by CsvReadOptions::max_bytes the same way the
+// service gates request lines with max_request_bytes.
 
 #ifndef DPCLUSTX_DATA_CSV_H_
 #define DPCLUSTX_DATA_CSV_H_
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "data/dataset.h"
 
 namespace dpclustx {
 
+struct CsvReadOptions {
+  /// Refuse files larger than this many bytes (0 = no limit). The analogue
+  /// of the service's max_request_bytes for the file-ingest path: a
+  /// full-scale CSV should go through dpclustx_convert → DPXCOL, not an
+  /// unbounded in-service parse.
+  size_t max_bytes = 0;
+};
+
 /// Writes `dataset` to `path` with a header of attribute names and cells
-/// rendered as value labels.
+/// rendered as value labels. Labels containing commas, quotes, CR, or LF
+/// are quoted, so WriteCsv → ReadCsv round-trips them exactly.
 Status WriteCsv(const Dataset& dataset, const std::string& path);
 
 /// Reads a CSV file, inferring a categorical schema from its contents.
 /// NOTE: an inferred domain is data-*dependent*; releasing histograms over it
 /// is only DP with respect to that fixed domain. Prefer ReadCsvWithSchema for
 /// production use.
-StatusOr<Dataset> ReadCsv(const std::string& path);
+StatusOr<Dataset> ReadCsv(const std::string& path,
+                          const CsvReadOptions& options = {});
 
 /// Reads a CSV file whose header must match `schema`'s attribute names and
 /// whose cells must all be labels from the corresponding domains.
 StatusOr<Dataset> ReadCsvWithSchema(const std::string& path,
-                                    const Schema& schema);
+                                    const Schema& schema,
+                                    const CsvReadOptions& options = {});
 
 namespace csv_internal {
-/// Splits one CSV document into rows of fields (exposed for tests).
+
+/// Incremental RFC 4180 parser. Push chunks with Feed (any split points,
+/// including mid-quote and mid-CRLF), then call Finish once; every complete
+/// row is handed to the callback, which may return a non-OK Status to abort
+/// the parse (propagated to the Feed/Finish caller).
+///
+/// Dialect notes:
+///   - CR is a row terminator only as part of CRLF or as the last byte of
+///     the input (a torn final CRLF); a bare CR inside an unquoted field is
+///     preserved as data, matching WriteCsv's quoting of CR on output.
+///   - After a closed quoted field the only legal continuations are a
+///     comma, a row end, or end of input; anything else ("a"b) is an
+///     IoError naming the 1-based row and column.
+///   - A quote inside an unquoted field (ab"c) is kept literally, as
+///     before.
+class StreamParser {
+ public:
+  using RowCallback = std::function<Status(std::vector<std::string>&& row)>;
+
+  explicit StreamParser(RowCallback on_row) : on_row_(std::move(on_row)) {}
+
+  Status Feed(const char* data, size_t size);
+  Status Finish();
+
+  /// 1-based row number the parser is currently inside (rows emitted + 1).
+  size_t row_number() const { return rows_emitted_ + 1; }
+
+ private:
+  enum class State : uint8_t {
+    kFieldStart,     // nothing consumed for the current field yet
+    kUnquoted,       // inside an unquoted field
+    kQuoted,         // inside a quoted field
+    kQuoteInQuoted,  // saw a quote inside a quoted field; '"' escapes it
+    kQuoteClosed,    // quoted field just closed; ',', row end, or EOF only
+  };
+
+  Status Consume(char c);
+  Status EndRow();
+  Status StrayError(char c) const;
+
+  RowCallback on_row_;
+  State state_ = State::kFieldStart;
+  bool pending_cr_ = false;  // saw CR, waiting to see whether LF follows
+  std::string field_;
+  std::vector<std::string> row_;
+  bool field_started_ = false;
+  size_t rows_emitted_ = 0;
+  size_t column_ = 0;  // 1-based byte position in the current row's text
+  bool finished_ = false;
+};
+
+/// Splits one in-memory CSV document into rows of fields (exposed for
+/// tests; implemented on StreamParser, so both paths share one dialect).
 StatusOr<std::vector<std::vector<std::string>>> ParseDocument(
     const std::string& text);
+
 }  // namespace csv_internal
 
 }  // namespace dpclustx

@@ -40,6 +40,7 @@ Dataset::Dataset(Schema schema, WidthPolicy policy)
 }
 
 void Dataset::Reserve(size_t num_rows) {
+  DPX_CHECK(mapped_ == nullptr) << "Reserve on a mapped dataset";
   for (NarrowColumn& column : columns_) column.reserve(num_rows);
 }
 
@@ -96,6 +97,11 @@ StatusOr<Dataset> Dataset::FromColumns(Schema schema, WidthPolicy policy,
 }
 
 Status Dataset::AppendRow(const std::vector<ValueCode>& row) {
+  if (mapped_ != nullptr) {
+    return Status::FailedPrecondition(
+        "cannot append to a mapped dataset; append to the DPXCOL file "
+        "(AppendRowsToColumnar) and re-open");
+  }
   if (row.size() != schema_.num_attributes()) {
     return Status::InvalidArgument(
         "row has " + std::to_string(row.size()) + " cells, schema has " +
@@ -113,6 +119,7 @@ Status Dataset::AppendRow(const std::vector<ValueCode>& row) {
 }
 
 void Dataset::AppendRowUnchecked(const std::vector<ValueCode>& row) {
+  DPX_CHECK(mapped_ == nullptr) << "append on a mapped dataset";
   for (size_t a = 0; a < row.size(); ++a) columns_[a].push_back(row[a]);
   ++num_rows_;
 }
@@ -125,28 +132,31 @@ std::vector<ValueCode> Dataset::Row(size_t row) const {
 
 void Dataset::RowInto(size_t row, std::vector<ValueCode>* out) const {
   DPX_CHECK_LT(row, num_rows_);
-  out->resize(columns_.size());
+  const size_t attrs = schema_.num_attributes();
+  out->resize(attrs);
   ValueCode* cells = out->data();
-  for (size_t a = 0; a < columns_.size(); ++a) cells[a] = columns_[a][row];
+  for (size_t a = 0; a < attrs; ++a) {
+    cells[a] = column(static_cast<AttrIndex>(a))[row];
+  }
 }
 
 std::vector<ValueCode> Dataset::ColumnCodes(AttrIndex attr) const {
-  DPX_CHECK_LT(attr, columns_.size());
+  DPX_CHECK_LT(attr, schema_.num_attributes());
   std::vector<ValueCode> out(num_rows_);
-  VisitColumn(columns_[attr].view(), [&](const auto* codes) {
+  VisitColumn(column(attr), [&](const auto* codes) {
     for (size_t row = 0; row < num_rows_; ++row) out[row] = codes[row];
   });
   return out;
 }
 
 Histogram Dataset::ComputeHistogram(AttrIndex attr) const {
-  DPX_CHECK_LT(attr, columns_.size());
+  DPX_CHECK_LT(attr, schema_.num_attributes());
   const size_t domain = schema_.attribute(attr).domain_size();
   // Count into integers (exact; no float add chain), then widen the bins.
   // The counting loop itself is the ISA-dispatched kernel (DESIGN.md §12).
   std::vector<uint64_t> counts(domain, 0);
   const kernels::KernelTable& kt = kernels::Active();
-  VisitColumn(columns_[attr].view(), [&](const auto* codes) {
+  VisitColumn(column(attr), [&](const auto* codes) {
     kernels::HistFn(kt, codes)(codes, 0, num_rows_, domain, counts.data());
   });
   Histogram hist(domain);
@@ -158,13 +168,13 @@ Histogram Dataset::ComputeHistogram(AttrIndex attr) const {
 
 Histogram Dataset::ComputeHistogram(
     AttrIndex attr, const std::vector<uint32_t>& row_indices) const {
-  DPX_CHECK_LT(attr, columns_.size());
+  DPX_CHECK_LT(attr, schema_.num_attributes());
   const size_t domain = schema_.attribute(attr).domain_size();
   // Bounds-check the index list once up front; the kernel trusts its input.
   for (const uint32_t row : row_indices) DPX_CHECK_LT(row, num_rows_);
   std::vector<uint64_t> counts(domain, 0);
   const kernels::KernelTable& kt = kernels::Active();
-  VisitColumn(columns_[attr].view(), [&](const auto* codes) {
+  VisitColumn(column(attr), [&](const auto* codes) {
     kernels::HistRowsFn(kt, codes)(codes, row_indices.data(),
                                    row_indices.size(), domain, counts.data());
   });
@@ -178,7 +188,7 @@ Histogram Dataset::ComputeHistogram(
 std::vector<Histogram> Dataset::ComputeGroupHistograms(
     AttrIndex attr, const std::vector<uint32_t>& labels,
     size_t num_groups) const {
-  DPX_CHECK_LT(attr, columns_.size());
+  DPX_CHECK_LT(attr, schema_.num_attributes());
   DPX_CHECK_EQ(labels.size(), num_rows_);
   const size_t domain = schema_.attribute(attr).domain_size();
   for (size_t row = 0; row < num_rows_; ++row) {
@@ -187,7 +197,7 @@ std::vector<Histogram> Dataset::ComputeGroupHistograms(
   std::vector<uint64_t> counts(num_groups * domain, 0);
   const kernels::KernelTable& kt = kernels::Active();
   std::vector<uint32_t> bank;
-  VisitColumn(columns_[attr].view(), [&](const auto* codes) {
+  VisitColumn(column(attr), [&](const auto* codes) {
     // Segmented so the kernel's uint32 bank partials cannot overflow.
     for (size_t begin = 0; begin < num_rows_; begin += kGroupSegmentRows) {
       const size_t end = std::min(num_rows_, begin + kGroupSegmentRows);
@@ -220,7 +230,7 @@ Dataset::ComputeAllGroupHistograms(const std::vector<uint32_t>& labels,
   if (num_groups == 0) {
     return Status::InvalidArgument("num_groups must be >= 1");
   }
-  const size_t attrs = columns_.size();
+  const size_t attrs = schema_.num_attributes();
 
   // Flat per-shard count layout: offset[a] + label*domain(a) + value.
   std::vector<size_t> offsets(attrs + 1, 0);
@@ -259,7 +269,7 @@ Dataset::ComputeAllGroupHistograms(const std::vector<uint32_t>& labels,
           const size_t domain =
               schema_.attribute(static_cast<AttrIndex>(a)).domain_size();
           uint64_t* base = counts.data() + offsets[a];
-          VisitColumn(columns_[a].view(), [&](const auto* codes) {
+          VisitColumn(column(static_cast<AttrIndex>(a)), [&](const auto* codes) {
             kernels::GroupHistFn(kt, codes)(codes, labels.data(), begin, end,
                                             domain, num_groups, base, &bank);
           });
@@ -298,11 +308,12 @@ Dataset::ComputeAllGroupHistograms(const std::vector<uint32_t>& labels,
 }
 
 Dataset Dataset::SelectRows(const std::vector<uint32_t>& row_indices) const {
+  // Output is always heap-backed, even when the source is mapped.
   Dataset out(schema_, width_policy_);
-  for (size_t a = 0; a < columns_.size(); ++a) {
+  for (size_t a = 0; a < schema_.num_attributes(); ++a) {
     NarrowColumn& out_col = out.columns_[a];
     out_col.reserve(row_indices.size());
-    VisitColumn(columns_[a].view(), [&](const auto* codes) {
+    VisitColumn(column(static_cast<AttrIndex>(a)), [&](const auto* codes) {
       for (uint32_t row : row_indices) {
         DPX_CHECK_LT(row, num_rows_);
         out_col.push_back(codes[row]);
@@ -314,11 +325,22 @@ Dataset Dataset::SelectRows(const std::vector<uint32_t>& row_indices) const {
 }
 
 Dataset Dataset::SelectAttributes(const std::vector<AttrIndex>& attrs) const {
+  // Output is always heap-backed, even when the source is mapped.
   Dataset out(schema_.Project(attrs), width_policy_);
   for (size_t i = 0; i < attrs.size(); ++i) {
-    DPX_CHECK_LT(attrs[i], columns_.size());
-    // Same domain → same width under either policy; whole-column copy.
-    out.columns_[i] = columns_[attrs[i]];
+    DPX_CHECK_LT(attrs[i], schema_.num_attributes());
+    if (mapped_ == nullptr) {
+      // Same domain → same width under either policy; whole-column copy.
+      out.columns_[i] = columns_[attrs[i]];
+    } else {
+      NarrowColumn& out_col = out.columns_[i];
+      out_col.reserve(num_rows_);
+      VisitColumn(column(attrs[i]), [&](const auto* codes) {
+        for (size_t row = 0; row < num_rows_; ++row) {
+          out_col.push_back(codes[row]);
+        }
+      });
+    }
   }
   out.num_rows_ = num_rows_;
   return out;

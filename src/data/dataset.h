@@ -11,6 +11,7 @@
 #define DPCLUSTX_DATA_DATASET_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -20,6 +21,8 @@
 #include "data/schema.h"
 
 namespace dpclustx {
+
+class MappedColumnar;  // data/columnar_format.h
 
 class Dataset {
  public:
@@ -37,12 +40,36 @@ class Dataset {
   static StatusOr<Dataset> FromColumns(Schema schema, WidthPolicy policy,
                                        std::vector<NarrowColumn> columns);
 
+  /// Sentinel for FromMapped: use every committed row in the file.
+  static constexpr size_t kAllMappedRows = static_cast<size_t>(-1);
+
+  /// Zero-copy dataset over the first `num_rows` committed rows of a mapped
+  /// DPXCOL file (data/columnar_format.h). Column reads go straight into
+  /// the mapping; a mapped dataset is immutable (AppendRow refuses) and
+  /// keeps the mapping alive for its lifetime. Defined in
+  /// columnar_format.cc so dataset.cc stays free of the mmap machinery.
+  static StatusOr<Dataset> FromMapped(
+      std::shared_ptr<const MappedColumnar> mapped,
+      size_t num_rows = kAllMappedRows);
+
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
   size_t num_attributes() const { return schema_.num_attributes(); }
   WidthPolicy width_policy() const { return width_policy_; }
 
-  /// Physical storage width of one column.
+  /// True when the rows live in a mapped DPXCOL file rather than heap
+  /// columns. Mapped datasets are read-only; SelectRows/SelectAttributes/
+  /// SampleRows still work and produce heap-backed outputs.
+  bool is_mapped() const { return mapped_ != nullptr; }
+
+  /// The backing mapped file, or nullptr for heap datasets.
+  const std::shared_ptr<const MappedColumnar>& mapped() const {
+    return mapped_;
+  }
+
+  /// Physical storage width of one column. Mapped files are validated at
+  /// open time to use exactly the policy's widths, so this is the same
+  /// answer for both storage kinds.
   ColumnWidth column_width(AttrIndex attr) const {
     return columns_[attr].width();
   }
@@ -62,9 +89,7 @@ class Dataset {
 
   /// Cell accessor (width-dispatched; cold paths only — hot kernels should
   /// visit column() once and run a typed loop).
-  ValueCode at(size_t row, AttrIndex attr) const {
-    return columns_[attr][row];
-  }
+  ValueCode at(size_t row, AttrIndex attr) const { return column(attr)[row]; }
 
   /// Materializes one tuple (for clustering-function evaluation).
   std::vector<ValueCode> Row(size_t row) const;
@@ -75,11 +100,20 @@ class Dataset {
   void RowInto(size_t row, std::vector<ValueCode>* out) const;
 
   /// Tagged read-only span over one attribute's codes (π_A(D)). Kernels
-  /// dispatch on the width once via VisitColumn (data/column.h).
-  ColumnView column(AttrIndex attr) const { return columns_[attr].view(); }
+  /// dispatch on the width once via VisitColumn (data/column.h); the span
+  /// points into heap columns or straight into the mapped file — callers
+  /// cannot tell the difference, which is what lets the per-ISA kernels run
+  /// on mapped data unchanged.
+  ColumnView column(AttrIndex attr) const {
+    return mapped_ ? mapped_views_[attr] : columns_[attr].view();
+  }
 
   /// The owning column object (raw-bytes access for snapshot harvest).
+  /// Heap datasets only — mapped datasets are snapshotted by file
+  /// reference, never by inlined bytes.
   const NarrowColumn& narrow_column(AttrIndex attr) const {
+    DPX_CHECK(mapped_ == nullptr)
+        << "narrow_column on a mapped dataset; snapshot by file reference";
     return columns_[attr];
   }
 
@@ -128,8 +162,13 @@ class Dataset {
  private:
   Schema schema_;
   WidthPolicy width_policy_ = WidthPolicy::kAdaptive;
-  std::vector<NarrowColumn> columns_;  // [attr][row]
+  std::vector<NarrowColumn> columns_;  // [attr][row]; empty when mapped
   size_t num_rows_ = 0;
+  // Mapped storage (Dataset::FromMapped): the file handle that keeps the
+  // mmap alive plus one pre-built view per attribute, clamped to this
+  // dataset's row count. Exactly one of (columns_ rows, mapped_) holds data.
+  std::shared_ptr<const MappedColumnar> mapped_;
+  std::vector<ColumnView> mapped_views_;  // [attr]
 };
 
 }  // namespace dpclustx

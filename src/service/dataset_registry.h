@@ -11,11 +11,15 @@
 //
 // Thread-safety: the registry and each entry are internally locked; Dataset,
 // ClusteringView, and StatsCache are immutable once published and shared via
-// shared_ptr, so request threads read them without synchronization.
+// shared_ptr, so request threads read them without synchronization. Streaming
+// ingest keeps that discipline by copy-on-append: AppendRows builds a new
+// dataset generation plus new views and swaps them in atomically with an
+// epoch bump — readers holding the old generation are undisturbed.
 
 #ifndef DPCLUSTX_SERVICE_DATASET_REGISTRY_H_
 #define DPCLUSTX_SERVICE_DATASET_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -26,6 +30,8 @@
 #include "cluster/clustering.h"
 #include "common/status.h"
 #include "core/stats_cache.h"
+#include "data/columnar_format.h"
+#include "data/csv.h"
 #include "data/dataset.h"
 #include "dp/privacy_budget.h"
 
@@ -46,6 +52,12 @@ struct ClusteringView {
   size_t num_clusters = 0;
   std::vector<ClusterId> labels;
   std::shared_ptr<const StatsCache> stats;
+  /// The fitted clustering function, kept so appended rows can be labeled
+  /// with the *same* model (assignment is pure per-row given the fitted
+  /// state, so tail labels match what a full AssignAll would produce).
+  /// Null for views restored from a snapshot — those must be re-clustered
+  /// before the dataset accepts appends.
+  std::shared_ptr<const ClusteringFunction> model;
 };
 
 /// A registered dataset plus its clusterings and optional global ε cap.
@@ -72,10 +84,47 @@ class DatasetEntry {
 
   const std::string& name() const { return name_; }
   const std::string& source() const { return source_; }
-  const Dataset& dataset() const { return dataset_; }
+
+  /// The current dataset generation. Appends swap in a new generation
+  /// atomically; in-flight requests keep the shared_ptr they grabbed, so a
+  /// request never sees rows change underneath it.
+  std::shared_ptr<const Dataset> dataset() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dataset_;
+  }
+
   /// Registry-unique id, distinct across re-registrations of the same name —
   /// cache keys embed it so a replaced dataset can never serve stale bytes.
   uint64_t uid() const { return uid_; }
+
+  /// Append generation, bumped once per successful AppendRows. Release
+  /// cache keys embed (uid, epoch), so an append invalidates exactly this
+  /// dataset's cached releases and nothing else.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Restore-time only: pins the epoch saved in a snapshot so cache keys
+  /// from before the crash keep matching.
+  void PinEpoch(uint64_t epoch) {
+    epoch_.store(epoch, std::memory_order_release);
+  }
+
+  /// Outcome of one append batch.
+  struct AppendResult {
+    size_t num_rows = 0;  // total rows after the append
+    uint64_t epoch = 0;   // new epoch
+  };
+
+  /// Appends `rows` (vectors of codes, validated against the schema) as one
+  /// atomic batch: the dataset generation, every clustering view (tail rows
+  /// labeled by the view's fitted model, StatsCache delta-updated exactly —
+  /// see StatsCache::BuildAppended), and the epoch all advance together.
+  /// Mapped datasets extend their DPXCOL file in place; heap datasets copy
+  /// (O(base + tail) — fine for the modest sizes heap datasets are for).
+  /// FailedPrecondition if any view lacks a fitted model (snapshot-restored
+  /// views; re-cluster first). Appends to one entry are serialized.
+  StatusOr<AppendResult> AppendRows(
+      const std::vector<std::vector<ValueCode>>& rows,
+      size_t num_threads = 0);
 
   /// Global cross-session cap, or nullptr when uncapped.
   PrivacyBudget* cap() const { return cap_.get(); }
@@ -95,15 +144,26 @@ class DatasetEntry {
   /// Every published view, in id order (snapshot harvest).
   std::vector<std::shared_ptr<const ClusteringView>> Clusterings() const;
 
+  /// Dataset generation, views, and epoch from one locked instant — the
+  /// snapshot harvester must not pair a post-append dataset with pre-append
+  /// views (or vice versa). Null out-params are skipped.
+  void SnapshotState(
+      std::shared_ptr<const Dataset>* dataset,
+      std::vector<std::shared_ptr<const ClusteringView>>* views,
+      uint64_t* epoch) const;
+
  private:
   const std::string name_;
   const std::string source_;
   const uint64_t uid_;
-  const Dataset dataset_;
   const double cap_epsilon_;
   const std::unique_ptr<PrivacyBudget> cap_;  // null when uncapped
 
+  std::atomic<uint64_t> epoch_{0};
+  std::mutex append_mutex_;  // serializes AppendRows end to end
+
   mutable std::mutex mutex_;
+  std::shared_ptr<const Dataset> dataset_;  // guarded by mutex_
   std::map<std::string, std::shared_ptr<const ClusteringView>>
       clusterings_;  // guarded by mutex_
 };
@@ -133,11 +193,21 @@ class DatasetRegistry {
       const std::string& name, const std::string& generator, size_t rows,
       uint64_t seed, double cap_epsilon, bool replace = false);
 
-  /// Loads a CSV table (schema inferred).
+  /// Loads a CSV table (schema inferred). `max_bytes` gates the file size
+  /// like the service's max_request_bytes (0 = unlimited).
   StatusOr<std::shared_ptr<DatasetEntry>> RegisterCsv(const std::string& name,
                                                       const std::string& path,
                                                       double cap_epsilon,
-                                                      bool replace = false);
+                                                      bool replace = false,
+                                                      size_t max_bytes = 0);
+
+  /// Opens a DPXCOL file (data/columnar_format.h) via mmap, zero-copy. The
+  /// entry's dataset reads straight from the page cache, so opening a
+  /// full-scale file is O(header) and workers mapping the same file share
+  /// physical pages. `verify` forces the O(data) integrity pass.
+  StatusOr<std::shared_ptr<DatasetEntry>> RegisterColumnar(
+      const std::string& name, const std::string& path, double cap_epsilon,
+      bool replace = false, bool verify = false);
 
   StatusOr<std::shared_ptr<DatasetEntry>> Get(const std::string& name) const;
 

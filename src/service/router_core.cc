@@ -110,7 +110,8 @@ StatusOr<RouteDecision> RouterCore::Classify(const JsonValue& request) {
     return decision;
   }
 
-  if (op == "schema" || op == "cluster" || op == "create_session") {
+  if (op == "schema" || op == "cluster" || op == "append_rows" ||
+      op == "create_session") {
     DPX_ASSIGN_OR_RETURN(decision.dataset, request.GetString("dataset"));
     decision.kind = RouteKind::kShard;
     if (op == "create_session") {

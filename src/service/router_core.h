@@ -19,6 +19,7 @@
 //
 //   load_dataset            shard by "name"
 //   schema, cluster,
+//   append_rows,
 //   create_session          shard by "dataset"   (create_session also binds
 //                                                 session→dataset here)
 //   budget, size,

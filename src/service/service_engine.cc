@@ -48,10 +48,11 @@ JsonValue ErrorResponse(const Status& status, int64_t retry_after_ms = 0) {
 /// exactly these names at engine construction, so the set here and the
 /// RecordOp fast path stay in lockstep by construction.
 constexpr const char* kOps[] = {
-    "ping",   "load_dataset",   "schema",        "cluster",
-    "budget", "create_session", "close_session", "explain",
-    "hist",   "size",           "stats",         "metrics",
-    "trace",  "audit",          "save_snapshot", "load_snapshot"};
+    "ping",   "load_dataset",   "append_rows",   "schema",
+    "cluster", "budget",        "create_session", "close_session",
+    "explain", "hist",          "size",          "stats",
+    "metrics", "trace",         "audit",         "save_snapshot",
+    "load_snapshot"};
 
 bool IsKnownOp(const std::string& op) {
   for (const char* known : kOps) {
@@ -450,6 +451,8 @@ StatusOr<JsonValue> ServiceEngine::DispatchOp(
     body = std::move(pong);
   } else if (op == "load_dataset") {
     body = OpLoadDataset(request);
+  } else if (op == "append_rows") {
+    body = OpAppendRows(request);
   } else if (op == "schema") {
     body = OpSchema(request);
   } else if (op == "cluster") {
@@ -528,7 +531,7 @@ StatusOr<JsonValue> ServiceEngine::OpLoadDataset(const JsonValue& request) {
   DPX_ASSIGN_OR_RETURN(const bool replace, OptBool(request, "replace", false));
 
   StatusOr<std::shared_ptr<DatasetEntry>> entry =
-      Status::InvalidArgument("source must be 'synthetic' or 'csv'");
+      Status::InvalidArgument("source must be 'synthetic', 'csv', or 'dpxcol'");
   if (source == "synthetic") {
     DPX_ASSIGN_OR_RETURN(const std::string generator,
                          request.GetString("generator"));
@@ -538,17 +541,87 @@ StatusOr<JsonValue> ServiceEngine::OpLoadDataset(const JsonValue& request) {
                                         cap_epsilon, replace);
   } else if (source == "csv") {
     DPX_ASSIGN_OR_RETURN(const std::string path, request.GetString("path"));
-    entry = registry_.RegisterCsv(name, path, cap_epsilon, replace);
+    entry = registry_.RegisterCsv(name, path, cap_epsilon, replace,
+                                  options_.max_csv_bytes);
+  } else if (source == "dpxcol") {
+    DPX_ASSIGN_OR_RETURN(const std::string path, request.GetString("path"));
+    DPX_ASSIGN_OR_RETURN(const bool verify,
+                         OptBool(request, "verify", false));
+    entry = registry_.RegisterColumnar(name, path, cap_epsilon, replace,
+                                       verify);
   }
   DPX_RETURN_IF_ERROR(entry.status());
 
+  const std::shared_ptr<const Dataset> dataset = (*entry)->dataset();
   JsonValue body = JsonValue::Object();
   body.Set("dataset", JsonValue::String(name));
   body.Set("rows",
-           JsonValue::Number(static_cast<double>((*entry)->dataset().num_rows())));
+           JsonValue::Number(static_cast<double>(dataset->num_rows())));
   body.Set("attributes", JsonValue::Number(static_cast<double>(
-                             (*entry)->dataset().num_attributes())));
+                             dataset->num_attributes())));
+  body.Set("mapped", JsonValue::Bool(dataset->is_mapped()));
   body.Set("cap_epsilon", JsonValue::Number((*entry)->cap_epsilon()));
+  return body;
+}
+
+StatusOr<JsonValue> ServiceEngine::OpAppendRows(const JsonValue& request) {
+  DPX_RETURN_IF_ERROR(RefuseIfReadOnly("append_rows"));
+  DPX_ASSIGN_OR_RETURN(const std::string name, request.GetString("dataset"));
+  DPX_ASSIGN_OR_RETURN(const std::shared_ptr<DatasetEntry> entry,
+                       registry_.Get(name));
+  if (!request.Has("rows") ||
+      request.at("rows").type() != JsonValue::Type::kArray) {
+    return Status::InvalidArgument(
+        "'rows' must be an array of rows (each an array of cells)");
+  }
+  // Cells are resolved against the schema up front — a value label string
+  // ("white-collar") or a numeric code — so a malformed batch is rejected
+  // before anything is written anywhere.
+  const std::shared_ptr<const Dataset> dataset = entry->dataset();
+  const Schema& schema = dataset->schema();
+  const JsonValue& rows_json = request.at("rows");
+  std::vector<std::vector<ValueCode>> rows;
+  rows.reserve(rows_json.size());
+  for (size_t r = 0; r < rows_json.size(); ++r) {
+    const JsonValue& row_json = rows_json.at(r);
+    if (row_json.type() != JsonValue::Type::kArray ||
+        row_json.size() != schema.num_attributes()) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(r) + " must be an array of " +
+          std::to_string(schema.num_attributes()) + " cells");
+    }
+    std::vector<ValueCode> row(schema.num_attributes());
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      const Attribute& attr = schema.attribute(static_cast<AttrIndex>(a));
+      const JsonValue& cell = row_json.at(a);
+      if (cell.type() == JsonValue::Type::kString) {
+        DPX_ASSIGN_OR_RETURN(row[a], attr.CodeOf(cell.AsString()));
+      } else if (cell.type() == JsonValue::Type::kNumber) {
+        const double value = cell.AsNumber();
+        if (value < 0.0 || value != std::floor(value) ||
+            value >= static_cast<double>(attr.domain_size())) {
+          return Status::InvalidArgument(
+              "row " + std::to_string(r) + ", attribute '" + attr.name() +
+              "': code must be an integer in [0, " +
+              std::to_string(attr.domain_size()) + ")");
+        }
+        row[a] = static_cast<ValueCode>(value);
+      } else {
+        return Status::InvalidArgument(
+            "row " + std::to_string(r) + ", attribute '" + attr.name() +
+            "': cell must be a value label string or a numeric code");
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  DPX_ASSIGN_OR_RETURN(const DatasetEntry::AppendResult result,
+                       entry->AppendRows(rows));
+  JsonValue body = JsonValue::Object();
+  body.Set("dataset", JsonValue::String(name));
+  body.Set("appended", JsonValue::Number(static_cast<double>(rows.size())));
+  body.Set("rows", JsonValue::Number(static_cast<double>(result.num_rows)));
+  body.Set("epoch", JsonValue::Number(static_cast<double>(result.epoch)));
   return body;
 }
 
@@ -557,7 +630,8 @@ StatusOr<JsonValue> ServiceEngine::OpSchema(const JsonValue& request) {
   DPX_ASSIGN_OR_RETURN(const std::shared_ptr<DatasetEntry> entry,
                        registry_.Get(name));
   // Schemas are data-independent (paper §2): releasing them costs nothing.
-  const Schema& schema = entry->dataset().schema();
+  const std::shared_ptr<const Dataset> dataset = entry->dataset();
+  const Schema& schema = dataset->schema();
   JsonValue attributes = JsonValue::Array();
   for (const Attribute& attr : schema.attributes()) {
     JsonValue a = JsonValue::Object();
@@ -614,6 +688,10 @@ StatusOr<JsonValue> ServiceEngine::OpCluster(const JsonValue& request) {
         "' already exists with a different configuration");
   }
 
+  // One generation for the whole fit: labels and stats are computed against
+  // this snapshot, and PutClustering rejects the publish if rows were
+  // appended meanwhile (the caller retries against the new generation).
+  const std::shared_ptr<const Dataset> dataset = entry->dataset();
   StatusOr<std::unique_ptr<ClusteringFunction>> clustering =
       Status::InvalidArgument(
           "unknown method '" + method +
@@ -624,7 +702,7 @@ StatusOr<JsonValue> ServiceEngine::OpCluster(const JsonValue& request) {
       KMeansOptions options;
       options.num_clusters = k;
       options.seed = seed;
-      clustering = FitKMeans(entry->dataset(), options);
+      clustering = FitKMeans(*dataset, options);
     } else if (method == "dp-k-means") {
       // The fit is an ε-DP release: charge the requesting session (and the
       // dataset cap) before fitting.
@@ -643,22 +721,22 @@ StatusOr<JsonValue> ServiceEngine::OpCluster(const JsonValue& request) {
       options.num_clusters = k;
       options.epsilon = epsilon;
       options.seed = seed;
-      clustering = FitDpKMeans(entry->dataset(), options, nullptr);
+      clustering = FitDpKMeans(*dataset, options, nullptr);
     } else if (method == "k-modes") {
       KModesOptions options;
       options.num_clusters = k;
       options.seed = seed;
-      clustering = FitKModes(entry->dataset(), options);
+      clustering = FitKModes(*dataset, options);
     } else if (method == "agglomerative") {
       AgglomerativeOptions options;
       options.num_clusters = k;
       options.seed = seed;
-      clustering = FitAgglomerative(entry->dataset(), options);
+      clustering = FitAgglomerative(*dataset, options);
     } else if (method == "gmm") {
       GmmOptions options;
       options.num_components = k;
       options.seed = seed;
-      clustering = FitGmm(entry->dataset(), options);
+      clustering = FitGmm(*dataset, options);
     }
   }  // DPX_SPAN("clustering_fit")
   DPX_RETURN_IF_ERROR(clustering.status());
@@ -670,12 +748,16 @@ StatusOr<JsonValue> ServiceEngine::OpCluster(const JsonValue& request) {
   view->num_clusters = (*clustering)->num_clusters();
   {
     DPX_SPAN("assign_all");
-    view->labels = (*clustering)->AssignAll(entry->dataset());
+    view->labels = (*clustering)->AssignAll(*dataset);
   }
   DPX_ASSIGN_OR_RETURN(StatsCache stats,
-                       StatsCache::Build(entry->dataset(), view->labels,
+                       StatsCache::Build(*dataset, view->labels,
                                          view->num_clusters));
   view->stats = std::make_shared<const StatsCache>(std::move(stats));
+  // Keep the fitted model on the view: appended rows are labeled by the
+  // same model, so a tail assignment matches a cold AssignAll exactly.
+  view->model = std::shared_ptr<const ClusteringFunction>(
+      std::move(*clustering));
   DPX_ASSIGN_OR_RETURN(const std::shared_ptr<const ClusteringView> published,
                        entry->PutClustering(std::move(view)));
   return respond(published);
@@ -745,6 +827,10 @@ StatusOr<JsonValue> ServiceEngine::OpExplain(const JsonValue& request,
                        sessions_.Get(session_id));
   DPX_ASSIGN_OR_RETURN(const std::string clustering_id,
                        OptString(request, "clustering", "default"));
+  // Epoch read BEFORE the view: if an append lands in between, we hold the
+  // old epoch with (at worst) the new view and cache under a key no future
+  // request uses — never a stale view under the new epoch's key.
+  const uint64_t epoch = session->dataset()->epoch();
   DPX_ASSIGN_OR_RETURN(const std::shared_ptr<const ClusteringView> view,
                        session->dataset()->GetClustering(clustering_id));
 
@@ -786,9 +872,10 @@ StatusOr<JsonValue> ServiceEngine::OpExplain(const JsonValue& request,
   // "seed=auto": identical requests share the first paid-for release.
   char key[320];
   std::snprintf(key, sizeof(key),
-                "ds=%" PRIu64 " cl=%s|%s ecs=%.17g etc=%.17g eh=%.17g k=%zu "
+                "ds=%" PRIu64 " ep=%" PRIu64
+                " cl=%s|%s ecs=%.17g etc=%.17g eh=%.17g k=%zu "
                 "seed=%s th=%zu",
-                session->dataset()->uid(), clustering_id.c_str(),
+                session->dataset()->uid(), epoch, clustering_id.c_str(),
                 view->fingerprint.c_str(), options.epsilon_cand_set,
                 options.epsilon_top_comb, options.epsilon_hist,
                 options.num_candidates,
@@ -843,7 +930,9 @@ StatusOr<JsonValue> ServiceEngine::OpExplain(const JsonValue& request,
         DPX_SPAN("explain_compute");
         return ExplainDpClustXWithStats(*view->stats, options, nullptr);
       }());
-      const Schema& schema = session->dataset()->dataset().schema();
+      const std::shared_ptr<const Dataset> dataset =
+          session->dataset()->dataset();
+      const Schema& schema = dataset->schema();
       DPX_ASSIGN_OR_RETURN(
           JsonValue explanation_json,
           JsonValue::Parse(ExplanationToJson(explanation, schema)));
@@ -877,13 +966,16 @@ StatusOr<JsonValue> ServiceEngine::OpHist(const JsonValue& request) {
                        sessions_.Get(session_id));
   DPX_ASSIGN_OR_RETURN(const std::string clustering_id,
                        OptString(request, "clustering", "default"));
+  // Epoch before the view — see the ordering note in OpExplain.
+  const uint64_t epoch = session->dataset()->epoch();
   DPX_ASSIGN_OR_RETURN(const std::shared_ptr<const ClusteringView> view,
                        session->dataset()->GetClustering(clustering_id));
   DPX_ASSIGN_OR_RETURN(const std::string attr_name,
                        request.GetString("attribute"));
   DPX_ASSIGN_OR_RETURN(const double epsilon,
                        OptNumber(request, "epsilon", 0.02));
-  const Schema& schema = session->dataset()->dataset().schema();
+  const std::shared_ptr<const Dataset> dataset = session->dataset()->dataset();
+  const Schema& schema = dataset->schema();
   DPX_ASSIGN_OR_RETURN(const AttrIndex attr, schema.FindAttribute(attr_name));
   // Pinned seeds are test-only (RequestNoiseSeed rejects them in the secure
   // configuration); otherwise the seed is drawn at compute time below.
@@ -898,8 +990,9 @@ StatusOr<JsonValue> ServiceEngine::OpHist(const JsonValue& request) {
   // server-seeded requests key on "seed=auto" so they share one release.
   char key[256];
   std::snprintf(key, sizeof(key),
-                "hist ds=%" PRIu64 " cl=%s|%s attr=%s eps=%.17g seed=%s",
-                session->dataset()->uid(), clustering_id.c_str(),
+                "hist ds=%" PRIu64 " ep=%" PRIu64
+                " cl=%s|%s attr=%s eps=%.17g seed=%s",
+                session->dataset()->uid(), epoch, clustering_id.c_str(),
                 view->fingerprint.c_str(), attr_name.c_str(), epsilon,
                 pinned_seed ? std::to_string(seed).c_str() : "auto");
 
@@ -1257,25 +1350,37 @@ StatusOr<snapshot::ServiceSnapshot> ServiceEngine::HarvestSnapshot() {
     ds.name = entry->name();
     ds.source = entry->source();
     ds.uid = entry->uid();
-    const Dataset& dataset = entry->dataset();
-    ds.width_policy = static_cast<uint8_t>(dataset.width_policy());
+    // One locked instant: the dataset generation, its views, and the epoch
+    // must agree (an append swaps all three together).
+    std::shared_ptr<const Dataset> dataset;
+    std::vector<std::shared_ptr<const ClusteringView>> views;
+    entry->SnapshotState(&dataset, &views, &ds.epoch);
+    ds.width_policy = static_cast<uint8_t>(dataset->width_policy());
     ds.cap_epsilon = entry->cap_epsilon();
     if (const PrivacyBudget* cap = entry->cap()) {
       ds.cap_ledger = ToLedgerState(cap->ledger());
     }
-    ds.schema_json = SchemaToJson(dataset.schema());
-    for (size_t a = 0; a < dataset.num_attributes(); ++a) {
-      const NarrowColumn& column =
-          dataset.narrow_column(static_cast<AttrIndex>(a));
-      snapshot::ColumnState cs;
-      cs.width_tag = static_cast<uint8_t>(column.width());
-      cs.rows = column.size();
-      cs.bytes.assign(static_cast<const char*>(column.raw_data()),
-                      column.raw_size_bytes());
-      ds.columns.push_back(std::move(cs));
+    ds.schema_json = SchemaToJson(dataset->schema());
+    if (dataset->is_mapped()) {
+      // By reference: the DPXCOL file is the durable copy of the bytes.
+      // The saved row count pins the generation — the file may legitimately
+      // grow past it before the snapshot is restored.
+      ds.columnar_path = dataset->mapped()->path();
+      ds.columnar_file_uid = dataset->mapped()->file_uid();
+      ds.columnar_rows = dataset->num_rows();
+    } else {
+      for (size_t a = 0; a < dataset->num_attributes(); ++a) {
+        const NarrowColumn& column =
+            dataset->narrow_column(static_cast<AttrIndex>(a));
+        snapshot::ColumnState cs;
+        cs.width_tag = static_cast<uint8_t>(column.width());
+        cs.rows = column.size();
+        cs.bytes.assign(static_cast<const char*>(column.raw_data()),
+                        column.raw_size_bytes());
+        ds.columns.push_back(std::move(cs));
+      }
     }
-    for (const std::shared_ptr<const ClusteringView>& view :
-         entry->Clusterings()) {
+    for (const std::shared_ptr<const ClusteringView>& view : views) {
       snapshot::ClusteringState cl;
       cl.id = view->id;
       cl.description = view->description;
@@ -1331,28 +1436,62 @@ Status ServiceEngine::ApplySnapshot(const snapshot::ServiceSnapshot& state,
                              "' carries an unknown width policy");
     }
     const WidthPolicy policy = static_cast<WidthPolicy>(ds.width_policy);
-    std::vector<NarrowColumn> columns;
-    columns.reserve(ds.columns.size());
-    for (const snapshot::ColumnState& cs : ds.columns) {
-      if (cs.width_tag > static_cast<uint8_t>(ColumnWidth::k32)) {
+    StatusOr<Dataset> dataset = Status::Internal("dataset not rebuilt");
+    if (!ds.columnar_path.empty()) {
+      // By-reference DPXCOL dataset: re-open the file and map exactly the
+      // saved row prefix (the file may have grown since the save — those
+      // appends belong to a later epoch than this snapshot).
+      if (!ds.columns.empty()) {
         return Status::IoError("snapshot dataset '" + ds.name +
-                               "' carries an unknown column width");
+                               "' carries both inline columns and a "
+                               "columnar file reference");
       }
-      const ColumnWidth width = static_cast<ColumnWidth>(cs.width_tag);
-      if (cs.bytes.size() != cs.rows * ColumnWidthBytes(width)) {
+      StatusOr<std::shared_ptr<const MappedColumnar>> mapped =
+          MappedColumnar::Open(ds.columnar_path);
+      if (!mapped.ok()) {
+        return Status::IoError(
+            "snapshot dataset '" + ds.name + "' references columnar file '" +
+            ds.columnar_path + "': " + mapped.status().message());
+      }
+      if ((*mapped)->file_uid() != ds.columnar_file_uid) {
+        return Status::IoError(
+            "snapshot dataset '" + ds.name + "' expects columnar file uid " +
+            std::to_string(ds.columnar_file_uid) + " but '" +
+            ds.columnar_path + "' has uid " +
+            std::to_string((*mapped)->file_uid()) +
+            " — the file was replaced since the snapshot was saved");
+      }
+      dataset = Dataset::FromMapped(std::move(*mapped), ds.columnar_rows);
+      if (dataset.ok() && SchemaToJson(dataset->schema()) != ds.schema_json) {
         return Status::IoError("snapshot dataset '" + ds.name +
-                               "' has a column whose byte count does not "
-                               "match its row count");
+                               "' schema does not match the columnar file's");
       }
-      NarrowColumn column(width);
-      column.AssignRaw(width, cs.bytes.data(), cs.bytes.size());
-      columns.push_back(std::move(column));
+    } else {
+      std::vector<NarrowColumn> columns;
+      columns.reserve(ds.columns.size());
+      for (const snapshot::ColumnState& cs : ds.columns) {
+        if (cs.width_tag > static_cast<uint8_t>(ColumnWidth::k32)) {
+          return Status::IoError("snapshot dataset '" + ds.name +
+                                 "' carries an unknown column width");
+        }
+        const ColumnWidth width = static_cast<ColumnWidth>(cs.width_tag);
+        if (cs.bytes.size() != cs.rows * ColumnWidthBytes(width)) {
+          return Status::IoError("snapshot dataset '" + ds.name +
+                                 "' has a column whose byte count does not "
+                                 "match its row count");
+        }
+        NarrowColumn column(width);
+        column.AssignRaw(width, cs.bytes.data(), cs.bytes.size());
+        columns.push_back(std::move(column));
+      }
+      dataset = Dataset::FromColumns(std::move(schema), policy,
+                                     std::move(columns));
     }
-    DPX_ASSIGN_OR_RETURN(
-        Dataset dataset,
-        Dataset::FromColumns(std::move(schema), policy, std::move(columns)));
+    DPX_RETURN_IF_ERROR(dataset.status());
     auto entry = std::make_shared<DatasetEntry>(
-        ds.name, ds.source, std::move(dataset), ds.cap_epsilon, ds.uid);
+        ds.name, ds.source, std::move(*dataset), ds.cap_epsilon, ds.uid);
+    // Pinned like the uid: cached release keys embed (uid, epoch).
+    entry->PinEpoch(ds.epoch);
     if (entry->cap() == nullptr && !ds.cap_ledger.empty()) {
       return Status::IoError("snapshot dataset '" + ds.name +
                              "' has cap charges but no cap");
@@ -1377,7 +1516,7 @@ Status ServiceEngine::ApplySnapshot(const snapshot::ServiceSnapshot& state,
       // bitwise-identical for the same (columns, labels).
       DPX_ASSIGN_OR_RETURN(
           StatsCache stats,
-          StatsCache::Build(entry->dataset(), view->labels,
+          StatsCache::Build(*entry->dataset(), view->labels,
                             view->num_clusters));
       view->stats = std::make_shared<const StatsCache>(std::move(stats));
       DPX_RETURN_IF_ERROR(entry->PutClustering(std::move(view)).status());
@@ -1532,8 +1671,7 @@ StatusOr<ServiceEngine::RestoreReport> ServiceEngine::RestoreFromFiles(
   DPX_RETURN_IF_ERROR(state.status());
 
   RestoreReport report;
-  // The loader refuses any other version, so a decoded snapshot is ours.
-  report.format_version = snapshot::kSnapshotFormatVersion;
+  report.format_version = state->format_version;
   DPX_RETURN_IF_ERROR(ApplySnapshot(*state, &report));
   if (!journal_path.empty()) {
     DPX_RETURN_IF_ERROR(

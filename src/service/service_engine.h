@@ -9,9 +9,19 @@
 //
 // Ops (fields beyond op/id):
 //   ping
-//   load_dataset   name, source ("synthetic"|"csv"), generator|path,
+//   load_dataset   name, source ("synthetic"|"csv"|"dpxcol"), generator|path,
 //                  [rows], [seed], [cap_epsilon] (<=0/absent = uncapped),
-//                  [replace]
+//                  [replace], [verify] (dpxcol: force the O(data) integrity
+//                                       pass; the default open is O(header))
+//   append_rows    dataset, rows (array of rows; each row an array of cells,
+//                  one per schema attribute — a value label string or a
+//                  numeric code). Extends the dataset in place (mapped
+//                  datasets extend their DPXCOL file durably), delta-updates
+//                  every clustering view's StatsCache exactly, and bumps the
+//                  dataset epoch so cached releases for older generations
+//                  stop matching. Refused while any clustering view lacks a
+//                  fitted model (snapshot-restored views: re-run cluster
+//                  first).
 //   schema         dataset                     (data-independent, free)
 //   cluster        dataset, clustering, method, k, [seed],
 //                  [epsilon], [session]        (dp-k-means charges the
@@ -155,6 +165,12 @@ struct ServiceEngineOptions {
   /// Requests larger than this many bytes are rejected before parsing (a
   /// hostile payload must not cost a parse proportional to its size).
   size_t max_request_bytes = 1u << 20;
+  /// CSV files larger than this many bytes are refused by load_dataset
+  /// (source "csv") before any row is parsed — the same gate discipline as
+  /// max_request_bytes, for the file a request points at rather than the
+  /// request itself. 0 = unlimited. Full-scale data belongs in DPXCOL
+  /// (tools/dpclustx_convert), which opens in O(header) regardless of size.
+  size_t max_csv_bytes = 0;
   /// TEST ONLY fault-injection hook; see FaultPoint. Leave empty in any
   /// deployment.
   FaultInjector fault_injector;
@@ -176,8 +192,8 @@ struct ServiceEngineOptions {
   /// Audit-log tail records retained (totals stay exact regardless).
   size_t audit_capacity = 4096;
   /// Read-only replica mode: every op that would charge ε or mutate state
-  /// (load_dataset, cluster, create_session, close_session, size,
-  /// save_snapshot, and cache *misses* on explain/hist) is refused with
+  /// (load_dataset, append_rows, cluster, create_session, close_session,
+  /// size, save_snapshot, and cache *misses* on explain/hist) is refused with
   /// FailedPrecondition. Cache hits still serve — a hit is free
   /// post-processing of an already-paid-for release — so a replica restored
   /// from the primary's snapshot can absorb repeat-read traffic. The router
@@ -291,6 +307,7 @@ class ServiceEngine {
   // Per-op handlers; return the response body (merged with ok/id by
   // Dispatch) or a Status that Dispatch converts to an error response.
   StatusOr<JsonValue> OpLoadDataset(const JsonValue& request);
+  StatusOr<JsonValue> OpAppendRows(const JsonValue& request);
   StatusOr<JsonValue> OpSchema(const JsonValue& request);
   StatusOr<JsonValue> OpCluster(const JsonValue& request);
   StatusOr<JsonValue> OpCreateSession(const JsonValue& request);

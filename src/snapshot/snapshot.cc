@@ -63,10 +63,15 @@ std::string EncodeDatasets(const ServiceSnapshot& state) {
     w.PutString(ds.name);
     w.PutString(ds.source);
     w.PutU64(ds.uid);
+    w.PutU64(ds.epoch);  // v2
     w.PutU8(ds.width_policy);
     w.PutDouble(ds.cap_epsilon);
     PutLedger(w, ds.cap_ledger);
     w.PutString(ds.schema_json);
+    // v2: by-reference DPXCOL source (empty path = inline columns below).
+    w.PutString(ds.columnar_path);
+    w.PutU64(ds.columnar_file_uid);
+    w.PutU64(ds.columnar_rows);
     w.PutU64(ds.columns.size());
     for (const ColumnState& col : ds.columns) {
       w.PutU8(col.width_tag);
@@ -86,8 +91,8 @@ std::string EncodeDatasets(const ServiceSnapshot& state) {
   return w.Take();
 }
 
-StatusOr<std::vector<DatasetState>> DecodeDatasets(
-    const std::string& payload) {
+StatusOr<std::vector<DatasetState>> DecodeDatasets(const std::string& payload,
+                                                   uint32_t version) {
   ByteReader r(payload);
   DPX_ASSIGN_OR_RETURN(const uint64_t count, r.GetU64());
   std::vector<DatasetState> datasets;
@@ -97,10 +102,18 @@ StatusOr<std::vector<DatasetState>> DecodeDatasets(
     DPX_ASSIGN_OR_RETURN(ds.name, r.GetString());
     DPX_ASSIGN_OR_RETURN(ds.source, r.GetString());
     DPX_ASSIGN_OR_RETURN(ds.uid, r.GetU64());
+    if (version >= 2) {
+      DPX_ASSIGN_OR_RETURN(ds.epoch, r.GetU64());
+    }
     DPX_ASSIGN_OR_RETURN(ds.width_policy, r.GetU8());
     DPX_ASSIGN_OR_RETURN(ds.cap_epsilon, r.GetDouble());
     DPX_ASSIGN_OR_RETURN(ds.cap_ledger, GetLedger(r));
     DPX_ASSIGN_OR_RETURN(ds.schema_json, r.GetString());
+    if (version >= 2) {
+      DPX_ASSIGN_OR_RETURN(ds.columnar_path, r.GetString());
+      DPX_ASSIGN_OR_RETURN(ds.columnar_file_uid, r.GetU64());
+      DPX_ASSIGN_OR_RETURN(ds.columnar_rows, r.GetU64());
+    }
     DPX_ASSIGN_OR_RETURN(const uint64_t num_columns, r.GetU64());
     ds.columns.reserve(num_columns);
     for (uint64_t c = 0; c < num_columns; ++c) {
@@ -259,6 +272,7 @@ StatusOr<ServiceSnapshot> DecodeServiceSnapshot(const std::string& bytes) {
   DPX_ASSIGN_OR_RETURN(const std::vector<Section> sections,
                        ParseSnapshotFile(bytes, &version));
   ServiceSnapshot state;
+  state.format_version = version;
   bool saw_datasets = false, saw_sessions = false, saw_audit = false;
   for (const Section& section : sections) {
     switch (section.id) {
@@ -267,7 +281,7 @@ StatusOr<ServiceSnapshot> DecodeServiceSnapshot(const std::string& bytes) {
         break;
       case SectionId::kDatasets: {
         DPX_ASSIGN_OR_RETURN(state.datasets,
-                             DecodeDatasets(section.payload));
+                             DecodeDatasets(section.payload, version));
         saw_datasets = true;
         break;
       }

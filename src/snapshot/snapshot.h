@@ -4,7 +4,9 @@
 // worker must not lose across a crash or restart:
 //
 //   - every registered dataset: schema (as serialization JSON), the narrow
-//     column bytes exactly as stored (PR 4 layout), the source fingerprint
+//     column bytes exactly as stored (PR 4 layout) — or, for memory-mapped
+//     DPXCOL datasets, a by-reference (path, file uid, rows) triple instead
+//     of the bytes — the source fingerprint
 //     and registry uid (uids are pinned across restore so cached release
 //     keys stay valid), the cross-session ε cap and its ledger, and every
 //     published clustering view (labels only — the StatsCache is rebuilt
@@ -64,15 +66,29 @@ struct ColumnState {
   std::string bytes;  // rows * width bytes, host-order codes
 };
 
-/// One registered dataset.
+/// One registered dataset. Heap datasets inline their column bytes in
+/// `columns`; memory-mapped (DPXCOL) datasets are saved *by reference*
+/// instead — `columnar_path` names the file, `columnar_file_uid` pins its
+/// identity (the restore refuses a swapped file), and `columnar_rows` is the
+/// row count at save time (the file may have grown since: appends are
+/// durable in the file itself, and the restore maps exactly the saved
+/// prefix so the rebuilt state matches the snapshot's ledgers and caches).
 struct DatasetState {
   std::string name;
   std::string source;
   uint64_t uid = 0;
+  /// Append generation at save time (format v2+; 0 in v1 files). Release
+  /// cache keys embed it, so it is pinned across restore like the uid.
+  uint64_t epoch = 0;
   uint8_t width_policy = 0;  // WidthPolicy as u8
   double cap_epsilon = 0.0;  // <= 0 = uncapped
   std::vector<LedgerEntryState> cap_ledger;
   std::string schema_json;  // serialization::SchemaToJson payload
+  /// Non-empty = by-reference DPXCOL dataset (format v2+): `columns` is
+  /// empty and the data lives in this file.
+  std::string columnar_path;
+  uint64_t columnar_file_uid = 0;
+  uint64_t columnar_rows = 0;
   std::vector<ColumnState> columns;
   std::vector<ClusteringState> clusterings;
 };
@@ -132,6 +148,10 @@ struct AuditState {
 
 /// The whole worker state.
 struct ServiceSnapshot {
+  /// The format version this state was decoded from (kSnapshotFormatVersion
+  /// when built fresh for encoding). Older-version files load with the new
+  /// fields at their defaults (epoch 0, no columnar reference).
+  uint32_t format_version = kSnapshotFormatVersion;
   std::vector<DatasetState> datasets;
   std::vector<SessionState> sessions;
   std::vector<CacheEntryState> cache;  // LRU order, oldest first

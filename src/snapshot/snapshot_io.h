@@ -45,8 +45,11 @@ inline constexpr char kSnapshotMagic[8] = {'D', 'P', 'X', 'S',
                                            'N', 'A', 'P', '\n'};
 
 /// Current snapshot format version. Bump on any incompatible layout change;
-/// the loader refuses anything newer (see file comment).
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// the loader refuses anything newer (see file comment). History:
+///   1  initial layout (PR 6)
+///   2  DatasetState gains epoch + an optional by-reference DPXCOL source
+///      (path, file uid, row count) instead of inline column bytes
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 
 /// Section identifiers. Values are part of the on-disk format — append new
 /// ones, never renumber.

@@ -54,6 +54,80 @@ TEST_F(CsvTest, ParseDocumentUnterminatedQuoteFails) {
   EXPECT_FALSE(csv_internal::ParseDocument("a\n\"oops\n").ok());
 }
 
+TEST_F(CsvTest, ParseDocumentPreservesBareMidFieldCr) {
+  // A CR that is not followed by LF and not at end of input is field data,
+  // not a row terminator — WriteCsv quotes CR on output, so a bare one in
+  // the input must survive the trip through the parser.
+  const auto rows = csv_internal::ParseDocument("a,b\nx\ry,2\n");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"x\ry", "2"}));
+}
+
+TEST_F(CsvTest, ParseDocumentTornFinalCrlf) {
+  // Input ending in a lone CR: treated as a row terminator (a CRLF whose LF
+  // was cut off), not as trailing field data.
+  const auto rows = csv_internal::ParseDocument("a,b\r\n1,2\r");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST_F(CsvTest, ParseDocumentStrayAfterClosedQuoteIsPositionedError) {
+  const auto rows = csv_internal::ParseDocument("head\n\"a\"b\n");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kIoError);
+  // The error names the 1-based row and column so users can find the typo
+  // in a multi-gigabyte file.
+  EXPECT_NE(rows.status().message().find("row 2"), std::string::npos)
+      << rows.status().message();
+  EXPECT_NE(rows.status().message().find("column"), std::string::npos)
+      << rows.status().message();
+}
+
+TEST_F(CsvTest, ParseDocumentEmptyQuotedFields) {
+  const auto rows = csv_internal::ParseDocument("a,b\n\"\",\"\"\n");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"", ""}));
+}
+
+TEST_F(CsvTest, ParseDocumentKeepsQuoteInsideUnquotedField) {
+  const auto rows = csv_internal::ParseDocument("a\nab\"c\n");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ((*rows)[1][0], "ab\"c");
+}
+
+TEST_F(CsvTest, StreamParserSplitPointsDoNotChangeTheDialect) {
+  // Feeding one byte at a time must parse identically to one big chunk —
+  // the chunked reader may split mid-quote, mid-CRLF, or mid-escape.
+  const std::string doc =
+      "a,b\r\n\"x\r\ny\",\"q\"\"q\"\r\nplain,v\r";
+  const auto whole = csv_internal::ParseDocument(doc);
+  ASSERT_TRUE(whole.ok()) << whole.status();
+
+  std::vector<std::vector<std::string>> streamed;
+  csv_internal::StreamParser parser(
+      [&streamed](std::vector<std::string>&& row) {
+        streamed.push_back(std::move(row));
+        return Status::OK();
+      });
+  for (char c : doc) ASSERT_TRUE(parser.Feed(&c, 1).ok());
+  ASSERT_TRUE(parser.Finish().ok());
+  EXPECT_EQ(streamed, *whole);
+}
+
+TEST_F(CsvTest, ReadCsvMaxBytesGate) {
+  const std::string path = TempPath("gate.csv");
+  const std::string content = "a\nx\ny\n";
+  WriteFile(path, content);
+  CsvReadOptions tight;
+  tight.max_bytes = content.size() - 1;
+  EXPECT_EQ(ReadCsv(path, tight).status().code(), StatusCode::kIoError);
+  CsvReadOptions exact;
+  exact.max_bytes = content.size();
+  EXPECT_TRUE(ReadCsv(path, exact).ok());
+}
+
 TEST_F(CsvTest, ReadCsvInfersSchema) {
   const std::string path = TempPath("infer.csv");
   WriteFile(path, "color,size\nred,small\nblue,large\nred,large\n");

@@ -14,6 +14,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <set>
 #include <string>
@@ -515,6 +516,50 @@ TEST(RouterE2eTest, ReplicaServesRepeatReadsAfterSync) {
       "r6", R"({"op":"budget","session":"alice","id":"r6"})");
   ExpectOk(budget);
   EXPECT_DOUBLE_EQ(budget.at("spent").AsNumber(), 0.1);
+}
+
+TEST(RouterE2eTest, GarbageWorkerLinesFailTheRequestNotTheRouter) {
+  const std::string state = FreshStateDir("garbage");
+  // A "worker" that answers every request line with something that is not
+  // JSON. The router must not hang the client that is waiting on it, and
+  // must not crash — it fails the pending request with a structured error
+  // and counts the dropped line.
+  const std::string fake = state + "/garbage_worker.sh";
+  {
+    std::ofstream out(fake);
+    out << "#!/bin/sh\nwhile read line; do echo 'garbage not json'; done\n";
+  }
+  ::chmod(fake.c_str(), 0755);
+
+  const std::string build = BuildDir();
+  RouterProcess router({build + "/tools/dpclustx_router",
+                        "--workers", "1",
+                        "--replicas", "0",
+                        "--serve", fake,
+                        "--state-dir", state,
+                        // No health pings during the test window: a ping
+                        // would also get a garbage reply and eventually
+                        // respawn the worker, which is not what we probe.
+                        "--health-interval-ms", "60000",
+                        "--health-deadline-ms", "2000",
+                        "--health-misses", "3"});
+
+  const JsonValue response = router.Call(
+      "c1", R"({"op":"schema","dataset":"d","id":"c1"})");
+  ASSERT_TRUE(response.Has("ok")) << response.Dump();
+  EXPECT_FALSE(response.at("ok").AsBool()) << response.Dump();
+  EXPECT_EQ(response.at("error").at("code").AsString(), "Internal")
+      << response.Dump();
+  EXPECT_NE(response.at("error").at("message").AsString().find("malformed"),
+            std::string::npos)
+      << response.Dump();
+
+  // The drop is visible in the router's own status surface.
+  const JsonValue status =
+      router.Call("c2", R"({"op":"_router_status","id":"c2"})");
+  ExpectOk(status);
+  EXPECT_GE(status.at("dropped_lines_total").AsNumber(), 1.0)
+      << status.Dump();
 }
 
 }  // namespace

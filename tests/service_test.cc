@@ -6,12 +6,15 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <map>
 #include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "data/columnar_format.h"
+#include "data/dataset.h"
 #include "gtest/gtest.h"
 
 namespace dpclustx::service {
@@ -744,6 +747,144 @@ TEST(ServiceTest, InjectedRegistryOutlivesTheEngine) {
       << text;
   // Callback gauges from both destroyed engines are gone, not dangling.
   EXPECT_EQ(text.find("dpclustx_cache_size"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming ingest: append_rows and memory-mapped DPXCOL sources.
+// ---------------------------------------------------------------------------
+
+/// Writes a small DPXCOL file (3 attrs matching nothing in particular) and
+/// returns its path. `capacity_rows` reserves append headroom.
+std::string WriteSmallColumnar(const std::string& name, size_t capacity_rows) {
+  Schema schema({Attribute("color", {"red", "green", "blue"}),
+                 Attribute("size", {"s", "m", "l", "xl"}),
+                 Attribute("grade", {"lo", "hi"})});
+  Dataset dataset(schema);
+  for (size_t r = 0; r < 12; ++r) {
+    dataset.AppendRowUnchecked({static_cast<ValueCode>(r % 3),
+                                static_cast<ValueCode>(r % 4),
+                                static_cast<ValueCode>(r % 2)});
+  }
+  const std::string path =
+      testing::TempDir() + "/dpclustx_service_" + name + ".dpxcol";
+  std::remove(path.c_str());
+  ColumnarWriteOptions options;
+  options.capacity_rows = capacity_rows;
+  Status written = WriteColumnarFile(dataset, path, options);
+  EXPECT_TRUE(written.ok()) << written;
+  return path;
+}
+
+/// Builds an append_rows request for dataset `name` with one row of
+/// `cells` zero codes (code 0 is valid in every domain).
+std::string ZeroRowAppend(const std::string& name, size_t cells) {
+  std::string row = "[";
+  for (size_t a = 0; a < cells; ++a) row += (a == 0 ? "0" : ",0");
+  row += "]";
+  return R"({"op":"append_rows","dataset":")" + name + R"(","rows":[)" +
+         row + "]}";
+}
+
+TEST(ServiceTest, AppendRowsBumpsEpochAndInvalidatesCachedReleases) {
+  ServiceEngine engine(DebugNoise());
+  SetUpDataset(engine);
+  ExpectOk(Call(engine, R"({"op":"create_session","session":"alice",)"
+                        R"("dataset":"d","epsilon":10.0})"));
+  const std::string request =
+      R"({"op":"explain","session":"alice","epsilon":0.3,"seed":11})";
+  ExpectOk(Call(engine, request));
+  ASSERT_TRUE(Call(engine, request).at("cache_hit").AsBool());
+
+  // Appending a row advances the dataset epoch...
+  const JsonValue append = Call(engine, ZeroRowAppend("d", 47));
+  ExpectOk(append);
+  EXPECT_EQ(append.at("appended").AsNumber(), 1.0);
+  EXPECT_EQ(append.at("rows").AsNumber(), 1501.0);
+  EXPECT_GE(append.at("epoch").AsNumber(), 1.0);
+
+  // ...so the same explain request is no longer a cache hit: the cached
+  // release described the pre-append data and must not be re-served.
+  const JsonValue after = Call(engine, request);
+  ExpectOk(after);
+  EXPECT_FALSE(after.at("cache_hit").AsBool());
+}
+
+TEST(ServiceTest, AppendRowsValidatesCellsBeforeWritingAnything) {
+  ServiceEngine engine(DebugNoise());
+  SetUpDataset(engine);
+  // Wrong arity (diabetes rows have 47 cells).
+  ExpectError(Call(engine,
+                   R"({"op":"append_rows","dataset":"d","rows":[[0]]})"),
+              "InvalidArgument");
+  // Out-of-domain numeric code (diabetes domains top out at 39).
+  std::string bad = ZeroRowAppend("d", 47);
+  bad.replace(bad.find("[[0"), 3, "[[999");
+  ExpectError(Call(engine, bad), "InvalidArgument");
+  // Unknown dataset.
+  ExpectError(Call(engine,
+                   R"({"op":"append_rows","dataset":"ghost","rows":[[0]]})"),
+              "NotFound");
+  // A rejected batch leaves the row count untouched.
+  const auto entry = engine.registry().Get("d");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ((*entry)->dataset()->num_rows(), 1500u);
+}
+
+TEST(ServiceTest, AppendRowsRefusedOnReadOnlyReplicas) {
+  ServiceEngineOptions options = DebugNoise();
+  options.read_only = true;
+  ServiceEngine replica(options);
+  // Refused before any dataset lookup: replicas never mutate state.
+  ExpectError(Call(replica,
+                   R"({"op":"append_rows","dataset":"d","rows":[[0]]})"),
+              "FailedPrecondition");
+}
+
+TEST(ServiceTest, ColumnarDatasetLoadsMappedAndServesExplains) {
+  ServiceEngine engine(DebugNoise());
+  const std::string path = WriteSmallColumnar("load", /*capacity_rows=*/0);
+  const JsonValue load = Call(
+      engine, R"({"op":"load_dataset","name":"m","source":"dpxcol",)"
+              R"("path":")" + path + R"(","verify":true})");
+  ExpectOk(load);
+  EXPECT_TRUE(load.at("mapped").AsBool());
+  EXPECT_EQ(load.at("rows").AsNumber(), 12.0);
+  EXPECT_EQ(load.at("attributes").AsNumber(), 3.0);
+
+  ExpectOk(Call(engine,
+                R"({"op":"cluster","dataset":"m","method":"k-modes","k":2,)"
+                R"("seed":5})"));
+  ExpectOk(Call(engine, R"({"op":"create_session","session":"bob",)"
+                        R"("dataset":"m","epsilon":2.0})"));
+  const JsonValue explain = Call(
+      engine, R"({"op":"explain","session":"bob","epsilon":0.5,"seed":3})");
+  ExpectOk(explain);
+  EXPECT_FALSE(explain.at("text").AsString().empty());
+  std::remove(path.c_str());
+}
+
+TEST(ServiceTest, AppendToMappedDatasetGrowsTheFileOnDisk) {
+  ServiceEngine engine(DebugNoise());
+  const std::string path = WriteSmallColumnar("grow", /*capacity_rows=*/64);
+  ExpectOk(Call(engine,
+                R"({"op":"load_dataset","name":"m","source":"dpxcol",)"
+                R"("path":")" + path + R"("})"));
+  // Mix label-string and numeric-code cells in one batch.
+  const JsonValue append = Call(
+      engine, R"({"op":"append_rows","dataset":"m",)"
+              R"("rows":[["red","xl","hi"],[2,0,0]]})");
+  ExpectOk(append);
+  EXPECT_EQ(append.at("rows").AsNumber(), 14.0);
+
+  // The durable file — reopened offline — has the new rows committed.
+  auto reopened = MappedColumnar::Open(path, {/*verify_data=*/true});
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->num_rows(), 14u);
+  auto offline = Dataset::FromMapped(*reopened);
+  ASSERT_TRUE(offline.ok()) << offline.status();
+  EXPECT_EQ(offline->Row(12), (std::vector<ValueCode>{0, 3, 1}));
+  EXPECT_EQ(offline->Row(13), (std::vector<ValueCode>{2, 0, 0}));
+  std::remove(path.c_str());
 }
 
 }  // namespace

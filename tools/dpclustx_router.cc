@@ -50,7 +50,8 @@
 // Router-level ops (handled here, never forwarded):
 //
 //   {"op":"_router_status"}          topology, worker liveness, restarts,
-//                                    bound sessions
+//                                    bound sessions, dropped worker lines
+//                                    (dpclustx_router_dropped_lines_total)
 //   {"op":"_router_sync_replicas"}   save_snapshot on every shard, then
 //                                    respawn replicas from the fresh files
 //
@@ -68,6 +69,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -81,6 +83,7 @@
 #include "common/logging.h"
 #include "common/status.h"
 #include "obs/build_info.h"
+#include "obs/metrics.h"
 #include "service/router_core.h"
 
 namespace {
@@ -187,7 +190,12 @@ class Router {
         state_dir_(std::move(state_dir)),
         health_interval_ms_(health_interval_ms),
         health_deadline_ms_(health_deadline_ms),
-        health_misses_(health_misses) {
+        health_misses_(health_misses),
+        dropped_lines_counter_(
+            dpclustx::obs::MetricsRegistry::Default().RegisterCounter(
+                "dpclustx_router_dropped_lines_total",
+                "worker stdout lines the router could not parse or "
+                "attribute to a request")) {
     for (size_t i = 0; i < num_shards; ++i) {
       auto w = std::make_unique<WorkerProc>();
       w->name = "shard-" + std::to_string(i);
@@ -405,8 +413,7 @@ class Router {
     if (!parsed.ok() || parsed->type() != JsonValue::Type::kObject ||
         !parsed->Has("id") ||
         parsed->at("id").type() != JsonValue::Type::kString) {
-      // Every line we send carries a string router id; anything else is a
-      // stray (e.g. a response to a request from a previous incarnation).
+      DropMalformedLine(w, line);
       return;
     }
     const std::string rid = parsed->at("id").AsString();
@@ -475,6 +482,50 @@ class Router {
                       rid, "primary '" + retry_worker->name +
                                "' is down; retry once it respawns");
     }
+  }
+
+  /// A malformed worker line — unparseable JSON, or missing the string
+  /// router id every forwarded request carries — means some request's
+  /// response is unrecoverable: the worker consumed a request slot and
+  /// produced garbage. Silently ignoring it would leave that client waiting
+  /// until the worker dies. Workers answer in request order (the protocol
+  /// is pipelined per worker), so the garbage overwhelmingly belongs to the
+  /// oldest single-shot request the worker still owes: that request is
+  /// failed with a structured Internal error and the breach is counted in
+  /// dpclustx_router_dropped_lines_total (exposed via _router_status).
+  void DropMalformedLine(WorkerProc& w, const std::string& line) {
+    dropped_lines_.fetch_add(1, std::memory_order_relaxed);
+    dropped_lines_counter_->Increment();
+    std::cerr << "[router] " << w.name << " emitted a malformed line ("
+              << line.size() << " bytes); failing its oldest pending"
+              << " request\n";
+    std::string rid;
+    std::shared_ptr<PendingEntry> victim;
+    uint64_t oldest = 0;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      for (const auto& [id, entry] : pending_) {
+        if (entry->kind != PendingEntry::Kind::kSingle) continue;
+        if (entry->worker != w.name) continue;
+        // Single ids are "r<seq>"; the smallest sequence is the oldest.
+        const uint64_t seq = std::strtoull(id.c_str() + 1, nullptr, 10);
+        if (victim == nullptr || seq < oldest) {
+          oldest = seq;
+          rid = id;
+          victim = entry;
+        }
+      }
+      if (victim != nullptr) pending_.erase(rid);
+    }
+    if (victim == nullptr) return;  // a stray; nothing was waiting on it
+    pending_cv_.notify_all();
+    JsonValue response = ErrorBody(
+        StatusCode::kInternal,
+        "worker '" + w.name +
+            "' emitted a malformed response line; the request was consumed "
+            "but its response is unrecoverable — retry");
+    if (victim->has_client_id) response.Set("id", victim->client_id);
+    WriteClientLine(response.Dump());
   }
 
   /// True when a worker response is the read-only / unknown-state refusal a
@@ -861,6 +912,9 @@ class Router {
                  JsonValue::Number(
                      static_cast<double>(core_.sessions().size())));
     response.Set("state_dir", JsonValue::String(state_dir_));
+    response.Set("dropped_lines_total",
+                 JsonValue::Number(static_cast<double>(
+                     dropped_lines_.load(std::memory_order_relaxed))));
     if (has_id) response.Set("id", client_id);
     WriteClientLine(response.Dump());
   }
@@ -933,6 +987,12 @@ class Router {
   int64_t health_interval_ms_;
   int64_t health_deadline_ms_;
   int health_misses_;
+
+  // Malformed worker output lines. The atomic feeds _router_status; the
+  // registry counter keeps the metric name dpclustx_router_dropped_lines_total
+  // in the process registry alongside every other instrument.
+  std::atomic<uint64_t> dropped_lines_{0};
+  dpclustx::obs::Counter* dropped_lines_counter_;
 };
 
 std::string DefaultServeBinary() {

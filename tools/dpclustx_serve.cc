@@ -25,6 +25,9 @@
 //   --deadline-ms N          default per-request deadline in ms, counted
 //                            from enqueue; requests may override with their
 //                            own "deadline_ms" field (default 0 = none)
+//   --max-csv-bytes N        refuse load_dataset csv files larger than N
+//                            bytes (default 0 = no limit; convert big files
+//                            to DPXCOL with dpclustx_convert instead)
 //   --sync                   serve each request on the reader thread, in
 //                            order (deterministic scripted sessions)
 //   --trace-all              trace every request into the engine's trace
@@ -92,6 +95,9 @@ constexpr const char kUsage[] =
     "  --cache N                release-cache entries (default 1024)\n"
     "  --deadline-ms N          default per-request deadline in ms, counted\n"
     "                           from enqueue (default 0 = none)\n"
+    "  --max-csv-bytes N        refuse load_dataset csv files larger than N\n"
+    "                           bytes (default 0 = no limit; use\n"
+    "                           dpclustx_convert for big files)\n"
     "  --sync                   serve each request on the reader thread, in\n"
     "                           order (deterministic scripted sessions)\n"
     "  --trace-all              trace every request into the trace ring\n"
@@ -208,6 +214,8 @@ int main(int argc, char** argv) {
         ParseSizeFlag(argc, argv, &i, "--queue", &options.queue_capacity) ||
         ParseSizeFlag(argc, argv, &i, "--cache", &options.cache_capacity) ||
         ParseSizeFlag(argc, argv, &i, "--deadline-ms", &deadline_ms) ||
+        ParseSizeFlag(argc, argv, &i, "--max-csv-bytes",
+                      &options.max_csv_bytes) ||
         ParseSizeFlag(argc, argv, &i, "--metrics-interval-ms",
                       &metrics_interval_ms) ||
         ParseSizeFlag(argc, argv, &i, "--snapshot-interval-ms",
