@@ -9,7 +9,13 @@
 #                          embedding, batched assignment, width sweep)
 #   BENCH_service.json     bench_router_throughput (dpclustx_router fronting
 #                          N durable shard workers vs one durable worker,
-#                          over the real line protocol and pipes)
+#                          over the real line protocol and pipes; run at 2
+#                          and 4 workers so the worker-count scaling curve
+#                          is on record) + bench_service_load (the socket
+#                          load driver: N concurrent unix-socket clients in
+#                          closed and open loop against a live router, with
+#                          p50/p95/p99 from the obs histograms, plus the
+#                          splice-vs-full-parse relay microbench)
 # Each envelope carries an "execution" block (DPCLUSTX_THREADS and
 # DPCLUSTX_ISA as exported, cpu count, build provenance, snapshot format
 # version and active/detected kernel dispatch level from `dpclustx_serve
@@ -33,7 +39,7 @@ echo "==> building bench binaries"
 cmake -B build -S . >/dev/null
 cmake --build build -j --target bench_parallel_scaling \
   bench_scale_large_dataset bench_data_plane bench_router_throughput \
-  dpclustx_serve >/dev/null
+  bench_service_load dpclustx_serve dpclustx_router >/dev/null
 
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
@@ -50,12 +56,21 @@ echo "==> bench_data_plane"
 ./build/bench/bench_data_plane \
   --benchmark_out="$TMP_DIR/data_plane.json" \
   --benchmark_out_format=json
-echo "==> bench_router_throughput"
+echo "==> bench_router_throughput (worker-count scaling: 2 and 4)"
 # Plain-main bench: the last stdout line is the machine-readable JSON.
-./build/bench/bench_router_throughput \
-  --workers 2 --requests 96 --window 32 --rows 20000 --datasets 4 \
-  --state-dir "$TMP_DIR/router_bench" | tee "$TMP_DIR/router_human.txt"
-tail -n 1 "$TMP_DIR/router_human.txt" > "$TMP_DIR/router_throughput.json"
+for w in 2 4; do
+  ./build/bench/bench_router_throughput \
+    --workers "$w" --requests 96 --window 32 --rows 20000 --datasets 4 \
+    --state-dir "$TMP_DIR/router_bench_w$w" |
+    tee "$TMP_DIR/router_human_w$w.txt"
+  tail -n 1 "$TMP_DIR/router_human_w$w.txt" \
+    > "$TMP_DIR/router_throughput_w$w.json"
+done
+
+echo "==> bench_service_load (socket transport, closed + open loop)"
+./build/bench/bench_service_load \
+  --state-dir "$TMP_DIR/service_load" | tee "$TMP_DIR/service_load_human.txt"
+tail -n 1 "$TMP_DIR/service_load_human.txt" > "$TMP_DIR/service_load.json"
 
 echo "==> service metrics smoke dump"
 BUILD_VERSION="$(./build/tools/dpclustx_serve --version)"
@@ -72,10 +87,13 @@ printf '%s\n' \
 python3 - "$TMP_DIR/parallel_scaling.json" \
   "$TMP_DIR/scale_large_dataset.json" "$TMP_DIR/data_plane.json" \
   "$OUT_PARALLEL" "$OUT_DATA_PLANE" "$TMP_DIR/metrics.prom" \
-  "$BUILD_VERSION" "$TMP_DIR/router_throughput.json" "$OUT_SERVICE" <<'PY'
+  "$BUILD_VERSION" "$TMP_DIR/router_throughput_w2.json" \
+  "$TMP_DIR/router_throughput_w4.json" "$TMP_DIR/service_load.json" \
+  "$OUT_SERVICE" <<'PY'
 import json, os, re, sys
 (parallel, scale, data_plane, out_parallel, out_data_plane, metrics_path,
- build_version, router_throughput, out_service) = sys.argv[1:10]
+ build_version, router_throughput_w2, router_throughput_w4, service_load,
+ out_service) = sys.argv[1:12]
 
 # "dpclustx <sha> (GNU 12.2.0, Release), isa avx2 (detected avx512),
 # snapshot-format v1" — the format version and the kernel dispatch level are
@@ -124,7 +142,15 @@ execution["cpu_features"] = (cpu_features_of(parallel_json) or
 dump(out_parallel, {"bench_parallel_scaling": parallel_json,
                     "bench_scale_large_dataset": load(scale)})
 dump(out_data_plane, {"bench_data_plane": data_plane_json})
-dump(out_service, {"bench_router_throughput": load(router_throughput)})
+# "bench_router_throughput" stays the canonical 2-worker run (what
+# EXPERIMENTS.md quotes); the scaling list records every worker count
+# measured this run so the curve travels with the snapshot.
+dump(out_service, {
+    "bench_router_throughput": load(router_throughput_w2),
+    "bench_router_throughput_scaling": [load(router_throughput_w2),
+                                        load(router_throughput_w4)],
+    "bench_service_load": load(service_load),
+})
 PY
 
 echo "==> wrote $OUT_PARALLEL, $OUT_DATA_PLANE and $OUT_SERVICE"

@@ -11,9 +11,14 @@
 # ASan pass also drives three end-to-end smokes against the real binaries:
 # a snapshot round-trip (charge, kill, restore, check the ledger), a
 # byte-identical CSV -> DPXCOL -> CSV round trip through dpclustx_convert,
-# and a 2-worker dpclustx_router session over the line protocol. The
+# a 2-worker dpclustx_router session over the line protocol, and a
+# socket-mode router smoke (concurrent unix-socket clients against
+# --listen, relay byte-identity enforced by --verify-relay). The
 # width-dispatched data-plane kernels run in both sanitizer passes
-# (dataset_layout_test).
+# (dataset_layout_test); the transport event loop and its e2e socket
+# tests run under TSan (transport_test), and the zero-reparse relay
+# scanner runs under ASan (json_relay_test) — worker output is untrusted
+# once a worker has crashed mid-write.
 #
 # Kernel dispatch pass: every per-ISA kernel TU (generic/sse2/avx2/avx512,
 # src/data/kernels) compiles unconditionally in the default build — a host
@@ -81,12 +86,12 @@ else
   cmake --build build-asan -j --target \
     service_test service_robustness_test json_test mechanisms_test \
     thread_pool_test dataset_layout_test obs_test snapshot_test \
-    csv_test columnar_format_test \
+    csv_test columnar_format_test json_relay_test \
     dpclustx_serve dpclustx_router dpclustx_convert \
     >/dev/null
   (cd build-asan &&
    ctest --output-on-failure \
-     -R '^(service_test|service_robustness_test|json_test|mechanisms_test|thread_pool_test|dataset_layout_test|obs_test|snapshot_test|csv_test|columnar_format_test)$')
+     -R '^(service_test|service_robustness_test|json_test|mechanisms_test|thread_pool_test|dataset_layout_test|obs_test|snapshot_test|csv_test|columnar_format_test|json_relay_test)$')
 
   echo "==> ASan kernel dispatch smoke (DPCLUSTX_ISA=generic startup)"
   # Starts with dispatch clamped all the way down, then the in-test
@@ -180,6 +185,114 @@ workers = byid["8"]["workers"]
 assert "shard-0" in workers and "shard-1" in workers, byid["8"]
 print("    router smoke OK: sharded flow, budget exact, snapshots refused")
 PYEOF
+
+  echo "==> ASan smoke: socket-mode router, concurrent clients"
+  # The router serves a unix socket (--listen) with the splice relay
+  # cross-checked against the full-parse path on every response
+  # (--verify-relay aborts on any byte mismatch). Stdin stays open via a
+  # fifo — EOF there is the graceful-shutdown signal.
+  mkfifo "$SMOKE_DIR/router.stdin"
+  build-asan/tools/dpclustx_router --workers 2 \
+      --serve build-asan/tools/dpclustx_serve \
+      --state-dir "$SMOKE_DIR/router_sock" \
+      --listen "unix:$SMOKE_DIR/router.sock" \
+      --verify-relay -- --sync \
+      < "$SMOKE_DIR/router.stdin" \
+      > "$SMOKE_DIR/router_sock.out" 2>"$SMOKE_DIR/router_sock.err" &
+  ROUTER_PID=$!
+  exec 9> "$SMOKE_DIR/router.stdin"
+  for _ in $(seq 1 200); do
+    [[ -S "$SMOKE_DIR/router.sock" ]] && break
+    sleep 0.05
+  done
+  [[ -S "$SMOKE_DIR/router.sock" ]] || {
+    echo "router socket never appeared" >&2
+    cat "$SMOKE_DIR/router_sock.err" >&2
+    exit 1
+  }
+  python3 - "$SMOKE_DIR/router.sock" <<'PYEOF'
+import json, socket, sys, threading
+
+SOCK = sys.argv[1]
+
+def client():
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(SOCK)
+    return s, s.makefile("rb")
+
+def call(s, f, req):
+    s.sendall((json.dumps(req) + "\n").encode())
+    return json.loads(f.readline())
+
+# Setup over one connection: a dataset, a clustering.
+s, f = client()
+for req in (
+    {"op": "load_dataset", "name": "d", "source": "synthetic",
+     "generator": "diabetes", "rows": 200, "seed": 1, "id": "s1"},
+    {"op": "cluster", "dataset": "d", "method": "k-means", "k": 3,
+     "seed": 2, "id": "s2"},
+):
+    r = call(s, f, req)
+    assert r["ok"] and r["id"] == req["id"], r
+
+failures = []
+
+def tenant(c):
+    try:
+        cs, cf = client()
+        sess = f"sock-s{c}"
+        r = call(cs, cf, {"op": "create_session", "dataset": "d",
+                          "session": sess, "epsilon": 1.0,
+                          "id": f"c{c}-create"})
+        assert r["ok"], r
+        r = call(cs, cf, {"op": "hist", "session": sess,
+                          "clustering": "default", "attribute": "diab_0",
+                          "epsilon": 0.1 + 0.01 * c, "id": f"c{c}-hist"})
+        assert r["ok"], r
+        # Pipelined burst: 8 budget reads in flight, FIFO ids back.
+        for i in range(8):
+            cs.sendall((json.dumps({"op": "budget", "session": sess,
+                                    "id": f"c{c}-b{i}"}) + "\n").encode())
+        for i in range(8):
+            r = json.loads(cf.readline())
+            assert r["ok"] and r["id"] == f"c{c}-b{i}", r
+        cs.close()
+    except Exception as e:  # noqa: BLE001 - collected for the main thread
+        failures.append(f"client {c}: {e!r}")
+
+threads = [threading.Thread(target=tenant, args=(c,)) for c in range(4)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+assert not failures, failures
+
+# Garbage frame: rejected on that connection only, which stays usable.
+g, gf = client()
+g.sendall(b"this is not json\n")
+r = json.loads(gf.readline())
+assert not r["ok"] and r["error"]["code"] == "InvalidArgument", r
+r = call(g, gf, {"op": "ping", "id": "after-garbage"})
+assert r["ok"] and r["id"] == "after-garbage", r
+
+r = call(g, gf, {"op": "_router_status", "id": "st"})
+assert r["ok"] and r["transport"]["active_connections"] >= 1, r
+assert all("pending" in w for w in r["workers"]), r
+
+print("    socket smoke OK: 4 concurrent tenants, garbage rejected"
+      " per-connection, relay verified byte-identical")
+PYEOF
+  exec 9>&-
+  wait "$ROUTER_PID"
+  if grep -q . "$SMOKE_DIR/router_sock.err"; then
+    # --verify-relay mismatches and sanitizer reports land on stderr.
+    if grep -Eq 'relay verify|ERROR|Sanitizer' "$SMOKE_DIR/router_sock.err"
+    then
+      echo "router stderr reported a failure:" >&2
+      cat "$SMOKE_DIR/router_sock.err" >&2
+      exit 1
+    fi
+  fi
 fi
 
 if [[ "$SKIP_TSAN" == 1 ]]; then
@@ -190,12 +303,15 @@ else
   cmake --build build-tsan -j --target \
     thread_pool_test service_test privacy_budget_test eda_session_test \
     parallel_equivalence_test dataset_layout_test obs_test \
+    transport_test \
     >/dev/null
   # DPCLUSTX_THREADS=8 widens the shared compute pool so the ParallelFor
   # kernels genuinely interleave under TSan even on narrow CI hosts.
+  # transport_test races the epoll loop against concurrent ClientChannel
+  # threads (and forks the TSan-built router for the socket e2e cases).
   (cd build-tsan &&
    DPCLUSTX_THREADS=8 ctest --output-on-failure \
-     -R '^(thread_pool_test|service_test|privacy_budget_test|eda_session_test|parallel_equivalence_test|dataset_layout_test|obs_test)$')
+     -R '^(thread_pool_test|service_test|privacy_budget_test|eda_session_test|parallel_equivalence_test|dataset_layout_test|obs_test|transport_test)$')
 fi
 
 if [[ "$SKIP_NATIVE" == 1 ]]; then

@@ -154,6 +154,39 @@ LatencyHistogram::BucketCounts() const {
   return totals;
 }
 
+uint64_t LatencyHistogram::ApproxQuantileMicros(double quantile) const {
+  if (quantile < 0.0) quantile = 0.0;
+  if (quantile > 1.0) quantile = 1.0;
+  const auto buckets = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  if (total == 0) return 0;
+
+  // Rank of the target observation (1-based, ceil so p100 = last).
+  const auto rank = static_cast<uint64_t>(quantile * static_cast<double>(total));
+  const uint64_t target = std::max<uint64_t>(rank, 1);
+
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += buckets[b];
+    if (cumulative < target) continue;
+    // The target rank lands in bucket b: interpolate within its bounds.
+    const uint64_t lower = b == 0 ? 0 : kBucketBoundsMicros[b - 1];
+    if (b == kNumBuckets - 1) {
+      // +Inf bucket has no upper bound; the observed max is the honest cap.
+      return max_.load(std::memory_order_relaxed);
+    }
+    const uint64_t upper = kBucketBoundsMicros[b];
+    const double within = static_cast<double>(target - before) /
+                          static_cast<double>(buckets[b]);
+    return lower +
+           static_cast<uint64_t>(within * static_cast<double>(upper - lower));
+  }
+  return max_.load(std::memory_order_relaxed);  // unreachable: counts summed
+}
+
 MetricsRegistry& MetricsRegistry::Default() {
   // Leaked on purpose: instruments may be written from compute-pool threads
   // that outlive static destruction.

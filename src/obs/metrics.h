@@ -118,6 +118,13 @@ class LatencyHistogram {
   /// Per-bucket (non-cumulative) counts, shard-summed.
   std::array<uint64_t, kNumBuckets> BucketCounts() const;
 
+  /// Approximate `quantile` (in [0, 1]) in microseconds, linearly
+  /// interpolated within the bucket that holds the target rank. The
+  /// resolution is the bucket grid: exact enough for p50/p95/p99
+  /// regression gates, not for sub-bucket comparisons. Returns 0 when
+  /// the histogram is empty; the +Inf bucket reports the observed max.
+  uint64_t ApproxQuantileMicros(double quantile) const;
+
   LatencyHistogram() = default;
   LatencyHistogram(const LatencyHistogram&) = delete;
   LatencyHistogram& operator=(const LatencyHistogram&) = delete;

@@ -1,6 +1,7 @@
 #include "service/router_core.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 
@@ -79,6 +80,15 @@ int64_t Backoff::DelayMs(uint64_t attempt) const {
   int64_t delay = base_ms;
   for (uint64_t i = 1; i < attempt && delay < max_ms; ++i) delay *= 2;
   return std::min(delay, max_ms);
+}
+
+int64_t Backoff::JitteredDelayMs(uint64_t attempt, double unit_random) const {
+  if (unit_random < 0.0) unit_random = 0.0;
+  if (unit_random >= 1.0) unit_random = std::nextafter(1.0, 0.0);
+  const double factor = 0.8 + 0.4 * unit_random;
+  const auto jittered =
+      static_cast<int64_t>(static_cast<double>(DelayMs(attempt)) * factor);
+  return std::max<int64_t>(jittered, 1);
 }
 
 RouterCore::RouterCore(std::vector<std::string> shards, size_t vnodes)

@@ -116,6 +116,13 @@ struct Backoff {
   int64_t base_ms = 100;
   int64_t max_ms = 2000;
   int64_t DelayMs(uint64_t attempt) const;
+
+  /// DelayMs with ±20% jitter: `unit_random` in [0, 1) maps linearly onto
+  /// [0.8, 1.2) of the exponential delay. Workers crashed by a common cause
+  /// (a bad snapshot, an OOM sweep) must not respawn in lockstep and
+  /// re-stampede whatever killed them; the caller supplies the randomness
+  /// so tests stay deterministic. Result is floored at 1 ms.
+  int64_t JitteredDelayMs(uint64_t attempt, double unit_random) const;
 };
 
 /// The policy bundle the router tool drives: ring + session table +

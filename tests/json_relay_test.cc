@@ -1,0 +1,194 @@
+// Tests for the zero-reparse relay scanner (service/json_relay.h).
+//
+// The load-bearing property is byte-identity: for any line produced by
+// JsonValue::Dump, splicing or erasing the top-level "id" must produce
+// exactly the bytes the old parse → mutate → dump path produced. The
+// golden section checks that over a corpus shaped like real engine
+// responses (histograms, nested explanations, broadcast merges, error
+// envelopes); the unit section pins the scanner's error vocabulary so the
+// router's fallback logic (full-parse on anything but OK) stays correct.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "service/json_relay.h"
+
+namespace dpclustx::service {
+namespace {
+
+using dpclustx::JsonValue;
+using dpclustx::StatusCode;
+using dpclustx::StatusOr;
+
+TEST(ScanTopLevelId, FindsPlainId) {
+  const std::string line = R"({"id":"r42","ok":true})";
+  StatusOr<RelayScan> scan = ScanTopLevelId(line);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_EQ(scan->id, "r42");
+  EXPECT_EQ(line.substr(scan->value_begin, scan->value_end - scan->value_begin),
+            "\"r42\"");
+}
+
+TEST(ScanTopLevelId, IgnoresNestedIdMembers) {
+  // "id" inside nested objects/arrays must not be mistaken for the
+  // top-level member; only the outermost one is relayed.
+  const std::string line =
+      R"({"a":{"id":"inner"},"b":[{"id":"x"}],"id":"outer","z":1})";
+  StatusOr<RelayScan> scan = ScanTopLevelId(line);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->id, "outer");
+}
+
+TEST(ScanTopLevelId, IgnoresIdInsideStringValues) {
+  // A value whose *text* looks like an id member must not confuse the
+  // string-state tracking.
+  const std::string line =
+      R"({"id":"real","note":"looks like \"id\":\"fake\" inside"})";
+  StatusOr<RelayScan> scan = ScanTopLevelId(line);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->id, "real");
+}
+
+TEST(ScanTopLevelId, NotFoundWhenNoId) {
+  StatusOr<RelayScan> scan = ScanTopLevelId(R"({"ok":true,"pong":true})");
+  EXPECT_EQ(scan.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ScanTopLevelId, InvalidOnTornLine) {
+  // A worker crash mid-write leaves a structurally open line; the scanner
+  // must refuse rather than splice into garbage.
+  EXPECT_EQ(ScanTopLevelId(R"({"id":"r1","ok":tr)").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ScanTopLevelId(R"({"id":"r1","nested":{"open":1)").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ScanTopLevelId(R"({"id":"r1","s":"unterminated)").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ScanTopLevelId, InvalidOnTrailingGarbage) {
+  EXPECT_EQ(ScanTopLevelId(R"({"id":"r1"} trailing)").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ScanTopLevelId(R"({"id":"r1"}{"id":"r2"})").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ScanTopLevelId, InvalidOnNonObject) {
+  EXPECT_EQ(ScanTopLevelId(R"([1,2,3])").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ScanTopLevelId("42").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ScanTopLevelId("").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ScanTopLevelId, InvalidOnNonStringId) {
+  // The router only ever stamps string ids on worker requests; a numeric
+  // id means the line is not one of ours.
+  EXPECT_EQ(ScanTopLevelId(R"({"id":42,"ok":true})").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ScanTopLevelId, RefusesEscapedIdValue) {
+  // Escapes inside the id value mean the raw bytes differ from the
+  // decoded string; the caller must take the full-parse path.
+  EXPECT_EQ(ScanTopLevelId(R"({"id":"a\"b","ok":true})").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Golden byte-identity against the full-parse path.
+
+/// The reference implementation the splice path replaced.
+std::string FullParseSplice(const std::string& line,
+                            const JsonValue& client_id) {
+  StatusOr<JsonValue> parsed = JsonValue::Parse(line);
+  EXPECT_TRUE(parsed.ok());
+  parsed->Set("id", client_id);
+  return parsed->Dump();
+}
+
+std::string FullParseErase(const std::string& line) {
+  StatusOr<JsonValue> parsed = JsonValue::Parse(line);
+  EXPECT_TRUE(parsed.ok());
+  parsed->Remove("id");
+  return parsed->Dump();
+}
+
+/// Response lines shaped like what ServiceEngine actually emits. Each is
+/// canonicalized through Dump() first — the relay only ever sees worker
+/// output, which is Dump() text by construction.
+std::vector<std::string> ResponseCorpus() {
+  std::vector<std::string> corpus;
+  auto add = [&](const std::string& raw) {
+    StatusOr<JsonValue> parsed = JsonValue::Parse(raw);
+    EXPECT_TRUE(parsed.ok()) << raw;
+    corpus.push_back(parsed->Dump());
+  };
+  add(R"({"id":"r1","ok":true,"pong":true})");
+  add(R"({"id":"r2","ok":false,)"
+      R"("error":{"code":"OutOfBudget","message":"0.1 > 0.05"}})");
+  // Histogram payload: long numeric arrays around the id.
+  add(R"({"bins":[0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15],)"
+      R"("counts":[12.5,0.25,-3.125,7,19,0.0625,44,8],)"
+      R"("epsilon_spent":0.30000001,"id":"r3","ok":true,)"
+      R"("session":"tenant7"})");
+  // Explanation payload: nested objects with string fields that contain
+  // braces, quotes-adjacent text, and unicode escapes.
+  add(R"({"clusters":[{"explanation":[{"attribute":"age","hi":64,"lo":18,)"
+      R"("score":0.91}],"label":"c {0}"},{"explanation":[],"label":"c1"}],)"
+      R"("id":"r4","note":"quality µ=0.5, \"quoted\"","ok":true})");
+  // Broadcast-merge shape: per-worker nested response objects, each with
+  // its own nested "id"-free body.
+  add(R"({"id":"r5","ok":true,"workers":{"shard-0":{"ok":true,"pong":true},)"
+      R"("shard-1":{"ok":true,"pong":true}}})");
+  // id first, id last, id mid-object.
+  add(R"({"id":"r6","z":1})");
+  add(R"({"a":1,"id":"r7"})");
+  add(R"({"a":1,"id":"r8","z":[{"deep":{"id":"decoy"}}]})");
+  // Empty-ish payloads.
+  add(R"({"id":"r9","ok":true,"rows":0,"schema":[]})");
+  return corpus;
+}
+
+TEST(RelayGolden, SpliceMatchesFullParseByteForByte) {
+  const std::vector<JsonValue> client_ids = {
+      JsonValue::String("client-17"), JsonValue::String("x"),
+      JsonValue::Number(42), JsonValue::Number(-1.5), JsonValue::Bool(true),
+      JsonValue::Null()};
+  for (const std::string& line : ResponseCorpus()) {
+    StatusOr<RelayScan> scan = ScanTopLevelId(line);
+    ASSERT_TRUE(scan.ok()) << line;
+    for (const JsonValue& client_id : client_ids) {
+      const std::string spliced = SpliceId(line, *scan, client_id.Dump());
+      EXPECT_EQ(spliced, FullParseSplice(line, client_id))
+          << "line: " << line << "\nclient id: " << client_id.Dump();
+    }
+  }
+}
+
+TEST(RelayGolden, EraseMatchesFullParseByteForByte) {
+  for (const std::string& line : ResponseCorpus()) {
+    StatusOr<RelayScan> scan = ScanTopLevelId(line);
+    ASSERT_TRUE(scan.ok()) << line;
+    EXPECT_EQ(EraseId(line, *scan), FullParseErase(line)) << "line: " << line;
+  }
+}
+
+TEST(RelayGolden, SpliceThenRescanRoundTrips) {
+  // The spliced output must itself be a valid relay input — the replica
+  // retry path re-stamps an already-spliced line.
+  for (const std::string& line : ResponseCorpus()) {
+    StatusOr<RelayScan> scan = ScanTopLevelId(line);
+    ASSERT_TRUE(scan.ok());
+    const std::string spliced = SpliceId(line, *scan, "\"second-hop\"");
+    StatusOr<RelayScan> rescan = ScanTopLevelId(spliced);
+    ASSERT_TRUE(rescan.ok()) << spliced;
+    EXPECT_EQ(rescan->id, "second-hop");
+  }
+}
+
+}  // namespace
+}  // namespace dpclustx::service

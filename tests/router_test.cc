@@ -155,6 +155,40 @@ TEST(BackoffTest, DoublesFromBaseAndClampsAtCapWithoutOverflow) {
   EXPECT_EQ(backoff.DelayMs(1000), 2000);
 }
 
+TEST(BackoffTest, JitteredDelayStaysWithinTwentyPercentAndIsDeterministic) {
+  Backoff backoff;  // base 100, cap 2000
+  for (uint64_t attempt = 1; attempt <= 6; ++attempt) {
+    const int64_t delay = backoff.DelayMs(attempt);
+    for (const double u : {0.0, 0.25, 0.5, 0.999}) {
+      const int64_t jittered = backoff.JitteredDelayMs(attempt, u);
+      // The jitter factor is exactly 0.8 + 0.4u, so a fixed u is a fixed
+      // delay — respawn tests can rely on that.
+      EXPECT_EQ(jittered,
+                static_cast<int64_t>(static_cast<double>(delay) *
+                                     (0.8 + 0.4 * u)));
+      EXPECT_GE(jittered, static_cast<int64_t>(0.8 * delay));
+      EXPECT_LT(jittered, static_cast<int64_t>(1.2 * delay) + 1);
+    }
+  }
+}
+
+TEST(BackoffTest, JitteredDelayClampsOutOfRangeRandomness) {
+  Backoff backoff;  // base 100, cap 2000
+  const int64_t delay = backoff.DelayMs(3);  // 400
+  // A broken RNG must not push the delay outside the ±20% band. (The
+  // upper clamp is nextafter(1, 0), whose factor rounds to exactly 1.2.)
+  EXPECT_EQ(backoff.JitteredDelayMs(3, -7.5), backoff.JitteredDelayMs(3, 0.0));
+  EXPECT_LE(backoff.JitteredDelayMs(3, 42.0), static_cast<int64_t>(1.2 * delay));
+  EXPECT_GE(backoff.JitteredDelayMs(3, 42.0), backoff.JitteredDelayMs(3, 0.999));
+}
+
+TEST(BackoffTest, JitteredDelayNeverReturnsZero) {
+  // 0.8 * 1ms truncates to 0; a zero delay would make the respawn loop
+  // spin. The floor keeps it at 1ms.
+  Backoff tiny{.base_ms = 1, .max_ms = 1};
+  EXPECT_EQ(tiny.JitteredDelayMs(1, 0.0), 1);
+}
+
 // ---- end-to-end: the real binaries over pipes ------------------------
 
 std::string BuildDir() {

@@ -24,6 +24,7 @@
 #include "dp/privacy_budget.h"
 #include "obs/build_info.h"
 #include "obs/trace.h"
+#include "service/transport.h"
 
 namespace {
 
@@ -59,6 +60,14 @@ EXPLANATION (DPClustX)
                         0.333,0.333,0.334)
   --hist-mechanism M    geometric (default) | laplace | hierarchical
 
+SERVER
+  --connect SPEC      client mode: forward JSON protocol lines from stdin
+                      to a dpclustx_serve/dpclustx_router socket
+                      (unix:/path or tcp:[host:]port) and print each
+                      response line to stdout; exits non-zero if any
+                      response is missing. All pipeline flags are ignored.
+  --timeout-ms N      per-response wait in client mode (default 30000)
+
 OUTPUT
   --output-json FILE  write the explanation JSON payload
   --report            print a per-cluster quality breakdown (computed from
@@ -73,6 +82,8 @@ OUTPUT
 )";
 
 struct CliOptions {
+  std::string connect;
+  size_t timeout_ms = 30000;
   std::string input;
   std::string synthetic;
   size_t rows = 30000;
@@ -121,6 +132,11 @@ CliOptions ParseArgs(int argc, char** argv) {
     } else if (arg == "--version") {
       std::puts(obs::BuildInfoVersionLine().c_str());
       std::exit(0);
+    } else if (arg == "--connect") {
+      options.connect = next_value(i, "--connect");
+    } else if (arg == "--timeout-ms") {
+      options.timeout_ms =
+          ParseSize(next_value(i, "--timeout-ms"), "--timeout-ms");
     } else if (arg == "--input") {
       options.input = next_value(i, "--input");
     } else if (arg == "--synthetic") {
@@ -192,10 +208,54 @@ CliOptions ParseArgs(int argc, char** argv) {
       Fail("unknown flag '" + arg + "' (see --help)");
     }
   }
-  if (options.input.empty() == options.synthetic.empty()) {
+  if (options.connect.empty() &&
+      options.input.empty() == options.synthetic.empty()) {
     Fail("exactly one of --input / --synthetic is required (see --help)");
   }
   return options;
+}
+
+/// Client mode: stdin protocol lines → server socket → stdout responses.
+/// The protocol is pipelined (responses may be out of order), but every
+/// request line produces exactly one response line, so matching counts is
+/// enough to know the session completed.
+int RunConnectMode(const CliOptions& options) {
+  auto channel = service::ClientChannel::Connect(options.connect);
+  if (!channel.ok()) Fail(channel.status().ToString());
+
+  size_t sent = 0;
+  size_t received = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    const Status status = (*channel)->SendLine(line);
+    if (!status.ok()) Fail(status.ToString());
+    ++sent;
+    // Drain whatever responses are already here so a long scripted session
+    // never deadlocks both sides' write buffers.
+    for (;;) {
+      StatusOr<std::string> response = (*channel)->RecvLine(0);
+      if (!response.ok()) break;
+      std::cout << *response << "\n";
+      ++received;
+    }
+  }
+  while (received < sent) {
+    StatusOr<std::string> response =
+        (*channel)->RecvLine(static_cast<int>(options.timeout_ms));
+    if (!response.ok()) {
+      std::cout.flush();
+      std::fprintf(stderr,
+                   "error: %s after %zu/%zu responses\n",
+                   response.status().ToString().c_str(), received, sent);
+      return 1;
+    }
+    std::cout << *response << "\n";
+    ++received;
+  }
+  std::cout.flush();
+  std::fprintf(stderr, "%zu requests, %zu responses\n", sent, received);
+  return 0;
 }
 
 Dataset LoadData(const CliOptions& options) {
@@ -260,6 +320,7 @@ std::unique_ptr<ClusteringFunction> Cluster(const CliOptions& options,
 
 int main(int argc, char** argv) {
   const CliOptions options = ParseArgs(argc, argv);
+  if (!options.connect.empty()) return RunConnectMode(options);
   const Dataset dataset = LoadData(options);
   std::fprintf(stderr, "loaded %zu rows x %zu attributes\n",
                dataset.num_rows(), dataset.num_attributes());

@@ -22,24 +22,53 @@
 //   ledger                   print the budget ledger
 //   schema                   list attributes
 //   help / quit
+//
+// By default the console embeds its own service engine. With
+// --connect unix:/path (or tcp:[host:]port) it instead speaks the same
+// JSON protocol to a running dpclustx_serve or dpclustx_router socket, so
+// an analyst console can sit on a shared, sharded deployment: one command
+// in flight at a time, same transcript either way.
 
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include <cstring>
+#include <memory>
+
 #include "common/json.h"
 #include "service/service_engine.h"
+#include "service/transport.h"
 
 namespace {
 
 using dpclustx::JsonValue;
+using dpclustx::Status;
 using dpclustx::StatusOr;
+using dpclustx::service::ClientChannel;
 using dpclustx::service::ServiceEngine;
 
 constexpr char kDataset[] = "repl";
 
 class Repl {
  public:
+  /// `connect` empty = embedded engine; otherwise a server socket spec.
+  explicit Repl(const std::string& connect) {
+    if (connect.empty()) {
+      engine_ = std::make_unique<ServiceEngine>();
+      return;
+    }
+    StatusOr<std::unique_ptr<ClientChannel>> channel =
+        ClientChannel::Connect(connect);
+    if (!channel.ok()) {
+      std::cout << "cannot connect to '" << connect
+                << "': " << channel.status().ToString() << "\n";
+      std::exit(1);
+    }
+    channel_ = std::move(*channel);
+    std::cout << "connected to " << connect << "\n";
+  }
+
   void Run() {
     std::cout << "dpclustx interactive console — 'help' for commands\n";
     std::string line;
@@ -103,9 +132,24 @@ class Repl {
   /// Sends one request to the engine. Prints the error and returns nullopt
   /// on failure; otherwise returns the parsed response body and refreshes
   /// the remaining-budget display when the response reports it.
+  /// One round-trip: embedded engine or server socket, same transcript.
+  /// The console keeps a single request in flight, so a plain blocking
+  /// receive is the whole client protocol.
+  StatusOr<JsonValue> Exchange(const std::string& request_line) {
+    if (channel_ == nullptr) return JsonValue::Parse(engine_->Handle(request_line));
+    const Status sent = channel_->SendLine(request_line);
+    if (!sent.ok()) return sent;
+    StatusOr<std::string> response = channel_->RecvLine(kServerTimeoutMs);
+    if (!response.ok()) return response.status();
+    return JsonValue::Parse(*response);
+  }
+
   StatusOr<JsonValue> Call(JsonValue request) {
-    StatusOr<JsonValue> response =
-        JsonValue::Parse(engine_.Handle(request.Dump()));
+    StatusOr<JsonValue> response = Exchange(request.Dump());
+    if (!response.ok()) {
+      std::cout << "request failed: " << response.status().ToString() << "\n";
+      return response.status();
+    }
     if (response.ok() && !response->at("ok").AsBool()) {
       const JsonValue& error = response->at("error");
       std::cout << error.at("code").AsString() << ": "
@@ -296,7 +340,10 @@ class Repl {
     }
   }
 
-  ServiceEngine engine_;
+  static constexpr int kServerTimeoutMs = 30000;
+
+  std::unique_ptr<ServiceEngine> engine_;   // embedded mode
+  std::unique_ptr<ClientChannel> channel_;  // --connect mode
   std::string session_;     // active session id ("" until 'budget')
   std::string clustering_;  // active clustering id ("" until 'cluster')
   double remaining_ = 0.0;
@@ -306,8 +353,17 @@ class Repl {
 
 }  // namespace
 
-int main() {
-  Repl repl;
+int main(int argc, char** argv) {
+  std::string connect;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect = argv[++i];
+      continue;
+    }
+    std::cerr << "usage: dpclustx_repl [--connect unix:/path|tcp:[host:]port]\n";
+    return 2;
+  }
+  Repl repl(connect);
   repl.Run();
   return 0;
 }

@@ -25,8 +25,43 @@
 // in flight on a dead worker get an Internal error telling the client to
 // retry (replica reads silently retry against the primary instead).
 //
+// Transport: by default the router speaks the protocol on stdin/stdout
+// (single client, scripted sessions). With --listen it additionally serves
+// many concurrent clients over Unix-domain or TCP sockets behind one epoll
+// loop (src/service/transport.h): newline framing identical to stdin,
+// bounded per-connection buffers, reads suspended above the soft write
+// budget, and requests shed with ResourceExhausted + retry_after_ms once a
+// connection's response backlog passes the hard cap. stdin stays open as a
+// compatibility client (ConnId 0); EOF on stdin is still the shutdown
+// signal either way.
+//
+// Relay: worker responses carry the router's internal id and must go back
+// out with the client's original id. The hot path does this with a
+// zero-reparse splice (src/service/json_relay.h): scan the response line
+// once, replace only the id value's bytes, forward everything else
+// verbatim — byte-identical to the old parse→mutate→dump path (the
+// --verify-relay flag enforces that equivalence per response, and the ASan
+// smoke in scripts/check.sh runs with it on). Broadcast merges and replica
+// refusal checks still use the full parser; --relay full restores it
+// everywhere as the baseline for benchmarks.
+//
 // Flags:
 //
+//   --listen SPEC            accept clients on unix:/path or tcp:[host:]port
+//                            (repeatable; e.g. --listen unix:/tmp/dpx.sock
+//                            --listen tcp:7070)
+//   --relay MODE             splice (default) | full — worker response id
+//                            rewrite strategy
+//   --verify-relay           cross-check every spliced response against the
+//                            full-parse path (CI smokes; aborts on drift)
+//   --max-frame-bytes N      per-request frame cap on socket clients
+//                            (default 1 MiB)
+//   --write-soft-limit-bytes N  per-connection backlog above which reads
+//                            pause (default 256 KiB)
+//   --write-hard-limit-bytes N  backlog above which new requests are shed
+//                            (default 4 MiB)
+//   --retry-after-ms N       back-off hint attached to shed responses
+//                            (default 100)
 //   --workers N              shard workers (default 2)
 //   --replicas R             read-only replicas per shard (default 0)
 //   --serve BIN              dpclustx_serve binary (default: next to this
@@ -75,6 +110,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -84,7 +120,9 @@
 #include "common/status.h"
 #include "obs/build_info.h"
 #include "obs/metrics.h"
+#include "service/json_relay.h"
 #include "service/router_core.h"
+#include "service/transport.h"
 
 namespace {
 
@@ -94,13 +132,36 @@ using dpclustx::StatusCode;
 using dpclustx::StatusCodeName;
 using dpclustx::StatusOr;
 using dpclustx::service::Backoff;
+using dpclustx::service::ConnId;
+using dpclustx::service::EraseId;
+using dpclustx::service::RelayScan;
 using dpclustx::service::RouteDecision;
 using dpclustx::service::RouteKind;
 using dpclustx::service::RouterCore;
+using dpclustx::service::ScanTopLevelId;
+using dpclustx::service::SpliceId;
+using dpclustx::service::Transport;
+using dpclustx::service::TransportOptions;
+
+/// The stdin/stdout compatibility client. Real socket connections get ids
+/// >= dpclustx::service::kFirstConnId from the transport.
+constexpr ConnId kStdioConn = 0;
 
 constexpr const char kUsage[] =
     "usage: dpclustx_router [flags]\n"
     "\n"
+    "  --listen SPEC            accept clients on unix:/path or\n"
+    "                           tcp:[host:]port (repeatable)\n"
+    "  --relay MODE             splice (default) | full\n"
+    "  --verify-relay           cross-check spliced responses against the\n"
+    "                           full-parse path (aborts on drift)\n"
+    "  --max-frame-bytes N      socket frame cap (default 1048576)\n"
+    "  --write-soft-limit-bytes N  pause reads above this backlog\n"
+    "                           (default 262144)\n"
+    "  --write-hard-limit-bytes N  shed requests above this backlog\n"
+    "                           (default 4194304)\n"
+    "  --retry-after-ms N       back-off hint on shed responses (default "
+    "100)\n"
     "  --workers N              shard workers (default 2)\n"
     "  --replicas R             read-only replicas per shard (default 0)\n"
     "  --serve BIN              dpclustx_serve binary (default: next to this\n"
@@ -124,22 +185,21 @@ void WriteClientLine(const std::string& line) {
 }
 
 /// Engine-shaped error response so clients see one vocabulary regardless of
-/// whether the router or a worker produced the error.
-JsonValue ErrorBody(StatusCode code, const std::string& message) {
+/// whether the router or a worker produced the error. retry_after_ms > 0
+/// adds the back-off hint shed responses carry.
+JsonValue ErrorBody(StatusCode code, const std::string& message,
+                    int64_t retry_after_ms = 0) {
   JsonValue error = JsonValue::Object();
   error.Set("code", JsonValue::String(StatusCodeName(code)));
   error.Set("message", JsonValue::String(message));
+  if (retry_after_ms > 0) {
+    error.Set("retry_after_ms",
+              JsonValue::Number(static_cast<double>(retry_after_ms)));
+  }
   JsonValue response = JsonValue::Object();
   response.Set("ok", JsonValue::Bool(false));
   response.Set("error", std::move(error));
   return response;
-}
-
-void RespondError(StatusCode code, const std::string& message,
-                  bool has_id, const JsonValue& id) {
-  JsonValue response = ErrorBody(code, message);
-  if (has_id) response.Set("id", id);
-  WriteClientLine(response.Dump());
 }
 
 /// One in-flight forwarded request. kInternal entries (health pings, admin
@@ -149,8 +209,12 @@ struct PendingEntry {
   enum class Kind { kSingle, kBroadcast, kInternal };
   Kind kind = Kind::kSingle;
 
+  ConnId client = kStdioConn;  // connection owed the response
   bool has_client_id = false;
   JsonValue client_id;
+  std::string client_id_json;  // client_id pre-serialized: the splice path
+                               // does zero JSON work per response
+  std::chrono::steady_clock::time_point enqueued;  // for _router_status aging
 
   std::string worker;        // who currently owes the response
   std::string request_line;  // rewritten line (router id), for fallback
@@ -195,7 +259,20 @@ class Router {
             dpclustx::obs::MetricsRegistry::Default().RegisterCounter(
                 "dpclustx_router_dropped_lines_total",
                 "worker stdout lines the router could not parse or "
-                "attribute to a request")) {
+                "attribute to a request")),
+        relay_spliced_counter_(
+            dpclustx::obs::MetricsRegistry::Default().RegisterCounter(
+                "dpclustx_router_relay_spliced_total",
+                "worker responses relayed via the zero-reparse id splice")),
+        relay_full_parse_counter_(
+            dpclustx::obs::MetricsRegistry::Default().RegisterCounter(
+                "dpclustx_router_relay_full_parse_total",
+                "worker responses relayed via the full parse/dump path")),
+        shed_requests_counter_(
+            dpclustx::obs::MetricsRegistry::Default().RegisterCounter(
+                "dpclustx_router_shed_requests_total",
+                "requests refused with ResourceExhausted because the "
+                "client's response backlog passed the hard write limit")) {
     for (size_t i = 0; i < num_shards; ++i) {
       auto w = std::make_unique<WorkerProc>();
       w->name = "shard-" + std::to_string(i);
@@ -232,11 +309,33 @@ class Router {
     health_thread_ = std::thread([this] { HealthLoop(); });
   }
 
+  /// splice=false restores the legacy full-parse relay (bench baseline);
+  /// verify cross-checks every spliced response against it.
+  void ConfigureRelay(bool splice, bool verify) {
+    relay_splice_ = splice;
+    verify_relay_ = verify;
+  }
+
+  /// Brings up the socket front door on every --listen spec. The handler
+  /// runs on the transport's event-loop thread; routing is quick (classify
+  /// + one pipe write), responses come back via worker reader threads.
+  Status StartTransport(const std::vector<std::string>& specs,
+                        TransportOptions options, int64_t retry_after_ms) {
+    retry_after_ms_ = retry_after_ms;
+    transport_ = std::make_unique<Transport>(options);
+    for (const std::string& spec : specs) {
+      DPX_RETURN_IF_ERROR(transport_->Listen(spec));
+    }
+    return transport_->Start([this](ConnId conn, std::string&& line) {
+      HandleClientLine(conn, line);
+    });
+  }
+
   void ServeStdin() {
     std::string line;
     while (std::getline(std::cin, line)) {
       if (line.empty()) continue;
-      HandleClientLine(line);
+      HandleClientLine(kStdioConn, line);
     }
   }
 
@@ -250,6 +349,9 @@ class Router {
       pending_cv_.wait_for(lock, std::chrono::seconds(10),
                            [this] { return pending_.empty(); });
     }
+    // Stop accepting socket traffic before tearing down workers; the event
+    // loop flushes what it can and drops (and counts) the rest.
+    if (transport_ != nullptr) transport_->Stop();
     {
       std::lock_guard<std::mutex> lock(health_mutex_);
       shutting_down_ = true;
@@ -299,6 +401,26 @@ class Router {
     struct stat st;
     DPX_CHECK(::stat(state_dir_.c_str(), &st) == 0 && S_ISDIR(st.st_mode))
         << "--state-dir '" << state_dir_ << "' cannot be created";
+  }
+
+  // ---- client replies ------------------------------------------------
+
+  /// Routes one response line to whichever front door owns `conn`.
+  void Reply(ConnId conn, const std::string& line) {
+    if (conn == kStdioConn) {
+      WriteClientLine(line);
+      return;
+    }
+    // false = the client disconnected; the transport counted the drop.
+    transport_->Send(conn, line);
+  }
+
+  void RespondError(ConnId conn, StatusCode code, const std::string& message,
+                    bool has_id, const JsonValue& id,
+                    int64_t retry_after_ms = 0) {
+    JsonValue response = ErrorBody(code, message, retry_after_ms);
+    if (has_id) response.Set("id", id);
+    Reply(conn, response.Dump());
   }
 
   WorkerProc* FindWorker(const std::string& name) {
@@ -408,19 +530,54 @@ class Router {
 
   // ---- response plumbing ---------------------------------------------
 
-  void HandleWorkerLine(WorkerProc& w, const std::string& line) {
-    StatusOr<JsonValue> parsed = JsonValue::Parse(line);
-    if (!parsed.ok() || parsed->type() != JsonValue::Type::kObject ||
-        !parsed->Has("id") ||
-        parsed->at("id").type() != JsonValue::Type::kString) {
-      DropMalformedLine(w, line);
-      return;
+  /// The full-parse relay: decode the worker line, rewrite the id, dump.
+  /// The splice path must match this byte for byte (--verify-relay checks).
+  static std::string FullParseRelay(const JsonValue& parsed,
+                                    const PendingEntry& entry) {
+    JsonValue response = parsed;
+    if (entry.has_client_id) {
+      response.Set("id", entry.client_id);
+    } else {
+      response.Remove("id");
     }
-    const std::string rid = parsed->at("id").AsString();
+    return response.Dump();
+  }
+
+  void HandleWorkerLine(WorkerProc& w, const std::string& line) {
+    // Hot path: one structural scan finds the router id without building a
+    // document tree. The full parser runs only for lines the scanner
+    // refuses (torn output, escaped ids) and for the cold response kinds
+    // that genuinely need a tree (broadcast merge, replica refusal check).
+    StatusOr<RelayScan> scan = ScanTopLevelId(line);
+    StatusOr<JsonValue> parsed = Status::Internal("not parsed");
+    bool have_parsed = false;
+    const auto ensure_parsed = [&]() -> bool {
+      if (!have_parsed) {
+        parsed = JsonValue::Parse(line);
+        have_parsed = true;
+      }
+      return parsed.ok() && parsed->type() == JsonValue::Type::kObject;
+    };
+
+    std::string rid;
+    if (scan.ok()) {
+      rid = scan->id;
+    } else {
+      if (!ensure_parsed() || !parsed->Has("id") ||
+          parsed->at("id").type() != JsonValue::Type::kString) {
+        DropMalformedLine(w, line);
+        return;
+      }
+      rid = parsed->at("id").AsString();
+    }
 
     std::string retry_line;      // replica miss → re-send to this primary
     WorkerProc* retry_worker = nullptr;
     std::shared_ptr<PendingEntry> retry_entry;
+    // A line the scanner accepted but the full parser refused (possible
+    // only off the splice fast path, where the tree is actually needed):
+    // the owed response is unrecoverable, fail that exact request.
+    std::shared_ptr<PendingEntry> unparseable_victim;
 
     {
       std::lock_guard<std::mutex> lock(pending_mutex_);
@@ -434,6 +591,11 @@ class Router {
           pending_.erase(it);
           break;
         case PendingEntry::Kind::kBroadcast: {
+          if (!ensure_parsed()) {
+            unparseable_victim = entry;
+            pending_.erase(it);
+            break;
+          }
           JsonValue piece = *parsed;
           piece.Remove("id");
           entry->merged.Set(w.name, std::move(piece));
@@ -442,13 +604,14 @@ class Router {
             response.Set("ok", JsonValue::Bool(true));
             response.Set("workers", entry->merged);
             if (entry->has_client_id) response.Set("id", entry->client_id);
-            WriteClientLine(response.Dump());
+            Reply(entry->client, response.Dump());
             pending_.erase(it);
           }
           break;
         }
         case PendingEntry::Kind::kSingle: {
-          if (entry->on_replica && ReplicaRefusal(*parsed)) {
+          if (entry->on_replica && ensure_parsed() &&
+              ReplicaRefusal(*parsed)) {
             // The replica's cache had no hit (or its snapshot predates the
             // session): retry the identical line against the primary.
             WorkerProc* primary =
@@ -462,22 +625,52 @@ class Router {
               break;  // keep the pending entry; response comes from primary
             }
           }
-          JsonValue response = *parsed;
-          if (entry->has_client_id) {
-            response.Set("id", entry->client_id);
+          std::string out;
+          if (relay_splice_ && scan.ok()) {
+            out = entry->client_id_json.empty()
+                      ? EraseId(line, *scan)
+                      : SpliceId(line, *scan, entry->client_id_json);
+            relay_spliced_counter_->Increment();
+            if (verify_relay_) {
+              DPX_CHECK(ensure_parsed())
+                  << "verify-relay: spliced line failed the full parser";
+              const std::string expect = FullParseRelay(*parsed, *entry);
+              DPX_CHECK(out == expect)
+                  << "relay splice diverged from the full-parse path: "
+                  << out << " vs " << expect;
+            }
           } else {
-            response.Remove("id");
+            if (!ensure_parsed()) {
+              unparseable_victim = entry;
+              pending_.erase(it);
+              break;
+            }
+            out = FullParseRelay(*parsed, *entry);
+            relay_full_parse_counter_->Increment();
           }
-          WriteClientLine(response.Dump());
+          Reply(entry->client, out);
           pending_.erase(it);
           break;
         }
       }
     }
     pending_cv_.notify_all();
+    if (unparseable_victim != nullptr) {
+      dropped_lines_.fetch_add(1, std::memory_order_relaxed);
+      dropped_lines_counter_->Increment();
+      JsonValue response = ErrorBody(
+          StatusCode::kInternal,
+          "worker '" + w.name + "' emitted an unparseable response line");
+      if (unparseable_victim->has_client_id) {
+        response.Set("id", unparseable_victim->client_id);
+      }
+      Reply(unparseable_victim->client, response.Dump());
+      return;
+    }
 
     if (retry_worker != nullptr && !WriteToWorker(*retry_worker, retry_line)) {
-      FinishWithError(retry_entry->has_client_id ? &retry_entry->client_id
+      FinishWithError(retry_entry->client,
+                      retry_entry->has_client_id ? &retry_entry->client_id
                                                  : nullptr,
                       rid, "primary '" + retry_worker->name +
                                "' is down; retry once it respawns");
@@ -525,7 +718,7 @@ class Router {
             "' emitted a malformed response line; the request was consumed "
             "but its response is unrecoverable — retry");
     if (victim->has_client_id) response.Set("id", victim->client_id);
-    WriteClientLine(response.Dump());
+    Reply(victim->client, response.Dump());
   }
 
   /// True when a worker response is the read-only / unknown-state refusal a
@@ -551,15 +744,15 @@ class Router {
   }
 
   /// Resolves (erases) a pending id with a router-generated error.
-  void FinishWithError(const JsonValue* client_id, const std::string& rid,
-                       const std::string& message) {
+  void FinishWithError(ConnId conn, const JsonValue* client_id,
+                       const std::string& rid, const std::string& message) {
     {
       std::lock_guard<std::mutex> lock(pending_mutex_);
       pending_.erase(rid);
     }
     JsonValue response = ErrorBody(StatusCode::kInternal, message);
     if (client_id != nullptr) response.Set("id", *client_id);
-    WriteClientLine(response.Dump());
+    Reply(conn, response.Dump());
   }
 
   /// Called when `worker` died: every request it still owed is either
@@ -575,7 +768,7 @@ class Router {
       std::shared_ptr<PendingEntry> entry;
     };
     std::vector<Retry> retries;
-    std::vector<std::string> failed_lines;
+    std::vector<std::pair<ConnId, std::string>> failed_lines;
     {
       std::lock_guard<std::mutex> lock(pending_mutex_);
       for (auto it = pending_.begin(); it != pending_.end();) {
@@ -594,7 +787,7 @@ class Router {
               response.Set("ok", JsonValue::Bool(true));
               response.Set("workers", entry->merged);
               if (entry->has_client_id) response.Set("id", entry->client_id);
-              failed_lines.push_back(response.Dump());
+              failed_lines.emplace_back(entry->client, response.Dump());
               it = pending_.erase(it);
               continue;
             }
@@ -629,15 +822,16 @@ class Router {
                 "that was journaled re-serves from the cache for zero "
                 "ε)");
         if (entry->has_client_id) response.Set("id", entry->client_id);
-        failed_lines.push_back(response.Dump());
+        failed_lines.emplace_back(entry->client, response.Dump());
         it = pending_.erase(it);
       }
     }
     pending_cv_.notify_all();
-    for (const std::string& line : failed_lines) WriteClientLine(line);
+    for (const auto& [conn, line] : failed_lines) Reply(conn, line);
     for (Retry& retry : retries) {
       if (!WriteToWorker(*retry.target, retry.line)) {
-        FinishWithError(retry.entry->has_client_id ? &retry.entry->client_id
+        FinishWithError(retry.entry->client,
+                        retry.entry->has_client_id ? &retry.entry->client_id
                                                    : nullptr,
                         retry.rid,
                         "primary '" + retry.target->name +
@@ -684,6 +878,7 @@ class Router {
     auto entry = std::make_shared<PendingEntry>();
     entry->kind = PendingEntry::Kind::kInternal;
     entry->worker = w.name;
+    entry->enqueued = std::chrono::steady_clock::now();
     {
       std::lock_guard<std::mutex> lock(pending_mutex_);
       pending_[rid] = entry;
@@ -721,7 +916,12 @@ class Router {
     }
     if (w.reader.joinable()) w.reader.join();
     const uint64_t attempt = w.restarts.fetch_add(1) + 1;
-    const int64_t delay = backoff_.DelayMs(attempt);
+    // Jittered so N workers felled by a common cause (bad snapshot, OOM
+    // sweep) fan back in over a window instead of re-stampeding in
+    // lockstep. rng is guarded by restart_mutex_, held here.
+    const int64_t delay = backoff_.JitteredDelayMs(
+        attempt, std::uniform_real_distribution<double>(0.0, 1.0)(
+                     respawn_rng_));
     std::cerr << "[router] respawning " << w.name << " (attempt " << attempt
               << ", backoff " << delay << "ms)\n";
     std::this_thread::sleep_for(std::chrono::milliseconds(delay));
@@ -751,10 +951,10 @@ class Router {
 
   // ---- request handling ----------------------------------------------
 
-  void HandleClientLine(const std::string& line) {
+  void HandleClientLine(ConnId conn, const std::string& line) {
     StatusOr<JsonValue> parsed = JsonValue::Parse(line);
     if (!parsed.ok() || parsed->type() != JsonValue::Type::kObject) {
-      RespondError(StatusCode::kInvalidArgument,
+      RespondError(conn, StatusCode::kInvalidArgument,
                    "request is not a JSON object: " +
                        parsed.status().message(),
                    false, JsonValue::Null());
@@ -763,48 +963,65 @@ class Router {
     const bool has_id = parsed->Has("id");
     const JsonValue client_id = has_id ? parsed->at("id") : JsonValue::Null();
 
+    // Shed: a socket client whose response backlog has passed the hard cap
+    // gets a back-off hint instead of more queued work. (The transport
+    // already paused its reads at the soft limit; reaching the hard cap
+    // means responses are piling up faster than the client drains them —
+    // e.g. broadcast fan-in responses racing a stalled reader.)
+    if (conn != kStdioConn &&
+        transport_->QueuedBytes(conn) >
+            transport_->options().write_hard_limit_bytes) {
+      shed_requests_counter_->Increment();
+      RespondError(conn, StatusCode::kResourceExhausted,
+                   "client response backlog exceeds the hard write limit; "
+                   "drain responses before sending more requests",
+                   has_id, client_id, retry_after_ms_);
+      return;
+    }
+
     if (parsed->Has("op") &&
         parsed->at("op").type() == JsonValue::Type::kString) {
       const std::string& op = parsed->at("op").AsString();
       if (op == "_router_status") {
-        RespondStatus(has_id, client_id);
+        RespondStatus(conn, has_id, client_id);
         return;
       }
       if (op == "_router_sync_replicas") {
-        SyncReplicas(has_id, client_id);
+        SyncReplicas(conn, has_id, client_id);
         return;
       }
     }
 
     StatusOr<RouteDecision> decision = core_.Classify(*parsed);
     if (!decision.ok()) {
-      RespondError(decision.status().code(), decision.status().message(),
-                   has_id, client_id);
+      RespondError(conn, decision.status().code(),
+                   decision.status().message(), has_id, client_id);
       return;
     }
 
     switch (decision->kind) {
       case RouteKind::kRefused:
         RespondError(
-            StatusCode::kFailedPrecondition,
+            conn, StatusCode::kFailedPrecondition,
             "the router manages snapshots: each shard saves to its own file "
             "under --state-dir (use _router_sync_replicas to refresh "
             "replicas)",
             has_id, client_id);
         return;
       case RouteKind::kBroadcast:
-        ForwardBroadcast(*parsed, has_id, client_id);
+        ForwardBroadcast(conn, *parsed, has_id, client_id);
         return;
       case RouteKind::kShard:
       case RouteKind::kReplicaRead:
       case RouteKind::kUnknownOp:
-        ForwardSingle(*parsed, *decision, has_id, client_id);
+        ForwardSingle(conn, *parsed, *decision, has_id, client_id);
         return;
     }
   }
 
-  void ForwardSingle(JsonValue request, const RouteDecision& decision,
-                     bool has_id, const JsonValue& client_id) {
+  void ForwardSingle(ConnId conn, JsonValue request,
+                     const RouteDecision& decision, bool has_id,
+                     const JsonValue& client_id) {
     WorkerProc* primary = nullptr;
     if (decision.kind == RouteKind::kUnknownOp) {
       // Forwarded so the engine produces its canonical unknown-op error.
@@ -830,8 +1047,13 @@ class Router {
 
     auto entry = std::make_shared<PendingEntry>();
     entry->kind = PendingEntry::Kind::kSingle;
+    entry->client = conn;
     entry->has_client_id = has_id;
     entry->client_id = client_id;
+    // Serialized once here so the splice relay does zero JSON work when
+    // the worker's response comes back.
+    if (has_id) entry->client_id_json = client_id.Dump();
+    entry->enqueued = std::chrono::steady_clock::now();
     entry->worker = target->name;
     entry->request_line = forwarded;
     entry->dataset = decision.dataset;
@@ -849,12 +1071,12 @@ class Router {
       entry->worker = primary->name;
       return;
     }
-    FinishWithError(has_id ? &client_id : nullptr, rid,
+    FinishWithError(conn, has_id ? &client_id : nullptr, rid,
                     "worker '" + primary->name +
                         "' is down; retry once it respawns");
   }
 
-  void ForwardBroadcast(JsonValue request, bool has_id,
+  void ForwardBroadcast(ConnId conn, JsonValue request, bool has_id,
                         const JsonValue& client_id) {
     std::vector<WorkerProc*> shards;
     for (auto& w : workers_) {
@@ -866,8 +1088,10 @@ class Router {
 
     auto entry = std::make_shared<PendingEntry>();
     entry->kind = PendingEntry::Kind::kBroadcast;
+    entry->client = conn;
     entry->has_client_id = has_id;
     entry->client_id = client_id;
+    entry->enqueued = std::chrono::steady_clock::now();
     entry->awaiting = shards.size();
     {
       std::lock_guard<std::mutex> lock(pending_mutex_);
@@ -885,13 +1109,39 @@ class Router {
         response.Set("ok", JsonValue::Bool(true));
         response.Set("workers", entry->merged);
         if (has_id) response.Set("id", client_id);
-        WriteClientLine(response.Dump());
+        Reply(conn, response.Dump());
         pending_.erase(rid);
       }
     }
   }
 
-  void RespondStatus(bool has_id, const JsonValue& client_id) {
+  void RespondStatus(ConnId conn, bool has_id, const JsonValue& client_id) {
+    // Per-worker pending depth + oldest-pending age: a wedged worker shows
+    // up here as a growing queue and a climbing age long before the health
+    // ping gives up on it. Broadcast entries are owed by several workers at
+    // once and are reported in the top-level "pending_broadcasts" instead.
+    struct PendingStat {
+      size_t depth = 0;
+      std::chrono::steady_clock::time_point oldest;
+    };
+    std::map<std::string, PendingStat> per_worker;
+    size_t pending_broadcasts = 0;
+    const auto now = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      for (const auto& [id, entry] : pending_) {
+        if (entry->kind == PendingEntry::Kind::kBroadcast) {
+          ++pending_broadcasts;
+          continue;
+        }
+        PendingStat& stat = per_worker[entry->worker];
+        if (stat.depth == 0 || entry->enqueued < stat.oldest) {
+          stat.oldest = entry->enqueued;
+        }
+        ++stat.depth;
+      }
+    }
+
     JsonValue workers = JsonValue::Array();
     for (auto& w : workers_) {
       JsonValue entry = JsonValue::Object();
@@ -902,9 +1152,30 @@ class Router {
       entry.Set("pid", JsonValue::Number(static_cast<double>(w->pid)));
       entry.Set("restarts",
                 JsonValue::Number(static_cast<double>(w->restarts.load())));
+      const auto stat_it = per_worker.find(w->name);
+      const size_t depth =
+          stat_it == per_worker.end() ? 0 : stat_it->second.depth;
+      const double oldest_ms =
+          depth == 0
+              ? 0.0
+              : static_cast<double>(
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        now - stat_it->second.oldest)
+                        .count());
+      entry.Set("pending", JsonValue::Number(static_cast<double>(depth)));
+      entry.Set("oldest_pending_ms", JsonValue::Number(oldest_ms));
       workers.Append(std::move(entry));
     }
     JsonValue response = JsonValue::Object();
+    response.Set("pending_broadcasts",
+                 JsonValue::Number(static_cast<double>(pending_broadcasts)));
+    if (transport_ != nullptr) {
+      JsonValue transport = JsonValue::Object();
+      transport.Set("active_connections",
+                    JsonValue::Number(static_cast<double>(
+                        transport_->ActiveConnections())));
+      response.Set("transport", std::move(transport));
+    }
     response.Set("ok", JsonValue::Bool(true));
     response.Set("workers", std::move(workers));
     response.Set("shards", JsonValue::Number(static_cast<double>(num_shards_)));
@@ -916,13 +1187,13 @@ class Router {
                  JsonValue::Number(static_cast<double>(
                      dropped_lines_.load(std::memory_order_relaxed))));
     if (has_id) response.Set("id", client_id);
-    WriteClientLine(response.Dump());
+    Reply(conn, response.Dump());
   }
 
   /// save_snapshot on every shard (synchronously, so the files are complete
   /// before any replica reads them), then respawn every replica from the
   /// fresh snapshots. Deterministic replica refresh for tests and benches.
-  void SyncReplicas(bool has_id, const JsonValue& client_id) {
+  void SyncReplicas(ConnId conn, bool has_id, const JsonValue& client_id) {
     size_t saved = 0;
     for (size_t i = 0; i < num_shards_; ++i) {
       WorkerProc* shard = workers_[i].get();
@@ -931,6 +1202,7 @@ class Router {
       auto entry = std::make_shared<PendingEntry>();
       entry->kind = PendingEntry::Kind::kInternal;
       entry->worker = shard->name;
+      entry->enqueued = std::chrono::steady_clock::now();
       {
         std::lock_guard<std::mutex> lock(pending_mutex_);
         pending_[rid] = entry;
@@ -963,7 +1235,7 @@ class Router {
     response.Set("respawned_replicas",
                  JsonValue::Number(static_cast<double>(respawned)));
     if (has_id) response.Set("id", client_id);
-    WriteClientLine(response.Dump());
+    Reply(conn, response.Dump());
   }
 
   RouterCore core_;
@@ -993,6 +1265,16 @@ class Router {
   // in the process registry alongside every other instrument.
   std::atomic<uint64_t> dropped_lines_{0};
   dpclustx::obs::Counter* dropped_lines_counter_;
+  dpclustx::obs::Counter* relay_spliced_counter_;
+  dpclustx::obs::Counter* relay_full_parse_counter_;
+  dpclustx::obs::Counter* shed_requests_counter_;
+
+  // Socket front door; null in stdin-only mode.
+  std::unique_ptr<Transport> transport_;
+  int64_t retry_after_ms_ = 100;
+  bool relay_splice_ = true;
+  bool verify_relay_ = false;
+  std::mt19937_64 respawn_rng_{std::random_device{}()};  // restart_mutex_
 };
 
 std::string DefaultServeBinary() {
@@ -1039,11 +1321,28 @@ int main(int argc, char** argv) {
   size_t health_misses = 3;
   std::string serve_bin = DefaultServeBinary();
   std::string state_dir = ".";
+  std::string relay_mode = "splice";
+  bool verify_relay = false;
+  std::vector<std::string> listen_specs;
+  dpclustx::service::TransportOptions transport_options;
+  size_t max_frame_bytes = transport_options.max_frame_bytes;
+  size_t write_soft_limit = transport_options.write_soft_limit_bytes;
+  size_t write_hard_limit = transport_options.write_hard_limit_bytes;
+  size_t retry_after_ms = 100;
   std::vector<std::string> worker_extra_args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--") == 0) {
       for (int j = i + 1; j < argc; ++j) worker_extra_args.push_back(argv[j]);
       break;
+    }
+    std::string listen_spec;
+    if (ParseStringFlag(argc, argv, &i, "--listen", &listen_spec)) {
+      listen_specs.push_back(listen_spec);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--verify-relay") == 0) {
+      verify_relay = true;
+      continue;
     }
     if (ParseSizeFlag(argc, argv, &i, "--workers", &num_workers) ||
         ParseSizeFlag(argc, argv, &i, "--replicas", &replicas) ||
@@ -1053,7 +1352,14 @@ int main(int argc, char** argv) {
         ParseSizeFlag(argc, argv, &i, "--health-deadline-ms",
                       &health_deadline_ms) ||
         ParseSizeFlag(argc, argv, &i, "--health-misses", &health_misses) ||
+        ParseSizeFlag(argc, argv, &i, "--max-frame-bytes", &max_frame_bytes) ||
+        ParseSizeFlag(argc, argv, &i, "--write-soft-limit-bytes",
+                      &write_soft_limit) ||
+        ParseSizeFlag(argc, argv, &i, "--write-hard-limit-bytes",
+                      &write_hard_limit) ||
+        ParseSizeFlag(argc, argv, &i, "--retry-after-ms", &retry_after_ms) ||
         ParseStringFlag(argc, argv, &i, "--serve", &serve_bin) ||
+        ParseStringFlag(argc, argv, &i, "--relay", &relay_mode) ||
         ParseStringFlag(argc, argv, &i, "--state-dir", &state_dir)) {
       continue;
     }
@@ -1073,9 +1379,23 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (vnodes == 0) vnodes = 1;
+  if (relay_mode != "splice" && relay_mode != "full") {
+    std::cerr << "--relay must be 'splice' or 'full'\n";
+    return 2;
+  }
+  transport_options.max_frame_bytes = max_frame_bytes;
+  transport_options.write_soft_limit_bytes = write_soft_limit;
+  transport_options.write_hard_limit_bytes = write_hard_limit;
+  if (transport_options.write_soft_limit_bytes >
+      transport_options.write_hard_limit_bytes) {
+    std::cerr << "--write-soft-limit-bytes must not exceed "
+                 "--write-hard-limit-bytes\n";
+    return 2;
+  }
 
   // A worker dying while we write to its pipe must surface as EPIPE (we
-  // respawn it), not kill the router.
+  // respawn it), not kill the router. Socket clients disconnecting
+  // mid-response are the same story.
   ::signal(SIGPIPE, SIG_IGN);
 
   Router router(serve_bin, state_dir, num_workers, replicas, vnodes,
@@ -1083,7 +1403,20 @@ int main(int argc, char** argv) {
                 static_cast<int64_t>(health_deadline_ms),
                 static_cast<int>(health_misses),
                 std::move(worker_extra_args));
+  router.ConfigureRelay(relay_mode == "splice", verify_relay);
   router.Start();
+  if (!listen_specs.empty()) {
+    const dpclustx::Status started = router.StartTransport(
+        listen_specs, transport_options,
+        static_cast<int64_t>(retry_after_ms));
+    if (!started.ok()) {
+      std::cerr << "cannot listen: " << started.ToString() << "\n";
+      router.Shutdown();
+      return 1;
+    }
+  }
+  // stdin stays the lifecycle handle even in socket mode: EOF here is the
+  // shutdown signal (run under a supervisor, hold the pipe open).
   router.ServeStdin();
   router.Shutdown();
   return 0;

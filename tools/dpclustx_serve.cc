@@ -16,9 +16,18 @@
 // other than "no snapshot yet" refuses to serve — wrong ledgers are worse
 // than downtime.
 //
+// With --listen the same engine also serves socket clients (unix:/path or
+// tcp:[host:]port, src/service/transport.h): many concurrent connections,
+// newline framing identical to stdin, per-connection backpressure, and
+// requests shed with ResourceExhausted + retry_after_ms once a client's
+// response backlog passes the transport's hard write limit. stdin remains
+// the lifecycle handle — EOF drains and shuts down.
+//
 // The flag table below is the single reference (printed by --help and
 // mirrored in README.md "Serving flags"):
 //
+//   --listen SPEC            also accept clients on unix:/path or
+//                            tcp:[host:]port (repeatable)
 //   --threads N              worker threads (default 4)
 //   --queue N                pending-request bound (default 256)
 //   --cache N                release-cache entries (default 1024)
@@ -66,6 +75,7 @@
 
 #include "obs/build_info.h"
 #include "service/service_engine.h"
+#include "service/transport.h"
 #include "snapshot/snapshot_io.h"
 
 namespace {
@@ -90,6 +100,8 @@ void WriteLine(const std::string& response) {
 constexpr const char kUsage[] =
     "usage: dpclustx_serve [flags]\n"
     "\n"
+    "  --listen SPEC            also accept clients on unix:/path or\n"
+    "                           tcp:[host:]port (repeatable)\n"
     "  --threads N              worker threads (default 4)\n"
     "  --queue N                pending-request bound (default 256)\n"
     "  --cache N                release-cache entries (default 1024)\n"
@@ -209,7 +221,13 @@ int main(int argc, char** argv) {
   std::string snapshot_path;
   size_t snapshot_interval_ms = 10000;
   std::string audit_journal;
+  std::vector<std::string> listen_specs;
   for (int i = 1; i < argc; ++i) {
+    std::string listen_spec;
+    if (ParseStringFlag(argc, argv, &i, "--listen", &listen_spec)) {
+      listen_specs.push_back(listen_spec);
+      continue;
+    }
     if (ParseSizeFlag(argc, argv, &i, "--threads", &options.num_threads) ||
         ParseSizeFlag(argc, argv, &i, "--queue", &options.queue_capacity) ||
         ParseSizeFlag(argc, argv, &i, "--cache", &options.cache_capacity) ||
@@ -309,6 +327,51 @@ int main(int argc, char** argv) {
         snapshot_interval_ms, [&] { SaveSnapshot(engine, snapshot_path); });
   }
 
+  // Socket front door: same engine, many concurrent clients. The frame
+  // handler runs on the transport's event loop, so it only classifies and
+  // enqueues (--sync serializes socket clients too, on that loop thread).
+  std::unique_ptr<dpclustx::service::Transport> transport;
+  if (!listen_specs.empty()) {
+    transport = std::make_unique<dpclustx::service::Transport>();
+    for (const std::string& spec : listen_specs) {
+      const Status listening = transport->Listen(spec);
+      if (!listening.ok()) {
+        std::cerr << "cannot listen: " << listening.ToString() << "\n";
+        return 1;
+      }
+    }
+    const Status started = transport->Start(
+        [&](dpclustx::service::ConnId conn, std::string&& request) {
+          dpclustx::service::Transport* t = transport.get();
+          if (t->QueuedBytes(conn) > t->options().write_hard_limit_bytes) {
+            t->Send(conn, ServiceEngine::RejectionResponse(
+                              request,
+                              Status::ResourceExhausted(
+                                  "client response backlog exceeds the hard "
+                                  "write limit; drain responses first"),
+                              options.retry_after_ms));
+            return;
+          }
+          if (sync) {
+            t->Send(conn, engine.Handle(request));
+            return;
+          }
+          const Status submitted =
+              engine.HandleAsync(request, [t, conn](std::string response) {
+                t->Send(conn, response);
+              });
+          if (!submitted.ok()) {
+            t->Send(conn,
+                    ServiceEngine::RejectionResponse(request, submitted,
+                                                     options.retry_after_ms));
+          }
+        });
+    if (!started.ok()) {
+      std::cerr << "cannot start transport: " << started.ToString() << "\n";
+      return 1;
+    }
+  }
+
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
@@ -325,7 +388,10 @@ int main(int argc, char** argv) {
                                                  options.retry_after_ms));
     }
   }
-  engine.Shutdown();  // drain queued requests before exiting
+  // Drain first so in-flight socket responses still go out, then stop the
+  // transport (late arrivals during the drain get shutdown rejections).
+  engine.Shutdown();
+  if (transport != nullptr) transport->Stop();
   if (snapshot_writer != nullptr) snapshot_writer->Stop();
   if (!snapshot_path.empty() && !options.read_only) {
     SaveSnapshot(engine, snapshot_path);  // final post-drain snapshot
