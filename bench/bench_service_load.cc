@@ -34,10 +34,24 @@
 // log-bucketed instrument the engine exports — so the numbers here are
 // directly comparable to the server-side histograms in `metrics` output.
 //
+// --observability picks how much of the fleet observability plane
+// (DESIGN.md §15) the run exercises, so its cost is a measured number:
+//
+//   off      baseline: plain requests, no scrape traffic
+//   metrics  + a background scraper issuing a `metrics` fleet-rollup
+//            broadcast every 250ms on its own connection (the telemetry
+//            plane under load)
+//   full     metrics + every request carries "trace":true, so each one
+//            pays _tc splice, worker span capture, and timeline stitching
+//
+// bench_snapshot.sh runs off and full back to back and stamps the p99
+// delta into BENCH_service.json (budget: ≤3%).
+//
 // Usage:
 //   bench_service_load [--workers N] [--clients N] [--datasets N]
 //                      [--rows N] [--requests-per-client N]
 //                      [--open-qps Q] [--open-seconds S] [--state-dir DIR]
+//                      [--observability off|metrics|full]
 //
 // Prints one human line per phase and a final machine-readable JSON line
 // (consumed by scripts/bench_snapshot.sh → BENCH_service.json):
@@ -85,6 +99,7 @@ struct BenchConfig {
   double open_qps = 120.0;          // aggregate offered load, open phase
   double open_seconds = 4.0;
   std::string state_dir = "/tmp/dpclustx_service_load";
+  std::string observability = "off";  // off | metrics | full
 };
 
 std::string BuildDir() {
@@ -187,30 +202,34 @@ struct LoadTally {
 /// Builds request number `seq` for client `c`: the op mix with a distinct
 /// ε per budget-charged request. The id encodes the client so cross-
 /// connection delivery mistakes surface as garbled responses.
-std::string BuildRequest(size_t c, size_t seq, LoadTally& tally) {
+std::string BuildRequest(size_t c, size_t seq, LoadTally& tally,
+                         bool traced) {
   const double epsilon =
       0.21 + 1e-7 * static_cast<double>(tally.epsilon_seq.fetch_add(1));
+  // In full-observability mode every request opts into end-to-end tracing,
+  // so the run prices _tc splice + worker spans + stitching per request.
+  const char* trace = traced ? R"("trace":true,)" : "";
   char request[384];
   switch (seq % 5) {
     case 0:
     case 1:
       std::snprintf(request, sizeof(request),
                     R"({"op":"explain","session":"tenant%zu",)"
-                    R"("epsilon":%.8f,"id":"c%zu-%zu"})",
-                    c, epsilon, c, seq);
+                    R"("epsilon":%.8f,%s"id":"c%zu-%zu"})",
+                    c, epsilon, trace, c, seq);
       break;
     case 2:
     case 3:
       std::snprintf(request, sizeof(request),
                     R"({"op":"hist","session":"tenant%zu",)"
-                    R"("attribute":"diab_%zu","epsilon":%.8f,)"
+                    R"("attribute":"diab_%zu","epsilon":%.8f,%s)"
                     R"("id":"c%zu-%zu"})",
-                    c, seq % 7, epsilon, c, seq);
+                    c, seq % 7, epsilon, trace, c, seq);
       break;
     default:
       std::snprintf(request, sizeof(request),
-                    R"({"op":"budget","session":"tenant%zu","id":"c%zu-%zu"})",
-                    c, c, seq);
+                    R"({"op":"budget","session":"tenant%zu",%s"id":"c%zu-%zu"})",
+                    c, trace, c, seq);
   }
   return request;
 }
@@ -257,8 +276,9 @@ double RunClosedLoop(const BenchConfig& config, const std::string& socket,
           ClientChannel::Connect(socket);
       DPX_CHECK(channel.ok()) << channel.status().ToString();
       std::map<std::string, Clock::time_point> outstanding;
+      const bool traced = config.observability == "full";
       for (size_t seq = 0; seq < config.requests_per_client; ++seq) {
-        const std::string request = BuildRequest(c, seq, tally);
+        const std::string request = BuildRequest(c, seq, tally, traced);
         outstanding["c" + std::to_string(c) + "-" + std::to_string(seq)] =
             Clock::now();
         DPX_CHECK((*channel)->SendLine(request).ok());
@@ -317,7 +337,8 @@ double RunOpenLoop(const BenchConfig& config, const std::string& socket,
           DPX_CHECK(AccountResponse(*line, outstanding, tally, histogram))
               << "garbled response: " << *line;
         }
-        const std::string request = BuildRequest(c, seq, tally);
+        const std::string request =
+            BuildRequest(c, seq, tally, config.observability == "full");
         outstanding["c" + std::to_string(c) + "-" + std::to_string(seq)] =
             Clock::now();
         DPX_CHECK((*channel)->SendLine(request).ok());
@@ -338,6 +359,41 @@ double RunOpenLoop(const BenchConfig& config, const std::string& socket,
       std::chrono::duration<double>(Clock::now() - t0).count();
   return static_cast<double>(tally.received.load()) / seconds;
 }
+
+/// Background telemetry consumer for the metrics/full observability modes:
+/// a dedicated connection issuing a `metrics` fleet-rollup broadcast every
+/// 250ms — the cost a real scrape plane adds while the fleet is under load.
+class MetricsScraper {
+ public:
+  explicit MetricsScraper(const std::string& socket) {
+    thread_ = std::thread([this, socket] {
+      StatusOr<std::unique_ptr<ClientChannel>> channel =
+          ClientChannel::Connect(socket);
+      DPX_CHECK(channel.ok()) << channel.status().ToString();
+      while (!stop_.load(std::memory_order_acquire)) {
+        const std::string id = "scrape-" + std::to_string(scrapes_);
+        StatusOr<JsonValue> rollup = Call(
+            **channel, R"({"op":"metrics","id":")" + id + R"("})");
+        DPX_CHECK(rollup.ok() && rollup->at("ok").AsBool() &&
+                  rollup->Has("fleet"))
+            << "fleet rollup scrape failed";
+        ++scrapes_;
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      }
+    });
+  }
+
+  size_t Stop() {
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+    return scrapes_;
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  size_t scrapes_ = 0;  // written by the thread, read after join
+  std::thread thread_;
+};
 
 struct RelayBench {
   double splice_ns = 0.0;
@@ -433,7 +489,16 @@ int main(int argc, char** argv) {
       config.state_dir = argv[++i];
       continue;
     }
+    if (std::strcmp(argv[i], "--observability") == 0 && i + 1 < argc) {
+      config.observability = argv[++i];
+      continue;
+    }
     std::cerr << "unknown flag '" << argv[i] << "'\n";
+    return 2;
+  }
+  if (config.observability != "off" && config.observability != "metrics" &&
+      config.observability != "full") {
+    std::cerr << "--observability must be off, metrics, or full\n";
     return 2;
   }
   ::signal(SIGPIPE, SIG_IGN);
@@ -466,6 +531,11 @@ int main(int argc, char** argv) {
     SetUpWorkload(**setup, config);
   }
 
+  std::unique_ptr<MetricsScraper> scraper;
+  if (config.observability != "off") {
+    scraper = std::make_unique<MetricsScraper>(socket);
+  }
+
   LoadTally closed_tally;
   LatencyHistogram closed_histogram;
   const double closed_rps =
@@ -494,6 +564,13 @@ int main(int argc, char** argv) {
       open_tally.sent.load(), open_tally.received.load(),
       open_tally.garbled.load(), open_tally.shed.load());
 
+  size_t scrapes = 0;
+  if (scraper != nullptr) {
+    scrapes = scraper->Stop();
+    std::printf("observability        : %s (%zu fleet-rollup scrapes)\n",
+                config.observability.c_str(), scrapes);
+  }
+
   DPX_CHECK(closed_tally.garbled.load() == 0 &&
             open_tally.garbled.load() == 0)
       << "garbled responses — transport corrupted the stream";
@@ -503,6 +580,8 @@ int main(int argc, char** argv) {
 
   JsonValue result = JsonValue::Object();
   result.Set("bench", JsonValue::String("service_load"));
+  result.Set("observability", JsonValue::String(config.observability));
+  result.Set("scrapes", JsonValue::Number(static_cast<double>(scrapes)));
   result.Set("workers", JsonValue::Number(static_cast<double>(config.workers)));
   result.Set("clients", JsonValue::Number(static_cast<double>(config.clients)));
   result.Set("datasets",

@@ -68,9 +68,16 @@ for w in 2 4; do
 done
 
 echo "==> bench_service_load (socket transport, closed + open loop)"
-./build/bench/bench_service_load \
-  --state-dir "$TMP_DIR/service_load" | tee "$TMP_DIR/service_load_human.txt"
-tail -n 1 "$TMP_DIR/service_load_human.txt" > "$TMP_DIR/service_load.json"
+# Twice: the observability=off baseline, then full (every request traced
+# end to end + fleet-rollup scrapes). The p99 delta between the two is the
+# measured cost of cross-process trace propagation (budget: ≤3%).
+for mode in off full; do
+  ./build/bench/bench_service_load \
+    --observability "$mode" --state-dir "$TMP_DIR/service_load_$mode" |
+    tee "$TMP_DIR/service_load_human_$mode.txt"
+  tail -n 1 "$TMP_DIR/service_load_human_$mode.txt" \
+    > "$TMP_DIR/service_load_$mode.json"
+done
 
 echo "==> service metrics smoke dump"
 BUILD_VERSION="$(./build/tools/dpclustx_serve --version)"
@@ -88,12 +95,12 @@ python3 - "$TMP_DIR/parallel_scaling.json" \
   "$TMP_DIR/scale_large_dataset.json" "$TMP_DIR/data_plane.json" \
   "$OUT_PARALLEL" "$OUT_DATA_PLANE" "$TMP_DIR/metrics.prom" \
   "$BUILD_VERSION" "$TMP_DIR/router_throughput_w2.json" \
-  "$TMP_DIR/router_throughput_w4.json" "$TMP_DIR/service_load.json" \
-  "$OUT_SERVICE" <<'PY'
+  "$TMP_DIR/router_throughput_w4.json" "$TMP_DIR/service_load_off.json" \
+  "$TMP_DIR/service_load_full.json" "$OUT_SERVICE" <<'PY'
 import json, os, re, sys
 (parallel, scale, data_plane, out_parallel, out_data_plane, metrics_path,
- build_version, router_throughput_w2, router_throughput_w4, service_load,
- out_service) = sys.argv[1:12]
+ build_version, router_throughput_w2, router_throughput_w4,
+ service_load_off, service_load_full, out_service) = sys.argv[1:13]
 
 # "dpclustx <sha> (GNU 12.2.0, Release), isa avx2 (detected avx512),
 # snapshot-format v1" — the format version and the kernel dispatch level are
@@ -145,11 +152,29 @@ dump(out_data_plane, {"bench_data_plane": data_plane_json})
 # "bench_router_throughput" stays the canonical 2-worker run (what
 # EXPERIMENTS.md quotes); the scaling list records every worker count
 # measured this run so the curve travels with the snapshot.
+# "bench_service_load" stays the observability=off baseline; the _full run
+# and the computed overhead deltas record what fleet-wide tracing costs
+# (DESIGN.md §15 budgets p99 at ≤3%).
+load_off = load(service_load_off)
+load_full = load(service_load_full)
+def overhead_pct(key):
+    base = load_off.get(key)
+    full = load_full.get(key)
+    if not base or full is None:
+        return None
+    return round(100.0 * (full - base) / base, 2)
 dump(out_service, {
     "bench_router_throughput": load(router_throughput_w2),
     "bench_router_throughput_scaling": [load(router_throughput_w2),
                                         load(router_throughput_w4)],
-    "bench_service_load": load(service_load),
+    "bench_service_load": load_off,
+    "bench_service_load_full_observability": load_full,
+    "trace_propagation_overhead": {
+        "closed_p99_pct": overhead_pct("closed_p99_ms"),
+        "open_p99_pct": overhead_pct("open_p99_ms"),
+        "closed_rps_pct": overhead_pct("closed_rps"),
+        "budget_p99_pct": 3.0,
+    },
 })
 PY
 

@@ -11,9 +11,12 @@
 # ASan pass also drives three end-to-end smokes against the real binaries:
 # a snapshot round-trip (charge, kill, restore, check the ledger), a
 # byte-identical CSV -> DPXCOL -> CSV round trip through dpclustx_convert,
-# a 2-worker dpclustx_router session over the line protocol, and a
+# a 2-worker dpclustx_router session over the line protocol, a
 # socket-mode router smoke (concurrent unix-socket clients against
-# --listen, relay byte-identity enforced by --verify-relay). The
+# --listen, relay byte-identity enforced by --verify-relay, a traced
+# request returning one stitched timeline), and a Prometheus scrape smoke
+# (curl /metrics + /healthz on the router's tcp listener and a worker's
+# --worker-listen-base port, exposition checked line by line). The
 # width-dispatched data-plane kernels run in both sanitizer passes
 # (dataset_layout_test); the transport event loop and its e2e socket
 # tests run under TSan (transport_test), and the zero-reparse relay
@@ -279,8 +282,22 @@ r = call(g, gf, {"op": "_router_status", "id": "st"})
 assert r["ok"] and r["transport"]["active_connections"] >= 1, r
 assert all("pending" in w for w in r["workers"]), r
 
+# Traced request: the response must carry one stitched end-to-end timeline
+# (router spans + the worker's own tree) under a single trace id — and with
+# --verify-relay on, the _tc splice is cross-checked byte-for-byte against
+# the full-parse path on the way in.
+r = call(g, gf, {"op": "schema", "dataset": "d", "trace": True,
+                 "id": "traced"})
+assert r["ok"] and r["trace_id"].startswith("t"), r
+spans = [c["name"] for c in r["trace"]["children"]]
+assert spans == ["parse", "shard_pick", "relay_splice",
+                 "worker_roundtrip", "write_back"], spans
+roundtrip = r["trace"]["children"][3]
+names = [c["name"] for c in roundtrip["children"]]
+assert "worker_queue_wait" in names and "request" in names, roundtrip
+
 print("    socket smoke OK: 4 concurrent tenants, garbage rejected"
-      " per-connection, relay verified byte-identical")
+      " per-connection, relay verified byte-identical, timeline stitched")
 PYEOF
   exec 9>&-
   wait "$ROUTER_PID"
@@ -293,6 +310,51 @@ PYEOF
       exit 1
     fi
   fi
+
+  echo "==> ASan smoke: Prometheus scrape endpoints (router + workers, tcp)"
+  # Real curl against the same tcp listeners the line protocol serves: the
+  # router exposes its telemetry plane (per-worker labeled series) and each
+  # worker its own registry (including the ISA dispatch gauge) — no sidecar.
+  HTTP_PORT=$((24000 + RANDOM % 8000))
+  WORKER_BASE=$((HTTP_PORT + 1))
+  mkfifo "$SMOKE_DIR/scrape.stdin"
+  build-asan/tools/dpclustx_router --workers 2 \
+      --serve build-asan/tools/dpclustx_serve \
+      --state-dir "$SMOKE_DIR/router_scrape" \
+      --listen "tcp:127.0.0.1:$HTTP_PORT" \
+      --worker-listen-base "$WORKER_BASE" -- --sync \
+      < "$SMOKE_DIR/scrape.stdin" \
+      > "$SMOKE_DIR/scrape.out" 2>"$SMOKE_DIR/scrape.err" &
+  SCRAPE_PID=$!
+  exec 8> "$SMOKE_DIR/scrape.stdin"
+  for _ in $(seq 1 200); do
+    curl -sf -o /dev/null "http://127.0.0.1:$HTTP_PORT/healthz" && break
+    sleep 0.05
+  done
+  curl -sf "http://127.0.0.1:$HTTP_PORT/healthz" | grep -q '^ok$'
+  curl -sf "http://127.0.0.1:$HTTP_PORT/ready" | grep -q '^ready$'
+  curl -sf "http://127.0.0.1:$HTTP_PORT/metrics" > "$SMOKE_DIR/router.prom"
+  curl -sf "http://127.0.0.1:$WORKER_BASE/metrics" > "$SMOKE_DIR/worker.prom"
+  curl -sf "http://127.0.0.1:$WORKER_BASE/healthz" | grep -q '^ok$'
+  python3 - "$SMOKE_DIR/router.prom" "$SMOKE_DIR/worker.prom" <<'PYEOF'
+import re, sys
+SAMPLE = re.compile(
+    r'^[A-Za-z_:][A-Za-z0-9_:]*(\{[^{}]*\})? -?[0-9.eE+-]+$|^[#].*$')
+for path in sys.argv[1:3]:
+    text = open(path).read()
+    assert text, f"{path} is empty"
+    for line in text.splitlines():
+        assert SAMPLE.match(line), f"malformed exposition line: {line!r}"
+router, worker = [open(p).read() for p in sys.argv[1:3]]
+assert 'dpclustx_router_worker_alive{worker="shard-0"} 1' in router, router
+assert 'dpclustx_router_worker_latency_micros_bucket{worker="shard-1",le="+Inf"}' in router
+assert "dpclustx_isa_level{" in worker, worker
+assert "dpclustx_transport_http_requests_total" in worker
+print("    scrape smoke OK: router fleet series labeled per worker,"
+      " worker exposes isa gauge, all lines well-formed")
+PYEOF
+  exec 8>&-
+  wait "$SCRAPE_PID"
 fi
 
 if [[ "$SKIP_TSAN" == 1 ]]; then

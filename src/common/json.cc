@@ -99,6 +99,14 @@ void JsonValue::Remove(const std::string& key) {
   object_.erase(key);
 }
 
+std::vector<std::string> JsonValue::ObjectKeys() const {
+  std::vector<std::string> keys;
+  if (type_ != Type::kObject) return keys;
+  keys.reserve(object_.size());
+  for (const auto& [key, value] : object_) keys.push_back(key);
+  return keys;
+}
+
 bool JsonValue::IsFinite() const {
   switch (type_) {
     case Type::kNumber:

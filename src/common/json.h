@@ -63,6 +63,10 @@ class JsonValue {
   /// Drops `key` if present (no-op otherwise). Proxies use this to strip
   /// internal correlation fields before relaying a response.
   void Remove(const std::string& key);
+  /// Object keys in output (lexicographic) order; empty for non-objects.
+  /// For callers that fold one document into another (the router's fleet
+  /// metrics rollup) without knowing the key set up front.
+  std::vector<std::string> ObjectKeys() const;
 
   /// Checked lookups returning Status on shape mismatches; for parsing
   /// untrusted documents.

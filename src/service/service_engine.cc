@@ -231,6 +231,14 @@ void ServiceEngine::RegisterMetrics() {
   gauge("dpclustx_audit_dropped_total",
         "Audit tail records dropped by the bounded in-memory ring",
         [this] { return static_cast<double>(audit_.dropped()); });
+  // Same contract as the audit ring: a non-zero value means the `trace`
+  // op's retained window is incomplete (traces were evicted unseen).
+  gauge("dpclustx_trace_dropped_total",
+        "Finished request traces evicted from the bounded trace ring",
+        [this] {
+          return static_cast<double>(
+              trace_dropped_.load(std::memory_order_relaxed));
+        });
   gauge("dpclustx_audit_epsilon_charged",
         "Total granted epsilon across all tenants",
         [this] { return audit_.GlobalTotals().epsilon_charged; });
@@ -329,6 +337,21 @@ std::string ServiceEngine::HandleAt(const std::string& request_json,
     want_trace = true;
     trace_in_response = true;
   }
+  // Cross-process trace context: a relaying front door (the router) splices
+  // "_tc":{"pid":...,"tid":...} into the line. A string tid activates
+  // tracing AND puts the span tree in the response — the relay needs the
+  // worker tree to stitch its end-to-end timeline — and is echoed back as
+  // "trace_id" so both halves agree on the trace's identity.
+  std::string trace_id;
+  if (parsed->Has("_tc") &&
+      parsed->at("_tc").type() == JsonValue::Type::kObject) {
+    const JsonValue& tc = parsed->at("_tc");
+    if (tc.Has("tid") && tc.at("tid").type() == JsonValue::Type::kString) {
+      trace_id = tc.at("tid").AsString();
+      want_trace = true;
+      trace_in_response = true;
+    }
+  }
 
   JsonValue response;
   if (want_trace) {
@@ -346,7 +369,10 @@ std::string ServiceEngine::HandleAt(const std::string& request_json,
     JsonValue trace_json = trace.ToJson();
     if (traced_ != nullptr) traced_->Increment();
     if (trace_in_response) response.Set("trace", trace_json);
-    PushTrace(op, std::move(trace_json));
+    if (!trace_id.empty()) {
+      response.Set("trace_id", JsonValue::String(trace_id));
+    }
+    PushTrace(op, trace_id, std::move(trace_json));
   } else {
     response = Dispatch(*parsed, start);
   }
@@ -354,15 +380,19 @@ std::string ServiceEngine::HandleAt(const std::string& request_json,
   return response.Dump();
 }
 
-void ServiceEngine::PushTrace(const std::string& op, JsonValue trace_json) {
+void ServiceEngine::PushTrace(const std::string& op,
+                              const std::string& trace_id,
+                              JsonValue trace_json) {
   JsonValue entry = JsonValue::Object();
   entry.Set("op", JsonValue::String(op));
+  if (!trace_id.empty()) entry.Set("tid", JsonValue::String(trace_id));
   entry.Set("trace", std::move(trace_json));
   std::lock_guard<std::mutex> lock(trace_mutex_);
   trace_ring_.push_back(std::move(entry));
   while (trace_ring_.size() > options_.trace_ring_capacity &&
          !trace_ring_.empty()) {
     trace_ring_.pop_front();
+    trace_dropped_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -1173,6 +1203,20 @@ StatusOr<JsonValue> ServiceEngine::OpStats(const JsonValue& request) {
             JsonValue::Number(static_cast<double>(audit_.dropped())));
   audit.Set("epsilon_charged", JsonValue::Number(audit_totals.epsilon_charged));
   audit.Set("epsilon_denied", JsonValue::Number(audit_totals.epsilon_denied));
+  // Trace-ring occupancy mirrors the audit block: "dropped" > 0 means the
+  // retained window the `trace` op serves is incomplete.
+  JsonValue trace_stats = JsonValue::Object();
+  {
+    std::lock_guard<std::mutex> lock(trace_mutex_);
+    trace_stats.Set("retained", JsonValue::Number(
+                                    static_cast<double>(trace_ring_.size())));
+  }
+  trace_stats.Set("capacity",
+                  JsonValue::Number(
+                      static_cast<double>(options_.trace_ring_capacity)));
+  trace_stats.Set("dropped",
+                  JsonValue::Number(static_cast<double>(
+                      trace_dropped_.load(std::memory_order_relaxed))));
   JsonValue body = JsonValue::Object();
   body.Set("datasets", std::move(datasets));
   body.Set("sessions", std::move(session_ids));
@@ -1181,6 +1225,7 @@ StatusOr<JsonValue> ServiceEngine::OpStats(const JsonValue& request) {
   body.Set("compute_pool", std::move(compute));
   body.Set("ops", std::move(ops));
   body.Set("audit", std::move(audit));
+  body.Set("trace", std::move(trace_stats));
   body.Set("build", obs::BuildInfoJson());
   body.Set("shed", JsonValue::Number(static_cast<double>(shed_->Value())));
   body.Set("retry_after_ms",
@@ -1208,8 +1253,10 @@ StatusOr<JsonValue> ServiceEngine::OpMetricsDump(const JsonValue& request) {
 StatusOr<JsonValue> ServiceEngine::OpTrace(const JsonValue& request) {
   DPX_ASSIGN_OR_RETURN(const size_t limit, OptCount(request, "limit", 0));
   JsonValue traces = JsonValue::Array();
+  size_t retained = 0;
   {
     std::lock_guard<std::mutex> lock(trace_mutex_);
+    retained = trace_ring_.size();
     size_t start = 0;
     if (limit != 0 && trace_ring_.size() > limit) {
       start = trace_ring_.size() - limit;
@@ -1224,6 +1271,10 @@ StatusOr<JsonValue> ServiceEngine::OpTrace(const JsonValue& request) {
   body.Set("ring_capacity",
            JsonValue::Number(
                static_cast<double>(options_.trace_ring_capacity)));
+  body.Set("retained", JsonValue::Number(static_cast<double>(retained)));
+  body.Set("dropped",
+           JsonValue::Number(static_cast<double>(
+               trace_dropped_.load(std::memory_order_relaxed))));
   return body;
 }
 

@@ -370,8 +370,11 @@ class ServiceEngine {
   /// Registers the per-op handles and callback gauges (cache, pools,
   /// registry sizes, audit totals) in *metrics_. Called from the ctor.
   void RegisterMetrics();
-  /// Appends a finished request trace to the bounded ring.
-  void PushTrace(const std::string& op, JsonValue trace_json);
+  /// Appends a finished request trace to the bounded ring, counting the
+  /// entry it evicts (dpclustx_trace_dropped_total). `trace_id` is the
+  /// propagated cross-process id ("" for locally initiated traces).
+  void PushTrace(const std::string& op, const std::string& trace_id,
+                 JsonValue trace_json);
 
   const ServiceEngineOptions options_;
   DatasetRegistry registry_;
@@ -393,6 +396,9 @@ class ServiceEngine {
   std::atomic<uint64_t> noise_sequence_{0};
   std::mutex trace_mutex_;
   std::deque<JsonValue> trace_ring_;  // guarded by trace_mutex_
+  /// Ring entries evicted by capacity — atomic so the exposition-time
+  /// callback gauge reads it without taking trace_mutex_.
+  std::atomic<uint64_t> trace_dropped_{0};
   std::mutex inflight_mutex_;
   std::map<std::string, std::shared_ptr<InflightSlot>>
       inflight_;         // guarded by inflight_mutex_

@@ -49,6 +49,29 @@ std::string OversizedFrameError(size_t limit) {
          std::to_string(limit) + ")\"},\"ok\":false}";
 }
 
+/// True when `frame` is an HTTP/1.x GET request line ("GET /path
+/// HTTP/1.1", CR already stripped by the framer); extracts the path. The
+/// parser is deliberately tiny: scrape endpoints serve GET only, anything
+/// else stays a protocol frame.
+bool ParseHttpGetLine(const std::string& frame, std::string* path) {
+  if (frame.rfind("GET /", 0) != 0) return false;
+  const size_t path_begin = 4;
+  const size_t path_end = frame.find(' ', path_begin);
+  if (path_end == std::string::npos) return false;
+  const std::string version = frame.substr(path_end + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") return false;
+  *path = frame.substr(path_begin, path_end - path_begin);
+  return true;
+}
+
+const char* HttpReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 503: return "Service Unavailable";
+    default: return "Not Found";
+  }
+}
+
 StatusOr<int> ConnectFd(const ListenAddress& addr) {
   if (addr.kind == ListenAddress::Kind::kUnix) {
     sockaddr_un sa{};
@@ -140,6 +163,14 @@ struct Transport::Conn {
   bool want_write = false;
   bool reading_suspended = false;
   bool close_after_flush = false;
+
+  // HTTP scrape state (event-loop thread only). A connection whose first
+  // frame is a GET request line flips into one-shot HTTP mode: header
+  // lines are consumed until the blank terminator, then the response is
+  // queued and the connection closes after flushing.
+  bool saw_any_frame = false;
+  bool http_mode = false;
+  std::string http_path;
 };
 
 struct Transport::Listener {
@@ -175,6 +206,9 @@ Transport::Transport(TransportOptions options) : options_(options) {
   dropped_responses_total_ = reg.RegisterCounter(
       "dpclustx_transport_dropped_responses_total",
       "Responses dropped because the client connection was gone");
+  http_requests_total_ = reg.RegisterCounter(
+      "dpclustx_transport_http_requests_total",
+      "HTTP scrape requests (GET /metrics, /healthz, /ready) answered");
   active_connections_ =
       reg.RegisterGauge("dpclustx_transport_active_connections",
                         "Currently connected transport clients");
@@ -244,6 +278,11 @@ Status Transport::Listen(const std::string& spec) {
 uint16_t Transport::BoundPort(size_t index) const {
   DPX_CHECK(index < listeners_.size()) << "BoundPort index out of range";
   return listeners_[index]->bound_port;
+}
+
+void Transport::SetHttpHandler(HttpHandler handler) {
+  DPX_CHECK(!running_) << "SetHttpHandler must precede Start";
+  http_handler_ = std::move(handler);
 }
 
 Status Transport::Start(FrameHandler on_frame) {
@@ -473,7 +512,21 @@ void Transport::HandleReadable(Conn& conn) {
           UpdateInterest(conn);
           return;
         }
+        if (conn.http_mode) {
+          // Request headers are consumed (responding before reading them
+          // risks a TCP RST discarding the queued response); the blank
+          // terminator line completes the request.
+          if (!frame.empty()) continue;
+          QueueHttpResponse(conn);
+          return;
+        }
         if (frame.empty()) continue;  // blank keep-alive lines are legal
+        const bool first_frame = !conn.saw_any_frame;
+        conn.saw_any_frame = true;
+        if (first_frame && ParseHttpGetLine(frame, &conn.http_path)) {
+          conn.http_mode = true;
+          continue;
+        }
         frames_total_->Increment();
         on_frame_(conn.id, std::move(frame));
         // The handler may have queued responses or shed; re-check that the
@@ -521,6 +574,29 @@ void Transport::HandleReadable(Conn& conn) {
     return;
   }
   FlushSome(conn);
+}
+
+void Transport::QueueHttpResponse(Conn& conn) {
+  HttpResponse response;
+  if (http_handler_) {
+    response = http_handler_(conn.http_path);
+  } else {
+    response.status = 404;
+    response.body = "no scrape handler installed\n";
+  }
+  http_requests_total_->Increment();
+  std::string payload = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                        HttpReason(response.status) +
+                        "\r\nContent-Type: " + response.content_type +
+                        "\r\nContent-Length: " +
+                        std::to_string(response.body.size()) +
+                        "\r\nConnection: close\r\n\r\n" + response.body;
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  conn.out.push_back(std::move(payload));
+  conn.out_bytes += conn.out.back().size();
+  conn.close_after_flush = true;
+  conn.reading_suspended = true;
+  UpdateInterest(conn);
 }
 
 void Transport::HandleWritable(Conn& conn) { FlushSome(conn); }

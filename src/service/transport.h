@@ -98,11 +98,23 @@ struct TransportOptions {
 using ConnId = uint64_t;
 inline constexpr ConnId kFirstConnId = 1u << 10;
 
+/// Body of a scrape-endpoint response (see Transport::SetHttpHandler).
+struct HttpResponse {
+  int status = 200;  // 200, 404, or 503
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
 class Transport {
  public:
   /// `on_frame` is invoked on the event-loop thread for every complete
   /// line received (newline stripped, never empty).
   using FrameHandler = std::function<void(ConnId, std::string&&)>;
+
+  /// Invoked on the event-loop thread with the request path of an HTTP
+  /// GET received on any listener (see SetHttpHandler). Must be quick —
+  /// it blocks the loop, exactly like a frame handler.
+  using HttpHandler = std::function<HttpResponse(const std::string& path)>;
 
   explicit Transport(TransportOptions options = {});
   ~Transport();
@@ -117,6 +129,17 @@ class Transport {
 
   /// Port of the `index`-th successful Listen (0 for unix listeners).
   uint16_t BoundPort(size_t index) const;
+
+  /// Installs the scrape handler; call before Start. A connection whose
+  /// FIRST frame is an HTTP/1.x GET request line ("GET /metrics HTTP/1.1")
+  /// switches into one-shot HTTP mode: the remaining request headers are
+  /// consumed up to the blank terminator line, the handler's response is
+  /// written with Connection: close, and the connection closes once it
+  /// flushes — so a stock Prometheus scrapes the same --listen address the
+  /// line protocol serves, with no sidecar and no separate port. Without a
+  /// handler every path answers 404. JSON-protocol clients are unaffected:
+  /// their first frame starts with '{', never "GET ".
+  void SetHttpHandler(HttpHandler handler);
 
   /// Starts the event loop. Listen must have succeeded at least once.
   Status Start(FrameHandler on_frame);
@@ -146,6 +169,7 @@ class Transport {
   void EventLoop();
   void Accept(Listener& listener);
   void HandleReadable(Conn& conn);
+  void QueueHttpResponse(Conn& conn);  // headers consumed; answer + close
   void HandleWritable(Conn& conn);
   void FlushSome(Conn& conn);     // one non-blocking write burst
   void UpdateInterest(Conn& conn);
@@ -153,6 +177,7 @@ class Transport {
 
   TransportOptions options_;
   FrameHandler on_frame_;
+  HttpHandler http_handler_;  // set before Start; event-loop thread reads
 
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
@@ -176,6 +201,7 @@ class Transport {
   obs::Counter* torn_frames_total_ = nullptr;
   obs::Counter* reads_suspended_total_ = nullptr;
   obs::Counter* dropped_responses_total_ = nullptr;
+  obs::Counter* http_requests_total_ = nullptr;
   obs::Gauge* active_connections_ = nullptr;
 };
 

@@ -177,6 +177,109 @@ TEST(RelayGolden, EraseMatchesFullParseByteForByte) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Trace-context splice: same byte-identity contract, request-shaped corpus.
+
+/// Request lines shaped like what clients (and the router's re-dump) send.
+/// Canonicalized through Dump() — the router splices into its own Dump()
+/// output, never into raw client bytes.
+std::vector<std::string> RequestCorpus() {
+  std::vector<std::string> corpus;
+  auto add = [&](const std::string& raw) {
+    StatusOr<JsonValue> parsed = JsonValue::Parse(raw);
+    EXPECT_TRUE(parsed.ok()) << raw;
+    corpus.push_back(parsed->Dump());
+  };
+  add(R"({"op":"ping","id":"r1"})");
+  add(R"({"op":"explain","session":"tenant7","epsilon":0.3,"id":"r2",)"
+      R"("trace":true})");
+  add(R"({"op":"load_dataset","name":"d","source":"synthetic",)"
+      R"("generator":"diabetes","rows":1500,"seed":7,"id":"r3"})");
+  add(R"({"op":"hist","session":"s","clustering":"default",)"
+      R"("attribute":"diab_0","epsilon":0.25,"id":"r4"})");
+  add(R"({"op":"append_rows","dataset":"d","rows":[[1,2,3],[4,5,6]],)"
+      R"("id":"r5"})");
+  add(R"({"id":"r6"})");  // single-member object
+  add(R"({})");           // empty object
+  return corpus;
+}
+
+TEST(TraceContextSplice, MatchesFullParseByteForByte) {
+  const std::string tc = R"({"pid":"r17","tid":"t17"})";
+  StatusOr<JsonValue> tc_parsed = JsonValue::Parse(tc);
+  ASSERT_TRUE(tc_parsed.ok());
+  ASSERT_EQ(tc_parsed->Dump(), tc) << "tc literal must be Dump-canonical";
+  for (const std::string& line : RequestCorpus()) {
+    StatusOr<std::string> spliced = SpliceTraceContext(line, tc);
+    ASSERT_TRUE(spliced.ok()) << line << ": " << spliced.status().ToString();
+    StatusOr<JsonValue> parsed = JsonValue::Parse(line);
+    ASSERT_TRUE(parsed.ok());
+    parsed->Set("_tc", *tc_parsed);
+    EXPECT_EQ(*spliced, parsed->Dump()) << "line: " << line;
+  }
+}
+
+TEST(TraceContextSplice, SplicedLineRescansAndReparses) {
+  // The spliced request flows straight into the worker's parser, and the
+  // worker's response relays back through ScanTopLevelId — both must keep
+  // working on spliced bytes.
+  for (const std::string& line : RequestCorpus()) {
+    StatusOr<std::string> spliced =
+        SpliceTraceContext(line, R"({"pid":"r1","tid":"t1"})");
+    ASSERT_TRUE(spliced.ok());
+    StatusOr<JsonValue> parsed = JsonValue::Parse(*spliced);
+    ASSERT_TRUE(parsed.ok()) << *spliced;
+    EXPECT_EQ(parsed->at("_tc").at("tid").AsString(), "t1");
+    StatusOr<RelayScan> rescan = ScanTopLevelId(*spliced);
+    if (line.find("\"id\"") != std::string::npos) {
+      ASSERT_TRUE(rescan.ok()) << *spliced;
+    } else {
+      EXPECT_EQ(rescan.status().code(), StatusCode::kNotFound);
+    }
+  }
+}
+
+TEST(TraceContextSplice, RefusesExistingTraceContext) {
+  // Double-splicing (a router relaying through a router) must fall back to
+  // the full parser, never emit two _tc members.
+  const std::string once = *SpliceTraceContext(R"({"op":"ping","id":"r1"})",
+                                               R"({"pid":"r1","tid":"t1"})");
+  EXPECT_EQ(SpliceTraceContext(once, R"({"pid":"r2","tid":"t2"})")
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TraceContextSplice, RefusesKeysSortingBeforeTc) {
+  // A first key at or before "_tc" breaks Dump's canonical order, so the
+  // splice refuses rather than produce non-canonical bytes.
+  EXPECT_EQ(SpliceTraceContext(R"({"_a":1,"op":"ping"})", R"({"tid":"t"})")
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(SpliceTraceContext(R"({"_t":1})", R"({"tid":"t"})")
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  // A first key *after* "_tc" is fine even when it starts with '_'.
+  EXPECT_TRUE(SpliceTraceContext(R"({"_zz":1})", R"({"tid":"t"})").ok());
+}
+
+TEST(TraceContextSplice, InvalidOnTornOrNonObjectLines) {
+  EXPECT_EQ(SpliceTraceContext(R"({"op":"ping")", R"({"tid":"t"})")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SpliceTraceContext(R"([1,2,3])", R"({"tid":"t"})")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SpliceTraceContext(R"({"op":"ping"} x)", R"({"tid":"t"})")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(RelayGolden, SpliceThenRescanRoundTrips) {
   // The spliced output must itself be a valid relay input — the replica
   // retry path re-stamps an already-spliced line.

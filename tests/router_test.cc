@@ -596,5 +596,197 @@ TEST(RouterE2eTest, GarbageWorkerLinesFailTheRequestNotTheRouter) {
       << status.Dump();
 }
 
+// ---- observability: trace propagation, fleet rollup (DESIGN.md §15) --
+
+/// Child span of `node` with the given name, or nullptr. Spans are ordered,
+/// so tests assert both presence and position where it matters.
+const JsonValue* FindChild(const JsonValue& node, const std::string& name) {
+  if (!node.Has("children")) return nullptr;
+  const JsonValue& children = node.at("children");
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (children.at(i).at("name").AsString() == name) return &children.at(i);
+  }
+  return nullptr;
+}
+
+TEST(RouterE2eTest, TracedExplainReturnsOneStitchedTimeline) {
+  const std::string state = FreshStateDir("trace");
+  // --verify-relay makes the router cross-check every _tc splice against a
+  // full parse+re-dump and abort on any byte difference — so this test
+  // passing also proves splice/parse equivalence on the traced path.
+  std::vector<std::string> args = RouterArgs(state, "2", "0");
+  args.insert(args.begin() + 1, "--verify-relay");
+  RouterProcess router(std::move(args));
+
+  ExpectOk(router.Call(
+      "e1",
+      R"({"op":"load_dataset","name":"d1","source":"synthetic",)"
+      R"("generator":"diabetes","rows":300,"cap_epsilon":5.0,"id":"e1"})"));
+  ExpectOk(router.Call(
+      "e2",
+      R"({"op":"cluster","dataset":"d1","method":"k-means","k":3,"id":"e2"})"));
+  ExpectOk(router.Call(
+      "e3",
+      R"({"op":"create_session","dataset":"d1","session":"alice",)"
+      R"("epsilon":2.0,"id":"e3"})"));
+
+  const JsonValue response = router.Call(
+      "e4",
+      R"({"op":"explain","session":"alice","epsilon":0.3,"trace":true,)"
+      R"("id":"e4"})");
+  ExpectOk(response);
+
+  // One trace id covers the whole timeline, and the request completed, so
+  // the timeline is not partial.
+  ASSERT_TRUE(response.Has("trace_id")) << response.Dump();
+  const std::string tid = response.at("trace_id").AsString();
+  EXPECT_EQ(tid.rfind('t', 0), 0u) << tid;
+  EXPECT_FALSE(response.Has("trace_partial")) << response.Dump();
+
+  // Golden structure: router-side spans in submission order, with the
+  // worker's own pipeline nested verbatim under worker_roundtrip.
+  ASSERT_TRUE(response.Has("trace")) << response.Dump();
+  const JsonValue& root = response.at("trace");
+  EXPECT_EQ(root.at("name").AsString(), "router_request");
+  EXPECT_GE(root.at("wall_micros").AsNumber(), 1.0);
+  const JsonValue& spans = root.at("children");
+  ASSERT_EQ(spans.size(), 5u) << root.Dump();
+  EXPECT_EQ(spans.at(0).at("name").AsString(), "parse");
+  EXPECT_EQ(spans.at(1).at("name").AsString(), "shard_pick");
+  EXPECT_EQ(spans.at(2).at("name").AsString(), "relay_splice");
+  EXPECT_EQ(spans.at(3).at("name").AsString(), "worker_roundtrip");
+  EXPECT_EQ(spans.at(4).at("name").AsString(), "write_back");
+
+  // Router spans start where the previous one ended (offsets are relative
+  // to the router_request root and never go backwards).
+  double cursor = 0.0;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_GE(spans.at(i).at("start_micros").AsNumber(), cursor)
+        << spans.at(i).Dump();
+    cursor = spans.at(i).at("start_micros").AsNumber();
+  }
+
+  // Inside the roundtrip: queue wait (router clock) + the worker's own
+  // span tree (worker clock — offsets restart at 0 there).
+  const JsonValue& roundtrip = spans.at(3);
+  const JsonValue* queue_wait = FindChild(roundtrip, "worker_queue_wait");
+  ASSERT_NE(queue_wait, nullptr) << roundtrip.Dump();
+  EXPECT_GE(queue_wait->at("wall_micros").AsNumber(), 1.0);
+  const JsonValue* worker_root = FindChild(roundtrip, "request");
+  ASSERT_NE(worker_root, nullptr) << roundtrip.Dump();
+  EXPECT_EQ(worker_root->at("start_micros").AsNumber(), 0.0);
+  EXPECT_NE(FindChild(*worker_root, "parse"), nullptr) << worker_root->Dump();
+
+  // The completed timeline is retrievable from the router's trace ring
+  // under the same id.
+  const JsonValue ring = router.Call(
+      "e5", R"({"op":"trace","limit":1,"id":"e5"})");
+  ExpectOk(ring);
+  ASSERT_EQ(ring.at("traces").size(), 1u) << ring.Dump();
+  const JsonValue& entry = ring.at("traces").at(0);
+  EXPECT_EQ(entry.at("tid").AsString(), tid);
+  EXPECT_EQ(entry.at("op").AsString(), "explain");
+  EXPECT_EQ(entry.at("trace").at("name").AsString(), "router_request");
+}
+
+TEST(RouterE2eTest, WorkerDeathMidRequestYieldsPartialTimeline) {
+  const std::string state = FreshStateDir("partial");
+  RouterProcess router(RouterArgs(state, "2", "0"));
+
+  ExpectOk(router.Call(
+      "w1",
+      R"({"op":"load_dataset","name":"d1","source":"synthetic",)"
+      R"("generator":"diabetes","rows":300,"cap_epsilon":5.0,"id":"w1"})"));
+
+  // Freeze both shards so the traced request is parked in a worker queue,
+  // then SIGKILL them: the router must fail the request promptly (no hang)
+  // with a router-side-only timeline marked partial.
+  const std::vector<pid_t> pids = ShardPids(router, "w2");
+  ASSERT_EQ(pids.size(), 2u);
+  for (const pid_t pid : pids) ASSERT_EQ(::kill(pid, SIGSTOP), 0);
+  router.Send(R"({"op":"schema","dataset":"d1","trace":true,"id":"w3"})");
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (const pid_t pid : pids) ASSERT_EQ(::kill(pid, SIGKILL), 0);
+
+  const JsonValue failed = router.WaitFor("w3");
+  ASSERT_TRUE(failed.Has("ok")) << failed.Dump();
+  EXPECT_FALSE(failed.at("ok").AsBool()) << failed.Dump();
+  ASSERT_TRUE(failed.Has("trace_partial")) << failed.Dump();
+  EXPECT_TRUE(failed.at("trace_partial").AsBool());
+  ASSERT_TRUE(failed.Has("trace")) << failed.Dump();
+  const JsonValue& root = failed.at("trace");
+  EXPECT_EQ(root.at("name").AsString(), "router_request");
+  // Router-side spans survive; there is no worker subtree to stitch.
+  const JsonValue* roundtrip = FindChild(root, "worker_roundtrip");
+  ASSERT_NE(roundtrip, nullptr) << root.Dump();
+  EXPECT_EQ(FindChild(*roundtrip, "request"), nullptr) << roundtrip->Dump();
+
+  // The partial timeline still lands in the ring, flagged as partial.
+  const JsonValue ring = router.Call(
+      "w4", R"({"op":"trace","limit":1,"id":"w4"})");
+  ExpectOk(ring);
+  ASSERT_EQ(ring.at("traces").size(), 1u) << ring.Dump();
+  EXPECT_TRUE(ring.at("traces").at(0).at("partial").AsBool());
+
+  // Respawn heals the fleet: wait for fresh shard pids, then a new traced
+  // request completes with a full (non-partial) timeline.
+  std::vector<pid_t> fresh;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    fresh = ShardPids(router, "w5" + std::to_string(attempt));
+    if (fresh.size() == 2) {
+      bool all_new = true;
+      for (const pid_t pid : fresh) {
+        for (const pid_t old : pids) all_new = all_new && pid != old;
+      }
+      if (all_new) break;
+    }
+  }
+  ASSERT_EQ(fresh.size(), 2u) << "shards never respawned";
+  const JsonValue again = router.Call(
+      "w6",
+      R"({"op":"load_dataset","name":"d2","source":"synthetic",)"
+      R"("generator":"diabetes","rows":100,"cap_epsilon":5.0,)"
+      R"("trace":true,"id":"w6"})");
+  ExpectOk(again);
+  EXPECT_FALSE(again.Has("trace_partial")) << again.Dump();
+  EXPECT_NE(FindChild(again.at("trace"), "worker_roundtrip"), nullptr);
+}
+
+TEST(RouterE2eTest, MetricsBroadcastReturnsFleetRollup) {
+  const std::string state = FreshStateDir("fleet");
+  RouterProcess router(RouterArgs(state, "2", "0"));
+
+  // A ping touches every worker, so each shard's registry has op="ping"
+  // series by the time the metrics broadcast fans out (--sync workers
+  // serve their stream in order).
+  ExpectOk(router.Call("f1", R"({"op":"ping","id":"f1"})"));
+
+  const JsonValue response = router.Call("f2", R"({"op":"metrics","id":"f2"})");
+  ExpectOk(response);
+
+  // Back-compat: the per-worker concatenation is still there.
+  ASSERT_TRUE(response.Has("workers")) << response.Dump();
+  EXPECT_TRUE(response.at("workers").Has("shard-0"));
+
+  // The rollup merges every worker's registry into one namespace, each
+  // series tagged with its worker label, alongside the router's own series.
+  ASSERT_TRUE(response.Has("fleet")) << response.Dump();
+  const JsonValue& fleet = response.at("fleet");
+  const JsonValue& histograms = fleet.at("histograms");
+  EXPECT_TRUE(histograms.Has(
+      R"(dpclustx_op_latency_micros{op="ping",worker="shard-0"})"))
+      << fleet.Dump();
+  EXPECT_TRUE(histograms.Has(
+      R"(dpclustx_op_latency_micros{op="ping",worker="shard-1"})"))
+      << fleet.Dump();
+  const JsonValue& gauges = fleet.at("gauges");
+  EXPECT_TRUE(gauges.Has(R"(dpclustx_router_worker_alive{worker="shard-0"})"))
+      << fleet.Dump();
+  const JsonValue& counters = fleet.at("counters");
+  EXPECT_TRUE(counters.Has("dpclustx_router_tc_spliced_total"))
+      << fleet.Dump();
+}
+
 }  // namespace
 }  // namespace dpclustx::service

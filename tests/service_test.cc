@@ -515,6 +515,10 @@ TEST(ServiceTest, StatsSchemaIsBackwardCompatible) {
   EXPECT_TRUE(stats.at("pool").Has("active"));
   EXPECT_TRUE(stats.Has("shed"));
   EXPECT_TRUE(stats.at("audit").Has("epsilon_charged"));
+  // Trace-ring occupancy mirrors the audit block's bounded-drop surface.
+  EXPECT_TRUE(stats.at("trace").Has("retained"));
+  EXPECT_TRUE(stats.at("trace").Has("capacity"));
+  EXPECT_EQ(stats.at("trace").at("dropped").AsNumber(), 0.0);
   EXPECT_FALSE(stats.at("build").at("compiler").AsString().empty());
 }
 
@@ -535,13 +539,89 @@ TEST(ServiceTest, MetricsOpExposesPrometheusAndJson) {
             std::string::npos)
       << text;
 
+  // Histograms use native Prometheus exposition: cumulative le-bucketed
+  // series plus _sum/_count, scrapeable by a stock Prometheus with no
+  // relabeling.
+  EXPECT_NE(
+      text.find("dpclustx_op_latency_micros_bucket{op=\"ping\",le=\"50\"}"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("dpclustx_op_latency_micros_bucket{op=\"ping\",le=\"+Inf\"}"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dpclustx_op_latency_micros_sum{op=\"ping\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dpclustx_op_latency_micros_count{op=\"ping\"} 1"),
+            std::string::npos)
+      << text;
+
   const JsonValue json_only = Call(engine, R"({"op":"metrics",)"
                                            R"("format":"json"})");
   ExpectOk(json_only);
   EXPECT_TRUE(json_only.Has("metrics"));
   EXPECT_FALSE(json_only.Has("prometheus"));
+  // The JSON exposition schema is a stable surface: histograms keep the
+  // non-cumulative count/sum_micros/max_micros/bounds_micros/buckets shape
+  // regardless of how the Prometheus side renders them.
+  const JsonValue& histograms = json_only.at("metrics").at("histograms");
+  ASSERT_TRUE(histograms.Has("dpclustx_op_latency_micros{op=\"ping\"}"))
+      << json_only.Dump();
+  const JsonValue& ping_hist =
+      histograms.at("dpclustx_op_latency_micros{op=\"ping\"}");
+  EXPECT_EQ(ping_hist.at("count").AsNumber(), 1.0);
+  EXPECT_TRUE(ping_hist.Has("sum_micros"));
+  EXPECT_TRUE(ping_hist.Has("max_micros"));
+  EXPECT_EQ(ping_hist.at("bounds_micros").size(),
+            ping_hist.at("buckets").size() - 1)
+      << "buckets must keep the trailing +Inf cell";
   ExpectError(Call(engine, R"({"op":"metrics","format":"xml"})"),
               "InvalidArgument");
+}
+
+TEST(ServiceTest, TraceContextActivatesTracingAndEchoesTraceId) {
+  // A relayed request carrying "_tc" must come back with the span tree and
+  // the propagated trace id even without "trace":true — the router cannot
+  // stitch a timeline it never receives.
+  ServiceEngine engine;
+  const JsonValue response = Call(
+      engine, R"({"op":"ping","_tc":{"pid":"r7","tid":"t7"},"id":"r7"})");
+  ExpectOk(response);
+  ASSERT_TRUE(response.Has("trace")) << response.Dump();
+  EXPECT_EQ(response.at("trace_id").AsString(), "t7");
+  EXPECT_EQ(response.at("trace").at("name").AsString(), "request");
+
+  // The ring entry remembers the propagated id.
+  const JsonValue trace_op = Call(engine, R"({"op":"trace"})");
+  ExpectOk(trace_op);
+  const JsonValue& traces = trace_op.at("traces");
+  ASSERT_GE(traces.size(), 1u);
+  EXPECT_EQ(traces.at(size_t{0}).at("tid").AsString(), "t7");
+
+  // A malformed _tc (non-object / missing tid) is inert, not an error.
+  const JsonValue untraced =
+      Call(engine, R"({"op":"ping","_tc":"bogus","id":"x"})");
+  ExpectOk(untraced);
+  EXPECT_FALSE(untraced.Has("trace"));
+}
+
+TEST(ServiceTest, TraceRingCountsEvictionsInsteadOfSilentOverwrite) {
+  ServiceEngineOptions options;
+  options.trace_ring_capacity = 2;
+  ServiceEngine engine(options);
+  for (int i = 0; i < 5; ++i) {
+    ExpectOk(Call(engine, R"({"op":"ping","trace":true})"));
+  }
+  const JsonValue trace_op = Call(engine, R"({"op":"trace"})");
+  ExpectOk(trace_op);
+  EXPECT_EQ(trace_op.at("retained").AsNumber(), 2.0);
+  EXPECT_EQ(trace_op.at("dropped").AsNumber(), 3.0);
+  const JsonValue stats = Call(engine, R"({"op":"stats"})");
+  ExpectOk(stats);
+  EXPECT_EQ(stats.at("trace").at("retained").AsNumber(), 2.0);
+  EXPECT_EQ(stats.at("trace").at("dropped").AsNumber(), 3.0);
+  EXPECT_EQ(stats.at("trace").at("capacity").AsNumber(), 2.0);
 }
 
 /// Flattens a span tree into {name -> wall_micros}.

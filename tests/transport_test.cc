@@ -311,6 +311,112 @@ TEST(TransportTest, QueuedBytesReflectsUndrainedResponsesAndSuspendsReads) {
 }
 
 // ---------------------------------------------------------------------------
+// HTTP scrape endpoints on the same listeners.
+
+/// Writes `request` raw, then slurps until the server closes (HTTP mode is
+/// one-shot with Connection: close).
+std::string HttpRoundTrip(const std::string& spec,
+                          const std::string& request) {
+  StatusOr<std::unique_ptr<ClientChannel>> channel =
+      ClientChannel::Connect(spec);
+  EXPECT_TRUE(channel.ok()) << channel.status().ToString();
+  if (!channel.ok()) return "";
+  const int fd = (*channel)->fd();
+  EXPECT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  return response;
+}
+
+TEST(TransportHttpTest, GetServesHandlerResponseAndCloses) {
+  EchoFixture fixture({}, "http");
+  // EchoFixture already started the loop, so build a second transport with
+  // the handler installed pre-Start.
+  const std::string path = TestSocketPath("http2");
+  Transport transport;
+  ASSERT_TRUE(transport.Listen("unix:" + path).ok());
+  transport.SetHttpHandler([](const std::string& req_path) {
+    HttpResponse response;
+    if (req_path == "/metrics") {
+      response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      response.body = "dpclustx_test_metric 1\n";
+    } else if (req_path == "/healthz") {
+      response.body = "ok\n";
+    } else {
+      response.status = 404;
+      response.body = "not found\n";
+    }
+    return response;
+  });
+  ASSERT_TRUE(transport.Start([&](ConnId conn, std::string&& line) {
+    transport.Send(conn, "echo:" + line);
+  }).ok());
+
+  const std::string metrics = HttpRoundTrip(
+      "unix:" + path,
+      "GET /metrics HTTP/1.1\r\nHost: localhost\r\nAccept: */*\r\n\r\n");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK\r\n"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4; "
+                         "charset=utf-8\r\n"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(metrics.find("\r\n\r\ndpclustx_test_metric 1\n"),
+            std::string::npos)
+      << metrics;
+
+  const std::string health =
+      HttpRoundTrip("unix:" + path, "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK\r\n"), std::string::npos) << health;
+
+  const std::string missing =
+      HttpRoundTrip("unix:" + path, "GET /nope HTTP/1.1\r\n\r\n");
+  EXPECT_NE(missing.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos)
+      << missing;
+
+  // The JSON line protocol on the same listener is untouched.
+  StatusOr<std::unique_ptr<ClientChannel>> channel =
+      ClientChannel::Connect("unix:" + path);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE((*channel)->SendLine(R"({"op":"ping"})").ok());
+  StatusOr<std::string> reply = (*channel)->RecvLine(5000);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, R"(echo:{"op":"ping"})");
+  transport.Stop();
+  ::unlink(path.c_str());
+}
+
+TEST(TransportHttpTest, WithoutHandlerGetAnswers404) {
+  EchoFixture fixture({}, "http404");
+  const std::string response =
+      HttpRoundTrip(fixture.spec(), "GET /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos)
+      << response;
+}
+
+TEST(TransportHttpTest, HttpDetectionIsFirstFrameOnly) {
+  // A GET-shaped line later in an established protocol stream must stay a
+  // protocol frame — only a connection's first frame can switch modes.
+  EchoFixture fixture({}, "httplate");
+  StatusOr<std::unique_ptr<ClientChannel>> channel =
+      ClientChannel::Connect(fixture.spec());
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE((*channel)->SendLine(R"({"op":"ping"})").ok());
+  StatusOr<std::string> first = (*channel)->RecvLine(5000);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE((*channel)->SendLine("GET /metrics HTTP/1.1").ok());
+  StatusOr<std::string> second = (*channel)->RecvLine(5000);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, "echo:GET /metrics HTTP/1.1");
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end: the real router in socket mode.
 
 std::string BuildDir() {

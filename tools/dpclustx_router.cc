@@ -45,6 +45,35 @@
 // refusal checks still use the full parser; --relay full restores it
 // everywhere as the baseline for benchmarks.
 //
+// Tracing (DESIGN.md §15): a request carrying "trace":true gets a trace
+// context spliced into its forwarded line — the same zero-reparse byte
+// splice as the id rewrite (SpliceTraceContext) injects
+// "_tc":{"pid":"r<seq>","tid":"t<seq>"} right after the opening brace. The
+// worker activates its span tree under that trace id and returns it in the
+// response envelope; the router replaces it with one stitched end-to-end
+// timeline: router-side spans (parse, shard_pick, relay_splice,
+// worker_roundtrip with the derived worker_queue_wait, write_back) plus the
+// worker's own pipeline tree nested under worker_roundtrip. The worker
+// subtree keeps its own clock domain (its start_micros are relative to the
+// worker's root, not the router's — cross-process clocks are not stitched,
+// only durations are). When the worker dies mid-request the error response
+// carries the router-side spans and "trace_partial":true instead of
+// hanging. Finished timelines land in a bounded router trace ring served by
+// the `trace` op, and --slow-request-ms emits a structured slow-log line
+// (with the trace id when there is one) to stderr for any request over the
+// threshold.
+//
+// Telemetry: the router's own registry carries per-worker labeled series —
+// round-trip latency histograms, in-flight depth, restarts, respawn
+// backoff, liveness, and replica staleness, all labeled {worker="..."} —
+// and the `metrics` op returns a "fleet" rollup that merges every worker's
+// registry into one namespace with the worker label injected, alongside
+// the per-worker raw responses. On --listen sockets the router also
+// answers plain HTTP GETs for /metrics (Prometheus text 0.0.4), /healthz,
+// and /ready on the same port the line protocol uses, so a stock
+// Prometheus scrapes it with no sidecar; --worker-listen-base gives each
+// worker its own scrape port too.
+//
 // Flags:
 //
 //   --listen SPEC            accept clients on unix:/path or tcp:[host:]port
@@ -62,6 +91,11 @@
 //                            (default 4 MiB)
 //   --retry-after-ms N       back-off hint attached to shed responses
 //                            (default 100)
+//   --slow-request-ms N      structured slow-log line to stderr for any
+//                            request slower than N ms (default 0 = off)
+//   --worker-listen-base P   give each worker its own tcp listener on
+//                            127.0.0.1:(P + worker index) so Prometheus
+//                            can scrape workers directly (default 0 = off)
 //   --workers N              shard workers (default 2)
 //   --replicas R             read-only replicas per shard (default 0)
 //   --serve BIN              dpclustx_serve binary (default: next to this
@@ -92,8 +126,11 @@
 //
 // save_snapshot / load_snapshot from clients are refused: the router owns
 // snapshot scheduling (per-shard files under --state-dir). ping / stats /
-// metrics / trace / audit broadcast to every shard and return the per-shard
-// responses under "workers".
+// audit broadcast to every shard and return the per-shard responses under
+// "workers"; metrics broadcasts too and adds the labeled "fleet" rollup.
+// trace is answered by the router itself with its ring of stitched
+// end-to-end timelines (per-worker rings stay reachable by scraping a
+// worker's own port with --worker-listen-base).
 
 #include <fcntl.h>
 #include <signal.h>
@@ -106,6 +143,7 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -140,6 +178,7 @@ using dpclustx::service::RouteKind;
 using dpclustx::service::RouterCore;
 using dpclustx::service::ScanTopLevelId;
 using dpclustx::service::SpliceId;
+using dpclustx::service::SpliceTraceContext;
 using dpclustx::service::Transport;
 using dpclustx::service::TransportOptions;
 
@@ -162,6 +201,11 @@ constexpr const char kUsage[] =
     "                           (default 4194304)\n"
     "  --retry-after-ms N       back-off hint on shed responses (default "
     "100)\n"
+    "  --slow-request-ms N      structured slow-log line to stderr for any\n"
+    "                           request slower than N ms (default 0 = off)\n"
+    "  --worker-listen-base P   per-worker tcp scrape listener on\n"
+    "                           127.0.0.1:(P + worker index) (default 0 = "
+    "off)\n"
     "  --workers N              shard workers (default 2)\n"
     "  --replicas R             read-only replicas per shard (default 0)\n"
     "  --serve BIN              dpclustx_serve binary (default: next to this\n"
@@ -202,6 +246,52 @@ JsonValue ErrorBody(StatusCode code, const std::string& message,
   return response;
 }
 
+/// Duration → whole microseconds, rounded UP with a floor of 1 — matching
+/// obs::Trace's convention that a span which ran at all reports >= 1 µs.
+uint64_t CeilMicros(std::chrono::steady_clock::duration d) {
+  if (d <= std::chrono::steady_clock::duration::zero()) return 1;
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+  const uint64_t micros = static_cast<uint64_t>((ns + 999) / 1000);
+  return micros == 0 ? 1 : micros;
+}
+
+int64_t NowSteadyMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One span in the stitched timeline, shaped exactly like obs::Trace's
+/// ToJson nodes ({"name","start_micros","wall_micros","cpu_micros",
+/// "children"}) so clients render router and worker spans uniformly. The
+/// router has no per-span CPU clock; cpu_micros is 0 for router spans.
+/// `name` must come from the fixed span vocabulary below — never client
+/// data (the DP-safety rule trace.h states for worker spans holds here).
+JsonValue SpanJson(const char* name, uint64_t start_micros,
+                   uint64_t wall_micros) {
+  JsonValue span = JsonValue::Object();
+  span.Set("name", JsonValue::String(name));
+  span.Set("start_micros",
+           JsonValue::Number(static_cast<double>(start_micros)));
+  span.Set("wall_micros", JsonValue::Number(static_cast<double>(wall_micros)));
+  span.Set("cpu_micros", JsonValue::Number(0));
+  span.Set("children", JsonValue::Array());
+  return span;
+}
+
+/// "name" → "name{worker=\"shard-0\"}", "name{op=\"x\"}" →
+/// "name{op=\"x\",worker=\"shard-0\"}" — how the fleet rollup folds every
+/// worker's registry into one namespace without key collisions.
+std::string InjectWorkerLabel(const std::string& key,
+                              const std::string& worker) {
+  const std::string label = "worker=\"" + worker + "\"";
+  if (!key.empty() && key.back() == '}') {
+    return key.substr(0, key.size() - 1) + "," + label + "}";
+  }
+  return key + "{" + label + "}";
+}
+
 /// One in-flight forwarded request. kInternal entries (health pings, admin
 /// snapshot saves) complete a condition-variable wait instead of writing to
 /// the client.
@@ -220,6 +310,19 @@ struct PendingEntry {
   std::string request_line;  // rewritten line (router id), for fallback
   std::string dataset;       // kSingle: owning dataset, "" for unknown-op
   bool on_replica = false;   // kSingle: true while a replica is trying
+
+  // Timeline bookkeeping (enqueued above is the receive time). written is
+  // refreshed when a replica miss moves the request to the primary, so
+  // worker_roundtrip measures the leg that actually answered. All fields
+  // are read/written under pending_mutex_; the stitched trace is built
+  // from a snapshot after the entry leaves the map.
+  std::string op;            // for the slow log and the metrics rollup
+  bool traced = false;       // "trace":true — a stitched timeline is owed
+  std::string tid;           // propagated trace id ("t<seq>")
+  std::chrono::steady_clock::time_point written;  // pipe write time
+  uint64_t parse_micros = 0;   // request parse
+  uint64_t route_micros = 0;   // classify + shard pick
+  uint64_t splice_micros = 0;  // _tc splice into the forwarded line
 
   size_t awaiting = 0;       // kBroadcast: responses still outstanding
   JsonValue merged = JsonValue::Object();
@@ -241,13 +344,78 @@ struct WorkerProc {
   std::atomic<bool> alive{false};
   std::atomic<uint64_t> restarts{0};  // crash respawns (not deliberate ones)
   int misses = 0;              // consecutive health-check misses
+
+  // Per-worker labeled instruments ({worker="<name>"}), registered once at
+  // router construction in the process registry. spawned_at_ms feeds the
+  // replica-staleness gauge: replicas only refresh by respawning, so their
+  // age IS the staleness of the snapshot they serve.
+  dpclustx::obs::LatencyHistogram* latency = nullptr;
+  dpclustx::obs::Counter* restarts_counter = nullptr;
+  dpclustx::obs::Gauge* backoff_gauge = nullptr;
+  std::atomic<int64_t> spawned_at_ms{0};
 };
+
+/// The stitched end-to-end timeline for one traced request: router-side
+/// spans with start offsets on the router's clock, plus (when the worker
+/// answered) the worker's own span tree nested under worker_roundtrip.
+///
+///   router_request
+///   ├─ parse              request JSON parse
+///   ├─ shard_pick         classify + consistent-hash lookup
+///   ├─ relay_splice       _tc splice into the forwarded line
+///   ├─ worker_roundtrip   pipe write → response line
+///   │  ├─ worker_queue_wait   roundtrip − worker-reported wall: pipe
+///   │  │                      transit + time queued in the worker
+///   │  └─ <worker tree>       offsets relative to the WORKER's root (its
+///   │                         clock domain; only durations line up)
+///   └─ write_back         response stitch + serialize, up to the reply
+///
+/// `worker_tree` is null when the worker died or answered without a tree —
+/// the caller marks those responses "trace_partial". Span names here are
+/// the fixed vocabulary above; like worker spans they carry timings only.
+JsonValue StitchTimeline(const PendingEntry& entry,
+                         std::chrono::steady_clock::time_point replied,
+                         const JsonValue* worker_tree) {
+  JsonValue children = JsonValue::Array();
+  children.Append(SpanJson("parse", 0, entry.parse_micros));
+  uint64_t cursor = entry.parse_micros;
+  children.Append(SpanJson("shard_pick", cursor, entry.route_micros));
+  cursor += entry.route_micros;
+  children.Append(SpanJson("relay_splice", cursor, entry.splice_micros));
+  const uint64_t roundtrip_start = CeilMicros(entry.written - entry.enqueued);
+  const uint64_t roundtrip_wall = CeilMicros(replied - entry.written);
+  JsonValue roundtrip =
+      SpanJson("worker_roundtrip", roundtrip_start, roundtrip_wall);
+  if (worker_tree != nullptr) {
+    uint64_t worker_wall = 0;
+    if (worker_tree->Has("wall_micros") &&
+        worker_tree->at("wall_micros").type() == JsonValue::Type::kNumber) {
+      worker_wall =
+          static_cast<uint64_t>(worker_tree->at("wall_micros").AsNumber());
+    }
+    const uint64_t queue_wait =
+        roundtrip_wall > worker_wall ? roundtrip_wall - worker_wall : 1;
+    JsonValue nested = JsonValue::Array();
+    nested.Append(SpanJson("worker_queue_wait", roundtrip_start, queue_wait));
+    nested.Append(*worker_tree);
+    roundtrip.Set("children", std::move(nested));
+  }
+  children.Append(std::move(roundtrip));
+  const auto stitched_at = std::chrono::steady_clock::now();
+  children.Append(SpanJson("write_back", CeilMicros(replied - entry.enqueued),
+                           CeilMicros(stitched_at - replied)));
+  JsonValue root = SpanJson("router_request", 0,
+                            CeilMicros(stitched_at - entry.enqueued));
+  root.Set("children", std::move(children));
+  return root;
+}
 
 class Router {
  public:
   Router(std::string serve_bin, std::string state_dir, size_t num_shards,
          size_t replicas_per_shard, size_t vnodes, int64_t health_interval_ms,
          int64_t health_deadline_ms, int health_misses,
+         uint16_t worker_listen_base,
          std::vector<std::string> worker_extra_args)
       : core_(ShardNames(num_shards), vnodes),
         serve_bin_(std::move(serve_bin)),
@@ -272,7 +440,25 @@ class Router {
             dpclustx::obs::MetricsRegistry::Default().RegisterCounter(
                 "dpclustx_router_shed_requests_total",
                 "requests refused with ResourceExhausted because the "
-                "client's response backlog passed the hard write limit")) {
+                "client's response backlog passed the hard write limit")),
+        tc_spliced_counter_(
+            dpclustx::obs::MetricsRegistry::Default().RegisterCounter(
+                "dpclustx_router_tc_spliced_total",
+                "trace contexts injected via the zero-reparse splice")),
+        tc_full_parse_counter_(
+            dpclustx::obs::MetricsRegistry::Default().RegisterCounter(
+                "dpclustx_router_tc_full_parse_total",
+                "trace contexts injected via the full parse/dump fallback")) {
+    // --worker-listen-base P hands worker k (in spawn order: shards first,
+    // then replicas) its own tcp scrape listener on 127.0.0.1:(P+k). The
+    // port rides in the respawn args, so a respawned worker comes back on
+    // the same address (SO_REUSEADDR makes the rebind immediate).
+    uint16_t next_port = worker_listen_base;
+    const auto maybe_listen = [&](std::vector<std::string>& args) {
+      if (worker_listen_base == 0) return;
+      args.push_back("--listen");
+      args.push_back("tcp:127.0.0.1:" + std::to_string(next_port++));
+    };
     for (size_t i = 0; i < num_shards; ++i) {
       auto w = std::make_unique<WorkerProc>();
       w->name = "shard-" + std::to_string(i);
@@ -281,6 +467,7 @@ class Router {
                  "--snapshot", SnapshotPath(i),
                  "--audit-journal", state_dir_ + "/shard-" +
                      std::to_string(i) + ".journal"};
+      maybe_listen(w->args);
       w->args.insert(w->args.end(), worker_extra_args.begin(),
                      worker_extra_args.end());
       workers_.push_back(std::move(w));
@@ -295,12 +482,14 @@ class Router {
         // save: they are disposable caches, refreshed by respawning
         // (_router_sync_replicas).
         w->args = {serve_bin_, "--read-only", "--snapshot", SnapshotPath(i)};
+        maybe_listen(w->args);
         w->args.insert(w->args.end(), worker_extra_args.begin(),
                        worker_extra_args.end());
         workers_.push_back(std::move(w));
       }
     }
     num_shards_ = num_shards;
+    RegisterWorkerInstruments();
   }
 
   void Start() {
@@ -316,6 +505,14 @@ class Router {
     verify_relay_ = verify;
   }
 
+  /// threshold_ms > 0 turns on the structured slow log: one JSON line to
+  /// stderr per request slower than the threshold, carrying the op, the
+  /// owing worker, the elapsed time, and the trace id when the request was
+  /// traced — enough to pull the matching stitched timeline from the ring.
+  void ConfigureSlowLog(int64_t threshold_ms) {
+    slow_request_ms_ = threshold_ms;
+  }
+
   /// Brings up the socket front door on every --listen spec. The handler
   /// runs on the transport's event-loop thread; routing is quick (classify
   /// + one pipe write), responses come back via worker reader threads.
@@ -326,6 +523,13 @@ class Router {
     for (const std::string& spec : specs) {
       DPX_RETURN_IF_ERROR(transport_->Listen(spec));
     }
+    // Native scrape endpoints on the same listeners the line protocol
+    // uses. The handler runs on the event-loop thread: it reads the
+    // router's own registry (which carries the per-worker labeled series
+    // and the broadcast counters) — it must never fan a request out to
+    // workers and wait.
+    transport_->SetHttpHandler(
+        [this](const std::string& path) { return HttpScrape(path); });
     return transport_->Start([this](ConnId conn, std::string&& line) {
       HandleClientLine(conn, line);
     });
@@ -401,6 +605,101 @@ class Router {
     struct stat st;
     DPX_CHECK(::stat(state_dir_.c_str(), &st) == 0 && S_ISDIR(st.st_mode))
         << "--state-dir '" << state_dir_ << "' cannot be created";
+  }
+
+  // ---- telemetry plane -----------------------------------------------
+
+  /// Registers the per-worker labeled instruments in the process registry.
+  /// Called once from the ctor, before any worker spawns. The pending-depth
+  /// callback takes pending_mutex_ under the registry's exposition mutex,
+  /// which fixes the lock order registry→pending: nothing may call
+  /// PrometheusText()/ToJson() while holding pending_mutex_ (the broadcast
+  /// completion paths build their fleet rollups outside the lock for
+  /// exactly this reason).
+  void RegisterWorkerInstruments() {
+    auto& registry = dpclustx::obs::MetricsRegistry::Default();
+    for (auto& owned : workers_) {
+      WorkerProc* w = owned.get();
+      const dpclustx::obs::MetricLabels labels = {{"worker", w->name}};
+      w->latency = registry.RegisterLatencyHistogram(
+          "dpclustx_router_worker_latency_micros",
+          "Round trip from pipe write to response line, per worker", labels);
+      w->restarts_counter = registry.RegisterCounter(
+          "dpclustx_router_worker_restarts_total",
+          "Crash respawns (deliberate replica refreshes excluded)", labels);
+      w->backoff_gauge = registry.RegisterGauge(
+          "dpclustx_router_worker_backoff_ms",
+          "Backoff applied to the worker's most recent crash respawn",
+          labels);
+      registry.AddCallbackGauge(
+          "dpclustx_router_worker_alive", "1 while the worker process lives",
+          labels, [w] { return w->alive.load() ? 1.0 : 0.0; });
+      registry.AddCallbackGauge(
+          "dpclustx_router_worker_pending",
+          "Requests currently in flight on this worker", labels, [this, w] {
+            std::lock_guard<std::mutex> lock(pending_mutex_);
+            double depth = 0;
+            for (const auto& [id, entry] : pending_) {
+              if (entry->kind != PendingEntry::Kind::kBroadcast &&
+                  entry->worker == w->name) {
+                ++depth;
+              }
+            }
+            return depth;
+          });
+      if (w->replica) {
+        registry.AddCallbackGauge(
+            "dpclustx_router_replica_staleness_seconds",
+            "Seconds since the replica was (re)spawned from its shard's "
+            "snapshot — replicas only refresh by respawning, so their age "
+            "is their snapshot's staleness",
+            labels, [w] {
+              const int64_t spawned = w->spawned_at_ms.load();
+              if (spawned == 0) return 0.0;
+              const int64_t now_ms = NowSteadyMs();
+              return now_ms > spawned ? (now_ms - spawned) / 1000.0 : 0.0;
+            });
+      }
+    }
+    registry.AddCallbackGauge(
+        "dpclustx_router_trace_dropped_total",
+        "Stitched timelines evicted from the bounded router trace ring", {},
+        [this] {
+          return static_cast<double>(
+              trace_dropped_.load(std::memory_order_relaxed));
+        });
+  }
+
+  /// GET /metrics | /healthz | /ready on any --listen socket. Runs on the
+  /// event-loop thread: registry reads only, no worker round trips.
+  dpclustx::service::HttpResponse HttpScrape(const std::string& path) {
+    dpclustx::service::HttpResponse response;
+    if (path == "/metrics") {
+      response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      response.body =
+          dpclustx::obs::MetricsRegistry::Default().PrometheusText();
+    } else if (path == "/healthz") {
+      // Liveness: the event loop answered, the router process is up.
+      response.body = "ok\n";
+    } else if (path == "/ready") {
+      // Readiness: every shard primary is live (replicas are optional
+      // caches; a dead replica degrades latency, not correctness).
+      size_t down = 0;
+      for (size_t i = 0; i < num_shards_; ++i) {
+        if (!workers_[i]->alive.load()) ++down;
+      }
+      if (down == 0) {
+        response.body = "ready\n";
+      } else {
+        response.status = 503;
+        response.body = "not ready: " + std::to_string(down) +
+                        " shard(s) down, respawn pending\n";
+      }
+    } else {
+      response.status = 404;
+      response.body = "not found (try /metrics, /healthz, /ready)\n";
+    }
+    return response;
   }
 
   // ---- client replies ------------------------------------------------
@@ -481,6 +780,7 @@ class Router {
     }
     w.pid = pid;
     w.misses = 0;
+    w.spawned_at_ms.store(NowSteadyMs());
     w.alive.store(true);
     w.reader = std::thread([this, &w, fd = from_child[0]] {
       ReaderLoop(w, fd);
@@ -571,6 +871,7 @@ class Router {
       rid = parsed->at("id").AsString();
     }
 
+    const auto replied = std::chrono::steady_clock::now();
     std::string retry_line;      // replica miss → re-send to this primary
     WorkerProc* retry_worker = nullptr;
     std::shared_ptr<PendingEntry> retry_entry;
@@ -578,6 +879,13 @@ class Router {
     // only off the splice fast path, where the tree is actually needed):
     // the owed response is unrecoverable, fail that exact request.
     std::shared_ptr<PendingEntry> unparseable_victim;
+    // Completions that still owe work the pending lock must not cover:
+    // the broadcast response build reads the metrics registry (whose
+    // callbacks take pending_mutex_), and the ring push / slow log are
+    // not the lock's business.
+    std::shared_ptr<PendingEntry> completed_broadcast;
+    std::shared_ptr<PendingEntry> completed_single;
+    JsonValue stitched;  // completed_single->traced: ring copy
 
     {
       std::lock_guard<std::mutex> lock(pending_mutex_);
@@ -596,15 +904,14 @@ class Router {
             pending_.erase(it);
             break;
           }
+          if (w.latency != nullptr) {
+            w.latency->Observe(CeilMicros(replied - entry->written));
+          }
           JsonValue piece = *parsed;
           piece.Remove("id");
           entry->merged.Set(w.name, std::move(piece));
           if (--entry->awaiting == 0) {
-            JsonValue response = JsonValue::Object();
-            response.Set("ok", JsonValue::Bool(true));
-            response.Set("workers", entry->merged);
-            if (entry->has_client_id) response.Set("id", entry->client_id);
-            Reply(entry->client, response.Dump());
+            completed_broadcast = entry;
             pending_.erase(it);
           }
           break;
@@ -619,14 +926,56 @@ class Router {
             if (primary != nullptr) {
               entry->on_replica = false;
               entry->worker = primary->name;
+              entry->written = replied;  // roundtrip = the primary's leg
               retry_line = entry->request_line;
               retry_worker = primary;
               retry_entry = entry;
               break;  // keep the pending entry; response comes from primary
             }
           }
+          if (w.latency != nullptr) {
+            w.latency->Observe(CeilMicros(replied - entry->written));
+          }
           std::string out;
-          if (relay_splice_ && scan.ok()) {
+          if (entry->traced) {
+            // A traced response is the one relay that genuinely needs the
+            // tree: the worker's span tree moves from the envelope into
+            // the stitched timeline.
+            if (!ensure_parsed()) {
+              unparseable_victim = entry;
+              pending_.erase(it);
+              break;
+            }
+            JsonValue response = *parsed;
+            if (entry->has_client_id) {
+              response.Set("id", entry->client_id);
+            } else {
+              response.Remove("id");
+            }
+            JsonValue worker_tree;
+            bool have_tree = false;
+            if (response.Has("trace") &&
+                response.at("trace").type() == JsonValue::Type::kObject) {
+              worker_tree = response.at("trace");
+              have_tree = true;
+            }
+            stitched = StitchTimeline(*entry, replied,
+                                      have_tree ? &worker_tree : nullptr);
+            response.Set("trace", stitched);
+            response.Set("trace_id", JsonValue::String(entry->tid));
+            if (!have_tree) {
+              // Worker answered without a tree (e.g. a pre-dispatch
+              // refusal): the timeline covers the router side only.
+              response.Set("trace_partial", JsonValue::Bool(true));
+            }
+            out = response.Dump();
+            relay_full_parse_counter_->Increment();
+            // Ring first, reply second: a client that sends `trace` the
+            // instant it sees this response must find the timeline there.
+            // (trace_mutex_ is a leaf lock — safe under pending_mutex_.)
+            PushRouterTrace(entry->op, entry->tid, stitched,
+                            /*partial=*/false);
+          } else if (relay_splice_ && scan.ok()) {
             out = entry->client_id_json.empty()
                       ? EraseId(line, *scan)
                       : SpliceId(line, *scan, entry->client_id_json);
@@ -649,12 +998,21 @@ class Router {
             relay_full_parse_counter_->Increment();
           }
           Reply(entry->client, out);
+          completed_single = entry;
           pending_.erase(it);
           break;
         }
       }
     }
     pending_cv_.notify_all();
+    if (completed_broadcast != nullptr) {
+      Reply(completed_broadcast->client,
+            BroadcastResponse(*completed_broadcast).Dump());
+      MaybeSlowLog(*completed_broadcast, replied);
+    }
+    if (completed_single != nullptr) {
+      MaybeSlowLog(*completed_single, replied);
+    }
     if (unparseable_victim != nullptr) {
       dropped_lines_.fetch_add(1, std::memory_order_relaxed);
       dropped_lines_counter_->Increment();
@@ -767,8 +1125,15 @@ class Router {
       std::string rid;
       std::shared_ptr<PendingEntry> entry;
     };
+    const auto now = std::chrono::steady_clock::now();
     std::vector<Retry> retries;
     std::vector<std::pair<ConnId, std::string>> failed_lines;
+    std::vector<std::shared_ptr<PendingEntry>> completed_broadcasts;
+    std::vector<std::shared_ptr<PendingEntry>> failed_entries;  // slow log
+    // Traced requests the dead worker owed: their error responses carry
+    // the router-side spans and land in the trace ring marked partial.
+    std::vector<std::pair<std::shared_ptr<PendingEntry>, JsonValue>>
+        partial_traces;
     {
       std::lock_guard<std::mutex> lock(pending_mutex_);
       for (auto it = pending_.begin(); it != pending_.end();) {
@@ -777,17 +1142,15 @@ class Router {
           // Broadcasts owe one slot per shard; a dead shard contributes an
           // error object instead of blocking the merge forever. The
           // merged.Has check keeps this idempotent if the death is
-          // reported twice.
+          // reported twice. The response itself is built after the lock:
+          // the metrics rollup reads the registry, whose callbacks take
+          // pending_mutex_.
           if (!entry->merged.Has(worker) && entry->awaiting > 0) {
             entry->merged.Set(
                 worker, ErrorBody(StatusCode::kInternal,
                                   "worker died before responding"));
             if (--entry->awaiting == 0) {
-              JsonValue response = JsonValue::Object();
-              response.Set("ok", JsonValue::Bool(true));
-              response.Set("workers", entry->merged);
-              if (entry->has_client_id) response.Set("id", entry->client_id);
-              failed_lines.emplace_back(entry->client, response.Dump());
+              completed_broadcasts.push_back(entry);
               it = pending_.erase(it);
               continue;
             }
@@ -809,6 +1172,7 @@ class Router {
           if (primary != nullptr) {
             entry->on_replica = false;
             entry->worker = primary->name;
+            entry->written = now;  // roundtrip = the primary's leg
             retries.push_back({entry->request_line, primary, it->first, entry});
             ++it;
             continue;
@@ -821,13 +1185,35 @@ class Router {
                 "from its snapshot and audit journal — retry (a charge "
                 "that was journaled re-serves from the cache for zero "
                 "ε)");
+        if (entry->traced) {
+          // No hang, no garbled splice: the client still gets a timeline —
+          // the router-side spans, honestly marked partial (the worker's
+          // subtree died with the worker).
+          JsonValue partial = StitchTimeline(*entry, now, nullptr);
+          response.Set("trace", partial);
+          response.Set("trace_id", JsonValue::String(entry->tid));
+          response.Set("trace_partial", JsonValue::Bool(true));
+          partial_traces.emplace_back(entry, std::move(partial));
+        }
         if (entry->has_client_id) response.Set("id", entry->client_id);
         failed_lines.emplace_back(entry->client, response.Dump());
+        failed_entries.push_back(entry);
         it = pending_.erase(it);
       }
     }
     pending_cv_.notify_all();
+    // Ring before replies, for the same reason as the completion path: a
+    // client must find its partial timeline the instant the error lands.
+    for (auto& [entry, partial] : partial_traces) {
+      PushRouterTrace(entry->op, entry->tid, std::move(partial),
+                      /*partial=*/true);
+    }
     for (const auto& [conn, line] : failed_lines) Reply(conn, line);
+    for (auto& entry : completed_broadcasts) {
+      Reply(entry->client, BroadcastResponse(*entry).Dump());
+      MaybeSlowLog(*entry, now);
+    }
+    for (auto& entry : failed_entries) MaybeSlowLog(*entry, now);
     for (Retry& retry : retries) {
       if (!WriteToWorker(*retry.target, retry.line)) {
         FinishWithError(retry.entry->client,
@@ -916,12 +1302,14 @@ class Router {
     }
     if (w.reader.joinable()) w.reader.join();
     const uint64_t attempt = w.restarts.fetch_add(1) + 1;
+    w.restarts_counter->Increment();
     // Jittered so N workers felled by a common cause (bad snapshot, OOM
     // sweep) fan back in over a window instead of re-stampeding in
     // lockstep. rng is guarded by restart_mutex_, held here.
     const int64_t delay = backoff_.JitteredDelayMs(
         attempt, std::uniform_real_distribution<double>(0.0, 1.0)(
                      respawn_rng_));
+    w.backoff_gauge->Set(delay);
     std::cerr << "[router] respawning " << w.name << " (attempt " << attempt
               << ", backoff " << delay << "ms)\n";
     std::this_thread::sleep_for(std::chrono::milliseconds(delay));
@@ -951,8 +1339,21 @@ class Router {
 
   // ---- request handling ----------------------------------------------
 
+  /// Receive-side timings carried into the pending entry so traced
+  /// requests can render them as spans and the slow log can anchor on the
+  /// true receive time.
+  struct RequestTiming {
+    std::chrono::steady_clock::time_point received;
+    uint64_t parse_micros = 0;
+    uint64_t route_micros = 0;
+  };
+
   void HandleClientLine(ConnId conn, const std::string& line) {
+    RequestTiming timing;
+    timing.received = std::chrono::steady_clock::now();
     StatusOr<JsonValue> parsed = JsonValue::Parse(line);
+    timing.parse_micros =
+        CeilMicros(std::chrono::steady_clock::now() - timing.received);
     if (!parsed.ok() || parsed->type() != JsonValue::Type::kObject) {
       RespondError(conn, StatusCode::kInvalidArgument,
                    "request is not a JSON object: " +
@@ -979,9 +1380,10 @@ class Router {
       return;
     }
 
+    std::string op;
     if (parsed->Has("op") &&
         parsed->at("op").type() == JsonValue::Type::kString) {
-      const std::string& op = parsed->at("op").AsString();
+      op = parsed->at("op").AsString();
       if (op == "_router_status") {
         RespondStatus(conn, has_id, client_id);
         return;
@@ -990,9 +1392,20 @@ class Router {
         SyncReplicas(conn, has_id, client_id);
         return;
       }
+      // Intercepted like _router_status, BEFORE Classify (which would
+      // broadcast it): at the router, `trace` means the fleet view — the
+      // ring of stitched end-to-end timelines. A worker's own ring stays
+      // reachable through its --worker-listen-base port.
+      if (op == "trace") {
+        RespondTraces(conn, *parsed, has_id, client_id);
+        return;
+      }
     }
 
+    const auto route_start = std::chrono::steady_clock::now();
     StatusOr<RouteDecision> decision = core_.Classify(*parsed);
+    timing.route_micros =
+        CeilMicros(std::chrono::steady_clock::now() - route_start);
     if (!decision.ok()) {
       RespondError(conn, decision.status().code(),
                    decision.status().message(), has_id, client_id);
@@ -1009,19 +1422,21 @@ class Router {
             has_id, client_id);
         return;
       case RouteKind::kBroadcast:
-        ForwardBroadcast(conn, *parsed, has_id, client_id);
+        ForwardBroadcast(conn, *parsed, has_id, client_id, op, timing);
         return;
       case RouteKind::kShard:
       case RouteKind::kReplicaRead:
       case RouteKind::kUnknownOp:
-        ForwardSingle(conn, *parsed, *decision, has_id, client_id);
+        ForwardSingle(conn, *parsed, *decision, has_id, client_id, op,
+                      timing);
         return;
     }
   }
 
   void ForwardSingle(ConnId conn, JsonValue request,
                      const RouteDecision& decision, bool has_id,
-                     const JsonValue& client_id) {
+                     const JsonValue& client_id, const std::string& op,
+                     const RequestTiming& timing) {
     WorkerProc* primary = nullptr;
     if (decision.kind == RouteKind::kUnknownOp) {
       // Forwarded so the engine produces its canonical unknown-op error.
@@ -1041,9 +1456,51 @@ class Router {
       }
     }
 
-    const std::string rid = "r" + std::to_string(next_id_.fetch_add(1));
+    const uint64_t seq = next_id_.fetch_add(1);
+    const std::string rid = "r" + std::to_string(seq);
     request.Set("id", JsonValue::String(rid));
-    const std::string forwarded = request.Dump();
+    std::string forwarded = request.Dump();
+
+    // Cross-process trace propagation: a traced request gets its context
+    // spliced into the already-dumped line — zero reparse, same byte-splice
+    // contract as the response id rewrite. pid/tid is Dump-canonical
+    // ("pid" < "tid", compact), so whenever the splice is accepted the
+    // line is byte-identical to parse→Set("_tc")→Dump (--verify-relay
+    // cross-checks). A refused splice (a top-level key sorting before
+    // "_tc") falls back to the full-parse path, never to silence.
+    const bool traced = request.Has("trace") &&
+                        request.at("trace").type() == JsonValue::Type::kBool &&
+                        request.at("trace").AsBool();
+    std::string tid;
+    uint64_t splice_micros = 0;
+    if (traced) {
+      tid = "t" + std::to_string(seq);
+      const std::string tc_json =
+          "{\"pid\":\"" + rid + "\",\"tid\":\"" + tid + "\"}";
+      const auto splice_start = std::chrono::steady_clock::now();
+      StatusOr<std::string> spliced = SpliceTraceContext(forwarded, tc_json);
+      if (spliced.ok()) {
+        if (verify_relay_) {
+          StatusOr<JsonValue> tc = JsonValue::Parse(tc_json);
+          DPX_CHECK(tc.ok());
+          JsonValue check = request;
+          check.Set("_tc", std::move(*tc));
+          DPX_CHECK(*spliced == check.Dump())
+              << "trace-context splice diverged from the full-parse path: "
+              << *spliced << " vs " << check.Dump();
+        }
+        forwarded = std::move(*spliced);
+        tc_spliced_counter_->Increment();
+      } else {
+        StatusOr<JsonValue> tc = JsonValue::Parse(tc_json);
+        DPX_CHECK(tc.ok());
+        request.Set("_tc", std::move(*tc));
+        forwarded = request.Dump();
+        tc_full_parse_counter_->Increment();
+      }
+      splice_micros =
+          CeilMicros(std::chrono::steady_clock::now() - splice_start);
+    }
 
     auto entry = std::make_shared<PendingEntry>();
     entry->kind = PendingEntry::Kind::kSingle;
@@ -1053,11 +1510,18 @@ class Router {
     // Serialized once here so the splice relay does zero JSON work when
     // the worker's response comes back.
     if (has_id) entry->client_id_json = client_id.Dump();
-    entry->enqueued = std::chrono::steady_clock::now();
+    entry->enqueued = timing.received;
+    entry->op = op;
+    entry->traced = traced;
+    entry->tid = tid;
+    entry->parse_micros = timing.parse_micros;
+    entry->route_micros = timing.route_micros;
+    entry->splice_micros = splice_micros;
     entry->worker = target->name;
     entry->request_line = forwarded;
     entry->dataset = decision.dataset;
     entry->on_replica = on_replica;
+    entry->written = std::chrono::steady_clock::now();
     {
       std::lock_guard<std::mutex> lock(pending_mutex_);
       pending_[rid] = entry;
@@ -1069,6 +1533,7 @@ class Router {
       std::lock_guard<std::mutex> lock(pending_mutex_);
       entry->on_replica = false;
       entry->worker = primary->name;
+      entry->written = std::chrono::steady_clock::now();
       return;
     }
     FinishWithError(conn, has_id ? &client_id : nullptr, rid,
@@ -1077,7 +1542,8 @@ class Router {
   }
 
   void ForwardBroadcast(ConnId conn, JsonValue request, bool has_id,
-                        const JsonValue& client_id) {
+                        const JsonValue& client_id, const std::string& op,
+                        const RequestTiming& timing) {
     std::vector<WorkerProc*> shards;
     for (auto& w : workers_) {
       if (!w->replica) shards.push_back(w.get());
@@ -1091,12 +1557,15 @@ class Router {
     entry->client = conn;
     entry->has_client_id = has_id;
     entry->client_id = client_id;
-    entry->enqueued = std::chrono::steady_clock::now();
+    entry->enqueued = timing.received;
+    entry->op = op;
     entry->awaiting = shards.size();
+    entry->written = std::chrono::steady_clock::now();
     {
       std::lock_guard<std::mutex> lock(pending_mutex_);
       pending_[rid] = entry;
     }
+    std::shared_ptr<PendingEntry> completed;
     for (WorkerProc* shard : shards) {
       if (WriteToWorker(*shard, forwarded)) continue;
       std::lock_guard<std::mutex> lock(pending_mutex_);
@@ -1105,14 +1574,148 @@ class Router {
                         ErrorBody(StatusCode::kInternal,
                                   "worker is down; respawn pending"));
       if (--entry->awaiting == 0) {
-        JsonValue response = JsonValue::Object();
-        response.Set("ok", JsonValue::Bool(true));
-        response.Set("workers", entry->merged);
-        if (has_id) response.Set("id", client_id);
-        Reply(conn, response.Dump());
+        completed = entry;
         pending_.erase(rid);
       }
     }
+    // Outside pending_mutex_: the metrics rollup reads the registry, whose
+    // exposition callbacks take pending_mutex_ (see
+    // RegisterWorkerInstruments).
+    if (completed != nullptr) {
+      Reply(conn, BroadcastResponse(*completed).Dump());
+    }
+  }
+
+  /// The completed-broadcast response: per-worker pieces under "workers",
+  /// and for `metrics` additionally the labeled "fleet" rollup. NEVER call
+  /// under pending_mutex_ (FleetRollup reads the registry, whose callbacks
+  /// take pending_mutex_).
+  JsonValue BroadcastResponse(const PendingEntry& entry) {
+    JsonValue response = JsonValue::Object();
+    response.Set("ok", JsonValue::Bool(true));
+    if (entry.op == "metrics") {
+      response.Set("fleet", FleetRollup(entry.merged));
+    }
+    response.Set("workers", entry.merged);
+    if (entry.has_client_id) response.Set("id", entry.client_id);
+    return response;
+  }
+
+  /// Folds every worker's metrics JSON into one registry-shaped document
+  /// ({"counters","gauges","histograms"}) with worker="<name>" injected
+  /// into each key, seeded with the router's own registry (which already
+  /// carries its per-worker labeled series) — a fleet rollup instead of a
+  /// concatenation of per-worker dumps.
+  JsonValue FleetRollup(const JsonValue& merged) {
+    JsonValue rollup = dpclustx::obs::MetricsRegistry::Default().ToJson();
+    for (const std::string& worker : merged.ObjectKeys()) {
+      const JsonValue& piece = merged.at(worker);
+      if (piece.type() != JsonValue::Type::kObject ||
+          !piece.Has("metrics") ||
+          piece.at("metrics").type() != JsonValue::Type::kObject) {
+        continue;  // dead worker (error object) or format:"prometheus"
+      }
+      const JsonValue& metrics = piece.at("metrics");
+      for (const char* section : {"counters", "gauges", "histograms"}) {
+        if (!metrics.Has(section) ||
+            metrics.at(section).type() != JsonValue::Type::kObject) {
+          continue;
+        }
+        if (!rollup.Has(section)) rollup.Set(section, JsonValue::Object());
+        JsonValue merged_section = rollup.at(section);
+        const JsonValue& worker_section = metrics.at(section);
+        for (const std::string& key : worker_section.ObjectKeys()) {
+          merged_section.Set(InjectWorkerLabel(key, worker),
+                             worker_section.at(key));
+        }
+        rollup.Set(section, std::move(merged_section));
+      }
+    }
+    return rollup;
+  }
+
+  /// Appends a finished stitched timeline to the bounded router trace
+  /// ring. Evictions are counted, never silent
+  /// (dpclustx_router_trace_dropped_total).
+  void PushRouterTrace(const std::string& op, const std::string& tid,
+                       JsonValue trace, bool partial) {
+    JsonValue record = JsonValue::Object();
+    record.Set("op", JsonValue::String(op));
+    record.Set("tid", JsonValue::String(tid));
+    if (partial) record.Set("partial", JsonValue::Bool(true));
+    record.Set("trace", std::move(trace));
+    std::lock_guard<std::mutex> lock(trace_mutex_);
+    while (trace_ring_.size() >= kTraceRingCapacity) {
+      trace_ring_.pop_front();
+      trace_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    trace_ring_.push_back(std::move(record));
+  }
+
+  /// The router-level `trace` op: the ring of stitched end-to-end
+  /// timelines, oldest first, mirroring the engine's trace-op envelope
+  /// (traces / ring_capacity / retained / dropped; "limit" keeps the
+  /// newest N).
+  void RespondTraces(ConnId conn, const JsonValue& request, bool has_id,
+                     const JsonValue& client_id) {
+    size_t limit = 0;
+    if (request.Has("limit") &&
+        request.at("limit").type() == JsonValue::Type::kNumber &&
+        request.at("limit").AsNumber() > 0) {
+      limit = static_cast<size_t>(request.at("limit").AsNumber());
+    }
+    JsonValue traces = JsonValue::Array();
+    size_t retained = 0;
+    {
+      std::lock_guard<std::mutex> lock(trace_mutex_);
+      retained = trace_ring_.size();
+      size_t start = 0;
+      if (limit != 0 && trace_ring_.size() > limit) {
+        start = trace_ring_.size() - limit;
+      }
+      for (size_t i = start; i < trace_ring_.size(); ++i) {
+        traces.Append(trace_ring_[i]);
+      }
+    }
+    JsonValue response = JsonValue::Object();
+    response.Set("ok", JsonValue::Bool(true));
+    response.Set("traces", std::move(traces));
+    response.Set("ring_capacity",
+                 JsonValue::Number(static_cast<double>(kTraceRingCapacity)));
+    response.Set("retained", JsonValue::Number(static_cast<double>(retained)));
+    response.Set("dropped",
+                 JsonValue::Number(static_cast<double>(
+                     trace_dropped_.load(std::memory_order_relaxed))));
+    if (has_id) response.Set("id", client_id);
+    Reply(conn, response.Dump());
+  }
+
+  /// One structured line to stderr when a finished (or failed) request
+  /// took longer than --slow-request-ms — machine-parseable, and carrying
+  /// the trace id when the request was traced so the operator can pull
+  /// the matching stitched timeline from the ring.
+  void MaybeSlowLog(const PendingEntry& entry,
+                    std::chrono::steady_clock::time_point finished) {
+    if (slow_request_ms_ <= 0) return;
+    const int64_t elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            finished - entry.enqueued)
+            .count();
+    if (elapsed_ms < slow_request_ms_) return;
+    JsonValue record = JsonValue::Object();
+    record.Set("event", JsonValue::String("slow_request"));
+    record.Set("op", JsonValue::String(entry.op));
+    if (!entry.worker.empty()) {
+      record.Set("worker", JsonValue::String(entry.worker));
+    }
+    if (!entry.tid.empty()) {
+      record.Set("tid", JsonValue::String(entry.tid));
+    }
+    record.Set("elapsed_ms",
+               JsonValue::Number(static_cast<double>(elapsed_ms)));
+    record.Set("threshold_ms",
+               JsonValue::Number(static_cast<double>(slow_request_ms_)));
+    std::cerr << "[router] " << record.Dump() << "\n";
   }
 
   void RespondStatus(ConnId conn, bool has_id, const JsonValue& client_id) {
@@ -1268,6 +1871,16 @@ class Router {
   dpclustx::obs::Counter* relay_spliced_counter_;
   dpclustx::obs::Counter* relay_full_parse_counter_;
   dpclustx::obs::Counter* shed_requests_counter_;
+  dpclustx::obs::Counter* tc_spliced_counter_;
+  dpclustx::obs::Counter* tc_full_parse_counter_;
+
+  // Stitched end-to-end timelines, bounded like the engine's trace ring;
+  // served by the router-level `trace` op. trace_mutex_ is a leaf lock.
+  static constexpr size_t kTraceRingCapacity = 64;
+  std::mutex trace_mutex_;
+  std::deque<JsonValue> trace_ring_;
+  std::atomic<uint64_t> trace_dropped_{0};
+  int64_t slow_request_ms_ = 0;
 
   // Socket front door; null in stdin-only mode.
   std::unique_ptr<Transport> transport_;
@@ -1329,6 +1942,8 @@ int main(int argc, char** argv) {
   size_t write_soft_limit = transport_options.write_soft_limit_bytes;
   size_t write_hard_limit = transport_options.write_hard_limit_bytes;
   size_t retry_after_ms = 100;
+  size_t slow_request_ms = 0;
+  size_t worker_listen_base = 0;
   std::vector<std::string> worker_extra_args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--") == 0) {
@@ -1358,6 +1973,9 @@ int main(int argc, char** argv) {
         ParseSizeFlag(argc, argv, &i, "--write-hard-limit-bytes",
                       &write_hard_limit) ||
         ParseSizeFlag(argc, argv, &i, "--retry-after-ms", &retry_after_ms) ||
+        ParseSizeFlag(argc, argv, &i, "--slow-request-ms", &slow_request_ms) ||
+        ParseSizeFlag(argc, argv, &i, "--worker-listen-base",
+                      &worker_listen_base) ||
         ParseStringFlag(argc, argv, &i, "--serve", &serve_bin) ||
         ParseStringFlag(argc, argv, &i, "--relay", &relay_mode) ||
         ParseStringFlag(argc, argv, &i, "--state-dir", &state_dir)) {
@@ -1398,12 +2016,18 @@ int main(int argc, char** argv) {
   // mid-response are the same story.
   ::signal(SIGPIPE, SIG_IGN);
 
+  if (worker_listen_base > 65535) {
+    std::cerr << "--worker-listen-base must be a port (<= 65535)\n";
+    return 2;
+  }
   Router router(serve_bin, state_dir, num_workers, replicas, vnodes,
                 static_cast<int64_t>(health_interval_ms),
                 static_cast<int64_t>(health_deadline_ms),
                 static_cast<int>(health_misses),
+                static_cast<uint16_t>(worker_listen_base),
                 std::move(worker_extra_args));
   router.ConfigureRelay(relay_mode == "splice", verify_relay);
+  router.ConfigureSlowLog(static_cast<int64_t>(slow_request_ms));
   router.Start();
   if (!listen_specs.empty()) {
     const dpclustx::Status started = router.StartTransport(

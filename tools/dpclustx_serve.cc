@@ -23,11 +23,19 @@
 // response backlog passes the transport's hard write limit. stdin remains
 // the lifecycle handle — EOF drains and shuts down.
 //
+// The same --listen sockets also answer plain HTTP GETs (DESIGN.md §15):
+// GET /metrics returns the Prometheus text exposition of the process-wide
+// registry (engine ops, transport, ISA dispatch — one scrape, no sidecar),
+// /healthz answers "ok" while the event loop runs, and /ready answers 503
+// until the snapshot restore has completed (load balancers gate on it).
+// JSON-protocol clients are unaffected: their first byte is '{', never 'G'.
+//
 // The flag table below is the single reference (printed by --help and
 // mirrored in README.md "Serving flags"):
 //
 //   --listen SPEC            also accept clients on unix:/path or
-//                            tcp:[host:]port (repeatable)
+//                            tcp:[host:]port (repeatable); the same socket
+//                            answers HTTP GET /metrics, /healthz, /ready
 //   --threads N              worker threads (default 4)
 //   --queue N                pending-request bound (default 256)
 //   --cache N                release-cache entries (default 1024)
@@ -61,6 +69,7 @@
 // On EOF the server drains queued requests, writes a final metrics dump and
 // snapshot, flushes, and exits 0. See README.md for a quickstart transcript.
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -74,6 +83,7 @@
 #include <thread>
 
 #include "obs/build_info.h"
+#include "obs/metrics.h"
 #include "service/service_engine.h"
 #include "service/transport.h"
 #include "snapshot/snapshot_io.h"
@@ -101,7 +111,9 @@ constexpr const char kUsage[] =
     "usage: dpclustx_serve [flags]\n"
     "\n"
     "  --listen SPEC            also accept clients on unix:/path or\n"
-    "                           tcp:[host:]port (repeatable)\n"
+    "                           tcp:[host:]port (repeatable); the same\n"
+    "                           socket answers HTTP GET /metrics, /healthz,\n"
+    "                           /ready\n"
     "  --threads N              worker threads (default 4)\n"
     "  --queue N                pending-request bound (default 256)\n"
     "  --cache N                release-cache entries (default 1024)\n"
@@ -273,7 +285,17 @@ int main(int argc, char** argv) {
   options.default_deadline_ms = static_cast<int64_t>(deadline_ms);
   if (metrics_interval_ms == 0) metrics_interval_ms = 5000;
 
+  // One process, one scrape: the engine registers its instruments in the
+  // process-global registry so GET /metrics exposes engine ops, transport
+  // counters, and the ISA dispatch gauge in a single exposition.
+  options.metrics_registry = &dpclustx::obs::MetricsRegistry::Default();
+
   ServiceEngine engine(options);
+
+  // Flipped once durable state is restored (or there was none to restore);
+  // /ready answers 503 before that so load balancers and the router's
+  // scrape plane never route to a worker still replaying its journal.
+  std::atomic<bool> ready{false};
 
   // Restore BEFORE the journal is opened for append and before any request
   // is read: RestoreFromFiles requires an empty engine, and the journal must
@@ -314,6 +336,7 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  ready.store(true, std::memory_order_release);
 
   std::unique_ptr<PeriodicWorker> metrics_writer;
   if (!metrics_dump.empty()) {
@@ -340,6 +363,26 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+    transport->SetHttpHandler(
+        [&engine, &ready](const std::string& path)
+            -> dpclustx::service::HttpResponse {
+          if (path == "/metrics") {
+            return {200, "text/plain; version=0.0.4; charset=utf-8",
+                    engine.metrics().PrometheusText()};
+          }
+          if (path == "/healthz") {
+            return {200, "text/plain; charset=utf-8", "ok\n"};
+          }
+          if (path == "/ready") {
+            return ready.load(std::memory_order_acquire)
+                       ? dpclustx::service::HttpResponse{
+                             200, "text/plain; charset=utf-8", "ready\n"}
+                       : dpclustx::service::HttpResponse{
+                             503, "text/plain; charset=utf-8",
+                             "not ready: restoring durable state\n"};
+          }
+          return {404, "text/plain; charset=utf-8", "not found\n"};
+        });
     const Status started = transport->Start(
         [&](dpclustx::service::ConnId conn, std::string&& request) {
           dpclustx::service::Transport* t = transport.get();
